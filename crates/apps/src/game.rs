@@ -1,0 +1,581 @@
+//! The multiplayer game application (§2 and §6.1.1).
+//!
+//! Structure (Figure 3): a `Building` owns `Room`s; each `Room` owns its
+//! `Player`s and a pool of `Item`s; with multi-ownership, `Player`s also own
+//! the `Item`s they interact with (sharing them with the `Room` and other
+//! `Player`s).  Under single ownership (AEON_SO / EventWave), `Item`s are
+//! owned by their `Room` only, so any item interaction must go through the
+//! `Room`.
+
+use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
+use aeon_runtime::{AeonRuntime, ContextObject, Invocation, KvContext, Placement};
+use aeon_sim::{RequestSpec, SimCluster, Step, SystemKind};
+use aeon_types::{args, AeonError, Args, ContextId, Result, ServerId, SimDuration, SimTime, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Class constraints of the game (Figure 3, left).
+pub fn game_class_graph() -> ClassGraph {
+    let mut classes = ClassGraph::new();
+    classes.add_constraint("Building", "Room");
+    classes.add_constraint("Room", "Player");
+    classes.add_constraint("Room", "Item");
+    classes.add_constraint("Player", "Item");
+    classes
+}
+
+// ---------------------------------------------------------------------------
+// Runtime implementation (real ContextObjects).
+// ---------------------------------------------------------------------------
+
+/// The `Building` contextclass of Listing 1: owns rooms, can update the time
+/// of day in every room with `async` calls and count players read-only.
+#[derive(Debug, Default)]
+pub struct Building;
+
+impl ContextObject for Building {
+    fn class_name(&self) -> &str {
+        "Building"
+    }
+
+    fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match method {
+            "update_time_of_day" => {
+                for room in inv.children(Some("Room"))? {
+                    inv.call_async(room, "update_time_of_day", args![])?;
+                }
+                Ok(Value::Null)
+            }
+            "count_players" => {
+                let mut count = 0i64;
+                for room in inv.children(Some("Room"))? {
+                    count += inv.call(room, "nr_players", args![])?.as_i64().unwrap_or(0);
+                }
+                Ok(Value::from(count))
+            }
+            _ => Err(AeonError::UnknownMethod { class: "Building".into(), method: method.into() }),
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        method == "count_players"
+    }
+}
+
+/// The `Room` contextclass: counts players/items and propagates the time of
+/// day.
+#[derive(Debug, Default)]
+pub struct Room {
+    time_of_day: i64,
+}
+
+impl ContextObject for Room {
+    fn class_name(&self) -> &str {
+        "Room"
+    }
+
+    fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match method {
+            "update_time_of_day" => {
+                self.time_of_day += 1;
+                Ok(Value::from(self.time_of_day))
+            }
+            "nr_players" => Ok(Value::from(inv.children(Some("Player"))?.len())),
+            "nr_items" => Ok(Value::from(inv.children(Some("Item"))?.len())),
+            _ => Err(AeonError::UnknownMethod { class: "Room".into(), method: method.into() }),
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "nr_players" | "nr_items")
+    }
+
+    fn snapshot(&self) -> Value {
+        Value::map([("time_of_day", Value::from(self.time_of_day))])
+    }
+
+    fn restore(&mut self, state: &Value) {
+        self.time_of_day = state.get("time_of_day").and_then(Value::as_i64).unwrap_or(0);
+    }
+}
+
+/// The `Player` contextclass of Listing 1: moves gold from its mine into the
+/// (shared) treasure.
+#[derive(Debug, Default)]
+pub struct Player {
+    /// Private gold mine item.
+    pub gold_mine: Option<ContextId>,
+    /// Shared treasure item.
+    pub treasure: Option<ContextId>,
+}
+
+impl ContextObject for Player {
+    fn class_name(&self) -> &str {
+        "Player"
+    }
+
+    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match method {
+            "set_items" => {
+                self.gold_mine = Some(args.get_context(0)?);
+                self.treasure = Some(args.get_context(1)?);
+                Ok(Value::Null)
+            }
+            "get_gold" => {
+                let amount = args.get_i64(0)?;
+                let mine = self.gold_mine.ok_or_else(|| AeonError::app("player has no mine"))?;
+                let treasure =
+                    self.treasure.ok_or_else(|| AeonError::app("player has no treasure"))?;
+                let available = inv.call(mine, "get", args!["gold"])?.as_i64().unwrap_or(0);
+                if available < amount {
+                    return Ok(Value::Bool(false));
+                }
+                inv.call(mine, "incr", args!["gold", -amount])?;
+                inv.call(treasure, "incr", args!["gold", amount])?;
+                Ok(Value::Bool(true))
+            }
+            "treasure_balance" => {
+                let treasure =
+                    self.treasure.ok_or_else(|| AeonError::app("player has no treasure"))?;
+                inv.call(treasure, "get", args!["gold"])
+            }
+            _ => Err(AeonError::UnknownMethod { class: "Player".into(), method: method.into() }),
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        method == "treasure_balance"
+    }
+
+    fn snapshot(&self) -> Value {
+        Value::map([
+            ("gold_mine", self.gold_mine.map(Value::from).unwrap_or(Value::Null)),
+            ("treasure", self.treasure.map(Value::from).unwrap_or(Value::Null)),
+        ])
+    }
+
+    fn restore(&mut self, state: &Value) {
+        self.gold_mine = state.get("gold_mine").and_then(Value::as_context);
+        self.treasure = state.get("treasure").and_then(Value::as_context);
+    }
+}
+
+/// Handles to a deployed game world on the real runtime.
+#[derive(Debug, Clone)]
+pub struct GameWorld {
+    /// The building (root of the ownership DAG).
+    pub building: ContextId,
+    /// The rooms, one per server by default.
+    pub rooms: Vec<ContextId>,
+    /// Players, grouped by room.
+    pub players: Vec<Vec<ContextId>>,
+    /// The shared treasure of each room.
+    pub treasures: Vec<ContextId>,
+}
+
+/// Deploys a game world onto `runtime`: `rooms` rooms each holding
+/// `players_per_room` players, a private gold mine per player and one shared
+/// treasure per room.
+///
+/// # Errors
+///
+/// Propagates context-creation failures.
+pub fn deploy_game(
+    runtime: &AeonRuntime,
+    rooms: usize,
+    players_per_room: usize,
+) -> Result<GameWorld> {
+    let client = runtime.client();
+    let building = runtime.create_context(Box::new(Building), Placement::Auto)?;
+    let mut world = GameWorld {
+        building,
+        rooms: Vec::new(),
+        players: Vec::new(),
+        treasures: Vec::new(),
+    };
+    for _ in 0..rooms {
+        let room = runtime.create_owned_context(Box::new(Room::default()), &[building])?;
+        let treasure = runtime.create_owned_context(
+            Box::new(KvContext::with_entries("Item", [("gold", Value::from(0i64))])),
+            &[room],
+        )?;
+        let mut room_players = Vec::new();
+        for _ in 0..players_per_room {
+            let player = runtime.create_owned_context(Box::new(Player::default()), &[room])?;
+            let mine = runtime.create_owned_context(
+                Box::new(KvContext::with_entries("Item", [("gold", Value::from(1_000_000i64))])),
+                &[player],
+            )?;
+            runtime.add_ownership(player, treasure)?;
+            client.call(player, "set_items", args![mine, treasure])?;
+            room_players.push(player);
+        }
+        world.rooms.push(room);
+        world.players.push(room_players);
+        world.treasures.push(treasure);
+    }
+    Ok(world)
+}
+
+// ---------------------------------------------------------------------------
+// Simulator workload.
+// ---------------------------------------------------------------------------
+
+/// Parameters of the simulated game workload (Figures 5a/5b).
+#[derive(Debug, Clone)]
+pub struct GameWorkloadConfig {
+    /// Number of servers; one room per server, as in §6.1.1.
+    pub servers: usize,
+    /// Players per room.
+    pub players_per_room: usize,
+    /// Items per room (fixed, shared among the room's players).
+    pub items_per_room: usize,
+    /// Aggregate request rate offered to the whole cluster (requests/s).
+    pub request_rate: f64,
+    /// Experiment duration.
+    pub duration: SimDuration,
+    /// Fraction of requests that touch a shared room item.
+    pub shared_fraction: f64,
+    /// Fraction of requests that touch only the player's private items.
+    pub private_item_fraction: f64,
+    /// Fraction of read-only requests (e.g. `nr_players`).
+    pub readonly_fraction: f64,
+    /// CPU time of the player-side work.
+    pub player_service: SimDuration,
+    /// CPU time of an item access.
+    pub item_service: SimDuration,
+    /// Ordering cost per event at the EventWave root.
+    pub root_ordering: SimDuration,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for GameWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            servers: 8,
+            players_per_room: 16,
+            items_per_room: 8,
+            request_rate: 8_000.0,
+            duration: SimDuration::from_secs(10),
+            shared_fraction: 0.25,
+            private_item_fraction: 0.45,
+            readonly_fraction: 0.10,
+            player_service: SimDuration::from_micros(1_000),
+            item_service: SimDuration::from_micros(500),
+            root_ordering: SimDuration::from_micros(200),
+            seed: 11,
+        }
+    }
+}
+
+impl GameWorkloadConfig {
+    /// Scales the offered load with the cluster size (used for the
+    /// scale-out experiment of Figure 5a).
+    pub fn for_servers(servers: usize) -> Self {
+        Self {
+            servers,
+            request_rate: 1_500.0 * servers as f64,
+            ..Self::default()
+        }
+    }
+}
+
+/// A generated game workload: the cluster and its requests for one system.
+#[derive(Debug)]
+pub struct GameWorkload {
+    /// The cluster (placement already decided for the system).
+    pub cluster: SimCluster,
+    /// The requests to simulate.
+    pub requests: Vec<RequestSpec>,
+    /// The ownership network underlying the workload (for inspection).
+    pub graph: OwnershipGraph,
+}
+
+impl GameWorkload {
+    /// Generates the workload for `system` under `config`.
+    pub fn generate(system: SystemKind, config: &GameWorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let servers = config.servers.max(1);
+        let mut graph = OwnershipGraph::new();
+        let mut next_id = 0u64;
+        let mut fresh = |graph: &mut OwnershipGraph, class: &str| {
+            let id = ContextId::new(next_id);
+            next_id += 1;
+            graph.add_context(id, class).expect("fresh id");
+            id
+        };
+
+        let building = fresh(&mut graph, "Building");
+        let mut rooms = Vec::with_capacity(servers);
+        let mut players: Vec<Vec<ContextId>> = Vec::with_capacity(servers);
+        let mut shared_items: Vec<Vec<ContextId>> = Vec::with_capacity(servers);
+        let mut private_items: Vec<Vec<ContextId>> = Vec::with_capacity(servers);
+        for _ in 0..servers {
+            let room = fresh(&mut graph, "Room");
+            graph.add_edge(building, room).unwrap();
+            let items: Vec<ContextId> = (0..config.items_per_room)
+                .map(|_| {
+                    let item = fresh(&mut graph, "Item");
+                    graph.add_edge(room, item).unwrap();
+                    item
+                })
+                .collect();
+            let mut room_players = Vec::new();
+            let mut room_private = Vec::new();
+            for _ in 0..config.players_per_room {
+                let player = fresh(&mut graph, "Player");
+                graph.add_edge(room, player).unwrap();
+                if system.multi_ownership() {
+                    // Every player shares the room's items.
+                    for item in &items {
+                        graph.add_edge(player, *item).unwrap();
+                    }
+                }
+                // A private item per player (owned by the room only under
+                // single ownership).
+                let private = fresh(&mut graph, "Item");
+                if system.multi_ownership() {
+                    graph.add_edge(player, private).unwrap();
+                } else {
+                    graph.add_edge(room, private).unwrap();
+                }
+                room_players.push(player);
+                room_private.push(private);
+            }
+            rooms.push(room);
+            players.push(room_players);
+            shared_items.push(items);
+            private_items.push(room_private);
+        }
+
+        // Placement.
+        let mut cluster = SimCluster::new(servers, 2)
+            .with_cpu_overhead(system.cpu_overhead())
+            .with_seed(config.seed);
+        let place_random = !system.locality_placement();
+        for ctx in graph.contexts() {
+            let server = if place_random {
+                ServerId::new(rng.gen_range(0..servers) as u32)
+            } else {
+                // Locality: everything under room r goes to server r.
+                ServerId::new(0)
+            };
+            cluster.place(ctx, server);
+        }
+        if !place_random {
+            cluster.place(building, ServerId::new(0));
+            for (r, room) in rooms.iter().enumerate() {
+                let server = ServerId::new((r % servers) as u32);
+                cluster.place(*room, server);
+                for p in &players[r] {
+                    cluster.place(*p, server);
+                }
+                for i in &shared_items[r] {
+                    cluster.place(*i, server);
+                }
+                for i in &private_items[r] {
+                    cluster.place(*i, server);
+                }
+            }
+        }
+
+        // Dominators for the AEON variants come from the real resolver.
+        let resolver = DominatorResolver::new(DominatorMode::Closure);
+        let dominator_of = |graph: &OwnershipGraph, target: ContextId| -> ContextId {
+            match resolver.dominator(graph, target).expect("known context") {
+                Dominator::Context(c) => c,
+                Dominator::GlobalRoot => building,
+            }
+        };
+
+        // Requests.
+        let total = (config.request_rate * config.duration.as_secs_f64()) as usize;
+        let mut requests = Vec::with_capacity(total);
+        for k in 0..total {
+            let arrival =
+                SimTime::from_micros((k as f64 / config.request_rate * 1e6) as u64);
+            let room_idx = rng.gen_range(0..servers);
+            let player_idx = rng.gen_range(0..config.players_per_room);
+            let room = rooms[room_idx];
+            let player = players[room_idx][player_idx];
+            let private = private_items[room_idx][player_idx];
+            let shared =
+                shared_items[room_idx][rng.gen_range(0..config.items_per_room.max(1))];
+
+            let roll: f64 = rng.gen();
+            let readonly = rng.gen::<f64>() < config.readonly_fraction;
+            let (kind, touched_item) = if roll < config.shared_fraction {
+                ("shared", Some(shared))
+            } else if roll < config.shared_fraction + config.private_item_fraction {
+                ("private", Some(private))
+            } else {
+                ("player", None)
+            };
+
+            // Steps: the player-side work plus the item access (if any).  In
+            // single-ownership systems item work happens in the room.
+            let mut steps = Vec::new();
+            let mut sequencers = Vec::new();
+            match system {
+                SystemKind::Aeon => {
+                    // Events touching a shared item are sequenced at the
+                    // dominator of their target (the Room); events on
+                    // player-private state keep their own sequencer and run
+                    // in parallel — the parallelism multi-ownership buys.
+                    if kind == "shared" {
+                        let dom = dominator_of(&graph, player);
+                        if dom != player {
+                            sequencers.push(dom);
+                        }
+                    }
+                    sequencers.push(player);
+                    if let Some(item) = touched_item {
+                        sequencers.push(item);
+                    }
+                    steps.push(Step::new(player, config.player_service));
+                    if let Some(item) = touched_item {
+                        steps.push(Step::new(item, config.item_service));
+                    }
+                }
+                SystemKind::AeonSo | SystemKind::EventWave => {
+                    if kind == "player" {
+                        sequencers.push(player);
+                        steps.push(Step::new(player, config.player_service));
+                    } else {
+                        // Item access must go through the room.
+                        sequencers.push(room);
+                        steps.push(Step::new(room, config.player_service));
+                        if let Some(item) = touched_item {
+                            steps.push(Step::new(item, config.item_service));
+                        }
+                    }
+                    if system.orders_at_root() {
+                        // Total order at the tree root: a brief, contended
+                        // sequencing step at the root context.
+                        steps.insert(0, Step::new(building, config.root_ordering));
+                    }
+                }
+                SystemKind::OrleansStrict => {
+                    // Strict serializability by locking the whole room.
+                    sequencers.push(room);
+                    steps.push(Step::new(player, config.player_service));
+                    if let Some(item) = touched_item {
+                        steps.push(Step::new(item, config.item_service));
+                    }
+                }
+                SystemKind::OrleansStar => {
+                    // No cross-grain synchronisation: per-grain mailboxes
+                    // only.
+                    steps.push(Step::new(player, config.player_service));
+                    if let Some(item) = touched_item {
+                        steps.push(Step::new(item, config.item_service));
+                    }
+                }
+            }
+            let mut request = RequestSpec::new(arrival, sequencers, steps).labelled("game");
+            if readonly {
+                request = request.readonly();
+            }
+            requests.push(request);
+        }
+        Self { cluster, requests, graph }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_sim::Simulator;
+
+    #[test]
+    fn runtime_game_listing1_scenario() {
+        let runtime = AeonRuntime::builder()
+            .servers(2)
+            .class_graph(game_class_graph())
+            .build()
+            .unwrap();
+        let world = deploy_game(&runtime, 2, 2).unwrap();
+        let client = runtime.client();
+        // Every player can move gold into the shared treasure.
+        for (r, players) in world.players.iter().enumerate() {
+            for p in players {
+                assert_eq!(client.call(*p, "get_gold", args![10]).unwrap(), Value::Bool(true));
+            }
+            assert_eq!(
+                client.call_readonly(world.treasures[r], "get", args!["gold"]).unwrap(),
+                Value::from(20i64)
+            );
+        }
+        // Building-level aggregate and async time-of-day update.
+        assert_eq!(
+            client.call_readonly(world.building, "count_players", args![]).unwrap(),
+            Value::from(4i64)
+        );
+        client.call(world.building, "update_time_of_day", args![]).unwrap();
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn players_share_treasure_and_dominate_at_room() {
+        let runtime = AeonRuntime::builder()
+            .servers(2)
+            .class_graph(game_class_graph())
+            .build()
+            .unwrap();
+        let world = deploy_game(&runtime, 1, 3).unwrap();
+        for p in &world.players[0] {
+            assert_eq!(
+                runtime.dominator_of(*p).unwrap(),
+                Dominator::Context(world.rooms[0])
+            );
+        }
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn workload_generation_respects_system_structure() {
+        let config = GameWorkloadConfig {
+            servers: 2,
+            players_per_room: 2,
+            items_per_room: 2,
+            request_rate: 100.0,
+            duration: SimDuration::from_secs(1),
+            ..GameWorkloadConfig::default()
+        };
+        let aeon = GameWorkload::generate(SystemKind::Aeon, &config);
+        let so = GameWorkload::generate(SystemKind::AeonSo, &config);
+        assert_eq!(aeon.requests.len(), 100);
+        assert_eq!(so.requests.len(), 100);
+        // Multi-ownership graph has player->item edges; single ownership
+        // does not.
+        let aeon_edges = aeon.graph.edges().count();
+        let so_edges = so.graph.edges().count();
+        assert!(aeon_edges > so_edges);
+        // Orleans* requests never carry sequencers.
+        let star = GameWorkload::generate(SystemKind::OrleansStar, &config);
+        assert!(star.requests.iter().all(|r| r.sequencers.is_empty()));
+        // EventWave requests all pass through the root ordering step.
+        let ew = GameWorkload::generate(SystemKind::EventWave, &config);
+        let building = ew.graph.roots()[0];
+        assert!(ew.requests.iter().all(|r| r.steps.first().map(|s| s.context) == Some(building)));
+    }
+
+    #[test]
+    fn simulated_throughput_ordering_matches_figure_5a() {
+        // At 8 servers the paper's ordering is
+        // AEON > AEON_SO > Orleans* > {Orleans, EventWave}.
+        let config = GameWorkloadConfig::for_servers(8);
+        let mut throughput = std::collections::HashMap::new();
+        for system in SystemKind::ALL {
+            let mut workload = GameWorkload::generate(system, &config);
+            let metrics = Simulator::new().run(&mut workload.cluster, &workload.requests);
+            throughput.insert(system, metrics.throughput(Some(SimTime::ZERO + config.duration)));
+        }
+        let get = |s: SystemKind| throughput[&s];
+        assert!(get(SystemKind::Aeon) >= get(SystemKind::AeonSo) * 0.99);
+        assert!(get(SystemKind::AeonSo) > get(SystemKind::OrleansStar));
+        assert!(get(SystemKind::OrleansStar) > get(SystemKind::OrleansStrict));
+        assert!(get(SystemKind::Aeon) > get(SystemKind::EventWave));
+    }
+}

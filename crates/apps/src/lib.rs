@@ -1,0 +1,18 @@
+//! The applications used by the paper: the massively multiplayer online
+//! game of §2, the TPC-C benchmark of §6.1.2, and the inductive context
+//! data structures of §3 (`collections`).  Game and TPC-C are available in
+//! two forms:
+//!
+//! * as real [`aeon_runtime::ContextObject`] implementations that run on the
+//!   concurrent AEON runtime (used by the examples and integration tests);
+//! * as workload generators for the cluster simulator (`aeon-sim`), in the
+//!   multi-ownership (AEON), single-ownership (AEON_SO / EventWave) and
+//!   Orleans variants the paper compares.
+
+pub mod collections;
+pub mod game;
+pub mod tpcc;
+
+pub use collections::{ListSet, SearchTree};
+pub use game::{GameWorkload, GameWorkloadConfig};
+pub use tpcc::{TpccWorkload, TpccWorkloadConfig, TransactionKind};

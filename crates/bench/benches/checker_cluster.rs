@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the serializability checker and of the
+//! distributed deployment (local vs. cross-server events), complementing the
+//! protocol-level benchmarks in `micro.rs`.
+
+use aeon_checker::generator::{locked_history, GeneratorConfig};
+use aeon_checker::{check_strict_serializability, HistoryRecorder, OpKind};
+use aeon_cluster::Cluster;
+use aeon_runtime::{AeonRuntime, KvContext, Placement};
+use aeon_types::{args, ContextId, EventId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn checker_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker/strict_serializability");
+    for events in [50usize, 200, 800] {
+        let config = GeneratorConfig {
+            events,
+            contexts: 16,
+            ops_per_event: 4,
+            read_percent: 40,
+            seed: 11,
+        };
+        let history = locked_history(&config);
+        group.bench_with_input(BenchmarkId::from_parameter(events), &history, |b, history| {
+            b.iter(|| check_strict_serializability(history).unwrap())
+        });
+    }
+    group.finish();
+
+    c.bench_function("checker/record_operation", |b| {
+        let recorder = HistoryRecorder::new();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            recorder.record(EventId::new(n), ContextId::new(n % 64), OpKind::Write);
+        })
+    });
+}
+
+fn runtime_vs_cluster_benches(c: &mut Criterion) {
+    // The same single-context increment issued through the in-process
+    // runtime and through the distributed cluster (gateway + messages).
+    let runtime = AeonRuntime::builder().servers(2).build().unwrap();
+    let runtime_counter = runtime
+        .create_context(Box::new(KvContext::new("Counter")), Placement::Auto)
+        .unwrap();
+    let runtime_client = runtime.client();
+    c.bench_function("deployment/in_process_event", |b| {
+        b.iter(|| runtime_client.call(runtime_counter, "incr", args!["hits", 1i64]).unwrap())
+    });
+
+    let cluster = Cluster::builder().servers(2).build().unwrap();
+    let servers = cluster.servers();
+    let local_counter = cluster
+        .create_context(Box::new(KvContext::new("Counter")), Some(servers[0]))
+        .unwrap();
+    let cluster_client = cluster.client();
+    c.bench_function("deployment/cluster_event", |b| {
+        b.iter(|| cluster_client.call(local_counter, "incr", args!["hits", 1i64]).unwrap())
+    });
+
+    // Cross-server call: parent on server 0, child on server 1, each event
+    // traverses the network twice (call + reply) on top of routing.
+    let parent = cluster
+        .create_context(Box::new(KvContext::new("Room")), Some(servers[0]))
+        .unwrap();
+    let child = cluster
+        .create_context(Box::new(KvContext::new("Item")), Some(servers[1]))
+        .unwrap();
+    cluster.add_ownership(parent, child).unwrap();
+    c.bench_function("deployment/cluster_remote_child_event", |b| {
+        b.iter(|| cluster_client.call(child, "incr", args!["hits", 1i64]).unwrap())
+    });
+
+    runtime.shutdown();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, checker_benches, runtime_vs_cluster_benches);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the framework's hot paths plus the
+//! ablation called out in DESIGN.md (async vs synchronous child calls,
+//! single vs multiple ownership contention).
+
+use aeon_apps::game::{deploy_game, game_class_graph};
+use aeon_ownership::{dominator_of, DominatorMode, OwnershipGraph};
+use aeon_runtime::{AeonRuntime, ContextLock, KvContext, Placement};
+use aeon_types::{args, codec, AccessMode, ContextId, EventId, Value};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn ownership_benches(c: &mut Criterion) {
+    let (graph, ids) = aeon_ownership::fixtures::game_graph();
+    c.bench_function("dominator/paper_formula", |b| {
+        b.iter(|| dominator_of(&graph, ids.player1, DominatorMode::PaperFormula).unwrap())
+    });
+    c.bench_function("dominator/closure", |b| {
+        b.iter(|| dominator_of(&graph, ids.player1, DominatorMode::Closure).unwrap())
+    });
+    c.bench_function("ownership/add_remove_edge", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g: OwnershipGraph| {
+                g.remove_edge(ids.player1, ids.treasure).unwrap();
+                g.add_edge(ids.player1, ids.treasure).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn lock_benches(c: &mut Criterion) {
+    let lock = ContextLock::new(ContextId::new(1));
+    let mut next = 0u64;
+    c.bench_function("lock/activate_release_exclusive", |b| {
+        b.iter(|| {
+            next += 1;
+            let event = EventId::new(next);
+            lock.activate(event, AccessMode::Exclusive).unwrap();
+            lock.release(event);
+        })
+    });
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let value = Value::map([
+        ("players", Value::from((0..64u64).map(ContextId::new).collect::<Vec<_>>())),
+        ("gold", Value::from(123_456i64)),
+        ("name", Value::from("the kings room")),
+    ]);
+    c.bench_function("codec/encode_decode", |b| {
+        b.iter(|| {
+            let bytes = codec::encode(&value);
+            codec::decode(&bytes).unwrap()
+        })
+    });
+}
+
+fn runtime_benches(c: &mut Criterion) {
+    // End-to-end event latency on the real runtime (single context).
+    let runtime = AeonRuntime::builder().servers(2).build().unwrap();
+    let kv = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
+    let client = runtime.client();
+    c.bench_function("runtime/single_context_event", |b| {
+        b.iter(|| client.call(kv, "incr", args!["n", 1]).unwrap())
+    });
+
+    // Multi-context event through the game world: the get_gold event of
+    // Listing 1 (player -> mine -> shared treasure).
+    let game_runtime =
+        AeonRuntime::builder().servers(2).class_graph(game_class_graph()).build().unwrap();
+    let world = deploy_game(&game_runtime, 1, 2).unwrap();
+    let game_client = game_runtime.client();
+    let player = world.players[0][0];
+    c.bench_function("runtime/multi_context_get_gold_event", |b| {
+        b.iter(|| game_client.call(player, "get_gold", args![1]).unwrap())
+    });
+    c.bench_function("runtime/readonly_event", |b| {
+        b.iter(|| game_client.call_readonly(player, "treasure_balance", args![]).unwrap())
+    });
+
+    // Ablation: async (deferred) vs synchronous fan-out to children.
+    let building = world.building;
+    c.bench_function("ablation/async_fanout_update_time", |b| {
+        b.iter(|| game_client.call(building, "update_time_of_day", args![]).unwrap())
+    });
+    c.bench_function("ablation/sync_fanout_count_players", |b| {
+        b.iter(|| game_client.call_readonly(building, "count_players", args![]).unwrap())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = ownership_benches, lock_benches, codec_benches, runtime_benches
+}
+criterion_main!(benches);

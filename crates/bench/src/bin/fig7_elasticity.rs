@@ -1,0 +1,29 @@
+//! Figure 7: the elastic game deployment vs static 8/16/32-server setups —
+//! average request latency (7a) and number of servers (7b) over time.
+
+use aeon_bench::cell;
+use aeon_sim::{elastic::run_elastic, ElasticConfig, ElasticSetup};
+
+fn main() {
+    let config = ElasticConfig::paper_default();
+    let setups = [
+        ElasticSetup::Elastic { initial: 8 },
+        ElasticSetup::Static(8),
+        ElasticSetup::Static(16),
+        ElasticSetup::Static(32),
+    ];
+    println!("time_s\tclients\tsetup\tservers\tavg_latency_ms");
+    for setup in setups {
+        let outcome = run_elastic(&config, setup);
+        for round in &outcome.rounds {
+            println!(
+                "{}\t{}\t{}\t{}\t{}",
+                round.time.as_secs_f64() as u64,
+                round.clients,
+                setup,
+                round.servers,
+                cell(round.avg_latency_ms),
+            );
+        }
+    }
+}

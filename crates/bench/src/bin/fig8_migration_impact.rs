@@ -1,0 +1,16 @@
+//! Figure 8: overall throughput over time while migrating 1, 8 or 12 Room
+//! contexts (1 MB each) on a 20-server deployment.
+
+use aeon_bench::cell;
+use aeon_sim::{migration_impact, MigrationImpactConfig};
+
+fn main() {
+    println!("time_s\tcontexts_migrated\tevents_per_s");
+    for contexts in [1usize, 8, 12] {
+        let config = MigrationImpactConfig { contexts_migrated: contexts, ..Default::default() };
+        let series = migration_impact(&config);
+        for (t, throughput, _latency) in &series.points {
+            println!("{}\t{contexts}\t{}", t.as_secs_f64() as u64, cell(*throughput));
+        }
+    }
+}

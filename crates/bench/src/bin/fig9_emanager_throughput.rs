@@ -1,0 +1,38 @@
+//! Figure 9: maximum eManager migration throughput (contexts/s) for 1 KB and
+//! 1 MB contexts on the three instance classes, plus a measurement of the
+//! real runtime's migration primitive as a sanity check.
+
+use aeon_bench::cell;
+use aeon_runtime::{AeonRuntime, KvContext, Placement};
+use aeon_sim::{EManagerThroughputModel, InstanceType};
+use aeon_types::Value;
+use std::time::Instant;
+
+fn main() {
+    println!("instance\tcontext_size\tcontexts_per_s");
+    for instance in [InstanceType::Large, InstanceType::Medium, InstanceType::Small] {
+        let model = EManagerThroughputModel::for_instance(instance);
+        for (label, bytes) in [("1KB", 1u64 << 10), ("1MB", 1u64 << 20)] {
+            println!("{instance}\t{label}\t{}", cell(model.contexts_per_second(bytes)));
+        }
+    }
+    // Sanity check: in-process migration throughput of the real runtime.
+    let runtime = AeonRuntime::builder().servers(2).build().expect("runtime");
+    let contexts: Vec<_> = (0..200)
+        .map(|i| {
+            runtime
+                .create_context(
+                    Box::new(KvContext::with_entries("Item", [("payload", Value::from(vec![0u8; 1024]))])),
+                    Placement::Server(runtime.servers()[i % 2]),
+                )
+                .expect("context")
+        })
+        .collect();
+    let start = Instant::now();
+    for (i, ctx) in contexts.iter().enumerate() {
+        runtime.migrate_context(*ctx, runtime.servers()[(i + 1) % 2]).expect("migrate");
+    }
+    let rate = contexts.len() as f64 / start.elapsed().as_secs_f64();
+    println!("in-process-runtime\t1KB\t{}", cell(rate));
+    runtime.shutdown();
+}

@@ -1,0 +1,24 @@
+//! Table 1: percentage of requests violating the 10 ms SLA and average
+//! number of servers, per setup.
+
+use aeon_bench::cell;
+use aeon_sim::{elastic::run_elastic, ElasticConfig, ElasticSetup};
+
+fn main() {
+    let config = ElasticConfig::paper_default();
+    println!("setup\tpct_requests_gt_10ms\tavg_servers");
+    for setup in [
+        ElasticSetup::Static(8),
+        ElasticSetup::Static(16),
+        ElasticSetup::Static(22),
+        ElasticSetup::Static(32),
+        ElasticSetup::Elastic { initial: 8 },
+    ] {
+        let outcome = run_elastic(&config, setup);
+        println!(
+            "{setup}\t{}\t{}",
+            cell(outcome.violation_percent()),
+            cell(outcome.average_servers()),
+        );
+    }
+}

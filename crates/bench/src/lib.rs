@@ -1,0 +1,53 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (§6); see EXPERIMENTS.md at the workspace root for the mapping
+//! and the recorded outputs.
+
+use aeon_apps::{GameWorkload, GameWorkloadConfig, TpccWorkload, TpccWorkloadConfig};
+use aeon_sim::{Metrics, Simulator, SystemKind};
+use aeon_types::SimTime;
+
+/// Prints a table header row.
+pub fn header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Formats a float with two decimals for table cells.
+pub fn cell(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Runs the game workload for one system/server-count pair and returns the
+/// metrics together with the experiment horizon.
+pub fn run_game(system: SystemKind, config: &GameWorkloadConfig) -> (Metrics, SimTime) {
+    let mut workload = GameWorkload::generate(system, config);
+    let metrics = Simulator::new().run(&mut workload.cluster, &workload.requests);
+    (metrics, SimTime::ZERO + config.duration)
+}
+
+/// Runs the TPC-C workload for one system/server-count pair.
+pub fn run_tpcc(system: SystemKind, config: &TpccWorkloadConfig) -> (Metrics, SimTime) {
+    let mut workload = TpccWorkload::generate(system, config);
+    let metrics = Simulator::new().run(&mut workload.cluster, &workload.requests);
+    (metrics, SimTime::ZERO + config.duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_helpers_produce_metrics() {
+        let config = GameWorkloadConfig {
+            servers: 2,
+            request_rate: 200.0,
+            duration: aeon_types::SimDuration::from_secs(1),
+            ..GameWorkloadConfig::default()
+        };
+        let (metrics, horizon) = run_game(SystemKind::Aeon, &config);
+        assert!(metrics.count() > 0);
+        assert!(metrics.throughput(Some(horizon)) > 0.0);
+        assert_eq!(cell(1.234), "1.23");
+    }
+}

@@ -1,0 +1,532 @@
+//! A bank-transfer workload used to stress the runtime and feed the
+//! serializability checker.
+//!
+//! Structure: a `Bank` root context owns `Branch` contexts; each branch
+//! owns `Account` contexts ([`RecordingRegister`]s).  A configurable number
+//! of accounts are *shared* between neighbouring branches (multi-ownership,
+//! §3 of the paper), which forces events on those branches to be sequenced
+//! at the bank-level dominator exactly like the shared `Treasure` of the
+//! game example.
+//!
+//! Events:
+//!
+//! * `transfer(from, to, amount)` on a `Branch` — withdraws from one owned
+//!   account and deposits into another (two writes inside one event);
+//! * `audit` *(readonly)* on the `Bank` — sums every account through the
+//!   branches and must always observe the invariant total.
+//!
+//! After a run, [`run_bank_workload`] returns the recorded [`History`], the
+//! outcome of the strict-serializability check, and the conservation
+//! invariant (total money never changes), so tests and benchmarks can assert
+//! both value-level and order-level correctness.
+
+use crate::checker::{check_strict_serializability, SerializationOrder, Violation};
+use crate::history::{History, HistoryRecorder};
+use crate::recording::RecordingRegister;
+use aeon_ownership::ClassGraph;
+use aeon_runtime::{AeonRuntime, ContextObject, Invocation, Placement};
+use aeon_types::{args, AeonError, Args, ContextId, Result, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Class constraints of the bank application.
+pub fn bank_class_graph() -> ClassGraph {
+    let mut classes = ClassGraph::new();
+    classes.add_constraint("Bank", "Branch");
+    classes.add_constraint("Branch", "Account");
+    classes
+}
+
+/// The `Branch` contextclass: owns accounts and moves money between them.
+#[derive(Debug, Default)]
+pub struct Branch {
+    accounts: Vec<ContextId>,
+}
+
+impl Branch {
+    /// Creates a branch with no accounts yet (accounts are attached through
+    /// ownership edges after creation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ContextObject for Branch {
+    fn class_name(&self) -> &str {
+        "Branch"
+    }
+
+    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match method {
+            // transfer(from_account, to_account, amount)
+            "transfer" => {
+                let from = args.get_context(0)?;
+                let to = args.get_context(1)?;
+                let amount = args.get_i64(2)?;
+                inv.call(from, "add", args![-amount])?;
+                inv.call(to, "add", args![amount])?;
+                Ok(Value::Null)
+            }
+            // Same transfer but the deposit leg is issued asynchronously,
+            // exercising the `async` call path of the runtime.
+            "transfer_async" => {
+                let from = args.get_context(0)?;
+                let to = args.get_context(1)?;
+                let amount = args.get_i64(2)?;
+                inv.call(from, "add", args![-amount])?;
+                inv.call_async(to, "add", args![amount])?;
+                Ok(Value::Null)
+            }
+            // Registers an account this branch owns (bookkeeping only).
+            "attach_account" => {
+                let account = args.get_context(0)?;
+                if !self.accounts.contains(&account) {
+                    self.accounts.push(account);
+                }
+                Ok(Value::Null)
+            }
+            // readonly: sum of the balances of all owned accounts.
+            "local_total" => {
+                let mut total = 0i64;
+                for account in inv.children(Some("Account"))? {
+                    total += inv
+                        .call(account, "read", args![])?
+                        .as_i64()
+                        .ok_or_else(|| AeonError::app("account returned a non-integer"))?;
+                }
+                Ok(Value::from(total))
+            }
+            // readonly: number of owned accounts.
+            "account_count" => Ok(Value::from(inv.children(Some("Account"))?.len() as i64)),
+            _ => Err(AeonError::UnknownMethod { class: "Branch".into(), method: method.into() }),
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "local_total" | "account_count")
+    }
+
+    fn snapshot(&self) -> Value {
+        Value::map([(
+            "accounts",
+            Value::List(self.accounts.iter().map(|c| Value::ContextRef(*c)).collect()),
+        )])
+    }
+
+    fn restore(&mut self, state: &Value) {
+        if let Some(list) = state.get("accounts").and_then(Value::as_list) {
+            self.accounts = list.iter().filter_map(Value::as_context).collect();
+        }
+    }
+}
+
+/// The `Bank` root contextclass.
+#[derive(Debug, Default)]
+pub struct Bank;
+
+impl ContextObject for Bank {
+    fn class_name(&self) -> &str {
+        "Bank"
+    }
+
+    fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match method {
+            // readonly: total money across every branch.  Shared accounts
+            // are owned by two branches; summing per branch would count them
+            // twice, so the audit deduplicates account ids first.
+            "audit" => {
+                let mut seen = std::collections::BTreeSet::new();
+                let mut total = 0i64;
+                for branch in inv.children(Some("Branch"))? {
+                    // Collect account ids from the branch, then read each
+                    // account at most once (shared accounts have two owners).
+                    let accounts = inv.call(branch, "account_ids", args![])?;
+                    let accounts = accounts.as_list().unwrap_or(&[]);
+                    for id in accounts.iter().filter_map(Value::as_context) {
+                        if seen.insert(id) {
+                            total += inv
+                                .call(id, "read", args![])?
+                                .as_i64()
+                                .ok_or_else(|| AeonError::app("account returned non-integer"))?;
+                        }
+                    }
+                }
+                Ok(Value::from(total))
+            }
+            "branch_count" => Ok(Value::from(inv.children(Some("Branch"))?.len() as i64)),
+            method => {
+                Err(AeonError::UnknownMethod { class: "Bank".into(), method: method.into() })
+            }
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        matches!(method, "audit" | "branch_count")
+    }
+}
+
+/// Configuration of the bank workload.
+#[derive(Debug, Clone)]
+pub struct BankConfig {
+    /// Number of branches.
+    pub branches: usize,
+    /// Accounts exclusively owned by each branch.
+    pub accounts_per_branch: usize,
+    /// Accounts shared between each pair of neighbouring branches
+    /// (multi-ownership).
+    pub shared_accounts: usize,
+    /// Initial balance of every account.
+    pub initial_balance: i64,
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Transfers submitted by each client.
+    pub transfers_per_client: usize,
+    /// One in `audit_every` operations is a read-only audit instead of a
+    /// transfer (0 disables audits).
+    pub audit_every: usize,
+    /// Fraction (in percent) of transfers that use the `async` deposit leg.
+    pub async_percent: u32,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+    /// Number of logical servers in the runtime.
+    pub servers: usize,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        Self {
+            branches: 4,
+            accounts_per_branch: 4,
+            shared_accounts: 1,
+            initial_balance: 100,
+            clients: 4,
+            transfers_per_client: 25,
+            audit_every: 10,
+            async_percent: 25,
+            seed: 42,
+            servers: 4,
+        }
+    }
+}
+
+/// The deployed bank: context ids of every tier.
+#[derive(Debug, Clone)]
+pub struct BankDeployment {
+    /// Root context.
+    pub bank: ContextId,
+    /// Branch contexts.
+    pub branches: Vec<ContextId>,
+    /// For each branch, the accounts it owns (exclusive first, then shared).
+    pub accounts_of: Vec<Vec<ContextId>>,
+    /// Every distinct account.
+    pub accounts: Vec<ContextId>,
+}
+
+impl BankDeployment {
+    /// Total money in the system right after deployment.
+    pub fn expected_total(&self, config: &BankConfig) -> i64 {
+        self.accounts.len() as i64 * config.initial_balance
+    }
+}
+
+/// Deploys the bank application onto `runtime` and returns the deployment.
+///
+/// # Errors
+///
+/// Propagates context-creation errors (e.g. class-graph violations).
+pub fn deploy_bank(
+    runtime: &AeonRuntime,
+    config: &BankConfig,
+    recorder: &HistoryRecorder,
+) -> Result<BankDeployment> {
+    let bank = runtime.create_context(Box::new(Bank), Placement::Auto)?;
+    let mut branches = Vec::with_capacity(config.branches);
+    let mut accounts_of: Vec<Vec<ContextId>> = Vec::with_capacity(config.branches);
+    let mut accounts = Vec::new();
+    for _ in 0..config.branches {
+        let branch = runtime.create_owned_context(Box::new(BranchWithDirectory::new()), &[bank])?;
+        branches.push(branch);
+        accounts_of.push(Vec::new());
+    }
+    // Exclusive accounts.
+    for (b, branch) in branches.iter().enumerate() {
+        for _ in 0..config.accounts_per_branch {
+            let account = runtime.create_owned_context(
+                Box::new(RecordingRegister::new(
+                    "Account",
+                    config.initial_balance,
+                    recorder.clone(),
+                )),
+                &[*branch],
+            )?;
+            accounts_of[b].push(account);
+            accounts.push(account);
+        }
+    }
+    // Shared accounts between neighbouring branches.
+    if config.branches > 1 {
+        for b in 0..config.branches - 1 {
+            for _ in 0..config.shared_accounts {
+                let account = runtime.create_owned_context(
+                    Box::new(RecordingRegister::new(
+                        "Account",
+                        config.initial_balance,
+                        recorder.clone(),
+                    )),
+                    &[branches[b], branches[b + 1]],
+                )?;
+                accounts_of[b].push(account);
+                accounts_of[b + 1].push(account);
+                accounts.push(account);
+            }
+        }
+    }
+    // Tell each branch which accounts it owns (used by audits).
+    let client = runtime.client();
+    for (b, branch) in branches.iter().enumerate() {
+        for account in &accounts_of[b] {
+            client.call(*branch, "attach_account", args![*account])?;
+        }
+    }
+    Ok(BankDeployment { bank, branches, accounts_of, accounts })
+}
+
+/// `Branch` extended with an `account_ids` readonly method so the bank-level
+/// audit can deduplicate shared accounts.
+#[derive(Debug, Default)]
+pub struct BranchWithDirectory {
+    inner: Branch,
+}
+
+impl BranchWithDirectory {
+    /// Creates an empty branch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ContextObject for BranchWithDirectory {
+    fn class_name(&self) -> &str {
+        "Branch"
+    }
+
+    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match method {
+            "account_ids" => Ok(Value::List(
+                inv.children(Some("Account"))?.into_iter().map(Value::ContextRef).collect(),
+            )),
+            _ => self.inner.handle(method, args, inv),
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        method == "account_ids" || self.inner.is_readonly(method)
+    }
+
+    fn snapshot(&self) -> Value {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, state: &Value) {
+        self.inner.restore(state);
+    }
+}
+
+/// Outcome of a bank workload run.
+#[derive(Debug)]
+pub struct BankRunReport {
+    /// The recorded history.
+    pub history: History,
+    /// Result of the strict-serializability check over the history.
+    pub serializability: std::result::Result<SerializationOrder, Violation>,
+    /// Number of transfer events that completed successfully.
+    pub transfers: u64,
+    /// Number of read-only audit events that completed successfully.
+    pub audits: u64,
+    /// Total money observed by a final audit after all clients finished.
+    pub final_total: i64,
+    /// Total money expected (conservation invariant).
+    pub expected_total: i64,
+}
+
+impl BankRunReport {
+    /// Whether both the value-level invariant and the order-level check
+    /// passed.
+    pub fn is_correct(&self) -> bool {
+        self.serializability.is_ok() && self.final_total == self.expected_total
+    }
+}
+
+/// Builds a runtime, deploys the bank, runs the concurrent workload and
+/// returns the report.
+///
+/// # Errors
+///
+/// Propagates deployment and event-submission failures; individual event
+/// failures inside worker threads abort the run.
+pub fn run_bank_workload(config: &BankConfig) -> Result<BankRunReport> {
+    let recorder = HistoryRecorder::new();
+    let runtime = AeonRuntime::builder()
+        .servers(config.servers.max(1))
+        .class_graph(bank_class_graph())
+        .build()?;
+    let deployment = deploy_bank(&runtime, config, &recorder)?;
+    // Deployment traffic (attach_account and the registers' initial state)
+    // is not part of the checked workload.
+    recorder.reset();
+
+    let deployment = Arc::new(deployment);
+    let runtime = Arc::new(runtime);
+    let mut workers = Vec::with_capacity(config.clients);
+    for worker_idx in 0..config.clients {
+        let runtime = Arc::clone(&runtime);
+        let deployment = Arc::clone(&deployment);
+        let recorder = recorder.clone();
+        let config = config.clone();
+        workers.push(std::thread::spawn(move || -> Result<(u64, u64)> {
+            let client = runtime.client();
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker_idx as u64));
+            let mut transfers = 0u64;
+            let mut audits = 0u64;
+            for op in 0..config.transfers_per_client {
+                let do_audit = config.audit_every > 0 && op % config.audit_every == 0;
+                if do_audit {
+                    let token = recorder.invocation_started();
+                    let handle =
+                        client.submit_readonly_event(deployment.bank, "audit", args![])?;
+                    recorder.bind(token, handle.event_id());
+                    let event = handle.event_id();
+                    handle.wait()?;
+                    recorder.completed(event);
+                    audits += 1;
+                } else {
+                    let b = rng.gen_range(0..deployment.branches.len());
+                    let accounts = &deployment.accounts_of[b];
+                    let from = accounts[rng.gen_range(0..accounts.len())];
+                    let mut to = accounts[rng.gen_range(0..accounts.len())];
+                    if to == from {
+                        to = accounts[(rng.gen_range(0..accounts.len()) + 1) % accounts.len()];
+                    }
+                    if to == from {
+                        continue;
+                    }
+                    let amount = rng.gen_range(1..=10i64);
+                    let method = if rng.gen_range(0..100u32) < config.async_percent {
+                        "transfer_async"
+                    } else {
+                        "transfer"
+                    };
+                    let token = recorder.invocation_started();
+                    let handle = client.submit_event(
+                        deployment.branches[b],
+                        method,
+                        args![from, to, amount],
+                    )?;
+                    recorder.bind(token, handle.event_id());
+                    let event = handle.event_id();
+                    handle.wait()?;
+                    recorder.completed(event);
+                    transfers += 1;
+                }
+            }
+            Ok((transfers, audits))
+        }));
+    }
+    let mut transfers = 0u64;
+    let mut audits = 0u64;
+    for worker in workers {
+        let (t, a) = worker.join().map_err(|_| AeonError::internal("bank worker panicked"))??;
+        transfers += t;
+        audits += a;
+    }
+
+    let client = runtime.client();
+    let final_total = client
+        .call_readonly(deployment.bank, "audit", args![])?
+        .as_i64()
+        .ok_or_else(|| AeonError::app("audit returned non-integer"))?;
+    let history = recorder.history();
+    let serializability = check_strict_serializability(&history);
+    Ok(BankRunReport {
+        serializability,
+        transfers,
+        audits,
+        final_total,
+        expected_total: deployment.expected_total(config),
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_graph_is_acyclic() {
+        bank_class_graph().check().unwrap();
+    }
+
+    #[test]
+    fn deployment_builds_expected_shape() {
+        let recorder = HistoryRecorder::new();
+        let config = BankConfig { branches: 3, accounts_per_branch: 2, ..BankConfig::default() };
+        let runtime =
+            AeonRuntime::builder().servers(2).class_graph(bank_class_graph()).build().unwrap();
+        let deployment = deploy_bank(&runtime, &config, &recorder).unwrap();
+        assert_eq!(deployment.branches.len(), 3);
+        // 3 branches * 2 exclusive + 2 shared (between pairs 0-1 and 1-2).
+        assert_eq!(deployment.accounts.len(), 3 * 2 + 2);
+        assert_eq!(
+            deployment.expected_total(&config),
+            (3 * 2 + 2) as i64 * config.initial_balance
+        );
+        // Shared accounts have two owners in the ownership graph.
+        let graph = runtime.ownership_graph();
+        let shared = deployment.accounts_of[0]
+            .iter()
+            .filter(|a| deployment.accounts_of[1].contains(a))
+            .count();
+        assert_eq!(shared, 1);
+        let shared_account = *deployment.accounts_of[0]
+            .iter()
+            .find(|a| deployment.accounts_of[1].contains(a))
+            .unwrap();
+        assert_eq!(graph.parents(shared_account).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sequential_transfers_conserve_money() {
+        let config = BankConfig {
+            clients: 1,
+            transfers_per_client: 20,
+            branches: 2,
+            accounts_per_branch: 3,
+            ..BankConfig::default()
+        };
+        let report = run_bank_workload(&config).unwrap();
+        assert_eq!(report.final_total, report.expected_total);
+        assert!(report.serializability.is_ok());
+        assert!(report.is_correct());
+        assert!(report.transfers > 0);
+    }
+
+    #[test]
+    fn audit_counts_shared_accounts_once() {
+        let recorder = HistoryRecorder::new();
+        let config = BankConfig {
+            branches: 2,
+            accounts_per_branch: 1,
+            shared_accounts: 1,
+            initial_balance: 50,
+            ..BankConfig::default()
+        };
+        let runtime =
+            AeonRuntime::builder().servers(1).class_graph(bank_class_graph()).build().unwrap();
+        let deployment = deploy_bank(&runtime, &config, &recorder).unwrap();
+        let client = runtime.client();
+        let total = client.call_readonly(deployment.bank, "audit", args![]).unwrap();
+        // 2 exclusive + 1 shared = 3 accounts of 50.
+        assert_eq!(total, Value::from(150i64));
+    }
+}

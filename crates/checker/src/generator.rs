@@ -1,0 +1,195 @@
+//! Synthetic history generators used by property tests and benchmarks.
+//!
+//! Two families are provided:
+//!
+//! * [`serial_history`] — events execute one after the other, never
+//!   overlapping.  Any such history is strictly serializable by
+//!   construction, so the checker must accept it.
+//! * [`locked_history`] — events overlap in real time, but every context is
+//!   protected by an exclusive "lock" while an event uses it (the discipline
+//!   the AEON protocol enforces).  These are also serializable by
+//!   construction and exercise the conflict-edge machinery much harder.
+//! * [`racy_history`] — the locking discipline is deliberately broken with a
+//!   configurable probability, producing lost-update interleavings the
+//!   checker is expected to reject (a model of the paper's `Orleans*`
+//!   baseline, §6.1).
+
+use crate::history::{EventSpan, History, OpKind, Operation};
+use aeon_types::{ContextId, EventId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters shared by the generators.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of events to generate.
+    pub events: usize,
+    /// Number of distinct contexts.
+    pub contexts: usize,
+    /// Operations performed by each event.
+    pub ops_per_event: usize,
+    /// Probability (0..=100) that an operation is a read.
+    pub read_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self { events: 20, contexts: 5, ops_per_event: 3, read_percent: 50, seed: 7 }
+    }
+}
+
+fn kind<R: Rng>(rng: &mut R, config: &GeneratorConfig) -> OpKind {
+    if rng.gen_range(0..100) < config.read_percent {
+        OpKind::Read
+    } else {
+        OpKind::Write
+    }
+}
+
+/// Generates a history in which events run strictly one after another.
+pub fn serial_history(config: &GeneratorConfig) -> History {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut history = History::new();
+    let mut clock = 0u64;
+    for e in 1..=config.events as u64 {
+        let event = EventId::new(e);
+        let invoked_at = clock;
+        clock += 1;
+        for _ in 0..config.ops_per_event {
+            let context = ContextId::new(rng.gen_range(1..=config.contexts as u64));
+            history.push_operation(Operation {
+                event,
+                context,
+                kind: kind(&mut rng, config),
+                at: clock,
+            });
+            clock += 1;
+        }
+        history.set_span(event, EventSpan { invoked_at, responded_at: Some(clock) });
+        clock += 1;
+    }
+    history
+}
+
+/// Generates a history of overlapping events whose context accesses follow
+/// an exclusive-lock discipline: for every context, the event order is
+/// consistent with a global serial order drawn up front.  This is exactly
+/// the guarantee the AEON dominator/lock protocol provides, so the result is
+/// always strictly serializable.
+pub fn locked_history(config: &GeneratorConfig) -> History {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut history = History::new();
+    // The hidden serial order: event e is the e-th to commit.
+    // Real-time spans all overlap (invoked at 0..n, responded late), so only
+    // conflict edges order them — and those all agree with the hidden order.
+    let mut clock = 0u64;
+    let events: Vec<EventId> = (1..=config.events as u64).map(EventId::new).collect();
+    for (pos, event) in events.iter().enumerate() {
+        history.set_span(
+            *event,
+            EventSpan {
+                invoked_at: pos as u64,
+                responded_at: Some((config.events + config.events * config.ops_per_event
+                    + pos) as u64),
+            },
+        );
+    }
+    clock += config.events as u64;
+    // Accesses happen in hidden-order passes, so per-context sequences are
+    // consistent with it.
+    for event in &events {
+        for _ in 0..config.ops_per_event {
+            let context = ContextId::new(rng.gen_range(1..=config.contexts as u64));
+            history.push_operation(Operation {
+                event: *event,
+                context,
+                kind: kind(&mut rng, config),
+                at: clock,
+            });
+            clock += 1;
+        }
+    }
+    history
+}
+
+/// Generates a history in which pairs of events interleave conflicting
+/// accesses on a shared context with probability `race_percent`, modelling a
+/// runtime without cross-actor synchronisation.  With a non-zero race
+/// probability and enough events, the result is overwhelmingly likely to be
+/// non-serializable.
+pub fn racy_history(config: &GeneratorConfig, race_percent: u32) -> History {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut history = locked_history(config);
+    let mut clock = 1_000_000u64;
+    let mut next_event = config.events as u64 + 1;
+    for c in 1..=config.contexts as u64 {
+        if rng.gen_range(0..100) < race_percent {
+            // Two new events interleave read-read-write-write on context c:
+            // both miss each other's update (lost update).
+            let a = EventId::new(next_event);
+            let b = EventId::new(next_event + 1);
+            next_event += 2;
+            let context = ContextId::new(c);
+            for (event, kind) in
+                [(a, OpKind::Read), (b, OpKind::Read), (a, OpKind::Write), (b, OpKind::Write)]
+            {
+                history.push_operation(Operation { event, context, kind, at: clock });
+                clock += 1;
+            }
+            history.set_span(a, EventSpan { invoked_at: clock, responded_at: Some(clock + 10) });
+            history.set_span(b, EventSpan { invoked_at: clock, responded_at: Some(clock + 10) });
+            clock += 20;
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_serializability, check_strict_serializability};
+
+    #[test]
+    fn serial_histories_are_strictly_serializable() {
+        for seed in 0..5 {
+            let config = GeneratorConfig { seed, ..GeneratorConfig::default() };
+            let history = serial_history(&config);
+            let order = check_strict_serializability(&history).unwrap();
+            // The serial order must be the generation order.
+            let expected: Vec<EventId> = (1..=config.events as u64).map(EventId::new).collect();
+            assert_eq!(order.order, expected);
+        }
+    }
+
+    #[test]
+    fn locked_histories_are_strictly_serializable() {
+        for seed in 0..5 {
+            let config = GeneratorConfig {
+                seed,
+                events: 40,
+                contexts: 6,
+                ops_per_event: 4,
+                read_percent: 30,
+            };
+            let history = locked_history(&config);
+            assert!(check_strict_serializability(&history).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn racy_histories_are_rejected() {
+        let config = GeneratorConfig { events: 10, contexts: 8, ..GeneratorConfig::default() };
+        let history = racy_history(&config, 100);
+        assert!(check_serializability(&history).is_err());
+        assert!(check_strict_serializability(&history).is_err());
+    }
+
+    #[test]
+    fn race_free_racy_history_degenerates_to_locked() {
+        let config = GeneratorConfig::default();
+        let history = racy_history(&config, 0);
+        assert!(check_strict_serializability(&history).is_ok());
+    }
+}

@@ -1,0 +1,52 @@
+//! # aeon-checker — execution-history recording and serializability checking
+//!
+//! The AEON paper's central correctness claim (§4) is that every execution
+//! of an application built on the runtime is **strictly serializable**:
+//! indistinguishable from some serial execution of its events that respects
+//! the real-time order of non-overlapping events.  This crate provides the
+//! tooling to *test* that claim against the actual runtime rather than take
+//! it on faith:
+//!
+//! * [`HistoryRecorder`] / [`History`] capture what happened during a run —
+//!   per-event invocation/response spans and per-context read/write
+//!   sequences;
+//! * [`check_strict_serializability`] builds the precedence graph (conflict
+//!   edges + real-time edges) and either produces an equivalent serial
+//!   order or a witnessed cycle;
+//! * [`RecordingRegister`] / [`RecordingKv`] are instrumented context
+//!   objects that feed the recorder from inside event handlers;
+//! * [`bank`] is a ready-made concurrent workload (transfers over a bank of
+//!   shared accounts) that exercises multi-ownership, read-only events and
+//!   `async` calls, and checks both a value-level invariant (money is
+//!   conserved) and the order-level property;
+//! * [`generator`] produces synthetic correct and incorrect histories for
+//!   property tests and benchmarks of the checker itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use aeon_checker::{bank, check_strict_serializability};
+//!
+//! # fn main() -> aeon_types::Result<()> {
+//! let config = bank::BankConfig { clients: 2, transfers_per_client: 10, ..Default::default() };
+//! let report = bank::run_bank_workload(&config)?;
+//! assert!(report.is_correct());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bank;
+pub mod checker;
+pub mod generator;
+pub mod history;
+pub mod recording;
+
+pub use checker::{
+    check_serializability, check_strict_serializability, EdgeReason, PrecedenceEdge,
+    PrecedenceGraph, SerializationOrder, Violation,
+};
+pub use history::{EventSpan, History, HistoryRecorder, InvocationToken, OpKind, Operation};
+pub use recording::{RecordingKv, RecordingRegister};

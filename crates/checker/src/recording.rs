@@ -1,0 +1,241 @@
+//! Instrumented context objects that feed a [`HistoryRecorder`].
+//!
+//! [`RecordingRegister`] is the workhorse: a single integer register whose
+//! methods record every read and write, so that a workload built from
+//! registers can be checked for strict serializability after the fact.
+//! [`RecordingKv`] wraps the generic key/value context from `aeon-runtime`
+//! the same way.
+
+use crate::history::{HistoryRecorder, OpKind};
+use aeon_runtime::{ContextObject, Invocation, KvContext};
+use aeon_types::{AeonError, Args, Result, Value};
+
+/// A single integer register that records its accesses.
+///
+/// Methods:
+///
+/// * `read` *(readonly)* — returns the current value;
+/// * `write(v)` — replaces the value;
+/// * `add(delta)` — read-modify-write increment, returns the new value;
+/// * `compare_and_add(expected, delta)` — adds only when the current value
+///   equals `expected`; returns a bool.
+#[derive(Debug)]
+pub struct RecordingRegister {
+    class: String,
+    value: i64,
+    recorder: HistoryRecorder,
+}
+
+impl RecordingRegister {
+    /// Creates a register with an initial value.
+    pub fn new(class: impl Into<String>, initial: i64, recorder: HistoryRecorder) -> Self {
+        Self { class: class.into(), value: initial, recorder }
+    }
+
+    /// The current value (test convenience; concurrent access goes through
+    /// events).
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+impl ContextObject for RecordingRegister {
+    fn class_name(&self) -> &str {
+        &self.class
+    }
+
+    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let event = inv.event_id();
+        let this = inv.self_id();
+        match method {
+            "read" => {
+                self.recorder.record(event, this, OpKind::Read);
+                Ok(Value::from(self.value))
+            }
+            "write" => {
+                self.recorder.record(event, this, OpKind::Write);
+                self.value = args.get_i64(0)?;
+                Ok(Value::Null)
+            }
+            "add" => {
+                self.recorder.record(event, this, OpKind::Write);
+                self.value += args.get_i64(0)?;
+                Ok(Value::from(self.value))
+            }
+            "compare_and_add" => {
+                self.recorder.record(event, this, OpKind::Write);
+                let expected = args.get_i64(0)?;
+                let delta = args.get_i64(1)?;
+                if self.value == expected {
+                    self.value += delta;
+                    Ok(Value::from(true))
+                } else {
+                    Ok(Value::from(false))
+                }
+            }
+            _ => Err(AeonError::UnknownMethod {
+                class: self.class.clone(),
+                method: method.to_string(),
+            }),
+        }
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        method == "read"
+    }
+
+    fn snapshot(&self) -> Value {
+        Value::map([
+            ("class", Value::from(self.class.clone())),
+            ("value", Value::from(self.value)),
+        ])
+    }
+
+    fn restore(&mut self, state: &Value) {
+        if let Some(class) = state.get("class").and_then(Value::as_str) {
+            self.class = class.to_string();
+        }
+        if let Some(value) = state.get("value").and_then(Value::as_i64) {
+            self.value = value;
+        }
+    }
+}
+
+/// A recording wrapper around [`KvContext`]: `get`/`keys` record reads,
+/// every other method records a write.
+#[derive(Debug)]
+pub struct RecordingKv {
+    inner: KvContext,
+    recorder: HistoryRecorder,
+}
+
+impl RecordingKv {
+    /// Creates an empty recording key/value context.
+    pub fn new(class: impl Into<String>, recorder: HistoryRecorder) -> Self {
+        Self { inner: KvContext::new(class), recorder }
+    }
+}
+
+impl ContextObject for RecordingKv {
+    fn class_name(&self) -> &str {
+        self.inner.class_name()
+    }
+
+    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let kind = if self.inner.is_readonly(method) { OpKind::Read } else { OpKind::Write };
+        self.recorder.record(inv.event_id(), inv.self_id(), kind);
+        self.inner.handle(method, args, inv)
+    }
+
+    fn is_readonly(&self, method: &str) -> bool {
+        self.inner.is_readonly(method)
+    }
+
+    fn snapshot(&self) -> Value {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, state: &Value) {
+        self.inner.restore(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_strict_serializability;
+    use aeon_runtime::{AeonRuntime, Placement};
+    use aeon_types::args;
+
+    #[test]
+    fn register_records_reads_and_writes() {
+        let recorder = HistoryRecorder::new();
+        let runtime = AeonRuntime::builder().build().unwrap();
+        let reg = runtime
+            .create_context(
+                Box::new(RecordingRegister::new("Register", 5, recorder.clone())),
+                Placement::Auto,
+            )
+            .unwrap();
+        let client = runtime.client();
+
+        let token = recorder.invocation_started();
+        let handle = client.submit_readonly_event(reg, "read", args![]).unwrap();
+        recorder.bind(token, handle.event_id());
+        assert_eq!(handle.wait().unwrap(), Value::from(5i64));
+
+        let token = recorder.invocation_started();
+        let handle = client.submit_event(reg, "add", args![3i64]).unwrap();
+        recorder.bind(token, handle.event_id());
+        let event = handle.event_id();
+        assert_eq!(handle.wait().unwrap(), Value::from(8i64));
+        recorder.completed(event);
+
+        let history = recorder.history();
+        assert_eq!(history.operation_count(), 2);
+        assert!(check_strict_serializability(&history).is_ok());
+    }
+
+    #[test]
+    fn register_rejects_unknown_methods_and_snapshots() {
+        let recorder = HistoryRecorder::new();
+        let runtime = AeonRuntime::builder().build().unwrap();
+        let reg = runtime
+            .create_context(
+                Box::new(RecordingRegister::new("Register", 1, recorder.clone())),
+                Placement::Auto,
+            )
+            .unwrap();
+        let client = runtime.client();
+        assert!(matches!(
+            client.call(reg, "no_such_method", args![]),
+            Err(AeonError::UnknownMethod { .. })
+        ));
+
+        let mut r = RecordingRegister::new("Register", 42, recorder);
+        let snap = r.snapshot();
+        r.value = 0;
+        r.restore(&snap);
+        assert_eq!(r.value(), 42);
+    }
+
+    #[test]
+    fn recording_kv_classifies_methods_like_kv() {
+        let recorder = HistoryRecorder::new();
+        let kv = RecordingKv::new("Item", recorder.clone());
+        assert!(kv.is_readonly("get"));
+        assert!(!kv.is_readonly("set"));
+
+        let runtime = AeonRuntime::builder().build().unwrap();
+        let ctx = runtime.create_context(Box::new(kv), Placement::Auto).unwrap();
+        let client = runtime.client();
+        client.call(ctx, "set", args!["gold", 7i64]).unwrap();
+        assert_eq!(client.call_readonly(ctx, "get", args!["gold"]).unwrap(), Value::from(7i64));
+        let history = recorder.history();
+        assert_eq!(history.operation_count(), 2);
+        assert_eq!(history.operations.values().next().unwrap()[0].kind, OpKind::Write);
+        assert_eq!(history.operations.values().next().unwrap()[1].kind, OpKind::Read);
+    }
+
+    #[test]
+    fn compare_and_add_only_applies_on_match() {
+        let recorder = HistoryRecorder::new();
+        let runtime = AeonRuntime::builder().build().unwrap();
+        let reg = runtime
+            .create_context(
+                Box::new(RecordingRegister::new("Register", 10, recorder)),
+                Placement::Auto,
+            )
+            .unwrap();
+        let client = runtime.client();
+        assert_eq!(
+            client.call(reg, "compare_and_add", args![10i64, 5i64]).unwrap(),
+            Value::from(true)
+        );
+        assert_eq!(
+            client.call(reg, "compare_and_add", args![10i64, 5i64]).unwrap(),
+            Value::from(false)
+        );
+        assert_eq!(client.call_readonly(reg, "read", args![]).unwrap(), Value::from(15i64));
+    }
+}

@@ -1,0 +1,696 @@
+//! The cluster gateway: builds the deployment, accepts client events, and
+//! drives the elasticity/migration protocol.
+//!
+//! The gateway plays two of the paper's roles at once: the *client library*
+//! (it knows the context mapping and routes each event to the server hosting
+//! the dominator of its target, §5.1) and the *eManager driver* for
+//! migrations (§5.2).  It never touches context state.
+
+use crate::directory::Directory;
+use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor};
+use crate::node::{spawn_node, NodeHandle};
+use aeon_net::{Endpoint, Network, NetworkStats};
+use aeon_ownership::{ClassGraph, Dominator, DominatorMode, OwnershipGraph};
+use aeon_runtime::{ContextFactory, ContextObject};
+use aeon_types::{
+    AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, Value,
+};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default time the gateway waits for a control acknowledgement
+/// (hosting a context, each migration step).
+const CONTROL_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default time a client waits for an event to complete.
+const EVENT_TIMEOUT: Duration = Duration::from_secs(60);
+/// Poll interval of the gateway receive loop.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Builder for [`Cluster`].
+#[derive(Debug, Default)]
+pub struct ClusterBuilder {
+    servers: usize,
+    dominator_mode: DominatorMode,
+    class_graph: Option<ClassGraph>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder with a single server.
+    pub fn new() -> Self {
+        Self { servers: 1, ..Self::default() }
+    }
+
+    /// Sets the number of servers started with the cluster.
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.servers = servers;
+        self
+    }
+
+    /// Sets how dominators are derived from the ownership network.
+    pub fn dominator_mode(mut self, mode: DominatorMode) -> Self {
+        self.dominator_mode = mode;
+        self
+    }
+
+    /// Installs a contextclass constraint graph; the static analysis runs at
+    /// build time.
+    pub fn class_graph(mut self, classes: ClassGraph) -> Self {
+        self.class_graph = Some(classes);
+        self
+    }
+
+    /// Builds and starts the cluster.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::Config`] when `servers` is zero.
+    /// * [`AeonError::ClassCycleDetected`] when the class graph fails the
+    ///   static analysis.
+    pub fn build(self) -> Result<Cluster> {
+        if self.servers == 0 {
+            return Err(AeonError::Config("at least one server is required".into()));
+        }
+        if let Some(classes) = &self.class_graph {
+            classes.check()?;
+        }
+        let directory = Arc::new(Directory::new(self.dominator_mode, self.class_graph));
+        let network: Network<ClusterMessage> = Network::new();
+        let gateway_endpoint = network.register(gateway_id());
+        let inner = Arc::new(ClusterInner {
+            directory,
+            network,
+            nodes: Mutex::new(BTreeMap::new()),
+            pending_events: Mutex::new(HashMap::new()),
+            pending_control: Mutex::new(HashMap::new()),
+            corr: AtomicU64::new(1),
+            next_server: AtomicU32::new(0),
+            shutdown: AtomicBool::new(false),
+            gateway_thread: Mutex::new(None),
+        });
+        for _ in 0..self.servers {
+            inner.spawn_server();
+        }
+        let loop_inner = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("aeon-gateway".into())
+            .spawn(move || gateway_loop(loop_inner, gateway_endpoint))
+            .expect("spawning the gateway thread succeeds");
+        *inner.gateway_thread.lock() = Some(thread);
+        Ok(Cluster { inner })
+    }
+}
+
+struct ClusterInner {
+    directory: Arc<Directory>,
+    network: Network<ClusterMessage>,
+    nodes: Mutex<BTreeMap<ServerId, NodeHandle>>,
+    /// Event completions waiting to be routed back to client handles.
+    pending_events: Mutex<HashMap<u64, Sender<Result<Value>>>>,
+    /// Control acknowledgements (host, prepare, stop, install).
+    pending_control: Mutex<HashMap<u64, Sender<ClusterMessage>>>,
+    corr: AtomicU64,
+    next_server: AtomicU32,
+    shutdown: AtomicBool,
+    gateway_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ClusterInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterInner")
+            .field("servers", &self.nodes.lock().len())
+            .field("contexts", &self.directory.context_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterInner {
+    fn spawn_server(&self) -> ServerId {
+        let id = ServerId::new(self.next_server.fetch_add(1, Ordering::Relaxed));
+        let handle = spawn_node(id, Arc::clone(&self.directory), &self.network);
+        self.directory.register_server(id);
+        self.nodes.lock().insert(id, handle);
+        id
+    }
+
+    fn next_corr(&self) -> u64 {
+        self.corr.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn send(&self, to: ServerId, message: ClusterMessage) -> Result<()> {
+        self.network.send_from(gateway_id(), to, message)
+    }
+
+    /// Sends a control message and waits for its acknowledgement.
+    fn control_round_trip(
+        &self,
+        to: ServerId,
+        corr: u64,
+        message: ClusterMessage,
+    ) -> Result<ClusterMessage> {
+        let (tx, rx) = bounded(1);
+        self.pending_control.lock().insert(corr, tx);
+        if let Err(e) = self.send(to, message) {
+            self.pending_control.lock().remove(&corr);
+            return Err(e);
+        }
+        match rx.recv_timeout(CONTROL_TIMEOUT) {
+            Ok(ack) => Ok(ack),
+            Err(_) => {
+                self.pending_control.lock().remove(&corr);
+                Err(AeonError::MigrationFailed {
+                    context: ContextId::new(0),
+                    reason: format!("server {to} did not acknowledge a control message"),
+                })
+            }
+        }
+    }
+
+    /// Routes an event to the server hosting the dominator of its target
+    /// (Algorithm 2, `to execute`).
+    fn submit(
+        &self,
+        client: Option<ClientId>,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<ClusterEventHandle> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(AeonError::RuntimeShutdown);
+        }
+        let event = EventId::new(self.directory.next_raw());
+        let corr = self.next_corr();
+        let (tx, rx) = bounded(1);
+        self.pending_events.lock().insert(corr, tx);
+        let descriptor = EventDescriptor {
+            id: event,
+            client,
+            corr,
+            target,
+            method: method.to_string(),
+            args,
+            mode,
+        };
+        let routing = self.route(descriptor);
+        if let Err(e) = routing {
+            self.pending_events.lock().remove(&corr);
+            return Err(e);
+        }
+        Ok(ClusterEventHandle { event, rx })
+    }
+
+    fn route(&self, event: EventDescriptor) -> Result<()> {
+        let target_server = self.directory.placement_of(event.target)?;
+        match self.directory.dominator_of(event.target)? {
+            Dominator::Context(dom) if dom != event.target => {
+                let dom_server = self.directory.placement_of(dom)?;
+                self.send(dom_server, ClusterMessage::Act { event, sequencer: dom })
+            }
+            Dominator::GlobalRoot => {
+                // The virtual root lives on the lowest-id online server.
+                let seq_server = self
+                    .directory
+                    .online_servers()
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| AeonError::Config("no online servers".into()))?;
+                self.send(seq_server, ClusterMessage::Act { event, sequencer: virtual_root() })
+            }
+            _ => self.send(target_server, ClusterMessage::Exec { event, sequencer: None }),
+        }
+    }
+}
+
+fn gateway_loop(inner: Arc<ClusterInner>, endpoint: Endpoint<ClusterMessage>) {
+    loop {
+        let message = match endpoint.recv_timeout(POLL_INTERVAL) {
+            Ok(Some(m)) => m,
+            Ok(None) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        match message {
+            ClusterMessage::Done { corr, result, sub_events, .. } => {
+                if let Some(tx) = inner.pending_events.lock().remove(&corr) {
+                    let _ = tx.send(result);
+                }
+                // Sub-events start after their creator terminated (§3).
+                for sub in sub_events {
+                    let _ = inner.submit(None, sub.target, &sub.method, sub.args, sub.mode);
+                }
+            }
+            ClusterMessage::HostAck { corr, .. }
+            | ClusterMessage::PrepareAck { corr, .. }
+            | ClusterMessage::StopAck { corr, .. }
+            | ClusterMessage::InstallAck { corr, .. } => {
+                let entry = inner.pending_control.lock().remove(&corr);
+                if let Some(tx) = entry {
+                    let _ = tx.send(message);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A handle to an event submitted to the cluster.
+#[derive(Debug)]
+pub struct ClusterEventHandle {
+    event: EventId,
+    rx: Receiver<Result<Value>>,
+}
+
+impl ClusterEventHandle {
+    /// The id assigned to the event.
+    pub fn event_id(&self) -> EventId {
+        self.event
+    }
+
+    /// Waits for the event to complete and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// * The error returned by the application method, if any.
+    /// * [`AeonError::EventAborted`] when no completion arrives within the
+    ///   cluster's event timeout (e.g. the hosting server crashed).
+    pub fn wait(self) -> Result<Value> {
+        self.wait_timeout(EVENT_TIMEOUT)
+    }
+
+    /// Waits up to `timeout` for the event to complete.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterEventHandle::wait`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Value> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => Err(AeonError::EventAborted {
+                event: self.event,
+                reason: "no completion received before the timeout".into(),
+            }),
+        }
+    }
+}
+
+/// A client of the cluster: the entry point for submitting events.
+#[derive(Debug, Clone)]
+pub struct ClusterClient {
+    inner: Arc<ClusterInner>,
+    id: ClientId,
+}
+
+impl ClusterClient {
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Submits an exclusive (update) event.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::RuntimeShutdown`] after shutdown.
+    /// * [`AeonError::ContextNotFound`] for unknown targets.
+    pub fn submit_event(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<ClusterEventHandle> {
+        self.inner.submit(Some(self.id), target, method, args, AccessMode::Exclusive)
+    }
+
+    /// Submits a read-only event.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterClient::submit_event`].
+    pub fn submit_readonly_event(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<ClusterEventHandle> {
+        self.inner.submit(Some(self.id), target, method, args, AccessMode::ReadOnly)
+    }
+
+    /// Submits an exclusive event and waits for its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and execution errors.
+    pub fn call(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
+        self.submit_event(target, method, args)?.wait()
+    }
+
+    /// Submits a read-only event and waits for its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and execution errors.
+    pub fn call_readonly(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
+        self.submit_readonly_event(target, method, args)?.wait()
+    }
+}
+
+/// A running AEON cluster: a set of server nodes connected by the
+/// message-passing substrate, plus the gateway used by clients and by the
+/// elasticity machinery.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_cluster::Cluster;
+/// use aeon_runtime::{KvContext, Placement};
+/// use aeon_types::{args, Value};
+///
+/// # fn main() -> aeon_types::Result<()> {
+/// let cluster = Cluster::builder().servers(3).build()?;
+/// let room = cluster.create_context(Box::new(KvContext::new("Room")), None)?;
+/// let client = cluster.client();
+/// client.call(room, "set", args!["time", "noon"])?;
+/// assert_eq!(client.call_readonly(room, "get", args!["time"])?, Value::from("noon"));
+/// cluster.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// Creates a client handle.
+    pub fn client(&self) -> ClusterClient {
+        ClusterClient {
+            inner: Arc::clone(&self.inner),
+            id: ClientId::new(self.inner.directory.next_raw()),
+        }
+    }
+
+    /// Registers the factory used to rebuild contexts of `class` from a
+    /// snapshot during migration or recovery.
+    pub fn register_class_factory(&self, class: impl Into<String>, factory: ContextFactory) {
+        self.inner.directory.register_factory(class, factory);
+    }
+
+    /// Creates a root context (no owners) and hosts it on `server` (or the
+    /// least-loaded server when `None`).
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::Config`] when the class is not declared or no server is
+    ///   online.
+    /// * [`AeonError::ServerNotFound`] when the requested server is offline.
+    pub fn create_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        server: Option<ServerId>,
+    ) -> Result<ContextId> {
+        self.create_context_with_owners(object, &[], server)
+    }
+
+    /// Creates a context owned by `owners` (at least one), hosted next to
+    /// its first owner.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::Config`] when `owners` is empty.
+    /// * [`AeonError::OwnershipViolation`] when the class constraints forbid
+    ///   the ownership.
+    pub fn create_owned_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        owners: &[ContextId],
+    ) -> Result<ContextId> {
+        if owners.is_empty() {
+            return Err(AeonError::Config(
+                "create_owned_context requires at least one owner".into(),
+            ));
+        }
+        self.create_context_with_owners(object, owners, None)
+    }
+
+    fn create_context_with_owners(
+        &self,
+        object: Box<dyn ContextObject>,
+        owners: &[ContextId],
+        server: Option<ServerId>,
+    ) -> Result<ContextId> {
+        let class = object.class_name().to_string();
+        let server = match server {
+            Some(s) if self.inner.directory.is_online(s) => s,
+            Some(s) => return Err(AeonError::ServerNotFound(s)),
+            None => match owners.first() {
+                Some(owner) => self.inner.directory.placement_of(*owner)?,
+                None => self.inner.directory.least_loaded_server()?,
+            },
+        };
+        let id = self.inner.directory.next_context_id();
+        self.inner.directory.add_context(id, &class)?;
+        for owner in owners {
+            if let Err(e) = self.inner.directory.add_edge(*owner, id) {
+                let _ = self.inner.directory.remove_context(id);
+                return Err(e);
+            }
+        }
+        self.inner.directory.set_placement(id, server);
+        let corr = self.inner.next_corr();
+        let ack = self.inner.control_round_trip(
+            server,
+            corr,
+            ClusterMessage::Host { corr, context: id, class, object },
+        );
+        match ack {
+            Ok(ClusterMessage::HostAck { .. }) => Ok(id),
+            Ok(_) | Err(_) => {
+                let _ = self.inner.directory.remove_context(id);
+                Err(AeonError::ServerNotFound(server))
+            }
+        }
+    }
+
+    /// Migrates `context` to `to` using the five-step protocol of §5.2 and
+    /// returns the number of bytes of serialised state moved.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ContextNotFound`] / [`AeonError::ServerNotFound`] for
+    ///   unknown ids.
+    /// * [`AeonError::MigrationFailed`] when no factory is registered for
+    ///   the context's class or a protocol step times out.
+    pub fn migrate_context(&self, context: ContextId, to: ServerId) -> Result<u64> {
+        if !self.inner.directory.is_online(to) {
+            return Err(AeonError::ServerNotFound(to));
+        }
+        let from = self.inner.directory.placement_of(context)?;
+        if from == to {
+            return Ok(0);
+        }
+        let class = self.inner.directory.class_of(context)?;
+        if self.inner.directory.factory_for(&class).is_none() {
+            return Err(AeonError::MigrationFailed {
+                context,
+                reason: format!("no factory registered for class {class}"),
+            });
+        }
+        // Step I: prepare the destination.
+        let corr = self.inner.next_corr();
+        self.inner.control_round_trip(to, corr, ClusterMessage::Prepare { corr, context })?;
+        // Step II: stop the source from accepting new events for the context.
+        let corr = self.inner.next_corr();
+        self.inner.control_round_trip(from, corr, ClusterMessage::Stop { corr, context, to })?;
+        // Step III: update the mapping; new requests now route to `to`.
+        self.inner.directory.set_placement(context, to);
+        // Steps IV/V: ship the state and wait for the installation ack.
+        let corr = self.inner.next_corr();
+        let ack =
+            self.inner.control_round_trip(from, corr, ClusterMessage::Migrate { corr, context, to })?;
+        match ack {
+            ClusterMessage::InstallAck { result, .. } => result,
+            _ => Err(AeonError::MigrationFailed {
+                context,
+                reason: "unexpected acknowledgement".into(),
+            }),
+        }
+    }
+
+    /// Re-hosts a context from externally held state (e.g. a checkpoint)
+    /// after its server crashed.  The context keeps its identity and
+    /// ownership edges; only its placement and state change.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ContextNotFound`] when the context was never created.
+    /// * [`AeonError::MigrationFailed`] when no factory is registered.
+    /// * [`AeonError::ServerNotFound`] when `server` is offline.
+    pub fn restore_context(
+        &self,
+        context: ContextId,
+        state: &Value,
+        server: ServerId,
+    ) -> Result<()> {
+        if !self.inner.directory.is_online(server) {
+            return Err(AeonError::ServerNotFound(server));
+        }
+        let class = self.inner.directory.class_of(context)?;
+        let factory = self.inner.directory.factory_for(&class).ok_or_else(|| {
+            AeonError::MigrationFailed {
+                context,
+                reason: format!("no factory registered for class {class}"),
+            }
+        })?;
+        let object = factory(state);
+        self.inner.directory.set_placement(context, server);
+        let corr = self.inner.next_corr();
+        let ack = self.inner.control_round_trip(
+            server,
+            corr,
+            ClusterMessage::Host { corr, context, class, object },
+        )?;
+        match ack {
+            ClusterMessage::HostAck { .. } => Ok(()),
+            _ => Err(AeonError::ServerNotFound(server)),
+        }
+    }
+
+    /// Adds a server to the cluster and returns its id (scale-out).
+    pub fn add_server(&self) -> ServerId {
+        self.inner.spawn_server()
+    }
+
+    /// Simulates a server crash: the node stops processing immediately,
+    /// every lock it holds is poisoned, and its contexts become unavailable
+    /// until restored elsewhere with [`Cluster::restore_context`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ServerNotFound`] for unknown servers.
+    pub fn crash_server(&self, server: ServerId) -> Result<()> {
+        let nodes = self.inner.nodes.lock();
+        let node = nodes.get(&server).ok_or(AeonError::ServerNotFound(server))?;
+        node.crash();
+        drop(nodes);
+        self.inner.directory.set_offline(server);
+        self.inner.network.deregister(server);
+        Ok(())
+    }
+
+    /// Ids of all online servers.
+    pub fn servers(&self) -> Vec<ServerId> {
+        self.inner.directory.online_servers()
+    }
+
+    /// The server currently hosting `context` according to the mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] for unknown contexts.
+    pub fn placement_of(&self, context: ContextId) -> Result<ServerId> {
+        self.inner.directory.placement_of(context)
+    }
+
+    /// Contexts mapped to `server`.
+    pub fn contexts_on(&self, server: ServerId) -> Vec<ContextId> {
+        self.inner.directory.contexts_on(server)
+    }
+
+    /// Number of contexts known to the cluster.
+    pub fn context_count(&self) -> usize {
+        self.inner.directory.context_count()
+    }
+
+    /// A snapshot of the ownership network.
+    pub fn ownership_graph(&self) -> OwnershipGraph {
+        self.inner.directory.graph_snapshot()
+    }
+
+    /// Adds an ownership edge between existing contexts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the runtime's `add_ownership`.
+    pub fn add_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.inner.directory.add_edge(owner, owned)
+    }
+
+    /// Removes an ownership edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] when either context is
+    /// unknown.
+    pub fn remove_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.inner.directory.remove_edge(owner, owned)
+    }
+
+    /// Network traffic statistics (local vs. remote messages).
+    pub fn network_stats(&self) -> &NetworkStats {
+        self.inner.network.stats()
+    }
+
+    /// Per-server count of events whose target executed there.
+    pub fn events_executed(&self) -> BTreeMap<ServerId, u64> {
+        self.inner
+            .nodes
+            .lock()
+            .iter()
+            .map(|(id, node)| (*id, node.events_executed()))
+            .collect()
+    }
+
+    /// Per-server count of hosted contexts (actual state, not the mapping).
+    pub fn hosted_contexts(&self) -> BTreeMap<ServerId, usize> {
+        self.inner
+            .nodes
+            .lock()
+            .iter()
+            .map(|(id, node)| (*id, node.hosted_contexts()))
+            .collect()
+    }
+
+    /// Shuts the cluster down: nodes stop accepting messages, blocked events
+    /// are aborted, and every node thread is joined.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut nodes = self.inner.nodes.lock();
+        for (id, node) in nodes.iter() {
+            let _ = self.inner.send(*id, ClusterMessage::Shutdown);
+            node.crash();
+        }
+        for (_, node) in nodes.iter_mut() {
+            if let Some(thread) = node.thread.take() {
+                let _ = thread.join();
+            }
+        }
+        drop(nodes);
+        if let Some(thread) = self.inner.gateway_thread.lock().take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ClusterInner {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for (_, node) in self.nodes.lock().iter() {
+            node.crash();
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The cluster's control-plane metadata service.
+//!
+//! In the paper, the ownership network and the context→server mapping are
+//! maintained by the eManager and persisted in a cloud storage system that
+//! every host and client can read (§5.1).  The [`Directory`] plays that
+//! role: it is shared (by `Arc`) between the gateway and every server node,
+//! standing in for "query the eManager / read the mapping from cloud
+//! storage".  Context *state* is never stored here — it lives only on the
+//! server currently hosting the context and moves exclusively through the
+//! migration protocol.
+
+use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
+use aeon_runtime::ContextFactory;
+use aeon_types::{AeonError, ClassName, ContextId, EventId, IdGenerator, Result, ServerId};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+/// Shared control-plane state of a cluster.
+pub struct Directory {
+    graph: RwLock<OwnershipGraph>,
+    placement: RwLock<HashMap<ContextId, ServerId>>,
+    servers: RwLock<BTreeMap<ServerId, bool>>,
+    resolver: DominatorResolver,
+    class_graph: Option<ClassGraph>,
+    factories: RwLock<HashMap<ClassName, ContextFactory>>,
+    ids: IdGenerator,
+}
+
+impl std::fmt::Debug for Directory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Directory")
+            .field("contexts", &self.graph.read().len())
+            .field("servers", &self.servers.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new(mode: DominatorMode, class_graph: Option<ClassGraph>) -> Self {
+        Self {
+            graph: RwLock::new(OwnershipGraph::new()),
+            placement: RwLock::new(HashMap::new()),
+            servers: RwLock::new(BTreeMap::new()),
+            resolver: DominatorResolver::new(mode),
+            class_graph,
+            factories: RwLock::new(HashMap::new()),
+            ids: IdGenerator::starting_at(1),
+        }
+    }
+
+    /// Allocates a fresh event id.
+    pub fn next_event_id(&self) -> EventId {
+        EventId::new(self.ids.next_raw())
+    }
+
+    /// Allocates a fresh context id.
+    pub fn next_context_id(&self) -> ContextId {
+        ContextId::new(self.ids.next_raw())
+    }
+
+    /// Allocates a fresh raw id (used for correlation tokens and clients).
+    pub fn next_raw(&self) -> u64 {
+        self.ids.next_raw()
+    }
+
+    // -- servers ------------------------------------------------------------
+
+    /// Registers a server as online.
+    pub fn register_server(&self, server: ServerId) {
+        self.servers.write().insert(server, true);
+    }
+
+    /// Marks a server offline (crashed or drained).
+    pub fn set_offline(&self, server: ServerId) {
+        if let Some(flag) = self.servers.write().get_mut(&server) {
+            *flag = false;
+        }
+    }
+
+    /// Returns whether a server is known and online.
+    pub fn is_online(&self, server: ServerId) -> bool {
+        self.servers.read().get(&server).copied().unwrap_or(false)
+    }
+
+    /// All online servers, in id order.
+    pub fn online_servers(&self) -> Vec<ServerId> {
+        self.servers
+            .read()
+            .iter()
+            .filter(|(_, online)| **online)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The online server hosting the fewest contexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::Config`] when no server is online.
+    pub fn least_loaded_server(&self) -> Result<ServerId> {
+        let placement = self.placement.read();
+        let mut load: BTreeMap<ServerId, usize> =
+            self.online_servers().into_iter().map(|s| (s, 0)).collect();
+        for server in placement.values() {
+            if let Some(count) = load.get_mut(server) {
+                *count += 1;
+            }
+        }
+        load.into_iter()
+            .min_by_key(|(id, count)| (*count, id.raw()))
+            .map(|(id, _)| id)
+            .ok_or_else(|| AeonError::Config("no online servers".into()))
+    }
+
+    // -- placement ----------------------------------------------------------
+
+    /// The server currently recorded as hosting `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] for unknown contexts.
+    pub fn placement_of(&self, context: ContextId) -> Result<ServerId> {
+        self.placement
+            .read()
+            .get(&context)
+            .copied()
+            .ok_or(AeonError::ContextNotFound(context))
+    }
+
+    /// Records (or updates) the placement of a context.
+    pub fn set_placement(&self, context: ContextId, server: ServerId) {
+        self.placement.write().insert(context, server);
+    }
+
+    /// Removes the placement entry of a context.
+    pub fn remove_placement(&self, context: ContextId) {
+        self.placement.write().remove(&context);
+    }
+
+    /// All contexts currently mapped to `server`, in id order.
+    pub fn contexts_on(&self, server: ServerId) -> Vec<ContextId> {
+        let mut out: Vec<ContextId> = self
+            .placement
+            .read()
+            .iter()
+            .filter(|(_, s)| **s == server)
+            .map(|(c, _)| *c)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of contexts known to the directory.
+    pub fn context_count(&self) -> usize {
+        self.placement.read().len()
+    }
+
+    // -- ownership network --------------------------------------------------
+
+    /// A snapshot of the ownership graph.
+    pub fn graph_snapshot(&self) -> OwnershipGraph {
+        self.graph.read().clone()
+    }
+
+    /// Declares a new context of class `class`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::Config`] when a class graph is installed and does not
+    ///   declare `class`.
+    /// * Propagates graph errors (duplicate id).
+    pub fn add_context(&self, id: ContextId, class: &str) -> Result<()> {
+        if let Some(classes) = &self.class_graph {
+            if !classes.contains(class) {
+                return Err(AeonError::Config(format!(
+                    "contextclass {class} is not declared in the class graph"
+                )));
+            }
+        }
+        self.graph.write().add_context(id, class)
+    }
+
+    /// Removes a context from the graph and the placement map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] when the context is unknown.
+    pub fn remove_context(&self, id: ContextId) -> Result<()> {
+        self.graph.write().remove_context(id)?;
+        self.placement.write().remove(&id);
+        Ok(())
+    }
+
+    /// Adds an ownership edge after validating the class constraints.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::OwnershipViolation`] when the class constraints forbid
+    ///   the pair.
+    /// * [`AeonError::CycleDetected`] when the edge would create a cycle.
+    pub fn add_edge(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        if let Some(classes) = &self.class_graph {
+            let graph = self.graph.read();
+            let owner_class = graph.class_of(owner)?.to_string();
+            let owned_class = graph.class_of(owned)?.to_string();
+            if !classes.allows(&owner_class, &owned_class) {
+                return Err(AeonError::OwnershipViolation { caller: owner, callee: owned });
+            }
+        }
+        self.graph.write().add_edge(owner, owned)
+    }
+
+    /// Removes an ownership edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] when either endpoint is
+    /// unknown.
+    pub fn remove_edge(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.graph.write().remove_edge(owner, owned)
+    }
+
+    /// The dominator of `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] for unknown targets.
+    pub fn dominator_of(&self, target: ContextId) -> Result<Dominator> {
+        let graph = self.graph.read();
+        self.resolver.dominator(&graph, target)
+    }
+
+    /// Whether `caller` may (transitively) call `callee`.
+    pub fn may_call(&self, caller: ContextId, callee: ContextId) -> bool {
+        self.graph.read().may_call(caller, callee)
+    }
+
+    /// The class of a context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] for unknown contexts.
+    pub fn class_of(&self, context: ContextId) -> Result<String> {
+        Ok(self.graph.read().class_of(context)?.to_string())
+    }
+
+    /// Direct children of `parent`, optionally filtered by class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] when `parent` is unknown.
+    pub fn children_of(&self, parent: ContextId, class: Option<&str>) -> Result<Vec<ContextId>> {
+        let graph = self.graph.read();
+        let children = graph.children(parent)?;
+        let mut out = Vec::with_capacity(children.len());
+        for &c in children {
+            if class.map_or(true, |cls| graph.class_of(c).map(|k| k == cls).unwrap_or(false)) {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The class-constraint graph, when one was installed.
+    pub fn class_graph(&self) -> Option<&ClassGraph> {
+        self.class_graph.as_ref()
+    }
+
+    // -- factories ----------------------------------------------------------
+
+    /// Registers the factory used to rebuild contexts of `class` from their
+    /// serialised state (migration and recovery).
+    pub fn register_factory(&self, class: impl Into<String>, factory: ContextFactory) {
+        self.factories.write().insert(class.into(), factory);
+    }
+
+    /// The factory registered for `class`, if any.
+    pub fn factory_for(&self, class: &str) -> Option<ContextFactory> {
+        self.factories.read().get(class).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_runtime::KvContext;
+    use aeon_types::Value;
+    use std::sync::Arc;
+
+    fn cx(n: u64) -> ContextId {
+        ContextId::new(n)
+    }
+
+    fn srv(n: u32) -> ServerId {
+        ServerId::new(n)
+    }
+
+    #[test]
+    fn least_loaded_balances_by_context_count() {
+        let dir = Directory::new(DominatorMode::default(), None);
+        dir.register_server(srv(0));
+        dir.register_server(srv(1));
+        dir.add_context(cx(1), "Room").unwrap();
+        dir.set_placement(cx(1), srv(0));
+        assert_eq!(dir.least_loaded_server().unwrap(), srv(1));
+        dir.add_context(cx(2), "Room").unwrap();
+        dir.set_placement(cx(2), srv(1));
+        // Tie: lowest id wins.
+        assert_eq!(dir.least_loaded_server().unwrap(), srv(0));
+        assert_eq!(dir.contexts_on(srv(0)), vec![cx(1)]);
+        assert_eq!(dir.context_count(), 2);
+    }
+
+    #[test]
+    fn offline_servers_are_not_candidates() {
+        let dir = Directory::new(DominatorMode::default(), None);
+        dir.register_server(srv(0));
+        dir.register_server(srv(1));
+        dir.set_offline(srv(1));
+        assert!(dir.is_online(srv(0)));
+        assert!(!dir.is_online(srv(1)));
+        assert_eq!(dir.online_servers(), vec![srv(0)]);
+    }
+
+    #[test]
+    fn class_constraints_are_enforced_on_edges() {
+        let mut classes = ClassGraph::new();
+        classes.add_constraint("Room", "Item");
+        let dir = Directory::new(DominatorMode::default(), Some(classes));
+        dir.add_context(cx(1), "Room").unwrap();
+        dir.add_context(cx(2), "Item").unwrap();
+        dir.add_edge(cx(1), cx(2)).unwrap();
+        assert!(matches!(
+            dir.add_edge(cx(2), cx(1)),
+            Err(AeonError::OwnershipViolation { .. }) | Err(AeonError::CycleDetected { .. })
+        ));
+        assert!(matches!(
+            dir.add_context(cx(3), "Unknown"),
+            Err(AeonError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn dominator_of_shared_child_is_the_common_owner() {
+        let dir = Directory::new(DominatorMode::default(), None);
+        dir.add_context(cx(1), "Room").unwrap();
+        dir.add_context(cx(2), "Player").unwrap();
+        dir.add_context(cx(3), "Player").unwrap();
+        dir.add_context(cx(4), "Item").unwrap();
+        dir.add_edge(cx(1), cx(2)).unwrap();
+        dir.add_edge(cx(1), cx(3)).unwrap();
+        dir.add_edge(cx(2), cx(4)).unwrap();
+        dir.add_edge(cx(3), cx(4)).unwrap();
+        assert_eq!(dir.dominator_of(cx(2)).unwrap(), Dominator::Context(cx(1)));
+        assert_eq!(dir.dominator_of(cx(1)).unwrap(), Dominator::Context(cx(1)));
+        assert!(dir.may_call(cx(1), cx(4)));
+        assert!(!dir.may_call(cx(4), cx(1)));
+        assert_eq!(dir.children_of(cx(1), Some("Player")).unwrap().len(), 2);
+        assert_eq!(dir.class_of(cx(4)).unwrap(), "Item");
+    }
+
+    #[test]
+    fn factories_round_trip() {
+        let dir = Directory::new(DominatorMode::default(), None);
+        assert!(dir.factory_for("Item").is_none());
+        dir.register_factory(
+            "Item",
+            Arc::new(|state: &Value| {
+                let mut kv = KvContext::new("Item");
+                aeon_runtime::ContextObject::restore(&mut kv, state);
+                Box::new(kv) as Box<dyn aeon_runtime::ContextObject>
+            }),
+        );
+        assert!(dir.factory_for("Item").is_some());
+    }
+
+    #[test]
+    fn remove_context_clears_placement() {
+        let dir = Directory::new(DominatorMode::default(), None);
+        dir.register_server(srv(0));
+        dir.add_context(cx(1), "Room").unwrap();
+        dir.set_placement(cx(1), srv(0));
+        dir.remove_context(cx(1)).unwrap();
+        assert!(matches!(dir.placement_of(cx(1)), Err(AeonError::ContextNotFound(_))));
+    }
+}

@@ -1,0 +1,257 @@
+//! Wire messages exchanged between the gateway and the server nodes.
+//!
+//! The cluster runs on the in-process message-passing substrate of
+//! `aeon-net`; every protocol step of §4 (sequencing at the dominator,
+//! execution at the target, remote method calls, lock release) and §5 (the
+//! five-step migration protocol) is a message here, so the distributed
+//! deployment exercises the same message flow as the paper's prototype —
+//! minus real sockets.
+
+use aeon_runtime::{ContextObject, SubEvent};
+use aeon_types::{AccessMode, Args, ClientId, ContextId, EventId, Result, ServerId, Value};
+use std::fmt;
+
+/// The server id used by the cluster gateway (client entry point).
+pub fn gateway_id() -> ServerId {
+    ServerId::new(u32::MAX)
+}
+
+/// Sentinel context id standing for the *virtual root* sequencer used when a
+/// target has no concrete dominator ([`aeon_ownership::Dominator::GlobalRoot`]).
+pub fn virtual_root() -> ContextId {
+    ContextId::new(u64::MAX)
+}
+
+/// Everything a server needs to execute one event.
+#[derive(Debug, Clone)]
+pub struct EventDescriptor {
+    /// Unique event id.
+    pub id: EventId,
+    /// Client that issued the event, if any.
+    pub client: Option<ClientId>,
+    /// Gateway correlation token for the final [`ClusterMessage::Done`].
+    pub corr: u64,
+    /// Target context.
+    pub target: ContextId,
+    /// Method to invoke on the target.
+    pub method: String,
+    /// Arguments.
+    pub args: Args,
+    /// Exclusive or read-only.
+    pub mode: AccessMode,
+}
+
+/// A message of the cluster protocol.
+pub enum ClusterMessage {
+    /// Gateway → server: host a newly created context.
+    Host {
+        /// Correlation token echoed in [`ClusterMessage::HostAck`].
+        corr: u64,
+        /// Id of the new context.
+        context: ContextId,
+        /// Contextclass name.
+        class: String,
+        /// The application object (moved, not serialised — creation happens
+        /// before any state exists worth serialising).
+        object: Box<dyn ContextObject>,
+    },
+    /// Server → gateway: the context is installed.
+    HostAck {
+        /// Correlation token.
+        corr: u64,
+        /// The hosted context.
+        context: ContextId,
+    },
+    /// Gateway → dominator server: sequence the event at `sequencer` before
+    /// execution (Algorithm 2's `ACT`).
+    Act {
+        /// The event to sequence.
+        event: EventDescriptor,
+        /// The dominator context (or [`virtual_root`]).
+        sequencer: ContextId,
+    },
+    /// Sequencer (or gateway) → target server: execute the event
+    /// (Algorithm 2's `EXEC`).
+    Exec {
+        /// The event to execute.
+        event: EventDescriptor,
+        /// Where the sequencer lock is held, if a separate one was taken.
+        sequencer: Option<(ServerId, ContextId)>,
+    },
+    /// Server → server: synchronous method call on a remotely hosted
+    /// context, performed on behalf of a running event.
+    Call {
+        /// The running event.
+        event: EventId,
+        /// Access mode of the running event.
+        mode: AccessMode,
+        /// Client that issued the event, if any.
+        client: Option<ClientId>,
+        /// Calling context.
+        caller: ContextId,
+        /// Callee context (hosted by the receiving server).
+        target: ContextId,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Args,
+        /// Where to send the [`ClusterMessage::CallReply`].
+        reply_to: ServerId,
+        /// Correlation token.
+        corr: u64,
+    },
+    /// Reply to a [`ClusterMessage::Call`].
+    CallReply {
+        /// Correlation token of the call.
+        corr: u64,
+        /// Result of the callee method.
+        result: Result<Value>,
+        /// Servers that acquired locks for the event while serving the call
+        /// (the callee's server plus any server it called in turn).
+        participants: Vec<ServerId>,
+        /// Sub-events dispatched while serving the call.
+        sub_events: Vec<SubEvent>,
+    },
+    /// Target server → every participant: the event terminated, release all
+    /// locks held for it.
+    Release {
+        /// The terminated event.
+        event: EventId,
+    },
+    /// Target server → gateway: the event finished.
+    Done {
+        /// Correlation token from the [`EventDescriptor`].
+        corr: u64,
+        /// The event.
+        event: EventId,
+        /// Its result.
+        result: Result<Value>,
+        /// Sub-events to submit now that the creator terminated.
+        sub_events: Vec<SubEvent>,
+    },
+    /// Migration step I: eManager/gateway → destination server.
+    Prepare {
+        /// Correlation token.
+        corr: u64,
+        /// Context about to arrive.
+        context: ContextId,
+    },
+    /// Destination server → gateway: ready to buffer requests for `context`.
+    PrepareAck {
+        /// Correlation token.
+        corr: u64,
+        /// The context.
+        context: ContextId,
+    },
+    /// Migration step II: gateway → source server: stop accepting events for
+    /// `context`.
+    Stop {
+        /// Correlation token.
+        corr: u64,
+        /// The migrating context.
+        context: ContextId,
+        /// Destination (used to forward late events).
+        to: ServerId,
+    },
+    /// Source server → gateway: no new events will be accepted.
+    StopAck {
+        /// Correlation token.
+        corr: u64,
+        /// The context.
+        context: ContextId,
+    },
+    /// Migration steps III/IV: gateway → source server: serialise and ship
+    /// the context.
+    Migrate {
+        /// Correlation token.
+        corr: u64,
+        /// The migrating context.
+        context: ContextId,
+        /// Destination server.
+        to: ServerId,
+    },
+    /// Source server → destination server: the serialised context state.
+    Install {
+        /// Correlation token.
+        corr: u64,
+        /// The migrating context.
+        context: ContextId,
+        /// Contextclass name (selects the factory).
+        class: String,
+        /// Serialised state (the context's snapshot).
+        state: Value,
+        /// The source server.
+        from: ServerId,
+    },
+    /// Migration step V: destination server → gateway: migration finished.
+    InstallAck {
+        /// Correlation token.
+        corr: u64,
+        /// The migrated context.
+        context: ContextId,
+        /// Number of bytes of serialised state moved, or the failure.
+        result: Result<u64>,
+    },
+    /// Gateway → server: stop the receive loop and poison every local lock.
+    Shutdown,
+}
+
+impl fmt::Debug for ClusterMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterMessage::Host { context, class, .. } => {
+                write!(f, "Host({context}, {class})")
+            }
+            ClusterMessage::HostAck { context, .. } => write!(f, "HostAck({context})"),
+            ClusterMessage::Act { event, sequencer } => {
+                write!(f, "Act(event={}, sequencer={sequencer})", event.id)
+            }
+            ClusterMessage::Exec { event, .. } => {
+                write!(f, "Exec(event={}, target={})", event.id, event.target)
+            }
+            ClusterMessage::Call { event, target, method, .. } => {
+                write!(f, "Call(event={event}, target={target}, method={method})")
+            }
+            ClusterMessage::CallReply { corr, result, .. } => {
+                write!(f, "CallReply(corr={corr}, ok={})", result.is_ok())
+            }
+            ClusterMessage::Release { event } => write!(f, "Release({event})"),
+            ClusterMessage::Done { event, result, .. } => {
+                write!(f, "Done(event={event}, ok={})", result.is_ok())
+            }
+            ClusterMessage::Prepare { context, .. } => write!(f, "Prepare({context})"),
+            ClusterMessage::PrepareAck { context, .. } => write!(f, "PrepareAck({context})"),
+            ClusterMessage::Stop { context, to, .. } => write!(f, "Stop({context} -> {to})"),
+            ClusterMessage::StopAck { context, .. } => write!(f, "StopAck({context})"),
+            ClusterMessage::Migrate { context, to, .. } => {
+                write!(f, "Migrate({context} -> {to})")
+            }
+            ClusterMessage::Install { context, from, .. } => {
+                write!(f, "Install({context} from {from})")
+            }
+            ClusterMessage::InstallAck { context, result, .. } => {
+                write!(f, "InstallAck({context}, ok={})", result.is_ok())
+            }
+            ClusterMessage::Shutdown => write!(f, "Shutdown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_do_not_collide_with_ordinary_ids() {
+        assert_ne!(gateway_id(), ServerId::new(0));
+        assert_ne!(virtual_root(), ContextId::new(0));
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        let msg = ClusterMessage::Release { event: EventId::new(7) };
+        assert!(format!("{msg:?}").contains("Release"));
+        let msg = ClusterMessage::Shutdown;
+        assert_eq!(format!("{msg:?}"), "Shutdown");
+    }
+}

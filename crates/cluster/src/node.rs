@@ -1,0 +1,769 @@
+//! A cluster server node: hosts context state, executes its share of every
+//! event, and participates in the migration protocol.
+//!
+//! Each node runs a receive loop on its own thread.  Messages that may block
+//! (activating a lock, executing a method, migrating a context) are handed
+//! to fresh worker threads so the receive loop always stays responsive —
+//! the same structure as the event-driven servers of the paper's Mace-based
+//! prototype.
+
+use crate::directory::Directory;
+use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor};
+use aeon_net::{Endpoint, Network};
+use aeon_runtime::{ContextLock, ContextObject, Invocation, InvocationHost, SubEvent};
+use aeon_types::{
+    codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, Value,
+};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a node waits for the reply to a remote synchronous call before
+/// aborting the event.
+const CALL_TIMEOUT: Duration = Duration::from_secs(30);
+/// Poll interval of the receive loop (lets the loop notice shutdown).
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// How long a node retries locating a context that the mapping says is local
+/// but has not been installed yet (it may be in flight from a migration).
+const INSTALL_GRACE: Duration = Duration::from_millis(2_000);
+
+/// A context hosted by a node: its protocol lock and its application object.
+pub(crate) struct HostedContext {
+    pub(crate) class: String,
+    pub(crate) lock: ContextLock,
+    pub(crate) object: Mutex<Box<dyn ContextObject>>,
+}
+
+impl HostedContext {
+    fn new(id: ContextId, class: String, object: Box<dyn ContextObject>) -> Arc<Self> {
+        Arc::new(Self { class, lock: ContextLock::new(id), object: Mutex::new(object) })
+    }
+}
+
+/// Payload routed back to a worker waiting on a remote call.
+struct CallOutcome {
+    result: Result<Value>,
+    participants: Vec<ServerId>,
+    sub_events: Vec<SubEvent>,
+}
+
+/// State shared between a node's receive loop and its worker threads.
+pub(crate) struct NodeShared {
+    pub(crate) id: ServerId,
+    directory: Arc<Directory>,
+    network: Network<ClusterMessage>,
+    contexts: RwLock<HashMap<ContextId, Arc<HostedContext>>>,
+    /// Sequencer lock used when an event has no concrete dominator.
+    root_lock: ContextLock,
+    /// Locks held on this node, per event (released on `Release`).
+    held: Mutex<HashMap<EventId, Vec<ContextId>>>,
+    /// Workers waiting for replies to remote calls, by correlation token.
+    pending_calls: Mutex<HashMap<u64, Sender<CallOutcome>>>,
+    corr: AtomicU64,
+    /// Contexts migrated away: requests are forwarded to the new host
+    /// (the paper's stale-context-map forwarding, §5.2).
+    forwarding: RwLock<HashMap<ContextId, ServerId>>,
+    /// Contexts in the stop window of a migration: requests are buffered and
+    /// forwarded once the migration completes.
+    stopped: Mutex<HashMap<ContextId, Vec<ClusterMessage>>>,
+    /// Contexts announced by `Prepare` but not yet installed: requests are
+    /// buffered and replayed after `Install`.
+    installing: Mutex<HashMap<ContextId, Vec<ClusterMessage>>>,
+    events_executed: AtomicU64,
+    running: AtomicBool,
+}
+
+impl std::fmt::Debug for NodeShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeShared")
+            .field("id", &self.id)
+            .field("contexts", &self.contexts.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Handle to a spawned node kept by the cluster gateway.
+#[derive(Debug)]
+pub(crate) struct NodeHandle {
+    pub(crate) shared: Arc<NodeShared>,
+    pub(crate) thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// Number of events whose target executed on this node.
+    pub(crate) fn events_executed(&self) -> u64 {
+        self.shared.events_executed.load(Ordering::Relaxed)
+    }
+
+    /// Number of contexts currently installed on this node.
+    pub(crate) fn hosted_contexts(&self) -> usize {
+        self.shared.contexts.read().len()
+    }
+
+    /// Stops the node immediately without draining (models a crash).
+    pub(crate) fn crash(&self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        self.shared.poison_all();
+    }
+}
+
+impl NodeShared {
+    fn poison_all(&self) {
+        for hosted in self.contexts.read().values() {
+            hosted.lock.poison();
+        }
+        self.root_lock.poison();
+    }
+
+    fn send(&self, to: ServerId, message: ClusterMessage) {
+        // A failed send means the destination crashed or was removed; the
+        // waiting party times out and surfaces an EventAborted error, which
+        // is the behaviour we want under fault injection.
+        let _ = self.network.send_from(self.id, to, message);
+    }
+
+    fn record_hold(&self, event: EventId, context: ContextId) {
+        self.held.lock().entry(event).or_default().push(context);
+    }
+
+    fn release_event(&self, event: EventId) {
+        let contexts = self.held.lock().remove(&event).unwrap_or_default();
+        let map = self.contexts.read();
+        for context in contexts.into_iter().rev() {
+            if context == virtual_root() {
+                self.root_lock.release(event);
+            } else if let Some(hosted) = map.get(&context) {
+                hosted.lock.release(event);
+            }
+        }
+    }
+
+    fn install(&self, context: ContextId, class: String, object: Box<dyn ContextObject>) {
+        self.contexts.write().insert(context, HostedContext::new(context, class, object));
+    }
+
+    fn local(&self, context: ContextId) -> Option<Arc<HostedContext>> {
+        self.contexts.read().get(&context).cloned()
+    }
+
+    /// Routing decision for messages that name a context this node may no
+    /// longer (or not yet) host.  Returns `true` when the message was
+    /// consumed (buffered or forwarded).
+    fn reroute_if_needed(&self, context: ContextId, message: ClusterMessage) -> bool {
+        if let Some(next) = self.forwarding.read().get(&context) {
+            self.send(*next, message);
+            return true;
+        }
+        {
+            let mut stopped = self.stopped.lock();
+            if let Some(buffer) = stopped.get_mut(&context) {
+                buffer.push(message);
+                return true;
+            }
+        }
+        {
+            let mut installing = self.installing.lock();
+            if let Some(buffer) = installing.get_mut(&context) {
+                buffer.push(message);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Spawns a node: registers it on the network and starts its receive loop.
+pub(crate) fn spawn_node(
+    id: ServerId,
+    directory: Arc<Directory>,
+    network: &Network<ClusterMessage>,
+) -> NodeHandle {
+    let endpoint = network.register(id);
+    let shared = Arc::new(NodeShared {
+        id,
+        directory,
+        network: network.clone(),
+        contexts: RwLock::new(HashMap::new()),
+        root_lock: ContextLock::new(virtual_root()),
+        held: Mutex::new(HashMap::new()),
+        pending_calls: Mutex::new(HashMap::new()),
+        corr: AtomicU64::new(1),
+        forwarding: RwLock::new(HashMap::new()),
+        stopped: Mutex::new(HashMap::new()),
+        installing: Mutex::new(HashMap::new()),
+        events_executed: AtomicU64::new(0),
+        running: AtomicBool::new(true),
+    });
+    let loop_shared = Arc::clone(&shared);
+    let thread = std::thread::Builder::new()
+        .name(format!("aeon-node-{id}"))
+        .spawn(move || receive_loop(loop_shared, endpoint))
+        .expect("spawning a node thread succeeds");
+    NodeHandle { shared, thread: Some(thread) }
+}
+
+fn receive_loop(shared: Arc<NodeShared>, endpoint: Endpoint<ClusterMessage>) {
+    while shared.running.load(Ordering::SeqCst) {
+        let message = match endpoint.recv_timeout(POLL_INTERVAL) {
+            Ok(Some(m)) => m,
+            Ok(None) => continue,
+            Err(_) => break,
+        };
+        dispatch(&shared, message);
+    }
+    shared.poison_all();
+}
+
+fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
+    match message {
+        ClusterMessage::Host { corr, context, class, object } => {
+            shared.install(context, class, object);
+            shared.send(gateway_id(), ClusterMessage::HostAck { corr, context });
+        }
+        ClusterMessage::Act { event, sequencer } => {
+            if sequencer != virtual_root()
+                && shared.local(sequencer).is_none()
+                && shared.reroute_if_needed(sequencer, ClusterMessage::Act {
+                    event: event.clone(),
+                    sequencer,
+                })
+            {
+                return;
+            }
+            let shared = Arc::clone(shared);
+            spawn_worker(move || handle_act(&shared, event, sequencer));
+        }
+        ClusterMessage::Exec { event, sequencer } => {
+            if shared.local(event.target).is_none()
+                && shared.reroute_if_needed(event.target, ClusterMessage::Exec {
+                    event: event.clone(),
+                    sequencer,
+                })
+            {
+                return;
+            }
+            let shared = Arc::clone(shared);
+            spawn_worker(move || handle_exec(&shared, event, sequencer));
+        }
+        ClusterMessage::Call {
+            event,
+            mode,
+            client,
+            caller,
+            target,
+            method,
+            args,
+            reply_to,
+            corr,
+        } => {
+            if shared.local(target).is_none()
+                && shared.reroute_if_needed(target, ClusterMessage::Call {
+                    event,
+                    mode,
+                    client,
+                    caller,
+                    target,
+                    method: method.clone(),
+                    args: args.clone(),
+                    reply_to,
+                    corr,
+                })
+            {
+                return;
+            }
+            let shared = Arc::clone(shared);
+            spawn_worker(move || {
+                handle_call(&shared, event, mode, client, caller, target, method, args, reply_to, corr)
+            });
+        }
+        ClusterMessage::CallReply { corr, result, participants, sub_events } => {
+            if let Some(reply) = shared.pending_calls.lock().remove(&corr) {
+                let _ = reply.send(CallOutcome { result, participants, sub_events });
+            }
+        }
+        ClusterMessage::Release { event } => shared.release_event(event),
+        ClusterMessage::Prepare { corr, context } => {
+            shared.installing.lock().entry(context).or_default();
+            shared.send(gateway_id(), ClusterMessage::PrepareAck { corr, context });
+        }
+        ClusterMessage::Stop { corr, context, to: _ } => {
+            shared.stopped.lock().entry(context).or_default();
+            shared.send(gateway_id(), ClusterMessage::StopAck { corr, context });
+        }
+        ClusterMessage::Migrate { corr, context, to } => {
+            let shared = Arc::clone(shared);
+            spawn_worker(move || handle_migrate(&shared, corr, context, to));
+        }
+        ClusterMessage::Install { corr, context, class, state, from: _ } => {
+            let shared = Arc::clone(shared);
+            spawn_worker(move || handle_install(&shared, corr, context, class, state));
+        }
+        ClusterMessage::Shutdown => {
+            shared.running.store(false, Ordering::SeqCst);
+            shared.poison_all();
+        }
+        // Gateway-only messages are ignored by nodes.
+        ClusterMessage::HostAck { .. }
+        | ClusterMessage::PrepareAck { .. }
+        | ClusterMessage::StopAck { .. }
+        | ClusterMessage::InstallAck { .. }
+        | ClusterMessage::Done { .. } => {}
+    }
+}
+
+fn spawn_worker(work: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .name("aeon-node-worker".into())
+        .spawn(work)
+        .expect("spawning a worker thread succeeds");
+}
+
+/// Sequences the event at the dominator (`ACT`), then forwards it to the
+/// target server for execution (`EXEC`).
+fn handle_act(shared: &Arc<NodeShared>, event: EventDescriptor, sequencer: ContextId) {
+    let activation = if sequencer == virtual_root() {
+        shared.root_lock.activate(event.id, event.mode)
+    } else {
+        match shared.local(sequencer) {
+            Some(hosted) => hosted.lock.activate(event.id, event.mode),
+            None => Err(AeonError::ContextNotFound(sequencer)),
+        }
+    };
+    if let Err(error) = activation {
+        shared.send(
+            gateway_id(),
+            ClusterMessage::Done {
+                corr: event.corr,
+                event: event.id,
+                result: Err(error),
+                sub_events: Vec::new(),
+            },
+        );
+        return;
+    }
+    shared.record_hold(event.id, sequencer);
+    let target_server = shared
+        .forwarding
+        .read()
+        .get(&event.target)
+        .copied()
+        .or_else(|| shared.directory.placement_of(event.target).ok());
+    match target_server {
+        Some(server) => {
+            let exec =
+                ClusterMessage::Exec { event, sequencer: Some((shared.id, sequencer)) };
+            if server == shared.id {
+                dispatch(shared, exec);
+            } else {
+                shared.send(server, exec);
+            }
+        }
+        None => {
+            shared.release_event(event.id);
+            shared.send(
+                gateway_id(),
+                ClusterMessage::Done {
+                    corr: event.corr,
+                    event: event.id,
+                    result: Err(AeonError::ContextNotFound(event.target)),
+                    sub_events: Vec::new(),
+                },
+            );
+        }
+    }
+}
+
+/// Executes the event at its target context and completes it.
+fn handle_exec(
+    shared: &Arc<NodeShared>,
+    event: EventDescriptor,
+    sequencer: Option<(ServerId, ContextId)>,
+) {
+    let mut exec = RemoteExecution::new(Arc::clone(shared), event.id, event.client, event.mode);
+    let result = exec.run(&event);
+    let RemoteExecution { participants, sub_events, .. } = exec;
+
+    // Release locks everywhere the event touched, then locally, then at the
+    // sequencer (reverse of acquisition order across the cluster).
+    for server in &participants {
+        if *server != shared.id {
+            shared.send(*server, ClusterMessage::Release { event: event.id });
+        }
+    }
+    shared.release_event(event.id);
+    if let Some((seq_server, _)) = sequencer {
+        if seq_server != shared.id {
+            shared.send(seq_server, ClusterMessage::Release { event: event.id });
+        }
+    }
+    shared.events_executed.fetch_add(1, Ordering::Relaxed);
+    shared.send(
+        gateway_id(),
+        ClusterMessage::Done {
+            corr: event.corr,
+            event: event.id,
+            result,
+            sub_events,
+        },
+    );
+}
+
+/// Serves a synchronous method call issued by another server on behalf of a
+/// running event.
+#[allow(clippy::too_many_arguments)]
+fn handle_call(
+    shared: &Arc<NodeShared>,
+    event: EventId,
+    mode: AccessMode,
+    client: Option<ClientId>,
+    caller: ContextId,
+    target: ContextId,
+    method: String,
+    args: Args,
+    reply_to: ServerId,
+    corr: u64,
+) {
+    let mut exec = RemoteExecution::new(Arc::clone(shared), event, client, mode);
+    // A caller equal to the target marks a top-level invocation that was
+    // forwarded after a migration; there is no ownership edge to check.
+    let caller = if caller == target { None } else { Some(caller) };
+    let result = exec.invoke(caller, target, &method, &args);
+    let mut participants = exec.participants.clone();
+    participants.insert(shared.id);
+    shared.send(
+        reply_to,
+        ClusterMessage::CallReply {
+            corr,
+            result,
+            participants: participants.into_iter().collect(),
+            sub_events: exec.sub_events,
+        },
+    );
+}
+
+/// Migration step IV on the source server: wait for exclusive access, ship
+/// the serialised state, and start forwarding.
+fn handle_migrate(shared: &Arc<NodeShared>, corr: u64, context: ContextId, to: ServerId) {
+    let Some(hosted) = shared.local(context) else {
+        shared.send(
+            gateway_id(),
+            ClusterMessage::InstallAck {
+                corr,
+                context,
+                result: Err(AeonError::ContextNotFound(context)),
+            },
+        );
+        return;
+    };
+    // The migration behaves like an exclusive event on the context: it waits
+    // for in-flight events to drain and keeps new ones out.
+    let migration_event = EventId::new(shared.directory.next_raw());
+    if let Err(error) = hosted.lock.activate(migration_event, AccessMode::Exclusive) {
+        shared.send(
+            gateway_id(),
+            ClusterMessage::InstallAck { corr, context, result: Err(error) },
+        );
+        return;
+    }
+    let (class, state) = {
+        let object = hosted.object.lock();
+        (hosted.class.clone(), object.snapshot())
+    };
+    shared.contexts.write().remove(&context);
+    shared.forwarding.write().insert(context, to);
+    shared.send(to, ClusterMessage::Install { corr, context, class, state, from: shared.id });
+    // Forward everything buffered during the stop window.
+    let buffered = shared.stopped.lock().remove(&context).unwrap_or_default();
+    for message in buffered {
+        shared.send(to, message);
+    }
+}
+
+/// Migration step V on the destination server: rebuild the context from its
+/// serialised state and replay buffered requests.
+fn handle_install(
+    shared: &Arc<NodeShared>,
+    corr: u64,
+    context: ContextId,
+    class: String,
+    state: Value,
+) {
+    let bytes = codec::encode(&state).len() as u64;
+    let result = match shared.directory.factory_for(&class) {
+        Some(factory) => {
+            let object = factory(&state);
+            shared.install(context, class, object);
+            Ok(bytes)
+        }
+        None => Err(AeonError::MigrationFailed {
+            context,
+            reason: format!("no factory registered for class {class}"),
+        }),
+    };
+    // Replay buffered requests (they were addressed to this node already).
+    let buffered = shared.installing.lock().remove(&context).unwrap_or_default();
+    for message in buffered {
+        dispatch(shared, message);
+    }
+    shared.send(gateway_id(), ClusterMessage::InstallAck { corr, context, result });
+}
+
+/// The distributed implementation of [`InvocationHost`]: a call to an owned
+/// context either recurses locally or travels to the hosting server as a
+/// [`ClusterMessage::Call`].
+pub(crate) struct RemoteExecution {
+    node: Arc<NodeShared>,
+    event: EventId,
+    client: Option<ClientId>,
+    mode: AccessMode,
+    call_stack: Vec<ContextId>,
+    pending_async: VecDeque<(ContextId, ContextId, String, Args)>,
+    /// Servers (other than this one) holding locks for the event because of
+    /// calls issued here.
+    participants: BTreeSet<ServerId>,
+    sub_events: Vec<SubEvent>,
+}
+
+impl RemoteExecution {
+    fn new(
+        node: Arc<NodeShared>,
+        event: EventId,
+        client: Option<ClientId>,
+        mode: AccessMode,
+    ) -> Self {
+        Self {
+            node,
+            event,
+            client,
+            mode,
+            call_stack: Vec::new(),
+            pending_async: VecDeque::new(),
+            participants: BTreeSet::new(),
+            sub_events: Vec::new(),
+        }
+    }
+
+    /// Runs the top-level method of the event, then drains `async` calls.
+    fn run(&mut self, event: &EventDescriptor) -> Result<Value> {
+        let mut result = self.invoke(None, event.target, &event.method, &event.args);
+        while let Some((caller, target, method, args)) = self.pending_async.pop_front() {
+            let r = self.invoke(Some(caller), target, &method, &args);
+            if result.is_ok() {
+                if let Err(e) = r {
+                    result = Err(e);
+                }
+            }
+        }
+        result
+    }
+
+    fn locate(&self, target: ContextId) -> Result<Option<Arc<HostedContext>>> {
+        if let Some(hosted) = self.node.local(target) {
+            return Ok(Some(hosted));
+        }
+        // Not local: where does the mapping say it lives?
+        let deadline = std::time::Instant::now() + INSTALL_GRACE;
+        loop {
+            if let Some(server) = self.node.forwarding.read().get(&target) {
+                if *server != self.node.id {
+                    return Ok(None);
+                }
+            }
+            match self.node.directory.placement_of(target) {
+                Ok(server) if server == self.node.id => {
+                    // Mapped here but not installed yet (migration in
+                    // flight); wait briefly for the Install to land.
+                    if let Some(hosted) = self.node.local(target) {
+                        return Ok(Some(hosted));
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return Err(AeonError::MigrationInProgress(target));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Ok(_) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Invokes `method` on `target`, locally or remotely.
+    fn invoke(
+        &mut self,
+        caller: Option<ContextId>,
+        target: ContextId,
+        method: &str,
+        args: &Args,
+    ) -> Result<Value> {
+        if let Some(caller) = caller {
+            if !self.node.directory.may_call(caller, target) {
+                return Err(AeonError::OwnershipViolation { caller, callee: target });
+            }
+        }
+        if self.call_stack.contains(&target) {
+            return Err(AeonError::internal(format!(
+                "re-entrant call into context {target} within event {}",
+                self.event
+            )));
+        }
+        match self.locate(target)? {
+            Some(hosted) => {
+                hosted.lock.activate(self.event, self.mode)?;
+                self.node.record_hold(self.event, target);
+                self.call_stack.push(target);
+                let outcome = {
+                    let mut object = hosted.object.lock();
+                    if self.mode.is_read_only() && !object.is_readonly(method) {
+                        Err(AeonError::ReadOnlyViolation {
+                            context: target,
+                            method: method.to_string(),
+                        })
+                    } else {
+                        let mut invocation = Invocation::new(self, target);
+                        object.handle(method, args, &mut invocation)
+                    }
+                };
+                self.call_stack.pop();
+                outcome
+            }
+            None => self.remote_call(caller, target, method, args),
+        }
+    }
+
+    fn remote_call(
+        &mut self,
+        caller: Option<ContextId>,
+        target: ContextId,
+        method: &str,
+        args: &Args,
+    ) -> Result<Value> {
+        let server = self
+            .node
+            .forwarding
+            .read()
+            .get(&target)
+            .copied()
+            .map(Ok)
+            .unwrap_or_else(|| self.node.directory.placement_of(target))?;
+        let corr = self.node.corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.node.pending_calls.lock().insert(corr, tx);
+        self.node.send(
+            server,
+            ClusterMessage::Call {
+                event: self.event,
+                mode: self.mode,
+                client: self.client,
+                caller: caller.unwrap_or(target),
+                target,
+                method: method.to_string(),
+                args: args.clone(),
+                reply_to: self.node.id,
+                corr,
+            },
+        );
+        match rx.recv_timeout(CALL_TIMEOUT) {
+            Ok(outcome) => {
+                self.participants.extend(outcome.participants);
+                self.sub_events.extend(outcome.sub_events);
+                outcome.result
+            }
+            Err(_) => {
+                self.node.pending_calls.lock().remove(&corr);
+                Err(AeonError::EventAborted {
+                    event: self.event,
+                    reason: format!("remote call to context {target} on {server} timed out"),
+                })
+            }
+        }
+    }
+}
+
+impl InvocationHost for RemoteExecution {
+    fn event_id(&self) -> EventId {
+        self.event
+    }
+
+    fn client(&self) -> Option<ClientId> {
+        self.client
+    }
+
+    fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    fn call(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<Value> {
+        self.invoke(Some(caller), target, method, &args)
+    }
+
+    fn call_async(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<()> {
+        if !self.node.directory.may_call(caller, target) {
+            return Err(AeonError::OwnershipViolation { caller, callee: target });
+        }
+        self.pending_async.push_back((caller, target, method.to_string(), args));
+        Ok(())
+    }
+
+    fn dispatch_event(
+        &mut self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<()> {
+        self.sub_events.push(SubEvent { target, method: method.to_string(), args, mode });
+        Ok(())
+    }
+
+    fn create_child(
+        &mut self,
+        owner: ContextId,
+        object: Box<dyn ContextObject>,
+    ) -> Result<ContextId> {
+        let class = object.class_name().to_string();
+        if let Some(classes) = self.node.directory.class_graph() {
+            let owner_class = self.node.directory.class_of(owner)?;
+            if !classes.allows(&owner_class, &class) {
+                return Err(AeonError::OwnershipViolation {
+                    caller: owner,
+                    callee: ContextId::new(u64::MAX),
+                });
+            }
+        }
+        let id = self.node.directory.next_context_id();
+        self.node.directory.add_context(id, &class)?;
+        self.node.directory.add_edge(owner, id)?;
+        // Locality: the child is hosted next to the (local) context that
+        // created it, exactly like the in-process runtime.
+        self.node.install(id, class, object);
+        self.node.directory.set_placement(id, self.node.id);
+        Ok(id)
+    }
+
+    fn add_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.node.directory.add_edge(owner, owned)
+    }
+
+    fn remove_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.node.directory.remove_edge(owner, owned)
+    }
+
+    fn children(&self, parent: ContextId, class: Option<&str>) -> Result<Vec<ContextId>> {
+        self.node.directory.children_of(parent, class)
+    }
+}

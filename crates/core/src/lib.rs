@@ -1,0 +1,90 @@
+//! # AEON — Atomic Events over an Ownership Network
+//!
+//! A reproduction of *"Programming Scalable Cloud Services with AEON"*
+//! (Middleware 2016): an actor-like framework in which stateful **contexts**
+//! are organised in an ownership DAG and client **events** spanning many
+//! contexts execute with strict serializability, deadlock freedom and
+//! starvation freedom, while an **elasticity manager** migrates contexts
+//! between servers without violating consistency.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`runtime`] — the concurrent AEON runtime ([`AeonRuntime`],
+//!   [`ContextObject`], [`Invocation`], events and snapshots);
+//! * [`ownership`] — the ownership network, dominators and the static
+//!   contextclass analysis;
+//! * [`emanager`] — elasticity policies, the context mapping and the
+//!   five-step migration protocol;
+//! * [`cluster`] — the distributed deployment: the same protocol running
+//!   across message-passing server nodes, with migration and fault
+//!   injection;
+//! * [`checker`] — execution-history recording and strict-serializability
+//!   checking, used to validate the §4 claim against real executions;
+//! * [`sim`] — the deterministic cluster simulator used by the evaluation
+//!   harness (game / TPC-C workloads live in the separate `aeon-apps`
+//!   crate);
+//! * [`storage`] / [`net`] — the cloud-storage and networking substrates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aeon::prelude::*;
+//!
+//! # fn main() -> aeon::Result<()> {
+//! let runtime = AeonRuntime::builder().servers(2).build()?;
+//! let counter = runtime.create_context(Box::new(KvContext::new("Counter")), Placement::Auto)?;
+//! let client = runtime.client();
+//! client.call(counter, "incr", args!["hits", 1])?;          // event call
+//! let hits = client.call_readonly(counter, "get", args!["hits"])?; // ro event
+//! assert_eq!(hits, Value::from(1i64));
+//! runtime.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub use aeon_checker as checker;
+pub use aeon_cluster as cluster;
+pub use aeon_emanager as emanager;
+pub use aeon_net as net;
+pub use aeon_ownership as ownership;
+pub use aeon_runtime as runtime;
+pub use aeon_sim as sim;
+pub use aeon_storage as storage;
+pub use aeon_types as types;
+
+pub use aeon_types::{AccessMode, AeonError, Args, ContextId, EventId, Result, ServerId, Value};
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use aeon_checker::{check_strict_serializability, History, HistoryRecorder};
+    pub use aeon_cluster::{Cluster, ClusterClient};
+    pub use aeon_emanager::{
+        EManager, ElasticityAction, ElasticityPolicy, ResourceUtilizationPolicy,
+        ServerContentionPolicy, ServerMetrics, SlaPolicy,
+    };
+    pub use aeon_ownership::{ClassGraph, Dominator, DominatorMode, OwnershipGraph};
+    pub use aeon_runtime::{
+        AeonClient, AeonRuntime, ContextObject, EventHandle, Invocation, KvContext, Placement,
+        Snapshot,
+    };
+    pub use aeon_storage::{CloudStore, InMemoryStore};
+    pub use aeon_types::{args, AccessMode, AeonError, Args, ContextId, Result, ServerId, Value};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let runtime = AeonRuntime::builder().servers(1).build().unwrap();
+        let ctx = runtime
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        manager.add_policy(Box::new(ServerContentionPolicy::new(10)));
+        assert!(manager.tick(&manager.collect_metrics()).unwrap().is_empty());
+        assert_eq!(runtime.dominator_of(ctx).unwrap(), Dominator::Context(ctx));
+        runtime.shutdown();
+    }
+}

@@ -1,0 +1,49 @@
+//! The elasticity manager (eManager) of AEON (§5 of the paper).
+//!
+//! The eManager is a stateless service that
+//!
+//! * maintains the global context → server mapping and the ownership
+//!   network in cloud storage (so a crashed eManager can be replaced without
+//!   losing state),
+//! * evaluates *elasticity policies* (resource utilisation, server
+//!   contention, SLA) against periodic server metrics and decides when to
+//!   scale out/in and which contexts to migrate,
+//! * drives the five-step migration protocol, persisting every step so an
+//!   interrupted migration can be completed by a newly elected eManager,
+//! * exposes the snapshot/checkpoint API (§5.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use aeon_emanager::{EManager, ServerContentionPolicy};
+//! use aeon_runtime::{AeonRuntime, KvContext, Placement};
+//! use aeon_storage::InMemoryStore;
+//!
+//! # fn main() -> aeon_types::Result<()> {
+//! let runtime = AeonRuntime::builder().servers(1).build()?;
+//! let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+//! manager.add_policy(Box::new(ServerContentionPolicy::new(2)));
+//! for _ in 0..6 {
+//!     runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto)?;
+//! }
+//! // The contention policy notices >2 contexts per server and scales out,
+//! // rebalancing contexts onto the new servers.
+//! let actions = manager.tick(&manager.collect_metrics())?;
+//! assert!(!actions.is_empty());
+//! runtime.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod manager;
+pub mod mapping;
+pub mod migration;
+pub mod policy;
+
+pub use manager::EManager;
+pub use mapping::ContextMapping;
+pub use migration::{MigrationRecord, MigrationStep};
+pub use policy::{
+    ElasticityAction, ElasticityPolicy, ResourceUtilizationPolicy, ServerContentionPolicy,
+    ServerMetrics, SlaPolicy,
+};

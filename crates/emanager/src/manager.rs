@@ -1,0 +1,469 @@
+//! The eManager service itself.
+
+use crate::mapping::ContextMapping;
+use crate::migration::{MigrationRecord, MigrationStep};
+use crate::policy::{ElasticityAction, ElasticityPolicy, ServerMetrics};
+use aeon_runtime::AeonRuntime;
+use aeon_storage::CloudStore;
+use aeon_types::{AeonError, ContextId, Result, ServerId, Value};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// The elasticity manager: maintains the context mapping, evaluates
+/// elasticity policies, performs migrations, and exposes snapshots.
+///
+/// The eManager itself is stateless in the sense of the paper: everything it
+/// needs to recover (mapping, ownership network, in-flight migrations) lives
+/// in the cloud storage substrate, so [`EManager::recover`] can finish the
+/// work of a crashed predecessor.
+pub struct EManager {
+    runtime: AeonRuntime,
+    store: Arc<dyn CloudStore>,
+    mapping: ContextMapping,
+    policies: RwLock<Vec<Box<dyn ElasticityPolicy>>>,
+    /// User-provided constraints: contexts that must never be migrated
+    /// (the paper's constraint API, e.g. pinned contexts).
+    pinned: Mutex<Vec<ContextId>>,
+    /// Maximum number of servers the manager may allocate (cost constraint).
+    max_servers: Mutex<Option<usize>>,
+}
+
+impl std::fmt::Debug for EManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EManager")
+            .field("policies", &self.policies.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EManager {
+    /// Creates an eManager for `runtime`, persisting into `store`.
+    pub fn new(runtime: AeonRuntime, store: impl CloudStore + 'static) -> Self {
+        let store: Arc<dyn CloudStore> = Arc::new(store);
+        Self {
+            runtime,
+            mapping: ContextMapping::new(store.clone()),
+            store,
+            policies: RwLock::new(Vec::new()),
+            pinned: Mutex::new(Vec::new()),
+            max_servers: Mutex::new(None),
+        }
+    }
+
+    /// Registers an elasticity policy.  Policies are evaluated in
+    /// registration order on every [`EManager::tick`].
+    pub fn add_policy(&self, policy: Box<dyn ElasticityPolicy>) {
+        self.policies.write().push(policy);
+    }
+
+    /// Pins a context: elasticity decisions will never migrate it.
+    pub fn pin_context(&self, context: ContextId) {
+        self.pinned.lock().push(context);
+    }
+
+    /// Caps the number of servers the eManager may allocate (a cost
+    /// constraint in the sense of §5.2).
+    pub fn set_max_servers(&self, max: usize) {
+        *self.max_servers.lock() = Some(max);
+    }
+
+    /// The context mapping view backed by cloud storage.
+    pub fn mapping(&self) -> &ContextMapping {
+        &self.mapping
+    }
+
+    /// Collects current metrics from the runtime (context counts and
+    /// latency; CPU/memory are approximated from relative load since the
+    /// logical servers share the host machine).
+    pub fn collect_metrics(&self) -> Vec<ServerMetrics> {
+        let servers = self.runtime.servers();
+        let total_contexts: usize = self.runtime.context_count();
+        let latency = self.runtime.stats().latency_summary();
+        servers
+            .iter()
+            .map(|&server| {
+                let hosted = self.runtime.contexts_on(server).len();
+                let share = if total_contexts == 0 {
+                    0.0
+                } else {
+                    hosted as f64 / total_contexts as f64
+                };
+                ServerMetrics {
+                    server,
+                    cpu: share,
+                    memory: share,
+                    io: share * 0.5,
+                    context_count: hosted,
+                    avg_latency_ms: latency.mean_micros / 1_000.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates every registered policy against `metrics` and applies the
+    /// resulting actions (scale out, rebalance, scale in).  Returns the
+    /// actions that were applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates migration and storage failures; successfully applied
+    /// actions are not rolled back.
+    pub fn tick(&self, metrics: &[ServerMetrics]) -> Result<Vec<ElasticityAction>> {
+        let mut applied = Vec::new();
+        let decisions: Vec<ElasticityAction> = self
+            .policies
+            .read()
+            .iter()
+            .flat_map(|p| p.evaluate(metrics))
+            .collect();
+        for action in decisions {
+            match &action {
+                ElasticityAction::ScaleOut { count } => {
+                    let limit = self.max_servers.lock().unwrap_or(usize::MAX);
+                    let current = self.runtime.servers().len();
+                    let allowed = limit.saturating_sub(current).min(*count);
+                    for _ in 0..allowed {
+                        self.runtime.add_server();
+                    }
+                    if allowed > 0 {
+                        applied.push(ElasticityAction::ScaleOut { count: allowed });
+                    }
+                }
+                ElasticityAction::Rebalance { from } => {
+                    self.rebalance_from(*from)?;
+                    applied.push(action);
+                }
+                ElasticityAction::ScaleIn { server } => {
+                    if self.runtime.servers().len() > 1 {
+                        self.drain_server(*server)?;
+                        self.runtime.remove_server(*server)?;
+                        applied.push(action);
+                    }
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Moves contexts from `from` to the least-loaded other servers until
+    /// `from` holds no more than the fleet average.
+    ///
+    /// # Errors
+    ///
+    /// Propagates migration failures.
+    pub fn rebalance_from(&self, from: ServerId) -> Result<()> {
+        let servers = self.runtime.servers();
+        if servers.len() < 2 {
+            return Ok(());
+        }
+        let hosted = self.runtime.contexts_on(from);
+        let average = (self.runtime.context_count() + servers.len() - 1) / servers.len();
+        let excess = hosted.len().saturating_sub(average.max(1));
+        if excess == 0 {
+            return Ok(());
+        }
+        let pinned = self.pinned.lock().clone();
+        let movable: Vec<ContextId> =
+            hosted.into_iter().filter(|c| !pinned.contains(c)).take(excess).collect();
+        for context in movable {
+            // Pick the least loaded destination other than `from`.
+            let dest = servers
+                .iter()
+                .filter(|s| **s != from)
+                .min_by_key(|s| self.runtime.contexts_on(**s).len())
+                .copied()
+                .ok_or_else(|| AeonError::Config("no destination server".into()))?;
+            self.migrate(context, dest)?;
+        }
+        Ok(())
+    }
+
+    /// Migrates every context off `server` (used before scaling in).
+    ///
+    /// # Errors
+    ///
+    /// Propagates migration failures.
+    pub fn drain_server(&self, server: ServerId) -> Result<()> {
+        let others: Vec<ServerId> =
+            self.runtime.servers().into_iter().filter(|s| *s != server).collect();
+        if others.is_empty() {
+            return Err(AeonError::Config("cannot drain the last server".into()));
+        }
+        for (i, context) in self.runtime.contexts_on(server).into_iter().enumerate() {
+            self.migrate(context, others[i % others.len()])?;
+        }
+        Ok(())
+    }
+
+    /// Runs the five-step migration protocol for one context, persisting
+    /// each step so a replacement eManager can finish it after a crash.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ContextNotFound`] / [`AeonError::ServerNotFound`] for
+    ///   unknown ids.
+    /// * Storage failures while persisting progress.
+    pub fn migrate(&self, context: ContextId, to: ServerId) -> Result<()> {
+        let from = self.runtime.placement_of(context)?;
+        if from == to {
+            return Ok(());
+        }
+        // Step I: destination prepares a queue for the context.
+        let mut record = MigrationRecord { context, from, to, step: MigrationStep::Prepared };
+        record.persist(&self.store)?;
+        // Step II: source stops accepting events targeting the context (in
+        // this runtime, queued events simply wait on the context lock).
+        record.step = MigrationStep::SourceStopped;
+        record.persist(&self.store)?;
+        // Step III: the mapping now names the destination.
+        self.mapping.record(context, to)?;
+        record.step = MigrationStep::MappingUpdated;
+        record.persist(&self.store)?;
+        // Step IV: the migrate event drains the queue and moves the state.
+        self.runtime.migrate_context(context, to)?;
+        record.step = MigrationStep::StateMoved;
+        record.persist(&self.store)?;
+        // Step V: destination resumes execution; the record is cleared.
+        record.step = MigrationStep::Completed;
+        record.persist(&self.store)?;
+        MigrationRecord::clear(&self.store, context)?;
+        Ok(())
+    }
+
+    /// Completes migrations left unfinished by a crashed eManager and
+    /// refreshes the mapping from the runtime's placement.
+    ///
+    /// Returns the number of migrations that were completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates migration and storage failures.
+    pub fn recover(&self) -> Result<usize> {
+        let mut finished = 0;
+        for record in MigrationRecord::load_all(&self.store) {
+            // Re-drive the migration from wherever it stopped; every step is
+            // idempotent.
+            if record.step < MigrationStep::Completed {
+                self.mapping.record(record.context, record.to)?;
+                self.runtime.migrate_context(record.context, record.to)?;
+                finished += 1;
+            }
+            MigrationRecord::clear(&self.store, record.context)?;
+        }
+        // Refresh mapping entries for any context the storage does not know
+        // about yet (e.g. contexts created while the old eManager was down).
+        for server in self.runtime.servers() {
+            for context in self.runtime.contexts_on(server) {
+                self.mapping.record(context, server)?;
+            }
+        }
+        Ok(finished)
+    }
+
+    /// Persists the current ownership network next to the mapping (§5.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn persist_ownership(&self) -> Result<()> {
+        let graph = self.runtime.ownership_graph();
+        self.store.put(aeon_storage::keys::OWNERSHIP_KEY, graph.to_value())?;
+        Ok(())
+    }
+
+    /// Takes a consistent snapshot of `root` and its descendants and writes
+    /// it to cloud storage under `snapshot/<name>` (§5.3).  Returns the
+    /// number of contexts captured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot and storage failures.
+    pub fn checkpoint(&self, name: &str, root: ContextId) -> Result<usize> {
+        let snapshot = self.runtime.snapshot_context(root)?;
+        let key = format!("{}{}", aeon_storage::keys::SNAPSHOT_PREFIX, name);
+        self.store.put(&key, snapshot.to_value())?;
+        Ok(snapshot.len())
+    }
+
+    /// Restores a checkpoint previously written with [`EManager::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::Storage`] when the checkpoint does not exist,
+    /// plus snapshot restore failures.
+    pub fn restore_checkpoint(&self, name: &str) -> Result<()> {
+        let key = format!("{}{}", aeon_storage::keys::SNAPSHOT_PREFIX, name);
+        let record = self
+            .store
+            .get(&key)
+            .ok_or_else(|| AeonError::Storage(format!("no checkpoint named {name}")))?;
+        let snapshot = aeon_runtime::Snapshot::from_value(&record.value)?;
+        self.runtime.restore_snapshot(&snapshot)
+    }
+
+    /// Access to the persisted ownership network, if any.
+    pub fn load_ownership(&self) -> Option<Value> {
+        self.store.get(aeon_storage::keys::OWNERSHIP_KEY).map(|r| r.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ServerContentionPolicy, SlaPolicy};
+    use aeon_runtime::{KvContext, Placement};
+    use aeon_storage::InMemoryStore;
+    use aeon_types::args;
+
+    fn runtime_with_contexts(servers: usize, contexts: usize) -> (AeonRuntime, Vec<ContextId>) {
+        let runtime = AeonRuntime::builder().servers(servers).build().unwrap();
+        let ids = (0..contexts)
+            .map(|_| {
+                runtime
+                    .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+                    .unwrap()
+            })
+            .collect();
+        (runtime, ids)
+    }
+
+    #[test]
+    fn contention_policy_scales_out_and_rebalances() {
+        let (runtime, _) = runtime_with_contexts(1, 6);
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        manager.add_policy(Box::new(ServerContentionPolicy::new(2)));
+        let actions = manager.tick(&manager.collect_metrics()).unwrap();
+        assert!(actions.iter().any(|a| matches!(a, ElasticityAction::ScaleOut { .. })));
+        assert!(runtime.servers().len() > 1);
+        // After a couple of ticks every server is under the limit.
+        manager.tick(&manager.collect_metrics()).unwrap();
+        for server in runtime.servers() {
+            assert!(runtime.contexts_on(server).len() <= 3);
+        }
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn max_servers_cap_is_respected() {
+        let (runtime, _) = runtime_with_contexts(1, 12);
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        manager.add_policy(Box::new(ServerContentionPolicy::new(1)));
+        manager.set_max_servers(3);
+        manager.tick(&manager.collect_metrics()).unwrap();
+        manager.tick(&manager.collect_metrics()).unwrap();
+        assert!(runtime.servers().len() <= 3);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn migrate_updates_mapping_and_clears_record() {
+        let (runtime, ids) = runtime_with_contexts(2, 2);
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let ctx = ids[0];
+        let from = runtime.placement_of(ctx).unwrap();
+        let to = runtime.servers().into_iter().find(|s| *s != from).unwrap();
+        manager.migrate(ctx, to).unwrap();
+        assert_eq!(runtime.placement_of(ctx).unwrap(), to);
+        assert_eq!(manager.mapping().lookup(ctx).unwrap(), to);
+        // Migrating to the current location is a no-op.
+        manager.migrate(ctx, to).unwrap();
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn pinned_contexts_are_not_rebalanced() {
+        let (runtime, ids) = runtime_with_contexts(1, 4);
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        for id in &ids {
+            manager.pin_context(*id);
+        }
+        runtime.add_server();
+        manager.rebalance_from(runtime.servers()[0]).unwrap();
+        // Everything stayed put because every context is pinned.
+        assert_eq!(runtime.contexts_on(runtime.servers()[0]).len(), 4);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn drain_and_scale_in() {
+        let (runtime, _) = runtime_with_contexts(2, 4);
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let victim = runtime.servers()[1];
+        manager.drain_server(victim).unwrap();
+        assert!(runtime.contexts_on(victim).is_empty());
+        runtime.remove_server(victim).unwrap();
+        assert_eq!(runtime.servers().len(), 1);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn recovery_finishes_interrupted_migrations() {
+        let (runtime, ids) = runtime_with_contexts(2, 1);
+        let store = InMemoryStore::new();
+        let ctx = ids[0];
+        let from = runtime.placement_of(ctx).unwrap();
+        let to = runtime.servers().into_iter().find(|s| *s != from).unwrap();
+        // Simulate an eManager that crashed after persisting step II.
+        {
+            let arc_store: Arc<dyn CloudStore> = Arc::new(store.clone());
+            MigrationRecord { context: ctx, from, to, step: MigrationStep::SourceStopped }
+                .persist(&arc_store)
+                .unwrap();
+        }
+        let manager = EManager::new(runtime.clone(), store);
+        let finished = manager.recover().unwrap();
+        assert_eq!(finished, 1);
+        assert_eq!(runtime.placement_of(ctx).unwrap(), to);
+        assert_eq!(manager.mapping().lookup(ctx).unwrap(), to);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_and_restore_via_storage() {
+        let runtime = AeonRuntime::builder().servers(1).build().unwrap();
+        let room =
+            runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto).unwrap();
+        let client = runtime.client();
+        client.call(room, "set", args!["name", "castle"]).unwrap();
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        assert_eq!(manager.checkpoint("daily", room).unwrap(), 1);
+        client.call(room, "set", args!["name", "ruins"]).unwrap();
+        manager.restore_checkpoint("daily").unwrap();
+        assert_eq!(
+            client.call_readonly(room, "get", args!["name"]).unwrap(),
+            aeon_types::Value::from("castle")
+        );
+        assert!(manager.restore_checkpoint("missing").is_err());
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn ownership_network_is_persisted() {
+        let (runtime, _) = runtime_with_contexts(1, 3);
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        manager.persist_ownership().unwrap();
+        let value = manager.load_ownership().expect("persisted graph");
+        let graph = aeon_ownership::OwnershipGraph::from_value(&value).unwrap();
+        assert_eq!(graph.len(), 3);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn sla_policy_drives_scale_out_via_tick() {
+        let (runtime, _) = runtime_with_contexts(1, 2);
+        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        manager.add_policy(Box::new(SlaPolicy::new(10.0).with_step(3)));
+        // Fake metrics reporting an SLA violation.
+        let metrics = vec![ServerMetrics {
+            server: runtime.servers()[0],
+            cpu: 0.9,
+            memory: 0.5,
+            io: 0.2,
+            context_count: 2,
+            avg_latency_ms: 50.0,
+        }];
+        manager.tick(&metrics).unwrap();
+        assert_eq!(runtime.servers().len(), 4);
+        runtime.shutdown();
+    }
+}

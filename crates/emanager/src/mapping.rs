@@ -1,0 +1,180 @@
+//! The global context → server mapping (§5.1).
+//!
+//! The authoritative copy of the mapping lives in cloud storage; servers and
+//! clients cache entries and refresh them lazily.  The mapping here is a
+//! write-through cache over an [`aeon_storage::CloudStore`].
+
+use aeon_storage::CloudStore;
+use aeon_types::{AeonError, ContextId, Result, ServerId, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Write-through, cached view of the context mapping.
+#[derive(Debug)]
+pub struct ContextMapping {
+    store: Arc<dyn CloudStore>,
+    cache: RwLock<HashMap<ContextId, ServerId>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+fn key_of(context: ContextId) -> String {
+    format!("{}{}", aeon_storage::keys::MAPPING_PREFIX, context.raw())
+}
+
+impl ContextMapping {
+    /// Creates a mapping backed by `store`.
+    pub fn new(store: Arc<dyn CloudStore>) -> Self {
+        Self {
+            store,
+            cache: RwLock::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Records that `context` now lives on `server` (write-through).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn record(&self, context: ContextId, server: ServerId) -> Result<()> {
+        self.store.put(&key_of(context), Value::from(i64::from(server.raw())))?;
+        self.cache.write().insert(context, server);
+        Ok(())
+    }
+
+    /// Looks a context up, consulting the cache first and falling back to
+    /// storage on a miss (and repopulating the cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] when no mapping exists.
+    pub fn lookup(&self, context: ContextId) -> Result<ServerId> {
+        if let Some(server) = self.cache.read().get(&context) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*server);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let record = self
+            .store
+            .get(&key_of(context))
+            .ok_or(AeonError::ContextNotFound(context))?;
+        let server = record
+            .value
+            .as_i64()
+            .map(|raw| ServerId::new(raw as u32))
+            .ok_or_else(|| AeonError::Codec("mapping entry is not a server id".into()))?;
+        self.cache.write().insert(context, server);
+        Ok(server)
+    }
+
+    /// Invalidates the cached entry for `context` (e.g. after being told by
+    /// a server that the cached location was stale).
+    pub fn invalidate(&self, context: ContextId) {
+        self.cache.write().remove(&context);
+    }
+
+    /// Removes the mapping entirely (context deleted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn remove(&self, context: ContextId) -> Result<()> {
+        self.store.delete(&key_of(context))?;
+        self.cache.write().remove(&context);
+        Ok(())
+    }
+
+    /// Reads the full mapping from storage (used by a recovering eManager).
+    pub fn load_all(&self) -> Vec<(ContextId, ServerId)> {
+        let mut out = Vec::new();
+        for key in self.store.list_prefix(aeon_storage::keys::MAPPING_PREFIX) {
+            let raw: u64 = match key[aeon_storage::keys::MAPPING_PREFIX.len()..].parse() {
+                Ok(raw) => raw,
+                Err(_) => continue,
+            };
+            if let Some(record) = self.store.get(&key) {
+                if let Some(server) = record.value.as_i64() {
+                    out.push((ContextId::new(raw), ServerId::new(server as u32)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of cache hits (diagnostics).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (diagnostics).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_storage::InMemoryStore;
+
+    fn mapping() -> (ContextMapping, Arc<InMemoryStore>) {
+        let store = Arc::new(InMemoryStore::new());
+        (ContextMapping::new(store.clone()), store)
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let (m, _) = mapping();
+        let ctx = ContextId::new(1);
+        m.record(ctx, ServerId::new(3)).unwrap();
+        assert_eq!(m.lookup(ctx).unwrap(), ServerId::new(3));
+        assert_eq!(m.cache_hits(), 1);
+    }
+
+    #[test]
+    fn lookup_falls_back_to_storage() {
+        let (m, store) = mapping();
+        let ctx = ContextId::new(7);
+        m.record(ctx, ServerId::new(1)).unwrap();
+        // A different eManager (fresh cache) still finds it.
+        let fresh = ContextMapping::new(store);
+        assert_eq!(fresh.lookup(ctx).unwrap(), ServerId::new(1));
+        assert_eq!(fresh.cache_misses(), 1);
+        assert_eq!(fresh.cache_hits(), 0);
+    }
+
+    #[test]
+    fn missing_context_is_reported() {
+        let (m, _) = mapping();
+        assert!(matches!(m.lookup(ContextId::new(9)), Err(AeonError::ContextNotFound(_))));
+    }
+
+    #[test]
+    fn invalidate_and_remove() {
+        let (m, _) = mapping();
+        let ctx = ContextId::new(2);
+        m.record(ctx, ServerId::new(0)).unwrap();
+        m.invalidate(ctx);
+        // Still in storage.
+        assert_eq!(m.lookup(ctx).unwrap(), ServerId::new(0));
+        m.remove(ctx).unwrap();
+        assert!(m.lookup(ctx).is_err());
+    }
+
+    #[test]
+    fn load_all_reads_every_entry() {
+        let (m, _) = mapping();
+        for i in 0..5u64 {
+            m.record(ContextId::new(i), ServerId::new((i % 2) as u32)).unwrap();
+        }
+        let mut all = m.load_all();
+        all.sort();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0], (ContextId::new(0), ServerId::new(0)));
+        assert_eq!(all[1], (ContextId::new(1), ServerId::new(1)));
+    }
+}

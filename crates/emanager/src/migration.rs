@@ -1,0 +1,197 @@
+//! The five-step migration protocol (§5.2) with persisted progress.
+//!
+//! Every step of an ongoing migration is recorded in cloud storage under
+//! `migration/<context>`, so that if the eManager crashes mid-way, a newly
+//! elected eManager can read the record and finish the migration
+//! ([`crate::EManager::recover`]).
+
+use aeon_storage::CloudStore;
+use aeon_types::{AeonError, ContextId, Result, ServerId, Value};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The steps of the migration protocol, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MigrationStep {
+    /// Step I: the destination server has been told to prepare a queue for
+    /// the context.
+    Prepared,
+    /// Step II: the source server stopped accepting events for the context.
+    SourceStopped,
+    /// Step III: the context mapping now points at the destination.
+    MappingUpdated,
+    /// Step IV: the migrate event has been enqueued/executed and the state
+    /// transferred.
+    StateMoved,
+    /// Step V: the destination resumed execution; the migration is complete.
+    Completed,
+}
+
+impl MigrationStep {
+    fn as_i64(self) -> i64 {
+        match self {
+            MigrationStep::Prepared => 1,
+            MigrationStep::SourceStopped => 2,
+            MigrationStep::MappingUpdated => 3,
+            MigrationStep::StateMoved => 4,
+            MigrationStep::Completed => 5,
+        }
+    }
+
+    fn from_i64(raw: i64) -> Option<Self> {
+        Some(match raw {
+            1 => MigrationStep::Prepared,
+            2 => MigrationStep::SourceStopped,
+            3 => MigrationStep::MappingUpdated,
+            4 => MigrationStep::StateMoved,
+            5 => MigrationStep::Completed,
+            _ => return None,
+        })
+    }
+}
+
+/// A persisted migration record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The context being migrated.
+    pub context: ContextId,
+    /// Source server.
+    pub from: ServerId,
+    /// Destination server.
+    pub to: ServerId,
+    /// Last completed step.
+    pub step: MigrationStep,
+}
+
+impl MigrationRecord {
+    /// Storage key of the record.
+    pub fn key(context: ContextId) -> String {
+        format!("{}{}", aeon_storage::keys::MIGRATION_PREFIX, context.raw())
+    }
+
+    /// Serialises the record.
+    pub fn to_value(&self) -> Value {
+        Value::map([
+            ("context", Value::from(self.context)),
+            ("from", Value::from(i64::from(self.from.raw()))),
+            ("to", Value::from(i64::from(self.to.raw()))),
+            ("step", Value::from(self.step.as_i64())),
+        ])
+    }
+
+    /// Deserialises a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::Codec`] when the value is malformed.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        let context = value
+            .get("context")
+            .and_then(Value::as_context)
+            .ok_or_else(|| AeonError::Codec("migration record: missing context".into()))?;
+        let from = value
+            .get("from")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| AeonError::Codec("migration record: missing from".into()))?;
+        let to = value
+            .get("to")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| AeonError::Codec("migration record: missing to".into()))?;
+        let step = value
+            .get("step")
+            .and_then(Value::as_i64)
+            .and_then(MigrationStep::from_i64)
+            .ok_or_else(|| AeonError::Codec("migration record: bad step".into()))?;
+        Ok(Self { context, from: ServerId::new(from as u32), to: ServerId::new(to as u32), step })
+    }
+
+    /// Persists the record (overwriting any previous step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn persist(&self, store: &Arc<dyn CloudStore>) -> Result<()> {
+        store.put(&Self::key(self.context), self.to_value())?;
+        Ok(())
+    }
+
+    /// Loads the record for `context`, if a migration is in flight.
+    pub fn load(store: &Arc<dyn CloudStore>, context: ContextId) -> Option<Self> {
+        store.get(&Self::key(context)).and_then(|rec| Self::from_value(&rec.value).ok())
+    }
+
+    /// Loads every in-flight migration record.
+    pub fn load_all(store: &Arc<dyn CloudStore>) -> Vec<Self> {
+        store
+            .list_prefix(aeon_storage::keys::MIGRATION_PREFIX)
+            .into_iter()
+            .filter_map(|key| store.get(&key))
+            .filter_map(|rec| Self::from_value(&rec.value).ok())
+            .collect()
+    }
+
+    /// Deletes the record (after step V).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn clear(store: &Arc<dyn CloudStore>, context: ContextId) -> Result<()> {
+        store.delete(&Self::key(context))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_storage::InMemoryStore;
+
+    fn record() -> MigrationRecord {
+        MigrationRecord {
+            context: ContextId::new(9),
+            from: ServerId::new(0),
+            to: ServerId::new(2),
+            step: MigrationStep::SourceStopped,
+        }
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let r = record();
+        let v = r.to_value();
+        assert_eq!(MigrationRecord::from_value(&v).unwrap(), r);
+        assert!(MigrationRecord::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn steps_are_ordered_and_round_trip() {
+        let steps = [
+            MigrationStep::Prepared,
+            MigrationStep::SourceStopped,
+            MigrationStep::MappingUpdated,
+            MigrationStep::StateMoved,
+            MigrationStep::Completed,
+        ];
+        for w in steps.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for s in steps {
+            assert_eq!(MigrationStep::from_i64(s.as_i64()), Some(s));
+        }
+        assert_eq!(MigrationStep::from_i64(99), None);
+    }
+
+    #[test]
+    fn persistence_cycle() {
+        let store: Arc<dyn CloudStore> = Arc::new(InMemoryStore::new());
+        let mut r = record();
+        r.persist(&store).unwrap();
+        assert_eq!(MigrationRecord::load(&store, r.context), Some(r.clone()));
+        r.step = MigrationStep::Completed;
+        r.persist(&store).unwrap();
+        assert_eq!(MigrationRecord::load(&store, r.context).unwrap().step, MigrationStep::Completed);
+        assert_eq!(MigrationRecord::load_all(&store).len(), 1);
+        MigrationRecord::clear(&store, r.context).unwrap();
+        assert!(MigrationRecord::load(&store, r.context).is_none());
+        assert!(MigrationRecord::load_all(&store).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Elasticity policies (§5.2).
+//!
+//! Servers periodically report their resource utilisation to the eManager;
+//! policies turn those reports into scaling / migration decisions.  The
+//! three built-in policies correspond to the ones described in the paper:
+//! resource utilisation bounds, server contention (maximum contexts per
+//! server), and a latency SLA (used in the §6.2 elasticity experiment).
+
+use aeon_types::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// A periodic utilisation report for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServerMetrics {
+    /// The reporting server.
+    pub server: ServerId,
+    /// CPU utilisation in `[0, 1]`.
+    pub cpu: f64,
+    /// Memory utilisation in `[0, 1]`.
+    pub memory: f64,
+    /// IO utilisation in `[0, 1]`.
+    pub io: f64,
+    /// Number of contexts currently hosted.
+    pub context_count: usize,
+    /// Average latency of recent client requests, in milliseconds.
+    pub avg_latency_ms: f64,
+}
+
+/// A decision produced by a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElasticityAction {
+    /// Allocate `count` additional servers and rebalance onto them.
+    ScaleOut { count: usize },
+    /// Drain and release one server.
+    ScaleIn { server: ServerId },
+    /// Move contexts away from an overloaded server.
+    Rebalance { from: ServerId },
+}
+
+/// A pluggable elasticity policy.
+///
+/// Policies are consulted by [`crate::EManager::tick`] with the latest
+/// metrics of every online server and return zero or more actions.
+/// Programmers can implement their own policies, as the paper's API allows.
+pub trait ElasticityPolicy: Send + Sync {
+    /// Human-readable policy name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Evaluates the metrics and returns the actions to take.
+    fn evaluate(&self, metrics: &[ServerMetrics]) -> Vec<ElasticityAction>;
+}
+
+/// Scale out when a resource utilisation exceeds `upper + threshold`, scale
+/// in when every server is below `lower` (and more than one server is
+/// online).
+#[derive(Debug, Clone)]
+pub struct ResourceUtilizationPolicy {
+    lower: f64,
+    upper: f64,
+    threshold: f64,
+}
+
+impl ResourceUtilizationPolicy {
+    /// Creates the policy with a lower bound, upper bound and activation
+    /// threshold, all in `[0, 1]`.
+    pub fn new(lower: f64, upper: f64, threshold: f64) -> Self {
+        Self { lower, upper, threshold }
+    }
+
+    fn max_utilisation(m: &ServerMetrics) -> f64 {
+        m.cpu.max(m.memory).max(m.io)
+    }
+}
+
+impl ElasticityPolicy for ResourceUtilizationPolicy {
+    fn name(&self) -> &str {
+        "resource-utilization"
+    }
+
+    fn evaluate(&self, metrics: &[ServerMetrics]) -> Vec<ElasticityAction> {
+        let mut actions = Vec::new();
+        let overloaded: Vec<&ServerMetrics> = metrics
+            .iter()
+            .filter(|m| Self::max_utilisation(m) > self.upper + self.threshold)
+            .collect();
+        if !overloaded.is_empty() {
+            actions.push(ElasticityAction::ScaleOut { count: overloaded.len() });
+            for m in overloaded {
+                actions.push(ElasticityAction::Rebalance { from: m.server });
+            }
+            return actions;
+        }
+        if metrics.len() > 1 && metrics.iter().all(|m| Self::max_utilisation(m) < self.lower) {
+            // Release the least loaded server.
+            if let Some(least) = metrics
+                .iter()
+                .min_by(|a, b| {
+                    Self::max_utilisation(a).partial_cmp(&Self::max_utilisation(b)).unwrap()
+                })
+            {
+                actions.push(ElasticityAction::ScaleIn { server: least.server });
+            }
+        }
+        actions
+    }
+}
+
+/// Scale out when a server hosts more than `max_contexts` contexts.
+#[derive(Debug, Clone)]
+pub struct ServerContentionPolicy {
+    max_contexts: usize,
+}
+
+impl ServerContentionPolicy {
+    /// Creates the policy with the acceptable number of contexts per server.
+    pub fn new(max_contexts: usize) -> Self {
+        Self { max_contexts: max_contexts.max(1) }
+    }
+}
+
+impl ElasticityPolicy for ServerContentionPolicy {
+    fn name(&self) -> &str {
+        "server-contention"
+    }
+
+    fn evaluate(&self, metrics: &[ServerMetrics]) -> Vec<ElasticityAction> {
+        let mut actions = Vec::new();
+        let contended: Vec<&ServerMetrics> =
+            metrics.iter().filter(|m| m.context_count > self.max_contexts).collect();
+        if contended.is_empty() {
+            return actions;
+        }
+        // Enough new servers to bring everyone under the limit.
+        let excess: usize =
+            contended.iter().map(|m| m.context_count - self.max_contexts).sum::<usize>();
+        let needed = excess.div_ceil(self.max_contexts).max(1);
+        actions.push(ElasticityAction::ScaleOut { count: needed });
+        for m in contended {
+            actions.push(ElasticityAction::Rebalance { from: m.server });
+        }
+        actions
+    }
+}
+
+/// Scale out whenever the average request latency exceeds the SLA; scale in
+/// when the fleet has headroom (latency far below the SLA).
+///
+/// This is the policy used for the elasticity experiment of §6.2 (SLA of
+/// 10 ms on client requests).
+#[derive(Debug, Clone)]
+pub struct SlaPolicy {
+    target_ms: f64,
+    /// Scale in only when latency is below `scale_in_fraction * target`.
+    scale_in_fraction: f64,
+    /// Servers added per violation tick.
+    step: usize,
+}
+
+impl SlaPolicy {
+    /// Creates an SLA policy with the given latency target in milliseconds.
+    pub fn new(target_ms: f64) -> Self {
+        Self { target_ms, scale_in_fraction: 0.3, step: 2 }
+    }
+
+    /// Sets how many servers are added per violating tick.
+    pub fn with_step(mut self, step: usize) -> Self {
+        self.step = step.max(1);
+        self
+    }
+
+    /// The latency target in milliseconds.
+    pub fn target_ms(&self) -> f64 {
+        self.target_ms
+    }
+}
+
+impl ElasticityPolicy for SlaPolicy {
+    fn name(&self) -> &str {
+        "sla"
+    }
+
+    fn evaluate(&self, metrics: &[ServerMetrics]) -> Vec<ElasticityAction> {
+        if metrics.is_empty() {
+            return Vec::new();
+        }
+        let avg: f64 =
+            metrics.iter().map(|m| m.avg_latency_ms).sum::<f64>() / metrics.len() as f64;
+        let worst =
+            metrics.iter().map(|m| m.avg_latency_ms).fold(f64::NEG_INFINITY, f64::max);
+        let mut actions = Vec::new();
+        if worst > self.target_ms {
+            actions.push(ElasticityAction::ScaleOut { count: self.step });
+            // Rebalance away from the slowest server.
+            if let Some(slowest) = metrics
+                .iter()
+                .max_by(|a, b| a.avg_latency_ms.partial_cmp(&b.avg_latency_ms).unwrap())
+            {
+                actions.push(ElasticityAction::Rebalance { from: slowest.server });
+            }
+        } else if metrics.len() > 1 && avg < self.target_ms * self.scale_in_fraction {
+            if let Some(least) =
+                metrics.iter().min_by(|a, b| a.context_count.cmp(&b.context_count))
+            {
+                actions.push(ElasticityAction::ScaleIn { server: least.server });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(server: u32, cpu: f64, contexts: usize, latency: f64) -> ServerMetrics {
+        ServerMetrics {
+            server: ServerId::new(server),
+            cpu,
+            memory: cpu * 0.5,
+            io: cpu * 0.3,
+            context_count: contexts,
+            avg_latency_ms: latency,
+        }
+    }
+
+    #[test]
+    fn resource_policy_scales_out_on_overload() {
+        let p = ResourceUtilizationPolicy::new(0.2, 0.8, 0.05);
+        let actions = p.evaluate(&[m(0, 0.95, 10, 5.0), m(1, 0.4, 10, 5.0)]);
+        assert!(actions.contains(&ElasticityAction::ScaleOut { count: 1 }));
+        assert!(actions.contains(&ElasticityAction::Rebalance { from: ServerId::new(0) }));
+    }
+
+    #[test]
+    fn resource_policy_scales_in_when_idle() {
+        let p = ResourceUtilizationPolicy::new(0.2, 0.8, 0.05);
+        let actions = p.evaluate(&[m(0, 0.05, 2, 1.0), m(1, 0.1, 2, 1.0)]);
+        assert_eq!(actions, vec![ElasticityAction::ScaleIn { server: ServerId::new(0) }]);
+        // A single remaining server is never released.
+        assert!(p.evaluate(&[m(0, 0.01, 1, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn resource_policy_is_quiet_in_the_comfortable_band() {
+        let p = ResourceUtilizationPolicy::new(0.2, 0.8, 0.05);
+        assert!(p.evaluate(&[m(0, 0.5, 3, 2.0), m(1, 0.6, 3, 2.0)]).is_empty());
+    }
+
+    #[test]
+    fn contention_policy_counts_needed_servers() {
+        let p = ServerContentionPolicy::new(4);
+        let actions = p.evaluate(&[m(0, 0.5, 12, 1.0), m(1, 0.5, 2, 1.0)]);
+        // 8 excess contexts over a limit of 4 => 2 new servers.
+        assert!(actions.contains(&ElasticityAction::ScaleOut { count: 2 }));
+        assert!(actions.contains(&ElasticityAction::Rebalance { from: ServerId::new(0) }));
+        assert!(p.evaluate(&[m(0, 0.5, 4, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn sla_policy_scales_out_on_violation_and_in_on_headroom() {
+        let p = SlaPolicy::new(10.0).with_step(2);
+        let out = p.evaluate(&[m(0, 0.5, 5, 22.0), m(1, 0.5, 5, 6.0)]);
+        assert!(out.contains(&ElasticityAction::ScaleOut { count: 2 }));
+        assert!(out.contains(&ElasticityAction::Rebalance { from: ServerId::new(0) }));
+        let idle = p.evaluate(&[m(0, 0.1, 5, 1.0), m(1, 0.1, 3, 1.0)]);
+        assert_eq!(idle, vec![ElasticityAction::ScaleIn { server: ServerId::new(1) }]);
+        // Within the SLA but not enough headroom: no action.
+        assert!(p.evaluate(&[m(0, 0.5, 5, 8.0), m(1, 0.5, 5, 7.0)]).is_empty());
+        assert_eq!(p.target_ms(), 10.0);
+    }
+
+    #[test]
+    fn policies_have_names() {
+        assert_eq!(ResourceUtilizationPolicy::new(0.1, 0.9, 0.0).name(), "resource-utilization");
+        assert_eq!(ServerContentionPolicy::new(1).name(), "server-contention");
+        assert_eq!(SlaPolicy::new(10.0).name(), "sla");
+    }
+}

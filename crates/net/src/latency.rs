@@ -1,0 +1,114 @@
+//! Network latency models used by the discrete-event simulator.
+//!
+//! The evaluation of the paper runs on EC2, where same-rack round trips are
+//! a few hundred microseconds.  The simulator draws per-message latencies
+//! from one of these models; the defaults in `aeon-sim` are calibrated to
+//! the latency floor visible in Figures 5b/6b.
+
+use aeon_types::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution of one-way message latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// No latency at all (useful for unit tests).
+    Zero,
+    /// A constant latency in microseconds.
+    Constant { micros: u64 },
+    /// Uniformly distributed latency in `[min_micros, max_micros]`.
+    Uniform { min_micros: u64, max_micros: u64 },
+    /// A base latency plus an exponentially distributed tail with the given
+    /// mean — a decent approximation of datacenter RPC latency.
+    BaseplusExp { base_micros: u64, mean_tail_micros: u64 },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // ~0.3 ms one-way, with a small tail: EC2 same-AZ ballpark.
+        LatencyModel::BaseplusExp { base_micros: 250, mean_tail_micros: 100 }
+    }
+}
+
+impl LatencyModel {
+    /// Draws one latency sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            LatencyModel::Zero => SimDuration::ZERO,
+            LatencyModel::Constant { micros } => SimDuration::from_micros(micros),
+            LatencyModel::Uniform { min_micros, max_micros } => {
+                let (lo, hi) = (min_micros.min(max_micros), min_micros.max(max_micros));
+                SimDuration::from_micros(rng.gen_range(lo..=hi))
+            }
+            LatencyModel::BaseplusExp { base_micros, mean_tail_micros } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let tail = -(u.ln()) * mean_tail_micros as f64;
+                SimDuration::from_micros(base_micros + tail as u64)
+            }
+        }
+    }
+
+    /// The mean of the distribution (used for capacity planning in the
+    /// elasticity policies).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Zero => SimDuration::ZERO,
+            LatencyModel::Constant { micros } => SimDuration::from_micros(micros),
+            LatencyModel::Uniform { min_micros, max_micros } => {
+                SimDuration::from_micros((min_micros + max_micros) / 2)
+            }
+            LatencyModel::BaseplusExp { base_micros, mean_tail_micros } => {
+                SimDuration::from_micros(base_micros + mean_tail_micros)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_and_constant_models() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(LatencyModel::Zero.sample(&mut rng), SimDuration::ZERO);
+        assert_eq!(
+            LatencyModel::Constant { micros: 500 }.sample(&mut rng),
+            SimDuration::from_micros(500)
+        );
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = LatencyModel::Uniform { min_micros: 100, max_micros: 200 };
+        for _ in 0..1000 {
+            let s = model.sample(&mut rng).as_micros();
+            assert!((100..=200).contains(&s));
+        }
+        assert_eq!(model.mean(), SimDuration::from_micros(150));
+    }
+
+    #[test]
+    fn base_plus_exp_mean_is_close_to_analytic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = LatencyModel::BaseplusExp { base_micros: 250, mean_tail_micros: 100 };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| model.sample(&mut rng).as_micros()).sum();
+        let mean = total as f64 / n as f64;
+        let analytic = model.mean().as_micros() as f64;
+        assert!((mean - analytic).abs() / analytic < 0.05, "mean {mean} vs analytic {analytic}");
+        // Samples never go below the base.
+        for _ in 0..100 {
+            assert!(model.sample(&mut rng).as_micros() >= 250);
+        }
+    }
+
+    #[test]
+    fn default_model_is_reasonable() {
+        let d = LatencyModel::default();
+        assert!(d.mean().as_micros() > 0);
+    }
+}

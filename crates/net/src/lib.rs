@@ -1,0 +1,293 @@
+//! Networking substrate of the AEON reproduction.
+//!
+//! The paper's prototype runs on Mace (a C++ networking / event framework).
+//! Here the substrate is an in-process message-passing layer built on
+//! crossbeam channels: each simulated *server* registers an [`Endpoint`]
+//! with the [`Network`] and exchanges typed messages with other servers.
+//! The layer supports fault injection (dropping links) and collects traffic
+//! statistics, which the benchmark harness uses to report message counts.
+//!
+//! Latency is *not* simulated here (the concurrent runtime is about
+//! correctness and real parallelism); the discrete-event simulator in
+//! `aeon-sim` models latency explicitly with the [`LatencyModel`] defined in
+//! this crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use aeon_net::Network;
+//! use aeon_types::ServerId;
+//!
+//! let network: Network<String> = Network::new();
+//! let a = network.register(ServerId::new(0));
+//! let b = network.register(ServerId::new(1));
+//! a.send(ServerId::new(1), "hello".to_string()).unwrap();
+//! assert_eq!(b.recv().unwrap(), "hello");
+//! ```
+
+pub mod latency;
+pub mod stats;
+
+pub use latency::LatencyModel;
+pub use stats::NetworkStats;
+
+use aeon_types::{AeonError, Result, ServerId};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared state of the in-process network.
+#[derive(Debug)]
+struct Shared<M> {
+    /// Delivery channels per registered server.
+    inboxes: RwLock<HashMap<ServerId, Sender<M>>>,
+    /// Links administratively taken down (fault injection); messages from
+    /// `from` to `to` are silently dropped when `(from, to)` is present.
+    severed: RwLock<std::collections::HashSet<(ServerId, ServerId)>>,
+    stats: NetworkStats,
+}
+
+/// An in-process, channel-based network connecting simulated servers.
+///
+/// Cloning the network is cheap: all clones share the same routing table and
+/// statistics.
+#[derive(Debug)]
+pub struct Network<M> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<M: Send + 'static> Default for Network<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Creates an empty network with no registered servers.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                inboxes: RwLock::new(HashMap::new()),
+                severed: RwLock::new(std::collections::HashSet::new()),
+                stats: NetworkStats::default(),
+            }),
+        }
+    }
+
+    /// Registers a server and returns its endpoint.  Re-registering an id
+    /// replaces the previous inbox (used when a crashed server restarts).
+    pub fn register(&self, id: ServerId) -> Endpoint<M> {
+        let (tx, rx) = channel::unbounded();
+        self.shared.inboxes.write().insert(id, tx);
+        Endpoint { id, network: self.clone(), rx }
+    }
+
+    /// Removes a server from the routing table; subsequent sends to it fail
+    /// with [`AeonError::ServerNotFound`].
+    pub fn deregister(&self, id: ServerId) {
+        self.shared.inboxes.write().remove(&id);
+    }
+
+    /// Returns the ids of all currently registered servers.
+    pub fn servers(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self.shared.inboxes.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Sends `message` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ServerNotFound`] when the destination is not
+    /// registered (or has been deregistered).
+    pub fn send_from(&self, from: ServerId, to: ServerId, message: M) -> Result<()> {
+        if self.shared.severed.read().contains(&(from, to)) {
+            // Fault injection: the message is lost on the wire.
+            self.shared.stats.record_dropped();
+            return Ok(());
+        }
+        let inboxes = self.shared.inboxes.read();
+        let tx = inboxes.get(&to).ok_or(AeonError::ServerNotFound(to))?;
+        tx.send(message).map_err(|_| AeonError::ServerNotFound(to))?;
+        self.shared.stats.record_sent(from == to);
+        Ok(())
+    }
+
+    /// Severs the directed link `from -> to`; messages are silently dropped
+    /// until [`Network::heal_link`] is called.
+    pub fn sever_link(&self, from: ServerId, to: ServerId) {
+        self.shared.severed.write().insert((from, to));
+    }
+
+    /// Restores a previously severed link.
+    pub fn heal_link(&self, from: ServerId, to: ServerId) {
+        self.shared.severed.write().remove(&(from, to));
+    }
+
+    /// Traffic statistics accumulated since creation.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.shared.stats
+    }
+}
+
+/// A server's attachment point to the [`Network`].
+#[derive(Debug)]
+pub struct Endpoint<M> {
+    id: ServerId,
+    network: Network<M>,
+    rx: Receiver<M>,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// The server id this endpoint was registered under.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Sends a message to another server (or to itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ServerNotFound`] when the destination is not
+    /// registered.
+    pub fn send(&self, to: ServerId, message: M) -> Result<()> {
+        self.network.send_from(self.id, to, message)
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::RuntimeShutdown`] when every sender has been
+    /// dropped (the network was torn down).
+    pub fn recv(&self) -> Result<M> {
+        self.rx.recv().map_err(|_| AeonError::RuntimeShutdown)
+    }
+
+    /// Waits up to `timeout` for a message.
+    ///
+    /// Returns `Ok(None)` on timeout so callers can interleave periodic
+    /// work (e.g. the server scheduler loop).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<M>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(AeonError::RuntimeShutdown),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<M>> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(AeonError::RuntimeShutdown),
+        }
+    }
+
+    /// A handle to the network this endpoint belongs to.
+    pub fn network(&self) -> &Network<M> {
+        &self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srv(n: u32) -> ServerId {
+        ServerId::new(n)
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let net: Network<u32> = Network::new();
+        let a = net.register(srv(0));
+        let b = net.register(srv(1));
+        a.send(srv(1), 42).unwrap();
+        a.send(srv(1), 43).unwrap();
+        assert_eq!(b.recv().unwrap(), 42);
+        assert_eq!(b.recv().unwrap(), 43);
+    }
+
+    #[test]
+    fn send_to_unknown_server_fails() {
+        let net: Network<u32> = Network::new();
+        let a = net.register(srv(0));
+        assert!(matches!(a.send(srv(9), 1), Err(AeonError::ServerNotFound(_))));
+    }
+
+    #[test]
+    fn self_send_is_local() {
+        let net: Network<u32> = Network::new();
+        let a = net.register(srv(0));
+        a.send(srv(0), 7).unwrap();
+        assert_eq!(a.recv().unwrap(), 7);
+        assert_eq!(net.stats().local_messages(), 1);
+        assert_eq!(net.stats().remote_messages(), 0);
+    }
+
+    #[test]
+    fn deregistered_server_is_unreachable() {
+        let net: Network<u32> = Network::new();
+        let a = net.register(srv(0));
+        let _b = net.register(srv(1));
+        net.deregister(srv(1));
+        assert!(a.send(srv(1), 1).is_err());
+        assert_eq!(net.servers(), vec![srv(0)]);
+    }
+
+    #[test]
+    fn severed_links_drop_messages_and_heal() {
+        let net: Network<u32> = Network::new();
+        let a = net.register(srv(0));
+        let b = net.register(srv(1));
+        net.sever_link(srv(0), srv(1));
+        a.send(srv(1), 1).unwrap();
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(net.stats().dropped_messages(), 1);
+        net.heal_link(srv(0), srv(1));
+        a.send(srv(1), 2).unwrap();
+        assert_eq!(b.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let net: Network<u32> = Network::new();
+        let a = net.register(srv(0));
+        assert_eq!(a.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let net: Network<u64> = Network::new();
+        let receiver = net.register(srv(0));
+        let mut handles = Vec::new();
+        for t in 1..=4u32 {
+            let ep = net.register(srv(t));
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    ep.send(srv(0), u64::from(t) * 1000 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut received = Vec::new();
+        while let Some(m) = receiver.try_recv().unwrap() {
+            received.push(m);
+        }
+        assert_eq!(received.len(), 400);
+        assert_eq!(net.stats().remote_messages(), 400);
+    }
+}

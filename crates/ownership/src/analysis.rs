@@ -1,0 +1,283 @@
+//! Static, contextclass-level ownership analysis (§3, "Type-based
+//! enforcement of DAG ownership").
+//!
+//! AEON requires the *class-level* ownership constraints to be acyclic
+//! (except for the reflexive case, which enables inductive structures such
+//! as linked lists at the cost of runtime checks).  The analysis collects,
+//! for every contextclass, the set of contextclasses its methods may reach,
+//! and rejects programs whose constraint graph `C1 ≤ C0` contains a
+//! non-reflexive cycle.
+
+use aeon_types::{AeonError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The contextclass constraint graph.
+///
+/// A constraint `owner ⊒ owned` (added with [`ClassGraph::add_constraint`])
+/// records that instances of class `owner` may directly own / call into
+/// instances of class `owned`, i.e. `owned ≤ owner` in the paper's notation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassGraph {
+    /// class -> classes it may directly own.
+    owns: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl ClassGraph {
+    /// Creates an empty constraint graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a contextclass with no constraints yet.
+    pub fn add_class(&mut self, class: impl Into<String>) -> &mut Self {
+        self.owns.entry(class.into()).or_default();
+        self
+    }
+
+    /// Returns `true` if the class has been declared.
+    pub fn contains(&self, class: &str) -> bool {
+        self.owns.contains_key(class)
+    }
+
+    /// Declared classes, in name order.
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.owns.keys().map(String::as_str)
+    }
+
+    /// Number of declared classes.
+    pub fn len(&self) -> usize {
+        self.owns.len()
+    }
+
+    /// Returns `true` when no classes are declared.
+    pub fn is_empty(&self) -> bool {
+        self.owns.is_empty()
+    }
+
+    /// Records that `owner` instances may own `owned` instances
+    /// (the constraint `owned ≤ owner`).  Both classes are declared
+    /// implicitly if needed.  Reflexive constraints are allowed.
+    pub fn add_constraint(
+        &mut self,
+        owner: impl Into<String>,
+        owned: impl Into<String>,
+    ) -> &mut Self {
+        let owner = owner.into();
+        let owned = owned.into();
+        self.owns.entry(owned.clone()).or_default();
+        self.owns.entry(owner).or_default().insert(owned);
+        self
+    }
+
+    /// Returns whether instances of `owner` are allowed to directly own
+    /// instances of `owned` according to the declared constraints.
+    ///
+    /// The reflexive case is always allowed (inductive data structures),
+    /// mirroring the exception made by the paper's analysis.
+    pub fn allows(&self, owner: &str, owned: &str) -> bool {
+        if owner == owned {
+            return true;
+        }
+        self.owns.get(owner).is_some_and(|set| set.contains(owned))
+    }
+
+    /// Runs the static analysis: succeeds iff the constraint graph is
+    /// acyclic once reflexive edges are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ClassCycleDetected`] describing one offending
+    /// cycle when the analysis fails.
+    pub fn check(&self) -> Result<()> {
+        // Depth-first search with colouring; reflexive edges are skipped.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: BTreeMap<&str, Colour> =
+            self.owns.keys().map(|k| (k.as_str(), Colour::White)).collect();
+
+        fn visit<'a>(
+            class: &'a str,
+            owns: &'a BTreeMap<String, BTreeSet<String>>,
+            colour: &mut BTreeMap<&'a str, Colour>,
+            stack: &mut Vec<&'a str>,
+        ) -> Option<Vec<String>> {
+            colour.insert(class, Colour::Grey);
+            stack.push(class);
+            if let Some(children) = owns.get(class) {
+                for child in children {
+                    if child == class {
+                        continue; // reflexive exception
+                    }
+                    match colour.get(child.as_str()).copied().unwrap_or(Colour::White) {
+                        Colour::Grey => {
+                            // Found a cycle: slice the stack from the first
+                            // occurrence of `child`.
+                            let start =
+                                stack.iter().position(|c| *c == child.as_str()).unwrap_or(0);
+                            let mut cycle: Vec<String> =
+                                stack[start..].iter().map(|s| s.to_string()).collect();
+                            cycle.push(child.clone());
+                            return Some(cycle);
+                        }
+                        Colour::White => {
+                            if let Some(cycle) = visit(child, owns, colour, stack) {
+                                return Some(cycle);
+                            }
+                        }
+                        Colour::Black => {}
+                    }
+                }
+            }
+            stack.pop();
+            colour.insert(class, Colour::Black);
+            None
+        }
+
+        let classes: Vec<&str> = self.owns.keys().map(String::as_str).collect();
+        for class in classes {
+            if colour[class] == Colour::White {
+                let mut stack = Vec::new();
+                if let Some(cycle) = visit(class, &self.owns, &mut colour, &mut stack) {
+                    return Err(AeonError::ClassCycleDetected {
+                        description: cycle.join(" -> "),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates that a runtime ownership graph respects the class
+    /// constraints: every edge `owner -> owned` must be allowed by
+    /// [`ClassGraph::allows`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::OwnershipViolation`] naming the first offending
+    /// edge.
+    pub fn validate_graph(&self, graph: &crate::OwnershipGraph) -> Result<()> {
+        for (owner, owned) in graph.edges() {
+            let owner_class = graph.class_of(owner)?;
+            let owned_class = graph.class_of(owned)?;
+            if !self.allows(owner_class, owned_class) {
+                return Err(AeonError::OwnershipViolation { caller: owner, callee: owned });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the class graph of the paper's game example (Figure 3, left).
+pub fn game_class_graph() -> ClassGraph {
+    let mut g = ClassGraph::new();
+    g.add_constraint("Building", "Room");
+    g.add_constraint("Room", "Player");
+    g.add_constraint("Room", "Item");
+    g.add_constraint("Player", "Item");
+    g
+}
+
+/// Builds the class graph of the TPC-C application (§6.1.2).
+pub fn tpcc_class_graph() -> ClassGraph {
+    let mut g = ClassGraph::new();
+    g.add_constraint("WareHouse", "Stock");
+    g.add_constraint("WareHouse", "District");
+    g.add_constraint("District", "Customer");
+    g.add_constraint("District", "Order");
+    g.add_constraint("Customer", "History");
+    g.add_constraint("Customer", "Order");
+    g.add_constraint("Order", "NewOrder");
+    g.add_constraint("Order", "OrderLine");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::game_graph;
+
+    #[test]
+    fn game_class_graph_passes_analysis() {
+        game_class_graph().check().unwrap();
+    }
+
+    #[test]
+    fn tpcc_class_graph_passes_analysis() {
+        tpcc_class_graph().check().unwrap();
+    }
+
+    #[test]
+    fn reflexive_constraints_are_accepted() {
+        // Linked-list style inductive structure: a Node owns Nodes.
+        let mut g = ClassGraph::new();
+        g.add_constraint("List", "Node");
+        g.add_constraint("Node", "Node");
+        g.check().unwrap();
+        assert!(g.allows("Node", "Node"));
+    }
+
+    #[test]
+    fn two_class_cycle_is_rejected() {
+        let mut g = ClassGraph::new();
+        g.add_constraint("A", "B");
+        g.add_constraint("B", "A");
+        let err = g.check().unwrap_err();
+        assert!(matches!(err, AeonError::ClassCycleDetected { .. }));
+        assert!(err.to_string().contains("A"), "cycle description names the classes: {err}");
+    }
+
+    #[test]
+    fn longer_cycle_is_rejected_and_described() {
+        let mut g = ClassGraph::new();
+        g.add_constraint("A", "B");
+        g.add_constraint("B", "C");
+        g.add_constraint("C", "D");
+        g.add_constraint("D", "B");
+        let err = g.check().unwrap_err();
+        if let AeonError::ClassCycleDetected { description } = err {
+            assert!(description.contains("B") && description.contains("D"), "{description}");
+        } else {
+            panic!("expected class cycle");
+        }
+    }
+
+    #[test]
+    fn allows_respects_declared_constraints() {
+        let g = game_class_graph();
+        assert!(g.allows("Room", "Player"));
+        assert!(g.allows("Player", "Item"));
+        assert!(!g.allows("Item", "Player"));
+        assert!(!g.allows("Player", "Room"));
+        // Reflexive allowed even if undeclared.
+        assert!(g.allows("Room", "Room"));
+    }
+
+    #[test]
+    fn validate_graph_accepts_figure_3_and_rejects_violations() {
+        let (mut graph, ids) = game_graph();
+        let classes = game_class_graph();
+        classes.validate_graph(&graph).unwrap();
+        // An Item owning a Player violates the class constraints even though
+        // it is fine for the instance-level DAG (no cycle).
+        graph.add_edge(ids.treasure, ids.player3).unwrap();
+        assert!(matches!(
+            classes.validate_graph(&graph),
+            Err(AeonError::OwnershipViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_classes_are_listed() {
+        let g = game_class_graph();
+        let classes: Vec<&str> = g.classes().collect();
+        assert!(classes.contains(&"Building"));
+        assert!(classes.contains(&"Item"));
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,456 @@
+//! Dominator computation (§3 of the paper).
+//!
+//! For a context `C` in ownership network `G`, the *share set* collects the
+//! contexts that might access state in common with `C`:
+//!
+//! ```text
+//! share(G,C) = { C' | desc(G,C) ∩ children(G,C') ≠ ∅ }
+//!            ∪ { C' | desc(G,C') ∩ desc(G,C) ≠ ∅
+//!                     ∧ C' ∉ desc(G,C) ∧ C ∉ desc(G,C') }
+//! ```
+//!
+//! and the *dominator* is the least upper bound of `share(G,C) ∪ {C}` in the
+//! ownership semi-lattice.  Locking the dominator before executing an event
+//! guarantees that no two events that could touch common state run
+//! concurrently, while unrelated events proceed in parallel.
+
+use crate::graph::OwnershipGraph;
+use aeon_types::{AeonError, ContextId, Result};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The result of a dominator query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dominator {
+    /// A concrete context dominates the target.
+    Context(ContextId),
+    /// No single context dominates every sharing context (the ownership
+    /// order has multiple maxima over the share set).  The paper inserts an
+    /// unnamed context in this case (footnote 1, §3); the runtime maps this
+    /// to a per-application global sequencer.
+    GlobalRoot,
+}
+
+impl Dominator {
+    /// Returns the context id if the dominator is a concrete context.
+    pub fn context(self) -> Option<ContextId> {
+        match self {
+            Dominator::Context(c) => Some(c),
+            Dominator::GlobalRoot => None,
+        }
+    }
+}
+
+/// How dominators are derived from the share relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DominatorMode {
+    /// The one-step formula exactly as written in §3 of the paper:
+    /// `dom(G,C) = lub(share(G,C) ∪ {C})`.
+    PaperFormula,
+    /// Fix-point closure of the share relation before taking the least
+    /// upper bound.  On the paper's applications this coincides with the
+    /// one-step formula, but it remains safe for ownership networks where
+    /// sharing chains are asymmetric (two targets with overlapping
+    /// descendant sets are then guaranteed to resolve to the same
+    /// sequencer).  This is the default.
+    #[default]
+    Closure,
+}
+
+/// Computes the share set of `target` per the §3 formula.
+///
+/// # Errors
+///
+/// Returns [`AeonError::ContextNotFound`] if `target` is unknown.
+pub fn share_set(graph: &OwnershipGraph, target: ContextId) -> Result<BTreeSet<ContextId>> {
+    let desc_c = graph.descendants(target)?;
+    let mut share = BTreeSet::new();
+    if desc_c.is_empty() {
+        return Ok(share);
+    }
+    let desc_c_or_self: BTreeSet<ContextId> =
+        desc_c.iter().copied().chain(std::iter::once(target)).collect();
+    for other in graph.contexts() {
+        if other == target {
+            continue;
+        }
+        // First clause: some descendant of `target` is a *direct child* of
+        // `other` — `other` can reach shared state in one hop.
+        let children = graph.children(other).expect("iterating known contexts");
+        let direct_share = children.iter().any(|c| desc_c.contains(c));
+        if direct_share {
+            share.insert(other);
+            continue;
+        }
+        // Second clause: overlapping descendant sets between incomparable
+        // contexts.
+        if desc_c_or_self.contains(&other) || graph.is_ancestor(other, target) {
+            continue;
+        }
+        let desc_other = graph.descendants(other).expect("iterating known contexts");
+        if desc_other.iter().any(|d| desc_c.contains(d)) {
+            share.insert(other);
+        }
+    }
+    Ok(share)
+}
+
+/// Computes the least upper bound of `set` in the ownership order: the
+/// unique lowest context that is an ancestor-or-self of every member.
+///
+/// Returns [`Dominator::GlobalRoot`] when no such context exists (no common
+/// ancestor, or several incomparable minimal common ancestors).
+pub fn least_upper_bound(
+    graph: &OwnershipGraph,
+    set: &BTreeSet<ContextId>,
+) -> Result<Dominator> {
+    let mut iter = set.iter();
+    let first = match iter.next() {
+        Some(f) => *f,
+        None => return Ok(Dominator::GlobalRoot),
+    };
+    // Common upper bounds = ∩ (ancestors*(x)) over the set.
+    let mut common: BTreeSet<ContextId> = graph.ancestors(first)?;
+    common.insert(first);
+    for member in iter {
+        let mut anc = graph.ancestors(*member)?;
+        anc.insert(*member);
+        common = common.intersection(&anc).copied().collect();
+        if common.is_empty() {
+            return Ok(Dominator::GlobalRoot);
+        }
+    }
+    // The least element of `common`: a candidate that is a descendant-or-
+    // equal of every other candidate.
+    let least: Vec<ContextId> = common
+        .iter()
+        .copied()
+        .filter(|cand| {
+            common
+                .iter()
+                .all(|other| other == cand || graph.is_ancestor(*other, *cand))
+        })
+        .collect();
+    match least.as_slice() {
+        [unique] => Ok(Dominator::Context(*unique)),
+        _ => Ok(Dominator::GlobalRoot),
+    }
+}
+
+/// Computes the dominator of `target` using the requested [`DominatorMode`].
+///
+/// # Errors
+///
+/// Returns [`AeonError::ContextNotFound`] if `target` is unknown.
+pub fn dominator_of(
+    graph: &OwnershipGraph,
+    target: ContextId,
+    mode: DominatorMode,
+) -> Result<Dominator> {
+    if !graph.contains(target) {
+        return Err(AeonError::ContextNotFound(target));
+    }
+    let mut set: BTreeSet<ContextId> = BTreeSet::from([target]);
+    set.extend(share_set(graph, target)?);
+    if let DominatorMode::Closure = mode {
+        loop {
+            let mut grew = false;
+            for member in set.clone() {
+                for extra in share_set(graph, member)? {
+                    grew |= set.insert(extra);
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+    }
+    least_upper_bound(graph, &set)
+}
+
+/// A caching dominator resolver.
+///
+/// Dominators are queried on every event dispatch, so the resolver caches
+/// results and invalidates the cache whenever the ownership graph version
+/// changes (i.e. after any mutation such as a context creation or an
+/// ownership change).
+#[derive(Debug)]
+pub struct DominatorResolver {
+    mode: DominatorMode,
+    cache: RwLock<Cache>,
+}
+
+#[derive(Debug, Default)]
+struct Cache {
+    version: u64,
+    map: BTreeMap<ContextId, Dominator>,
+}
+
+impl Default for DominatorResolver {
+    fn default() -> Self {
+        Self::new(DominatorMode::default())
+    }
+}
+
+impl DominatorResolver {
+    /// Creates a resolver with the given mode.
+    pub fn new(mode: DominatorMode) -> Self {
+        Self { mode, cache: RwLock::new(Cache::default()) }
+    }
+
+    /// The mode the resolver was configured with.
+    pub fn mode(&self) -> DominatorMode {
+        self.mode
+    }
+
+    /// Returns the dominator of `target` in `graph`, consulting the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] if `target` is unknown.
+    pub fn dominator(&self, graph: &OwnershipGraph, target: ContextId) -> Result<Dominator> {
+        {
+            let cache = self.cache.read();
+            if cache.version == graph.version() {
+                if let Some(dom) = cache.map.get(&target) {
+                    return Ok(*dom);
+                }
+            }
+        }
+        let dom = dominator_of(graph, target, self.mode)?;
+        let mut cache = self.cache.write();
+        if cache.version != graph.version() {
+            cache.map.clear();
+            cache.version = graph.version();
+        }
+        cache.map.insert(target, dom);
+        Ok(dom)
+    }
+
+    /// Number of cached entries (diagnostics / tests).
+    pub fn cached_entries(&self) -> usize {
+        self.cache.read().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::game_graph;
+    use proptest::prelude::*;
+
+    fn ctx(n: u64) -> ContextId {
+        ContextId::new(n)
+    }
+
+    #[test]
+    fn share_set_of_players_matches_paper() {
+        let (g, ids) = game_graph();
+        let share = share_set(&g, ids.player1).unwrap();
+        // Player2 shares the Treasure; the Kings Room directly owns it.
+        assert!(share.contains(&ids.player2));
+        assert!(share.contains(&ids.kings_room));
+        assert!(!share.contains(&ids.armory));
+        assert!(!share.contains(&ids.castle));
+        // Leaf contexts share nothing.
+        assert!(share_set(&g, ids.treasure).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dominators_of_game_graph() {
+        let (g, ids) = game_graph();
+        for mode in [DominatorMode::PaperFormula, DominatorMode::Closure] {
+            let dom = |c| dominator_of(&g, c, mode).unwrap();
+            assert_eq!(dom(ids.player1), Dominator::Context(ids.kings_room));
+            assert_eq!(dom(ids.player2), Dominator::Context(ids.kings_room));
+            assert_eq!(dom(ids.player3), Dominator::Context(ids.armory));
+            assert_eq!(dom(ids.weapons_vault), Dominator::Context(ids.armory));
+            assert_eq!(dom(ids.castle), Dominator::Context(ids.castle));
+            assert_eq!(dom(ids.armory), Dominator::Context(ids.armory));
+            assert_eq!(dom(ids.treasure), Dominator::Context(ids.treasure));
+            assert_eq!(dom(ids.sword), Dominator::Context(ids.sword));
+        }
+    }
+
+    #[test]
+    fn kings_room_is_its_own_dominator() {
+        // The Kings Room's descendants are only reachable through it or
+        // through its own children (players), which it dominates.
+        let (g, ids) = game_graph();
+        assert_eq!(
+            dominator_of(&g, ids.kings_room, DominatorMode::Closure).unwrap(),
+            Dominator::Context(ids.kings_room)
+        );
+    }
+
+    #[test]
+    fn sharing_roots_yield_global_root() {
+        // Two parentless contexts sharing a child have no common ancestor,
+        // so the dominator degenerates to the global root sentinel
+        // (footnote 1 of the paper: an unnamed context would be inserted).
+        let mut g = OwnershipGraph::new();
+        g.add_context(ctx(1), "A").unwrap();
+        g.add_context(ctx(2), "B").unwrap();
+        g.add_context(ctx(3), "Shared").unwrap();
+        g.add_edge(ctx(1), ctx(3)).unwrap();
+        g.add_edge(ctx(2), ctx(3)).unwrap();
+        assert_eq!(
+            dominator_of(&g, ctx(1), DominatorMode::PaperFormula).unwrap(),
+            Dominator::GlobalRoot
+        );
+        assert_eq!(
+            dominator_of(&g, ctx(2), DominatorMode::Closure).unwrap(),
+            Dominator::GlobalRoot
+        );
+    }
+
+    #[test]
+    fn unknown_context_is_an_error() {
+        let g = OwnershipGraph::new();
+        assert!(dominator_of(&g, ctx(9), DominatorMode::Closure).is_err());
+    }
+
+    #[test]
+    fn closure_mode_unifies_asymmetric_sharing_chains() {
+        // P owns A, B;  Q owns P and C;  B shares X with A and Y with C.
+        //   Q ── P ── A ── X
+        //   │     └── B ── X, Y
+        //   └── C ── Y
+        // The one-step formula gives dom(A) = P but dom(B) = Q; closure mode
+        // lifts both to Q so conflicting events always share a sequencer.
+        let mut g = OwnershipGraph::new();
+        for (i, class) in [(1, "Q"), (2, "P"), (3, "A"), (4, "B"), (5, "C"), (6, "X"), (7, "Y")] {
+            g.add_context(ctx(i), class).unwrap();
+        }
+        g.add_edge(ctx(1), ctx(2)).unwrap(); // Q -> P
+        g.add_edge(ctx(1), ctx(5)).unwrap(); // Q -> C
+        g.add_edge(ctx(2), ctx(3)).unwrap(); // P -> A
+        g.add_edge(ctx(2), ctx(4)).unwrap(); // P -> B
+        g.add_edge(ctx(3), ctx(6)).unwrap(); // A -> X
+        g.add_edge(ctx(4), ctx(6)).unwrap(); // B -> X
+        g.add_edge(ctx(4), ctx(7)).unwrap(); // B -> Y
+        g.add_edge(ctx(5), ctx(7)).unwrap(); // C -> Y
+
+        assert_eq!(
+            dominator_of(&g, ctx(3), DominatorMode::PaperFormula).unwrap(),
+            Dominator::Context(ctx(2))
+        );
+        assert_eq!(
+            dominator_of(&g, ctx(4), DominatorMode::PaperFormula).unwrap(),
+            Dominator::Context(ctx(1))
+        );
+        // Closure mode: both A and B resolve to Q.
+        assert_eq!(
+            dominator_of(&g, ctx(3), DominatorMode::Closure).unwrap(),
+            Dominator::Context(ctx(1))
+        );
+        assert_eq!(
+            dominator_of(&g, ctx(4), DominatorMode::Closure).unwrap(),
+            Dominator::Context(ctx(1))
+        );
+    }
+
+    #[test]
+    fn resolver_caches_until_graph_changes() {
+        let (mut g, ids) = game_graph();
+        let resolver = DominatorResolver::default();
+        assert_eq!(
+            resolver.dominator(&g, ids.player1).unwrap(),
+            Dominator::Context(ids.kings_room)
+        );
+        assert_eq!(resolver.cached_entries(), 1);
+        resolver.dominator(&g, ids.player3).unwrap();
+        assert_eq!(resolver.cached_entries(), 2);
+        // Mutating the graph invalidates the cache on next query.
+        g.remove_edge(ids.player1, ids.treasure).unwrap();
+        resolver.dominator(&g, ids.player3).unwrap();
+        assert_eq!(resolver.cached_entries(), 1);
+        // With the Player1 -> Treasure edge gone, Player1 still shares the
+        // Treasure's owner set?  No: Player1 no longer reaches Treasure, so
+        // it only dominates itself.
+        assert_eq!(
+            resolver.dominator(&g, ids.player1).unwrap(),
+            Dominator::Context(ids.player1)
+        );
+    }
+
+    /// Builds a random DAG by only adding edges from lower ids to higher ids
+    /// (guaranteeing acyclicity and exercising multi-ownership).
+    fn arb_dag() -> impl Strategy<Value = OwnershipGraph> {
+        proptest::collection::vec((0u64..12, 0u64..12), 0..40).prop_map(|edges| {
+            let mut g = OwnershipGraph::new();
+            for i in 0..12 {
+                g.add_context(ctx(i), "C").unwrap();
+            }
+            for (a, b) in edges {
+                if a < b {
+                    let _ = g.add_edge(ctx(a), ctx(b));
+                }
+            }
+            g
+        })
+    }
+
+    proptest! {
+        /// The dominator (when concrete) is always an ancestor-or-self of
+        /// the target and of every context in its share set.
+        #[test]
+        fn dominator_dominates_share_set(g in arb_dag(), target in 0u64..12) {
+            let target = ctx(target);
+            for mode in [DominatorMode::PaperFormula, DominatorMode::Closure] {
+                let dom = dominator_of(&g, target, mode).unwrap();
+                if let Dominator::Context(d) = dom {
+                    prop_assert!(d == target || g.is_ancestor(d, target));
+                    for s in share_set(&g, target).unwrap() {
+                        prop_assert!(d == s || g.is_ancestor(d, s),
+                            "dominator {d} must dominate sharing context {s}");
+                    }
+                }
+            }
+        }
+
+        /// In closure mode, two targets with overlapping descendant sets
+        /// either resolve to the same concrete dominator or at least one of
+        /// them resolves to the global root — i.e. conflicting events always
+        /// have a common sequencer.
+        #[test]
+        fn closure_mode_gives_conflicting_targets_a_common_sequencer(
+            g in arb_dag(), a in 0u64..12, b in 0u64..12
+        ) {
+            let (a, b) = (ctx(a), ctx(b));
+            prop_assume!(a != b);
+            let mut da: std::collections::BTreeSet<_> = g.descendants(a).unwrap();
+            da.insert(a);
+            let mut db: std::collections::BTreeSet<_> = g.descendants(b).unwrap();
+            db.insert(b);
+            if da.intersection(&db).next().is_some() {
+                let dom_a = dominator_of(&g, a, DominatorMode::Closure).unwrap();
+                let dom_b = dominator_of(&g, b, DominatorMode::Closure).unwrap();
+                let ok = dom_a == dom_b
+                    || dom_a == Dominator::GlobalRoot
+                    || dom_b == Dominator::GlobalRoot
+                    // One target dominated by the other's dominator: the
+                    // lower event's path activation passes through it.
+                    || match (dom_a, dom_b) {
+                        (Dominator::Context(x), Dominator::Context(y)) => {
+                            g.is_ancestor(x, y) || g.is_ancestor(y, x) || x == y
+                        }
+                        _ => false,
+                    };
+                prop_assert!(ok, "targets {a} and {b} share state but lack a common sequencer");
+            }
+        }
+
+        /// The cache never changes answers.
+        #[test]
+        fn cached_answers_match_uncached(g in arb_dag(), targets in proptest::collection::vec(0u64..12, 1..8)) {
+            let resolver = DominatorResolver::default();
+            for t in targets {
+                let t = ctx(t);
+                let cached = resolver.dominator(&g, t).unwrap();
+                let fresh = dominator_of(&g, t, DominatorMode::Closure).unwrap();
+                prop_assert_eq!(cached, fresh);
+            }
+        }
+    }
+}

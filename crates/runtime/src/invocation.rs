@@ -1,0 +1,503 @@
+//! Event execution: the engine that runs a single event across contexts.
+//!
+//! An [`EventExecution`] owns everything an in-flight event needs: the locks
+//! it has acquired, its call stack, the queue of deferred `async` calls and
+//! the sub-events it has dispatched.  The [`Invocation`] handed to context
+//! methods is a thin view over the execution that exposes the operations the
+//! paper's language offers inside an event: synchronous calls, `async`
+//! calls, `event` dispatch, and ownership-graph mutation (creating child
+//! contexts, adding/removing owners).
+//!
+//! [`Invocation`] is deliberately decoupled from the in-process engine
+//! through the [`InvocationHost`] trait: the distributed deployment in
+//! `aeon-cluster` executes the very same [`ContextObject`] implementations
+//! by providing its own host, in which a "call to an owned context" may
+//! travel across the message-passing network to another server.
+
+use crate::context::{ContextObject, ContextSlot};
+use crate::event::EventRequest;
+use crate::runtime::RuntimeInner;
+use aeon_ownership::Dominator;
+use aeon_types::{AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, Value};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A deferred (`async`) method call, executed after the synchronous part of
+/// the event finishes but before the event terminates.
+#[derive(Debug, Clone)]
+struct AsyncCall {
+    caller: ContextId,
+    target: ContextId,
+    method: String,
+    args: Args,
+}
+
+/// A sub-event dispatched from within an event; it becomes a fresh event
+/// once its creator terminates (§3: "an event that is dispatched within
+/// another event ... will execute after its creator event finishes").
+#[derive(Debug, Clone)]
+pub struct SubEvent {
+    /// Target context of the new event.
+    pub target: ContextId,
+    /// Method to run.
+    pub method: String,
+    /// Arguments.
+    pub args: Args,
+    /// Access mode of the new event.
+    pub mode: AccessMode,
+}
+
+/// The capability an [`Invocation`] delegates to.
+///
+/// The in-process engine ([`EventExecution`], used by
+/// [`crate::AeonRuntime`]) and the distributed engine (`aeon-cluster`)
+/// both implement this trait, so application [`ContextObject`]s are written
+/// once and run unchanged on either.
+pub trait InvocationHost {
+    /// Id of the running event.
+    fn event_id(&self) -> EventId;
+
+    /// Client that issued the event, if any.
+    fn client(&self) -> Option<ClientId>;
+
+    /// Access mode of the running event.
+    fn mode(&self) -> AccessMode;
+
+    /// Performs a synchronous method call from `caller` to `target`.
+    fn call(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<Value>;
+
+    /// Schedules an asynchronous method call from `caller` to `target`.
+    fn call_async(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<()>;
+
+    /// Dispatches a new event to start after the current one terminates.
+    fn dispatch_event(
+        &mut self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<()>;
+
+    /// Creates a new context owned by `owner`.
+    fn create_child(
+        &mut self,
+        owner: ContextId,
+        object: Box<dyn ContextObject>,
+    ) -> Result<ContextId>;
+
+    /// Adds `owner` as an owner of `owned`.
+    fn add_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()>;
+
+    /// Removes `owner` from the owners of `owned`.
+    fn remove_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()>;
+
+    /// Direct children of `parent`, optionally filtered by class name.
+    fn children(&self, parent: ContextId, class: Option<&str>) -> Result<Vec<ContextId>>;
+}
+
+/// The running state of one event.
+pub(crate) struct EventExecution {
+    inner: Arc<RuntimeInner>,
+    event: EventId,
+    client: Option<ClientId>,
+    mode: AccessMode,
+    /// Context locks held, in acquisition order (released in reverse).
+    held: Vec<Arc<ContextSlot>>,
+    /// Whether the event holds the global-root sequencer.
+    holds_global_root: bool,
+    /// Contexts currently on the synchronous call stack (re-entrance guard).
+    call_stack: Vec<ContextId>,
+    /// Deferred asynchronous calls.
+    pending_async: VecDeque<AsyncCall>,
+    /// Events dispatched from within this event.
+    sub_events: Vec<SubEvent>,
+}
+
+impl EventExecution {
+    /// Runs `request` to completion and returns its result together with the
+    /// sub-events it dispatched.
+    pub(crate) fn run(
+        inner: Arc<RuntimeInner>,
+        request: &EventRequest,
+    ) -> (Result<Value>, Vec<SubEvent>) {
+        let mut exec = EventExecution {
+            inner,
+            event: request.id,
+            client: request.client,
+            mode: request.mode,
+            held: Vec::new(),
+            holds_global_root: false,
+            call_stack: Vec::new(),
+            pending_async: VecDeque::new(),
+            sub_events: Vec::new(),
+        };
+        let result = exec.execute(request);
+        exec.release_all();
+        let subs = if result.is_ok() { std::mem::take(&mut exec.sub_events) } else { Vec::new() };
+        (result, subs)
+    }
+
+    fn execute(&mut self, request: &EventRequest) -> Result<Value> {
+        // Step 1: sequence the event at the dominator of its target
+        // (Algorithm 2, `to execute` + `dispatchEvent`).
+        let dominator = self.inner.dominator_of(request.target)?;
+        match dominator {
+            Dominator::Context(dom) => {
+                if dom != request.target {
+                    let slot = self.inner.context_slot(dom)?;
+                    self.activate_slot(slot)?;
+                }
+            }
+            Dominator::GlobalRoot => {
+                self.inner.global_root.activate(self.event, self.mode)?;
+                self.holds_global_root = true;
+            }
+        }
+
+        // Step 2: execute at the target (`scheduleNext` / `execute`).
+        let mut result = self.invoke(None, request.target, &request.method, &request.args);
+
+        // Step 3: drain deferred async calls (they complete within the
+        // event; failures fail the event).
+        while let Some(call) = self.pending_async.pop_front() {
+            let r = self.invoke(Some(call.caller), call.target, &call.method, &call.args);
+            self.inner.stats.record_method_call(true);
+            if result.is_ok() {
+                if let Err(e) = r {
+                    result = Err(e);
+                }
+            }
+        }
+        result
+    }
+
+    /// Invokes `method` on `target`, activating the context first.
+    pub(crate) fn invoke(
+        &mut self,
+        caller: Option<ContextId>,
+        target: ContextId,
+        method: &str,
+        args: &Args,
+    ) -> Result<Value> {
+        // Ownership check: calls may only go along (transitive) ownership
+        // edges (§3).
+        if let Some(caller) = caller {
+            if !self.inner.may_call(caller, target) {
+                return Err(AeonError::OwnershipViolation { caller, callee: target });
+            }
+        }
+        // Re-entrance guard: the ownership DAG is acyclic, so a well-formed
+        // application never calls back into a context already on the stack.
+        if self.call_stack.contains(&target) {
+            return Err(AeonError::internal(format!(
+                "re-entrant call into context {target} within event {}",
+                self.event
+            )));
+        }
+        let slot = self.inner.context_slot(target)?;
+        self.activate_slot(slot.clone())?;
+        self.call_stack.push(target);
+        let outcome = {
+            let mut object = slot.object.lock();
+            if self.mode.is_read_only() && !object.is_readonly(method) {
+                Err(AeonError::ReadOnlyViolation {
+                    context: target,
+                    method: method.to_string(),
+                })
+            } else {
+                let mut invocation = Invocation::new(self, target);
+                object.handle(method, args, &mut invocation)
+            }
+        };
+        self.call_stack.pop();
+        self.inner.stats.record_method_call(false);
+        outcome
+    }
+
+    /// Activates (locks) the slot for this event unless already held.
+    fn activate_slot(&mut self, slot: Arc<ContextSlot>) -> Result<()> {
+        if self.held.iter().any(|s| s.id == slot.id) {
+            return Ok(());
+        }
+        slot.lock.activate(self.event, self.mode)?;
+        self.held.push(slot);
+        Ok(())
+    }
+
+    /// Releases every held lock in reverse acquisition order ("locks on the
+    /// contexts accessed during an event are released in the reverse order
+    /// on which they are locked", §4).
+    fn release_all(&mut self) {
+        while let Some(slot) = self.held.pop() {
+            slot.lock.release(self.event);
+        }
+        if self.holds_global_root {
+            self.inner.global_root.release(self.event);
+            self.holds_global_root = false;
+        }
+    }
+}
+
+impl InvocationHost for EventExecution {
+    fn event_id(&self) -> EventId {
+        self.event
+    }
+
+    fn client(&self) -> Option<ClientId> {
+        self.client
+    }
+
+    fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    fn call(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<Value> {
+        self.invoke(Some(caller), target, method, &args)
+    }
+
+    fn call_async(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<()> {
+        if !self.inner.may_call(caller, target) {
+            return Err(AeonError::OwnershipViolation { caller, callee: target });
+        }
+        self.pending_async.push_back(AsyncCall {
+            caller,
+            target,
+            method: method.to_string(),
+            args,
+        });
+        Ok(())
+    }
+
+    fn dispatch_event(
+        &mut self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<()> {
+        self.inner.stats.record_sub_event();
+        self.sub_events.push(SubEvent { target, method: method.to_string(), args, mode });
+        Ok(())
+    }
+
+    fn create_child(
+        &mut self,
+        owner: ContextId,
+        object: Box<dyn ContextObject>,
+    ) -> Result<ContextId> {
+        self.inner.create_context_owned_by(object, &[owner], Some(owner))
+    }
+
+    fn add_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.inner.add_ownership(owner, owned)
+    }
+
+    fn remove_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.inner.remove_ownership(owner, owned)
+    }
+
+    fn children(&self, parent: ContextId, class: Option<&str>) -> Result<Vec<ContextId>> {
+        self.inner.children_of(parent, class)
+    }
+}
+
+/// The capability handed to [`ContextObject::handle`]: everything a context
+/// method may do with the rest of the system while an event executes in it.
+pub struct Invocation<'a> {
+    host: &'a mut dyn InvocationHost,
+    current: ContextId,
+}
+
+impl<'a> Invocation<'a> {
+    /// Creates an invocation view for `current` on top of a host engine.
+    ///
+    /// This is called by execution engines (the in-process runtime, the
+    /// distributed cluster); application code only ever receives a ready
+    /// `&mut Invocation`.
+    pub fn new(host: &'a mut dyn InvocationHost, current: ContextId) -> Self {
+        Self { host, current }
+    }
+
+    /// The context currently executing.
+    pub fn self_id(&self) -> ContextId {
+        self.current
+    }
+
+    /// The id of the running event.
+    pub fn event_id(&self) -> EventId {
+        self.host.event_id()
+    }
+
+    /// The client that issued the event, if any.
+    pub fn client(&self) -> Option<ClientId> {
+        self.host.client()
+    }
+
+    /// Whether the running event is read-only.
+    pub fn is_read_only(&self) -> bool {
+        self.host.mode().is_read_only()
+    }
+
+    /// Performs a synchronous method call on a context owned (directly or
+    /// transitively) by the current context, waiting for its result.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::OwnershipViolation`] when the current context does not
+    ///   own `target`.
+    /// * Whatever error the callee returns.
+    pub fn call(&mut self, target: ContextId, method: &str, args: Args) -> Result<Value> {
+        self.host.call(self.current, target, method, args)
+    }
+
+    /// Schedules an asynchronous (`async`-decorated) method call on an owned
+    /// context.  The call executes before the event terminates, but the
+    /// caller does not wait for it; its return value is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::OwnershipViolation`] when the current context
+    /// does not own `target` (checked eagerly so the programming error
+    /// surfaces at the call site).
+    pub fn call_async(&mut self, target: ContextId, method: &str, args: Args) -> Result<()> {
+        self.host.call_async(self.current, target, method, args)
+    }
+
+    /// Dispatches a new event from within this event.  The new event starts
+    /// only after the current event has terminated and is sequenced like any
+    /// client event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ReadOnlyViolation`] when called from a read-only
+    /// event (a read-only event must not cause state changes).
+    pub fn dispatch_event(&mut self, target: ContextId, method: &str, args: Args) -> Result<()> {
+        self.dispatch_event_with_mode(target, method, args, AccessMode::Exclusive)
+    }
+
+    /// Dispatches a new read-only event from within this event.
+    pub fn dispatch_readonly_event(
+        &mut self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<()> {
+        self.dispatch_event_with_mode(target, method, args, AccessMode::ReadOnly)
+    }
+
+    fn dispatch_event_with_mode(
+        &mut self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<()> {
+        if self.host.mode().is_read_only() && mode.is_exclusive() {
+            return Err(AeonError::ReadOnlyViolation {
+                context: self.current,
+                method: method.to_string(),
+            });
+        }
+        self.host.dispatch_event(target, method, args, mode)
+    }
+
+    /// Creates a new context owned by the current context and returns its
+    /// id.  The ownership graph is updated atomically; the new context is
+    /// placed on the same server as its owner (locality by default, as the
+    /// paper's runtime does for Rooms/Players/Items).
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ReadOnlyViolation`] from read-only events.
+    /// * [`AeonError::OwnershipViolation`] if the class constraints forbid
+    ///   this parent/child pair.
+    pub fn create_child(&mut self, object: Box<dyn ContextObject>) -> Result<ContextId> {
+        if self.host.mode().is_read_only() {
+            return Err(AeonError::ReadOnlyViolation {
+                context: self.current,
+                method: "create_child".into(),
+            });
+        }
+        self.host.create_child(self.current, object)
+    }
+
+    /// Adds the current context as an owner of `owned` (sharing state).
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ReadOnlyViolation`] from read-only events.
+    /// * [`AeonError::CycleDetected`] / [`AeonError::OwnershipViolation`]
+    ///   when the edge would violate the DAG or the class constraints.
+    pub fn add_ownership(&mut self, owned: ContextId) -> Result<()> {
+        if self.host.mode().is_read_only() {
+            return Err(AeonError::ReadOnlyViolation {
+                context: self.current,
+                method: "add_ownership".into(),
+            });
+        }
+        self.host.add_ownership(self.current, owned)
+    }
+
+    /// Removes the current context from the owners of `owned`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ReadOnlyViolation`] from read-only events.
+    /// * [`AeonError::ContextNotFound`] when `owned` is unknown.
+    pub fn remove_ownership(&mut self, owned: ContextId) -> Result<()> {
+        if self.host.mode().is_read_only() {
+            return Err(AeonError::ReadOnlyViolation {
+                context: self.current,
+                method: "remove_ownership".into(),
+            });
+        }
+        self.host.remove_ownership(self.current, owned)
+    }
+
+    /// The direct children (owned contexts) of the current context,
+    /// optionally filtered by contextclass name.
+    ///
+    /// This mirrors the paper's `children[Room]` syntax in Listing 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] if the current context has
+    /// been removed concurrently.
+    pub fn children(&self, class: Option<&str>) -> Result<Vec<ContextId>> {
+        self.host.children(self.current, class)
+    }
+}
+
+impl std::fmt::Debug for Invocation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Invocation")
+            .field("event", &self.host.event_id())
+            .field("current", &self.current)
+            .field("mode", &self.host.mode())
+            .finish()
+    }
+}

@@ -1,0 +1,275 @@
+//! Per-context activation locks (Algorithm 1 & 2 of the paper).
+//!
+//! Every context owns a [`ContextLock`], which models the paper's
+//! `toActivateQueue` + `activatedSet` pair:
+//!
+//! * events wanting to use the context enqueue an activation request;
+//! * requests are granted strictly in FIFO order (this is what gives
+//!   starvation freedom), with the read/write twist that consecutive
+//!   read-only requests may hold the context simultaneously;
+//! * an exclusive request is granted only when the activated set is empty.
+//!
+//! The dominator of an event's target uses the same lock as a sequencer; it
+//! is held for the whole duration of the event, which is how two events that
+//! could reach shared descendants are prevented from interleaving.
+
+use aeon_types::{AccessMode, AeonError, ContextId, EventId, Result};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// State protected by the lock's mutex.
+#[derive(Debug, Default)]
+struct LockState {
+    /// Events currently holding the context (the paper's `activatedSet`).
+    activated: Vec<(EventId, AccessMode)>,
+    /// Events waiting to be activated, in arrival order
+    /// (the paper's `toActivateQueue`).
+    queue: VecDeque<(EventId, AccessMode)>,
+    /// Set when the hosting runtime shuts down; waiters give up.
+    poisoned: bool,
+}
+
+/// The activation lock of a single context.
+#[derive(Debug)]
+pub struct ContextLock {
+    context: ContextId,
+    state: Mutex<LockState>,
+    changed: Condvar,
+}
+
+impl ContextLock {
+    /// Creates the lock for `context`.
+    pub fn new(context: ContextId) -> Self {
+        Self { context, state: Mutex::new(LockState::default()), changed: Condvar::new() }
+    }
+
+    /// The context this lock belongs to.
+    pub fn context(&self) -> ContextId {
+        self.context
+    }
+
+    /// Blocks until `event` is activated on this context with `mode`.
+    ///
+    /// Activation is idempotent: if the event already holds the context the
+    /// call returns immediately (re-entrant acquisition along a different
+    /// ownership path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::EventAborted`] when the lock is poisoned by a
+    /// runtime shutdown while waiting.
+    pub fn activate(&self, event: EventId, mode: AccessMode) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.activated.iter().any(|(e, _)| *e == event) {
+            return Ok(());
+        }
+        state.queue.push_back((event, mode));
+        loop {
+            if state.poisoned {
+                // Remove our queue entry before giving up.
+                state.queue.retain(|(e, _)| *e != event);
+                return Err(AeonError::EventAborted {
+                    event,
+                    reason: "runtime shut down while waiting for activation".into(),
+                });
+            }
+            // Grant from the head of the queue while compatible; strict FIFO
+            // order gives starvation freedom.
+            while let Some(&(head, head_mode)) = state.queue.front() {
+                let compatible =
+                    head_mode.compatible_with(state.activated.iter().map(|(_, m)| m));
+                if compatible {
+                    state.queue.pop_front();
+                    state.activated.push((head, head_mode));
+                } else {
+                    break;
+                }
+            }
+            if state.activated.iter().any(|(e, _)| *e == event) {
+                // Wake other waiters: several read-only events may have been
+                // activated in the same pass.
+                self.changed.notify_all();
+                return Ok(());
+            }
+            self.changed.wait(&mut state);
+        }
+    }
+
+    /// Releases the context for `event` (the event terminated in every
+    /// context).  Releasing a context the event does not hold is a no-op.
+    pub fn release(&self, event: EventId) {
+        let mut state = self.state.lock();
+        let before = state.activated.len();
+        state.activated.retain(|(e, _)| *e != event);
+        if state.activated.len() != before {
+            self.changed.notify_all();
+        }
+    }
+
+    /// Returns whether `event` currently holds the context.
+    pub fn is_activated(&self, event: EventId) -> bool {
+        self.state.lock().activated.iter().any(|(e, _)| *e == event)
+    }
+
+    /// Number of events currently holding the context.
+    pub fn activated_count(&self) -> usize {
+        self.state.lock().activated.len()
+    }
+
+    /// Number of events waiting for the context.
+    pub fn queued_count(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Poisons the lock: all current and future waiters fail with
+    /// [`AeonError::EventAborted`].  Used on runtime shutdown.
+    pub fn poison(&self) {
+        let mut state = self.state.lock();
+        state.poisoned = true;
+        self.changed.notify_all();
+    }
+
+    /// Test helper: waits until the activated set becomes empty or the
+    /// timeout elapses; returns whether it emptied.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let mut state = self.state.lock();
+        if state.activated.is_empty() {
+            return true;
+        }
+        self.changed.wait_for(&mut state, timeout);
+        state.activated.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn ev(n: u64) -> EventId {
+        EventId::new(n)
+    }
+
+    #[test]
+    fn exclusive_events_serialize() {
+        let lock = Arc::new(ContextLock::new(ContextId::new(1)));
+        lock.activate(ev(1), AccessMode::Exclusive).unwrap();
+        assert!(lock.is_activated(ev(1)));
+        assert_eq!(lock.activated_count(), 1);
+
+        let lock2 = lock.clone();
+        let handle = thread::spawn(move || {
+            lock2.activate(ev(2), AccessMode::Exclusive).unwrap();
+            lock2.release(ev(2));
+        });
+        // Give the second event time to queue up.
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(lock.queued_count(), 1);
+        assert!(!lock.is_activated(ev(2)));
+        lock.release(ev(1));
+        handle.join().unwrap();
+        assert_eq!(lock.activated_count(), 0);
+    }
+
+    #[test]
+    fn read_only_events_share() {
+        let lock = ContextLock::new(ContextId::new(1));
+        lock.activate(ev(1), AccessMode::ReadOnly).unwrap();
+        lock.activate(ev(2), AccessMode::ReadOnly).unwrap();
+        assert_eq!(lock.activated_count(), 2);
+        lock.release(ev(1));
+        lock.release(ev(2));
+        assert_eq!(lock.activated_count(), 0);
+    }
+
+    #[test]
+    fn activation_is_reentrant_per_event() {
+        let lock = ContextLock::new(ContextId::new(1));
+        lock.activate(ev(1), AccessMode::Exclusive).unwrap();
+        lock.activate(ev(1), AccessMode::Exclusive).unwrap();
+        assert_eq!(lock.activated_count(), 1);
+        lock.release(ev(1));
+        assert_eq!(lock.activated_count(), 0);
+    }
+
+    #[test]
+    fn fifo_order_prevents_readers_from_overtaking_writers() {
+        let lock = Arc::new(ContextLock::new(ContextId::new(1)));
+        lock.activate(ev(1), AccessMode::ReadOnly).unwrap();
+
+        // A writer queues first, then another reader.  The reader must NOT
+        // be granted before the writer (that would starve writers).
+        let l = lock.clone();
+        let writer = thread::spawn(move || {
+            l.activate(ev(2), AccessMode::Exclusive).unwrap();
+            l.release(ev(2));
+        });
+        thread::sleep(Duration::from_millis(20));
+        let l = lock.clone();
+        let reader = thread::spawn(move || {
+            l.activate(ev(3), AccessMode::ReadOnly).unwrap();
+            l.release(ev(3));
+        });
+        thread::sleep(Duration::from_millis(20));
+        // Reader 3 is behind writer 2 which is blocked on reader 1.
+        assert!(!lock.is_activated(ev(3)));
+        assert_eq!(lock.queued_count(), 2);
+        lock.release(ev(1));
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn many_threads_one_winner_at_a_time() {
+        let lock = Arc::new(ContextLock::new(ContextId::new(1)));
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            let lock = lock.clone();
+            let concurrent = concurrent.clone();
+            let max_seen = max_seen.clone();
+            handles.push(thread::spawn(move || {
+                lock.activate(ev(i), AccessMode::Exclusive).unwrap();
+                let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(1));
+                concurrent.fetch_sub(1, Ordering::SeqCst);
+                lock.release(ev(i));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "exclusive holders never overlap");
+        assert_eq!(lock.activated_count(), 0);
+        assert_eq!(lock.queued_count(), 0);
+    }
+
+    #[test]
+    fn poison_wakes_waiters_with_error() {
+        let lock = Arc::new(ContextLock::new(ContextId::new(1)));
+        lock.activate(ev(1), AccessMode::Exclusive).unwrap();
+        let l = lock.clone();
+        let waiter = thread::spawn(move || l.activate(ev(2), AccessMode::Exclusive));
+        thread::sleep(Duration::from_millis(20));
+        lock.poison();
+        let res = waiter.join().unwrap();
+        assert!(matches!(res, Err(AeonError::EventAborted { .. })));
+        // The aborted waiter left the queue.
+        assert_eq!(lock.queued_count(), 0);
+    }
+
+    #[test]
+    fn wait_idle_reports_emptiness() {
+        let lock = ContextLock::new(ContextId::new(1));
+        assert!(lock.wait_idle(Duration::from_millis(1)));
+        lock.activate(ev(1), AccessMode::Exclusive).unwrap();
+        assert!(!lock.wait_idle(Duration::from_millis(10)));
+        lock.release(ev(1));
+        assert!(lock.wait_idle(Duration::from_millis(1)));
+    }
+}

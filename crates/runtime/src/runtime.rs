@@ -1,0 +1,747 @@
+//! The public runtime: context hosting, event submission, elasticity
+//! primitives (server management and context migration), and snapshots.
+
+use crate::context::{ContextFactory, ContextObject, ContextSlot};
+use crate::event::{EventHandle, EventOutcome, EventRequest};
+use crate::invocation::EventExecution;
+use crate::locks::ContextLock;
+use crate::snapshot::Snapshot;
+use crate::stats::RuntimeStats;
+use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
+use aeon_types::{
+    codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
+    ServerId, Value,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Placement policy for newly created contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Place the context on the least-loaded server (fewest contexts).
+    #[default]
+    Auto,
+    /// Place the context on the given server.
+    Server(ServerId),
+    /// Co-locate the context with another context (e.g. its owner) for
+    /// locality, mirroring the paper's placement of Players/Items next to
+    /// their Room.
+    WithContext(ContextId),
+}
+
+/// Configuration of the runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of logical servers to create at startup.
+    pub initial_servers: usize,
+    /// How dominators are derived from the ownership network.
+    pub dominator_mode: DominatorMode,
+    /// Optional contextclass constraint graph; when present, context
+    /// creation and ownership changes are validated against it.
+    pub class_graph: Option<ClassGraph>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self { initial_servers: 1, dominator_mode: DominatorMode::default(), class_graph: None }
+    }
+}
+
+/// Builder for [`AeonRuntime`].
+#[derive(Debug, Default)]
+pub struct RuntimeBuilder {
+    config: RuntimeConfig,
+}
+
+impl RuntimeBuilder {
+    /// Sets the number of logical servers created at startup.
+    pub fn servers(mut self, n: usize) -> Self {
+        self.config.initial_servers = n;
+        self
+    }
+
+    /// Sets the dominator derivation mode.
+    pub fn dominator_mode(mut self, mode: DominatorMode) -> Self {
+        self.config.dominator_mode = mode;
+        self
+    }
+
+    /// Installs a contextclass constraint graph; the static analysis
+    /// (`ClassGraph::check`) is run by [`RuntimeBuilder::build`].
+    pub fn class_graph(mut self, classes: ClassGraph) -> Self {
+        self.config.class_graph = Some(classes);
+        self
+    }
+
+    /// Builds the runtime.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::Config`] when `servers` is zero.
+    /// * [`AeonError::ClassCycleDetected`] when the class graph fails the
+    ///   static analysis.
+    pub fn build(self) -> Result<AeonRuntime> {
+        if self.config.initial_servers == 0 {
+            return Err(AeonError::Config("at least one server is required".into()));
+        }
+        if let Some(classes) = &self.config.class_graph {
+            classes.check()?;
+        }
+        let inner = Arc::new(RuntimeInner {
+            resolver: DominatorResolver::new(self.config.dominator_mode),
+            config: self.config,
+            graph: RwLock::new(OwnershipGraph::new()),
+            contexts: RwLock::new(HashMap::new()),
+            placement: RwLock::new(HashMap::new()),
+            servers: RwLock::new(BTreeMap::new()),
+            factories: RwLock::new(HashMap::new()),
+            global_root: ContextLock::new(ContextId::new(u64::MAX)),
+            ids: IdGenerator::starting_at(1),
+            next_server: AtomicU32::new(0),
+            events_in_flight: AtomicU64::new(0),
+            stats: RuntimeStats::default(),
+            shutdown: AtomicBool::new(false),
+            paused: Mutex::new(Vec::new()),
+        });
+        for _ in 0..inner.config.initial_servers {
+            inner.add_server();
+        }
+        Ok(AeonRuntime { inner })
+    }
+}
+
+/// Per-server bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct ServerInfo {
+    /// Whether the server is accepting contexts.
+    pub online: bool,
+    /// Events whose target context was placed on this server.
+    pub events_executed: u64,
+}
+
+/// Shared interior of the runtime.
+pub(crate) struct RuntimeInner {
+    pub(crate) config: RuntimeConfig,
+    pub(crate) graph: RwLock<OwnershipGraph>,
+    pub(crate) resolver: DominatorResolver,
+    pub(crate) contexts: RwLock<HashMap<ContextId, Arc<ContextSlot>>>,
+    pub(crate) placement: RwLock<HashMap<ContextId, ServerId>>,
+    pub(crate) servers: RwLock<BTreeMap<ServerId, ServerInfo>>,
+    pub(crate) factories: RwLock<HashMap<String, ContextFactory>>,
+    /// Sequencer used when a target has no concrete dominator
+    /// ([`Dominator::GlobalRoot`]).
+    pub(crate) global_root: ContextLock,
+    pub(crate) ids: IdGenerator,
+    next_server: AtomicU32,
+    events_in_flight: AtomicU64,
+    pub(crate) stats: RuntimeStats,
+    shutdown: AtomicBool,
+    /// Contexts paused for migration (step II of the protocol): events
+    /// targeting them are still accepted but their execution is delayed by
+    /// the context lock, which the migration holds exclusively.
+    paused: Mutex<Vec<ContextId>>,
+}
+
+impl std::fmt::Debug for RuntimeInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeInner")
+            .field("contexts", &self.contexts.read().len())
+            .field("servers", &self.servers.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeInner {
+    pub(crate) fn context_slot(&self, id: ContextId) -> Result<Arc<ContextSlot>> {
+        self.contexts.read().get(&id).cloned().ok_or(AeonError::ContextNotFound(id))
+    }
+
+    pub(crate) fn dominator_of(&self, target: ContextId) -> Result<Dominator> {
+        let graph = self.graph.read();
+        self.resolver.dominator(&graph, target)
+    }
+
+    pub(crate) fn may_call(&self, caller: ContextId, callee: ContextId) -> bool {
+        self.graph.read().may_call(caller, callee)
+    }
+
+    pub(crate) fn children_of(
+        &self,
+        parent: ContextId,
+        class: Option<&str>,
+    ) -> Result<Vec<ContextId>> {
+        let graph = self.graph.read();
+        let children = graph.children(parent)?;
+        let mut out = Vec::with_capacity(children.len());
+        for &c in children {
+            if class.map_or(true, |cls| graph.class_of(c).map(|k| k == cls).unwrap_or(false)) {
+                out.push(c);
+            }
+        }
+        Ok(out)
+    }
+
+    fn pick_server(&self, placement: Placement) -> Result<ServerId> {
+        match placement {
+            Placement::Server(id) => {
+                let servers = self.servers.read();
+                match servers.get(&id) {
+                    Some(info) if info.online => Ok(id),
+                    _ => Err(AeonError::ServerNotFound(id)),
+                }
+            }
+            Placement::WithContext(other) => self
+                .placement
+                .read()
+                .get(&other)
+                .copied()
+                .ok_or(AeonError::ContextNotFound(other)),
+            Placement::Auto => {
+                let servers = self.servers.read();
+                let placement = self.placement.read();
+                let mut load: BTreeMap<ServerId, usize> = servers
+                    .iter()
+                    .filter(|(_, info)| info.online)
+                    .map(|(id, _)| (*id, 0))
+                    .collect();
+                for server in placement.values() {
+                    if let Some(count) = load.get_mut(server) {
+                        *count += 1;
+                    }
+                }
+                load.into_iter()
+                    .min_by_key(|(id, count)| (*count, id.raw()))
+                    .map(|(id, _)| id)
+                    .ok_or_else(|| AeonError::Config("no online servers".into()))
+            }
+        }
+    }
+
+    pub(crate) fn create_context_owned_by(
+        &self,
+        object: Box<dyn ContextObject>,
+        owners: &[ContextId],
+        colocate_with: Option<ContextId>,
+    ) -> Result<ContextId> {
+        let class = object.class_name().to_string();
+        // Validate class constraints against every owner before mutating.
+        if let Some(classes) = &self.config.class_graph {
+            let graph = self.graph.read();
+            for owner in owners {
+                let owner_class = graph.class_of(*owner)?;
+                if !classes.allows(owner_class, &class) {
+                    return Err(AeonError::OwnershipViolation {
+                        caller: *owner,
+                        callee: ContextId::new(u64::MAX),
+                    });
+                }
+            }
+        }
+        let id = ContextId::new(self.ids.next_raw());
+        let placement = match colocate_with.or_else(|| owners.first().copied()) {
+            Some(other) => Placement::WithContext(other),
+            None => Placement::Auto,
+        };
+        let server = self.pick_server(placement)?;
+        {
+            let mut graph = self.graph.write();
+            graph.add_context(id, class)?;
+            for owner in owners {
+                if let Err(e) = graph.add_edge(*owner, id) {
+                    let _ = graph.remove_context(id);
+                    return Err(e);
+                }
+            }
+        }
+        self.contexts.write().insert(id, ContextSlot::new(id, object));
+        self.placement.write().insert(id, server);
+        Ok(id)
+    }
+
+    pub(crate) fn add_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        if let Some(classes) = &self.config.class_graph {
+            let graph = self.graph.read();
+            let owner_class = graph.class_of(owner)?;
+            let owned_class = graph.class_of(owned)?;
+            if !classes.allows(owner_class, owned_class) {
+                return Err(AeonError::OwnershipViolation { caller: owner, callee: owned });
+            }
+        }
+        self.graph.write().add_edge(owner, owned)
+    }
+
+    pub(crate) fn remove_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.graph.write().remove_edge(owner, owned)
+    }
+
+    fn add_server(&self) -> ServerId {
+        let id = ServerId::new(self.next_server.fetch_add(1, Ordering::Relaxed));
+        self.servers.write().insert(id, ServerInfo { online: true, events_executed: 0 });
+        id
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Runs an event (and, recursively, the sub-events it dispatches) on the
+    /// current thread.
+    fn run_event(self: &Arc<Self>, request: EventRequest) -> EventOutcome {
+        let started = Instant::now();
+        self.events_in_flight.fetch_add(1, Ordering::SeqCst);
+        let (result, sub_events) = EventExecution::run(Arc::clone(self), &request);
+        let latency = started.elapsed();
+        self.stats.record_event(result.is_ok(), request.mode.is_read_only(), latency);
+        if let Some(server) = self.placement.read().get(&request.target) {
+            if let Some(info) = self.servers.write().get_mut(server) {
+                info.events_executed += 1;
+            }
+        }
+        self.events_in_flight.fetch_sub(1, Ordering::SeqCst);
+        // Sub-events run after their creator terminates.
+        for sub in sub_events {
+            let sub_request = EventRequest {
+                id: EventId::new(self.ids.next_raw()),
+                client: request.client,
+                target: sub.target,
+                method: sub.method,
+                args: sub.args,
+                mode: sub.mode,
+            };
+            let _ = self.run_event(sub_request);
+        }
+        EventOutcome { event: request.id, result, latency }
+    }
+
+    fn spawn_event(self: &Arc<Self>, request: EventRequest) -> EventHandle {
+        let (tx, handle) = EventHandle::new(request.id);
+        let inner = Arc::clone(self);
+        std::thread::spawn(move || {
+            let outcome = inner.run_event(request);
+            let _ = tx.send(outcome);
+        });
+        handle
+    }
+}
+
+/// The AEON runtime: hosts contexts, executes events, and exposes the
+/// elasticity primitives (server management, migration, snapshots) that the
+/// elasticity manager builds upon.
+///
+/// Cloning the handle is cheap and all clones drive the same runtime.
+#[derive(Debug, Clone)]
+pub struct AeonRuntime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl AeonRuntime {
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Creates a client handle for submitting events.
+    pub fn client(&self) -> AeonClient {
+        AeonClient { inner: Arc::clone(&self.inner), id: ClientId::new(self.inner.ids.next_raw()) }
+    }
+
+    /// Registers a factory able to rebuild contexts of `class` from a
+    /// snapshot (used by migration and crash recovery).
+    pub fn register_class_factory(&self, class: impl Into<String>, factory: ContextFactory) {
+        self.inner.factories.write().insert(class.into(), factory);
+    }
+
+    /// Creates a root context (no owners) and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ServerNotFound`] / [`AeonError::Config`] when
+    /// the requested placement is not satisfiable.
+    pub fn create_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        placement: Placement,
+    ) -> Result<ContextId> {
+        let class = object.class_name().to_string();
+        if let Some(classes) = &self.inner.config.class_graph {
+            if !classes.contains(&class) {
+                return Err(AeonError::Config(format!(
+                    "contextclass {class} is not declared in the class graph"
+                )));
+            }
+        }
+        let id = ContextId::new(self.inner.ids.next_raw());
+        let server = self.inner.pick_server(placement)?;
+        self.inner.graph.write().add_context(id, class)?;
+        self.inner.contexts.write().insert(id, ContextSlot::new(id, object));
+        self.inner.placement.write().insert(id, server);
+        Ok(id)
+    }
+
+    /// Creates a context owned by `owners` (at least one), co-located with
+    /// its first owner.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::Config`] when `owners` is empty.
+    /// * [`AeonError::OwnershipViolation`] when the class constraints forbid
+    ///   the ownership.
+    pub fn create_owned_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        owners: &[ContextId],
+    ) -> Result<ContextId> {
+        if owners.is_empty() {
+            return Err(AeonError::Config("create_owned_context requires at least one owner".into()));
+        }
+        self.inner.create_context_owned_by(object, owners, None)
+    }
+
+    /// Adds `owner` to the owners of `owned`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::CycleDetected`] when the edge would create a cycle.
+    /// * [`AeonError::OwnershipViolation`] when the class constraints forbid
+    ///   the edge.
+    pub fn add_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.inner.add_ownership(owner, owned)
+    }
+
+    /// Removes `owner` from the owners of `owned`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] when either context is
+    /// unknown.
+    pub fn remove_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.inner.remove_ownership(owner, owned)
+    }
+
+    /// A snapshot of the current ownership network.
+    pub fn ownership_graph(&self) -> OwnershipGraph {
+        self.inner.graph.read().clone()
+    }
+
+    /// The dominator of `target` under the configured mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] when `target` is unknown.
+    pub fn dominator_of(&self, target: ContextId) -> Result<Dominator> {
+        self.inner.dominator_of(target)
+    }
+
+    /// Adds a new (logical) server and returns its id.
+    pub fn add_server(&self) -> ServerId {
+        self.inner.add_server()
+    }
+
+    /// Marks a server offline.  The server must not host any contexts —
+    /// migrate them away first (the elasticity manager does this when
+    /// scaling in).
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ServerNotFound`] for unknown servers.
+    /// * [`AeonError::Config`] when contexts are still placed on it.
+    pub fn remove_server(&self, server: ServerId) -> Result<()> {
+        let hosted = self.contexts_on(server).len();
+        if hosted > 0 {
+            return Err(AeonError::Config(format!(
+                "server {server} still hosts {hosted} contexts"
+            )));
+        }
+        let mut servers = self.inner.servers.write();
+        let info = servers.get_mut(&server).ok_or(AeonError::ServerNotFound(server))?;
+        info.online = false;
+        Ok(())
+    }
+
+    /// Ids of all online servers.
+    pub fn servers(&self) -> Vec<ServerId> {
+        self.inner
+            .servers
+            .read()
+            .iter()
+            .filter(|(_, info)| info.online)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Per-server info (including offline servers).
+    pub fn server_info(&self) -> BTreeMap<ServerId, ServerInfo> {
+        self.inner.servers.read().clone()
+    }
+
+    /// The server currently hosting `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] for unknown contexts.
+    pub fn placement_of(&self, context: ContextId) -> Result<ServerId> {
+        self.inner
+            .placement
+            .read()
+            .get(&context)
+            .copied()
+            .ok_or(AeonError::ContextNotFound(context))
+    }
+
+    /// All contexts currently placed on `server`.
+    pub fn contexts_on(&self, server: ServerId) -> Vec<ContextId> {
+        let mut out: Vec<ContextId> = self
+            .inner
+            .placement
+            .read()
+            .iter()
+            .filter(|(_, s)| **s == server)
+            .map(|(c, _)| *c)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of contexts hosted by the runtime.
+    pub fn context_count(&self) -> usize {
+        self.inner.contexts.read().len()
+    }
+
+    /// Migrates `context` to `to_server` without violating consistency: the
+    /// migration behaves like an exclusive event on the context (it waits
+    /// for in-flight events to drain and delays queued ones), serialises the
+    /// context state, re-instantiates it through the registered class
+    /// factory (if any), and atomically updates the placement map.
+    ///
+    /// Returns the number of bytes of serialized state moved.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ContextNotFound`] / [`AeonError::ServerNotFound`] for
+    ///   unknown ids.
+    /// * [`AeonError::EventAborted`] if the runtime shuts down while the
+    ///   migration waits for the context.
+    pub fn migrate_context(&self, context: ContextId, to_server: ServerId) -> Result<u64> {
+        {
+            let servers = self.inner.servers.read();
+            match servers.get(&to_server) {
+                Some(info) if info.online => {}
+                _ => return Err(AeonError::ServerNotFound(to_server)),
+            }
+        }
+        let slot = self.inner.context_slot(context)?;
+        // Step II/IV of the protocol: the migration event waits its turn in
+        // the context's queue, guaranteeing no event is mid-flight in the
+        // context when the state moves.
+        let migration_event = EventId::new(self.inner.ids.next_raw());
+        self.inner.paused.lock().push(context);
+        slot.lock.activate(migration_event, AccessMode::Exclusive)?;
+        let moved = {
+            let mut object = slot.object.lock();
+            let state = object.snapshot();
+            let bytes = codec::encode(&state).len() as u64;
+            // Re-instantiate through the factory when one is registered:
+            // this is what actually happens when the state crosses servers.
+            if let Some(factory) = self.inner.factories.read().get(&slot.class) {
+                *object = factory(&state);
+            }
+            bytes
+        };
+        self.inner.placement.write().insert(context, to_server);
+        slot.lock.release(migration_event);
+        self.inner.paused.lock().retain(|c| *c != context);
+        self.inner.stats.record_migration(moved);
+        Ok(moved)
+    }
+
+    /// Contexts currently paused for migration.
+    pub fn migrating_contexts(&self) -> Vec<ContextId> {
+        self.inner.paused.lock().clone()
+    }
+
+    /// Takes a consistent snapshot of `root` and all its descendants
+    /// (§5.3).  The snapshot is taken under the same sequencing as an
+    /// exclusive event targeting `root`, so it reflects a prefix-consistent
+    /// state of the subtree.
+    ///
+    /// Contexts whose [`ContextObject::snapshot`] returns `Null` are skipped
+    /// (the paper's opt-out convention).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] when `root` is unknown.
+    pub fn snapshot_context(&self, root: ContextId) -> Result<Snapshot> {
+        let event = EventId::new(self.inner.ids.next_raw());
+        let dominator = self.inner.dominator_of(root)?;
+        let mut held: Vec<Arc<ContextSlot>> = Vec::new();
+        let mut holds_root = false;
+        match dominator {
+            Dominator::Context(dom) if dom != root => {
+                let slot = self.inner.context_slot(dom)?;
+                slot.lock.activate(event, AccessMode::Exclusive)?;
+                held.push(slot);
+            }
+            Dominator::GlobalRoot => {
+                self.inner.global_root.activate(event, AccessMode::Exclusive)?;
+                holds_root = true;
+            }
+            _ => {}
+        }
+        let members: Vec<ContextId> = {
+            let graph = self.inner.graph.read();
+            let mut m = vec![root];
+            m.extend(graph.descendants(root)?);
+            m
+        };
+        let mut snapshot = Snapshot::new(root);
+        let result = (|| -> Result<()> {
+            for id in members {
+                let slot = self.inner.context_slot(id)?;
+                slot.lock.activate(event, AccessMode::Exclusive)?;
+                held.push(slot.clone());
+                let state = slot.object.lock().snapshot();
+                if !state.is_null() {
+                    snapshot.insert(id, slot.class.clone(), state);
+                }
+            }
+            Ok(())
+        })();
+        while let Some(slot) = held.pop() {
+            slot.lock.release(event);
+        }
+        if holds_root {
+            self.inner.global_root.release(event);
+        }
+        result.map(|()| snapshot)
+    }
+
+    /// Restores context states from a snapshot previously produced by
+    /// [`AeonRuntime::snapshot_context`].  Contexts must still exist; their
+    /// state is replaced via [`ContextObject::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] if a snapshotted context no
+    /// longer exists.
+    pub fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
+        for (id, entry) in snapshot.entries() {
+            let slot = self.inner.context_slot(*id)?;
+            slot.object.lock().restore(&entry.state);
+        }
+        Ok(())
+    }
+
+    /// Runtime-wide statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.inner.stats
+    }
+
+    /// Number of events currently executing.
+    pub fn events_in_flight(&self) -> u64 {
+        self.inner.events_in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Shuts the runtime down: subsequent submissions fail and events
+    /// blocked on context locks are aborted.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for slot in self.inner.contexts.read().values() {
+            slot.lock.poison();
+        }
+        self.inner.global_root.poison();
+    }
+}
+
+/// A client handle: the entry point for submitting events.
+#[derive(Debug, Clone)]
+pub struct AeonClient {
+    inner: Arc<RuntimeInner>,
+    id: ClientId,
+}
+
+impl AeonClient {
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Submits an exclusive (update) event and returns a completion handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::RuntimeShutdown`] after shutdown and
+    /// [`AeonError::ContextNotFound`] for unknown targets.
+    pub fn submit_event(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<EventHandle> {
+        self.submit_with_mode(target, method, args, AccessMode::Exclusive)
+    }
+
+    /// Submits a read-only event (the paper's `ro` methods); read-only
+    /// events of the same context may execute concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AeonClient::submit_event`].
+    pub fn submit_readonly_event(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<EventHandle> {
+        self.submit_with_mode(target, method, args, AccessMode::ReadOnly)
+    }
+
+    /// Convenience wrapper: submits an exclusive event and waits for its
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and execution errors.
+    pub fn call(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
+        self.submit_event(target, method, args)?.wait()
+    }
+
+    /// Convenience wrapper: submits a read-only event and waits for its
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and execution errors.
+    pub fn call_readonly(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
+        self.submit_readonly_event(target, method, args)?.wait()
+    }
+
+    fn submit_with_mode(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<EventHandle> {
+        if self.inner.is_shutdown() {
+            return Err(AeonError::RuntimeShutdown);
+        }
+        if !self.inner.contexts.read().contains_key(&target) {
+            return Err(AeonError::ContextNotFound(target));
+        }
+        let request = EventRequest {
+            id: EventId::new(self.inner.ids.next_raw()),
+            client: Some(self.id),
+            target,
+            method: method.to_string(),
+            args,
+            mode,
+        };
+        Ok(self.inner.spawn_event(request))
+    }
+}
+
+/// Alias documenting the shape of events dispatched from within events.
+pub use crate::invocation::SubEvent as DispatchedEvent;

@@ -1,0 +1,143 @@
+//! Consistent snapshots of context subtrees (§5.3).
+
+use aeon_types::{AeonError, ContextId, Result, Value};
+use std::collections::BTreeMap;
+
+/// The snapshotted state of one context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Contextclass of the snapshotted context.
+    pub class: String,
+    /// The state returned by [`crate::ContextObject::snapshot`].
+    pub state: Value,
+}
+
+/// A consistent snapshot of a context and its descendants.
+///
+/// Snapshots can be serialised to a [`Value`] (and hence to bytes through
+/// `aeon_types::codec`) so that the elasticity manager can persist them in
+/// cloud storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    root: ContextId,
+    entries: BTreeMap<ContextId, SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot rooted at `root`.
+    pub fn new(root: ContextId) -> Self {
+        Self { root, entries: BTreeMap::new() }
+    }
+
+    /// The context the snapshot was requested on.
+    pub fn root(&self) -> ContextId {
+        self.root
+    }
+
+    /// Adds the state of one context.
+    pub fn insert(&mut self, id: ContextId, class: impl Into<String>, state: Value) {
+        self.entries.insert(id, SnapshotEntry { class: class.into(), state });
+    }
+
+    /// Number of contexts captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no context state was captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates the captured entries in context-id order.
+    pub fn entries(&self) -> impl Iterator<Item = (&ContextId, &SnapshotEntry)> {
+        self.entries.iter()
+    }
+
+    /// State captured for `id`, if any.
+    pub fn get(&self, id: ContextId) -> Option<&SnapshotEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Serialises the snapshot into a [`Value`].
+    pub fn to_value(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(id, entry)| {
+                Value::map([
+                    ("id", Value::from(*id)),
+                    ("class", Value::from(entry.class.clone())),
+                    ("state", entry.state.clone()),
+                ])
+            })
+            .collect();
+        Value::map([("root", Value::from(self.root)), ("entries", Value::List(entries))])
+    }
+
+    /// Reconstructs a snapshot from [`Snapshot::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::Codec`] when the value does not have the
+    /// expected shape.
+    pub fn from_value(value: &Value) -> Result<Self> {
+        let root = value
+            .get("root")
+            .and_then(Value::as_context)
+            .ok_or_else(|| AeonError::Codec("snapshot: missing root".into()))?;
+        let mut snapshot = Snapshot::new(root);
+        let entries = value
+            .get("entries")
+            .and_then(Value::as_list)
+            .ok_or_else(|| AeonError::Codec("snapshot: missing entries".into()))?;
+        for entry in entries {
+            let id = entry
+                .get("id")
+                .and_then(Value::as_context)
+                .ok_or_else(|| AeonError::Codec("snapshot entry: missing id".into()))?;
+            let class = entry
+                .get("class")
+                .and_then(Value::as_str)
+                .ok_or_else(|| AeonError::Codec("snapshot entry: missing class".into()))?;
+            let state = entry.get("state").cloned().unwrap_or(Value::Null);
+            snapshot.insert(id, class, state);
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_value() {
+        let mut s = Snapshot::new(ContextId::new(1));
+        s.insert(ContextId::new(1), "Room", Value::map([("players", Value::from(2i64))]));
+        s.insert(ContextId::new(2), "Player", Value::map([("gold", Value::from(10i64))]));
+        let v = s.to_value();
+        let restored = Snapshot::from_value(&v).unwrap();
+        assert_eq!(restored, s);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.root(), ContextId::new(1));
+        assert_eq!(restored.get(ContextId::new(2)).unwrap().class, "Player");
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        assert!(Snapshot::from_value(&Value::Null).is_err());
+        assert!(Snapshot::from_value(&Value::map([("root", Value::from(ContextId::new(1)))]))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Snapshot::new(ContextId::new(5));
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.get(ContextId::new(5)).is_none());
+        let restored = Snapshot::from_value(&s.to_value()).unwrap();
+        assert!(restored.is_empty());
+    }
+}

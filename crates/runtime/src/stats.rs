@@ -1,0 +1,240 @@
+//! Runtime statistics: event throughput, latency, message and migration
+//! counters.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Aggregated latency statistics (microsecond resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_micros: f64,
+    /// Minimum observed latency in microseconds.
+    pub min_micros: u64,
+    /// Maximum observed latency in microseconds.
+    pub max_micros: u64,
+    /// 50th percentile (approximate, histogram-based).
+    pub p50_micros: u64,
+    /// 99th percentile (approximate, histogram-based).
+    pub p99_micros: u64,
+}
+
+/// A fixed-bucket log-scale histogram of latencies, cheap to update from
+/// many threads (guarded by a mutex only on record).
+#[derive(Debug)]
+struct LatencyHistogram {
+    count: u64,
+    total_micros: u64,
+    min_micros: u64,
+    max_micros: u64,
+    /// bucket i counts samples in [2^i, 2^(i+1)) microseconds, i in 0..40.
+    buckets: [u64; 40],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { count: 0, total_micros: 0, min_micros: 0, max_micros: 0, buckets: [0; 40] }
+    }
+}
+
+impl LatencyHistogram {
+    fn record(&mut self, micros: u64) {
+        self.count += 1;
+        self.total_micros += micros;
+        if self.count == 1 {
+            self.min_micros = micros;
+            self.max_micros = micros;
+        } else {
+            self.min_micros = self.min_micros.min(micros);
+            self.max_micros = self.max_micros.max(micros);
+        }
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(39);
+        self.buckets[bucket] += 1;
+    }
+
+    fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return 1u64 << (i + 1); // upper edge of bucket
+            }
+        }
+        self.max_micros
+    }
+
+    fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_micros: if self.count == 0 {
+                0.0
+            } else {
+                self.total_micros as f64 / self.count as f64
+            },
+            min_micros: self.min_micros,
+            max_micros: self.max_micros,
+            p50_micros: self.percentile(0.50),
+            p99_micros: self.percentile(0.99),
+        }
+    }
+}
+
+/// Counters collected by the runtime; all methods are thread-safe.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    events_completed: AtomicU64,
+    events_failed: AtomicU64,
+    readonly_events: AtomicU64,
+    method_calls: AtomicU64,
+    async_calls: AtomicU64,
+    sub_events: AtomicU64,
+    migrations: AtomicU64,
+    migrated_bytes: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl RuntimeStats {
+    /// Records a completed event (success or failure) and its latency.
+    pub fn record_event(&self, success: bool, readonly: bool, latency: Duration) {
+        if success {
+            self.events_completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.events_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        if readonly {
+            self.readonly_events.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.lock().record(latency.as_micros() as u64);
+    }
+
+    /// Records a synchronous or asynchronous method call executed within an
+    /// event.
+    pub fn record_method_call(&self, asynchronous: bool) {
+        self.method_calls.fetch_add(1, Ordering::Relaxed);
+        if asynchronous {
+            self.async_calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a sub-event dispatched from within an event.
+    pub fn record_sub_event(&self) {
+        self.sub_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed context migration and the payload size moved.
+    pub fn record_migration(&self, bytes: u64) {
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        self.migrated_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Number of successfully completed events.
+    pub fn events_completed(&self) -> u64 {
+        self.events_completed.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed events.
+    pub fn events_failed(&self) -> u64 {
+        self.events_failed.load(Ordering::Relaxed)
+    }
+
+    /// Number of events executed in read-only mode.
+    pub fn readonly_events(&self) -> u64 {
+        self.readonly_events.load(Ordering::Relaxed)
+    }
+
+    /// Number of context method calls executed within events.
+    pub fn method_calls(&self) -> u64 {
+        self.method_calls.load(Ordering::Relaxed)
+    }
+
+    /// Number of asynchronous method calls.
+    pub fn async_calls(&self) -> u64 {
+        self.async_calls.load(Ordering::Relaxed)
+    }
+
+    /// Number of sub-events dispatched from within events.
+    pub fn sub_events(&self) -> u64 {
+        self.sub_events.load(Ordering::Relaxed)
+    }
+
+    /// Number of context migrations performed.
+    pub fn migrations(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of context state moved by migrations.
+    pub fn migrated_bytes(&self) -> u64 {
+        self.migrated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Latency summary over all completed events.
+    pub fn latency_summary(&self) -> LatencySummary {
+        self.latency.lock().summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = RuntimeStats::default();
+        stats.record_event(true, false, Duration::from_millis(1));
+        stats.record_event(true, true, Duration::from_millis(2));
+        stats.record_event(false, false, Duration::from_millis(3));
+        stats.record_method_call(false);
+        stats.record_method_call(true);
+        stats.record_sub_event();
+        stats.record_migration(1024);
+        assert_eq!(stats.events_completed(), 2);
+        assert_eq!(stats.events_failed(), 1);
+        assert_eq!(stats.readonly_events(), 1);
+        assert_eq!(stats.method_calls(), 2);
+        assert_eq!(stats.async_calls(), 1);
+        assert_eq!(stats.sub_events(), 1);
+        assert_eq!(stats.migrations(), 1);
+        assert_eq!(stats.migrated_bytes(), 1024);
+    }
+
+    #[test]
+    fn latency_summary_is_sane() {
+        let stats = RuntimeStats::default();
+        for ms in [1u64, 2, 4, 8, 100] {
+            stats.record_event(true, false, Duration::from_millis(ms));
+        }
+        let s = stats.latency_summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min_micros, 1_000);
+        assert_eq!(s.max_micros, 100_000);
+        assert!(s.mean_micros > 1_000.0 && s.mean_micros < 100_000.0);
+        assert!(s.p50_micros >= 1_000);
+        assert!(s.p99_micros >= s.p50_micros);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let stats = RuntimeStats::default();
+        let s = stats.latency_summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_micros, 0.0);
+        assert_eq!(s.p99_micros, 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone_in_quantile() {
+        let mut h = LatencyHistogram::default();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        assert!(h.percentile(0.5) <= h.percentile(0.9));
+        assert!(h.percentile(0.9) <= h.percentile(0.99));
+    }
+}

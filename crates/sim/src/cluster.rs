@@ -1,0 +1,178 @@
+//! The simulated cluster: servers, context placement and the network.
+
+use aeon_net::LatencyModel;
+use aeon_types::{ContextId, ServerId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+use crate::resources::{CpuTimeline, LockTimeline};
+
+/// A cluster of simulated servers hosting contexts.
+#[derive(Debug)]
+pub struct SimCluster {
+    cpus: Vec<CpuTimeline>,
+    placement: HashMap<ContextId, ServerId>,
+    locks: HashMap<ContextId, LockTimeline>,
+    latency: LatencyModel,
+    /// Multiplier applied to every CPU service time (models slower managed
+    /// runtimes, e.g. the C# comparators of §6.1).
+    cpu_overhead: f64,
+    rng: StdRng,
+}
+
+impl SimCluster {
+    /// Creates a cluster of `servers` servers with `cores` cores each.
+    pub fn new(servers: usize, cores: usize) -> Self {
+        Self {
+            cpus: vec![CpuTimeline::new(cores); servers.max(1)],
+            placement: HashMap::new(),
+            locks: HashMap::new(),
+            latency: LatencyModel::default(),
+            cpu_overhead: 1.0,
+            rng: StdRng::seed_from_u64(42),
+        }
+    }
+
+    /// Sets the one-way network latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the CPU overhead multiplier.
+    pub fn with_cpu_overhead(mut self, factor: f64) -> Self {
+        self.cpu_overhead = factor.max(0.0);
+        self
+    }
+
+    /// Sets the random seed used for latency sampling.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Adds `count` servers (scale out) and returns the new server count.
+    pub fn add_servers(&mut self, count: usize) -> usize {
+        let cores = self.cpus[0].cores();
+        for _ in 0..count {
+            self.cpus.push(CpuTimeline::new(cores));
+        }
+        self.cpus.len()
+    }
+
+    /// Places `context` on `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range (programming error in a workload
+    /// generator).
+    pub fn place(&mut self, context: ContextId, server: ServerId) {
+        assert!(
+            (server.raw() as usize) < self.cpus.len(),
+            "server {server} out of range ({} servers)",
+            self.cpus.len()
+        );
+        self.placement.insert(context, server);
+    }
+
+    /// The server hosting `context` (defaults to server 0 when unplaced).
+    pub fn server_of(&self, context: ContextId) -> ServerId {
+        self.placement.get(&context).copied().unwrap_or(ServerId::new(0))
+    }
+
+    /// Draws a one-way network latency sample.
+    pub fn sample_latency(&mut self) -> SimDuration {
+        self.latency.sample(&mut self.rng)
+    }
+
+    /// Scales a CPU service time by the configured overhead factor.
+    pub fn scaled_cpu(&self, base: SimDuration) -> SimDuration {
+        base.mul_f64(self.cpu_overhead)
+    }
+
+    /// Mutable access to the sequencer/grain lock of `context`.
+    pub fn lock_mut(&mut self, context: ContextId) -> &mut LockTimeline {
+        self.locks.entry(context).or_default()
+    }
+
+    /// Mutable access to the CPU of the server hosting `context`.
+    pub fn cpu_of_mut(&mut self, context: ContextId) -> &mut CpuTimeline {
+        let server = self.server_of(context);
+        &mut self.cpus[server.raw() as usize]
+    }
+
+    /// Mutable access to a server CPU by id.
+    pub fn cpu_mut(&mut self, server: ServerId) -> &mut CpuTimeline {
+        &mut self.cpus[server.raw() as usize]
+    }
+
+    /// Blocks every lock of the given contexts until `until` (migration
+    /// outage window).
+    pub fn block_contexts_until(&mut self, contexts: &[ContextId], until: SimTime) {
+        for c in contexts {
+            self.locks.entry(*c).or_default().block_until(until);
+        }
+    }
+
+    /// Average CPU utilisation across servers over `[0, horizon]`.
+    pub fn mean_utilisation(&self, horizon: SimTime) -> f64 {
+        if self.cpus.is_empty() {
+            return 0.0;
+        }
+        self.cpus.iter().map(|c| c.utilisation(horizon)).sum::<f64>() / self.cpus.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_and_lookup() {
+        let mut cluster = SimCluster::new(3, 2);
+        cluster.place(ContextId::new(1), ServerId::new(2));
+        assert_eq!(cluster.server_of(ContextId::new(1)), ServerId::new(2));
+        assert_eq!(cluster.server_of(ContextId::new(9)), ServerId::new(0));
+        assert_eq!(cluster.server_count(), 3);
+        assert_eq!(cluster.add_servers(2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn placing_on_unknown_server_panics() {
+        let mut cluster = SimCluster::new(1, 1);
+        cluster.place(ContextId::new(1), ServerId::new(5));
+    }
+
+    #[test]
+    fn cpu_overhead_scales_service_times() {
+        let cluster = SimCluster::new(1, 1).with_cpu_overhead(2.0);
+        assert_eq!(cluster.scaled_cpu(SimDuration::from_millis(3)), SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn latency_sampling_is_deterministic_for_a_seed() {
+        let mut a = SimCluster::new(1, 1).with_seed(7);
+        let mut b = SimCluster::new(1, 1).with_seed(7);
+        for _ in 0..10 {
+            assert_eq!(a.sample_latency(), b.sample_latency());
+        }
+    }
+
+    #[test]
+    fn blocking_contexts_delays_their_locks() {
+        let mut cluster = SimCluster::new(1, 1);
+        let ctx = ContextId::new(4);
+        cluster.block_contexts_until(&[ctx], SimTime::from_millis(100));
+        let start = cluster
+            .lock_mut(ctx)
+            .acquire_exclusive(SimTime::ZERO, SimDuration::from_millis(1));
+        assert_eq!(start, SimTime::from_millis(100));
+    }
+}

@@ -1,0 +1,253 @@
+//! Elasticity experiment model (Figure 7 and Table 1 of the paper).
+//!
+//! A game-style workload with a time-varying client population runs against
+//! either a fixed-size cluster or an elastic cluster whose size is driven by
+//! an SLA policy (scale out when the recent average latency exceeds the SLA,
+//! scale in when there is ample headroom).  The simulation proceeds in
+//! rounds; each round is simulated with the greedy timeline engine.
+
+use crate::cluster::SimCluster;
+use crate::engine::Simulator;
+use crate::request::{RequestSpec, Step};
+use aeon_net::LatencyModel;
+use aeon_types::{ContextId, ServerId, SimDuration, SimTime};
+
+/// Whether the cluster is elastic or statically sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticSetup {
+    /// Fixed number of servers.
+    Static(usize),
+    /// SLA-driven elastic sizing, starting from the given number of servers.
+    Elastic { initial: usize },
+}
+
+impl std::fmt::Display for ElasticSetup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElasticSetup::Static(n) => write!(f, "{n}-server"),
+            ElasticSetup::Elastic { .. } => write!(f, "Elastic"),
+        }
+    }
+}
+
+/// Parameters of the elasticity experiment.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Round length (the eManager's policy evaluation period).
+    pub round: SimDuration,
+    /// Number of rounds to simulate.
+    pub rounds: usize,
+    /// SLA on request latency.
+    pub sla: SimDuration,
+    /// Number of game rooms (load is spread across rooms).
+    pub rooms: usize,
+    /// Requests per client per second.
+    pub request_rate_per_client: f64,
+    /// CPU time per request.
+    pub service: SimDuration,
+    /// Number of clients active in each round (the ramp of Figure 7).
+    pub clients_per_round: Vec<usize>,
+    /// Maximum servers the elastic controller may allocate.
+    pub max_servers: usize,
+    /// Cost (pause) applied to rooms moved during a scale-out round.
+    pub migration_pause: SimDuration,
+}
+
+impl ElasticConfig {
+    /// The configuration used for Figure 7 / Table 1: clients ramp up from 8
+    /// to 128 and back down following a bell shape over 600 seconds.
+    pub fn paper_default() -> Self {
+        let rounds = 60;
+        let clients_per_round = (0..rounds)
+            .map(|i| {
+                // Bell-shaped ramp peaking mid-experiment at 128 clients.
+                let x = i as f64 / (rounds - 1) as f64;
+                let bell = (-((x - 0.5) * 4.0).powi(2)).exp();
+                (8.0 + 120.0 * bell).round() as usize
+            })
+            .collect();
+        Self {
+            round: SimDuration::from_secs(10),
+            rounds,
+            sla: SimDuration::from_millis(10),
+            rooms: 64,
+            request_rate_per_client: 60.0,
+            service: SimDuration::from_micros(2_500),
+            clients_per_round,
+            max_servers: 40,
+            migration_pause: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// One round of the elasticity experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticRound {
+    /// Start time of the round.
+    pub time: SimTime,
+    /// Active clients during the round.
+    pub clients: usize,
+    /// Servers in use during the round.
+    pub servers: usize,
+    /// Average request latency in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Fraction of the round's requests violating the SLA.
+    pub violations: f64,
+}
+
+/// The outcome of the elasticity experiment for one setup.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// The setup that was simulated.
+    pub setup: ElasticSetup,
+    /// Per-round measurements.
+    pub rounds: Vec<ElasticRound>,
+}
+
+impl ElasticOutcome {
+    /// Percentage (0–100) of all requests that violated the SLA
+    /// (Table 1, column "% of requests > 10ms" — approximated per round).
+    pub fn violation_percent(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        // Weight rounds by the number of clients (proportional to request
+        // volume).
+        let total: f64 = self.rounds.iter().map(|r| r.clients as f64).sum();
+        let violating: f64 =
+            self.rounds.iter().map(|r| r.violations * r.clients as f64).sum();
+        100.0 * violating / total
+    }
+
+    /// Average number of servers used (Table 1, column "Avg. servers").
+    pub fn average_servers(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.servers as f64).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+/// Runs the elasticity experiment for one setup.
+pub fn run_elastic(config: &ElasticConfig, setup: ElasticSetup) -> ElasticOutcome {
+    let mut servers = match setup {
+        ElasticSetup::Static(n) => n,
+        ElasticSetup::Elastic { initial } => initial,
+    };
+    let simulator = Simulator::new();
+    let mut rounds = Vec::with_capacity(config.rounds);
+    let mut pending_migration_pause = false;
+    for (i, &clients) in config.clients_per_round.iter().enumerate().take(config.rounds) {
+        let start = SimTime::from_micros(i as u64 * config.round.as_micros());
+        // Build the round's cluster: rooms spread round-robin over servers.
+        // One core per server (the experiment runs on m1.small instances).
+        let mut cluster = SimCluster::new(servers, 1)
+            .with_latency(LatencyModel::BaseplusExp { base_micros: 300, mean_tail_micros: 120 })
+            .with_seed(1000 + i as u64);
+        let rooms: Vec<ContextId> = (0..config.rooms as u64).map(ContextId::new).collect();
+        for (r, room) in rooms.iter().enumerate() {
+            cluster.place(*room, ServerId::new((r % servers) as u32));
+        }
+        if pending_migration_pause {
+            // Rooms rebalanced onto the new servers are briefly unavailable.
+            let moved: Vec<ContextId> =
+                rooms.iter().copied().filter(|r| (r.raw() as usize % servers) >= servers / 2).collect();
+            cluster.block_contexts_until(&moved, SimTime::ZERO + config.migration_pause);
+            pending_migration_pause = false;
+        }
+        // Generate the round's requests.
+        let rate = clients as f64 * config.request_rate_per_client;
+        let total = (rate * config.round.as_secs_f64()) as usize;
+        let requests: Vec<RequestSpec> = (0..total)
+            .map(|k| {
+                let arrival =
+                    SimTime::from_micros((k as f64 / rate * 1e6) as u64);
+                let room = rooms[k % rooms.len()];
+                RequestSpec::new(arrival, vec![room], vec![Step::new(room, config.service)])
+            })
+            .collect();
+        let metrics = simulator.run(&mut cluster, &requests);
+        let avg_latency_ms = metrics.mean_latency_ms();
+        let violations = metrics.fraction_violating(config.sla);
+        rounds.push(ElasticRound {
+            time: start,
+            clients,
+            servers,
+            avg_latency_ms,
+            violations,
+        });
+        // Elastic controller: the SLA policy of §6.2.
+        if let ElasticSetup::Elastic { .. } = setup {
+            if avg_latency_ms > config.sla.as_millis_f64() && servers < config.max_servers {
+                servers = (servers + 4).min(config.max_servers);
+                pending_migration_pause = true;
+            } else if avg_latency_ms < config.sla.as_millis_f64() * 0.4 && servers > 4 {
+                servers -= 2;
+            }
+        }
+    }
+    ElasticOutcome { setup, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ElasticConfig {
+        let mut c = ElasticConfig::paper_default();
+        c.rounds = 12;
+        c.clients_per_round = (0..12)
+            .map(|i| {
+                let x = i as f64 / 11.0;
+                let bell = (-((x - 0.5) * 4.0).powi(2)).exp();
+                (4.0 + 60.0 * bell).round() as usize
+            })
+            .collect();
+        c.rooms = 32;
+        c
+    }
+
+    #[test]
+    fn elastic_setup_meets_sla_better_than_small_static() {
+        let config = small_config();
+        let elastic = run_elastic(&config, ElasticSetup::Elastic { initial: 4 });
+        let static4 = run_elastic(&config, ElasticSetup::Static(4));
+        let static32 = run_elastic(&config, ElasticSetup::Static(32));
+        assert!(elastic.violation_percent() < static4.violation_percent());
+        // The big static fleet meets the SLA but uses more servers on
+        // average than the elastic one.
+        assert!(static32.violation_percent() <= elastic.violation_percent() + 1.0);
+        assert!(elastic.average_servers() < 32.0);
+    }
+
+    #[test]
+    fn elastic_cluster_grows_under_load_and_shrinks_after() {
+        let config = small_config();
+        let outcome = run_elastic(&config, ElasticSetup::Elastic { initial: 4 });
+        let max_servers = outcome.rounds.iter().map(|r| r.servers).max().unwrap();
+        let first = outcome.rounds.first().unwrap().servers;
+        let last = outcome.rounds.last().unwrap().servers;
+        assert!(max_servers > first, "scaled out under load");
+        assert!(last < max_servers, "scaled back in after the peak");
+    }
+
+    #[test]
+    fn static_setup_never_changes_size() {
+        let config = small_config();
+        let outcome = run_elastic(&config, ElasticSetup::Static(8));
+        assert!(outcome.rounds.iter().all(|r| r.servers == 8));
+        assert_eq!(outcome.setup.to_string(), "8-server");
+        assert_eq!(ElasticSetup::Elastic { initial: 4 }.to_string(), "Elastic");
+    }
+
+    #[test]
+    fn paper_default_has_a_bell_shaped_client_ramp() {
+        let config = ElasticConfig::paper_default();
+        let clients = &config.clients_per_round;
+        let peak = *clients.iter().max().unwrap();
+        assert_eq!(clients.len(), config.rounds);
+        assert!(peak >= 120 && peak <= 128);
+        assert!(clients[0] < 20);
+        assert!(clients[config.rounds - 1] < 20);
+    }
+}

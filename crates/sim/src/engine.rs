@@ -1,0 +1,242 @@
+//! The greedy timeline simulation engine.
+
+use crate::cluster::SimCluster;
+use crate::metrics::Metrics;
+use crate::request::RequestSpec;
+use aeon_types::SimTime;
+
+/// Runs request timelines against a cluster.
+#[derive(Debug, Default)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Creates a simulator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Simulates `requests` (any order; they are sorted by arrival time)
+    /// against `cluster` and returns the collected metrics.
+    ///
+    /// The timeline of one request is:
+    ///
+    /// 1. one network hop from the client to the server of its first step;
+    /// 2. acquisition of every sequencer lock (exclusive, or shared for
+    ///    read-only requests), held until the last step completes;
+    /// 3. for each step: a network hop when the step's context lives on a
+    ///    different server than the previous one, the per-context lock when
+    ///    the step is `locked`, and the CPU service time on the hosting
+    ///    server;
+    /// 4. one network hop back to the client.
+    pub fn run(&self, cluster: &mut SimCluster, requests: &[RequestSpec]) -> Metrics {
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| requests[i].arrival);
+        let mut metrics = Metrics::new();
+        for idx in order {
+            let request = &requests[idx];
+            let (end, latency) = self.run_one(cluster, request);
+            metrics.record(end, latency, request.readonly);
+        }
+        metrics
+    }
+
+    fn run_one(
+        &self,
+        cluster: &mut SimCluster,
+        request: &RequestSpec,
+    ) -> (SimTime, aeon_types::SimDuration) {
+        let mut now = request.arrival;
+        // Client -> entry server hop.
+        now += cluster.sample_latency();
+
+        // Sequencer acquisition (dominator, plus the root for EventWave).
+        let mut sequencer_starts = Vec::with_capacity(request.sequencers.len());
+        for &seq in &request.sequencers {
+            let lock = cluster.lock_mut(seq);
+            let start = if request.readonly {
+                lock.next_shared_start(now)
+            } else {
+                lock.next_exclusive_start(now)
+            };
+            sequencer_starts.push(seq);
+            now = start;
+        }
+
+        // Execute the steps.
+        let mut current_server = request
+            .steps
+            .first()
+            .map(|s| cluster.server_of(s.context))
+            .unwrap_or_else(|| cluster.server_of(*request.sequencers.first().unwrap_or(&aeon_types::ContextId::new(0))));
+        for step in &request.steps {
+            let server = cluster.server_of(step.context);
+            if server != current_server {
+                now += cluster.sample_latency();
+                current_server = server;
+            }
+            let service = cluster.scaled_cpu(step.cpu);
+            let mut start = now;
+            if step.locked {
+                let lock = cluster.lock_mut(step.context);
+                start = if request.readonly {
+                    lock.next_shared_start(start)
+                } else {
+                    lock.next_exclusive_start(start)
+                };
+            }
+            let end = cluster.cpu_of_mut(step.context).run(start, service);
+            if step.locked {
+                let lock = cluster.lock_mut(step.context);
+                if request.readonly {
+                    lock.hold_shared_until(end);
+                } else {
+                    lock.hold_exclusive_until(end);
+                }
+            }
+            now = end;
+        }
+
+        // Release sequencers: they were held for the whole execution.
+        for seq in sequencer_starts {
+            let lock = cluster.lock_mut(seq);
+            if request.readonly {
+                lock.hold_shared_until(now);
+            } else {
+                lock.hold_exclusive_until(now);
+            }
+        }
+
+        // Reply hop.
+        now += cluster.sample_latency();
+        (now, now - request.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Step;
+    use aeon_net::LatencyModel;
+    use aeon_types::{ContextId, ServerId, SimDuration};
+
+    fn ctx(n: u64) -> ContextId {
+        ContextId::new(n)
+    }
+
+    fn quiet_cluster(servers: usize) -> SimCluster {
+        SimCluster::new(servers, 1).with_latency(LatencyModel::Zero)
+    }
+
+    fn uniform_requests(n: usize, target: ContextId, every_us: u64, cpu_us: u64) -> Vec<RequestSpec> {
+        (0..n)
+            .map(|i| {
+                RequestSpec::new(
+                    SimTime::from_micros(i as u64 * every_us),
+                    vec![target],
+                    vec![Step::new(target, SimDuration::from_micros(cpu_us))],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uncontended_requests_have_service_latency() {
+        let mut cluster = quiet_cluster(1);
+        cluster.place(ctx(1), ServerId::new(0));
+        // Requests spaced far apart: latency = service time.
+        let requests = uniform_requests(10, ctx(1), 10_000, 500);
+        let metrics = Simulator::new().run(&mut cluster, &requests);
+        assert_eq!(metrics.count(), 10);
+        assert!((metrics.mean_latency_ms() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contention_on_a_sequencer_serializes_requests() {
+        let mut cluster = quiet_cluster(4);
+        cluster.place(ctx(1), ServerId::new(0));
+        // All requests arrive at once: the k-th waits for k-1 predecessors.
+        let requests = uniform_requests(10, ctx(1), 0, 1_000);
+        let metrics = Simulator::new().run(&mut cluster, &requests);
+        assert!((metrics.makespan().as_millis_f64() - 10.0).abs() < 1e-6);
+        // Mean latency of a saturated FIFO chain: (1+2+...+10)/10 = 5.5ms.
+        assert!((metrics.mean_latency_ms() - 5.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn independent_sequencers_run_in_parallel_across_servers() {
+        let mut cluster = quiet_cluster(2);
+        cluster.place(ctx(1), ServerId::new(0));
+        cluster.place(ctx(2), ServerId::new(1));
+        let mut requests = uniform_requests(10, ctx(1), 0, 1_000);
+        requests.extend(uniform_requests(10, ctx(2), 0, 1_000));
+        let metrics = Simulator::new().run(&mut cluster, &requests);
+        // Both chains finish at 10ms, not 20ms.
+        assert!((metrics.makespan().as_millis_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn readonly_requests_share_the_sequencer() {
+        // Put the shared context on a 4-core server so that read-only
+        // requests can actually overlap on the CPU as well.
+        let mut cluster4 = SimCluster::new(1, 4).with_latency(LatencyModel::Zero);
+        cluster4.place(ctx(1), ServerId::new(0));
+        let requests: Vec<RequestSpec> = (0..4)
+            .map(|_| {
+                RequestSpec::new(
+                    SimTime::ZERO,
+                    vec![ctx(1)],
+                    vec![Step::new(ctx(1), SimDuration::from_millis(1))],
+                )
+                .readonly()
+            })
+            .collect();
+        let metrics = Simulator::new().run(&mut cluster4, &requests);
+        // All four overlap: makespan stays ~1ms instead of 4ms.
+        assert!(metrics.makespan().as_millis_f64() < 1.5);
+    }
+
+    #[test]
+    fn cross_server_steps_pay_network_hops() {
+        let make_cluster = || {
+            let mut c =
+                SimCluster::new(2, 1).with_latency(LatencyModel::Constant { micros: 1_000 });
+            c.place(ctx(1), ServerId::new(0));
+            c.place(ctx(2), ServerId::new(1));
+            c
+        };
+        let local = RequestSpec::new(
+            SimTime::ZERO,
+            vec![ctx(1)],
+            vec![Step::new(ctx(1), SimDuration::from_micros(100))],
+        );
+        let remote = RequestSpec::new(
+            SimTime::ZERO,
+            vec![ctx(1)],
+            vec![
+                Step::new(ctx(1), SimDuration::from_micros(100)),
+                Step::new(ctx(2), SimDuration::from_micros(100)),
+            ],
+        );
+        let m_local = Simulator::new().run(&mut make_cluster(), &[local]);
+        let m_remote = Simulator::new().run(&mut make_cluster(), &[remote]);
+        // The remote variant pays one extra hop (1ms).
+        assert!(m_remote.mean_latency_ms() > m_local.mean_latency_ms() + 0.9);
+    }
+
+    #[test]
+    fn more_servers_increase_throughput_for_partitioned_load() {
+        let simulator = Simulator::new();
+        let mut results = Vec::new();
+        for servers in [1usize, 2, 4, 8] {
+            let mut cluster = quiet_cluster(servers);
+            let mut requests = Vec::new();
+            for room in 0..servers as u64 {
+                cluster.place(ctx(room), ServerId::new(room as u32));
+                requests.extend(uniform_requests(200, ctx(room), 100, 500));
+            }
+            let metrics = simulator.run(&mut cluster, &requests);
+            results.push(metrics.throughput(None));
+        }
+        assert!(results.windows(2).all(|w| w[1] > w[0] * 1.5), "throughput scales: {results:?}");
+    }
+}

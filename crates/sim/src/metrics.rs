@@ -1,0 +1,182 @@
+//! Metrics collected by simulation runs.
+
+use aeon_types::{SimDuration, SimTime};
+
+/// A single completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When the response reached the client.
+    pub completed_at: SimTime,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// Whether the request was read-only.
+    pub readonly: bool,
+}
+
+/// Throughput / latency time series with fixed-size buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Bucket width.
+    pub bucket: SimDuration,
+    /// Per-bucket (throughput in requests/s, mean latency in ms).
+    pub points: Vec<(SimTime, f64, f64)>,
+}
+
+/// Aggregated results of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    completions: Vec<Completion>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&mut self, completed_at: SimTime, latency: SimDuration, readonly: bool) {
+        self.completions.push(Completion { completed_at, latency, readonly });
+    }
+
+    /// Number of completed requests.
+    pub fn count(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Returns `true` when nothing completed.
+    pub fn is_empty(&self) -> bool {
+        self.completions.is_empty()
+    }
+
+    /// Time at which the last request completed.
+    pub fn makespan(&self) -> SimTime {
+        self.completions.iter().map(|c| c.completed_at).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Overall throughput in requests per second, measured over the
+    /// makespan (or over `horizon` when provided and later).
+    pub fn throughput(&self, horizon: Option<SimTime>) -> f64 {
+        let end = horizon.unwrap_or_else(|| self.makespan()).max(self.makespan());
+        let secs = end.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.completions.len() as f64 / secs
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        self.completions.iter().map(|c| c.latency.as_millis_f64()).sum::<f64>()
+            / self.completions.len() as f64
+    }
+
+    /// Latency percentile (e.g. `0.99`) in milliseconds.
+    pub fn latency_percentile_ms(&self, q: f64) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<SimDuration> =
+            self.completions.iter().map(|c| c.latency).collect();
+        latencies.sort();
+        let idx =
+            ((latencies.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        latencies[idx].as_millis_f64()
+    }
+
+    /// Fraction of requests whose latency exceeded `sla`.
+    pub fn fraction_violating(&self, sla: SimDuration) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        self.completions.iter().filter(|c| c.latency > sla).count() as f64
+            / self.completions.len() as f64
+    }
+
+    /// Builds a throughput / latency time series with the given bucket
+    /// width, covering `[0, horizon]`.
+    pub fn time_series(&self, bucket: SimDuration, horizon: SimTime) -> TimeSeries {
+        let buckets = (horizon.as_micros() / bucket.as_micros().max(1)) as usize + 1;
+        let mut counts = vec![0u64; buckets];
+        let mut latency_sums = vec![0f64; buckets];
+        for c in &self.completions {
+            let idx = (c.completed_at.as_micros() / bucket.as_micros().max(1)) as usize;
+            if idx < buckets {
+                counts[idx] += 1;
+                latency_sums[idx] += c.latency.as_millis_f64();
+            }
+        }
+        let points = (0..buckets)
+            .map(|i| {
+                let t = SimTime::from_micros(i as u64 * bucket.as_micros());
+                let tput = counts[i] as f64 / bucket.as_secs_f64();
+                let lat = if counts[i] == 0 { 0.0 } else { latency_sums[i] / counts[i] as f64 };
+                (t, tput, lat)
+            })
+            .collect();
+        TimeSeries { bucket, points }
+    }
+
+    /// Iterates over raw completions.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> Metrics {
+        let mut m = Metrics::new();
+        for i in 1..=10u64 {
+            m.record(
+                SimTime::from_millis(i * 100),
+                SimDuration::from_millis(i),
+                i % 2 == 0,
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn counts_and_throughput() {
+        let m = metrics();
+        assert_eq!(m.count(), 10);
+        assert_eq!(m.makespan(), SimTime::from_millis(1000));
+        assert!((m.throughput(None) - 10.0).abs() < 1e-9);
+        assert!((m.throughput(Some(SimTime::from_secs(2))) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let m = metrics();
+        assert!((m.mean_latency_ms() - 5.5).abs() < 1e-9);
+        assert_eq!(m.latency_percentile_ms(0.0), 1.0);
+        assert_eq!(m.latency_percentile_ms(1.0), 10.0);
+        assert!((m.fraction_violating(SimDuration::from_millis(5)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_buckets_completions() {
+        let m = metrics();
+        let ts = m.time_series(SimDuration::from_millis(500), SimTime::from_secs(1));
+        assert_eq!(ts.points.len(), 3);
+        // First bucket holds completions at 100..400ms => 4 requests over 0.5s.
+        assert!((ts.points[0].1 - 8.0).abs() < 1e-9);
+        assert!(ts.points[0].2 > 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_are_well_behaved() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        assert_eq!(m.throughput(None), 0.0);
+        assert_eq!(m.mean_latency_ms(), 0.0);
+        assert_eq!(m.latency_percentile_ms(0.99), 0.0);
+        assert_eq!(m.fraction_violating(SimDuration::from_millis(1)), 0.0);
+    }
+}

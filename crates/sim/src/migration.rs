@@ -1,0 +1,234 @@
+//! Migration experiments: impact on overall throughput (Figure 8) and peak
+//! eManager migration throughput (Figure 9).
+
+use crate::cluster::SimCluster;
+use crate::engine::Simulator;
+use crate::metrics::TimeSeries;
+use crate::request::{RequestSpec, Step};
+use aeon_net::LatencyModel;
+use aeon_types::{ContextId, ServerId, SimDuration, SimTime};
+
+/// Configuration of the Figure 8 experiment: a steady game workload on 20
+/// single-room servers while a number of Room contexts are migrated
+/// simultaneously.
+#[derive(Debug, Clone)]
+pub struct MigrationImpactConfig {
+    /// Number of servers (and rooms, one per server).
+    pub rooms: usize,
+    /// Duration of the run.
+    pub duration: SimDuration,
+    /// When the migrations are triggered.
+    pub migration_at: SimTime,
+    /// Number of rooms migrated simultaneously.
+    pub contexts_migrated: usize,
+    /// Size of each migrated context in bytes (1 MB in the paper).
+    pub context_bytes: u64,
+    /// Transfer bandwidth in bytes per second.
+    pub bandwidth: u64,
+    /// Aggregate request rate (requests per second across all rooms).
+    pub request_rate: f64,
+    /// CPU time per request.
+    pub service: SimDuration,
+    /// Time-series bucket width for the reported throughput curve.
+    pub bucket: SimDuration,
+    /// Requests answered within this bound count towards the reported
+    /// throughput (clients of the paper's game observe responses; requests
+    /// stalled behind a migration do not contribute to the curve until the
+    /// migration completes).
+    pub responsive_threshold: SimDuration,
+}
+
+impl Default for MigrationImpactConfig {
+    fn default() -> Self {
+        Self {
+            rooms: 20,
+            duration: SimDuration::from_secs(400),
+            migration_at: SimTime::from_secs(200),
+            contexts_migrated: 1,
+            context_bytes: 1 << 20,
+            bandwidth: 1 << 20,
+            request_rate: 180.0,
+            service: SimDuration::from_millis(4),
+            bucket: SimDuration::from_secs(10),
+            responsive_threshold: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Runs the Figure 8 experiment and returns the throughput time series.
+///
+/// While a room is being migrated, requests targeting it are delayed for the
+/// duration of the transfer (the paper's observation: "when a context is
+/// being migrated, requests to it are delayed for the duration of the
+/// migration").
+pub fn migration_impact(config: &MigrationImpactConfig) -> TimeSeries {
+    let mut cluster = SimCluster::new(config.rooms, 1)
+        .with_latency(LatencyModel::BaseplusExp { base_micros: 300, mean_tail_micros: 100 })
+        .with_seed(7);
+    let rooms: Vec<ContextId> = (0..config.rooms as u64).map(ContextId::new).collect();
+    for (i, room) in rooms.iter().enumerate() {
+        cluster.place(*room, ServerId::new(i as u32));
+    }
+    // Migration outage window per migrated room: the migration itself is an
+    // exclusive event that holds the room for the transfer duration
+    // (step IV of the protocol).
+    let transfer =
+        SimDuration::from_micros((config.context_bytes as f64 / config.bandwidth as f64 * 1e6) as u64);
+    let migrated: Vec<ContextId> =
+        rooms.iter().copied().take(config.contexts_migrated).collect();
+    // Requests spread uniformly over rooms and time; the migrated rooms'
+    // requests issued during the outage are delayed, which is exactly the
+    // dip of Figure 8.
+    let total = (config.request_rate * config.duration.as_secs_f64()) as usize;
+    let mut requests: Vec<RequestSpec> = (0..total)
+        .map(|k| {
+            let arrival = SimTime::from_micros(
+                (k as f64 / config.request_rate * 1e6) as u64,
+            );
+            let room = rooms[k % rooms.len()];
+            RequestSpec::new(arrival, vec![room], vec![Step::new(room, config.service)])
+        })
+        .collect();
+    for room in migrated {
+        requests.push(
+            RequestSpec::new(
+                config.migration_at,
+                vec![room],
+                vec![Step::unlocked(room, transfer)],
+            )
+            .labelled("migration"),
+        );
+    }
+    let metrics = Simulator::new().run(&mut cluster, &requests);
+    // Report only responsive completions (and exclude the synthetic
+    // migration events themselves, whose latency equals the transfer time).
+    let mut responsive = crate::metrics::Metrics::new();
+    for c in metrics.completions() {
+        if c.latency <= config.responsive_threshold {
+            responsive.record(c.completed_at, c.latency, c.readonly);
+        }
+    }
+    responsive.time_series(config.bucket, SimTime::ZERO + config.duration)
+}
+
+/// EC2 instance classes used by the Figure 9 micro-benchmark, modelled by
+/// their migration-protocol overhead and transfer bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstanceType {
+    /// m1.large
+    Large,
+    /// m1.medium
+    Medium,
+    /// m1.small
+    Small,
+}
+
+impl std::fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceType::Large => write!(f, "m1.large"),
+            InstanceType::Medium => write!(f, "m1.medium"),
+            InstanceType::Small => write!(f, "m1.small"),
+        }
+    }
+}
+
+/// Analytic model of eManager migration throughput: each migration pays a
+/// fixed protocol cost (the five-step coordination) plus the state transfer
+/// time, and migrations are pipelined one at a time by the eManager.
+#[derive(Debug, Clone, Copy)]
+pub struct EManagerThroughputModel {
+    /// Per-migration protocol overhead in seconds.
+    pub protocol_overhead_s: f64,
+    /// State transfer bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl EManagerThroughputModel {
+    /// Model parameters per instance type, calibrated to Figure 9
+    /// (≈90/60/40 contexts/s at 1 KB and ≈40/25/20 contexts/s at 1 MB).
+    pub fn for_instance(instance: InstanceType) -> Self {
+        match instance {
+            InstanceType::Large => Self { protocol_overhead_s: 1.0 / 90.0, bandwidth: 75e6 },
+            InstanceType::Medium => Self { protocol_overhead_s: 1.0 / 60.0, bandwidth: 45e6 },
+            InstanceType::Small => Self { protocol_overhead_s: 1.0 / 40.0, bandwidth: 42e6 },
+        }
+    }
+
+    /// Maximum contexts migrated per second for contexts of `bytes` bytes.
+    pub fn contexts_per_second(&self, bytes: u64) -> f64 {
+        1.0 / (self.protocol_overhead_s + bytes as f64 / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_dip_grows_with_migrated_contexts() {
+        let base = MigrationImpactConfig {
+            rooms: 10,
+            duration: SimDuration::from_secs(100),
+            migration_at: SimTime::from_secs(50),
+            bucket: SimDuration::from_secs(5),
+            request_rate: 120.0,
+            ..MigrationImpactConfig::default()
+        };
+        let dip = |contexts: usize| {
+            let config = MigrationImpactConfig { contexts_migrated: contexts, ..base.clone() };
+            let series = migration_impact(&config);
+            // Steady-state throughput before the migration vs the bucket
+            // containing the migration window.
+            let before: f64 = series.points[2..8].iter().map(|p| p.1).sum::<f64>() / 6.0;
+            let during = series
+                .points
+                .iter()
+                .find(|p| p.0 >= config.migration_at)
+                .map(|p| p.1)
+                .unwrap_or(before);
+            before - during
+        };
+        let d1 = dip(1);
+        let d5 = dip(5);
+        assert!(d5 >= d1, "more simultaneous migrations dip throughput more: {d1} vs {d5}");
+    }
+
+    #[test]
+    fn throughput_recovers_after_migration() {
+        let config = MigrationImpactConfig {
+            rooms: 10,
+            duration: SimDuration::from_secs(100),
+            migration_at: SimTime::from_secs(50),
+            contexts_migrated: 5,
+            bucket: SimDuration::from_secs(5),
+            request_rate: 120.0,
+            ..MigrationImpactConfig::default()
+        };
+        let series = migration_impact(&config);
+        let before: f64 = series.points[4..9].iter().map(|p| p.1).sum::<f64>() / 5.0;
+        let after: f64 = series.points[14..19].iter().map(|p| p.1).sum::<f64>() / 5.0;
+        assert!((after - before).abs() / before < 0.25, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn emanager_throughput_matches_figure_9_shape() {
+        let large = EManagerThroughputModel::for_instance(InstanceType::Large);
+        let medium = EManagerThroughputModel::for_instance(InstanceType::Medium);
+        let small = EManagerThroughputModel::for_instance(InstanceType::Small);
+        let kb = 1 << 10;
+        let mb = 1 << 20;
+        // Small contexts: ~90 / 60 / 40 per second.
+        assert!((large.contexts_per_second(kb) - 90.0).abs() < 5.0);
+        assert!((medium.contexts_per_second(kb) - 60.0).abs() < 5.0);
+        assert!((small.contexts_per_second(kb) - 40.0).abs() < 5.0);
+        // Large contexts: ~40 / 25 / 20 per second.
+        assert!((large.contexts_per_second(mb) - 40.0).abs() < 6.0);
+        assert!((medium.contexts_per_second(mb) - 25.0).abs() < 6.0);
+        assert!((small.contexts_per_second(mb) - 20.0).abs() < 6.0);
+        // Bigger instance and smaller context are always at least as fast.
+        assert!(large.contexts_per_second(kb) > large.contexts_per_second(mb));
+        assert!(large.contexts_per_second(mb) > small.contexts_per_second(mb));
+        assert_eq!(InstanceType::Large.to_string(), "m1.large");
+    }
+}

@@ -1,0 +1,195 @@
+//! Contended resources of the greedy timeline simulation.
+
+use aeon_types::{SimDuration, SimTime};
+
+/// A context's sequencer lock in the timeline model.
+///
+/// Exclusive holders serialize; read-only holders may overlap each other but
+/// not writers.  Requests are granted in the order they are offered to the
+/// lock (the engine offers them in arrival order), which mirrors the FIFO
+/// activation queues of the runtime.
+#[derive(Debug, Clone, Default)]
+pub struct LockTimeline {
+    /// Time at which the last exclusive holder releases.
+    writer_free_at: SimTime,
+    /// Latest release time among read-only holders admitted since the last
+    /// writer.
+    readers_free_at: SimTime,
+}
+
+impl LockTimeline {
+    /// Creates a free lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Earliest time at or after `now` at which an exclusive acquisition can
+    /// start (does not take the lock).
+    pub fn next_exclusive_start(&self, now: SimTime) -> SimTime {
+        now.max(self.writer_free_at).max(self.readers_free_at)
+    }
+
+    /// Earliest time at or after `now` at which a shared acquisition can
+    /// start (does not take the lock).
+    pub fn next_shared_start(&self, now: SimTime) -> SimTime {
+        now.max(self.writer_free_at)
+    }
+
+    /// Records that an exclusive holder keeps the lock until `end`.
+    pub fn hold_exclusive_until(&mut self, end: SimTime) {
+        if end > self.writer_free_at {
+            self.writer_free_at = end;
+        }
+        if end > self.readers_free_at {
+            self.readers_free_at = end;
+        }
+    }
+
+    /// Records that a shared holder keeps the lock until `end`.
+    pub fn hold_shared_until(&mut self, end: SimTime) {
+        if end > self.readers_free_at {
+            self.readers_free_at = end;
+        }
+    }
+
+    /// Acquires the lock exclusively at or after `now`, holding it for
+    /// `hold`.  Returns the acquisition time.
+    pub fn acquire_exclusive(&mut self, now: SimTime, hold: SimDuration) -> SimTime {
+        let start = self.next_exclusive_start(now);
+        self.hold_exclusive_until(start + hold);
+        start
+    }
+
+    /// Acquires the lock in shared (read-only) mode at or after `now`,
+    /// holding it for `hold`.  Readers wait for the last writer but not for
+    /// each other.  Returns the acquisition time.
+    pub fn acquire_shared(&mut self, now: SimTime, hold: SimDuration) -> SimTime {
+        let start = self.next_shared_start(now);
+        self.hold_shared_until(start + hold);
+        start
+    }
+
+    /// Delays the next acquisition until at least `until` (used to model a
+    /// context being unavailable during migration).
+    pub fn block_until(&mut self, until: SimTime) {
+        if until > self.writer_free_at {
+            self.writer_free_at = until;
+        }
+        if until > self.readers_free_at {
+            self.readers_free_at = until;
+        }
+    }
+
+    /// Time at which the lock next becomes free for a writer.
+    pub fn free_at(&self) -> SimTime {
+        self.writer_free_at.max(self.readers_free_at)
+    }
+}
+
+/// A server's CPU: `cores` independent execution units, each FIFO.
+#[derive(Debug, Clone)]
+pub struct CpuTimeline {
+    cores: Vec<SimTime>,
+    busy: SimDuration,
+}
+
+impl CpuTimeline {
+    /// Creates a CPU with `cores` cores (at least one).
+    pub fn new(cores: usize) -> Self {
+        Self { cores: vec![SimTime::ZERO; cores.max(1)], busy: SimDuration::ZERO }
+    }
+
+    /// Runs a job of length `service` starting at or after `now` on the
+    /// first core to become free.  Returns the completion time.
+    pub fn run(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let (idx, free_at) = self
+            .cores
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|(_, t)| *t)
+            .expect("at least one core");
+        let start = now.max(free_at);
+        let end = start + service;
+        self.cores[idx] = end;
+        self.busy += service;
+        end
+    }
+
+    /// Total CPU time consumed so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Utilisation over the interval `[0, horizon]`.
+    pub fn utilisation(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let capacity = horizon.as_secs_f64() * self.cores.len() as f64;
+        (self.busy.as_secs_f64() / capacity).min(1.0)
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn at(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn exclusive_acquisitions_serialize() {
+        let mut lock = LockTimeline::new();
+        assert_eq!(lock.acquire_exclusive(at(0), ms(10)), at(0));
+        // Second request arriving at t=2 must wait until t=10.
+        assert_eq!(lock.acquire_exclusive(at(2), ms(5)), at(10));
+        assert_eq!(lock.free_at(), at(15));
+    }
+
+    #[test]
+    fn readers_overlap_but_respect_writers() {
+        let mut lock = LockTimeline::new();
+        lock.acquire_exclusive(at(0), ms(10));
+        // Two readers arriving during the write both start at t=10.
+        assert_eq!(lock.acquire_shared(at(3), ms(5)), at(10));
+        assert_eq!(lock.acquire_shared(at(4), ms(7)), at(10));
+        // A writer then waits for the slowest reader.
+        assert_eq!(lock.acquire_exclusive(at(5), ms(1)), at(17));
+    }
+
+    #[test]
+    fn block_until_delays_next_acquisition() {
+        let mut lock = LockTimeline::new();
+        lock.block_until(at(50));
+        assert_eq!(lock.acquire_exclusive(at(0), ms(1)), at(50));
+    }
+
+    #[test]
+    fn multi_core_cpu_runs_jobs_in_parallel() {
+        let mut cpu = CpuTimeline::new(2);
+        assert_eq!(cpu.run(at(0), ms(10)), at(10));
+        assert_eq!(cpu.run(at(0), ms(10)), at(10)); // second core
+        assert_eq!(cpu.run(at(0), ms(10)), at(20)); // queues behind first
+        assert_eq!(cpu.cores(), 2);
+        assert_eq!(cpu.busy_time(), ms(30));
+        assert!((cpu.utilisation(at(20)) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_core_is_fifo() {
+        let mut cpu = CpuTimeline::new(1);
+        assert_eq!(cpu.run(at(0), ms(5)), at(5));
+        assert_eq!(cpu.run(at(1), ms(5)), at(10));
+        assert_eq!(cpu.run(at(20), ms(5)), at(25));
+    }
+}

@@ -1,0 +1,105 @@
+//! The systems compared by the paper's evaluation.
+
+use std::fmt;
+
+/// The coordination protocol / framework a workload is run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// AEON with multi-ownership (the full system).
+    Aeon,
+    /// AEON restricted to single ownership (the paper's `AEON_SO`).
+    AeonSo,
+    /// EventWave: a context tree with total ordering at the root.
+    EventWave,
+    /// Orleans with coarse locking to obtain strict serializability.
+    OrleansStrict,
+    /// Orleans without cross-grain synchronisation (not serializable;
+    /// best-case performance baseline, called Orleans* in the paper).
+    OrleansStar,
+}
+
+impl SystemKind {
+    /// All systems, in the order the paper's figures list them.
+    pub const ALL: [SystemKind; 5] = [
+        SystemKind::EventWave,
+        SystemKind::OrleansStrict,
+        SystemKind::OrleansStar,
+        SystemKind::AeonSo,
+        SystemKind::Aeon,
+    ];
+
+    /// CPU overhead multiplier relative to the AEON C++ implementation.
+    /// The paper attributes part of the Orleans gap to the managed (C#)
+    /// runtime; this factor makes that assumption explicit and tunable.
+    pub fn cpu_overhead(self) -> f64 {
+        match self {
+            SystemKind::Aeon | SystemKind::AeonSo => 1.0,
+            SystemKind::EventWave => 1.0,
+            SystemKind::OrleansStrict | SystemKind::OrleansStar => 1.6,
+        }
+    }
+
+    /// Whether the runtime co-locates contexts with their owners (AEON's
+    /// dominator-aware placement).  Orleans distributes grains randomly.
+    pub fn locality_placement(self) -> bool {
+        !matches!(self, SystemKind::OrleansStrict | SystemKind::OrleansStar)
+    }
+
+    /// Whether every event is additionally ordered at the single tree root.
+    pub fn orders_at_root(self) -> bool {
+        matches!(self, SystemKind::EventWave)
+    }
+
+    /// Whether the system provides strict serializability.
+    pub fn strictly_serializable(self) -> bool {
+        !matches!(self, SystemKind::OrleansStar)
+    }
+
+    /// Whether the application may use multiple ownership.
+    pub fn multi_ownership(self) -> bool {
+        matches!(self, SystemKind::Aeon | SystemKind::OrleansStrict | SystemKind::OrleansStar)
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SystemKind::Aeon => "AEON",
+            SystemKind::AeonSo => "AEON_SO",
+            SystemKind::EventWave => "EventWave",
+            SystemKind::OrleansStrict => "Orleans",
+            SystemKind::OrleansStar => "Orleans*",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_match_figure_1_summary() {
+        // Figure 1 of the paper: consistency and progress per system.
+        assert!(SystemKind::Aeon.strictly_serializable());
+        assert!(SystemKind::AeonSo.strictly_serializable());
+        assert!(SystemKind::EventWave.strictly_serializable());
+        assert!(SystemKind::OrleansStrict.strictly_serializable());
+        assert!(!SystemKind::OrleansStar.strictly_serializable());
+        assert!(SystemKind::EventWave.orders_at_root());
+        assert!(!SystemKind::Aeon.orders_at_root());
+        assert!(SystemKind::Aeon.locality_placement());
+        assert!(!SystemKind::OrleansStar.locality_placement());
+        assert!(SystemKind::Aeon.multi_ownership());
+        assert!(!SystemKind::AeonSo.multi_ownership());
+    }
+
+    #[test]
+    fn overheads_and_names() {
+        assert_eq!(SystemKind::Aeon.cpu_overhead(), 1.0);
+        assert!(SystemKind::OrleansStar.cpu_overhead() > 1.0);
+        assert_eq!(SystemKind::Aeon.to_string(), "AEON");
+        assert_eq!(SystemKind::OrleansStar.to_string(), "Orleans*");
+        assert_eq!(SystemKind::ALL.len(), 5);
+    }
+}

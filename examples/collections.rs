@@ -1,0 +1,42 @@
+//! Inductive data structures built from contexts (§3's reflexive-ownership
+//! exception): a sorted linked-list set and a binary search tree whose nodes
+//! are individual, independently migratable contexts.
+//!
+//! Run with `cargo run --example collections`.
+
+use aeon::prelude::*;
+use aeon_apps::collections::{
+    collections_class_graph, deploy_list_set, deploy_search_tree,
+};
+
+fn main() -> Result<()> {
+    let runtime = AeonRuntime::builder()
+        .servers(2)
+        .class_graph(collections_class_graph())
+        .build()?;
+    let client = runtime.client();
+
+    // --- linked list set -------------------------------------------------
+    let list = deploy_list_set(&runtime)?;
+    for key in [42i64, 7, 19, 7, 3, 99] {
+        client.call(list, "insert", args![key])?;
+    }
+    client.call(list, "remove", args![19i64])?;
+    println!("list contents : {}", client.call_readonly(list, "to_list", args![])?);
+    println!("list length   : {}", client.call_readonly(list, "len", args![])?);
+    println!("contains 7?   : {}", client.call_readonly(list, "contains", args![7i64])?);
+
+    // --- binary search tree ----------------------------------------------
+    let tree = deploy_search_tree(&runtime)?;
+    for key in [50i64, 20, 80, 10, 35, 65, 95] {
+        client.call(tree, "insert", args![key])?;
+    }
+    println!("tree in order : {}", client.call_readonly(tree, "in_order", args![])?);
+    println!("tree minimum  : {}", client.call_readonly(tree, "min", args![])?);
+
+    // Every node is a context in the ownership DAG.
+    let graph = runtime.ownership_graph();
+    println!("contexts in the ownership network: {}", graph.len());
+    runtime.shutdown();
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The distributed deployment: the game world spread over message-passing
+//! server nodes, with a live migration while events keep flowing.
+//!
+//! Run with `cargo run --example distributed_cluster`.
+
+use aeon::cluster::Cluster;
+use aeon::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    // Three servers connected by the in-process network.
+    let cluster = Cluster::builder().servers(3).build()?;
+    let servers = cluster.servers();
+
+    // Register a factory so Item contexts can be migrated (their state is
+    // serialised on the source and rebuilt on the destination).
+    cluster.register_class_factory(
+        "Item",
+        Arc::new(|state: &Value| {
+            let mut item = KvContext::new("Item");
+            item.restore(state);
+            Box::new(item) as Box<dyn ContextObject>
+        }),
+    );
+
+    // A Room on each server, each owning a couple of Items.
+    let mut rooms = Vec::new();
+    let mut items = Vec::new();
+    for server in &servers {
+        let room = cluster.create_context(Box::new(KvContext::new("Room")), Some(*server))?;
+        for _ in 0..2 {
+            let item = cluster.create_owned_context(Box::new(KvContext::new("Item")), &[room])?;
+            items.push(item);
+        }
+        rooms.push(room);
+    }
+
+    let client = cluster.client();
+    for (i, item) in items.iter().enumerate() {
+        client.call(*item, "set", args!["gold", (i as i64 + 1) * 10])?;
+    }
+
+    // Live migration: move the first item to the last server while reading it.
+    let item = items[0];
+    println!("item {item} initially on {}", cluster.placement_of(item)?);
+    let bytes = cluster.migrate_context(item, *servers.last().expect("servers exist"))?;
+    println!("migrated {bytes} bytes of serialized state to {}", cluster.placement_of(item)?);
+    println!("gold after migration: {}", client.call_readonly(item, "get", args!["gold"])?);
+
+    let stats = cluster.network_stats();
+    println!(
+        "network traffic: {} local msgs, {} remote msgs",
+        stats.local_messages(),
+        stats.remote_messages()
+    );
+    println!("events executed per server: {:?}", cluster.events_executed());
+    cluster.shutdown();
+    Ok(())
+}

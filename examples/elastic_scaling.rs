@@ -1,0 +1,42 @@
+//! Elasticity: an eManager with a server-contention policy scales the
+//! cluster out as contexts are created, rebalancing them without violating
+//! consistency.
+//!
+//! Run with `cargo run --example elastic_scaling`.
+
+use aeon::prelude::*;
+
+fn main() -> Result<()> {
+    let runtime = AeonRuntime::builder().servers(1).build()?;
+    let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+    manager.add_policy(Box::new(ServerContentionPolicy::new(8)));
+    manager.set_max_servers(8);
+
+    let client = runtime.client();
+    let mut rooms = Vec::new();
+    for wave in 0..4 {
+        // A new wave of rooms joins the game.
+        for _ in 0..12 {
+            let room =
+                runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto)?;
+            client.call(room, "set", args!["wave", wave])?;
+            rooms.push(room);
+        }
+        let actions = manager.tick(&manager.collect_metrics())?;
+        println!(
+            "wave {wave}: {} contexts on {} servers, actions: {actions:?}",
+            runtime.context_count(),
+            runtime.servers().len()
+        );
+    }
+
+    // No state was lost during the rebalancing migrations.
+    for (i, room) in rooms.iter().enumerate() {
+        let wave = client.call_readonly(*room, "get", args!["wave"])?;
+        assert_eq!(wave, Value::from((i / 12) as i64));
+    }
+    println!("final fleet: {} servers, {} migrations", runtime.servers().len(),
+             runtime.stats().migrations());
+    runtime.shutdown();
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! The multiplayer game of §2 of the paper on the real runtime: players move
+//! gold from their private mines into a treasure shared with the whole room,
+//! concurrently, while the building aggregates statistics read-only.
+//!
+//! Run with `cargo run --example game`.
+
+use aeon::prelude::*;
+use aeon_apps::game::{deploy_game, game_class_graph};
+
+fn main() -> Result<()> {
+    let runtime =
+        AeonRuntime::builder().servers(4).class_graph(game_class_graph()).build()?;
+    let world = deploy_game(&runtime, 4, 4)?;
+    let client = runtime.client();
+
+    // Every player is sequenced at its room (the dominator), so concurrent
+    // gold transfers never violate strict serializability.
+    let mut handles = Vec::new();
+    for players in &world.players {
+        for player in players {
+            for _ in 0..10 {
+                handles.push(client.submit_event(*player, "get_gold", args![5])?);
+            }
+        }
+    }
+    for handle in handles {
+        handle.wait()?;
+    }
+
+    for (i, treasure) in world.treasures.iter().enumerate() {
+        let gold = client.call_readonly(*treasure, "get", args!["gold"])?;
+        println!("room {i}: treasure holds {gold} gold");
+        assert_eq!(gold, Value::from(4 * 10 * 5i64));
+    }
+    let players = client.call_readonly(world.building, "count_players", args![])?;
+    println!("players online: {players}");
+    println!(
+        "dominator of player[0][0] is the room: {:?}",
+        runtime.dominator_of(world.players[0][0])?
+    );
+    runtime.shutdown();
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Live migration: a context keeps serving strictly-serializable events
+//! while the eManager moves it between servers with the five-step protocol,
+//! and a crashed eManager is replaced mid-migration.
+//!
+//! Run with `cargo run --example migration`.
+
+use aeon::prelude::*;
+
+fn main() -> Result<()> {
+    let runtime = AeonRuntime::builder().servers(3).build()?;
+    let store = InMemoryStore::new();
+    let manager = EManager::new(runtime.clone(), store.clone());
+
+    let counter = runtime.create_context(Box::new(KvContext::new("Counter")), Placement::Auto)?;
+    let client = runtime.client();
+
+    // Drive load while migrating the context around the cluster.
+    let handles: Vec<_> =
+        (0..300).map(|_| client.submit_event(counter, "incr", args!["n", 1]).unwrap()).collect();
+    let servers = runtime.servers();
+    for i in 0..6 {
+        manager.migrate(counter, servers[i % servers.len()])?;
+    }
+    for handle in handles {
+        handle.wait()?;
+    }
+    let value = client.call_readonly(counter, "get", args!["n"])?;
+    println!("counter after 300 increments and 6 migrations: {value}");
+    assert_eq!(value, Value::from(300i64));
+
+    // A replacement eManager recovers from the persisted mapping.
+    let replacement = EManager::new(runtime.clone(), store);
+    let finished = replacement.recover()?;
+    println!("replacement eManager completed {finished} in-flight migrations");
+    println!("context now lives on {}", runtime.placement_of(counter)?);
+    runtime.shutdown();
+    Ok(())
+}

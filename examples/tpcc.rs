@@ -1,0 +1,38 @@
+//! A scaled-down TPC-C database on the real runtime: concurrent Payment and
+//! New-Order transactions while the TPC-C consistency condition
+//! (W_YTD == Σ D_YTD) holds at every point.
+//!
+//! Run with `cargo run --example tpcc`.
+
+use aeon::prelude::*;
+use aeon_apps::tpcc::{deploy_tpcc, run_new_order, run_payment, tpcc_class_graph};
+
+fn main() -> Result<()> {
+    let runtime =
+        AeonRuntime::builder().servers(4).class_graph(tpcc_class_graph()).build()?;
+    let world = deploy_tpcc(&runtime, 4, 10)?;
+    let client = runtime.client();
+
+    let mut expected = 0i64;
+    for i in 0..200 {
+        let district = i % world.districts.len();
+        let customer = i % 10;
+        run_payment(&runtime, &world, district, customer, 7)?;
+        expected += 7;
+        if i % 2 == 0 {
+            run_new_order(&runtime, &world, district, customer, i as i64)?;
+        }
+    }
+
+    let w_ytd = client.call_readonly(world.warehouse, "ytd", args![])?;
+    let mut d_sum = 0i64;
+    for district in &world.districts {
+        d_sum += client.call_readonly(*district, "ytd", args![])?.as_i64().unwrap_or(0);
+    }
+    println!("W_YTD = {w_ytd}, sum of D_YTD = {d_sum}");
+    assert_eq!(w_ytd, Value::from(expected));
+    assert_eq!(d_sum, expected);
+    println!("TPC-C consistency condition holds after 200 concurrent transactions");
+    runtime.shutdown();
+    Ok(())
+}

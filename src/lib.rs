@@ -1,0 +1,8 @@
+//! Root package of the AEON reproduction workspace.
+//!
+//! It only hosts the workspace-level examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library itself lives in the
+//! [`aeon`] facade crate and the `aeon-*` sub-crates.
+
+pub use aeon;
+pub use aeon_apps as apps;

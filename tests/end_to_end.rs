@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full stack (runtime + ownership +
+//! eManager + storage) exercised through the public facade, plus shape
+//! checks of the evaluation harness.
+
+use aeon::prelude::*;
+use aeon_apps::game::{deploy_game, game_class_graph, GameWorkload, GameWorkloadConfig};
+use aeon_apps::tpcc::{deploy_tpcc, run_payment, tpcc_class_graph};
+use aeon_sim::{Simulator, SystemKind};
+use aeon_types::SimDuration;
+
+#[test]
+fn game_world_under_concurrent_load_with_elasticity() {
+    let runtime = AeonRuntime::builder()
+        .servers(2)
+        .class_graph(game_class_graph())
+        .build()
+        .unwrap();
+    let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+    manager.add_policy(Box::new(ServerContentionPolicy::new(8)));
+    let world = deploy_game(&runtime, 4, 3).unwrap();
+    let client = runtime.client();
+
+    // Concurrent gold transfers in every room.
+    let mut handles = Vec::new();
+    for players in &world.players {
+        for player in players {
+            for _ in 0..5 {
+                handles.push(client.submit_event(*player, "get_gold", args![2]).unwrap());
+            }
+        }
+    }
+    // Scale out while the events run.
+    manager.tick(&manager.collect_metrics()).unwrap();
+    for handle in handles {
+        assert_eq!(handle.wait().unwrap(), Value::from(true));
+    }
+    // Strict serializability: every room's treasure holds exactly the moved
+    // amount.
+    for treasure in &world.treasures {
+        assert_eq!(
+            client.call_readonly(*treasure, "get", args!["gold"]).unwrap(),
+            Value::from(3 * 5 * 2i64)
+        );
+    }
+    assert!(runtime.servers().len() >= 2);
+    assert_eq!(runtime.stats().events_failed(), 0);
+    runtime.shutdown();
+}
+
+#[test]
+fn tpcc_consistency_survives_checkpoint_restore_and_migration() {
+    let runtime = AeonRuntime::builder()
+        .servers(3)
+        .class_graph(tpcc_class_graph())
+        .build()
+        .unwrap();
+    let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+    let world = deploy_tpcc(&runtime, 3, 5).unwrap();
+    let client = runtime.client();
+
+    for i in 0..60 {
+        run_payment(&runtime, &world, i % 3, i % 5, 5).unwrap();
+    }
+    // Checkpoint the warehouse subtree, keep mutating, then restore.
+    manager.checkpoint("after-60", world.warehouse).unwrap();
+    for i in 0..30 {
+        run_payment(&runtime, &world, i % 3, i % 5, 5).unwrap();
+    }
+    assert_eq!(
+        client.call_readonly(world.warehouse, "ytd", args![]).unwrap(),
+        Value::from(450i64)
+    );
+    manager.restore_checkpoint("after-60").unwrap();
+    assert_eq!(
+        client.call_readonly(world.warehouse, "ytd", args![]).unwrap(),
+        Value::from(300i64)
+    );
+    // Migrate a district and verify the invariant still holds.
+    let district = world.districts[0];
+    let target = runtime
+        .servers()
+        .into_iter()
+        .find(|s| *s != runtime.placement_of(district).unwrap())
+        .unwrap();
+    manager.migrate(district, target).unwrap();
+    let d_sum: i64 = world
+        .districts
+        .iter()
+        .map(|d| client.call_readonly(*d, "ytd", args![]).unwrap().as_i64().unwrap())
+        .sum();
+    assert_eq!(d_sum, 300);
+    runtime.shutdown();
+}
+
+#[test]
+fn ownership_network_is_recoverable_from_storage() {
+    let runtime = AeonRuntime::builder().servers(1).build().unwrap();
+    let room = runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto).unwrap();
+    let item = runtime.create_owned_context(Box::new(KvContext::new("Item")), &[room]).unwrap();
+    let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+    manager.persist_ownership().unwrap();
+    let graph = OwnershipGraph::from_value(&manager.load_ownership().unwrap()).unwrap();
+    assert!(graph.is_ancestor(room, item));
+    runtime.shutdown();
+}
+
+#[test]
+fn simulator_reproduces_game_figure_headline() {
+    // Headline result of Figure 5a at 16 servers: AEON beats EventWave by a
+    // large factor (the paper reports ~5x) and beats the strict Orleans
+    // variant, while the non-serializable Orleans* sits in between.
+    let config = GameWorkloadConfig::for_servers(16);
+    let throughput = |system: SystemKind| {
+        let mut w = GameWorkload::generate(system, &config);
+        let m = Simulator::new().run(&mut w.cluster, &w.requests);
+        m.throughput(Some(aeon_types::SimTime::ZERO + config.duration))
+    };
+    let aeon = throughput(SystemKind::Aeon);
+    let eventwave = throughput(SystemKind::EventWave);
+    let orleans = throughput(SystemKind::OrleansStrict);
+    assert!(aeon > 2.0 * eventwave, "AEON {aeon} vs EventWave {eventwave}");
+    assert!(aeon > orleans, "AEON {aeon} vs Orleans {orleans}");
+}
+
+#[test]
+fn simulator_latency_grows_with_offered_load() {
+    // Figure 5b shape: latency stays flat until the knee, then rises.
+    let low = GameWorkloadConfig {
+        servers: 4,
+        request_rate: 1_000.0,
+        duration: SimDuration::from_secs(5),
+        ..GameWorkloadConfig::default()
+    };
+    let high = GameWorkloadConfig { request_rate: 20_000.0, ..low.clone() };
+    let latency = |config: &GameWorkloadConfig| {
+        let mut w = GameWorkload::generate(SystemKind::Aeon, config);
+        Simulator::new().run(&mut w.cluster, &w.requests).mean_latency_ms()
+    };
+    assert!(latency(&high) > 2.0 * latency(&low));
+}
