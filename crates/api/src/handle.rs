@@ -1,0 +1,89 @@
+//! The backend-independent event completion handle.
+
+use aeon_types::{EventId, Result, Value};
+
+enum Waiter {
+    /// The backend executed the event eagerly (e.g. the simulator).
+    Ready(Result<Value>),
+    /// The backend completes the event asynchronously; the closure blocks
+    /// until it does.
+    Pending(Box<dyn FnOnce() -> Result<Value> + Send>),
+}
+
+/// A handle on a submitted event, resolved by [`EventHandle::wait`].
+///
+/// Every [`crate::Session`] implementation returns this same type, so code
+/// written against the trait never sees which backend executed the event.
+pub struct EventHandle {
+    event: EventId,
+    waiter: Waiter,
+}
+
+impl EventHandle {
+    /// Wraps an already-computed result (used by synchronous backends such
+    /// as the deterministic simulator).
+    pub fn ready(event: EventId, result: Result<Value>) -> Self {
+        Self {
+            event,
+            waiter: Waiter::Ready(result),
+        }
+    }
+
+    /// Wraps a blocking completion function (used by the concurrent runtime
+    /// and the distributed cluster).
+    pub fn pending(event: EventId, wait: impl FnOnce() -> Result<Value> + Send + 'static) -> Self {
+        Self {
+            event,
+            waiter: Waiter::Pending(Box::new(wait)),
+        }
+    }
+
+    /// The id assigned to the event by its backend.
+    pub fn event_id(&self) -> EventId {
+        self.event
+    }
+
+    /// Blocks until the event completes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the event's own error (application errors, aborts, or
+    /// shutdown).
+    pub fn wait(self) -> Result<Value> {
+        match self.waiter {
+            Waiter::Ready(result) => result,
+            Waiter::Pending(wait) => wait(),
+        }
+    }
+}
+
+impl std::fmt::Debug for EventHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &self.waiter {
+            Waiter::Ready(_) => "ready",
+            Waiter::Pending(_) => "pending",
+        };
+        f.debug_struct("EventHandle")
+            .field("event", &self.event)
+            .field("state", &state)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_handle_returns_result() {
+        let handle = EventHandle::ready(EventId::new(1), Ok(Value::from(7i64)));
+        assert_eq!(handle.event_id(), EventId::new(1));
+        assert_eq!(handle.wait().unwrap(), Value::from(7i64));
+    }
+
+    #[test]
+    fn pending_handle_invokes_closure_on_wait() {
+        let handle = EventHandle::pending(EventId::new(2), || Ok(Value::from("done")));
+        assert_eq!(handle.wait().unwrap(), Value::from("done"));
+    }
+}

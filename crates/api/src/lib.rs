@@ -1,0 +1,60 @@
+//! The backend-agnostic deployment API of the AEON reproduction.
+//!
+//! The paper's promise is that one contextclass program runs unchanged on a
+//! single server or on fifty.  This crate turns that promise into a pair of
+//! object-safe traits:
+//!
+//! * [`Deployment`] — the control plane: creating contexts, wiring the
+//!   ownership network, registering class factories, managing servers,
+//!   migrating contexts and taking snapshots;
+//! * [`Session`] — the data plane: submitting strictly-serializable events
+//!   and waiting for their results through a common [`EventHandle`].
+//!
+//! Three execution backends implement the traits:
+//!
+//! * the in-process concurrent runtime (`aeon_runtime::AeonRuntime`,
+//!   implemented here);
+//! * the distributed message-passing cluster (`aeon_cluster::Cluster`,
+//!   implemented in `aeon-cluster`);
+//! * the deterministic virtual-time simulator
+//!   (`aeon_sim::SimDeployment`, implemented in `aeon-sim`).
+//!
+//! Application code written against `&dyn Deployment` (or generically over
+//! `D: Deployment + ?Sized`) is written once and deployed anywhere — the
+//! `aeon-apps` workload drivers are the proof.
+//!
+//! # Examples
+//!
+//! ```
+//! use aeon_api::{Deployment, Session};
+//! use aeon_runtime::{AeonRuntime, KvContext, Placement};
+//! use aeon_types::{args, Result, Value};
+//!
+//! fn drive(deployment: &dyn Deployment) -> Result<Value> {
+//!     let counter = deployment.create_context(
+//!         Box::new(KvContext::new("Counter")),
+//!         Placement::Auto,
+//!     )?;
+//!     let session = deployment.session();
+//!     session.call(counter, "incr", args!["hits", 1])?;
+//!     session.call_readonly(counter, "get", args!["hits"])
+//! }
+//!
+//! # fn main() -> Result<()> {
+//! let runtime = AeonRuntime::builder().servers(2).build()?;
+//! assert_eq!(drive(&runtime)?, Value::from(1i64));
+//! runtime.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+mod backend;
+mod handle;
+mod traits;
+
+pub use handle::EventHandle;
+pub use traits::{Deployment, Session};
+
+// Re-export the vocabulary types a Deployment consumer needs, so application
+// crates can depend on `aeon-api` alone for the common case.
+pub use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};

@@ -1,0 +1,214 @@
+//! The `Deployment` and `Session` traits.
+
+use crate::handle::EventHandle;
+use aeon_ownership::OwnershipGraph;
+use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
+use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, Value};
+
+/// A client session on a deployment: the entry point for submitting
+/// strictly-serializable events.
+///
+/// Implementations provide only [`Session::submit_with_mode`]; the
+/// `submit_event` / `submit_readonly_event` / `call` / `call_readonly`
+/// convenience wrappers are default methods expressed through it, so no
+/// backend reimplements them.
+pub trait Session: Send + Sync {
+    /// The id the backend assigned to this client.
+    fn client_id(&self) -> ClientId;
+
+    /// Submits an event with an explicit access mode (the backend
+    /// primitive).
+    ///
+    /// # Errors
+    ///
+    /// * [`aeon_types::AeonError::RuntimeShutdown`] after shutdown.
+    /// * [`aeon_types::AeonError::ContextNotFound`] for unknown targets.
+    fn submit_with_mode(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<EventHandle>;
+
+    /// Submits an exclusive (update) event and returns a completion handle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::submit_with_mode`].
+    fn submit_event(&self, target: ContextId, method: &str, args: Args) -> Result<EventHandle> {
+        self.submit_with_mode(target, method, args, AccessMode::Exclusive)
+    }
+
+    /// Submits a read-only event (the paper's `ro` methods); read-only
+    /// events of the same context may execute concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::submit_with_mode`].
+    fn submit_readonly_event(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<EventHandle> {
+        self.submit_with_mode(target, method, args, AccessMode::ReadOnly)
+    }
+
+    /// Submits an exclusive event and waits for its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and execution errors.
+    fn call(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
+        self.submit_event(target, method, args)?.wait()
+    }
+
+    /// Submits a read-only event and waits for its result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and execution errors.
+    fn call_readonly(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
+        self.submit_readonly_event(target, method, args)?.wait()
+    }
+}
+
+/// An AEON deployment: a set of (logical or simulated) servers hosting
+/// contexts wired into an ownership network, executing events with strict
+/// serializability while supporting elasticity (server management, context
+/// migration) and fault tolerance (snapshots, crash/restore).
+///
+/// The trait is object-safe: workload drivers take `&dyn Deployment` and run
+/// unchanged against the in-process runtime, the distributed cluster, and
+/// the deterministic simulator.
+pub trait Deployment: Send + Sync {
+    /// A short name identifying the backend (for logs and test labels).
+    fn backend_name(&self) -> &'static str;
+
+    /// Creates a root context (no owners) and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`aeon_types::AeonError::ServerNotFound`] /
+    ///   [`aeon_types::AeonError::Config`] when the placement is not
+    ///   satisfiable.
+    fn create_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        placement: Placement,
+    ) -> Result<ContextId>;
+
+    /// Creates a context owned by `owners` (at least one), co-located with
+    /// its first owner.
+    ///
+    /// # Errors
+    ///
+    /// * [`aeon_types::AeonError::Config`] when `owners` is empty.
+    /// * [`aeon_types::AeonError::OwnershipViolation`] when the class
+    ///   constraints forbid the ownership.
+    fn create_owned_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        owners: &[ContextId],
+    ) -> Result<ContextId>;
+
+    /// Registers a factory able to rebuild contexts of `class` from a
+    /// snapshot (used by migration and crash recovery).
+    fn register_class_factory(&self, class: &str, factory: ContextFactory);
+
+    /// Adds `owner` to the owners of `owned`.
+    ///
+    /// # Errors
+    ///
+    /// * [`aeon_types::AeonError::CycleDetected`] when the edge would create
+    ///   a cycle.
+    /// * [`aeon_types::AeonError::OwnershipViolation`] when the class
+    ///   constraints forbid the edge.
+    fn add_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()>;
+
+    /// Removes `owner` from the owners of `owned`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aeon_types::AeonError::ContextNotFound`] when either
+    /// context is unknown.
+    fn remove_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()>;
+
+    /// A snapshot of the current ownership network.
+    fn ownership_graph(&self) -> OwnershipGraph;
+
+    /// Opens a client session for submitting events.
+    fn session(&self) -> Box<dyn Session>;
+
+    /// Migrates `context` to `to_server` without violating consistency and
+    /// returns the number of bytes of serialised state moved.
+    ///
+    /// # Errors
+    ///
+    /// * [`aeon_types::AeonError::ContextNotFound`] /
+    ///   [`aeon_types::AeonError::ServerNotFound`] for unknown ids.
+    /// * [`aeon_types::AeonError::MigrationFailed`] when a protocol step
+    ///   fails.
+    fn migrate_context(&self, context: ContextId, to_server: ServerId) -> Result<u64>;
+
+    /// Adds a server to the deployment (scale-out) and returns its id.
+    fn add_server(&self) -> ServerId;
+
+    /// Simulates a server crash: its contexts become unavailable until
+    /// restored elsewhere with [`Deployment::restore_context`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aeon_types::AeonError::ServerNotFound`] for unknown
+    /// servers.
+    fn crash_server(&self, server: ServerId) -> Result<()>;
+
+    /// Ids of all online servers.
+    fn servers(&self) -> Vec<ServerId>;
+
+    /// The server currently hosting `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aeon_types::AeonError::ContextNotFound`] for unknown
+    /// contexts.
+    fn placement_of(&self, context: ContextId) -> Result<ServerId>;
+
+    /// Contexts currently mapped to `server`.
+    fn contexts_on(&self, server: ServerId) -> Vec<ContextId>;
+
+    /// Takes a snapshot of `root` and all its descendants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aeon_types::AeonError::ContextNotFound`] when `root` is
+    /// unknown.
+    fn snapshot_context(&self, root: ContextId) -> Result<Snapshot>;
+
+    /// Restores context states from a snapshot previously produced by
+    /// [`Deployment::snapshot_context`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aeon_types::AeonError::ContextNotFound`] if a snapshotted
+    /// context no longer exists.
+    fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()>;
+
+    /// Re-hosts a context from externally held state (e.g. a checkpoint)
+    /// after its server crashed.  The context keeps its identity and
+    /// ownership edges; only its placement and state change.
+    ///
+    /// # Errors
+    ///
+    /// * [`aeon_types::AeonError::ContextNotFound`] when the context was
+    ///   never created.
+    /// * [`aeon_types::AeonError::MigrationFailed`] when no factory is
+    ///   registered for its class.
+    /// * [`aeon_types::AeonError::ServerNotFound`] when `server` is offline.
+    fn restore_context(&self, context: ContextId, state: &Value, server: ServerId) -> Result<()>;
+
+    /// Shuts the deployment down: subsequent submissions fail and blocked
+    /// events are aborted.
+    fn shutdown(&self);
+}

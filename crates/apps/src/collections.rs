@@ -4,8 +4,8 @@
 //! analysis ("this exception ... allows for the construction of inductive
 //! data structures like linked-lists, or trees") and §2.1 calls out that
 //! EventWave cannot express them because its ownership structure is a fixed
-//! tree.  This module implements two such structures as plain
-//! [`ContextObject`]s, so every node is an independently migratable context
+//! tree.  This module implements two such structures as declarative
+//! contextclasses, so every node is an independently migratable context
 //! and every operation is an atomic event:
 //!
 //! * [`ListSet`] — a sorted singly linked list set: `ListSet` owns the head
@@ -18,19 +18,24 @@
 //! list, attaching tree children), exercising `create_child`,
 //! `add_ownership` and `remove_ownership` from inside events.
 
+use aeon_api::{Deployment, Placement};
 use aeon_ownership::ClassGraph;
-use aeon_runtime::{AeonRuntime, ContextObject, Invocation, Placement};
-use aeon_types::{args, AeonError, Args, ContextId, Result, Value};
+use aeon_runtime::{context_class, AeonRuntime, ContextClass, Invocation};
+use aeon_types::{args, Args, ContextId, Result, Value};
 
 /// Class constraints of the collection structures (note the reflexive
 /// `ListNode ≤ ListNode` and `TreeNode ≤ TreeNode` edges the analysis
-/// permits).
+/// permits), with the method metadata declared from the method tables.
 pub fn collections_class_graph() -> ClassGraph {
     let mut classes = ClassGraph::new();
     classes.add_constraint("ListSet", "ListNode");
     classes.add_constraint("ListNode", "ListNode");
     classes.add_constraint("SearchTree", "TreeNode");
     classes.add_constraint("TreeNode", "TreeNode");
+    ListSet::table().declare_in(&mut classes);
+    ListNode::table().declare_in(&mut classes);
+    SearchTree::table().declare_in(&mut classes);
+    TreeNode::table().declare_in(&mut classes);
     classes
 }
 
@@ -54,6 +59,115 @@ impl ListSet {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn insert(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        match self.head {
+            None => {
+                let node = inv.create_child(Box::new(ListNode::new(key)))?;
+                self.head = Some(node);
+                self.len += 1;
+                Ok(Value::from(true))
+            }
+            Some(head) => {
+                // A smaller key becomes the new head, owning the old one.
+                let head_key = inv.call(head, "key", args![])?.as_i64().unwrap_or(0);
+                if key < head_key {
+                    let node = inv.create_child(Box::new(ListNode::new(key)))?;
+                    inv.call(node, "set_next", args![head])?;
+                    inv.remove_ownership(head)?;
+                    self.head = Some(node);
+                    self.len += 1;
+                    return Ok(Value::from(true));
+                }
+                if key == head_key {
+                    return Ok(Value::from(false));
+                }
+                let inserted = inv.call(head, "insert_after", args![key])?;
+                if inserted.as_bool().unwrap_or(false) {
+                    self.len += 1;
+                }
+                Ok(inserted)
+            }
+        }
+    }
+
+    fn remove(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        let Some(head) = self.head else {
+            return Ok(Value::from(false));
+        };
+        let head_key = inv.call(head, "key", args![])?.as_i64().unwrap_or(0);
+        if key == head_key {
+            // Splice the head out: adopt its successor, then detach and
+            // disown the removed node.
+            let next = inv.call(head, "next", args![])?;
+            match next.as_context() {
+                Some(next_id) => {
+                    inv.add_ownership(next_id)?;
+                    self.head = Some(next_id);
+                }
+                None => self.head = None,
+            }
+            inv.call(head, "detach", args![])?;
+            inv.remove_ownership(head)?;
+            self.len -= 1;
+            return Ok(Value::from(true));
+        }
+        let removed = inv.call(head, "remove_after", args![key])?;
+        if removed.as_bool().unwrap_or(false) {
+            self.len -= 1;
+        }
+        Ok(removed)
+    }
+
+    fn contains(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        match self.head {
+            None => Ok(Value::from(false)),
+            Some(head) => inv.call(head, "find", args![key]),
+        }
+    }
+
+    fn len(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(self.len))
+    }
+
+    fn collect_values(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match self.head {
+            None => Ok(Value::List(Vec::new())),
+            Some(head) => inv.call(head, "collect", args![]),
+        }
+    }
+
+    fn snapshot_state(&self) -> Value {
+        Value::map([
+            (
+                "head",
+                self.head.map(Value::ContextRef).unwrap_or(Value::Null),
+            ),
+            ("len", Value::from(self.len)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) {
+        self.head = state.get("head").and_then(Value::as_context);
+        if let Some(len) = state.get("len").and_then(Value::as_i64) {
+            self.len = len;
+        }
+    }
+}
+
+context_class! {
+    ListSet: "ListSet" {
+        method "insert" => ListSet::insert,
+        method "remove" => ListSet::remove,
+        ro method "contains" => ListSet::contains,
+        ro method "len" => ListSet::len,
+        ro method "to_list" => ListSet::collect_values,
+    }
+    snapshot = ListSet::snapshot_state;
+    restore = ListSet::restore_state;
 }
 
 /// One node of a [`ListSet`].
@@ -68,230 +182,146 @@ impl ListNode {
     pub fn new(key: i64) -> Self {
         Self { key, next: None }
     }
-}
 
-impl ContextObject for ListSet {
-    fn class_name(&self) -> &str {
-        "ListSet"
+    fn key(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(self.key))
     }
 
-    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "insert" => {
-                let key = args.get_i64(0)?;
-                match self.head {
-                    None => {
-                        let node = inv.create_child(Box::new(ListNode::new(key)))?;
-                        self.head = Some(node);
-                        self.len += 1;
-                        Ok(Value::from(true))
-                    }
-                    Some(head) => {
-                        // A smaller key becomes the new head, owning the old
-                        // one.
-                        let head_key = inv.call(head, "key", args![])?.as_i64().unwrap_or(0);
-                        if key < head_key {
-                            let node = inv.create_child(Box::new(ListNode::new(key)))?;
-                            inv.call(node, "set_next", args![head])?;
-                            inv.remove_ownership(head)?;
-                            self.head = Some(node);
-                            self.len += 1;
-                            return Ok(Value::from(true));
-                        }
-                        if key == head_key {
-                            return Ok(Value::from(false));
-                        }
-                        let inserted = inv.call(head, "insert_after", args![key])?;
-                        if inserted.as_bool().unwrap_or(false) {
-                            self.len += 1;
-                        }
-                        Ok(inserted)
-                    }
-                }
-            }
-            "remove" => {
-                let key = args.get_i64(0)?;
-                let Some(head) = self.head else { return Ok(Value::from(false)) };
-                let head_key = inv.call(head, "key", args![])?.as_i64().unwrap_or(0);
-                if key == head_key {
-                    // Splice the head out: adopt its successor, then detach
-                    // and disown the removed node.
-                    let next = inv.call(head, "next", args![])?;
-                    match next.as_context() {
-                        Some(next_id) => {
-                            inv.add_ownership(next_id)?;
-                            self.head = Some(next_id);
-                        }
-                        None => self.head = None,
-                    }
-                    inv.call(head, "detach", args![])?;
-                    inv.remove_ownership(head)?;
-                    self.len -= 1;
-                    return Ok(Value::from(true));
-                }
-                let removed = inv.call(head, "remove_after", args![key])?;
-                if removed.as_bool().unwrap_or(false) {
-                    self.len -= 1;
-                }
-                Ok(removed)
-            }
-            "contains" => {
-                let key = args.get_i64(0)?;
-                match self.head {
-                    None => Ok(Value::from(false)),
-                    Some(head) => inv.call(head, "find", args![key]),
-                }
-            }
-            "len" => Ok(Value::from(self.len)),
-            "to_list" => match self.head {
-                None => Ok(Value::List(Vec::new())),
-                Some(head) => inv.call(head, "collect", args![]),
-            },
-            _ => Err(AeonError::UnknownMethod { class: "ListSet".into(), method: method.into() }),
+    fn next(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(self.next.map(Value::ContextRef).unwrap_or(Value::Null))
+    }
+
+    /// Adopts `next`: records the successor and takes an ownership edge to
+    /// it so later traversals from this node are legal calls.
+    fn set_next(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let next = args.get(0).and_then(Value::as_context);
+        if let Some(next) = next {
+            inv.add_ownership(next)?;
         }
+        self.next = next;
+        Ok(Value::Null)
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "contains" | "len" | "to_list")
-    }
-
-    fn snapshot(&self) -> Value {
-        Value::map([
-            ("head", self.head.map(Value::ContextRef).unwrap_or(Value::Null)),
-            ("len", Value::from(self.len)),
-        ])
-    }
-
-    fn restore(&mut self, state: &Value) {
-        self.head = state.get("head").and_then(Value::as_context);
-        if let Some(len) = state.get("len").and_then(Value::as_i64) {
-            self.len = len;
+    /// Detaches the successor: clears the field and drops the ownership
+    /// edge (used when this node is spliced out).
+    fn detach(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        if let Some(next) = self.next.take() {
+            inv.remove_ownership(next)?;
         }
-    }
-}
-
-impl ContextObject for ListNode {
-    fn class_name(&self) -> &str {
-        "ListNode"
+        Ok(Value::Null)
     }
 
-    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "key" => Ok(Value::from(self.key)),
-            "next" => Ok(self.next.map(Value::ContextRef).unwrap_or(Value::Null)),
-            // Adopts `next`: records the successor and takes an ownership
-            // edge to it so later traversals from this node are legal calls.
-            "set_next" => {
-                let next = args.get(0).and_then(Value::as_context);
-                if let Some(next) = next {
-                    inv.add_ownership(next)?;
-                }
-                self.next = next;
-                Ok(Value::Null)
+    /// Inserts `key` somewhere after this node; returns whether the set
+    /// changed.
+    fn insert_after(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        debug_assert!(key > self.key);
+        match self.next {
+            None => {
+                let node = inv.create_child(Box::new(ListNode::new(key)))?;
+                self.next = Some(node);
+                Ok(Value::from(true))
             }
-            // Detaches the successor: clears the field and drops the
-            // ownership edge (used when this node is spliced out).
-            "detach" => {
-                if let Some(next) = self.next.take() {
-                    inv.remove_ownership(next)?;
-                }
-                Ok(Value::Null)
-            }
-            // Inserts `key` somewhere after this node; returns whether the
-            // set changed.
-            "insert_after" => {
-                let key = args.get_i64(0)?;
-                debug_assert!(key > self.key);
-                match self.next {
-                    None => {
-                        let node = inv.create_child(Box::new(ListNode::new(key)))?;
-                        self.next = Some(node);
-                        Ok(Value::from(true))
-                    }
-                    Some(next) => {
-                        let next_key = inv.call(next, "key", args![])?.as_i64().unwrap_or(0);
-                        if key == next_key {
-                            Ok(Value::from(false))
-                        } else if key < next_key {
-                            let node = inv.create_child(Box::new(ListNode::new(key)))?;
-                            inv.call(node, "set_next", args![next])?;
-                            inv.remove_ownership(next)?;
-                            self.next = Some(node);
-                            Ok(Value::from(true))
-                        } else {
-                            inv.call(next, "insert_after", args![key])
-                        }
-                    }
-                }
-            }
-            // Removes `key` from the suffix after this node.
-            "remove_after" => {
-                let key = args.get_i64(0)?;
-                let Some(next) = self.next else { return Ok(Value::from(false)) };
+            Some(next) => {
                 let next_key = inv.call(next, "key", args![])?.as_i64().unwrap_or(0);
                 if key == next_key {
-                    let after = inv.call(next, "next", args![])?;
-                    match after.as_context() {
-                        Some(after_id) => {
-                            inv.add_ownership(after_id)?;
-                            self.next = Some(after_id);
-                        }
-                        None => self.next = None,
-                    }
-                    inv.call(next, "detach", args![])?;
-                    inv.remove_ownership(next)?;
-                    Ok(Value::from(true))
-                } else if key < next_key {
                     Ok(Value::from(false))
+                } else if key < next_key {
+                    let node = inv.create_child(Box::new(ListNode::new(key)))?;
+                    inv.call(node, "set_next", args![next])?;
+                    inv.remove_ownership(next)?;
+                    self.next = Some(node);
+                    Ok(Value::from(true))
                 } else {
-                    inv.call(next, "remove_after", args![key])
+                    inv.call(next, "insert_after", args![key])
                 }
             }
-            // readonly search.
-            "find" => {
-                let key = args.get_i64(0)?;
-                if key == self.key {
-                    return Ok(Value::from(true));
-                }
-                if key < self.key {
-                    return Ok(Value::from(false));
-                }
-                match self.next {
-                    None => Ok(Value::from(false)),
-                    Some(next) => inv.call(next, "find", args![key]),
-                }
-            }
-            // readonly traversal.
-            "collect" => {
-                let mut values = vec![Value::from(self.key)];
-                if let Some(next) = self.next {
-                    if let Value::List(rest) = inv.call(next, "collect", args![])? {
-                        values.extend(rest);
-                    }
-                }
-                Ok(Value::List(values))
-            }
-            _ => Err(AeonError::UnknownMethod { class: "ListNode".into(), method: method.into() }),
         }
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "key" | "next" | "find" | "collect")
+    /// Removes `key` from the suffix after this node.
+    fn remove_after(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        let Some(next) = self.next else {
+            return Ok(Value::from(false));
+        };
+        let next_key = inv.call(next, "key", args![])?.as_i64().unwrap_or(0);
+        if key == next_key {
+            let after = inv.call(next, "next", args![])?;
+            match after.as_context() {
+                Some(after_id) => {
+                    inv.add_ownership(after_id)?;
+                    self.next = Some(after_id);
+                }
+                None => self.next = None,
+            }
+            inv.call(next, "detach", args![])?;
+            inv.remove_ownership(next)?;
+            Ok(Value::from(true))
+        } else if key < next_key {
+            Ok(Value::from(false))
+        } else {
+            inv.call(next, "remove_after", args![key])
+        }
     }
 
-    fn snapshot(&self) -> Value {
+    /// Readonly search.
+    fn find(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        if key == self.key {
+            return Ok(Value::from(true));
+        }
+        if key < self.key {
+            return Ok(Value::from(false));
+        }
+        match self.next {
+            None => Ok(Value::from(false)),
+            Some(next) => inv.call(next, "find", args![key]),
+        }
+    }
+
+    /// Readonly traversal.
+    fn collect(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let mut values = vec![Value::from(self.key)];
+        if let Some(next) = self.next {
+            if let Value::List(rest) = inv.call(next, "collect", args![])? {
+                values.extend(rest);
+            }
+        }
+        Ok(Value::List(values))
+    }
+
+    fn snapshot_state(&self) -> Value {
         Value::map([
             ("key", Value::from(self.key)),
-            ("next", self.next.map(Value::ContextRef).unwrap_or(Value::Null)),
+            (
+                "next",
+                self.next.map(Value::ContextRef).unwrap_or(Value::Null),
+            ),
         ])
     }
 
-    fn restore(&mut self, state: &Value) {
+    fn restore_state(&mut self, state: &Value) {
         if let Some(key) = state.get("key").and_then(Value::as_i64) {
             self.key = key;
         }
         self.next = state.get("next").and_then(Value::as_context);
     }
+}
+
+context_class! {
+    ListNode: "ListNode" {
+        ro method "key" => ListNode::key,
+        ro method "next" => ListNode::next,
+        method "set_next" => ListNode::set_next,
+        method "detach" => ListNode::detach,
+        method "insert_after" => ListNode::insert_after,
+        method "remove_after" => ListNode::remove_after,
+        ro method "find" => ListNode::find,
+        ro method "collect" => ListNode::collect,
+    }
+    snapshot = ListNode::snapshot_state;
+    restore = ListNode::restore_state;
 }
 
 // ---------------------------------------------------------------------------
@@ -314,6 +344,82 @@ impl SearchTree {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn insert(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        match self.root {
+            None => {
+                let node = inv.create_child(Box::new(TreeNode::new(key)))?;
+                self.root = Some(node);
+                self.size += 1;
+                Ok(Value::from(true))
+            }
+            Some(root) => {
+                let inserted = inv.call(root, "insert", args![key])?;
+                if inserted.as_bool().unwrap_or(false) {
+                    self.size += 1;
+                }
+                Ok(inserted)
+            }
+        }
+    }
+
+    fn contains(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match self.root {
+            None => Ok(Value::from(false)),
+            Some(root) => {
+                let key = args.get_i64(0)?;
+                inv.call(root, "contains", args![key])
+            }
+        }
+    }
+
+    fn min(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match self.root {
+            None => Ok(Value::Null),
+            Some(root) => inv.call(root, "min", args![]),
+        }
+    }
+
+    fn size(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(self.size))
+    }
+
+    fn in_order(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match self.root {
+            None => Ok(Value::List(Vec::new())),
+            Some(root) => inv.call(root, "in_order", args![]),
+        }
+    }
+
+    fn snapshot_state(&self) -> Value {
+        Value::map([
+            (
+                "root",
+                self.root.map(Value::ContextRef).unwrap_or(Value::Null),
+            ),
+            ("size", Value::from(self.size)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Value) {
+        self.root = state.get("root").and_then(Value::as_context);
+        if let Some(size) = state.get("size").and_then(Value::as_i64) {
+            self.size = size;
+        }
+    }
+}
+
+context_class! {
+    SearchTree: "SearchTree" {
+        method "insert" => SearchTree::insert,
+        ro method "contains" => SearchTree::contains,
+        ro method "min" => SearchTree::min,
+        ro method "size" => SearchTree::size,
+        ro method "in_order" => SearchTree::in_order,
+    }
+    snapshot = SearchTree::snapshot_state;
+    restore = SearchTree::restore_state;
 }
 
 /// One node of a [`SearchTree`].
@@ -327,157 +433,108 @@ pub struct TreeNode {
 impl TreeNode {
     /// Creates a leaf node holding `key`.
     pub fn new(key: i64) -> Self {
-        Self { key, left: None, right: None }
-    }
-}
-
-impl ContextObject for SearchTree {
-    fn class_name(&self) -> &str {
-        "SearchTree"
-    }
-
-    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "insert" => {
-                let key = args.get_i64(0)?;
-                match self.root {
-                    None => {
-                        let node = inv.create_child(Box::new(TreeNode::new(key)))?;
-                        self.root = Some(node);
-                        self.size += 1;
-                        Ok(Value::from(true))
-                    }
-                    Some(root) => {
-                        let inserted = inv.call(root, "insert", args![key])?;
-                        if inserted.as_bool().unwrap_or(false) {
-                            self.size += 1;
-                        }
-                        Ok(inserted)
-                    }
-                }
-            }
-            "contains" => match self.root {
-                None => Ok(Value::from(false)),
-                Some(root) => {
-                    let key = args.get_i64(0)?;
-                    inv.call(root, "contains", args![key])
-                }
-            },
-            "min" => match self.root {
-                None => Ok(Value::Null),
-                Some(root) => inv.call(root, "min", args![]),
-            },
-            "size" => Ok(Value::from(self.size)),
-            "in_order" => match self.root {
-                None => Ok(Value::List(Vec::new())),
-                Some(root) => inv.call(root, "in_order", args![]),
-            },
-            _ => {
-                Err(AeonError::UnknownMethod { class: "SearchTree".into(), method: method.into() })
-            }
+        Self {
+            key,
+            left: None,
+            right: None,
         }
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "contains" | "min" | "size" | "in_order")
-    }
-
-    fn snapshot(&self) -> Value {
-        Value::map([
-            ("root", self.root.map(Value::ContextRef).unwrap_or(Value::Null)),
-            ("size", Value::from(self.size)),
-        ])
-    }
-
-    fn restore(&mut self, state: &Value) {
-        self.root = state.get("root").and_then(Value::as_context);
-        if let Some(size) = state.get("size").and_then(Value::as_i64) {
-            self.size = size;
+    fn insert(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        if key == self.key {
+            return Ok(Value::from(false));
         }
-    }
-}
-
-impl ContextObject for TreeNode {
-    fn class_name(&self) -> &str {
-        "TreeNode"
-    }
-
-    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "insert" => {
-                let key = args.get_i64(0)?;
-                if key == self.key {
-                    return Ok(Value::from(false));
+        let slot = if key < self.key {
+            self.left
+        } else {
+            self.right
+        };
+        match slot {
+            None => {
+                let node = inv.create_child(Box::new(TreeNode::new(key)))?;
+                if key < self.key {
+                    self.left = Some(node);
+                } else {
+                    self.right = Some(node);
                 }
-                let slot = if key < self.key { &mut self.left } else { &mut self.right };
-                match *slot {
-                    None => {
-                        let node = inv.create_child(Box::new(TreeNode::new(key)))?;
-                        // Re-borrow after the call (the borrow checker does
-                        // not let us hold `slot` across `inv`).
-                        if key < self.key {
-                            self.left = Some(node);
-                        } else {
-                            self.right = Some(node);
-                        }
-                        Ok(Value::from(true))
-                    }
-                    Some(child) => inv.call(child, "insert", args![key]),
-                }
+                Ok(Value::from(true))
             }
-            "contains" => {
-                let key = args.get_i64(0)?;
-                if key == self.key {
-                    return Ok(Value::from(true));
-                }
-                let child = if key < self.key { self.left } else { self.right };
-                match child {
-                    None => Ok(Value::from(false)),
-                    Some(child) => inv.call(child, "contains", args![key]),
-                }
-            }
-            "min" => match self.left {
-                None => Ok(Value::from(self.key)),
-                Some(left) => inv.call(left, "min", args![]),
-            },
-            "in_order" => {
-                let mut values = Vec::new();
-                if let Some(left) = self.left {
-                    if let Value::List(l) = inv.call(left, "in_order", args![])? {
-                        values.extend(l);
-                    }
-                }
-                values.push(Value::from(self.key));
-                if let Some(right) = self.right {
-                    if let Value::List(r) = inv.call(right, "in_order", args![])? {
-                        values.extend(r);
-                    }
-                }
-                Ok(Value::List(values))
-            }
-            _ => Err(AeonError::UnknownMethod { class: "TreeNode".into(), method: method.into() }),
+            Some(child) => inv.call(child, "insert", args![key]),
         }
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "contains" | "min" | "in_order")
+    fn contains(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_i64(0)?;
+        if key == self.key {
+            return Ok(Value::from(true));
+        }
+        let child = if key < self.key {
+            self.left
+        } else {
+            self.right
+        };
+        match child {
+            None => Ok(Value::from(false)),
+            Some(child) => inv.call(child, "contains", args![key]),
+        }
     }
 
-    fn snapshot(&self) -> Value {
+    fn min(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        match self.left {
+            None => Ok(Value::from(self.key)),
+            Some(left) => inv.call(left, "min", args![]),
+        }
+    }
+
+    fn in_order(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let mut values = Vec::new();
+        if let Some(left) = self.left {
+            if let Value::List(l) = inv.call(left, "in_order", args![])? {
+                values.extend(l);
+            }
+        }
+        values.push(Value::from(self.key));
+        if let Some(right) = self.right {
+            if let Value::List(r) = inv.call(right, "in_order", args![])? {
+                values.extend(r);
+            }
+        }
+        Ok(Value::List(values))
+    }
+
+    fn snapshot_state(&self) -> Value {
         Value::map([
             ("key", Value::from(self.key)),
-            ("left", self.left.map(Value::ContextRef).unwrap_or(Value::Null)),
-            ("right", self.right.map(Value::ContextRef).unwrap_or(Value::Null)),
+            (
+                "left",
+                self.left.map(Value::ContextRef).unwrap_or(Value::Null),
+            ),
+            (
+                "right",
+                self.right.map(Value::ContextRef).unwrap_or(Value::Null),
+            ),
         ])
     }
 
-    fn restore(&mut self, state: &Value) {
+    fn restore_state(&mut self, state: &Value) {
         if let Some(key) = state.get("key").and_then(Value::as_i64) {
             self.key = key;
         }
         self.left = state.get("left").and_then(Value::as_context);
         self.right = state.get("right").and_then(Value::as_context);
     }
+}
+
+context_class! {
+    TreeNode: "TreeNode" {
+        method "insert" => TreeNode::insert,
+        ro method "contains" => TreeNode::contains,
+        ro method "min" => TreeNode::min,
+        ro method "in_order" => TreeNode::in_order,
+    }
+    snapshot = TreeNode::snapshot_state;
+    restore = TreeNode::restore_state;
 }
 
 /// Convenience: creates a runtime configured for the collection structures.
@@ -492,32 +549,39 @@ pub fn collections_runtime(servers: usize) -> Result<AeonRuntime> {
         .build()
 }
 
-/// Deploys an empty [`ListSet`] and returns its context id.
+/// Deploys an empty [`ListSet`] on any backend and returns its context id.
 ///
 /// # Errors
 ///
 /// Propagates context-creation errors.
-pub fn deploy_list_set(runtime: &AeonRuntime) -> Result<ContextId> {
-    runtime.create_context(Box::new(ListSet::new()), Placement::Auto)
+pub fn deploy_list_set(deployment: &dyn Deployment) -> Result<ContextId> {
+    deployment.create_context(Box::new(ListSet::new()), Placement::Auto)
 }
 
-/// Deploys an empty [`SearchTree`] and returns its context id.
+/// Deploys an empty [`SearchTree`] on any backend and returns its context
+/// id.
 ///
 /// # Errors
 ///
 /// Propagates context-creation errors.
-pub fn deploy_search_tree(runtime: &AeonRuntime) -> Result<ContextId> {
-    runtime.create_context(Box::new(SearchTree::new()), Placement::Auto)
+pub fn deploy_search_tree(deployment: &dyn Deployment) -> Result<ContextId> {
+    deployment.create_context(Box::new(SearchTree::new()), Placement::Auto)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aeon_api::Session;
+    use aeon_runtime::ContextObject;
     use proptest::prelude::*;
     use std::collections::BTreeSet;
 
     fn list_values(v: &Value) -> Vec<i64> {
-        v.as_list().unwrap_or(&[]).iter().filter_map(Value::as_i64).collect()
+        v.as_list()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_i64)
+            .collect()
     }
 
     #[test]
@@ -527,6 +591,8 @@ mod tests {
         assert!(classes.allows("ListNode", "ListNode"));
         assert!(classes.allows("TreeNode", "TreeNode"));
         assert!(!classes.allows("ListNode", "ListSet"));
+        assert_eq!(classes.readonly_method("ListSet", "contains"), Some(true));
+        assert_eq!(classes.readonly_method("ListNode", "set_next"), Some(false));
     }
 
     #[test]
@@ -537,10 +603,16 @@ mod tests {
         for key in [5i64, 1, 9, 5, 3, 9, 7] {
             client.call(list, "insert", args![key]).unwrap();
         }
-        assert_eq!(client.call_readonly(list, "len", args![]).unwrap(), Value::from(5i64));
+        assert_eq!(
+            client.call_readonly(list, "len", args![]).unwrap(),
+            Value::from(5i64)
+        );
         let values = client.call_readonly(list, "to_list", args![]).unwrap();
         assert_eq!(list_values(&values), vec![1, 3, 5, 7, 9]);
-        assert_eq!(client.call_readonly(list, "contains", args![7i64]).unwrap(), Value::from(true));
+        assert_eq!(
+            client.call_readonly(list, "contains", args![7i64]).unwrap(),
+            Value::from(true)
+        );
         assert_eq!(
             client.call_readonly(list, "contains", args![8i64]).unwrap(),
             Value::from(false)
@@ -557,12 +629,21 @@ mod tests {
         }
         // Remove the head, a middle element, and the tail.
         for key in [1i64, 4, 6] {
-            assert_eq!(client.call(list, "remove", args![key]).unwrap(), Value::from(true));
+            assert_eq!(
+                client.call(list, "remove", args![key]).unwrap(),
+                Value::from(true)
+            );
         }
-        assert_eq!(client.call(list, "remove", args![42i64]).unwrap(), Value::from(false));
+        assert_eq!(
+            client.call(list, "remove", args![42i64]).unwrap(),
+            Value::from(false)
+        );
         let values = client.call_readonly(list, "to_list", args![]).unwrap();
         assert_eq!(list_values(&values), vec![2, 3, 5]);
-        assert_eq!(client.call_readonly(list, "len", args![]).unwrap(), Value::from(3i64));
+        assert_eq!(
+            client.call_readonly(list, "len", args![]).unwrap(),
+            Value::from(3i64)
+        );
     }
 
     #[test]
@@ -584,11 +665,17 @@ mod tests {
             h.join().unwrap();
         }
         let client = runtime.client();
-        assert_eq!(client.call_readonly(list, "len", args![]).unwrap(), Value::from(100i64));
+        assert_eq!(
+            client.call_readonly(list, "len", args![]).unwrap(),
+            Value::from(100i64)
+        );
         let values = client.call_readonly(list, "to_list", args![]).unwrap();
         let values = list_values(&values);
         assert_eq!(values.len(), 100);
-        assert!(values.windows(2).all(|w| w[0] < w[1]), "list stays sorted and duplicate free");
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "list stays sorted and duplicate free"
+        );
     }
 
     #[test]
@@ -599,14 +686,24 @@ mod tests {
         for key in [50i64, 30, 70, 20, 40, 60, 80, 30] {
             client.call(tree, "insert", args![key]).unwrap();
         }
-        assert_eq!(client.call_readonly(tree, "size", args![]).unwrap(), Value::from(7i64));
-        assert_eq!(client.call_readonly(tree, "min", args![]).unwrap(), Value::from(20i64));
         assert_eq!(
-            client.call_readonly(tree, "contains", args![60i64]).unwrap(),
+            client.call_readonly(tree, "size", args![]).unwrap(),
+            Value::from(7i64)
+        );
+        assert_eq!(
+            client.call_readonly(tree, "min", args![]).unwrap(),
+            Value::from(20i64)
+        );
+        assert_eq!(
+            client
+                .call_readonly(tree, "contains", args![60i64])
+                .unwrap(),
             Value::from(true)
         );
         assert_eq!(
-            client.call_readonly(tree, "contains", args![65i64]).unwrap(),
+            client
+                .call_readonly(tree, "contains", args![65i64])
+                .unwrap(),
             Value::from(false)
         );
         let values = client.call_readonly(tree, "in_order", args![]).unwrap();

@@ -6,26 +6,37 @@
 //! `Player`s).  Under single ownership (AEON_SO / EventWave), `Item`s are
 //! owned by their `Room` only, so any item interaction must go through the
 //! `Room`.
+//!
+//! The contextclasses are declared with [`aeon_runtime::context_class!`]
+//! method tables and the deployment driver is generic over
+//! [`aeon_api::Deployment`], so the same game runs unchanged on the
+//! in-process runtime, the distributed cluster, and the deterministic
+//! simulator.
 
+use aeon_api::Deployment;
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
-use aeon_runtime::{AeonRuntime, ContextObject, Invocation, KvContext, Placement};
+use aeon_runtime::{context_class, ContextClass, Invocation, KvContext};
 use aeon_sim::{RequestSpec, SimCluster, Step, SystemKind};
 use aeon_types::{args, AeonError, Args, ContextId, Result, ServerId, SimDuration, SimTime, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Class constraints of the game (Figure 3, left).
+/// Class constraints of the game (Figure 3, left), with the contextclass
+/// method metadata declared from the method tables.
 pub fn game_class_graph() -> ClassGraph {
     let mut classes = ClassGraph::new();
     classes.add_constraint("Building", "Room");
     classes.add_constraint("Room", "Player");
     classes.add_constraint("Room", "Item");
     classes.add_constraint("Player", "Item");
+    Building::table().declare_in(&mut classes);
+    Room::table().declare_in(&mut classes);
+    Player::table().declare_in(&mut classes);
     classes
 }
 
 // ---------------------------------------------------------------------------
-// Runtime implementation (real ContextObjects).
+// Runtime implementation (real contextclasses).
 // ---------------------------------------------------------------------------
 
 /// The `Building` contextclass of Listing 1: owns rooms, can update the time
@@ -33,32 +44,27 @@ pub fn game_class_graph() -> ClassGraph {
 #[derive(Debug, Default)]
 pub struct Building;
 
-impl ContextObject for Building {
-    fn class_name(&self) -> &str {
-        "Building"
-    }
-
-    fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "update_time_of_day" => {
-                for room in inv.children(Some("Room"))? {
-                    inv.call_async(room, "update_time_of_day", args![])?;
-                }
-                Ok(Value::Null)
-            }
-            "count_players" => {
-                let mut count = 0i64;
-                for room in inv.children(Some("Room"))? {
-                    count += inv.call(room, "nr_players", args![])?.as_i64().unwrap_or(0);
-                }
-                Ok(Value::from(count))
-            }
-            _ => Err(AeonError::UnknownMethod { class: "Building".into(), method: method.into() }),
+impl Building {
+    fn update_time_of_day(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        for room in inv.children(Some("Room"))? {
+            inv.call_async(room, "update_time_of_day", args![])?;
         }
+        Ok(Value::Null)
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        method == "count_players"
+    fn count_players(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let mut count = 0i64;
+        for room in inv.children(Some("Room"))? {
+            count += inv.call(room, "nr_players", args![])?.as_i64().unwrap_or(0);
+        }
+        Ok(Value::from(count))
+    }
+}
+
+context_class! {
+    Building: "Building" {
+        method "update_time_of_day" => Building::update_time_of_day,
+        ro method "count_players" => Building::count_players,
     }
 }
 
@@ -69,34 +75,40 @@ pub struct Room {
     time_of_day: i64,
 }
 
-impl ContextObject for Room {
-    fn class_name(&self) -> &str {
-        "Room"
+impl Room {
+    fn update_time_of_day(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        self.time_of_day += 1;
+        Ok(Value::from(self.time_of_day))
     }
 
-    fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "update_time_of_day" => {
-                self.time_of_day += 1;
-                Ok(Value::from(self.time_of_day))
-            }
-            "nr_players" => Ok(Value::from(inv.children(Some("Player"))?.len())),
-            "nr_items" => Ok(Value::from(inv.children(Some("Item"))?.len())),
-            _ => Err(AeonError::UnknownMethod { class: "Room".into(), method: method.into() }),
-        }
+    fn nr_players(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(inv.children(Some("Player"))?.len()))
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "nr_players" | "nr_items")
+    fn nr_items(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(inv.children(Some("Item"))?.len()))
     }
 
-    fn snapshot(&self) -> Value {
+    fn snapshot_state(&self) -> Value {
         Value::map([("time_of_day", Value::from(self.time_of_day))])
     }
 
-    fn restore(&mut self, state: &Value) {
-        self.time_of_day = state.get("time_of_day").and_then(Value::as_i64).unwrap_or(0);
+    fn restore_state(&mut self, state: &Value) {
+        self.time_of_day = state
+            .get("time_of_day")
+            .and_then(Value::as_i64)
+            .unwrap_or(0);
     }
+}
+
+context_class! {
+    Room: "Room" {
+        method "update_time_of_day" => Room::update_time_of_day,
+        ro method "nr_players" => Room::nr_players,
+        ro method "nr_items" => Room::nr_items,
+    }
+    snapshot = Room::snapshot_state;
+    restore = Room::restore_state;
 }
 
 /// The `Player` contextclass of Listing 1: moves gold from its mine into the
@@ -109,58 +121,67 @@ pub struct Player {
     pub treasure: Option<ContextId>,
 }
 
-impl ContextObject for Player {
-    fn class_name(&self) -> &str {
-        "Player"
+impl Player {
+    fn set_items(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        self.gold_mine = Some(args.get_context(0)?);
+        self.treasure = Some(args.get_context(1)?);
+        Ok(Value::Null)
     }
 
-    fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "set_items" => {
-                self.gold_mine = Some(args.get_context(0)?);
-                self.treasure = Some(args.get_context(1)?);
-                Ok(Value::Null)
-            }
-            "get_gold" => {
-                let amount = args.get_i64(0)?;
-                let mine = self.gold_mine.ok_or_else(|| AeonError::app("player has no mine"))?;
-                let treasure =
-                    self.treasure.ok_or_else(|| AeonError::app("player has no treasure"))?;
-                let available = inv.call(mine, "get", args!["gold"])?.as_i64().unwrap_or(0);
-                if available < amount {
-                    return Ok(Value::Bool(false));
-                }
-                inv.call(mine, "incr", args!["gold", -amount])?;
-                inv.call(treasure, "incr", args!["gold", amount])?;
-                Ok(Value::Bool(true))
-            }
-            "treasure_balance" => {
-                let treasure =
-                    self.treasure.ok_or_else(|| AeonError::app("player has no treasure"))?;
-                inv.call(treasure, "get", args!["gold"])
-            }
-            _ => Err(AeonError::UnknownMethod { class: "Player".into(), method: method.into() }),
+    fn get_gold(&mut self, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let amount = args.get_i64(0)?;
+        let mine = self
+            .gold_mine
+            .ok_or_else(|| AeonError::app("player has no mine"))?;
+        let treasure = self
+            .treasure
+            .ok_or_else(|| AeonError::app("player has no treasure"))?;
+        let available = inv.call(mine, "get", args!["gold"])?.as_i64().unwrap_or(0);
+        if available < amount {
+            return Ok(Value::Bool(false));
         }
+        inv.call(mine, "incr", args!["gold", -amount])?;
+        inv.call(treasure, "incr", args!["gold", amount])?;
+        Ok(Value::Bool(true))
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        method == "treasure_balance"
+    fn treasure_balance(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        let treasure = self
+            .treasure
+            .ok_or_else(|| AeonError::app("player has no treasure"))?;
+        inv.call(treasure, "get", args!["gold"])
     }
 
-    fn snapshot(&self) -> Value {
+    fn snapshot_state(&self) -> Value {
         Value::map([
-            ("gold_mine", self.gold_mine.map(Value::from).unwrap_or(Value::Null)),
-            ("treasure", self.treasure.map(Value::from).unwrap_or(Value::Null)),
+            (
+                "gold_mine",
+                self.gold_mine.map(Value::from).unwrap_or(Value::Null),
+            ),
+            (
+                "treasure",
+                self.treasure.map(Value::from).unwrap_or(Value::Null),
+            ),
         ])
     }
 
-    fn restore(&mut self, state: &Value) {
+    fn restore_state(&mut self, state: &Value) {
         self.gold_mine = state.get("gold_mine").and_then(Value::as_context);
         self.treasure = state.get("treasure").and_then(Value::as_context);
     }
 }
 
-/// Handles to a deployed game world on the real runtime.
+context_class! {
+    Player: "Player" {
+        method "set_items" => Player::set_items,
+        method "get_gold" => Player::get_gold,
+        ro method "treasure_balance" => Player::treasure_balance,
+    }
+    snapshot = Player::snapshot_state;
+    restore = Player::restore_state;
+}
+
+/// Handles to a deployed game world.
 #[derive(Debug, Clone)]
 pub struct GameWorld {
     /// The building (root of the ownership DAG).
@@ -173,20 +194,20 @@ pub struct GameWorld {
     pub treasures: Vec<ContextId>,
 }
 
-/// Deploys a game world onto `runtime`: `rooms` rooms each holding
-/// `players_per_room` players, a private gold mine per player and one shared
-/// treasure per room.
+/// Deploys a game world onto any [`Deployment`] backend: `rooms` rooms each
+/// holding `players_per_room` players, a private gold mine per player and
+/// one shared treasure per room.
 ///
 /// # Errors
 ///
 /// Propagates context-creation failures.
 pub fn deploy_game(
-    runtime: &AeonRuntime,
+    deployment: &dyn Deployment,
     rooms: usize,
     players_per_room: usize,
 ) -> Result<GameWorld> {
-    let client = runtime.client();
-    let building = runtime.create_context(Box::new(Building), Placement::Auto)?;
+    let session = deployment.session();
+    let building = deployment.create_context(Box::new(Building), aeon_api::Placement::Auto)?;
     let mut world = GameWorld {
         building,
         rooms: Vec::new(),
@@ -194,20 +215,26 @@ pub fn deploy_game(
         treasures: Vec::new(),
     };
     for _ in 0..rooms {
-        let room = runtime.create_owned_context(Box::new(Room::default()), &[building])?;
-        let treasure = runtime.create_owned_context(
-            Box::new(KvContext::with_entries("Item", [("gold", Value::from(0i64))])),
+        let room = deployment.create_owned_context(Box::new(Room::default()), &[building])?;
+        let treasure = deployment.create_owned_context(
+            Box::new(KvContext::with_entries(
+                "Item",
+                [("gold", Value::from(0i64))],
+            )),
             &[room],
         )?;
         let mut room_players = Vec::new();
         for _ in 0..players_per_room {
-            let player = runtime.create_owned_context(Box::new(Player::default()), &[room])?;
-            let mine = runtime.create_owned_context(
-                Box::new(KvContext::with_entries("Item", [("gold", Value::from(1_000_000i64))])),
+            let player = deployment.create_owned_context(Box::new(Player::default()), &[room])?;
+            let mine = deployment.create_owned_context(
+                Box::new(KvContext::with_entries(
+                    "Item",
+                    [("gold", Value::from(1_000_000i64))],
+                )),
                 &[player],
             )?;
-            runtime.add_ownership(player, treasure)?;
-            client.call(player, "set_items", args![mine, treasure])?;
+            deployment.add_ownership(player, treasure)?;
+            session.call(player, "set_items", args![mine, treasure])?;
             room_players.push(player);
         }
         world.rooms.push(room);
@@ -393,15 +420,13 @@ impl GameWorkload {
         let total = (config.request_rate * config.duration.as_secs_f64()) as usize;
         let mut requests = Vec::with_capacity(total);
         for k in 0..total {
-            let arrival =
-                SimTime::from_micros((k as f64 / config.request_rate * 1e6) as u64);
+            let arrival = SimTime::from_micros((k as f64 / config.request_rate * 1e6) as u64);
             let room_idx = rng.gen_range(0..servers);
             let player_idx = rng.gen_range(0..config.players_per_room);
             let room = rooms[room_idx];
             let player = players[room_idx][player_idx];
             let private = private_items[room_idx][player_idx];
-            let shared =
-                shared_items[room_idx][rng.gen_range(0..config.items_per_room.max(1))];
+            let shared = shared_items[room_idx][rng.gen_range(0..config.items_per_room.max(1))];
 
             let roll: f64 = rng.gen();
             let readonly = rng.gen::<f64>() < config.readonly_fraction;
@@ -479,13 +504,19 @@ impl GameWorkload {
             }
             requests.push(request);
         }
-        Self { cluster, requests, graph }
+        Self {
+            cluster,
+            requests,
+            graph,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aeon_api::Session;
+    use aeon_runtime::AeonRuntime;
     use aeon_sim::Simulator;
 
     #[test]
@@ -500,19 +531,28 @@ mod tests {
         // Every player can move gold into the shared treasure.
         for (r, players) in world.players.iter().enumerate() {
             for p in players {
-                assert_eq!(client.call(*p, "get_gold", args![10]).unwrap(), Value::Bool(true));
+                assert_eq!(
+                    client.call(*p, "get_gold", args![10]).unwrap(),
+                    Value::Bool(true)
+                );
             }
             assert_eq!(
-                client.call_readonly(world.treasures[r], "get", args!["gold"]).unwrap(),
+                client
+                    .call_readonly(world.treasures[r], "get", args!["gold"])
+                    .unwrap(),
                 Value::from(20i64)
             );
         }
         // Building-level aggregate and async time-of-day update.
         assert_eq!(
-            client.call_readonly(world.building, "count_players", args![]).unwrap(),
+            client
+                .call_readonly(world.building, "count_players", args![])
+                .unwrap(),
             Value::from(4i64)
         );
-        client.call(world.building, "update_time_of_day", args![]).unwrap();
+        client
+            .call(world.building, "update_time_of_day", args![])
+            .unwrap();
         runtime.shutdown();
     }
 
@@ -530,6 +570,40 @@ mod tests {
                 Dominator::Context(world.rooms[0])
             );
         }
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn class_graph_carries_method_metadata() {
+        let classes = game_class_graph();
+        assert_eq!(
+            classes.readonly_method("Building", "count_players"),
+            Some(true)
+        );
+        assert_eq!(
+            classes.readonly_method("Building", "update_time_of_day"),
+            Some(false)
+        );
+        assert_eq!(
+            classes.readonly_method("Player", "treasure_balance"),
+            Some(true)
+        );
+        assert_eq!(classes.readonly_method("Room", "nope"), None);
+        assert_eq!(classes.methods_of("Room").len(), 3);
+    }
+
+    #[test]
+    fn unknown_methods_are_uniformly_rejected() {
+        let runtime = AeonRuntime::builder().build().unwrap();
+        let building = runtime
+            .create_context(Box::new(Building), aeon_api::Placement::Auto)
+            .unwrap();
+        let client = runtime.client();
+        let err = client
+            .call(building, "no_such_method", args![])
+            .unwrap_err();
+        assert!(matches!(err, AeonError::UnknownMethod { class, method }
+            if class == "Building" && method == "no_such_method"));
         runtime.shutdown();
     }
 
@@ -558,7 +632,10 @@ mod tests {
         // EventWave requests all pass through the root ordering step.
         let ew = GameWorkload::generate(SystemKind::EventWave, &config);
         let building = ew.graph.roots()[0];
-        assert!(ew.requests.iter().all(|r| r.steps.first().map(|s| s.context) == Some(building)));
+        assert!(ew
+            .requests
+            .iter()
+            .all(|r| r.steps.first().map(|s| s.context) == Some(building)));
     }
 
     #[test]
@@ -570,7 +647,10 @@ mod tests {
         for system in SystemKind::ALL {
             let mut workload = GameWorkload::generate(system, &config);
             let metrics = Simulator::new().run(&mut workload.cluster, &workload.requests);
-            throughput.insert(system, metrics.throughput(Some(SimTime::ZERO + config.duration)));
+            throughput.insert(
+                system,
+                metrics.throughput(Some(SimTime::ZERO + config.duration)),
+            );
         }
         let get = |s: SystemKind| throughput[&s];
         assert!(get(SystemKind::Aeon) >= get(SystemKind::AeonSo) * 0.99);

@@ -9,15 +9,21 @@
 //!
 //! Under single ownership the `Order` contexts are owned by their `Customer`
 //! only.
+//!
+//! The contextclasses are declared with [`aeon_runtime::context_class!`]
+//! method tables and the transaction drivers are generic over
+//! [`aeon_api::Deployment`]/[`aeon_api::Session`].
 
+use aeon_api::{Deployment, Placement, Session};
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
-use aeon_runtime::{AeonRuntime, ContextObject, Invocation, Placement};
+use aeon_runtime::{context_class, ContextClass, Invocation};
 use aeon_sim::{RequestSpec, SimCluster, Step, SystemKind};
 use aeon_types::{args, AeonError, Args, ContextId, Result, ServerId, SimDuration, SimTime, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Class constraints of the TPC-C application (§6.1.2 listing).
+/// Class constraints of the TPC-C application (§6.1.2 listing), with the
+/// contextclass method metadata declared from the method tables.
 pub fn tpcc_class_graph() -> ClassGraph {
     let mut classes = ClassGraph::new();
     classes.add_constraint("WareHouse", "Stock");
@@ -28,6 +34,9 @@ pub fn tpcc_class_graph() -> ClassGraph {
     classes.add_constraint("Customer", "Order");
     classes.add_constraint("Order", "NewOrder");
     classes.add_constraint("Order", "OrderLine");
+    Warehouse::table().declare_in(&mut classes);
+    District::table().declare_in(&mut classes);
+    Customer::table().declare_in(&mut classes);
     classes
 }
 
@@ -65,12 +74,15 @@ impl TransactionKind {
 
     /// Whether the transaction is read-only.
     pub fn readonly(self) -> bool {
-        matches!(self, TransactionKind::OrderStatus | TransactionKind::StockLevel)
+        matches!(
+            self,
+            TransactionKind::OrderStatus | TransactionKind::StockLevel
+        )
     }
 }
 
 // ---------------------------------------------------------------------------
-// Runtime implementation (real ContextObjects).
+// Runtime implementation (real contextclasses).
 // ---------------------------------------------------------------------------
 
 /// The warehouse context: year-to-date totals and the (fixed) item/stock
@@ -86,55 +98,59 @@ impl Warehouse {
     /// Creates a warehouse with `items` catalogue entries of `quantity`
     /// stock each.
     pub fn new(items: i64, quantity: i64) -> Self {
-        Self { ytd: 0, stock: (0..items).map(|i| (i, quantity)).collect() }
-    }
-}
-
-impl ContextObject for Warehouse {
-    fn class_name(&self) -> &str {
-        "WareHouse"
-    }
-
-    fn handle(&mut self, method: &str, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "add_ytd" => {
-                self.ytd += args.get_i64(0)?;
-                Ok(Value::from(self.ytd))
-            }
-            "ytd" => Ok(Value::from(self.ytd)),
-            "reserve_stock" => {
-                let item = args.get_i64(0)?;
-                let qty = args.get_i64(1)?;
-                let entry = self
-                    .stock
-                    .get_mut(&item)
-                    .ok_or_else(|| AeonError::app(format!("unknown item {item}")))?;
-                if *entry < qty {
-                    *entry += 91; // TPC-C restock rule
-                }
-                *entry -= qty;
-                Ok(Value::from(*entry))
-            }
-            "stock_level" => {
-                let threshold = args.get_i64(0)?;
-                let low = self.stock.values().filter(|q| **q < threshold).count();
-                Ok(Value::from(low))
-            }
-            _ => Err(AeonError::UnknownMethod { class: "WareHouse".into(), method: method.into() }),
+        Self {
+            ytd: 0,
+            stock: (0..items).map(|i| (i, quantity)).collect(),
         }
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "ytd" | "stock_level")
+    fn add_ytd(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        self.ytd += args.get_i64(0)?;
+        Ok(Value::from(self.ytd))
     }
 
-    fn snapshot(&self) -> Value {
+    fn ytd(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(self.ytd))
+    }
+
+    fn reserve_stock(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        let item = args.get_i64(0)?;
+        let qty = args.get_i64(1)?;
+        let entry = self
+            .stock
+            .get_mut(&item)
+            .ok_or_else(|| AeonError::app(format!("unknown item {item}")))?;
+        if *entry < qty {
+            *entry += 91; // TPC-C restock rule
+        }
+        *entry -= qty;
+        Ok(Value::from(*entry))
+    }
+
+    fn stock_level(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        let threshold = args.get_i64(0)?;
+        let low = self.stock.values().filter(|q| **q < threshold).count();
+        Ok(Value::from(low))
+    }
+
+    fn snapshot_state(&self) -> Value {
         Value::map([("ytd", Value::from(self.ytd))])
     }
 
-    fn restore(&mut self, state: &Value) {
+    fn restore_state(&mut self, state: &Value) {
         self.ytd = state.get("ytd").and_then(Value::as_i64).unwrap_or(0);
     }
+}
+
+context_class! {
+    Warehouse: "WareHouse" {
+        method "add_ytd" => Warehouse::add_ytd,
+        ro method "ytd" => Warehouse::ytd,
+        method "reserve_stock" => Warehouse::reserve_stock,
+        ro method "stock_level" => Warehouse::stock_level,
+    }
+    snapshot = Warehouse::snapshot_state;
+    restore = Warehouse::restore_state;
 }
 
 /// The district context: order-id counter and year-to-date totals.
@@ -144,43 +160,51 @@ pub struct District {
     next_order_id: i64,
 }
 
-impl ContextObject for District {
-    fn class_name(&self) -> &str {
-        "District"
+impl District {
+    fn add_ytd(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        self.ytd += args.get_i64(0)?;
+        Ok(Value::from(self.ytd))
     }
 
-    fn handle(&mut self, method: &str, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "add_ytd" => {
-                self.ytd += args.get_i64(0)?;
-                Ok(Value::from(self.ytd))
-            }
-            "ytd" => Ok(Value::from(self.ytd)),
-            "next_order_id" => {
-                let id = self.next_order_id;
-                self.next_order_id += 1;
-                Ok(Value::from(id))
-            }
-            "order_count" => Ok(Value::from(self.next_order_id)),
-            _ => Err(AeonError::UnknownMethod { class: "District".into(), method: method.into() }),
-        }
+    fn ytd(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(self.ytd))
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "ytd" | "order_count")
+    fn next_order_id(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        let id = self.next_order_id;
+        self.next_order_id += 1;
+        Ok(Value::from(id))
     }
 
-    fn snapshot(&self) -> Value {
+    fn order_count(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(self.next_order_id))
+    }
+
+    fn snapshot_state(&self) -> Value {
         Value::map([
             ("ytd", Value::from(self.ytd)),
             ("next_order_id", Value::from(self.next_order_id)),
         ])
     }
 
-    fn restore(&mut self, state: &Value) {
+    fn restore_state(&mut self, state: &Value) {
         self.ytd = state.get("ytd").and_then(Value::as_i64).unwrap_or(0);
-        self.next_order_id = state.get("next_order_id").and_then(Value::as_i64).unwrap_or(0);
+        self.next_order_id = state
+            .get("next_order_id")
+            .and_then(Value::as_i64)
+            .unwrap_or(0);
     }
+}
+
+context_class! {
+    District: "District" {
+        method "add_ytd" => District::add_ytd,
+        ro method "ytd" => District::ytd,
+        method "next_order_id" => District::next_order_id,
+        ro method "order_count" => District::order_count,
+    }
+    snapshot = District::snapshot_state;
+    restore = District::restore_state;
 }
 
 /// The customer context: balance, payment history and its orders.
@@ -191,46 +215,43 @@ pub struct Customer {
     orders: Vec<i64>,
 }
 
-impl ContextObject for Customer {
-    fn class_name(&self) -> &str {
-        "Customer"
+impl Customer {
+    fn pay(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        let amount = args.get_i64(0)?;
+        self.balance -= amount;
+        self.payments += 1;
+        Ok(Value::from(self.balance))
     }
 
-    fn handle(&mut self, method: &str, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "pay" => {
-                let amount = args.get_i64(0)?;
-                self.balance -= amount;
-                self.payments += 1;
-                Ok(Value::from(self.balance))
-            }
-            "record_order" => {
-                self.orders.push(args.get_i64(0)?);
-                Ok(Value::from(self.orders.len()))
-            }
-            "last_order" => Ok(self
-                .orders
-                .last()
-                .map(|o| Value::from(*o))
-                .unwrap_or(Value::Null)),
-            "balance" => Ok(Value::from(self.balance)),
-            _ => Err(AeonError::UnknownMethod { class: "Customer".into(), method: method.into() }),
-        }
+    fn record_order(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        self.orders.push(args.get_i64(0)?);
+        Ok(Value::from(self.orders.len()))
     }
 
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "last_order" | "balance")
+    fn last_order(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(self
+            .orders
+            .last()
+            .map(|o| Value::from(*o))
+            .unwrap_or(Value::Null))
     }
 
-    fn snapshot(&self) -> Value {
+    fn balance(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::from(self.balance))
+    }
+
+    fn snapshot_state(&self) -> Value {
         Value::map([
             ("balance", Value::from(self.balance)),
             ("payments", Value::from(self.payments)),
-            ("orders", Value::List(self.orders.iter().map(|o| Value::from(*o)).collect())),
+            (
+                "orders",
+                Value::List(self.orders.iter().map(|o| Value::from(*o)).collect()),
+            ),
         ])
     }
 
-    fn restore(&mut self, state: &Value) {
+    fn restore_state(&mut self, state: &Value) {
         self.balance = state.get("balance").and_then(Value::as_i64).unwrap_or(0);
         self.payments = state.get("payments").and_then(Value::as_i64).unwrap_or(0);
         if let Some(orders) = state.get("orders").and_then(Value::as_list) {
@@ -239,7 +260,18 @@ impl ContextObject for Customer {
     }
 }
 
-/// A deployed TPC-C database on the real runtime.
+context_class! {
+    Customer: "Customer" {
+        method "pay" => Customer::pay,
+        method "record_order" => Customer::record_order,
+        ro method "last_order" => Customer::last_order,
+        ro method "balance" => Customer::balance,
+    }
+    snapshot = Customer::snapshot_state;
+    restore = Customer::restore_state;
+}
+
+/// A deployed TPC-C database.
 #[derive(Debug, Clone)]
 pub struct TpccWorld {
     /// The single warehouse context.
@@ -250,27 +282,32 @@ pub struct TpccWorld {
     pub customers: Vec<Vec<ContextId>>,
 }
 
-/// Deploys a (scaled-down) TPC-C database: one warehouse, `districts`
-/// districts, `customers_per_district` customers each.
+/// Deploys a (scaled-down) TPC-C database on any [`Deployment`] backend:
+/// one warehouse, `districts` districts, `customers_per_district` customers
+/// each.
 ///
 /// # Errors
 ///
 /// Propagates context-creation failures.
 pub fn deploy_tpcc(
-    runtime: &AeonRuntime,
+    deployment: &dyn Deployment,
     districts: usize,
     customers_per_district: usize,
 ) -> Result<TpccWorld> {
     let warehouse =
-        runtime.create_context(Box::new(Warehouse::new(100, 1_000)), Placement::Auto)?;
-    let mut world = TpccWorld { warehouse, districts: Vec::new(), customers: Vec::new() };
+        deployment.create_context(Box::new(Warehouse::new(100, 1_000)), Placement::Auto)?;
+    let mut world = TpccWorld {
+        warehouse,
+        districts: Vec::new(),
+        customers: Vec::new(),
+    };
     for _ in 0..districts {
-        let district = runtime.create_owned_context(Box::new(District::default()), &[warehouse])?;
+        let district =
+            deployment.create_owned_context(Box::new(District::default()), &[warehouse])?;
         let mut customers = Vec::new();
         for _ in 0..customers_per_district {
-            customers.push(
-                runtime.create_owned_context(Box::new(Customer::default()), &[district])?,
-            );
+            customers
+                .push(deployment.create_owned_context(Box::new(Customer::default()), &[district])?);
         }
         world.districts.push(district);
         world.customers.push(customers);
@@ -278,26 +315,27 @@ pub fn deploy_tpcc(
     Ok(world)
 }
 
-/// Executes a New-Order transaction against the deployed world, as a single
-/// event targeting the warehouse that walks down to the district and
-/// customer (releasing the warehouse early would be the `async` variant).
+/// Executes a New-Order transaction against the deployed world through any
+/// [`Session`].
 ///
 /// # Errors
 ///
 /// Propagates event execution failures.
 pub fn run_new_order(
-    runtime: &AeonRuntime,
+    session: &dyn Session,
     world: &TpccWorld,
     district_idx: usize,
     customer_idx: usize,
     amount: i64,
 ) -> Result<i64> {
-    let client = runtime.client();
     let district = world.districts[district_idx];
     let customer = world.customers[district_idx][customer_idx];
-    client.call(world.warehouse, "reserve_stock", args![amount % 100, 1])?;
-    let order_id = client.call(district, "next_order_id", args![])?.as_i64().unwrap_or(0);
-    client.call(customer, "record_order", args![order_id])?;
+    session.call(world.warehouse, "reserve_stock", args![amount % 100, 1])?;
+    let order_id = session
+        .call(district, "next_order_id", args![])?
+        .as_i64()
+        .unwrap_or(0);
+    session.call(customer, "record_order", args![order_id])?;
     Ok(order_id)
 }
 
@@ -309,16 +347,19 @@ pub fn run_new_order(
 ///
 /// Propagates event execution failures.
 pub fn run_payment(
-    runtime: &AeonRuntime,
+    session: &dyn Session,
     world: &TpccWorld,
     district_idx: usize,
     customer_idx: usize,
     amount: i64,
 ) -> Result<()> {
-    let client = runtime.client();
-    client.call(world.warehouse, "add_ytd", args![amount])?;
-    client.call(world.districts[district_idx], "add_ytd", args![amount])?;
-    client.call(world.customers[district_idx][customer_idx], "pay", args![amount])?;
+    session.call(world.warehouse, "add_ytd", args![amount])?;
+    session.call(world.districts[district_idx], "add_ytd", args![amount])?;
+    session.call(
+        world.customers[district_idx][customer_idx],
+        "pay",
+        args![amount],
+    )?;
     Ok(())
 }
 
@@ -369,7 +410,11 @@ impl Default for TpccWorkloadConfig {
 impl TpccWorkloadConfig {
     /// Scales the offered load with the cluster size (Figure 6a).
     pub fn for_servers(servers: usize) -> Self {
-        Self { servers, request_rate: 50.0 * servers as f64, ..Self::default() }
+        Self {
+            servers,
+            request_rate: 50.0 * servers as f64,
+            ..Self::default()
+        }
     }
 }
 
@@ -462,8 +507,7 @@ impl TpccWorkload {
         let total = (config.request_rate * config.duration.as_secs_f64()) as usize;
         let mut requests = Vec::with_capacity(total);
         for k in 0..total {
-            let arrival =
-                SimTime::from_micros((k as f64 / config.request_rate * 1e6) as u64);
+            let arrival = SimTime::from_micros((k as f64 / config.request_rate * 1e6) as u64);
             let kind = TransactionKind::sample(&mut rng);
             let d = rng.gen_range(0..servers);
             let c = rng.gen_range(0..config.customers_per_district);
@@ -549,13 +593,18 @@ impl TpccWorkload {
             }
             requests.push(request);
         }
-        Self { cluster, requests, graph }
+        Self {
+            cluster,
+            requests,
+            graph,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aeon_runtime::AeonRuntime;
     use aeon_sim::Simulator;
 
     #[test]
@@ -574,15 +623,21 @@ mod tests {
         for i in 0..30 {
             let d = i % 2;
             let c = i % 3;
-            run_payment(&runtime, &world, d, c, 10).unwrap();
+            run_payment(&client, &world, d, c, 10).unwrap();
             expected_total += 10;
-            run_new_order(&runtime, &world, d, c, i as i64).unwrap();
+            run_new_order(&client, &world, d, c, i as i64).unwrap();
         }
-        let w_ytd = client.call_readonly(world.warehouse, "ytd", args![]).unwrap();
+        let w_ytd = client
+            .call_readonly(world.warehouse, "ytd", args![])
+            .unwrap();
         assert_eq!(w_ytd, Value::from(expected_total));
         let mut district_sum = 0;
         for d in &world.districts {
-            district_sum += client.call_readonly(*d, "ytd", args![]).unwrap().as_i64().unwrap();
+            district_sum += client
+                .call_readonly(*d, "ytd", args![])
+                .unwrap()
+                .as_i64()
+                .unwrap();
         }
         assert_eq!(district_sum, expected_total);
         // 15 orders per district, ids 0..15.
@@ -596,8 +651,15 @@ mod tests {
     }
 
     #[test]
-    fn tpcc_class_graph_is_valid() {
-        tpcc_class_graph().check().unwrap();
+    fn tpcc_class_graph_is_valid_and_carries_method_metadata() {
+        let classes = tpcc_class_graph();
+        classes.check().unwrap();
+        assert_eq!(classes.readonly_method("WareHouse", "ytd"), Some(true));
+        assert_eq!(
+            classes.readonly_method("WareHouse", "reserve_stock"),
+            Some(false)
+        );
+        assert_eq!(classes.readonly_method("Customer", "balance"), Some(true));
     }
 
     #[test]
@@ -606,7 +668,9 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         let n = 20_000;
         for _ in 0..n {
-            *counts.entry(TransactionKind::sample(&mut rng)).or_insert(0usize) += 1;
+            *counts
+                .entry(TransactionKind::sample(&mut rng))
+                .or_insert(0usize) += 1;
         }
         let frac = |k: TransactionKind| counts[&k] as f64 / n as f64;
         assert!((frac(TransactionKind::NewOrder) - 0.45).abs() < 0.02);
@@ -636,7 +700,9 @@ mod tests {
             w.requests
                 .iter()
                 .filter(|r| {
-                    r.sequencers.iter().any(|s| w.graph.class_of(*s).unwrap() == "District")
+                    r.sequencers
+                        .iter()
+                        .any(|s| w.graph.class_of(*s).unwrap() == "District")
                 })
                 .count()
         };
@@ -664,11 +730,20 @@ mod tests {
         assert!(aeon16 > ew16, "AEON {aeon16} vs EventWave {ew16}");
         assert!(aeon16 > orleans16, "AEON {aeon16} vs Orleans {orleans16}");
         assert!(so16 >= aeon16 * 0.95, "AEON_SO {so16} vs AEON {aeon16}");
-        assert!(star16 >= aeon16 * 0.95, "Orleans* {star16} vs AEON {aeon16}");
+        assert!(
+            star16 >= aeon16 * 0.95,
+            "Orleans* {star16} vs AEON {aeon16}"
+        );
         // EventWave and Orleans stay roughly flat as servers grow.
         let ew2 = run(SystemKind::EventWave, 2);
         let orleans2 = run(SystemKind::OrleansStrict, 2);
-        assert!(ew16 < ew2 * 2.5, "EventWave does not scale: {ew2} -> {ew16}");
-        assert!(orleans16 < orleans2 * 2.5, "Orleans does not scale: {orleans2} -> {orleans16}");
+        assert!(
+            ew16 < ew2 * 2.5,
+            "EventWave does not scale: {ew2} -> {ew16}"
+        );
+        assert!(
+            orleans16 < orleans2 * 2.5,
+            "Orleans does not scale: {orleans2} -> {orleans16}"
+        );
     }
 }

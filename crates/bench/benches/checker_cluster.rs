@@ -2,6 +2,7 @@
 //! distributed deployment (local vs. cross-server events), complementing the
 //! protocol-level benchmarks in `micro.rs`.
 
+use aeon_api::Session;
 use aeon_checker::generator::{locked_history, GeneratorConfig};
 use aeon_checker::{check_strict_serializability, HistoryRecorder, OpKind};
 use aeon_cluster::Cluster;
@@ -20,9 +21,11 @@ fn checker_benches(c: &mut Criterion) {
             seed: 11,
         };
         let history = locked_history(&config);
-        group.bench_with_input(BenchmarkId::from_parameter(events), &history, |b, history| {
-            b.iter(|| check_strict_serializability(history).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(events),
+            &history,
+            |b, history| b.iter(|| check_strict_serializability(history).unwrap()),
+        );
     }
     group.finish();
 
@@ -45,30 +48,51 @@ fn runtime_vs_cluster_benches(c: &mut Criterion) {
         .unwrap();
     let runtime_client = runtime.client();
     c.bench_function("deployment/in_process_event", |b| {
-        b.iter(|| runtime_client.call(runtime_counter, "incr", args!["hits", 1i64]).unwrap())
+        b.iter(|| {
+            runtime_client
+                .call(runtime_counter, "incr", args!["hits", 1i64])
+                .unwrap()
+        })
     });
 
     let cluster = Cluster::builder().servers(2).build().unwrap();
     let servers = cluster.servers();
     let local_counter = cluster
-        .create_context(Box::new(KvContext::new("Counter")), Some(servers[0]))
+        .create_context(
+            Box::new(KvContext::new("Counter")),
+            Placement::Server(servers[0]),
+        )
         .unwrap();
     let cluster_client = cluster.client();
     c.bench_function("deployment/cluster_event", |b| {
-        b.iter(|| cluster_client.call(local_counter, "incr", args!["hits", 1i64]).unwrap())
+        b.iter(|| {
+            cluster_client
+                .call(local_counter, "incr", args!["hits", 1i64])
+                .unwrap()
+        })
     });
 
     // Cross-server call: parent on server 0, child on server 1, each event
     // traverses the network twice (call + reply) on top of routing.
     let parent = cluster
-        .create_context(Box::new(KvContext::new("Room")), Some(servers[0]))
+        .create_context(
+            Box::new(KvContext::new("Room")),
+            Placement::Server(servers[0]),
+        )
         .unwrap();
     let child = cluster
-        .create_context(Box::new(KvContext::new("Item")), Some(servers[1]))
+        .create_context(
+            Box::new(KvContext::new("Item")),
+            Placement::Server(servers[1]),
+        )
         .unwrap();
     cluster.add_ownership(parent, child).unwrap();
     c.bench_function("deployment/cluster_remote_child_event", |b| {
-        b.iter(|| cluster_client.call(child, "incr", args!["hits", 1i64]).unwrap())
+        b.iter(|| {
+            cluster_client
+                .call(child, "incr", args!["hits", 1i64])
+                .unwrap()
+        })
     });
 
     runtime.shutdown();

@@ -2,6 +2,7 @@
 //! ablation called out in DESIGN.md (async vs synchronous child calls,
 //! single vs multiple ownership contention).
 
+use aeon_api::Session;
 use aeon_apps::game::{deploy_game, game_class_graph};
 use aeon_ownership::{dominator_of, DominatorMode, OwnershipGraph};
 use aeon_runtime::{AeonRuntime, ContextLock, KvContext, Placement};
@@ -43,7 +44,10 @@ fn lock_benches(c: &mut Criterion) {
 
 fn codec_benches(c: &mut Criterion) {
     let value = Value::map([
-        ("players", Value::from((0..64u64).map(ContextId::new).collect::<Vec<_>>())),
+        (
+            "players",
+            Value::from((0..64u64).map(ContextId::new).collect::<Vec<_>>()),
+        ),
         ("gold", Value::from(123_456i64)),
         ("name", Value::from("the kings room")),
     ]);
@@ -58,7 +62,9 @@ fn codec_benches(c: &mut Criterion) {
 fn runtime_benches(c: &mut Criterion) {
     // End-to-end event latency on the real runtime (single context).
     let runtime = AeonRuntime::builder().servers(2).build().unwrap();
-    let kv = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
+    let kv = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
     let client = runtime.client();
     c.bench_function("runtime/single_context_event", |b| {
         b.iter(|| client.call(kv, "incr", args!["n", 1]).unwrap())
@@ -66,8 +72,11 @@ fn runtime_benches(c: &mut Criterion) {
 
     // Multi-context event through the game world: the get_gold event of
     // Listing 1 (player -> mine -> shared treasure).
-    let game_runtime =
-        AeonRuntime::builder().servers(2).class_graph(game_class_graph()).build().unwrap();
+    let game_runtime = AeonRuntime::builder()
+        .servers(2)
+        .class_graph(game_class_graph())
+        .build()
+        .unwrap();
     let world = deploy_game(&game_runtime, 1, 2).unwrap();
     let game_client = game_runtime.client();
     let player = world.players[0][0];
@@ -75,21 +84,35 @@ fn runtime_benches(c: &mut Criterion) {
         b.iter(|| game_client.call(player, "get_gold", args![1]).unwrap())
     });
     c.bench_function("runtime/readonly_event", |b| {
-        b.iter(|| game_client.call_readonly(player, "treasure_balance", args![]).unwrap())
+        b.iter(|| {
+            game_client
+                .call_readonly(player, "treasure_balance", args![])
+                .unwrap()
+        })
     });
 
     // Ablation: async (deferred) vs synchronous fan-out to children.
     let building = world.building;
     c.bench_function("ablation/async_fanout_update_time", |b| {
-        b.iter(|| game_client.call(building, "update_time_of_day", args![]).unwrap())
+        b.iter(|| {
+            game_client
+                .call(building, "update_time_of_day", args![])
+                .unwrap()
+        })
     });
     c.bench_function("ablation/sync_fanout_count_players", |b| {
-        b.iter(|| game_client.call_readonly(building, "count_players", args![]).unwrap())
+        b.iter(|| {
+            game_client
+                .call_readonly(building, "count_players", args![])
+                .unwrap()
+        })
     });
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
 }
 
 criterion_group! {

@@ -12,16 +12,20 @@
 //!   different server than their owner, so every child call crosses the
 //!   network.
 //!
+//! All three configurations run the *same* driver through the unified
+//! `Deployment` API; only the backend and the placement differ.
+//!
 //! The output reports events per second and the local/remote message split.
 //! Expected shape: co-located ≈ in-process (the protocol, not the network,
 //! dominates), scattered pays per-call messaging overhead — which is why the
 //! paper's locality-aware placement matters (§6.1.1, reason 2 for beating
 //! Orleans).
 
+use aeon_api::{Deployment, Placement};
 use aeon_bench::header;
 use aeon_cluster::Cluster;
-use aeon_runtime::{AeonRuntime, ContextObject, Invocation, KvContext, Placement};
-use aeon_types::{args, AeonError, Args, Result, Value};
+use aeon_runtime::{context_class, AeonRuntime, Invocation, KvContext};
+use aeon_types::{args, Args, Result, Value};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,21 +33,18 @@ use std::time::Instant;
 #[derive(Debug, Default)]
 struct Room;
 
-impl ContextObject for Room {
-    fn class_name(&self) -> &str {
-        "Room"
-    }
-
-    fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "update_items" => {
-                for item in inv.children(None)? {
-                    inv.call(item, "incr", args!["version", 1i64])?;
-                }
-                Ok(Value::Null)
-            }
-            _ => Err(AeonError::UnknownMethod { class: "Room".into(), method: method.into() }),
+impl Room {
+    fn update_items(&mut self, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        for item in inv.children(None)? {
+            inv.call(item, "incr", args!["version", 1i64])?;
         }
+        Ok(Value::Null)
+    }
+}
+
+context_class! {
+    Room: "Room" {
+        method "update_items" => Room::update_items,
     }
 }
 
@@ -52,75 +53,41 @@ const ITEMS_PER_ROOM: usize = 4;
 const EVENTS_PER_ROOM: usize = 200;
 const CLIENTS_PER_ROOM: usize = 2;
 
-fn run_in_process() -> (f64, u64, u64) {
-    let runtime = AeonRuntime::builder().servers(ROOMS).build().unwrap();
+/// Deploys rooms+items and drives the update workload through any backend.
+/// `scattered` controls whether items land next to their room or on the
+/// next servers round-robin.
+fn run(deployment: &(impl Deployment + Clone + 'static), scattered: bool) -> f64 {
+    let servers = deployment.servers();
     let mut rooms = Vec::new();
-    for _ in 0..ROOMS {
-        let room = runtime.create_context(Box::new(Room), Placement::Auto).unwrap();
-        for _ in 0..ITEMS_PER_ROOM {
-            runtime
-                .create_owned_context(Box::new(KvContext::new("Item")), &[room])
-                .unwrap();
-        }
-        rooms.push(room);
-    }
-    let runtime = Arc::new(runtime);
-    let started = Instant::now();
-    let mut workers = Vec::new();
-    for room in &rooms {
-        for _ in 0..CLIENTS_PER_ROOM {
-            let runtime = Arc::clone(&runtime);
-            let room = *room;
-            workers.push(std::thread::spawn(move || {
-                let client = runtime.client();
-                for _ in 0..EVENTS_PER_ROOM / CLIENTS_PER_ROOM {
-                    client.call(room, "update_items", args![]).unwrap();
-                }
-            }));
-        }
-    }
-    for w in workers {
-        w.join().unwrap();
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    let events = (ROOMS * EVENTS_PER_ROOM) as f64;
-    runtime.shutdown();
-    (events / elapsed, 0, 0)
-}
-
-fn run_cluster(scattered: bool) -> (f64, u64, u64) {
-    let cluster = Cluster::builder().servers(ROOMS).build().unwrap();
-    let servers = cluster.servers();
-    let mut rooms = Vec::new();
-    for (i, _) in (0..ROOMS).enumerate() {
+    for i in 0..ROOMS {
         let room_server = servers[i % servers.len()];
-        let room = cluster.create_context(Box::new(Room), Some(room_server)).unwrap();
+        let room = deployment
+            .create_context(Box::new(Room), Placement::Server(room_server))
+            .unwrap();
         for j in 0..ITEMS_PER_ROOM {
-            let item_server = if scattered {
-                servers[(i + 1 + j) % servers.len()]
+            let item_placement = if scattered {
+                Placement::Server(servers[(i + 1 + j) % servers.len()])
             } else {
-                room_server
+                Placement::Server(room_server)
             };
-            let item = cluster
-                .create_context(Box::new(KvContext::new("Item")), Some(item_server))
+            let item = deployment
+                .create_context(Box::new(KvContext::new("Item")), item_placement)
                 .unwrap();
-            cluster.add_ownership(room, item).unwrap();
+            deployment.add_ownership(room, item).unwrap();
         }
         rooms.push(room);
     }
-    let base_local = cluster.network_stats().local_messages();
-    let base_remote = cluster.network_stats().remote_messages();
-    let cluster = Arc::new(cluster);
+    let deployment = Arc::new(deployment.clone());
     let started = Instant::now();
     let mut workers = Vec::new();
     for room in &rooms {
         for _ in 0..CLIENTS_PER_ROOM {
-            let cluster = Arc::clone(&cluster);
+            let deployment = Arc::clone(&deployment);
             let room = *room;
             workers.push(std::thread::spawn(move || {
-                let client = cluster.client();
+                let session = deployment.session();
                 for _ in 0..EVENTS_PER_ROOM / CLIENTS_PER_ROOM {
-                    client.call(room, "update_items", args![]).unwrap();
+                    session.call(room, "update_items", args![]).unwrap();
                 }
             }));
         }
@@ -129,11 +96,7 @@ fn run_cluster(scattered: bool) -> (f64, u64, u64) {
         w.join().unwrap();
     }
     let elapsed = started.elapsed().as_secs_f64();
-    let events = (ROOMS * EVENTS_PER_ROOM) as f64;
-    let local = cluster.network_stats().local_messages() - base_local;
-    let remote = cluster.network_stats().remote_messages() - base_remote;
-    cluster.shutdown();
-    (events / elapsed, local, remote)
+    (ROOMS * EVENTS_PER_ROOM) as f64 / elapsed
 }
 
 fn main() {
@@ -142,10 +105,20 @@ fn main() {
         "workload: {ROOMS} rooms x {ITEMS_PER_ROOM} items, {EVENTS_PER_ROOM} update events per room"
     );
     header(&["deployment", "events_per_s", "local_msgs", "remote_msgs"]);
-    let (throughput, local, remote) = run_in_process();
-    println!("in-process\t{throughput:.2}\t{local}\t{remote}");
-    let (throughput, local, remote) = run_cluster(false);
-    println!("cluster-colocated\t{throughput:.2}\t{local}\t{remote}");
-    let (throughput, local, remote) = run_cluster(true);
-    println!("cluster-scattered\t{throughput:.2}\t{local}\t{remote}");
+
+    let runtime = AeonRuntime::builder().servers(ROOMS).build().unwrap();
+    let throughput = run(&runtime, false);
+    runtime.shutdown();
+    println!("in-process\t{throughput:.2}\t0\t0");
+
+    for (label, scattered) in [("cluster-colocated", false), ("cluster-scattered", true)] {
+        let cluster = Cluster::builder().servers(ROOMS).build().unwrap();
+        let base_local = cluster.network_stats().local_messages();
+        let base_remote = cluster.network_stats().remote_messages();
+        let throughput = run(&cluster, scattered);
+        let local = cluster.network_stats().local_messages() - base_local;
+        let remote = cluster.network_stats().remote_messages() - base_remote;
+        cluster.shutdown();
+        println!("{label}\t{throughput:.2}\t{local}\t{remote}");
+    }
 }

@@ -6,9 +6,17 @@ use aeon_bench::{cell, header, run_game};
 use aeon_sim::SystemKind;
 
 fn main() {
-    header(&["system", "offered_rps", "throughput_rps", "mean_latency_ms", "p99_latency_ms"]);
+    header(&[
+        "system",
+        "offered_rps",
+        "throughput_rps",
+        "mean_latency_ms",
+        "p99_latency_ms",
+    ]);
     for system in SystemKind::ALL {
-        for load in [2_000.0, 4_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0, 14_000.0, 16_000.0] {
+        for load in [
+            2_000.0, 4_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0, 14_000.0, 16_000.0,
+        ] {
             let config = GameWorkloadConfig {
                 servers: 8,
                 request_rate: load,

@@ -6,7 +6,14 @@ use aeon_bench::{cell, header, run_tpcc};
 use aeon_sim::SystemKind;
 
 fn main() {
-    header(&["servers", "EventWave", "Orleans", "Orleans*", "AEON_SO", "AEON"]);
+    header(&[
+        "servers",
+        "EventWave",
+        "Orleans",
+        "Orleans*",
+        "AEON_SO",
+        "AEON",
+    ]);
     for servers in [2usize, 4, 8, 12, 16] {
         let config = TpccWorkloadConfig::for_servers(servers);
         let mut row = vec![servers.to_string()];

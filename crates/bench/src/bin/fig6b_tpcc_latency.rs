@@ -6,7 +6,13 @@ use aeon_bench::{cell, header, run_tpcc};
 use aeon_sim::SystemKind;
 
 fn main() {
-    header(&["system", "offered_tps", "throughput_tps", "mean_latency_ms", "p99_latency_ms"]);
+    header(&[
+        "system",
+        "offered_tps",
+        "throughput_tps",
+        "mean_latency_ms",
+        "p99_latency_ms",
+    ]);
     for system in SystemKind::ALL {
         for load in [50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 600.0] {
             let config = TpccWorkloadConfig {

@@ -7,10 +7,17 @@ use aeon_sim::{migration_impact, MigrationImpactConfig};
 fn main() {
     println!("time_s\tcontexts_migrated\tevents_per_s");
     for contexts in [1usize, 8, 12] {
-        let config = MigrationImpactConfig { contexts_migrated: contexts, ..Default::default() };
+        let config = MigrationImpactConfig {
+            contexts_migrated: contexts,
+            ..Default::default()
+        };
         let series = migration_impact(&config);
         for (t, throughput, _latency) in &series.points {
-            println!("{}\t{contexts}\t{}", t.as_secs_f64() as u64, cell(*throughput));
+            println!(
+                "{}\t{contexts}\t{}",
+                t.as_secs_f64() as u64,
+                cell(*throughput)
+            );
         }
     }
 }

@@ -10,10 +10,17 @@ use std::time::Instant;
 
 fn main() {
     println!("instance\tcontext_size\tcontexts_per_s");
-    for instance in [InstanceType::Large, InstanceType::Medium, InstanceType::Small] {
+    for instance in [
+        InstanceType::Large,
+        InstanceType::Medium,
+        InstanceType::Small,
+    ] {
         let model = EManagerThroughputModel::for_instance(instance);
         for (label, bytes) in [("1KB", 1u64 << 10), ("1MB", 1u64 << 20)] {
-            println!("{instance}\t{label}\t{}", cell(model.contexts_per_second(bytes)));
+            println!(
+                "{instance}\t{label}\t{}",
+                cell(model.contexts_per_second(bytes))
+            );
         }
     }
     // Sanity check: in-process migration throughput of the real runtime.
@@ -22,7 +29,10 @@ fn main() {
         .map(|i| {
             runtime
                 .create_context(
-                    Box::new(KvContext::with_entries("Item", [("payload", Value::from(vec![0u8; 1024]))])),
+                    Box::new(KvContext::with_entries(
+                        "Item",
+                        [("payload", Value::from(vec![0u8; 1024]))],
+                    )),
                     Placement::Server(runtime.servers()[i % 2]),
                 )
                 .expect("context")
@@ -30,7 +40,9 @@ fn main() {
         .collect();
     let start = Instant::now();
     for (i, ctx) in contexts.iter().enumerate() {
-        runtime.migrate_context(*ctx, runtime.servers()[(i + 1) % 2]).expect("migrate");
+        runtime
+            .migrate_context(*ctx, runtime.servers()[(i + 1) % 2])
+            .expect("migrate");
     }
     let rate = contexts.len() as f64 / start.elapsed().as_secs_f64();
     println!("in-process-runtime\t1KB\t{}", cell(rate));

@@ -23,6 +23,7 @@
 use crate::checker::{check_strict_serializability, SerializationOrder, Violation};
 use crate::history::{History, HistoryRecorder};
 use crate::recording::RecordingRegister;
+use aeon_api::Session;
 use aeon_ownership::ClassGraph;
 use aeon_runtime::{AeonRuntime, ContextObject, Invocation, Placement};
 use aeon_types::{args, AeonError, Args, ContextId, Result, Value};
@@ -99,7 +100,10 @@ impl ContextObject for Branch {
             }
             // readonly: number of owned accounts.
             "account_count" => Ok(Value::from(inv.children(Some("Account"))?.len() as i64)),
-            _ => Err(AeonError::UnknownMethod { class: "Branch".into(), method: method.into() }),
+            _ => Err(AeonError::UnknownMethod {
+                class: "Branch".into(),
+                method: method.into(),
+            }),
         }
     }
 
@@ -110,7 +114,12 @@ impl ContextObject for Branch {
     fn snapshot(&self) -> Value {
         Value::map([(
             "accounts",
-            Value::List(self.accounts.iter().map(|c| Value::ContextRef(*c)).collect()),
+            Value::List(
+                self.accounts
+                    .iter()
+                    .map(|c| Value::ContextRef(*c))
+                    .collect(),
+            ),
         )])
     }
 
@@ -155,9 +164,10 @@ impl ContextObject for Bank {
                 Ok(Value::from(total))
             }
             "branch_count" => Ok(Value::from(inv.children(Some("Branch"))?.len() as i64)),
-            method => {
-                Err(AeonError::UnknownMethod { class: "Bank".into(), method: method.into() })
-            }
+            method => Err(AeonError::UnknownMethod {
+                class: "Bank".into(),
+                method: method.into(),
+            }),
         }
     }
 
@@ -289,7 +299,12 @@ pub fn deploy_bank(
             client.call(*branch, "attach_account", args![*account])?;
         }
     }
-    Ok(BankDeployment { bank, branches, accounts_of, accounts })
+    Ok(BankDeployment {
+        bank,
+        branches,
+        accounts_of,
+        accounts,
+    })
 }
 
 /// `Branch` extended with an `account_ids` readonly method so the bank-level
@@ -314,7 +329,10 @@ impl ContextObject for BranchWithDirectory {
     fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
         match method {
             "account_ids" => Ok(Value::List(
-                inv.children(Some("Account"))?.into_iter().map(Value::ContextRef).collect(),
+                inv.children(Some("Account"))?
+                    .into_iter()
+                    .map(Value::ContextRef)
+                    .collect(),
             )),
             _ => self.inner.handle(method, args, inv),
         }
@@ -393,8 +411,7 @@ pub fn run_bank_workload(config: &BankConfig) -> Result<BankRunReport> {
                 let do_audit = config.audit_every > 0 && op % config.audit_every == 0;
                 if do_audit {
                     let token = recorder.invocation_started();
-                    let handle =
-                        client.submit_readonly_event(deployment.bank, "audit", args![])?;
+                    let handle = client.submit_readonly_event(deployment.bank, "audit", args![])?;
                     recorder.bind(token, handle.event_id());
                     let event = handle.event_id();
                     handle.wait()?;
@@ -436,7 +453,9 @@ pub fn run_bank_workload(config: &BankConfig) -> Result<BankRunReport> {
     let mut transfers = 0u64;
     let mut audits = 0u64;
     for worker in workers {
-        let (t, a) = worker.join().map_err(|_| AeonError::internal("bank worker panicked"))??;
+        let (t, a) = worker
+            .join()
+            .map_err(|_| AeonError::internal("bank worker panicked"))??;
         transfers += t;
         audits += a;
     }
@@ -470,9 +489,16 @@ mod tests {
     #[test]
     fn deployment_builds_expected_shape() {
         let recorder = HistoryRecorder::new();
-        let config = BankConfig { branches: 3, accounts_per_branch: 2, ..BankConfig::default() };
-        let runtime =
-            AeonRuntime::builder().servers(2).class_graph(bank_class_graph()).build().unwrap();
+        let config = BankConfig {
+            branches: 3,
+            accounts_per_branch: 2,
+            ..BankConfig::default()
+        };
+        let runtime = AeonRuntime::builder()
+            .servers(2)
+            .class_graph(bank_class_graph())
+            .build()
+            .unwrap();
         let deployment = deploy_bank(&runtime, &config, &recorder).unwrap();
         assert_eq!(deployment.branches.len(), 3);
         // 3 branches * 2 exclusive + 2 shared (between pairs 0-1 and 1-2).
@@ -521,11 +547,16 @@ mod tests {
             initial_balance: 50,
             ..BankConfig::default()
         };
-        let runtime =
-            AeonRuntime::builder().servers(1).class_graph(bank_class_graph()).build().unwrap();
+        let runtime = AeonRuntime::builder()
+            .servers(1)
+            .class_graph(bank_class_graph())
+            .build()
+            .unwrap();
         let deployment = deploy_bank(&runtime, &config, &recorder).unwrap();
         let client = runtime.client();
-        let total = client.call_readonly(deployment.bank, "audit", args![]).unwrap();
+        let total = client
+            .call_readonly(deployment.bank, "audit", args![])
+            .unwrap();
         // 2 exclusive + 1 shared = 3 accounts of 50.
         assert_eq!(total, Value::from(150i64));
     }

@@ -68,7 +68,10 @@ impl PrecedenceGraph {
     /// Builds the precedence graph (conflict edges plus real-time edges) for
     /// a history.
     pub fn build(history: &History) -> Self {
-        let mut graph = Self { nodes: history.events(), edges: BTreeMap::new() };
+        let mut graph = Self {
+            nodes: history.events(),
+            edges: BTreeMap::new(),
+        };
         graph.add_conflict_edges(history);
         graph.add_real_time_edges(history);
         graph
@@ -77,7 +80,10 @@ impl PrecedenceGraph {
     /// Builds a graph with conflict edges only (plain serializability, used
     /// by the weaker [`check_serializability`] entry point).
     pub fn build_conflict_only(history: &History) -> Self {
-        let mut graph = Self { nodes: history.events(), edges: BTreeMap::new() };
+        let mut graph = Self {
+            nodes: history.events(),
+            edges: BTreeMap::new(),
+        };
         graph.add_conflict_edges(history);
         graph
     }
@@ -88,7 +94,11 @@ impl PrecedenceGraph {
         }
         self.nodes.insert(from);
         self.nodes.insert(to);
-        self.edges.entry(from).or_default().entry(to).or_insert(reason);
+        self.edges
+            .entry(from)
+            .or_default()
+            .entry(to)
+            .or_insert(reason);
     }
 
     fn add_conflict_edges(&mut self, history: &History) {
@@ -146,8 +156,7 @@ impl PrecedenceGraph {
     /// Kahn's algorithm: returns a topological order, or the events left on
     /// a cycle when none exists.
     fn topological_sort(&self) -> Result<Vec<EventId>, Vec<EventId>> {
-        let mut indegree: BTreeMap<EventId, usize> =
-            self.nodes.iter().map(|n| (*n, 0)).collect();
+        let mut indegree: BTreeMap<EventId, usize> = self.nodes.iter().map(|n| (*n, 0)).collect();
         for dests in self.edges.values() {
             for to in dests.keys() {
                 *indegree.entry(*to).or_insert(0) += 1;
@@ -175,7 +184,12 @@ impl PrecedenceGraph {
             Ok(order)
         } else {
             let ordered: BTreeSet<EventId> = order.into_iter().collect();
-            Err(self.nodes.iter().filter(|n| !ordered.contains(n)).copied().collect())
+            Err(self
+                .nodes
+                .iter()
+                .filter(|n| !ordered.contains(n))
+                .copied()
+                .collect())
         }
     }
 
@@ -254,7 +268,11 @@ pub struct SerializationOrder {
 impl SerializationOrder {
     /// Position of each event in the serial order.
     pub fn positions(&self) -> BTreeMap<EventId, usize> {
-        self.order.iter().enumerate().map(|(i, e)| (*e, i)).collect()
+        self.order
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (*e, i))
+            .collect()
     }
 
     /// Whether `first` is serialized before `second`.
@@ -334,7 +352,12 @@ mod tests {
     }
 
     fn op(event: u64, context: u64, kind: OpKind, at: u64) -> Operation {
-        Operation { event: ev(event), context: cx(context), kind, at }
+        Operation {
+            event: ev(event),
+            context: cx(context),
+            kind,
+            at,
+        }
     }
 
     #[test]
@@ -359,8 +382,20 @@ mod tests {
     fn concurrent_reads_commute() {
         let mut h = History::new();
         // Two overlapping read-only events on the same context.
-        h.set_span(ev(1), EventSpan { invoked_at: 0, responded_at: Some(10) });
-        h.set_span(ev(2), EventSpan { invoked_at: 1, responded_at: Some(9) });
+        h.set_span(
+            ev(1),
+            EventSpan {
+                invoked_at: 0,
+                responded_at: Some(10),
+            },
+        );
+        h.set_span(
+            ev(2),
+            EventSpan {
+                invoked_at: 1,
+                responded_at: Some(9),
+            },
+        );
         h.push_operation(op(1, 1, OpKind::Read, 2));
         h.push_operation(op(2, 1, OpKind::Read, 3));
         let graph = PrecedenceGraph::build(&h);
@@ -378,8 +413,20 @@ mod tests {
         h.push_operation(op(1, 1, OpKind::Write, 2));
         h.push_operation(op(2, 1, OpKind::Write, 3));
         // Overlapping spans: no real-time constraint.
-        h.set_span(ev(1), EventSpan { invoked_at: 0, responded_at: Some(10) });
-        h.set_span(ev(2), EventSpan { invoked_at: 0, responded_at: Some(10) });
+        h.set_span(
+            ev(1),
+            EventSpan {
+                invoked_at: 0,
+                responded_at: Some(10),
+            },
+        );
+        h.set_span(
+            ev(2),
+            EventSpan {
+                invoked_at: 0,
+                responded_at: Some(10),
+            },
+        );
         let err = check_strict_serializability(&h).unwrap_err();
         assert!(!err.cycle.is_empty());
         assert!(err.to_string().contains("conflict"));
@@ -399,7 +446,11 @@ mod tests {
         h.push_operation(op(2, 2, OpKind::Read, 1));
         h.push_operation(op(1, 2, OpKind::Write, 2));
         let err = check_serializability(&h).unwrap_err();
-        assert_eq!(err.cycle.len(), 2, "shortest witness is the two-event cycle");
+        assert_eq!(
+            err.cycle.len(),
+            2,
+            "shortest witness is the two-event cycle"
+        );
     }
 
     #[test]
@@ -411,8 +462,20 @@ mod tests {
         let mut h = History::new();
         h.push_operation(op(2, 1, OpKind::Read, 5));
         h.push_operation(op(1, 1, OpKind::Write, 6));
-        h.set_span(ev(1), EventSpan { invoked_at: 0, responded_at: Some(2) });
-        h.set_span(ev(2), EventSpan { invoked_at: 3, responded_at: Some(7) });
+        h.set_span(
+            ev(1),
+            EventSpan {
+                invoked_at: 0,
+                responded_at: Some(2),
+            },
+        );
+        h.set_span(
+            ev(2),
+            EventSpan {
+                invoked_at: 3,
+                responded_at: Some(7),
+            },
+        );
         assert!(check_serializability(&h).is_ok());
         let err = check_strict_serializability(&h).unwrap_err();
         assert!(err.cycle.iter().any(|e| e.reason == EdgeReason::RealTime));
@@ -432,7 +495,10 @@ mod tests {
         rec.record(ev(4), cx(2), OpKind::Write);
         rec.completed(ev(4));
         let order = check_strict_serializability(&rec.history()).unwrap();
-        assert!(order.serializes_before(ev(10), ev(4)), "real-time order wins over id order");
+        assert!(
+            order.serializes_before(ev(10), ev(4)),
+            "real-time order wins over id order"
+        );
     }
 
     #[test]
@@ -440,8 +506,20 @@ mod tests {
         let mut h = History::new();
         h.push_operation(op(1, 1, OpKind::Write, 0));
         h.push_operation(op(2, 2, OpKind::Write, 1));
-        h.set_span(ev(1), EventSpan { invoked_at: 0, responded_at: Some(10) });
-        h.set_span(ev(2), EventSpan { invoked_at: 0, responded_at: Some(10) });
+        h.set_span(
+            ev(1),
+            EventSpan {
+                invoked_at: 0,
+                responded_at: Some(10),
+            },
+        );
+        h.set_span(
+            ev(2),
+            EventSpan {
+                invoked_at: 0,
+                responded_at: Some(10),
+            },
+        );
         let graph = PrecedenceGraph::build(&h);
         assert_eq!(graph.edge_count(), 0);
         assert_eq!(graph.node_count(), 2);
@@ -462,8 +540,7 @@ mod tests {
         // 2->3, 3->1?  c3 order is (3, then 1) so 3->1.  Cycle of length 3.
         let err = check_serializability(&h).unwrap_err();
         assert_eq!(err.cycle.len(), 3);
-        let members: BTreeSet<EventId> =
-            err.cycle.iter().flat_map(|e| [e.from, e.to]).collect();
+        let members: BTreeSet<EventId> = err.cycle.iter().flat_map(|e| [e.from, e.to]).collect();
         assert_eq!(members, BTreeSet::from([ev(1), ev(2), ev(3)]));
     }
 
@@ -471,8 +548,16 @@ mod tests {
     fn violation_display_is_informative() {
         let violation = Violation {
             cycle: vec![
-                PrecedenceEdge { from: ev(1), to: ev(2), reason: EdgeReason::Conflict { context: cx(5) } },
-                PrecedenceEdge { from: ev(2), to: ev(1), reason: EdgeReason::RealTime },
+                PrecedenceEdge {
+                    from: ev(1),
+                    to: ev(2),
+                    reason: EdgeReason::Conflict { context: cx(5) },
+                },
+                PrecedenceEdge {
+                    from: ev(2),
+                    to: ev(1),
+                    reason: EdgeReason::RealTime,
+                },
             ],
         };
         let text = violation.to_string();

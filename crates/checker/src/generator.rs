@@ -36,7 +36,13 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        Self { events: 20, contexts: 5, ops_per_event: 3, read_percent: 50, seed: 7 }
+        Self {
+            events: 20,
+            contexts: 5,
+            ops_per_event: 3,
+            read_percent: 50,
+            seed: 7,
+        }
     }
 }
 
@@ -67,7 +73,13 @@ pub fn serial_history(config: &GeneratorConfig) -> History {
             });
             clock += 1;
         }
-        history.set_span(event, EventSpan { invoked_at, responded_at: Some(clock) });
+        history.set_span(
+            event,
+            EventSpan {
+                invoked_at,
+                responded_at: Some(clock),
+            },
+        );
         clock += 1;
     }
     history
@@ -91,8 +103,9 @@ pub fn locked_history(config: &GeneratorConfig) -> History {
             *event,
             EventSpan {
                 invoked_at: pos as u64,
-                responded_at: Some((config.events + config.events * config.ops_per_event
-                    + pos) as u64),
+                responded_at: Some(
+                    (config.events + config.events * config.ops_per_event + pos) as u64,
+                ),
             },
         );
     }
@@ -132,14 +145,34 @@ pub fn racy_history(config: &GeneratorConfig, race_percent: u32) -> History {
             let b = EventId::new(next_event + 1);
             next_event += 2;
             let context = ContextId::new(c);
-            for (event, kind) in
-                [(a, OpKind::Read), (b, OpKind::Read), (a, OpKind::Write), (b, OpKind::Write)]
-            {
-                history.push_operation(Operation { event, context, kind, at: clock });
+            for (event, kind) in [
+                (a, OpKind::Read),
+                (b, OpKind::Read),
+                (a, OpKind::Write),
+                (b, OpKind::Write),
+            ] {
+                history.push_operation(Operation {
+                    event,
+                    context,
+                    kind,
+                    at: clock,
+                });
                 clock += 1;
             }
-            history.set_span(a, EventSpan { invoked_at: clock, responded_at: Some(clock + 10) });
-            history.set_span(b, EventSpan { invoked_at: clock, responded_at: Some(clock + 10) });
+            history.set_span(
+                a,
+                EventSpan {
+                    invoked_at: clock,
+                    responded_at: Some(clock + 10),
+                },
+            );
+            history.set_span(
+                b,
+                EventSpan {
+                    invoked_at: clock,
+                    responded_at: Some(clock + 10),
+                },
+            );
             clock += 20;
         }
     }
@@ -154,7 +187,10 @@ mod tests {
     #[test]
     fn serial_histories_are_strictly_serializable() {
         for seed in 0..5 {
-            let config = GeneratorConfig { seed, ..GeneratorConfig::default() };
+            let config = GeneratorConfig {
+                seed,
+                ..GeneratorConfig::default()
+            };
             let history = serial_history(&config);
             let order = check_strict_serializability(&history).unwrap();
             // The serial order must be the generation order.
@@ -174,13 +210,20 @@ mod tests {
                 read_percent: 30,
             };
             let history = locked_history(&config);
-            assert!(check_strict_serializability(&history).is_ok(), "seed {seed}");
+            assert!(
+                check_strict_serializability(&history).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 
     #[test]
     fn racy_histories_are_rejected() {
-        let config = GeneratorConfig { events: 10, contexts: 8, ..GeneratorConfig::default() };
+        let config = GeneratorConfig {
+            events: 10,
+            contexts: 8,
+            ..GeneratorConfig::default()
+        };
         let history = racy_history(&config, 100);
         assert!(check_serializability(&history).is_err());
         assert!(check_strict_serializability(&history).is_err());

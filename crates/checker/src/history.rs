@@ -197,16 +197,21 @@ impl HistoryRecorder {
     /// Takes an invocation timestamp.  Call this *before* submitting the
     /// event so the recorded span covers the true one.
     pub fn invocation_started(&self) -> InvocationToken {
-        InvocationToken { invoked_at: self.tick() }
+        InvocationToken {
+            invoked_at: self.tick(),
+        }
     }
 
     /// Binds a previously taken invocation token to the event id the runtime
     /// assigned to the submission.
     pub fn bind(&self, token: InvocationToken, event: EventId) {
-        self.inner
-            .spans
-            .lock()
-            .insert(event, EventSpan { invoked_at: token.invoked_at, responded_at: None });
+        self.inner.spans.lock().insert(
+            event,
+            EventSpan {
+                invoked_at: token.invoked_at,
+                responded_at: None,
+            },
+        );
     }
 
     /// Convenience for tests and synchronous drivers: takes the invocation
@@ -225,7 +230,13 @@ impl HistoryRecorder {
         match spans.get_mut(&event) {
             Some(span) => span.responded_at = Some(at),
             None => {
-                spans.insert(event, EventSpan { invoked_at: at, responded_at: Some(at) });
+                spans.insert(
+                    event,
+                    EventSpan {
+                        invoked_at: at,
+                        responded_at: Some(at),
+                    },
+                );
             }
         }
     }
@@ -240,7 +251,12 @@ impl HistoryRecorder {
             .lock()
             .entry(context)
             .or_default()
-            .push(Operation { event, context, kind, at });
+            .push(Operation {
+                event,
+                context,
+                kind,
+                at,
+            });
     }
 
     /// Number of operations recorded so far.

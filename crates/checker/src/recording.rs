@@ -29,7 +29,11 @@ pub struct RecordingRegister {
 impl RecordingRegister {
     /// Creates a register with an initial value.
     pub fn new(class: impl Into<String>, initial: i64, recorder: HistoryRecorder) -> Self {
-        Self { class: class.into(), value: initial, recorder }
+        Self {
+            class: class.into(),
+            value: initial,
+            recorder,
+        }
     }
 
     /// The current value (test convenience; concurrent access goes through
@@ -112,7 +116,10 @@ pub struct RecordingKv {
 impl RecordingKv {
     /// Creates an empty recording key/value context.
     pub fn new(class: impl Into<String>, recorder: HistoryRecorder) -> Self {
-        Self { inner: KvContext::new(class), recorder }
+        Self {
+            inner: KvContext::new(class),
+            recorder,
+        }
     }
 }
 
@@ -122,7 +129,11 @@ impl ContextObject for RecordingKv {
     }
 
     fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
-        let kind = if self.inner.is_readonly(method) { OpKind::Read } else { OpKind::Write };
+        let kind = if self.inner.is_readonly(method) {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        };
         self.recorder.record(inv.event_id(), inv.self_id(), kind);
         self.inner.handle(method, args, inv)
     }
@@ -144,6 +155,7 @@ impl ContextObject for RecordingKv {
 mod tests {
     use super::*;
     use crate::checker::check_strict_serializability;
+    use aeon_api::Session;
     use aeon_runtime::{AeonRuntime, Placement};
     use aeon_types::args;
 
@@ -207,14 +219,25 @@ mod tests {
         assert!(!kv.is_readonly("set"));
 
         let runtime = AeonRuntime::builder().build().unwrap();
-        let ctx = runtime.create_context(Box::new(kv), Placement::Auto).unwrap();
+        let ctx = runtime
+            .create_context(Box::new(kv), Placement::Auto)
+            .unwrap();
         let client = runtime.client();
         client.call(ctx, "set", args!["gold", 7i64]).unwrap();
-        assert_eq!(client.call_readonly(ctx, "get", args!["gold"]).unwrap(), Value::from(7i64));
+        assert_eq!(
+            client.call_readonly(ctx, "get", args!["gold"]).unwrap(),
+            Value::from(7i64)
+        );
         let history = recorder.history();
         assert_eq!(history.operation_count(), 2);
-        assert_eq!(history.operations.values().next().unwrap()[0].kind, OpKind::Write);
-        assert_eq!(history.operations.values().next().unwrap()[1].kind, OpKind::Read);
+        assert_eq!(
+            history.operations.values().next().unwrap()[0].kind,
+            OpKind::Write
+        );
+        assert_eq!(
+            history.operations.values().next().unwrap()[1].kind,
+            OpKind::Read
+        );
     }
 
     #[test]
@@ -229,13 +252,20 @@ mod tests {
             .unwrap();
         let client = runtime.client();
         assert_eq!(
-            client.call(reg, "compare_and_add", args![10i64, 5i64]).unwrap(),
+            client
+                .call(reg, "compare_and_add", args![10i64, 5i64])
+                .unwrap(),
             Value::from(true)
         );
         assert_eq!(
-            client.call(reg, "compare_and_add", args![10i64, 5i64]).unwrap(),
+            client
+                .call(reg, "compare_and_add", args![10i64, 5i64])
+                .unwrap(),
             Value::from(false)
         );
-        assert_eq!(client.call_readonly(reg, "read", args![]).unwrap(), Value::from(15i64));
+        assert_eq!(
+            client.call_readonly(reg, "read", args![]).unwrap(),
+            Value::from(15i64)
+        );
     }
 }

@@ -2,11 +2,11 @@
 //! produce strictly serializable histories (the paper's §4 claim), and the
 //! checker must reject executions produced without AEON's synchronisation.
 
+use aeon_api::Session;
 use aeon_checker::bank::{bank_class_graph, deploy_bank, run_bank_workload, BankConfig};
 use aeon_checker::generator::{locked_history, racy_history, serial_history, GeneratorConfig};
 use aeon_checker::{
-    check_serializability, check_strict_serializability, HistoryRecorder, OpKind,
-    RecordingRegister,
+    check_serializability, check_strict_serializability, HistoryRecorder, OpKind, RecordingRegister,
 };
 use aeon_runtime::{AeonRuntime, Placement};
 use aeon_types::{args, Value};
@@ -28,7 +28,10 @@ fn concurrent_bank_run_is_strictly_serializable_and_conserves_money() {
     };
     let report = run_bank_workload(&config).expect("workload runs");
     assert!(report.transfers > 0 && report.audits > 0);
-    assert_eq!(report.final_total, report.expected_total, "money is conserved");
+    assert_eq!(
+        report.final_total, report.expected_total,
+        "money is conserved"
+    );
     match &report.serializability {
         Ok(order) => assert_eq!(order.order.len(), report.history.event_count()),
         Err(violation) => panic!("history not strictly serializable: {violation}"),
@@ -91,7 +94,10 @@ fn concurrent_increments_on_one_register_never_lose_updates() {
     let client = runtime.client();
     let value = client.call_readonly(register, "read", args![]).unwrap();
     assert_eq!(value, Value::from((threads * increments_per_thread) as i64));
-    assert_eq!(history.operation_count() as i64, (threads * increments_per_thread) as i64);
+    assert_eq!(
+        history.operation_count() as i64,
+        (threads * increments_per_thread) as i64
+    );
     check_strict_serializability(&history).expect("increment history is strictly serializable");
 }
 

@@ -1,0 +1,159 @@
+//! The distributed cluster as an `aeon-api` [`Deployment`] backend.
+
+use crate::cluster::{Cluster, ClusterClient};
+use aeon_api::{Deployment, EventHandle, Session};
+use aeon_ownership::OwnershipGraph;
+use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
+use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, Value};
+
+impl Session for ClusterClient {
+    fn client_id(&self) -> ClientId {
+        self.id()
+    }
+
+    fn submit_with_mode(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<EventHandle> {
+        let native = self.submit(target, method, args, mode)?;
+        Ok(EventHandle::pending(native.event_id(), move || {
+            native.wait()
+        }))
+    }
+}
+
+impl Deployment for Cluster {
+    fn backend_name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn create_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        placement: Placement,
+    ) -> Result<ContextId> {
+        Cluster::create_context(self, object, placement)
+    }
+
+    fn create_owned_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        owners: &[ContextId],
+    ) -> Result<ContextId> {
+        Cluster::create_owned_context(self, object, owners)
+    }
+
+    fn register_class_factory(&self, class: &str, factory: ContextFactory) {
+        Cluster::register_class_factory(self, class, factory);
+    }
+
+    fn add_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        Cluster::add_ownership(self, owner, owned)
+    }
+
+    fn remove_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        Cluster::remove_ownership(self, owner, owned)
+    }
+
+    fn ownership_graph(&self) -> OwnershipGraph {
+        Cluster::ownership_graph(self)
+    }
+
+    fn session(&self) -> Box<dyn Session> {
+        Box::new(self.client())
+    }
+
+    fn migrate_context(&self, context: ContextId, to_server: ServerId) -> Result<u64> {
+        Cluster::migrate_context(self, context, to_server)
+    }
+
+    fn add_server(&self) -> ServerId {
+        Cluster::add_server(self)
+    }
+
+    fn crash_server(&self, server: ServerId) -> Result<()> {
+        Cluster::crash_server(self, server)
+    }
+
+    fn servers(&self) -> Vec<ServerId> {
+        Cluster::servers(self)
+    }
+
+    fn placement_of(&self, context: ContextId) -> Result<ServerId> {
+        Cluster::placement_of(self, context)
+    }
+
+    fn contexts_on(&self, server: ServerId) -> Vec<ContextId> {
+        Cluster::contexts_on(self, server)
+    }
+
+    fn snapshot_context(&self, root: ContextId) -> Result<Snapshot> {
+        Cluster::snapshot_context(self, root)
+    }
+
+    fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
+        Cluster::restore_snapshot(self, snapshot)
+    }
+
+    fn restore_context(&self, context: ContextId, state: &Value, server: ServerId) -> Result<()> {
+        Cluster::restore_context(self, context, state, server)
+    }
+
+    fn shutdown(&self) {
+        Cluster::shutdown(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_runtime::KvContext;
+    use aeon_types::args;
+
+    #[test]
+    fn cluster_backend_round_trip_through_dyn_deployment() {
+        let cluster = Cluster::builder().servers(2).build().unwrap();
+        let deployment: &dyn Deployment = &cluster;
+        assert_eq!(deployment.backend_name(), "cluster");
+        let ctx = deployment
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        let session = deployment.session();
+        session.call(ctx, "set", args!["gold", 9]).unwrap();
+        assert_eq!(
+            session.call_readonly(ctx, "get", args!["gold"]).unwrap(),
+            Value::from(9i64)
+        );
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn cluster_snapshot_restore_round_trip() {
+        let cluster = Cluster::builder().servers(2).build().unwrap();
+        cluster.register_class_factory(
+            "Item",
+            std::sync::Arc::new(|state: &Value| {
+                let mut item = KvContext::new("Item");
+                aeon_runtime::ContextObject::restore(&mut item, state);
+                Box::new(item) as Box<dyn ContextObject>
+            }),
+        );
+        let item = cluster
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        let client = cluster.client();
+        client.call(item, "set", args!["gold", 11]).unwrap();
+        let snapshot = cluster.snapshot_context(item).unwrap();
+        assert_eq!(snapshot.len(), 1);
+        client.call(item, "set", args!["gold", 99]).unwrap();
+        cluster.restore_snapshot(&snapshot).unwrap();
+        assert_eq!(
+            client.call_readonly(item, "get", args!["gold"]).unwrap(),
+            Value::from(11i64)
+        );
+        cluster.shutdown();
+    }
+}

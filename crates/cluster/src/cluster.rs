@@ -11,7 +11,7 @@ use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor};
 use crate::node::{spawn_node, NodeHandle};
 use aeon_net::{Endpoint, Network, NetworkStats};
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, OwnershipGraph};
-use aeon_runtime::{ContextFactory, ContextObject};
+use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
 use aeon_types::{
     AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, Value,
 };
@@ -41,7 +41,10 @@ pub struct ClusterBuilder {
 impl ClusterBuilder {
     /// Starts a builder with a single server.
     pub fn new() -> Self {
-        Self { servers: 1, ..Self::default() }
+        Self {
+            servers: 1,
+            ..Self::default()
+        }
     }
 
     /// Sets the number of servers started with the cluster.
@@ -208,7 +211,13 @@ impl ClusterInner {
         match self.directory.dominator_of(event.target)? {
             Dominator::Context(dom) if dom != event.target => {
                 let dom_server = self.directory.placement_of(dom)?;
-                self.send(dom_server, ClusterMessage::Act { event, sequencer: dom })
+                self.send(
+                    dom_server,
+                    ClusterMessage::Act {
+                        event,
+                        sequencer: dom,
+                    },
+                )
             }
             Dominator::GlobalRoot => {
                 // The virtual root lives on the lowest-id online server.
@@ -218,9 +227,21 @@ impl ClusterInner {
                     .into_iter()
                     .next()
                     .ok_or_else(|| AeonError::Config("no online servers".into()))?;
-                self.send(seq_server, ClusterMessage::Act { event, sequencer: virtual_root() })
+                self.send(
+                    seq_server,
+                    ClusterMessage::Act {
+                        event,
+                        sequencer: virtual_root(),
+                    },
+                )
             }
-            _ => self.send(target_server, ClusterMessage::Exec { event, sequencer: None }),
+            _ => self.send(
+                target_server,
+                ClusterMessage::Exec {
+                    event,
+                    sequencer: None,
+                },
+            ),
         }
     }
 }
@@ -238,7 +259,12 @@ fn gateway_loop(inner: Arc<ClusterInner>, endpoint: Endpoint<ClusterMessage>) {
             Err(_) => break,
         };
         match message {
-            ClusterMessage::Done { corr, result, sub_events, .. } => {
+            ClusterMessage::Done {
+                corr,
+                result,
+                sub_events,
+                ..
+            } => {
                 if let Some(tx) = inner.pending_events.lock().remove(&corr) {
                     let _ = tx.send(result);
                 }
@@ -250,7 +276,9 @@ fn gateway_loop(inner: Arc<ClusterInner>, endpoint: Endpoint<ClusterMessage>) {
             ClusterMessage::HostAck { corr, .. }
             | ClusterMessage::PrepareAck { corr, .. }
             | ClusterMessage::StopAck { corr, .. }
-            | ClusterMessage::InstallAck { corr, .. } => {
+            | ClusterMessage::InstallAck { corr, .. }
+            | ClusterMessage::SnapshotAck { corr, .. }
+            | ClusterMessage::RestoreAck { corr, .. } => {
                 let entry = inner.pending_control.lock().remove(&corr);
                 if let Some(tx) = entry {
                     let _ = tx.send(message);
@@ -314,51 +342,51 @@ impl ClusterClient {
         self.id
     }
 
-    /// Submits an exclusive (update) event.
+    /// Submits an event with an explicit access mode: the primitive behind
+    /// [`ClusterClient::submit_event`] and the `aeon-api` `Session`
+    /// implementation.  The `call`/`call_readonly` convenience wrappers
+    /// live on the `Session` trait, not here.
     ///
     /// # Errors
     ///
     /// * [`AeonError::RuntimeShutdown`] after shutdown.
     /// * [`AeonError::ContextNotFound`] for unknown targets.
+    pub fn submit(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<ClusterEventHandle> {
+        self.inner.submit(Some(self.id), target, method, args, mode)
+    }
+
+    /// Submits an exclusive (update) event.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusterClient::submit`].
     pub fn submit_event(
         &self,
         target: ContextId,
         method: &str,
         args: Args,
     ) -> Result<ClusterEventHandle> {
-        self.inner.submit(Some(self.id), target, method, args, AccessMode::Exclusive)
+        self.submit(target, method, args, AccessMode::Exclusive)
     }
 
     /// Submits a read-only event.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ClusterClient::submit_event`].
+    /// Same conditions as [`ClusterClient::submit`].
     pub fn submit_readonly_event(
         &self,
         target: ContextId,
         method: &str,
         args: Args,
     ) -> Result<ClusterEventHandle> {
-        self.inner.submit(Some(self.id), target, method, args, AccessMode::ReadOnly)
-    }
-
-    /// Submits an exclusive event and waits for its result.
-    ///
-    /// # Errors
-    ///
-    /// Propagates submission and execution errors.
-    pub fn call(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
-        self.submit_event(target, method, args)?.wait()
-    }
-
-    /// Submits a read-only event and waits for its result.
-    ///
-    /// # Errors
-    ///
-    /// Propagates submission and execution errors.
-    pub fn call_readonly(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
-        self.submit_readonly_event(target, method, args)?.wait()
+        self.submit(target, method, args, AccessMode::ReadOnly)
     }
 }
 
@@ -369,13 +397,14 @@ impl ClusterClient {
 /// # Examples
 ///
 /// ```
+/// use aeon_api::Session;
 /// use aeon_cluster::Cluster;
 /// use aeon_runtime::{KvContext, Placement};
 /// use aeon_types::{args, Value};
 ///
 /// # fn main() -> aeon_types::Result<()> {
 /// let cluster = Cluster::builder().servers(3).build()?;
-/// let room = cluster.create_context(Box::new(KvContext::new("Room")), None)?;
+/// let room = cluster.create_context(Box::new(KvContext::new("Room")), Placement::Auto)?;
 /// let client = cluster.client();
 /// client.call(room, "set", args!["time", "noon"])?;
 /// assert_eq!(client.call_readonly(room, "get", args!["time"])?, Value::from("noon"));
@@ -408,8 +437,10 @@ impl Cluster {
         self.inner.directory.register_factory(class, factory);
     }
 
-    /// Creates a root context (no owners) and hosts it on `server` (or the
-    /// least-loaded server when `None`).
+    /// Creates a root context (no owners) and hosts it according to
+    /// `placement` (the same [`Placement`] policy the in-process runtime
+    /// uses: least-loaded server, a specific server, or co-located with
+    /// another context).
     ///
     /// # Errors
     ///
@@ -419,8 +450,13 @@ impl Cluster {
     pub fn create_context(
         &self,
         object: Box<dyn ContextObject>,
-        server: Option<ServerId>,
+        placement: Placement,
     ) -> Result<ContextId> {
+        let server = match placement {
+            Placement::Auto => None,
+            Placement::Server(server) => Some(server),
+            Placement::WithContext(other) => Some(self.inner.directory.placement_of(other)?),
+        };
         self.create_context_with_owners(object, &[], server)
     }
 
@@ -453,13 +489,17 @@ impl Cluster {
     ) -> Result<ContextId> {
         let class = object.class_name().to_string();
         let server = match server {
-            Some(s) if self.inner.directory.is_online(s) => s,
-            Some(s) => return Err(AeonError::ServerNotFound(s)),
+            Some(s) => s,
             None => match owners.first() {
+                // The owner may sit on a crashed server; the online check
+                // below rejects that placement.
                 Some(owner) => self.inner.directory.placement_of(*owner)?,
                 None => self.inner.directory.least_loaded_server()?,
             },
         };
+        if !self.inner.directory.is_online(server) {
+            return Err(AeonError::ServerNotFound(server));
+        }
         let id = self.inner.directory.next_context_id();
         self.inner.directory.add_context(id, &class)?;
         for owner in owners {
@@ -473,7 +513,12 @@ impl Cluster {
         let ack = self.inner.control_round_trip(
             server,
             corr,
-            ClusterMessage::Host { corr, context: id, class, object },
+            ClusterMessage::Host {
+                corr,
+                context: id,
+                class,
+                object,
+            },
         );
         match ack {
             Ok(ClusterMessage::HostAck { .. }) => Ok(id),
@@ -510,16 +555,21 @@ impl Cluster {
         }
         // Step I: prepare the destination.
         let corr = self.inner.next_corr();
-        self.inner.control_round_trip(to, corr, ClusterMessage::Prepare { corr, context })?;
+        self.inner
+            .control_round_trip(to, corr, ClusterMessage::Prepare { corr, context })?;
         // Step II: stop the source from accepting new events for the context.
         let corr = self.inner.next_corr();
-        self.inner.control_round_trip(from, corr, ClusterMessage::Stop { corr, context, to })?;
+        self.inner
+            .control_round_trip(from, corr, ClusterMessage::Stop { corr, context, to })?;
         // Step III: update the mapping; new requests now route to `to`.
         self.inner.directory.set_placement(context, to);
         // Steps IV/V: ship the state and wait for the installation ack.
         let corr = self.inner.next_corr();
-        let ack =
-            self.inner.control_round_trip(from, corr, ClusterMessage::Migrate { corr, context, to })?;
+        let ack = self.inner.control_round_trip(
+            from,
+            corr,
+            ClusterMessage::Migrate { corr, context, to },
+        )?;
         match ack {
             ClusterMessage::InstallAck { result, .. } => result,
             _ => Err(AeonError::MigrationFailed {
@@ -548,24 +598,119 @@ impl Cluster {
             return Err(AeonError::ServerNotFound(server));
         }
         let class = self.inner.directory.class_of(context)?;
-        let factory = self.inner.directory.factory_for(&class).ok_or_else(|| {
-            AeonError::MigrationFailed {
-                context,
-                reason: format!("no factory registered for class {class}"),
-            }
-        })?;
+        let factory =
+            self.inner
+                .directory
+                .factory_for(&class)
+                .ok_or_else(|| AeonError::MigrationFailed {
+                    context,
+                    reason: format!("no factory registered for class {class}"),
+                })?;
         let object = factory(state);
         self.inner.directory.set_placement(context, server);
         let corr = self.inner.next_corr();
         let ack = self.inner.control_round_trip(
             server,
             corr,
-            ClusterMessage::Host { corr, context, class, object },
+            ClusterMessage::Host {
+                corr,
+                context,
+                class,
+                object,
+            },
         )?;
         match ack {
             ClusterMessage::HostAck { .. } => Ok(()),
             _ => Err(AeonError::ServerNotFound(server)),
         }
+    }
+
+    /// Takes a snapshot of `context` and all its descendants.
+    ///
+    /// Each member context is snapshotted under a brief exclusive
+    /// activation on its hosting server (draining in-flight events), so
+    /// every captured state is event-consistent; unlike the in-process
+    /// runtime the members are not frozen simultaneously, so concurrent
+    /// updates may land between member captures.  Contexts whose snapshot
+    /// is `Null` are skipped (the paper's opt-out convention).
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ContextNotFound`] when `context` is unknown.
+    /// * [`AeonError::MigrationFailed`] when a hosting server does not
+    ///   answer.
+    pub fn snapshot_context(&self, context: ContextId) -> Result<Snapshot> {
+        let graph = self.inner.directory.graph_snapshot();
+        let mut members = vec![context];
+        members.extend(graph.descendants(context)?);
+        let mut snapshot = Snapshot::new(context);
+        for member in members {
+            let server = self.inner.directory.placement_of(member)?;
+            let corr = self.inner.next_corr();
+            let ack = self.inner.control_round_trip(
+                server,
+                corr,
+                ClusterMessage::SnapshotReq {
+                    corr,
+                    context: member,
+                },
+            )?;
+            match ack {
+                ClusterMessage::SnapshotAck { result, .. } => {
+                    let (class, state) = result?;
+                    if !state.is_null() {
+                        snapshot.insert(member, class, state);
+                    }
+                }
+                _ => {
+                    return Err(AeonError::MigrationFailed {
+                        context: member,
+                        reason: "unexpected acknowledgement to a snapshot request".into(),
+                    })
+                }
+            }
+        }
+        Ok(snapshot)
+    }
+
+    /// Restores context states from a snapshot previously produced by
+    /// [`Cluster::snapshot_context`].  Contexts must still be hosted; their
+    /// state is replaced in place through `ContextObject::restore` on the
+    /// hosting server, so no class factory is required — the same contract
+    /// as the in-process runtime and the simulator.  (Re-hosting a context
+    /// that was lost to a crash goes through
+    /// [`Cluster::restore_context`] instead, which does need a factory.)
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ContextNotFound`] if a snapshotted context no longer
+    ///   exists.
+    /// * [`AeonError::MigrationFailed`] when a hosting server does not
+    ///   answer.
+    pub fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
+        for (id, entry) in snapshot.entries() {
+            let server = self.inner.directory.placement_of(*id)?;
+            let corr = self.inner.next_corr();
+            let ack = self.inner.control_round_trip(
+                server,
+                corr,
+                ClusterMessage::RestoreReq {
+                    corr,
+                    context: *id,
+                    state: entry.state.clone(),
+                },
+            )?;
+            match ack {
+                ClusterMessage::RestoreAck { result, .. } => result?,
+                _ => {
+                    return Err(AeonError::MigrationFailed {
+                        context: *id,
+                        reason: "unexpected acknowledgement to a restore request".into(),
+                    })
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Adds a server to the cluster and returns its id (scale-out).
@@ -582,7 +727,9 @@ impl Cluster {
     /// Returns [`AeonError::ServerNotFound`] for unknown servers.
     pub fn crash_server(&self, server: ServerId) -> Result<()> {
         let nodes = self.inner.nodes.lock();
-        let node = nodes.get(&server).ok_or(AeonError::ServerNotFound(server))?;
+        let node = nodes
+            .get(&server)
+            .ok_or(AeonError::ServerNotFound(server))?;
         node.crash();
         drop(nodes);
         self.inner.directory.set_offline(server);

@@ -205,7 +205,10 @@ impl Directory {
             let owner_class = graph.class_of(owner)?.to_string();
             let owned_class = graph.class_of(owned)?.to_string();
             if !classes.allows(&owner_class, &owned_class) {
-                return Err(AeonError::OwnershipViolation { caller: owner, callee: owned });
+                return Err(AeonError::OwnershipViolation {
+                    caller: owner,
+                    callee: owned,
+                });
             }
         }
         self.graph.write().add_edge(owner, owned)
@@ -255,7 +258,7 @@ impl Directory {
         let children = graph.children(parent)?;
         let mut out = Vec::with_capacity(children.len());
         for &c in children {
-            if class.map_or(true, |cls| graph.class_of(c).map(|k| k == cls).unwrap_or(false)) {
+            if class.is_none_or(|cls| graph.class_of(c).map(|k| k == cls).unwrap_or(false)) {
                 out.push(c);
             }
         }
@@ -382,6 +385,9 @@ mod tests {
         dir.add_context(cx(1), "Room").unwrap();
         dir.set_placement(cx(1), srv(0));
         dir.remove_context(cx(1)).unwrap();
-        assert!(matches!(dir.placement_of(cx(1)), Err(AeonError::ContextNotFound(_))));
+        assert!(matches!(
+            dir.placement_of(cx(1)),
+            Err(AeonError::ContextNotFound(_))
+        ));
     }
 }

@@ -22,18 +22,21 @@
 //!
 //! Application code is unchanged between the two deployments: the same
 //! [`aeon_runtime::ContextObject`] implementations run on either, because
-//! both engines drive them through [`aeon_runtime::Invocation`].
+//! both engines drive them through [`aeon_runtime::Invocation`] — and the
+//! cluster implements the `aeon-api` `Deployment`/`Session` traits, so
+//! drivers written against the unified API deploy here without changes.
 //!
 //! # Examples
 //!
 //! ```
+//! use aeon_api::Session;
 //! use aeon_cluster::Cluster;
-//! use aeon_runtime::KvContext;
+//! use aeon_runtime::{KvContext, Placement};
 //! use aeon_types::{args, Value};
 //!
 //! # fn main() -> aeon_types::Result<()> {
 //! let cluster = Cluster::builder().servers(2).build()?;
-//! let counter = cluster.create_context(Box::new(KvContext::new("Counter")), None)?;
+//! let counter = cluster.create_context(Box::new(KvContext::new("Counter")), Placement::Auto)?;
 //! let client = cluster.client();
 //! client.call(counter, "incr", args!["hits", 1i64])?;
 //! client.call(counter, "incr", args!["hits", 1i64])?;
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod api;
 mod cluster;
 mod directory;
 mod message;

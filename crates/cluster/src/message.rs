@@ -192,6 +192,45 @@ pub enum ClusterMessage {
         /// Number of bytes of serialised state moved, or the failure.
         result: Result<u64>,
     },
+    /// Gateway → hosting server: serialise the state of `context` (used by
+    /// the deployment-level snapshot API).
+    SnapshotReq {
+        /// Correlation token.
+        corr: u64,
+        /// The context to snapshot.
+        context: ContextId,
+    },
+    /// Hosting server → gateway: the serialised state (class name plus the
+    /// context's snapshot value), or the failure.
+    SnapshotAck {
+        /// Correlation token.
+        corr: u64,
+        /// The snapshotted context.
+        context: ContextId,
+        /// Class name and snapshot state.
+        result: Result<(String, Value)>,
+    },
+    /// Gateway → hosting server: replace the state of a still-hosted
+    /// context with a previously captured snapshot (in place, through
+    /// `ContextObject::restore` — no factory involved).
+    RestoreReq {
+        /// Correlation token.
+        corr: u64,
+        /// The context to restore.
+        context: ContextId,
+        /// The snapshot state to install.
+        state: Value,
+    },
+    /// Hosting server → gateway: the restore finished (or the context is
+    /// not hosted here).
+    RestoreAck {
+        /// Correlation token.
+        corr: u64,
+        /// The restored context.
+        context: ContextId,
+        /// Success or the failure.
+        result: Result<()>,
+    },
     /// Gateway → server: stop the receive loop and poison every local lock.
     Shutdown,
 }
@@ -209,7 +248,12 @@ impl fmt::Debug for ClusterMessage {
             ClusterMessage::Exec { event, .. } => {
                 write!(f, "Exec(event={}, target={})", event.id, event.target)
             }
-            ClusterMessage::Call { event, target, method, .. } => {
+            ClusterMessage::Call {
+                event,
+                target,
+                method,
+                ..
+            } => {
                 write!(f, "Call(event={event}, target={target}, method={method})")
             }
             ClusterMessage::CallReply { corr, result, .. } => {
@@ -229,8 +273,22 @@ impl fmt::Debug for ClusterMessage {
             ClusterMessage::Install { context, from, .. } => {
                 write!(f, "Install({context} from {from})")
             }
-            ClusterMessage::InstallAck { context, result, .. } => {
+            ClusterMessage::InstallAck {
+                context, result, ..
+            } => {
                 write!(f, "InstallAck({context}, ok={})", result.is_ok())
+            }
+            ClusterMessage::SnapshotReq { context, .. } => write!(f, "SnapshotReq({context})"),
+            ClusterMessage::SnapshotAck {
+                context, result, ..
+            } => {
+                write!(f, "SnapshotAck({context}, ok={})", result.is_ok())
+            }
+            ClusterMessage::RestoreReq { context, .. } => write!(f, "RestoreReq({context})"),
+            ClusterMessage::RestoreAck {
+                context, result, ..
+            } => {
+                write!(f, "RestoreAck({context}, ok={})", result.is_ok())
             }
             ClusterMessage::Shutdown => write!(f, "Shutdown"),
         }
@@ -249,7 +307,9 @@ mod tests {
 
     #[test]
     fn debug_formats_are_compact() {
-        let msg = ClusterMessage::Release { event: EventId::new(7) };
+        let msg = ClusterMessage::Release {
+            event: EventId::new(7),
+        };
         assert!(format!("{msg:?}").contains("Release"));
         let msg = ClusterMessage::Shutdown;
         assert_eq!(format!("{msg:?}"), "Shutdown");

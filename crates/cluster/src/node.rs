@@ -39,7 +39,11 @@ pub(crate) struct HostedContext {
 
 impl HostedContext {
     fn new(id: ContextId, class: String, object: Box<dyn ContextObject>) -> Arc<Self> {
-        Arc::new(Self { class, lock: ContextLock::new(id), object: Mutex::new(object) })
+        Arc::new(Self {
+            class,
+            lock: ContextLock::new(id),
+            object: Mutex::new(object),
+        })
     }
 }
 
@@ -142,7 +146,9 @@ impl NodeShared {
     }
 
     fn install(&self, context: ContextId, class: String, object: Box<dyn ContextObject>) {
-        self.contexts.write().insert(context, HostedContext::new(context, class, object));
+        self.contexts
+            .write()
+            .insert(context, HostedContext::new(context, class, object));
     }
 
     fn local(&self, context: ContextId) -> Option<Arc<HostedContext>> {
@@ -202,7 +208,10 @@ pub(crate) fn spawn_node(
         .name(format!("aeon-node-{id}"))
         .spawn(move || receive_loop(loop_shared, endpoint))
         .expect("spawning a node thread succeeds");
-    NodeHandle { shared, thread: Some(thread) }
+    NodeHandle {
+        shared,
+        thread: Some(thread),
+    }
 }
 
 fn receive_loop(shared: Arc<NodeShared>, endpoint: Endpoint<ClusterMessage>) {
@@ -219,17 +228,25 @@ fn receive_loop(shared: Arc<NodeShared>, endpoint: Endpoint<ClusterMessage>) {
 
 fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
     match message {
-        ClusterMessage::Host { corr, context, class, object } => {
+        ClusterMessage::Host {
+            corr,
+            context,
+            class,
+            object,
+        } => {
             shared.install(context, class, object);
             shared.send(gateway_id(), ClusterMessage::HostAck { corr, context });
         }
         ClusterMessage::Act { event, sequencer } => {
             if sequencer != virtual_root()
                 && shared.local(sequencer).is_none()
-                && shared.reroute_if_needed(sequencer, ClusterMessage::Act {
-                    event: event.clone(),
+                && shared.reroute_if_needed(
                     sequencer,
-                })
+                    ClusterMessage::Act {
+                        event: event.clone(),
+                        sequencer,
+                    },
+                )
             {
                 return;
             }
@@ -238,10 +255,13 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
         }
         ClusterMessage::Exec { event, sequencer } => {
             if shared.local(event.target).is_none()
-                && shared.reroute_if_needed(event.target, ClusterMessage::Exec {
-                    event: event.clone(),
-                    sequencer,
-                })
+                && shared.reroute_if_needed(
+                    event.target,
+                    ClusterMessage::Exec {
+                        event: event.clone(),
+                        sequencer,
+                    },
+                )
             {
                 return;
             }
@@ -260,28 +280,42 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             corr,
         } => {
             if shared.local(target).is_none()
-                && shared.reroute_if_needed(target, ClusterMessage::Call {
-                    event,
-                    mode,
-                    client,
-                    caller,
+                && shared.reroute_if_needed(
                     target,
-                    method: method.clone(),
-                    args: args.clone(),
-                    reply_to,
-                    corr,
-                })
+                    ClusterMessage::Call {
+                        event,
+                        mode,
+                        client,
+                        caller,
+                        target,
+                        method: method.clone(),
+                        args: args.clone(),
+                        reply_to,
+                        corr,
+                    },
+                )
             {
                 return;
             }
             let shared = Arc::clone(shared);
             spawn_worker(move || {
-                handle_call(&shared, event, mode, client, caller, target, method, args, reply_to, corr)
+                handle_call(
+                    &shared, event, mode, client, caller, target, method, args, reply_to, corr,
+                )
             });
         }
-        ClusterMessage::CallReply { corr, result, participants, sub_events } => {
+        ClusterMessage::CallReply {
+            corr,
+            result,
+            participants,
+            sub_events,
+        } => {
             if let Some(reply) = shared.pending_calls.lock().remove(&corr) {
-                let _ = reply.send(CallOutcome { result, participants, sub_events });
+                let _ = reply.send(CallOutcome {
+                    result,
+                    participants,
+                    sub_events,
+                });
             }
         }
         ClusterMessage::Release { event } => shared.release_event(event),
@@ -289,7 +323,11 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             shared.installing.lock().entry(context).or_default();
             shared.send(gateway_id(), ClusterMessage::PrepareAck { corr, context });
         }
-        ClusterMessage::Stop { corr, context, to: _ } => {
+        ClusterMessage::Stop {
+            corr,
+            context,
+            to: _,
+        } => {
             shared.stopped.lock().entry(context).or_default();
             shared.send(gateway_id(), ClusterMessage::StopAck { corr, context });
         }
@@ -297,9 +335,44 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             let shared = Arc::clone(shared);
             spawn_worker(move || handle_migrate(&shared, corr, context, to));
         }
-        ClusterMessage::Install { corr, context, class, state, from: _ } => {
+        ClusterMessage::Install {
+            corr,
+            context,
+            class,
+            state,
+            from: _,
+        } => {
             let shared = Arc::clone(shared);
             spawn_worker(move || handle_install(&shared, corr, context, class, state));
+        }
+        ClusterMessage::SnapshotReq { corr, context } => {
+            if shared.local(context).is_none()
+                && shared.reroute_if_needed(context, ClusterMessage::SnapshotReq { corr, context })
+            {
+                return;
+            }
+            let shared = Arc::clone(shared);
+            spawn_worker(move || handle_snapshot(&shared, corr, context));
+        }
+        ClusterMessage::RestoreReq {
+            corr,
+            context,
+            state,
+        } => {
+            if shared.local(context).is_none()
+                && shared.reroute_if_needed(
+                    context,
+                    ClusterMessage::RestoreReq {
+                        corr,
+                        context,
+                        state: state.clone(),
+                    },
+                )
+            {
+                return;
+            }
+            let shared = Arc::clone(shared);
+            spawn_worker(move || handle_restore(&shared, corr, context, state));
         }
         ClusterMessage::Shutdown => {
             shared.running.store(false, Ordering::SeqCst);
@@ -310,6 +383,8 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
         | ClusterMessage::PrepareAck { .. }
         | ClusterMessage::StopAck { .. }
         | ClusterMessage::InstallAck { .. }
+        | ClusterMessage::SnapshotAck { .. }
+        | ClusterMessage::RestoreAck { .. }
         | ClusterMessage::Done { .. } => {}
     }
 }
@@ -353,8 +428,10 @@ fn handle_act(shared: &Arc<NodeShared>, event: EventDescriptor, sequencer: Conte
         .or_else(|| shared.directory.placement_of(event.target).ok());
     match target_server {
         Some(server) => {
-            let exec =
-                ClusterMessage::Exec { event, sequencer: Some((shared.id, sequencer)) };
+            let exec = ClusterMessage::Exec {
+                event,
+                sequencer: Some((shared.id, sequencer)),
+            };
             if server == shared.id {
                 dispatch(shared, exec);
             } else {
@@ -384,7 +461,11 @@ fn handle_exec(
 ) {
     let mut exec = RemoteExecution::new(Arc::clone(shared), event.id, event.client, event.mode);
     let result = exec.run(&event);
-    let RemoteExecution { participants, sub_events, .. } = exec;
+    let RemoteExecution {
+        participants,
+        sub_events,
+        ..
+    } = exec;
 
     // Release locks everywhere the event touched, then locally, then at the
     // sequencer (reverse of acquisition order across the cluster).
@@ -444,6 +525,62 @@ fn handle_call(
     );
 }
 
+/// Serves a deployment-level snapshot request: behaves like a brief
+/// exclusive event on the context (draining in-flight events) and ships the
+/// serialised state back to the gateway.
+fn handle_snapshot(shared: &Arc<NodeShared>, corr: u64, context: ContextId) {
+    let result = match shared.local(context) {
+        Some(hosted) => {
+            let snapshot_event = EventId::new(shared.directory.next_raw());
+            match hosted.lock.activate(snapshot_event, AccessMode::Exclusive) {
+                Ok(()) => {
+                    let state = hosted.object.lock().snapshot();
+                    hosted.lock.release(snapshot_event);
+                    Ok((hosted.class.clone(), state))
+                }
+                Err(error) => Err(error),
+            }
+        }
+        None => Err(AeonError::ContextNotFound(context)),
+    };
+    shared.send(
+        gateway_id(),
+        ClusterMessage::SnapshotAck {
+            corr,
+            context,
+            result,
+        },
+    );
+}
+
+/// Serves a deployment-level in-place restore: behaves like a brief
+/// exclusive event on the context (draining in-flight events) and replaces
+/// its state through `ContextObject::restore` — no factory involved.
+fn handle_restore(shared: &Arc<NodeShared>, corr: u64, context: ContextId, state: Value) {
+    let result = match shared.local(context) {
+        Some(hosted) => {
+            let restore_event = EventId::new(shared.directory.next_raw());
+            match hosted.lock.activate(restore_event, AccessMode::Exclusive) {
+                Ok(()) => {
+                    hosted.object.lock().restore(&state);
+                    hosted.lock.release(restore_event);
+                    Ok(())
+                }
+                Err(error) => Err(error),
+            }
+        }
+        None => Err(AeonError::ContextNotFound(context)),
+    };
+    shared.send(
+        gateway_id(),
+        ClusterMessage::RestoreAck {
+            corr,
+            context,
+            result,
+        },
+    );
+}
+
 /// Migration step IV on the source server: wait for exclusive access, ship
 /// the serialised state, and start forwarding.
 fn handle_migrate(shared: &Arc<NodeShared>, corr: u64, context: ContextId, to: ServerId) {
@@ -464,7 +601,11 @@ fn handle_migrate(shared: &Arc<NodeShared>, corr: u64, context: ContextId, to: S
     if let Err(error) = hosted.lock.activate(migration_event, AccessMode::Exclusive) {
         shared.send(
             gateway_id(),
-            ClusterMessage::InstallAck { corr, context, result: Err(error) },
+            ClusterMessage::InstallAck {
+                corr,
+                context,
+                result: Err(error),
+            },
         );
         return;
     }
@@ -474,7 +615,16 @@ fn handle_migrate(shared: &Arc<NodeShared>, corr: u64, context: ContextId, to: S
     };
     shared.contexts.write().remove(&context);
     shared.forwarding.write().insert(context, to);
-    shared.send(to, ClusterMessage::Install { corr, context, class, state, from: shared.id });
+    shared.send(
+        to,
+        ClusterMessage::Install {
+            corr,
+            context,
+            class,
+            state,
+            from: shared.id,
+        },
+    );
     // Forward everything buffered during the stop window.
     let buffered = shared.stopped.lock().remove(&context).unwrap_or_default();
     for message in buffered {
@@ -504,11 +654,22 @@ fn handle_install(
         }),
     };
     // Replay buffered requests (they were addressed to this node already).
-    let buffered = shared.installing.lock().remove(&context).unwrap_or_default();
+    let buffered = shared
+        .installing
+        .lock()
+        .remove(&context)
+        .unwrap_or_default();
     for message in buffered {
         dispatch(shared, message);
     }
-    shared.send(gateway_id(), ClusterMessage::InstallAck { corr, context, result });
+    shared.send(
+        gateway_id(),
+        ClusterMessage::InstallAck {
+            corr,
+            context,
+            result,
+        },
+    );
 }
 
 /// The distributed implementation of [`InvocationHost`]: a call to an owned
@@ -600,7 +761,10 @@ impl RemoteExecution {
     ) -> Result<Value> {
         if let Some(caller) = caller {
             if !self.node.directory.may_call(caller, target) {
-                return Err(AeonError::OwnershipViolation { caller, callee: target });
+                return Err(AeonError::OwnershipViolation {
+                    caller,
+                    callee: target,
+                });
             }
         }
         if self.call_stack.contains(&target) {
@@ -713,9 +877,13 @@ impl InvocationHost for RemoteExecution {
         args: Args,
     ) -> Result<()> {
         if !self.node.directory.may_call(caller, target) {
-            return Err(AeonError::OwnershipViolation { caller, callee: target });
+            return Err(AeonError::OwnershipViolation {
+                caller,
+                callee: target,
+            });
         }
-        self.pending_async.push_back((caller, target, method.to_string(), args));
+        self.pending_async
+            .push_back((caller, target, method.to_string(), args));
         Ok(())
     }
 
@@ -726,7 +894,12 @@ impl InvocationHost for RemoteExecution {
         args: Args,
         mode: AccessMode,
     ) -> Result<()> {
-        self.sub_events.push(SubEvent { target, method: method.to_string(), args, mode });
+        self.sub_events.push(SubEvent {
+            target,
+            method: method.to_string(),
+            args,
+            mode,
+        });
         Ok(())
     }
 

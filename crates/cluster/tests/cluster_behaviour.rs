@@ -3,10 +3,11 @@
 //! strict serializability of concurrent executions (checked with
 //! `aeon-checker`).
 
+use aeon_api::Session;
 use aeon_checker::bank::{bank_class_graph, Bank, BranchWithDirectory};
 use aeon_checker::{check_strict_serializability, HistoryRecorder, RecordingRegister};
 use aeon_cluster::Cluster;
-use aeon_runtime::{ContextObject, Invocation, KvContext};
+use aeon_runtime::{ContextObject, Invocation, KvContext, Placement};
 use aeon_types::{args, AeonError, Args, ContextId, Result, Value};
 use std::sync::Arc;
 use std::time::Duration;
@@ -78,13 +79,15 @@ fn events_execute_on_the_hosting_server() {
     for server in &servers {
         rooms.push(
             cluster
-                .create_context(Box::new(KvContext::new("Room")), Some(*server))
+                .create_context(Box::new(KvContext::new("Room")), Placement::Server(*server))
                 .unwrap(),
         );
     }
     let client = cluster.client();
     for (i, room) in rooms.iter().enumerate() {
-        client.call(*room, "set", args!["name", format!("room-{i}")]).unwrap();
+        client
+            .call(*room, "set", args!["name", format!("room-{i}")])
+            .unwrap();
     }
     for (i, room) in rooms.iter().enumerate() {
         assert_eq!(
@@ -107,12 +110,15 @@ fn synchronous_calls_cross_servers() {
     // Parent on server 0; children explicitly on server 1 so the calls are
     // remote.
     let parent = cluster
-        .create_context(Box::new(Aggregator), Some(servers[0]))
+        .create_context(Box::new(Aggregator), Placement::Server(servers[0]))
         .unwrap();
     let mut children = Vec::new();
     for _ in 0..3 {
         let child = cluster
-            .create_context(Box::new(KvContext::new("Item")), Some(servers[1]))
+            .create_context(
+                Box::new(KvContext::new("Item")),
+                Placement::Server(servers[1]),
+            )
             .unwrap();
         cluster.add_ownership(parent, child).unwrap();
         children.push(child);
@@ -122,7 +128,10 @@ fn synchronous_calls_cross_servers() {
         client.call(*child, "set", args!["count", 5i64]).unwrap();
     }
     let before = cluster.network_stats().remote_messages();
-    assert_eq!(client.call_readonly(parent, "sum", args![]).unwrap(), Value::from(15i64));
+    assert_eq!(
+        client.call_readonly(parent, "sum", args![]).unwrap(),
+        Value::from(15i64)
+    );
     let after = cluster.network_stats().remote_messages();
     assert!(after > before, "aggregation crossed servers");
     cluster.shutdown();
@@ -133,13 +142,19 @@ fn async_calls_and_sub_events_work_across_servers() {
     let cluster = Cluster::builder().servers(2).build().unwrap();
     let servers = cluster.servers();
     let parent = cluster
-        .create_context(Box::new(Aggregator), Some(servers[0]))
+        .create_context(Box::new(Aggregator), Placement::Server(servers[0]))
         .unwrap();
     let a = cluster
-        .create_context(Box::new(KvContext::new("Item")), Some(servers[1]))
+        .create_context(
+            Box::new(KvContext::new("Item")),
+            Placement::Server(servers[1]),
+        )
         .unwrap();
     let b = cluster
-        .create_context(Box::new(KvContext::new("Item")), Some(servers[0]))
+        .create_context(
+            Box::new(KvContext::new("Item")),
+            Placement::Server(servers[0]),
+        )
         .unwrap();
     cluster.add_ownership(parent, a).unwrap();
     cluster.add_ownership(parent, b).unwrap();
@@ -147,10 +162,15 @@ fn async_calls_and_sub_events_work_across_servers() {
 
     // Async fan-out: both children incremented within one event.
     client.call(parent, "bump_all", args![]).unwrap();
-    assert_eq!(client.call_readonly(parent, "sum", args![]).unwrap(), Value::from(2i64));
+    assert_eq!(
+        client.call_readonly(parent, "sum", args![]).unwrap(),
+        Value::from(2i64)
+    );
 
     // Sub-event: the follow-up executes after the creator event terminates.
-    client.call(parent, "bump_and_followup", args![a, b]).unwrap();
+    client
+        .call(parent, "bump_and_followup", args![a, b])
+        .unwrap();
     // Wait for the dispatched sub-event to land (it is asynchronous).
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
@@ -162,7 +182,10 @@ fn async_calls_and_sub_events_work_across_servers() {
         if total == 13 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "sub-event never executed, total={total}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sub-event never executed, total={total}"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     cluster.shutdown();
@@ -171,9 +194,13 @@ fn async_calls_and_sub_events_work_across_servers() {
 #[test]
 fn read_only_events_reject_updates() {
     let cluster = Cluster::builder().servers(1).build().unwrap();
-    let item = cluster.create_context(Box::new(KvContext::new("Item")), None).unwrap();
+    let item = cluster
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
     let client = cluster.client();
-    let err = client.call_readonly(item, "set", args!["k", 1i64]).unwrap_err();
+    let err = client
+        .call_readonly(item, "set", args!["k", 1i64])
+        .unwrap_err();
     assert!(matches!(err, AeonError::ReadOnlyViolation { .. }));
     cluster.shutdown();
 }
@@ -189,7 +216,7 @@ fn unknown_targets_and_offline_servers_are_reported() {
     assert!(matches!(
         cluster.create_context(
             Box::new(KvContext::new("Item")),
-            Some(aeon_types::ServerId::new(77))
+            Placement::Server(aeon_types::ServerId::new(77))
         ),
         Err(AeonError::ServerNotFound(_))
     ));
@@ -202,7 +229,10 @@ fn migration_under_concurrent_load_loses_no_updates() {
     cluster.register_class_factory("Item", kv_factory());
     let servers = cluster.servers();
     let counter = cluster
-        .create_context(Box::new(KvContext::new("Item")), Some(servers[0]))
+        .create_context(
+            Box::new(KvContext::new("Item")),
+            Placement::Server(servers[0]),
+        )
         .unwrap();
     let cluster = Arc::new(cluster);
 
@@ -238,7 +268,9 @@ fn migration_under_concurrent_load_loses_no_updates() {
     assert!(moved > 0, "migrations shipped serialized state");
 
     let client = cluster.client();
-    let total = client.call_readonly(counter, "get", args!["count"]).unwrap();
+    let total = client
+        .call_readonly(counter, "get", args!["count"])
+        .unwrap();
     assert_eq!(total, Value::from((writers * increments) as i64));
     cluster.shutdown();
 }
@@ -248,7 +280,10 @@ fn migration_without_factory_is_refused_up_front() {
     let cluster = Cluster::builder().servers(2).build().unwrap();
     let servers = cluster.servers();
     let item = cluster
-        .create_context(Box::new(KvContext::new("Item")), Some(servers[0]))
+        .create_context(
+            Box::new(KvContext::new("Item")),
+            Placement::Server(servers[0]),
+        )
         .unwrap();
     let err = cluster.migrate_context(item, servers[1]).unwrap_err();
     assert!(matches!(err, AeonError::MigrationFailed { .. }));
@@ -264,7 +299,10 @@ fn crashed_server_contexts_can_be_restored_elsewhere() {
     cluster.register_class_factory("Item", kv_factory());
     let servers = cluster.servers();
     let item = cluster
-        .create_context(Box::new(KvContext::new("Item")), Some(servers[0]))
+        .create_context(
+            Box::new(KvContext::new("Item")),
+            Placement::Server(servers[0]),
+        )
         .unwrap();
     let client = cluster.client();
     client.call(item, "set", args!["gold", 42i64]).unwrap();
@@ -278,7 +316,14 @@ fn crashed_server_contexts_can_be_restored_elsewhere() {
         drop(kv);
         Value::map([
             ("class", Value::from("Item")),
-            ("map", Value::Map([("gold".to_string(), Value::from(42i64))].into_iter().collect())),
+            (
+                "map",
+                Value::Map(
+                    [("gold".to_string(), Value::from(42i64))]
+                        .into_iter()
+                        .collect(),
+                ),
+            ),
         ])
     };
 
@@ -293,11 +338,19 @@ fn crashed_server_contexts_can_be_restored_elsewhere() {
     }
 
     // Restore the context on the surviving server from the checkpoint.
-    cluster.restore_context(item, &checkpoint, servers[1]).unwrap();
+    cluster
+        .restore_context(item, &checkpoint, servers[1])
+        .unwrap();
     assert_eq!(cluster.placement_of(item).unwrap(), servers[1]);
-    assert_eq!(client.call_readonly(item, "get", args!["gold"]).unwrap(), Value::from(42i64));
+    assert_eq!(
+        client.call_readonly(item, "get", args!["gold"]).unwrap(),
+        Value::from(42i64)
+    );
     client.call(item, "incr", args!["gold", 8i64]).unwrap();
-    assert_eq!(client.call_readonly(item, "get", args!["gold"]).unwrap(), Value::from(50i64));
+    assert_eq!(
+        client.call_readonly(item, "get", args!["gold"]).unwrap(),
+        Value::from(50i64)
+    );
     cluster.shutdown();
 }
 
@@ -305,10 +358,14 @@ fn crashed_server_contexts_can_be_restored_elsewhere() {
 fn scale_out_places_new_contexts_on_new_servers() {
     let cluster = Cluster::builder().servers(1).build().unwrap();
     for _ in 0..4 {
-        cluster.create_context(Box::new(KvContext::new("Room")), None).unwrap();
+        cluster
+            .create_context(Box::new(KvContext::new("Room")), Placement::Auto)
+            .unwrap();
     }
     let new_server = cluster.add_server();
-    let fresh = cluster.create_context(Box::new(KvContext::new("Room")), None).unwrap();
+    let fresh = cluster
+        .create_context(Box::new(KvContext::new("Room")), Placement::Auto)
+        .unwrap();
     assert_eq!(cluster.placement_of(fresh).unwrap(), new_server);
     assert_eq!(cluster.servers().len(), 2);
     cluster.shutdown();
@@ -327,12 +384,17 @@ fn distributed_bank_run_is_strictly_serializable() {
         .build()
         .unwrap();
     let servers = cluster.servers();
-    let bank = cluster.create_context(Box::new(Bank), Some(servers[0])).unwrap();
+    let bank = cluster
+        .create_context(Box::new(Bank), Placement::Server(servers[0]))
+        .unwrap();
     let mut branches = Vec::new();
     let mut accounts_of: Vec<Vec<ContextId>> = Vec::new();
     for i in 0..3usize {
         let branch = cluster
-            .create_context(Box::new(BranchWithDirectory::new()), Some(servers[i % servers.len()]))
+            .create_context(
+                Box::new(BranchWithDirectory::new()),
+                Placement::Server(servers[i % servers.len()]),
+            )
             .unwrap();
         cluster.add_ownership(bank, branch).unwrap();
         branches.push(branch);
@@ -363,7 +425,9 @@ fn distributed_bank_run_is_strictly_serializable() {
     let client = cluster.client();
     for (i, branch) in branches.iter().enumerate() {
         for account in &accounts_of[i] {
-            client.call(*branch, "attach_account", args![*account]).unwrap();
+            client
+                .call(*branch, "attach_account", args![*account])
+                .unwrap();
         }
     }
     recorder.reset();
@@ -403,10 +467,13 @@ fn distributed_bank_run_is_strictly_serializable() {
     }
 
     let total = client.call_readonly(bank, "audit", args![]).unwrap();
-    assert_eq!(total, Value::from(expected_total), "money is conserved across servers");
+    assert_eq!(
+        total,
+        Value::from(expected_total),
+        "money is conserved across servers"
+    );
     let history = recorder.history();
     assert!(history.operation_count() > 0);
-    check_strict_serializability(&history)
-        .expect("distributed execution is strictly serializable");
+    check_strict_serializability(&history).expect("distributed execution is strictly serializable");
     cluster.shutdown();
 }

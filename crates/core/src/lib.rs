@@ -7,23 +7,25 @@
 //! starvation freedom, while an **elasticity manager** migrates contexts
 //! between servers without violating consistency.
 //!
-//! This facade crate re-exports the public API of the workspace:
+//! The public surface is organised around two ideas:
 //!
-//! * [`runtime`] — the concurrent AEON runtime ([`AeonRuntime`],
-//!   [`ContextObject`], [`Invocation`], events and snapshots);
-//! * [`ownership`] — the ownership network, dominators and the static
-//!   contextclass analysis;
-//! * [`emanager`] — elasticity policies, the context mapping and the
-//!   five-step migration protocol;
-//! * [`cluster`] — the distributed deployment: the same protocol running
-//!   across message-passing server nodes, with migration and fault
-//!   injection;
-//! * [`checker`] — execution-history recording and strict-serializability
-//!   checking, used to validate the §4 claim against real executions;
-//! * [`sim`] — the deterministic cluster simulator used by the evaluation
-//!   harness (game / TPC-C workloads live in the separate `aeon-apps`
-//!   crate);
-//! * [`storage`] / [`net`] — the cloud-storage and networking substrates.
+//! 1. **One program, any deployment.**  Applications are written against
+//!    the [`api`] traits — [`Deployment`](prelude::Deployment) for the
+//!    control plane and [`Session`](prelude::Session) for submitting
+//!    events — and run unchanged on the in-process concurrent runtime
+//!    ([`runtime`]), the distributed message-passing cluster ([`cluster`]),
+//!    or the deterministic virtual-time simulator ([`sim`]).
+//! 2. **Declarative contextclasses.**  A contextclass declares its methods
+//!    once in a [`context_class!`](prelude::context_class) method table —
+//!    handlers, `ro` marks and snapshot/restore together — and the runtime
+//!    derives dispatch, read-only enforcement, uniform `UnknownMethod`
+//!    errors and machine-readable method metadata from it.
+//!
+//! The remaining crates supply the machinery: [`ownership`] (the ownership
+//! network, dominators and the static contextclass analysis), [`emanager`]
+//! (elasticity policies and the five-step migration protocol), [`checker`]
+//! (execution-history recording and strict-serializability checking),
+//! [`storage`] / [`net`] (cloud-storage and networking substrates).
 //!
 //! # Quickstart
 //!
@@ -31,17 +33,64 @@
 //! use aeon::prelude::*;
 //!
 //! # fn main() -> aeon::Result<()> {
+//! // Pick a backend: AeonRuntime here; Cluster::builder() or
+//! // SimDeployment::builder() deploy the same program distributed or
+//! // simulated.
 //! let runtime = AeonRuntime::builder().servers(2).build()?;
-//! let counter = runtime.create_context(Box::new(KvContext::new("Counter")), Placement::Auto)?;
-//! let client = runtime.client();
-//! client.call(counter, "incr", args!["hits", 1])?;          // event call
-//! let hits = client.call_readonly(counter, "get", args!["hits"])?; // ro event
+//! let deployment: &dyn Deployment = &runtime;
+//!
+//! let counter = deployment.create_context(
+//!     Box::new(KvContext::new("Counter")),
+//!     Placement::Auto,
+//! )?;
+//! let session = deployment.session();
+//! session.call(counter, "incr", args!["hits", 1])?;          // event call
+//! let hits = session.call_readonly(counter, "get", args!["hits"])?; // ro event
 //! assert_eq!(hits, Value::from(1i64));
+//! deployment.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Defining a contextclass:
+//!
+//! ```
+//! use aeon::prelude::*;
+//!
+//! #[derive(Default)]
+//! struct Counter {
+//!     count: i64,
+//! }
+//!
+//! impl Counter {
+//!     fn add(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+//!         self.count += args.get_i64(0)?;
+//!         Ok(Value::from(self.count))
+//!     }
+//!
+//!     fn get(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+//!         Ok(Value::from(self.count))
+//!     }
+//! }
+//!
+//! context_class! {
+//!     Counter: "Counter" {
+//!         method "add" => Counter::add,
+//!         ro method "get" => Counter::get,
+//!     }
+//! }
+//!
+//! # fn main() -> aeon::Result<()> {
+//! let runtime = AeonRuntime::builder().build()?;
+//! let counter = runtime.create_context(Box::new(Counter::default()), Placement::Auto)?;
+//! let session = runtime.session();
+//! assert_eq!(session.call(counter, "add", args![5])?, Value::from(5i64));
 //! runtime.shutdown();
 //! # Ok(())
 //! # }
 //! ```
 
+pub use aeon_api as api;
 pub use aeon_checker as checker;
 pub use aeon_cluster as cluster;
 pub use aeon_emanager as emanager;
@@ -56,17 +105,19 @@ pub use aeon_types::{AccessMode, AeonError, Args, ContextId, EventId, Result, Se
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use aeon_api::{Deployment, EventHandle, Session};
     pub use aeon_checker::{check_strict_serializability, History, HistoryRecorder};
     pub use aeon_cluster::{Cluster, ClusterClient};
     pub use aeon_emanager::{
         EManager, ElasticityAction, ElasticityPolicy, ResourceUtilizationPolicy,
         ServerContentionPolicy, ServerMetrics, SlaPolicy,
     };
-    pub use aeon_ownership::{ClassGraph, Dominator, DominatorMode, OwnershipGraph};
+    pub use aeon_ownership::{ClassGraph, Dominator, DominatorMode, MethodInfo, OwnershipGraph};
     pub use aeon_runtime::{
-        AeonClient, AeonRuntime, ContextObject, EventHandle, Invocation, KvContext, Placement,
-        Snapshot,
+        context_class, AeonClient, AeonRuntime, ContextClass, ContextObject, Invocation, KvContext,
+        MethodTable, Placement, Snapshot,
     };
+    pub use aeon_sim::{SimDeployment, SimSession};
     pub use aeon_storage::{CloudStore, InMemoryStore};
     pub use aeon_types::{args, AccessMode, AeonError, Args, ContextId, Result, ServerId, Value};
 }
@@ -86,5 +137,27 @@ mod tests {
         assert!(manager.tick(&manager.collect_metrics()).unwrap().is_empty());
         assert_eq!(runtime.dominator_of(ctx).unwrap(), Dominator::Context(ctx));
         runtime.shutdown();
+    }
+
+    #[test]
+    fn every_backend_is_a_deployment() {
+        // The same closure drives all three backends through the trait.
+        fn exercise(deployment: &dyn Deployment) {
+            let ctx = deployment
+                .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+                .unwrap();
+            let session = deployment.session();
+            session.call(ctx, "incr", args!["n", 2]).unwrap();
+            assert_eq!(
+                session.call_readonly(ctx, "get", args!["n"]).unwrap(),
+                Value::from(2i64),
+                "backend {}",
+                deployment.backend_name()
+            );
+            deployment.shutdown();
+        }
+        exercise(&AeonRuntime::builder().servers(2).build().unwrap());
+        exercise(&Cluster::builder().servers(2).build().unwrap());
+        exercise(&SimDeployment::builder().servers(2).build().unwrap());
     }
 }

@@ -157,14 +157,17 @@ impl EManager {
             return Ok(());
         }
         let hosted = self.runtime.contexts_on(from);
-        let average = (self.runtime.context_count() + servers.len() - 1) / servers.len();
+        let average = self.runtime.context_count().div_ceil(servers.len());
         let excess = hosted.len().saturating_sub(average.max(1));
         if excess == 0 {
             return Ok(());
         }
         let pinned = self.pinned.lock().clone();
-        let movable: Vec<ContextId> =
-            hosted.into_iter().filter(|c| !pinned.contains(c)).take(excess).collect();
+        let movable: Vec<ContextId> = hosted
+            .into_iter()
+            .filter(|c| !pinned.contains(c))
+            .take(excess)
+            .collect();
         for context in movable {
             // Pick the least loaded destination other than `from`.
             let dest = servers
@@ -184,8 +187,12 @@ impl EManager {
     ///
     /// Propagates migration failures.
     pub fn drain_server(&self, server: ServerId) -> Result<()> {
-        let others: Vec<ServerId> =
-            self.runtime.servers().into_iter().filter(|s| *s != server).collect();
+        let others: Vec<ServerId> = self
+            .runtime
+            .servers()
+            .into_iter()
+            .filter(|s| *s != server)
+            .collect();
         if others.is_empty() {
             return Err(AeonError::Config("cannot drain the last server".into()));
         }
@@ -209,7 +216,12 @@ impl EManager {
             return Ok(());
         }
         // Step I: destination prepares a queue for the context.
-        let mut record = MigrationRecord { context, from, to, step: MigrationStep::Prepared };
+        let mut record = MigrationRecord {
+            context,
+            from,
+            to,
+            step: MigrationStep::Prepared,
+        };
         record.persist(&self.store)?;
         // Step II: source stops accepting events targeting the context (in
         // this runtime, queued events simply wait on the context lock).
@@ -267,7 +279,8 @@ impl EManager {
     /// Propagates storage failures.
     pub fn persist_ownership(&self) -> Result<()> {
         let graph = self.runtime.ownership_graph();
-        self.store.put(aeon_storage::keys::OWNERSHIP_KEY, graph.to_value())?;
+        self.store
+            .put(aeon_storage::keys::OWNERSHIP_KEY, graph.to_value())?;
         Ok(())
     }
 
@@ -303,7 +316,9 @@ impl EManager {
 
     /// Access to the persisted ownership network, if any.
     pub fn load_ownership(&self) -> Option<Value> {
-        self.store.get(aeon_storage::keys::OWNERSHIP_KEY).map(|r| r.value)
+        self.store
+            .get(aeon_storage::keys::OWNERSHIP_KEY)
+            .map(|r| r.value)
     }
 }
 
@@ -311,6 +326,7 @@ impl EManager {
 mod tests {
     use super::*;
     use crate::policy::{ServerContentionPolicy, SlaPolicy};
+    use aeon_api::Session;
     use aeon_runtime::{KvContext, Placement};
     use aeon_storage::InMemoryStore;
     use aeon_types::args;
@@ -333,7 +349,9 @@ mod tests {
         let manager = EManager::new(runtime.clone(), InMemoryStore::new());
         manager.add_policy(Box::new(ServerContentionPolicy::new(2)));
         let actions = manager.tick(&manager.collect_metrics()).unwrap();
-        assert!(actions.iter().any(|a| matches!(a, ElasticityAction::ScaleOut { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ElasticityAction::ScaleOut { .. })));
         assert!(runtime.servers().len() > 1);
         // After a couple of ticks every server is under the limit.
         manager.tick(&manager.collect_metrics()).unwrap();
@@ -406,9 +424,14 @@ mod tests {
         // Simulate an eManager that crashed after persisting step II.
         {
             let arc_store: Arc<dyn CloudStore> = Arc::new(store.clone());
-            MigrationRecord { context: ctx, from, to, step: MigrationStep::SourceStopped }
-                .persist(&arc_store)
-                .unwrap();
+            MigrationRecord {
+                context: ctx,
+                from,
+                to,
+                step: MigrationStep::SourceStopped,
+            }
+            .persist(&arc_store)
+            .unwrap();
         }
         let manager = EManager::new(runtime.clone(), store);
         let finished = manager.recover().unwrap();
@@ -421,8 +444,9 @@ mod tests {
     #[test]
     fn checkpoint_and_restore_via_storage() {
         let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-        let room =
-            runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto).unwrap();
+        let room = runtime
+            .create_context(Box::new(KvContext::new("Room")), Placement::Auto)
+            .unwrap();
         let client = runtime.client();
         client.call(room, "set", args!["name", "castle"]).unwrap();
         let manager = EManager::new(runtime.clone(), InMemoryStore::new());

@@ -41,7 +41,8 @@ impl ContextMapping {
     ///
     /// Propagates storage failures.
     pub fn record(&self, context: ContextId, server: ServerId) -> Result<()> {
-        self.store.put(&key_of(context), Value::from(i64::from(server.raw())))?;
+        self.store
+            .put(&key_of(context), Value::from(i64::from(server.raw())))?;
         self.cache.write().insert(context, server);
         Ok(())
     }
@@ -150,7 +151,10 @@ mod tests {
     #[test]
     fn missing_context_is_reported() {
         let (m, _) = mapping();
-        assert!(matches!(m.lookup(ContextId::new(9)), Err(AeonError::ContextNotFound(_))));
+        assert!(matches!(
+            m.lookup(ContextId::new(9)),
+            Err(AeonError::ContextNotFound(_))
+        ));
     }
 
     #[test]
@@ -169,7 +173,8 @@ mod tests {
     fn load_all_reads_every_entry() {
         let (m, _) = mapping();
         for i in 0..5u64 {
-            m.record(ContextId::new(i), ServerId::new((i % 2) as u32)).unwrap();
+            m.record(ContextId::new(i), ServerId::new((i % 2) as u32))
+                .unwrap();
         }
         let mut all = m.load_all();
         all.sort();

@@ -102,7 +102,12 @@ impl MigrationRecord {
             .and_then(Value::as_i64)
             .and_then(MigrationStep::from_i64)
             .ok_or_else(|| AeonError::Codec("migration record: bad step".into()))?;
-        Ok(Self { context, from: ServerId::new(from as u32), to: ServerId::new(to as u32), step })
+        Ok(Self {
+            context,
+            from: ServerId::new(from as u32),
+            to: ServerId::new(to as u32),
+            step,
+        })
     }
 
     /// Persists the record (overwriting any previous step).
@@ -117,7 +122,9 @@ impl MigrationRecord {
 
     /// Loads the record for `context`, if a migration is in flight.
     pub fn load(store: &Arc<dyn CloudStore>, context: ContextId) -> Option<Self> {
-        store.get(&Self::key(context)).and_then(|rec| Self::from_value(&rec.value).ok())
+        store
+            .get(&Self::key(context))
+            .and_then(|rec| Self::from_value(&rec.value).ok())
     }
 
     /// Loads every in-flight migration record.
@@ -188,7 +195,10 @@ mod tests {
         assert_eq!(MigrationRecord::load(&store, r.context), Some(r.clone()));
         r.step = MigrationStep::Completed;
         r.persist(&store).unwrap();
-        assert_eq!(MigrationRecord::load(&store, r.context).unwrap().step, MigrationStep::Completed);
+        assert_eq!(
+            MigrationRecord::load(&store, r.context).unwrap().step,
+            MigrationStep::Completed
+        );
         assert_eq!(MigrationRecord::load_all(&store).len(), 1);
         MigrationRecord::clear(&store, r.context).unwrap();
         assert!(MigrationRecord::load(&store, r.context).is_none());

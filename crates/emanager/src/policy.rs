@@ -64,7 +64,11 @@ impl ResourceUtilizationPolicy {
     /// Creates the policy with a lower bound, upper bound and activation
     /// threshold, all in `[0, 1]`.
     pub fn new(lower: f64, upper: f64, threshold: f64) -> Self {
-        Self { lower, upper, threshold }
+        Self {
+            lower,
+            upper,
+            threshold,
+        }
     }
 
     fn max_utilisation(m: &ServerMetrics) -> f64 {
@@ -84,21 +88,28 @@ impl ElasticityPolicy for ResourceUtilizationPolicy {
             .filter(|m| Self::max_utilisation(m) > self.upper + self.threshold)
             .collect();
         if !overloaded.is_empty() {
-            actions.push(ElasticityAction::ScaleOut { count: overloaded.len() });
+            actions.push(ElasticityAction::ScaleOut {
+                count: overloaded.len(),
+            });
             for m in overloaded {
                 actions.push(ElasticityAction::Rebalance { from: m.server });
             }
             return actions;
         }
-        if metrics.len() > 1 && metrics.iter().all(|m| Self::max_utilisation(m) < self.lower) {
-            // Release the least loaded server.
-            if let Some(least) = metrics
+        if metrics.len() > 1
+            && metrics
                 .iter()
-                .min_by(|a, b| {
-                    Self::max_utilisation(a).partial_cmp(&Self::max_utilisation(b)).unwrap()
-                })
-            {
-                actions.push(ElasticityAction::ScaleIn { server: least.server });
+                .all(|m| Self::max_utilisation(m) < self.lower)
+        {
+            // Release the least loaded server.
+            if let Some(least) = metrics.iter().min_by(|a, b| {
+                Self::max_utilisation(a)
+                    .partial_cmp(&Self::max_utilisation(b))
+                    .unwrap()
+            }) {
+                actions.push(ElasticityAction::ScaleIn {
+                    server: least.server,
+                });
             }
         }
         actions
@@ -114,7 +125,9 @@ pub struct ServerContentionPolicy {
 impl ServerContentionPolicy {
     /// Creates the policy with the acceptable number of contexts per server.
     pub fn new(max_contexts: usize) -> Self {
-        Self { max_contexts: max_contexts.max(1) }
+        Self {
+            max_contexts: max_contexts.max(1),
+        }
     }
 }
 
@@ -125,14 +138,18 @@ impl ElasticityPolicy for ServerContentionPolicy {
 
     fn evaluate(&self, metrics: &[ServerMetrics]) -> Vec<ElasticityAction> {
         let mut actions = Vec::new();
-        let contended: Vec<&ServerMetrics> =
-            metrics.iter().filter(|m| m.context_count > self.max_contexts).collect();
+        let contended: Vec<&ServerMetrics> = metrics
+            .iter()
+            .filter(|m| m.context_count > self.max_contexts)
+            .collect();
         if contended.is_empty() {
             return actions;
         }
         // Enough new servers to bring everyone under the limit.
-        let excess: usize =
-            contended.iter().map(|m| m.context_count - self.max_contexts).sum::<usize>();
+        let excess: usize = contended
+            .iter()
+            .map(|m| m.context_count - self.max_contexts)
+            .sum::<usize>();
         let needed = excess.div_ceil(self.max_contexts).max(1);
         actions.push(ElasticityAction::ScaleOut { count: needed });
         for m in contended {
@@ -159,7 +176,11 @@ pub struct SlaPolicy {
 impl SlaPolicy {
     /// Creates an SLA policy with the given latency target in milliseconds.
     pub fn new(target_ms: f64) -> Self {
-        Self { target_ms, scale_in_fraction: 0.3, step: 2 }
+        Self {
+            target_ms,
+            scale_in_fraction: 0.3,
+            step: 2,
+        }
     }
 
     /// Sets how many servers are added per violating tick.
@@ -183,10 +204,11 @@ impl ElasticityPolicy for SlaPolicy {
         if metrics.is_empty() {
             return Vec::new();
         }
-        let avg: f64 =
-            metrics.iter().map(|m| m.avg_latency_ms).sum::<f64>() / metrics.len() as f64;
-        let worst =
-            metrics.iter().map(|m| m.avg_latency_ms).fold(f64::NEG_INFINITY, f64::max);
+        let avg: f64 = metrics.iter().map(|m| m.avg_latency_ms).sum::<f64>() / metrics.len() as f64;
+        let worst = metrics
+            .iter()
+            .map(|m| m.avg_latency_ms)
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut actions = Vec::new();
         if worst > self.target_ms {
             actions.push(ElasticityAction::ScaleOut { count: self.step });
@@ -195,13 +217,18 @@ impl ElasticityPolicy for SlaPolicy {
                 .iter()
                 .max_by(|a, b| a.avg_latency_ms.partial_cmp(&b.avg_latency_ms).unwrap())
             {
-                actions.push(ElasticityAction::Rebalance { from: slowest.server });
+                actions.push(ElasticityAction::Rebalance {
+                    from: slowest.server,
+                });
             }
         } else if metrics.len() > 1 && avg < self.target_ms * self.scale_in_fraction {
-            if let Some(least) =
-                metrics.iter().min_by(|a, b| a.context_count.cmp(&b.context_count))
+            if let Some(least) = metrics
+                .iter()
+                .min_by(|a, b| a.context_count.cmp(&b.context_count))
             {
-                actions.push(ElasticityAction::ScaleIn { server: least.server });
+                actions.push(ElasticityAction::ScaleIn {
+                    server: least.server,
+                });
             }
         }
         actions
@@ -228,14 +255,21 @@ mod tests {
         let p = ResourceUtilizationPolicy::new(0.2, 0.8, 0.05);
         let actions = p.evaluate(&[m(0, 0.95, 10, 5.0), m(1, 0.4, 10, 5.0)]);
         assert!(actions.contains(&ElasticityAction::ScaleOut { count: 1 }));
-        assert!(actions.contains(&ElasticityAction::Rebalance { from: ServerId::new(0) }));
+        assert!(actions.contains(&ElasticityAction::Rebalance {
+            from: ServerId::new(0)
+        }));
     }
 
     #[test]
     fn resource_policy_scales_in_when_idle() {
         let p = ResourceUtilizationPolicy::new(0.2, 0.8, 0.05);
         let actions = p.evaluate(&[m(0, 0.05, 2, 1.0), m(1, 0.1, 2, 1.0)]);
-        assert_eq!(actions, vec![ElasticityAction::ScaleIn { server: ServerId::new(0) }]);
+        assert_eq!(
+            actions,
+            vec![ElasticityAction::ScaleIn {
+                server: ServerId::new(0)
+            }]
+        );
         // A single remaining server is never released.
         assert!(p.evaluate(&[m(0, 0.01, 1, 1.0)]).is_empty());
     }
@@ -243,7 +277,9 @@ mod tests {
     #[test]
     fn resource_policy_is_quiet_in_the_comfortable_band() {
         let p = ResourceUtilizationPolicy::new(0.2, 0.8, 0.05);
-        assert!(p.evaluate(&[m(0, 0.5, 3, 2.0), m(1, 0.6, 3, 2.0)]).is_empty());
+        assert!(p
+            .evaluate(&[m(0, 0.5, 3, 2.0), m(1, 0.6, 3, 2.0)])
+            .is_empty());
     }
 
     #[test]
@@ -252,7 +288,9 @@ mod tests {
         let actions = p.evaluate(&[m(0, 0.5, 12, 1.0), m(1, 0.5, 2, 1.0)]);
         // 8 excess contexts over a limit of 4 => 2 new servers.
         assert!(actions.contains(&ElasticityAction::ScaleOut { count: 2 }));
-        assert!(actions.contains(&ElasticityAction::Rebalance { from: ServerId::new(0) }));
+        assert!(actions.contains(&ElasticityAction::Rebalance {
+            from: ServerId::new(0)
+        }));
         assert!(p.evaluate(&[m(0, 0.5, 4, 1.0)]).is_empty());
     }
 
@@ -261,17 +299,29 @@ mod tests {
         let p = SlaPolicy::new(10.0).with_step(2);
         let out = p.evaluate(&[m(0, 0.5, 5, 22.0), m(1, 0.5, 5, 6.0)]);
         assert!(out.contains(&ElasticityAction::ScaleOut { count: 2 }));
-        assert!(out.contains(&ElasticityAction::Rebalance { from: ServerId::new(0) }));
+        assert!(out.contains(&ElasticityAction::Rebalance {
+            from: ServerId::new(0)
+        }));
         let idle = p.evaluate(&[m(0, 0.1, 5, 1.0), m(1, 0.1, 3, 1.0)]);
-        assert_eq!(idle, vec![ElasticityAction::ScaleIn { server: ServerId::new(1) }]);
+        assert_eq!(
+            idle,
+            vec![ElasticityAction::ScaleIn {
+                server: ServerId::new(1)
+            }]
+        );
         // Within the SLA but not enough headroom: no action.
-        assert!(p.evaluate(&[m(0, 0.5, 5, 8.0), m(1, 0.5, 5, 7.0)]).is_empty());
+        assert!(p
+            .evaluate(&[m(0, 0.5, 5, 8.0), m(1, 0.5, 5, 7.0)])
+            .is_empty());
         assert_eq!(p.target_ms(), 10.0);
     }
 
     #[test]
     fn policies_have_names() {
-        assert_eq!(ResourceUtilizationPolicy::new(0.1, 0.9, 0.0).name(), "resource-utilization");
+        assert_eq!(
+            ResourceUtilizationPolicy::new(0.1, 0.9, 0.0).name(),
+            "resource-utilization"
+        );
         assert_eq!(ServerContentionPolicy::new(1).name(), "server-contention");
         assert_eq!(SlaPolicy::new(10.0).name(), "sla");
     }

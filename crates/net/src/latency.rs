@@ -20,13 +20,19 @@ pub enum LatencyModel {
     Uniform { min_micros: u64, max_micros: u64 },
     /// A base latency plus an exponentially distributed tail with the given
     /// mean — a decent approximation of datacenter RPC latency.
-    BaseplusExp { base_micros: u64, mean_tail_micros: u64 },
+    BaseplusExp {
+        base_micros: u64,
+        mean_tail_micros: u64,
+    },
 }
 
 impl Default for LatencyModel {
     fn default() -> Self {
         // ~0.3 ms one-way, with a small tail: EC2 same-AZ ballpark.
-        LatencyModel::BaseplusExp { base_micros: 250, mean_tail_micros: 100 }
+        LatencyModel::BaseplusExp {
+            base_micros: 250,
+            mean_tail_micros: 100,
+        }
     }
 }
 
@@ -36,11 +42,17 @@ impl LatencyModel {
         match *self {
             LatencyModel::Zero => SimDuration::ZERO,
             LatencyModel::Constant { micros } => SimDuration::from_micros(micros),
-            LatencyModel::Uniform { min_micros, max_micros } => {
+            LatencyModel::Uniform {
+                min_micros,
+                max_micros,
+            } => {
                 let (lo, hi) = (min_micros.min(max_micros), min_micros.max(max_micros));
                 SimDuration::from_micros(rng.gen_range(lo..=hi))
             }
-            LatencyModel::BaseplusExp { base_micros, mean_tail_micros } => {
+            LatencyModel::BaseplusExp {
+                base_micros,
+                mean_tail_micros,
+            } => {
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let tail = -(u.ln()) * mean_tail_micros as f64;
                 SimDuration::from_micros(base_micros + tail as u64)
@@ -54,12 +66,14 @@ impl LatencyModel {
         match *self {
             LatencyModel::Zero => SimDuration::ZERO,
             LatencyModel::Constant { micros } => SimDuration::from_micros(micros),
-            LatencyModel::Uniform { min_micros, max_micros } => {
-                SimDuration::from_micros((min_micros + max_micros) / 2)
-            }
-            LatencyModel::BaseplusExp { base_micros, mean_tail_micros } => {
-                SimDuration::from_micros(base_micros + mean_tail_micros)
-            }
+            LatencyModel::Uniform {
+                min_micros,
+                max_micros,
+            } => SimDuration::from_micros((min_micros + max_micros) / 2),
+            LatencyModel::BaseplusExp {
+                base_micros,
+                mean_tail_micros,
+            } => SimDuration::from_micros(base_micros + mean_tail_micros),
         }
     }
 }
@@ -83,7 +97,10 @@ mod tests {
     #[test]
     fn uniform_stays_in_range() {
         let mut rng = StdRng::seed_from_u64(2);
-        let model = LatencyModel::Uniform { min_micros: 100, max_micros: 200 };
+        let model = LatencyModel::Uniform {
+            min_micros: 100,
+            max_micros: 200,
+        };
         for _ in 0..1000 {
             let s = model.sample(&mut rng).as_micros();
             assert!((100..=200).contains(&s));
@@ -94,12 +111,18 @@ mod tests {
     #[test]
     fn base_plus_exp_mean_is_close_to_analytic() {
         let mut rng = StdRng::seed_from_u64(3);
-        let model = LatencyModel::BaseplusExp { base_micros: 250, mean_tail_micros: 100 };
+        let model = LatencyModel::BaseplusExp {
+            base_micros: 250,
+            mean_tail_micros: 100,
+        };
         let n = 20_000;
         let total: u64 = (0..n).map(|_| model.sample(&mut rng).as_micros()).sum();
         let mean = total as f64 / n as f64;
         let analytic = model.mean().as_micros() as f64;
-        assert!((mean - analytic).abs() / analytic < 0.05, "mean {mean} vs analytic {analytic}");
+        assert!(
+            (mean - analytic).abs() / analytic < 0.05,
+            "mean {mean} vs analytic {analytic}"
+        );
         // Samples never go below the base.
         for _ in 0..100 {
             assert!(model.sample(&mut rng).as_micros() >= 250);

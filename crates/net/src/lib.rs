@@ -60,7 +60,9 @@ pub struct Network<M> {
 
 impl<M> Clone for Network<M> {
     fn clone(&self) -> Self {
-        Self { shared: Arc::clone(&self.shared) }
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -87,7 +89,11 @@ impl<M: Send + 'static> Network<M> {
     pub fn register(&self, id: ServerId) -> Endpoint<M> {
         let (tx, rx) = channel::unbounded();
         self.shared.inboxes.write().insert(id, tx);
-        Endpoint { id, network: self.clone(), rx }
+        Endpoint {
+            id,
+            network: self.clone(),
+            rx,
+        }
     }
 
     /// Removes a server from the routing table; subsequent sends to it fail
@@ -117,7 +123,8 @@ impl<M: Send + 'static> Network<M> {
         }
         let inboxes = self.shared.inboxes.read();
         let tx = inboxes.get(&to).ok_or(AeonError::ServerNotFound(to))?;
-        tx.send(message).map_err(|_| AeonError::ServerNotFound(to))?;
+        tx.send(message)
+            .map_err(|_| AeonError::ServerNotFound(to))?;
         self.shared.stats.record_sent(from == to);
         Ok(())
     }
@@ -223,7 +230,10 @@ mod tests {
     fn send_to_unknown_server_fails() {
         let net: Network<u32> = Network::new();
         let a = net.register(srv(0));
-        assert!(matches!(a.send(srv(9), 1), Err(AeonError::ServerNotFound(_))));
+        assert!(matches!(
+            a.send(srv(9), 1),
+            Err(AeonError::ServerNotFound(_))
+        ));
     }
 
     #[test]

@@ -12,6 +12,23 @@ use aeon_types::{AeonError, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Metadata of one contextclass method, as declared by the runtime's
+/// method tables.
+///
+/// The analysis itself only needs the class-level ownership constraints, but
+/// recording the per-class method surface here makes it available to every
+/// consumer of the static analysis: tooling can list a class's methods, the
+/// checker's recorder can classify operations as reads or writes without
+/// instantiating a context, and cross-backend tests can assert that all
+/// deployments agree on which methods are `ro`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MethodInfo {
+    /// Method name as dispatched by the runtime.
+    pub name: String,
+    /// Whether the method was declared `readonly` (`ro`).
+    pub readonly: bool,
+}
+
 /// The contextclass constraint graph.
 ///
 /// A constraint `owner ⊒ owned` (added with [`ClassGraph::add_constraint`])
@@ -21,6 +38,10 @@ use std::collections::{BTreeMap, BTreeSet};
 pub struct ClassGraph {
     /// class -> classes it may directly own.
     owns: BTreeMap<String, BTreeSet<String>>,
+    /// class -> declared method surface (optional; filled in by the
+    /// runtime's declarative method tables).
+    #[serde(default)]
+    methods: BTreeMap<String, Vec<MethodInfo>>,
 }
 
 impl ClassGraph {
@@ -82,6 +103,41 @@ impl ClassGraph {
         self.owns.get(owner).is_some_and(|set| set.contains(owned))
     }
 
+    /// Declares a method of `class` (declaring the class implicitly if
+    /// needed).  Re-declaring a method overwrites its metadata.
+    pub fn declare_method(
+        &mut self,
+        class: impl Into<String>,
+        name: impl Into<String>,
+        readonly: bool,
+    ) -> &mut Self {
+        let class = class.into();
+        let name = name.into();
+        self.owns.entry(class.clone()).or_default();
+        let methods = self.methods.entry(class).or_default();
+        match methods.iter_mut().find(|m| m.name == name) {
+            Some(existing) => existing.readonly = readonly,
+            None => methods.push(MethodInfo { name, readonly }),
+        }
+        self
+    }
+
+    /// The declared method surface of `class` (empty when the class never
+    /// declared its methods).
+    pub fn methods_of(&self, class: &str) -> &[MethodInfo] {
+        self.methods.get(class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `method` of `class` was declared `readonly`; `None` when the
+    /// class has no method declarations or the method is unknown.
+    pub fn readonly_method(&self, class: &str, method: &str) -> Option<bool> {
+        self.methods
+            .get(class)?
+            .iter()
+            .find(|m| m.name == method)
+            .map(|m| m.readonly)
+    }
+
     /// Runs the static analysis: succeeds iff the constraint graph is
     /// acyclic once reflexive edges are ignored.
     ///
@@ -97,8 +153,11 @@ impl ClassGraph {
             Grey,
             Black,
         }
-        let mut colour: BTreeMap<&str, Colour> =
-            self.owns.keys().map(|k| (k.as_str(), Colour::White)).collect();
+        let mut colour: BTreeMap<&str, Colour> = self
+            .owns
+            .keys()
+            .map(|k| (k.as_str(), Colour::White))
+            .collect();
 
         fn visit<'a>(
             class: &'a str,
@@ -165,7 +224,10 @@ impl ClassGraph {
             let owner_class = graph.class_of(owner)?;
             let owned_class = graph.class_of(owned)?;
             if !self.allows(owner_class, owned_class) {
-                return Err(AeonError::OwnershipViolation { caller: owner, callee: owned });
+                return Err(AeonError::OwnershipViolation {
+                    caller: owner,
+                    callee: owned,
+                });
             }
         }
         Ok(())
@@ -228,7 +290,10 @@ mod tests {
         g.add_constraint("B", "A");
         let err = g.check().unwrap_err();
         assert!(matches!(err, AeonError::ClassCycleDetected { .. }));
-        assert!(err.to_string().contains("A"), "cycle description names the classes: {err}");
+        assert!(
+            err.to_string().contains("A"),
+            "cycle description names the classes: {err}"
+        );
     }
 
     #[test]
@@ -240,7 +305,10 @@ mod tests {
         g.add_constraint("D", "B");
         let err = g.check().unwrap_err();
         if let AeonError::ClassCycleDetected { description } = err {
-            assert!(description.contains("B") && description.contains("D"), "{description}");
+            assert!(
+                description.contains("B") && description.contains("D"),
+                "{description}"
+            );
         } else {
             panic!("expected class cycle");
         }

@@ -68,8 +68,11 @@ pub fn share_set(graph: &OwnershipGraph, target: ContextId) -> Result<BTreeSet<C
     if desc_c.is_empty() {
         return Ok(share);
     }
-    let desc_c_or_self: BTreeSet<ContextId> =
-        desc_c.iter().copied().chain(std::iter::once(target)).collect();
+    let desc_c_or_self: BTreeSet<ContextId> = desc_c
+        .iter()
+        .copied()
+        .chain(std::iter::once(target))
+        .collect();
     for other in graph.contexts() {
         if other == target {
             continue;
@@ -100,10 +103,7 @@ pub fn share_set(graph: &OwnershipGraph, target: ContextId) -> Result<BTreeSet<C
 ///
 /// Returns [`Dominator::GlobalRoot`] when no such context exists (no common
 /// ancestor, or several incomparable minimal common ancestors).
-pub fn least_upper_bound(
-    graph: &OwnershipGraph,
-    set: &BTreeSet<ContextId>,
-) -> Result<Dominator> {
+pub fn least_upper_bound(graph: &OwnershipGraph, set: &BTreeSet<ContextId>) -> Result<Dominator> {
     let mut iter = set.iter();
     let first = match iter.next() {
         Some(f) => *f,
@@ -195,7 +195,10 @@ impl Default for DominatorResolver {
 impl DominatorResolver {
     /// Creates a resolver with the given mode.
     pub fn new(mode: DominatorMode) -> Self {
-        Self { mode, cache: RwLock::new(Cache::default()) }
+        Self {
+            mode,
+            cache: RwLock::new(Cache::default()),
+        }
     }
 
     /// The mode the resolver was configured with.
@@ -319,7 +322,15 @@ mod tests {
         // The one-step formula gives dom(A) = P but dom(B) = Q; closure mode
         // lifts both to Q so conflicting events always share a sequencer.
         let mut g = OwnershipGraph::new();
-        for (i, class) in [(1, "Q"), (2, "P"), (3, "A"), (4, "B"), (5, "C"), (6, "X"), (7, "Y")] {
+        for (i, class) in [
+            (1, "Q"),
+            (2, "P"),
+            (3, "A"),
+            (4, "B"),
+            (5, "C"),
+            (6, "X"),
+            (7, "Y"),
+        ] {
             g.add_context(ctx(i), class).unwrap();
         }
         g.add_edge(ctx(1), ctx(2)).unwrap(); // Q -> P

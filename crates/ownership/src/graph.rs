@@ -74,11 +74,17 @@ impl OwnershipGraph {
     /// Returns [`AeonError::Internal`] if the id is already registered.
     pub fn add_context(&mut self, id: ContextId, class: impl Into<String>) -> Result<()> {
         if self.nodes.contains_key(&id) {
-            return Err(AeonError::internal(format!("context {id} already registered")));
+            return Err(AeonError::internal(format!(
+                "context {id} already registered"
+            )));
         }
         self.nodes.insert(
             id,
-            Node { class: class.into(), children: BTreeSet::new(), parents: BTreeSet::new() },
+            Node {
+                class: class.into(),
+                children: BTreeSet::new(),
+                parents: BTreeSet::new(),
+            },
         );
         self.version += 1;
         Ok(())
@@ -90,7 +96,10 @@ impl OwnershipGraph {
     ///
     /// Returns [`AeonError::ContextNotFound`] for unknown contexts.
     pub fn remove_context(&mut self, id: ContextId) -> Result<()> {
-        let node = self.nodes.remove(&id).ok_or(AeonError::ContextNotFound(id))?;
+        let node = self
+            .nodes
+            .remove(&id)
+            .ok_or(AeonError::ContextNotFound(id))?;
         for parent in &node.parents {
             if let Some(p) = self.nodes.get_mut(parent) {
                 p.children.remove(&id);
@@ -120,10 +129,22 @@ impl OwnershipGraph {
             return Err(AeonError::ContextNotFound(owned));
         }
         if owner == owned || self.is_ancestor(owned, owner) {
-            return Err(AeonError::CycleDetected { from: owner, to: owned });
+            return Err(AeonError::CycleDetected {
+                from: owner,
+                to: owned,
+            });
         }
-        let inserted = self.nodes.get_mut(&owner).expect("checked").children.insert(owned);
-        self.nodes.get_mut(&owned).expect("checked").parents.insert(owner);
+        let inserted = self
+            .nodes
+            .get_mut(&owner)
+            .expect("checked")
+            .children
+            .insert(owned);
+        self.nodes
+            .get_mut(&owned)
+            .expect("checked")
+            .parents
+            .insert(owner);
         if inserted {
             self.version += 1;
         }
@@ -142,8 +163,17 @@ impl OwnershipGraph {
         if !self.contains(owned) {
             return Err(AeonError::ContextNotFound(owned));
         }
-        let removed = self.nodes.get_mut(&owner).expect("checked").children.remove(&owned);
-        self.nodes.get_mut(&owned).expect("checked").parents.remove(&owner);
+        let removed = self
+            .nodes
+            .get_mut(&owner)
+            .expect("checked")
+            .children
+            .remove(&owned);
+        self.nodes
+            .get_mut(&owned)
+            .expect("checked")
+            .parents
+            .remove(&owner);
         if removed {
             self.version += 1;
         }
@@ -232,8 +262,11 @@ impl OwnershipGraph {
     /// only returns `false` for graphs deserialised from untrusted input.
     pub fn is_acyclic(&self) -> bool {
         // Kahn's algorithm.
-        let mut indegree: BTreeMap<ContextId, usize> =
-            self.nodes.iter().map(|(id, n)| (*id, n.parents.len())).collect();
+        let mut indegree: BTreeMap<ContextId, usize> = self
+            .nodes
+            .iter()
+            .map(|(id, n)| (*id, n.parents.len()))
+            .collect();
         let mut queue: VecDeque<ContextId> = indegree
             .iter()
             .filter(|(_, d)| **d == 0)
@@ -258,8 +291,11 @@ impl OwnershipGraph {
 
     /// Contexts in topological order (owners before owned).
     pub fn topological_order(&self) -> Vec<ContextId> {
-        let mut indegree: BTreeMap<ContextId, usize> =
-            self.nodes.iter().map(|(id, n)| (*id, n.parents.len())).collect();
+        let mut indegree: BTreeMap<ContextId, usize> = self
+            .nodes
+            .iter()
+            .map(|(id, n)| (*id, n.parents.len()))
+            .collect();
         let mut queue: VecDeque<ContextId> = indegree
             .iter()
             .filter(|(_, d)| **d == 0)
@@ -297,7 +333,10 @@ impl OwnershipGraph {
                 ])
             })
             .collect();
-        Value::map([("version", Value::from(self.version as i64)), ("nodes", Value::List(nodes))])
+        Value::map([
+            ("version", Value::from(self.version as i64)),
+            ("nodes", Value::List(nodes)),
+        ])
     }
 
     /// Reconstructs a graph from [`OwnershipGraph::to_value`] output.
@@ -327,7 +366,10 @@ impl OwnershipGraph {
         }
         // Second pass: edges (cycle-checked by add_edge).
         for entry in nodes {
-            let id = entry.get("id").and_then(Value::as_context).expect("validated above");
+            let id = entry
+                .get("id")
+                .and_then(Value::as_context)
+                .expect("validated above");
             if let Some(children) = entry.get("children").and_then(Value::as_list) {
                 for child in children {
                     let child = child.as_context().ok_or_else(|| {
@@ -395,7 +437,10 @@ mod tests {
         g.add_context(ctx(1), "Room").unwrap();
         assert!(g.contains(ctx(1)));
         assert_eq!(g.class_of(ctx(1)).unwrap(), "Room");
-        assert!(g.add_context(ctx(1), "Room").is_err(), "duplicate registration rejected");
+        assert!(
+            g.add_context(ctx(1), "Room").is_err(),
+            "duplicate registration rejected"
+        );
         g.remove_context(ctx(1)).unwrap();
         assert!(!g.contains(ctx(1)));
         assert!(g.remove_context(ctx(1)).is_err());
@@ -405,8 +450,14 @@ mod tests {
     fn edges_require_known_endpoints() {
         let mut g = OwnershipGraph::new();
         g.add_context(ctx(1), "A").unwrap();
-        assert!(matches!(g.add_edge(ctx(1), ctx(2)), Err(AeonError::ContextNotFound(_))));
-        assert!(matches!(g.add_edge(ctx(3), ctx(1)), Err(AeonError::ContextNotFound(_))));
+        assert!(matches!(
+            g.add_edge(ctx(1), ctx(2)),
+            Err(AeonError::ContextNotFound(_))
+        ));
+        assert!(matches!(
+            g.add_edge(ctx(3), ctx(1)),
+            Err(AeonError::ContextNotFound(_))
+        ));
     }
 
     #[test]

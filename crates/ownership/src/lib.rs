@@ -45,7 +45,7 @@ pub mod dominator;
 pub mod graph;
 pub mod path;
 
-pub use analysis::ClassGraph;
+pub use analysis::{ClassGraph, MethodInfo};
 pub use dominator::{dominator_of, share_set, Dominator, DominatorMode, DominatorResolver};
 pub use graph::OwnershipGraph;
 pub use path::{all_on_paths, find_path};
@@ -159,7 +159,10 @@ mod tests {
                 .unwrap(),
             Dominator::Context(ids.sword)
         );
-        assert_eq!(resolver.dominator(&g, ids.sword).unwrap(), Dominator::Context(ids.sword));
+        assert_eq!(
+            resolver.dominator(&g, ids.sword).unwrap(),
+            Dominator::Context(ids.sword)
+        );
         // Single-owner contexts are their own dominator.
         assert_eq!(
             resolver.dominator(&g, ids.castle).unwrap(),

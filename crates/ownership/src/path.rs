@@ -54,7 +54,10 @@ pub fn find_path(graph: &OwnershipGraph, from: ContextId, to: ContextId) -> Resu
             }
         }
     }
-    Err(AeonError::OwnershipViolation { caller: from, callee: to })
+    Err(AeonError::OwnershipViolation {
+        caller: from,
+        callee: to,
+    })
 }
 
 /// Returns every context on *some* path from `from` to `to` — the union of
@@ -88,7 +91,10 @@ mod tests {
     #[test]
     fn trivial_path_is_the_context_itself() {
         let (g, ids) = game_graph();
-        assert_eq!(find_path(&g, ids.player1, ids.player1).unwrap(), vec![ids.player1]);
+        assert_eq!(
+            find_path(&g, ids.player1, ids.player1).unwrap(),
+            vec![ids.player1]
+        );
     }
 
     #[test]
@@ -123,7 +129,10 @@ mod tests {
     fn unknown_endpoints_are_reported() {
         let (g, _) = game_graph();
         let ghost = aeon_types::ContextId::new(999);
-        assert!(matches!(find_path(&g, ghost, ghost), Err(AeonError::ContextNotFound(_))));
+        assert!(matches!(
+            find_path(&g, ghost, ghost),
+            Err(AeonError::ContextNotFound(_))
+        ));
     }
 
     #[test]

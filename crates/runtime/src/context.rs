@@ -2,7 +2,7 @@
 
 use crate::invocation::Invocation;
 use crate::locks::ContextLock;
-use aeon_types::{AeonError, Args, ContextId, Result, Value};
+use aeon_types::{Args, ContextId, Result, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -77,7 +77,10 @@ pub struct KvContext {
 impl KvContext {
     /// Creates an empty KV context with the given class name.
     pub fn new(class: impl Into<String>) -> Self {
-        Self { class: class.into(), map: BTreeMap::new() }
+        Self {
+            class: class.into(),
+            map: BTreeMap::new(),
+        }
     }
 
     /// Creates a KV context pre-populated with entries.
@@ -93,37 +96,56 @@ impl KvContext {
     }
 }
 
-impl ContextObject for KvContext {
+impl KvContext {
+    fn get(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(self
+            .map
+            .get(args.get_str(0)?)
+            .cloned()
+            .unwrap_or(Value::Null))
+    }
+
+    fn set(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_str(0)?.to_string();
+        let value = args.get(1).cloned().unwrap_or(Value::Null);
+        Ok(self.map.insert(key, value).unwrap_or(Value::Null))
+    }
+
+    fn incr(&mut self, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        let key = args.get_str(0)?.to_string();
+        let by = args.get_i64(1).unwrap_or(1);
+        let current = self.map.get(&key).and_then(Value::as_i64).unwrap_or(0);
+        let next = current + by;
+        self.map.insert(key, Value::from(next));
+        Ok(Value::from(next))
+    }
+
+    fn keys(&mut self, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        Ok(Value::List(
+            self.map.keys().map(|k| Value::from(k.clone())).collect(),
+        ))
+    }
+}
+
+// KvContext picks its class name per instance, so it implements
+// `ContextClass` by hand (overriding `class_name`) instead of going through
+// the `context_class!` macro.
+impl crate::method_table::ContextClass for KvContext {
+    fn table() -> &'static crate::method_table::MethodTable<Self> {
+        static TABLE: std::sync::OnceLock<crate::method_table::MethodTable<KvContext>> =
+            std::sync::OnceLock::new();
+        TABLE.get_or_init(|| {
+            crate::method_table::MethodTable::builder("Kv")
+                .readonly("get", KvContext::get)
+                .method("set", KvContext::set)
+                .method("incr", KvContext::incr)
+                .readonly("keys", KvContext::keys)
+                .build()
+        })
+    }
+
     fn class_name(&self) -> &str {
         &self.class
-    }
-
-    fn handle(&mut self, method: &str, args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
-        match method {
-            "get" => Ok(self.map.get(args.get_str(0)?).cloned().unwrap_or(Value::Null)),
-            "set" => {
-                let key = args.get_str(0)?.to_string();
-                let value = args.get(1).cloned().unwrap_or(Value::Null);
-                Ok(self.map.insert(key, value).unwrap_or(Value::Null))
-            }
-            "incr" => {
-                let key = args.get_str(0)?.to_string();
-                let by = args.get_i64(1).unwrap_or(1);
-                let current = self.map.get(&key).and_then(Value::as_i64).unwrap_or(0);
-                let next = current + by;
-                self.map.insert(key, Value::from(next));
-                Ok(Value::from(next))
-            }
-            "keys" => Ok(Value::List(self.map.keys().map(|k| Value::from(k.clone())).collect())),
-            _ => Err(AeonError::UnknownMethod {
-                class: self.class.clone(),
-                method: method.to_string(),
-            }),
-        }
-    }
-
-    fn is_readonly(&self, method: &str) -> bool {
-        matches!(method, "get" | "keys")
     }
 
     fn snapshot(&self) -> Value {
@@ -157,7 +179,12 @@ pub(crate) struct ContextSlot {
 impl ContextSlot {
     pub(crate) fn new(id: ContextId, object: Box<dyn ContextObject>) -> Arc<Self> {
         let class = object.class_name().to_string();
-        Arc::new(Self { id, class, lock: ContextLock::new(id), object: Mutex::new(object) })
+        Arc::new(Self {
+            id,
+            class,
+            lock: ContextLock::new(id),
+            object: Mutex::new(object),
+        })
     }
 }
 
@@ -177,10 +204,10 @@ mod tests {
     #[test]
     fn kv_context_snapshot_round_trip() {
         let mut kv = KvContext::with_entries("Item", [("gold", Value::from(10i64))]);
-        let snap = kv.snapshot();
+        let snap = ContextObject::snapshot(&kv);
         kv.map.clear();
         kv.class = "Other".into();
-        kv.restore(&snap);
+        ContextObject::restore(&mut kv, &snap);
         assert_eq!(kv.class, "Item");
         assert_eq!(kv.map.get("gold"), Some(&Value::from(10i64)));
     }

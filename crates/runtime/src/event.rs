@@ -46,7 +46,14 @@ impl EventHandle {
     /// Creates the `(completion sender, handle)` pair for an event.
     pub(crate) fn new(event: EventId) -> (Sender<EventOutcome>, EventHandle) {
         let (tx, rx) = bounded(1);
-        (tx, EventHandle { event, submitted: Instant::now(), receiver: rx })
+        (
+            tx,
+            EventHandle {
+                event,
+                submitted: Instant::now(),
+                receiver: rx,
+            },
+        )
     }
 
     /// The id of the event being awaited.

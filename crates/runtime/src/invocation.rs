@@ -145,7 +145,11 @@ impl EventExecution {
         };
         let result = exec.execute(request);
         exec.release_all();
-        let subs = if result.is_ok() { std::mem::take(&mut exec.sub_events) } else { Vec::new() };
+        let subs = if result.is_ok() {
+            std::mem::take(&mut exec.sub_events)
+        } else {
+            Vec::new()
+        };
         (result, subs)
     }
 
@@ -195,7 +199,10 @@ impl EventExecution {
         // edges (§3).
         if let Some(caller) = caller {
             if !self.inner.may_call(caller, target) {
-                return Err(AeonError::OwnershipViolation { caller, callee: target });
+                return Err(AeonError::OwnershipViolation {
+                    caller,
+                    callee: target,
+                });
             }
         }
         // Re-entrance guard: the ownership DAG is acyclic, so a well-formed
@@ -281,7 +288,10 @@ impl InvocationHost for EventExecution {
         args: Args,
     ) -> Result<()> {
         if !self.inner.may_call(caller, target) {
-            return Err(AeonError::OwnershipViolation { caller, callee: target });
+            return Err(AeonError::OwnershipViolation {
+                caller,
+                callee: target,
+            });
         }
         self.pending_async.push_back(AsyncCall {
             caller,
@@ -300,7 +310,12 @@ impl InvocationHost for EventExecution {
         mode: AccessMode,
     ) -> Result<()> {
         self.inner.stats.record_sub_event();
-        self.sub_events.push(SubEvent { target, method: method.to_string(), args, mode });
+        self.sub_events.push(SubEvent {
+            target,
+            method: method.to_string(),
+            args,
+            mode,
+        });
         Ok(())
     }
 
@@ -309,7 +324,8 @@ impl InvocationHost for EventExecution {
         owner: ContextId,
         object: Box<dyn ContextObject>,
     ) -> Result<ContextId> {
-        self.inner.create_context_owned_by(object, &[owner], Some(owner))
+        self.inner
+            .create_context_owned_by(object, &[owner], Some(owner))
     }
 
     fn add_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()> {

@@ -54,6 +54,7 @@ pub mod context;
 pub mod event;
 pub mod invocation;
 pub mod locks;
+pub mod method_table;
 pub mod runtime;
 pub mod snapshot;
 pub mod stats;
@@ -62,6 +63,9 @@ pub use context::{ContextFactory, ContextObject, KvContext};
 pub use event::{EventHandle, EventOutcome, EventRequest};
 pub use invocation::{Invocation, InvocationHost, SubEvent};
 pub use locks::ContextLock;
+pub use method_table::{
+    macro_support, ContextClass, Handler, MethodEntry, MethodTable, MethodTableBuilder,
+};
 pub use runtime::{AeonClient, AeonRuntime, Placement, RuntimeBuilder, RuntimeConfig};
 pub use snapshot::Snapshot;
 pub use stats::RuntimeStats;

@@ -41,7 +41,11 @@ pub struct ContextLock {
 impl ContextLock {
     /// Creates the lock for `context`.
     pub fn new(context: ContextId) -> Self {
-        Self { context, state: Mutex::new(LockState::default()), changed: Condvar::new() }
+        Self {
+            context,
+            state: Mutex::new(LockState::default()),
+            changed: Condvar::new(),
+        }
     }
 
     /// The context this lock belongs to.
@@ -77,8 +81,7 @@ impl ContextLock {
             // Grant from the head of the queue while compatible; strict FIFO
             // order gives starvation freedom.
             while let Some(&(head, head_mode)) = state.queue.front() {
-                let compatible =
-                    head_mode.compatible_with(state.activated.iter().map(|(_, m)| m));
+                let compatible = head_mode.compatible_with(state.activated.iter().map(|(_, m)| m));
                 if compatible {
                     state.queue.pop_front();
                     state.activated.push((head, head_mode));
@@ -244,7 +247,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "exclusive holders never overlap");
+        assert_eq!(
+            max_seen.load(Ordering::SeqCst),
+            1,
+            "exclusive holders never overlap"
+        );
         assert_eq!(lock.activated_count(), 0);
         assert_eq!(lock.queued_count(), 0);
     }

@@ -46,7 +46,11 @@ pub struct RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        Self { initial_servers: 1, dominator_mode: DominatorMode::default(), class_graph: None }
+        Self {
+            initial_servers: 1,
+            dominator_mode: DominatorMode::default(),
+            class_graph: None,
+        }
     }
 }
 
@@ -156,7 +160,11 @@ impl std::fmt::Debug for RuntimeInner {
 
 impl RuntimeInner {
     pub(crate) fn context_slot(&self, id: ContextId) -> Result<Arc<ContextSlot>> {
-        self.contexts.read().get(&id).cloned().ok_or(AeonError::ContextNotFound(id))
+        self.contexts
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(AeonError::ContextNotFound(id))
     }
 
     pub(crate) fn dominator_of(&self, target: ContextId) -> Result<Dominator> {
@@ -177,7 +185,7 @@ impl RuntimeInner {
         let children = graph.children(parent)?;
         let mut out = Vec::with_capacity(children.len());
         for &c in children {
-            if class.map_or(true, |cls| graph.class_of(c).map(|k| k == cls).unwrap_or(false)) {
+            if class.is_none_or(|cls| graph.class_of(c).map(|k| k == cls).unwrap_or(false)) {
                 out.push(c);
             }
         }
@@ -193,12 +201,20 @@ impl RuntimeInner {
                     _ => Err(AeonError::ServerNotFound(id)),
                 }
             }
-            Placement::WithContext(other) => self
-                .placement
-                .read()
-                .get(&other)
-                .copied()
-                .ok_or(AeonError::ContextNotFound(other)),
+            Placement::WithContext(other) => {
+                let server = self
+                    .placement
+                    .read()
+                    .get(&other)
+                    .copied()
+                    .ok_or(AeonError::ContextNotFound(other))?;
+                // The co-location target may sit on a crashed server; never
+                // place new contexts there.
+                match self.servers.read().get(&server) {
+                    Some(info) if info.online => Ok(server),
+                    _ => Err(AeonError::ServerNotFound(server)),
+                }
+            }
             Placement::Auto => {
                 let servers = self.servers.read();
                 let placement = self.placement.read();
@@ -256,7 +272,9 @@ impl RuntimeInner {
                 }
             }
         }
-        self.contexts.write().insert(id, ContextSlot::new(id, object));
+        self.contexts
+            .write()
+            .insert(id, ContextSlot::new(id, object));
         self.placement.write().insert(id, server);
         Ok(id)
     }
@@ -267,7 +285,10 @@ impl RuntimeInner {
             let owner_class = graph.class_of(owner)?;
             let owned_class = graph.class_of(owned)?;
             if !classes.allows(owner_class, owned_class) {
-                return Err(AeonError::OwnershipViolation { caller: owner, callee: owned });
+                return Err(AeonError::OwnershipViolation {
+                    caller: owner,
+                    callee: owned,
+                });
             }
         }
         self.graph.write().add_edge(owner, owned)
@@ -279,7 +300,13 @@ impl RuntimeInner {
 
     fn add_server(&self) -> ServerId {
         let id = ServerId::new(self.next_server.fetch_add(1, Ordering::Relaxed));
-        self.servers.write().insert(id, ServerInfo { online: true, events_executed: 0 });
+        self.servers.write().insert(
+            id,
+            ServerInfo {
+                online: true,
+                events_executed: 0,
+            },
+        );
         id
     }
 
@@ -294,7 +321,8 @@ impl RuntimeInner {
         self.events_in_flight.fetch_add(1, Ordering::SeqCst);
         let (result, sub_events) = EventExecution::run(Arc::clone(self), &request);
         let latency = started.elapsed();
-        self.stats.record_event(result.is_ok(), request.mode.is_read_only(), latency);
+        self.stats
+            .record_event(result.is_ok(), request.mode.is_read_only(), latency);
         if let Some(server) = self.placement.read().get(&request.target) {
             if let Some(info) = self.servers.write().get_mut(server) {
                 info.events_executed += 1;
@@ -313,7 +341,11 @@ impl RuntimeInner {
             };
             let _ = self.run_event(sub_request);
         }
-        EventOutcome { event: request.id, result, latency }
+        EventOutcome {
+            event: request.id,
+            result,
+            latency,
+        }
     }
 
     fn spawn_event(self: &Arc<Self>, request: EventRequest) -> EventHandle {
@@ -345,7 +377,10 @@ impl AeonRuntime {
 
     /// Creates a client handle for submitting events.
     pub fn client(&self) -> AeonClient {
-        AeonClient { inner: Arc::clone(&self.inner), id: ClientId::new(self.inner.ids.next_raw()) }
+        AeonClient {
+            inner: Arc::clone(&self.inner),
+            id: ClientId::new(self.inner.ids.next_raw()),
+        }
     }
 
     /// Registers a factory able to rebuild contexts of `class` from a
@@ -376,7 +411,10 @@ impl AeonRuntime {
         let id = ContextId::new(self.inner.ids.next_raw());
         let server = self.inner.pick_server(placement)?;
         self.inner.graph.write().add_context(id, class)?;
-        self.inner.contexts.write().insert(id, ContextSlot::new(id, object));
+        self.inner
+            .contexts
+            .write()
+            .insert(id, ContextSlot::new(id, object));
         self.inner.placement.write().insert(id, server);
         Ok(id)
     }
@@ -395,7 +433,9 @@ impl AeonRuntime {
         owners: &[ContextId],
     ) -> Result<ContextId> {
         if owners.is_empty() {
-            return Err(AeonError::Config("create_owned_context requires at least one owner".into()));
+            return Err(AeonError::Config(
+                "create_owned_context requires at least one owner".into(),
+            ));
         }
         self.inner.create_context_owned_by(object, owners, None)
     }
@@ -456,8 +496,78 @@ impl AeonRuntime {
             )));
         }
         let mut servers = self.inner.servers.write();
-        let info = servers.get_mut(&server).ok_or(AeonError::ServerNotFound(server))?;
+        let info = servers
+            .get_mut(&server)
+            .ok_or(AeonError::ServerNotFound(server))?;
         info.online = false;
+        Ok(())
+    }
+
+    /// Simulates a server crash: the server goes offline immediately and
+    /// every context hosted on it becomes unavailable (its lock is poisoned
+    /// and its state is dropped) until restored elsewhere with
+    /// [`AeonRuntime::restore_context`].  The ownership network and the
+    /// placement map keep the contexts' identities, mirroring the
+    /// distributed deployment's crash behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ServerNotFound`] for unknown servers.
+    pub fn crash_server(&self, server: ServerId) -> Result<()> {
+        {
+            let mut servers = self.inner.servers.write();
+            let info = servers
+                .get_mut(&server)
+                .ok_or(AeonError::ServerNotFound(server))?;
+            info.online = false;
+        }
+        let hosted = self.contexts_on(server);
+        let mut contexts = self.inner.contexts.write();
+        for context in hosted {
+            if let Some(slot) = contexts.remove(&context) {
+                slot.lock.poison();
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-hosts a context from externally held state (e.g. a checkpoint)
+    /// after its server crashed.  The context keeps its identity and
+    /// ownership edges; only its placement and state change.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ContextNotFound`] when the context was never created.
+    /// * [`AeonError::MigrationFailed`] when no factory is registered for
+    ///   its class.
+    /// * [`AeonError::ServerNotFound`] when `server` is offline.
+    pub fn restore_context(
+        &self,
+        context: ContextId,
+        state: &Value,
+        server: ServerId,
+    ) -> Result<()> {
+        match self.inner.servers.read().get(&server) {
+            Some(info) if info.online => {}
+            _ => return Err(AeonError::ServerNotFound(server)),
+        }
+        let class = self.inner.graph.read().class_of(context)?.to_string();
+        let factory = self
+            .inner
+            .factories
+            .read()
+            .get(&class)
+            .cloned()
+            .ok_or_else(|| AeonError::MigrationFailed {
+                context,
+                reason: format!("no factory registered for class {class}"),
+            })?;
+        let object = factory(state);
+        self.inner
+            .contexts
+            .write()
+            .insert(context, ContextSlot::new(context, object));
+        self.inner.placement.write().insert(context, server);
         Ok(())
     }
 
@@ -585,7 +695,9 @@ impl AeonRuntime {
                 held.push(slot);
             }
             Dominator::GlobalRoot => {
-                self.inner.global_root.activate(event, AccessMode::Exclusive)?;
+                self.inner
+                    .global_root
+                    .activate(event, AccessMode::Exclusive)?;
                 holds_root = true;
             }
             _ => {}
@@ -674,13 +786,8 @@ impl AeonClient {
     ///
     /// Returns [`AeonError::RuntimeShutdown`] after shutdown and
     /// [`AeonError::ContextNotFound`] for unknown targets.
-    pub fn submit_event(
-        &self,
-        target: ContextId,
-        method: &str,
-        args: Args,
-    ) -> Result<EventHandle> {
-        self.submit_with_mode(target, method, args, AccessMode::Exclusive)
+    pub fn submit_event(&self, target: ContextId, method: &str, args: Args) -> Result<EventHandle> {
+        self.submit(target, method, args, AccessMode::Exclusive)
     }
 
     /// Submits a read-only event (the paper's `ro` methods); read-only
@@ -695,30 +802,19 @@ impl AeonClient {
         method: &str,
         args: Args,
     ) -> Result<EventHandle> {
-        self.submit_with_mode(target, method, args, AccessMode::ReadOnly)
+        self.submit(target, method, args, AccessMode::ReadOnly)
     }
 
-    /// Convenience wrapper: submits an exclusive event and waits for its
-    /// result.
+    /// Submits an event with an explicit access mode: the primitive behind
+    /// [`AeonClient::submit_event`] and the `aeon-api` `Session`
+    /// implementation.  The `call`/`call_readonly` convenience wrappers live
+    /// on the `Session` trait, not here.
     ///
     /// # Errors
     ///
-    /// Propagates submission and execution errors.
-    pub fn call(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
-        self.submit_event(target, method, args)?.wait()
-    }
-
-    /// Convenience wrapper: submits a read-only event and waits for its
-    /// result.
-    ///
-    /// # Errors
-    ///
-    /// Propagates submission and execution errors.
-    pub fn call_readonly(&self, target: ContextId, method: &str, args: Args) -> Result<Value> {
-        self.submit_readonly_event(target, method, args)?.wait()
-    }
-
-    fn submit_with_mode(
+    /// Returns [`AeonError::RuntimeShutdown`] after shutdown and
+    /// [`AeonError::ContextNotFound`] for unknown targets.
+    pub fn submit(
         &self,
         target: ContextId,
         method: &str,

@@ -26,7 +26,10 @@ pub struct Snapshot {
 impl Snapshot {
     /// Creates an empty snapshot rooted at `root`.
     pub fn new(root: ContextId) -> Self {
-        Self { root, entries: BTreeMap::new() }
+        Self {
+            root,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// The context the snapshot was requested on.
@@ -36,7 +39,13 @@ impl Snapshot {
 
     /// Adds the state of one context.
     pub fn insert(&mut self, id: ContextId, class: impl Into<String>, state: Value) {
-        self.entries.insert(id, SnapshotEntry { class: class.into(), state });
+        self.entries.insert(
+            id,
+            SnapshotEntry {
+                class: class.into(),
+                state,
+            },
+        );
     }
 
     /// Number of contexts captured.
@@ -72,7 +81,10 @@ impl Snapshot {
                 ])
             })
             .collect();
-        Value::map([("root", Value::from(self.root)), ("entries", Value::List(entries))])
+        Value::map([
+            ("root", Value::from(self.root)),
+            ("entries", Value::List(entries)),
+        ])
     }
 
     /// Reconstructs a snapshot from [`Snapshot::to_value`] output.
@@ -114,8 +126,16 @@ mod tests {
     #[test]
     fn snapshot_round_trips_through_value() {
         let mut s = Snapshot::new(ContextId::new(1));
-        s.insert(ContextId::new(1), "Room", Value::map([("players", Value::from(2i64))]));
-        s.insert(ContextId::new(2), "Player", Value::map([("gold", Value::from(10i64))]));
+        s.insert(
+            ContextId::new(1),
+            "Room",
+            Value::map([("players", Value::from(2i64))]),
+        );
+        s.insert(
+            ContextId::new(2),
+            "Player",
+            Value::map([("gold", Value::from(10i64))]),
+        );
         let v = s.to_value();
         let restored = Snapshot::from_value(&v).unwrap();
         assert_eq!(restored, s);
@@ -127,8 +147,9 @@ mod tests {
     #[test]
     fn malformed_values_are_rejected() {
         assert!(Snapshot::from_value(&Value::Null).is_err());
-        assert!(Snapshot::from_value(&Value::map([("root", Value::from(ContextId::new(1)))]))
-            .is_err());
+        assert!(
+            Snapshot::from_value(&Value::map([("root", Value::from(ContextId::new(1)))])).is_err()
+        );
     }
 
     #[test]

@@ -36,7 +36,13 @@ struct LatencyHistogram {
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        Self { count: 0, total_micros: 0, min_micros: 0, max_micros: 0, buckets: [0; 40] }
+        Self {
+            count: 0,
+            total_micros: 0,
+            min_micros: 0,
+            max_micros: 0,
+            buckets: [0; 40],
+        }
     }
 }
 

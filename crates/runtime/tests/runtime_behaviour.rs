@@ -2,6 +2,7 @@
 //! enforcement, read-only concurrency, sub-events, async calls, migration
 //! and snapshots.
 
+use aeon_api::Session;
 use aeon_ownership::{ClassGraph, Dominator};
 use aeon_runtime::{AeonRuntime, ContextObject, Invocation, KvContext, Placement};
 use aeon_types::{args, AeonError, Args, ContextId, Result, Value};
@@ -44,7 +45,10 @@ impl ContextObject for Player {
                 let treasure = self.treasure.ok_or_else(|| AeonError::app("no treasure"))?;
                 inv.call(treasure, "get", args!["gold"])
             }
-            _ => Err(AeonError::UnknownMethod { class: "Player".into(), method: method.into() }),
+            _ => Err(AeonError::UnknownMethod {
+                class: "Player".into(),
+                method: method.into(),
+            }),
         }
     }
 
@@ -63,16 +67,16 @@ fn game_classes() -> ClassGraph {
 
 /// Builds a room with `players` players, each owning a private gold mine and
 /// sharing a single treasure with the room and the other players.
-fn build_room(
-    runtime: &AeonRuntime,
-    players: usize,
-) -> (ContextId, Vec<ContextId>, ContextId) {
+fn build_room(runtime: &AeonRuntime, players: usize) -> (ContextId, Vec<ContextId>, ContextId) {
     let room = runtime
         .create_context(Box::new(KvContext::new("Room")), Placement::Auto)
         .expect("room");
     let treasure = runtime
         .create_owned_context(
-            Box::new(KvContext::with_entries("Item", [("gold", Value::from(0i64))])),
+            Box::new(KvContext::with_entries(
+                "Item",
+                [("gold", Value::from(0i64))],
+            )),
             &[room],
         )
         .expect("treasure");
@@ -80,17 +84,25 @@ fn build_room(
     for _ in 0..players {
         let player = runtime
             .create_owned_context(
-                Box::new(Player { gold_mine: None, treasure: None }),
+                Box::new(Player {
+                    gold_mine: None,
+                    treasure: None,
+                }),
                 &[room],
             )
             .expect("player");
         let mine = runtime
             .create_owned_context(
-                Box::new(KvContext::with_entries("Item", [("gold", Value::from(1000i64))])),
+                Box::new(KvContext::with_entries(
+                    "Item",
+                    [("gold", Value::from(1000i64))],
+                )),
                 &[player],
             )
             .expect("mine");
-        runtime.add_ownership(player, treasure).expect("share treasure");
+        runtime
+            .add_ownership(player, treasure)
+            .expect("share treasure");
         let client = runtime.client();
         client
             .call(player, "set_items", args![mine, treasure])
@@ -103,28 +115,55 @@ fn build_room(
 #[test]
 fn quickstart_counter_works() {
     let runtime = AeonRuntime::builder().servers(2).build().unwrap();
-    let counter =
-        runtime.create_context(Box::new(KvContext::new("Counter")), Placement::Auto).unwrap();
+    let counter = runtime
+        .create_context(Box::new(KvContext::new("Counter")), Placement::Auto)
+        .unwrap();
     let client = runtime.client();
-    assert_eq!(client.call(counter, "incr", args!["hits", 1]).unwrap(), Value::from(1i64));
-    assert_eq!(client.call(counter, "incr", args!["hits", 2]).unwrap(), Value::from(3i64));
-    assert_eq!(client.call_readonly(counter, "get", args!["hits"]).unwrap(), Value::from(3i64));
+    assert_eq!(
+        client.call(counter, "incr", args!["hits", 1]).unwrap(),
+        Value::from(1i64)
+    );
+    assert_eq!(
+        client.call(counter, "incr", args!["hits", 2]).unwrap(),
+        Value::from(3i64)
+    );
+    assert_eq!(
+        client.call_readonly(counter, "get", args!["hits"]).unwrap(),
+        Value::from(3i64)
+    );
     runtime.shutdown();
 }
 
 #[test]
 fn events_spanning_multiple_contexts_are_atomic() {
-    let runtime = AeonRuntime::builder().servers(4).class_graph(game_classes()).build().unwrap();
+    let runtime = AeonRuntime::builder()
+        .servers(4)
+        .class_graph(game_classes())
+        .build()
+        .unwrap();
     let (_room, players, treasure) = build_room(&runtime, 2);
     let client = runtime.client();
-    assert_eq!(client.call(players[0], "get_gold", args![100]).unwrap(), Value::Bool(true));
-    assert_eq!(client.call(players[1], "get_gold", args![50]).unwrap(), Value::Bool(true));
     assert_eq!(
-        client.call_readonly(players[0], "balance", args![]).unwrap(),
+        client.call(players[0], "get_gold", args![100]).unwrap(),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        client.call(players[1], "get_gold", args![50]).unwrap(),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        client
+            .call_readonly(players[0], "balance", args![])
+            .unwrap(),
         Value::from(150i64)
     );
     // Direct read of the shared treasure agrees.
-    assert_eq!(client.call_readonly(treasure, "get", args!["gold"]).unwrap(), Value::from(150i64));
+    assert_eq!(
+        client
+            .call_readonly(treasure, "get", args!["gold"])
+            .unwrap(),
+        Value::from(150i64)
+    );
     runtime.shutdown();
 }
 
@@ -133,7 +172,11 @@ fn concurrent_transfers_preserve_conservation_invariant() {
     // Strict serializability stress test: concurrent get_gold events move
     // gold between contexts; the total amount of gold must be conserved and
     // equal to the sequential outcome.
-    let runtime = AeonRuntime::builder().servers(4).class_graph(game_classes()).build().unwrap();
+    let runtime = AeonRuntime::builder()
+        .servers(4)
+        .class_graph(game_classes())
+        .build()
+        .unwrap();
     let (_room, players, treasure) = build_room(&runtime, 4);
     let client = runtime.client();
     let per_player_events = 25;
@@ -152,7 +195,9 @@ fn concurrent_transfers_preserve_conservation_invariant() {
     assert_eq!(successes, players.len() * per_player_events);
     let total_moved = 10 * successes as i64;
     assert_eq!(
-        client.call_readonly(treasure, "get", args!["gold"]).unwrap(),
+        client
+            .call_readonly(treasure, "get", args!["gold"])
+            .unwrap(),
         Value::from(total_moved)
     );
     // Each mine lost exactly what its player moved.
@@ -166,14 +211,24 @@ fn concurrent_transfers_preserve_conservation_invariant() {
 
 #[test]
 fn dominator_sequencing_matches_paper_example() {
-    let runtime = AeonRuntime::builder().servers(2).class_graph(game_classes()).build().unwrap();
+    let runtime = AeonRuntime::builder()
+        .servers(2)
+        .class_graph(game_classes())
+        .build()
+        .unwrap();
     let (room, players, treasure) = build_room(&runtime, 2);
     // Players share the treasure, so their dominator is the room.
     for &player in &players {
-        assert_eq!(runtime.dominator_of(player).unwrap(), Dominator::Context(room));
+        assert_eq!(
+            runtime.dominator_of(player).unwrap(),
+            Dominator::Context(room)
+        );
     }
     // The treasure itself is a leaf: it is its own dominator.
-    assert_eq!(runtime.dominator_of(treasure).unwrap(), Dominator::Context(treasure));
+    assert_eq!(
+        runtime.dominator_of(treasure).unwrap(),
+        Dominator::Context(treasure)
+    );
     runtime.shutdown();
 }
 
@@ -186,17 +241,28 @@ fn ownership_violations_are_rejected() {
         fn class_name(&self) -> &str {
             "Player"
         }
-        fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        fn handle(
+            &mut self,
+            method: &str,
+            _args: &Args,
+            inv: &mut Invocation<'_>,
+        ) -> Result<Value> {
             match method {
                 "poke_other" => inv.call(self.other, "get", args!["gold"]),
-                _ => Err(AeonError::UnknownMethod { class: "Player".into(), method: method.into() }),
+                _ => Err(AeonError::UnknownMethod {
+                    class: "Player".into(),
+                    method: method.into(),
+                }),
             }
         }
     }
     let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-    let other =
-        runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
-    let rogue = runtime.create_context(Box::new(Rogue { other }), Placement::Auto).unwrap();
+    let other = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
+    let rogue = runtime
+        .create_context(Box::new(Rogue { other }), Placement::Auto)
+        .unwrap();
     let client = runtime.client();
     let err = client.call(rogue, "poke_other", args![]).unwrap_err();
     assert!(matches!(err, AeonError::OwnershipViolation { .. }), "{err}");
@@ -206,7 +272,9 @@ fn ownership_violations_are_rejected() {
 #[test]
 fn readonly_events_cannot_update_state() {
     let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-    let kv = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
+    let kv = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
     let client = runtime.client();
     let err = client.call_readonly(kv, "set", args!["k", 1]).unwrap_err();
     assert!(matches!(err, AeonError::ReadOnlyViolation { .. }), "{err}");
@@ -223,7 +291,12 @@ fn readonly_events_share_a_context_concurrently() {
         fn class_name(&self) -> &str {
             "Reader"
         }
-        fn handle(&mut self, method: &str, _args: &Args, _inv: &mut Invocation<'_>) -> Result<Value> {
+        fn handle(
+            &mut self,
+            method: &str,
+            _args: &Args,
+            _inv: &mut Invocation<'_>,
+        ) -> Result<Value> {
             match method {
                 "read" => {
                     let now = self.concurrent.fetch_add(1, Ordering::SeqCst) + 1;
@@ -255,8 +328,13 @@ fn readonly_events_share_a_context_concurrently() {
         )
         .unwrap();
     let client = runtime.client();
-    let handles: Vec<_> =
-        (0..4).map(|_| client.submit_readonly_event(reader, "read", args![]).unwrap()).collect();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            client
+                .submit_readonly_event(reader, "read", args![])
+                .unwrap()
+        })
+        .collect();
     for h in handles {
         h.wait().unwrap();
     }
@@ -271,7 +349,12 @@ fn async_calls_complete_within_the_event() {
         fn class_name(&self) -> &str {
             "Room"
         }
-        fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        fn handle(
+            &mut self,
+            method: &str,
+            _args: &Args,
+            inv: &mut Invocation<'_>,
+        ) -> Result<Value> {
             match method {
                 "update_time" => {
                     for child in inv.children(Some("Item"))? {
@@ -284,7 +367,9 @@ fn async_calls_complete_within_the_event() {
         }
     }
     let runtime = AeonRuntime::builder().servers(2).build().unwrap();
-    let building = runtime.create_context(Box::new(Building), Placement::Auto).unwrap();
+    let building = runtime
+        .create_context(Box::new(Building), Placement::Auto)
+        .unwrap();
     let mut rooms = Vec::new();
     for _ in 0..5 {
         rooms.push(
@@ -297,7 +382,10 @@ fn async_calls_complete_within_the_event() {
     client.call(building, "update_time", args![]).unwrap();
     // All async updates are visible after the event completed.
     for room in rooms {
-        assert_eq!(client.call_readonly(room, "get", args!["time"]).unwrap(), Value::from(1i64));
+        assert_eq!(
+            client.call_readonly(room, "get", args!["time"]).unwrap(),
+            Value::from(1i64)
+        );
     }
     assert_eq!(runtime.stats().async_calls(), 5);
     runtime.shutdown();
@@ -312,7 +400,12 @@ fn sub_events_run_after_their_creator() {
         fn class_name(&self) -> &str {
             "Room"
         }
-        fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        fn handle(
+            &mut self,
+            method: &str,
+            _args: &Args,
+            inv: &mut Invocation<'_>,
+        ) -> Result<Value> {
             match method {
                 "go" => {
                     inv.dispatch_event(self.child, "incr", args!["sub", 1])?;
@@ -326,12 +419,20 @@ fn sub_events_run_after_their_creator() {
         }
     }
     let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-    let child = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
-    let spawner = runtime.create_context(Box::new(Spawner { child }), Placement::Auto).unwrap();
+    let child = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
+    let spawner = runtime
+        .create_context(Box::new(Spawner { child }), Placement::Auto)
+        .unwrap();
     runtime.add_ownership(spawner, child).unwrap();
     let client = runtime.client();
     let during = client.call(spawner, "go", args![]).unwrap();
-    assert_eq!(during, Value::Null, "sub-event effects are invisible to the creator");
+    assert_eq!(
+        during,
+        Value::Null,
+        "sub-event effects are invisible to the creator"
+    );
     // Eventually the sub-event applies.
     let mut value = Value::Null;
     for _ in 0..100 {
@@ -353,7 +454,12 @@ fn create_child_from_within_an_event() {
         fn class_name(&self) -> &str {
             "Room"
         }
-        fn handle(&mut self, method: &str, _args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+        fn handle(
+            &mut self,
+            method: &str,
+            _args: &Args,
+            inv: &mut Invocation<'_>,
+        ) -> Result<Value> {
             match method {
                 "spawn_item" => {
                     let item = inv.create_child(Box::new(KvContext::new("Item")))?;
@@ -364,14 +470,34 @@ fn create_child_from_within_an_event() {
             }
         }
     }
-    let runtime = AeonRuntime::builder().servers(2).class_graph(game_classes()).build().unwrap();
-    let room = runtime.create_context(Box::new(Factory), Placement::Auto).unwrap();
+    let runtime = AeonRuntime::builder()
+        .servers(2)
+        .class_graph(game_classes())
+        .build()
+        .unwrap();
+    let room = runtime
+        .create_context(Box::new(Factory), Placement::Auto)
+        .unwrap();
     let client = runtime.client();
-    let item = client.call(room, "spawn_item", args![]).unwrap().as_context().unwrap();
+    let item = client
+        .call(room, "spawn_item", args![])
+        .unwrap()
+        .as_context()
+        .unwrap();
     // The new item is owned by the room and co-located with it.
-    assert!(runtime.ownership_graph().children(room).unwrap().contains(&item));
-    assert_eq!(runtime.placement_of(item).unwrap(), runtime.placement_of(room).unwrap());
-    assert_eq!(client.call_readonly(item, "get", args!["kind"]).unwrap(), Value::from("sword"));
+    assert!(runtime
+        .ownership_graph()
+        .children(room)
+        .unwrap()
+        .contains(&item));
+    assert_eq!(
+        runtime.placement_of(item).unwrap(),
+        runtime.placement_of(room).unwrap()
+    );
+    assert_eq!(
+        client.call_readonly(item, "get", args!["kind"]).unwrap(),
+        Value::from("sword")
+    );
     runtime.shutdown();
 }
 
@@ -387,7 +513,10 @@ fn migration_preserves_state_and_placement() {
         }),
     );
     let item = runtime
-        .create_context(Box::new(KvContext::new("Item")), Placement::Server(runtime.servers()[0]))
+        .create_context(
+            Box::new(KvContext::new("Item")),
+            Placement::Server(runtime.servers()[0]),
+        )
         .unwrap();
     let client = runtime.client();
     client.call(item, "set", args!["gold", 77]).unwrap();
@@ -397,7 +526,10 @@ fn migration_preserves_state_and_placement() {
     assert!(moved_bytes > 0);
     assert_eq!(runtime.placement_of(item).unwrap(), to);
     // State survived the serialise/rebuild round trip.
-    assert_eq!(client.call_readonly(item, "get", args!["gold"]).unwrap(), Value::from(77i64));
+    assert_eq!(
+        client.call_readonly(item, "get", args!["gold"]).unwrap(),
+        Value::from(77i64)
+    );
     assert_eq!(runtime.stats().migrations(), 1);
     runtime.shutdown();
 }
@@ -405,16 +537,21 @@ fn migration_preserves_state_and_placement() {
 #[test]
 fn migration_waits_for_inflight_events() {
     let runtime = AeonRuntime::builder().servers(2).build().unwrap();
-    let item = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
+    let item = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
     let client = runtime.client();
     // Pound the context with updates from several threads while migrating it
     // back and forth; no update may be lost.
     let updates = 200;
-    let handles: Vec<_> =
-        (0..updates).map(|_| client.submit_event(item, "incr", args!["n", 1]).unwrap()).collect();
+    let handles: Vec<_> = (0..updates)
+        .map(|_| client.submit_event(item, "incr", args!["n", 1]).unwrap())
+        .collect();
     let servers = runtime.servers();
     for i in 0..6 {
-        runtime.migrate_context(item, servers[i % servers.len()]).unwrap();
+        runtime
+            .migrate_context(item, servers[i % servers.len()])
+            .unwrap();
     }
     for h in handles {
         h.wait().unwrap();
@@ -429,7 +566,9 @@ fn migration_waits_for_inflight_events() {
 #[test]
 fn snapshot_and_restore_round_trip() {
     let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-    let room = runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto).unwrap();
+    let room = runtime
+        .create_context(Box::new(KvContext::new("Room")), Placement::Auto)
+        .unwrap();
     let item = runtime
         .create_owned_context(Box::new(KvContext::new("Item")), &[room])
         .unwrap();
@@ -442,15 +581,27 @@ fn snapshot_and_restore_round_trip() {
     client.call(room, "set", args!["name", "ruins"]).unwrap();
     client.call(item, "set", args!["gold", 0]).unwrap();
     runtime.restore_snapshot(&snapshot).unwrap();
-    assert_eq!(client.call_readonly(room, "get", args!["name"]).unwrap(), Value::from("castle"));
-    assert_eq!(client.call_readonly(item, "get", args!["gold"]).unwrap(), Value::from(42i64));
+    assert_eq!(
+        client.call_readonly(room, "get", args!["name"]).unwrap(),
+        Value::from("castle")
+    );
+    assert_eq!(
+        client.call_readonly(item, "get", args!["gold"]).unwrap(),
+        Value::from(42i64)
+    );
     runtime.shutdown();
 }
 
 #[test]
 fn class_constraints_are_enforced_at_creation() {
-    let runtime = AeonRuntime::builder().servers(1).class_graph(game_classes()).build().unwrap();
-    let item = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
+    let runtime = AeonRuntime::builder()
+        .servers(1)
+        .class_graph(game_classes())
+        .build()
+        .unwrap();
+    let item = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
     // An Item may not own a Player.
     let err = runtime
         .create_owned_context(Box::new(KvContext::new("Player")), &[item])
@@ -474,7 +625,9 @@ fn server_management_and_placement() {
     let mut created = Vec::new();
     for _ in 0..8 {
         created.push(
-            runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap(),
+            runtime
+                .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+                .unwrap(),
         );
     }
     for server in runtime.servers() {
@@ -495,10 +648,15 @@ fn server_management_and_placement() {
 #[test]
 fn shutdown_rejects_new_events() {
     let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-    let kv = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
+    let kv = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
     let client = runtime.client();
     runtime.shutdown();
-    assert!(matches!(client.call(kv, "get", args!["k"]), Err(AeonError::RuntimeShutdown)));
+    assert!(matches!(
+        client.call(kv, "get", args!["k"]),
+        Err(AeonError::RuntimeShutdown)
+    ));
 }
 
 #[test]
@@ -509,7 +667,9 @@ fn unknown_target_and_method_errors() {
         client.call(ContextId::new(4242), "get", args![]),
         Err(AeonError::ContextNotFound(_))
     ));
-    let kv = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
+    let kv = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
     assert!(matches!(
         client.call(kv, "no_such_method", args![]),
         Err(AeonError::UnknownMethod { .. })
@@ -520,7 +680,9 @@ fn unknown_target_and_method_errors() {
 #[test]
 fn latency_statistics_are_recorded() {
     let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-    let kv = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto).unwrap();
+    let kv = runtime
+        .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+        .unwrap();
     let client = runtime.client();
     for _ in 0..10 {
         client.call(kv, "incr", args!["n", 1]).unwrap();

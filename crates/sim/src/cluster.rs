@@ -83,7 +83,10 @@ impl SimCluster {
 
     /// The server hosting `context` (defaults to server 0 when unplaced).
     pub fn server_of(&self, context: ContextId) -> ServerId {
-        self.placement.get(&context).copied().unwrap_or(ServerId::new(0))
+        self.placement
+            .get(&context)
+            .copied()
+            .unwrap_or(ServerId::new(0))
     }
 
     /// Draws a one-way network latency sample.
@@ -125,7 +128,11 @@ impl SimCluster {
         if self.cpus.is_empty() {
             return 0.0;
         }
-        self.cpus.iter().map(|c| c.utilisation(horizon)).sum::<f64>() / self.cpus.len() as f64
+        self.cpus
+            .iter()
+            .map(|c| c.utilisation(horizon))
+            .sum::<f64>()
+            / self.cpus.len() as f64
     }
 }
 
@@ -153,7 +160,10 @@ mod tests {
     #[test]
     fn cpu_overhead_scales_service_times() {
         let cluster = SimCluster::new(1, 1).with_cpu_overhead(2.0);
-        assert_eq!(cluster.scaled_cpu(SimDuration::from_millis(3)), SimDuration::from_millis(6));
+        assert_eq!(
+            cluster.scaled_cpu(SimDuration::from_millis(3)),
+            SimDuration::from_millis(6)
+        );
     }
 
     #[test]

@@ -1,0 +1,932 @@
+//! The deterministic virtual-time deployment backend.
+//!
+//! [`SimDeployment`] implements the `aeon-api` `Deployment`/`Session`
+//! traits over a single-threaded, virtual-time execution engine: events
+//! execute inline at submission, one at a time, which makes every run
+//! trivially strictly serializable and bit-for-bit reproducible — the
+//! property the evaluation harness needs.  Each event is charged virtual
+//! time (network hops between the client and the servers it traverses plus
+//! a per-method service time), so workload drivers written against the
+//! unified API can read the same kind of latency/throughput signals the
+//! timeline simulator ([`crate::Simulator`]) produces, while executing the
+//! *real* contextclass code.
+//!
+//! The deterministic engine and the distributed cluster thereby bracket the
+//! in-process runtime: same applications, same API, three execution
+//! substrates.
+
+use aeon_api::{Deployment, EventHandle, Session};
+use aeon_ownership::{ClassGraph, OwnershipGraph};
+use aeon_runtime::{
+    ContextFactory, ContextObject, Invocation, InvocationHost, Placement, Snapshot, SubEvent,
+};
+use aeon_types::{
+    codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
+    ServerId, SimDuration, SimTime, Value,
+};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Builder for [`SimDeployment`].
+#[derive(Debug)]
+pub struct SimDeploymentBuilder {
+    servers: usize,
+    class_graph: Option<ClassGraph>,
+    service: SimDuration,
+    hop: SimDuration,
+}
+
+impl Default for SimDeploymentBuilder {
+    fn default() -> Self {
+        Self {
+            servers: 1,
+            class_graph: None,
+            service: SimDuration::from_micros(100),
+            hop: SimDuration::from_micros(200),
+        }
+    }
+}
+
+impl SimDeploymentBuilder {
+    /// Sets the number of virtual servers.
+    #[must_use]
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.servers = servers;
+        self
+    }
+
+    /// Installs a contextclass constraint graph; the static analysis runs
+    /// at build time.
+    #[must_use]
+    pub fn class_graph(mut self, classes: ClassGraph) -> Self {
+        self.class_graph = Some(classes);
+        self
+    }
+
+    /// Sets the virtual CPU time charged per method execution.
+    #[must_use]
+    pub fn service_time(mut self, service: SimDuration) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Sets the virtual one-way network latency between servers.
+    #[must_use]
+    pub fn network_hop(mut self, hop: SimDuration) -> Self {
+        self.hop = hop;
+        self
+    }
+
+    /// Builds the deployment.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::Config`] when `servers` is zero.
+    /// * [`AeonError::ClassCycleDetected`] when the class graph fails the
+    ///   static analysis.
+    pub fn build(self) -> Result<SimDeployment> {
+        if self.servers == 0 {
+            return Err(AeonError::Config("at least one server is required".into()));
+        }
+        if let Some(classes) = &self.class_graph {
+            classes.check()?;
+        }
+        let mut servers = BTreeMap::new();
+        for raw in 0..self.servers {
+            servers.insert(ServerId::new(raw as u32), true);
+        }
+        let state = SimState {
+            graph: OwnershipGraph::new(),
+            class_graph: self.class_graph,
+            contexts: HashMap::new(),
+            placement: HashMap::new(),
+            servers,
+            next_server: self.servers as u32,
+            factories: HashMap::new(),
+            ids: IdGenerator::starting_at(1),
+            clock: SimTime::ZERO,
+            service: self.service,
+            hop: self.hop,
+            events_completed: 0,
+            events_failed: 0,
+            total_latency: SimDuration::ZERO,
+            shutdown: false,
+        };
+        Ok(SimDeployment {
+            inner: Arc::new(Mutex::new(state)),
+        })
+    }
+}
+
+/// A context object behind its own lock, so handlers can borrow the engine
+/// state mutably while the object executes.
+type SharedObject = Arc<Mutex<Box<dyn ContextObject>>>;
+
+/// A context hosted by the deterministic engine.
+struct SimSlot {
+    class: String,
+    object: SharedObject,
+}
+
+/// The whole mutable state of the deterministic deployment, behind one
+/// lock: execution is single-threaded by construction, which is what makes
+/// it deterministic.
+struct SimState {
+    graph: OwnershipGraph,
+    class_graph: Option<ClassGraph>,
+    contexts: HashMap<ContextId, SimSlot>,
+    placement: HashMap<ContextId, ServerId>,
+    servers: BTreeMap<ServerId, bool>,
+    next_server: u32,
+    factories: HashMap<String, ContextFactory>,
+    ids: IdGenerator,
+    clock: SimTime,
+    service: SimDuration,
+    hop: SimDuration,
+    events_completed: u64,
+    events_failed: u64,
+    total_latency: SimDuration,
+    shutdown: bool,
+}
+
+impl SimState {
+    fn slot(&self, id: ContextId) -> Result<(SharedObject, ServerId)> {
+        let slot = self
+            .contexts
+            .get(&id)
+            .ok_or(AeonError::ContextNotFound(id))?;
+        let server = self.placement.get(&id).copied().unwrap_or(ServerId::new(0));
+        Ok((Arc::clone(&slot.object), server))
+    }
+
+    fn online(&self, server: ServerId) -> bool {
+        self.servers.get(&server).copied().unwrap_or(false)
+    }
+
+    fn pick_server(&self, placement: Placement) -> Result<ServerId> {
+        match placement {
+            Placement::Server(server) if self.online(server) => Ok(server),
+            Placement::Server(server) => Err(AeonError::ServerNotFound(server)),
+            Placement::WithContext(other) => {
+                let server = self
+                    .placement
+                    .get(&other)
+                    .copied()
+                    .ok_or(AeonError::ContextNotFound(other))?;
+                // The co-location target may sit on a crashed server; never
+                // place new contexts there.
+                if self.online(server) {
+                    Ok(server)
+                } else {
+                    Err(AeonError::ServerNotFound(server))
+                }
+            }
+            Placement::Auto => {
+                let mut load: BTreeMap<ServerId, usize> = self
+                    .servers
+                    .iter()
+                    .filter(|(_, online)| **online)
+                    .map(|(id, _)| (*id, 0))
+                    .collect();
+                for server in self.placement.values() {
+                    if let Some(count) = load.get_mut(server) {
+                        *count += 1;
+                    }
+                }
+                load.into_iter()
+                    .min_by_key(|(id, count)| (*count, id.raw()))
+                    .map(|(id, _)| id)
+                    .ok_or_else(|| AeonError::Config("no online servers".into()))
+            }
+        }
+    }
+
+    fn check_constraint(&self, owner: ContextId, owned_class: &str) -> Result<()> {
+        if let Some(classes) = &self.class_graph {
+            let owner_class = self.graph.class_of(owner)?;
+            if !classes.allows(owner_class, owned_class) {
+                return Err(AeonError::OwnershipViolation {
+                    caller: owner,
+                    callee: ContextId::new(u64::MAX),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one event (plus its deferred `async` calls) and charges its
+    /// virtual time; sub-events dispatched from within it run afterwards,
+    /// exactly like on the other backends.
+    fn run_event(
+        &mut self,
+        client: Option<ClientId>,
+        target: ContextId,
+        method: &str,
+        args: &Args,
+        mode: AccessMode,
+    ) -> (EventId, Result<Value>) {
+        let event = EventId::new(self.ids.next_raw());
+        let entry_server = self
+            .placement
+            .get(&target)
+            .copied()
+            .unwrap_or(ServerId::new(0));
+        let mut execution = SimExecution {
+            state: self,
+            event,
+            client,
+            mode,
+            call_stack: Vec::new(),
+            pending_async: VecDeque::new(),
+            sub_events: Vec::new(),
+            current_server: entry_server,
+            cost: SimDuration::ZERO,
+        };
+        let mut result = execution.invoke(None, target, method, args);
+        while let Some((caller, async_target, async_method, async_args)) =
+            execution.pending_async.pop_front()
+        {
+            let r = execution.invoke(Some(caller), async_target, &async_method, &async_args);
+            if result.is_ok() {
+                if let Err(e) = r {
+                    result = Err(e);
+                }
+            }
+        }
+        let sub_events = std::mem::take(&mut execution.sub_events);
+        let cost = execution.cost;
+        // Client -> entry server and reply hops bracket the execution.
+        let latency = self.hop + cost + self.hop;
+        self.clock += latency;
+        self.total_latency += latency;
+        if result.is_ok() {
+            self.events_completed += 1;
+        } else {
+            self.events_failed += 1;
+        }
+        if result.is_ok() {
+            for sub in sub_events {
+                let _ = self.run_event(client, sub.target, &sub.method, &sub.args, sub.mode);
+            }
+        }
+        (event, result)
+    }
+}
+
+/// The in-flight state of one simulated event; implements the same
+/// [`InvocationHost`] contract as the concurrent and distributed engines,
+/// so contextclass code cannot tell the backends apart.
+struct SimExecution<'a> {
+    state: &'a mut SimState,
+    event: EventId,
+    client: Option<ClientId>,
+    mode: AccessMode,
+    call_stack: Vec<ContextId>,
+    pending_async: VecDeque<(ContextId, ContextId, String, Args)>,
+    sub_events: Vec<SubEvent>,
+    current_server: ServerId,
+    cost: SimDuration,
+}
+
+impl SimExecution<'_> {
+    fn invoke(
+        &mut self,
+        caller: Option<ContextId>,
+        target: ContextId,
+        method: &str,
+        args: &Args,
+    ) -> Result<Value> {
+        if let Some(caller) = caller {
+            if !self.state.graph.may_call(caller, target) {
+                return Err(AeonError::OwnershipViolation {
+                    caller,
+                    callee: target,
+                });
+            }
+        }
+        if self.call_stack.contains(&target) {
+            return Err(AeonError::internal(format!(
+                "re-entrant call into context {target} within event {}",
+                self.event
+            )));
+        }
+        let (object, server) = self.state.slot(target)?;
+        if server != self.current_server {
+            self.cost += self.state.hop;
+            self.current_server = server;
+        }
+        self.cost += self.state.service;
+        self.call_stack.push(target);
+        let outcome = {
+            let mut object = object.lock();
+            if self.mode.is_read_only() && !object.is_readonly(method) {
+                Err(AeonError::ReadOnlyViolation {
+                    context: target,
+                    method: method.to_string(),
+                })
+            } else {
+                let mut invocation = Invocation::new(self, target);
+                object.handle(method, args, &mut invocation)
+            }
+        };
+        self.call_stack.pop();
+        outcome
+    }
+}
+
+impl InvocationHost for SimExecution<'_> {
+    fn event_id(&self) -> EventId {
+        self.event
+    }
+
+    fn client(&self) -> Option<ClientId> {
+        self.client
+    }
+
+    fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    fn call(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<Value> {
+        self.invoke(Some(caller), target, method, &args)
+    }
+
+    fn call_async(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        args: Args,
+    ) -> Result<()> {
+        if !self.state.graph.may_call(caller, target) {
+            return Err(AeonError::OwnershipViolation {
+                caller,
+                callee: target,
+            });
+        }
+        self.pending_async
+            .push_back((caller, target, method.to_string(), args));
+        Ok(())
+    }
+
+    fn dispatch_event(
+        &mut self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<()> {
+        self.sub_events.push(SubEvent {
+            target,
+            method: method.to_string(),
+            args,
+            mode,
+        });
+        Ok(())
+    }
+
+    fn create_child(
+        &mut self,
+        owner: ContextId,
+        object: Box<dyn ContextObject>,
+    ) -> Result<ContextId> {
+        let class = object.class_name().to_string();
+        self.state.check_constraint(owner, &class)?;
+        let id = ContextId::new(self.state.ids.next_raw());
+        self.state.graph.add_context(id, &class)?;
+        self.state.graph.add_edge(owner, id)?;
+        let server = self
+            .state
+            .placement
+            .get(&owner)
+            .copied()
+            .unwrap_or(ServerId::new(0));
+        self.state.contexts.insert(
+            id,
+            SimSlot {
+                class,
+                object: Arc::new(Mutex::new(object)),
+            },
+        );
+        self.state.placement.insert(id, server);
+        Ok(id)
+    }
+
+    fn add_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()> {
+        if let Some(classes) = &self.state.class_graph {
+            let owner_class = self.state.graph.class_of(owner)?;
+            let owned_class = self.state.graph.class_of(owned)?;
+            if !classes.allows(owner_class, owned_class) {
+                return Err(AeonError::OwnershipViolation {
+                    caller: owner,
+                    callee: owned,
+                });
+            }
+        }
+        self.state.graph.add_edge(owner, owned)
+    }
+
+    fn remove_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.state.graph.remove_edge(owner, owned)
+    }
+
+    fn children(&self, parent: ContextId, class: Option<&str>) -> Result<Vec<ContextId>> {
+        let children = self.state.graph.children(parent)?;
+        let mut out = Vec::with_capacity(children.len());
+        for &child in children {
+            if class.is_none_or(|cls| {
+                self.state
+                    .graph
+                    .class_of(child)
+                    .map(|k| k == cls)
+                    .unwrap_or(false)
+            }) {
+                out.push(child);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The deterministic virtual-time deployment: the third execution backend
+/// of the unified API, next to `AeonRuntime` and `Cluster`.
+///
+/// Cloning the handle is cheap and all clones drive the same deployment.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_api::{Deployment, Session};
+/// use aeon_runtime::KvContext;
+/// use aeon_sim::SimDeployment;
+/// use aeon_types::{args, Value};
+///
+/// # fn main() -> aeon_types::Result<()> {
+/// let sim = SimDeployment::builder().servers(4).build()?;
+/// let item = sim.create_context(Box::new(KvContext::new("Item")), aeon_api::Placement::Auto)?;
+/// let session = sim.session();
+/// session.call(item, "incr", args!["gold", 3])?;
+/// assert_eq!(session.call_readonly(item, "get", args!["gold"])?, Value::from(3i64));
+/// assert!(sim.virtual_now() > aeon_types::SimTime::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct SimDeployment {
+    inner: Arc<Mutex<SimState>>,
+}
+
+impl std::fmt::Debug for SimDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.lock();
+        f.debug_struct("SimDeployment")
+            .field("contexts", &state.contexts.len())
+            .field("clock", &state.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimDeployment {
+    /// Starts building a deterministic deployment.
+    pub fn builder() -> SimDeploymentBuilder {
+        SimDeploymentBuilder::default()
+    }
+
+    /// Opens a session (concrete type; the trait method boxes it).
+    pub fn client(&self) -> SimSession {
+        let id = ClientId::new(self.inner.lock().ids.next_raw());
+        SimSession {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
+    }
+
+    /// The current virtual time: the sum of the virtual latencies of every
+    /// event executed so far.
+    pub fn virtual_now(&self) -> SimTime {
+        self.inner.lock().clock
+    }
+
+    /// Number of events that completed successfully.
+    pub fn events_completed(&self) -> u64 {
+        self.inner.lock().events_completed
+    }
+
+    /// Number of events that failed.
+    pub fn events_failed(&self) -> u64 {
+        self.inner.lock().events_failed
+    }
+
+    /// Mean virtual latency per event, or zero before the first event.
+    pub fn mean_virtual_latency(&self) -> SimDuration {
+        let state = self.inner.lock();
+        let events = state.events_completed + state.events_failed;
+        SimDuration::from_micros(
+            state
+                .total_latency
+                .as_micros()
+                .checked_div(events)
+                .unwrap_or(0),
+        )
+    }
+}
+
+/// A client session on a [`SimDeployment`]; events execute inline at
+/// submission, in submission order.
+#[derive(Clone)]
+pub struct SimSession {
+    inner: Arc<Mutex<SimState>>,
+    id: ClientId,
+}
+
+impl std::fmt::Debug for SimSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSession").field("id", &self.id).finish()
+    }
+}
+
+impl Session for SimSession {
+    fn client_id(&self) -> ClientId {
+        self.id
+    }
+
+    fn submit_with_mode(
+        &self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<EventHandle> {
+        let mut state = self.inner.lock();
+        if state.shutdown {
+            return Err(AeonError::RuntimeShutdown);
+        }
+        if !state.contexts.contains_key(&target) {
+            return Err(AeonError::ContextNotFound(target));
+        }
+        let (event, result) = state.run_event(Some(self.id), target, method, &args, mode);
+        Ok(EventHandle::ready(event, result))
+    }
+}
+
+impl Deployment for SimDeployment {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn create_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        placement: Placement,
+    ) -> Result<ContextId> {
+        let mut state = self.inner.lock();
+        let class = object.class_name().to_string();
+        if let Some(classes) = &state.class_graph {
+            if !classes.contains(&class) {
+                return Err(AeonError::Config(format!(
+                    "contextclass {class} is not declared in the class graph"
+                )));
+            }
+        }
+        let server = state.pick_server(placement)?;
+        let id = ContextId::new(state.ids.next_raw());
+        state.graph.add_context(id, &class)?;
+        state.contexts.insert(
+            id,
+            SimSlot {
+                class,
+                object: Arc::new(Mutex::new(object)),
+            },
+        );
+        state.placement.insert(id, server);
+        Ok(id)
+    }
+
+    fn create_owned_context(
+        &self,
+        object: Box<dyn ContextObject>,
+        owners: &[ContextId],
+    ) -> Result<ContextId> {
+        if owners.is_empty() {
+            return Err(AeonError::Config(
+                "create_owned_context requires at least one owner".into(),
+            ));
+        }
+        let mut state = self.inner.lock();
+        let class = object.class_name().to_string();
+        for owner in owners {
+            state.check_constraint(*owner, &class)?;
+        }
+        let server = state.pick_server(Placement::WithContext(owners[0]))?;
+        let id = ContextId::new(state.ids.next_raw());
+        state.graph.add_context(id, &class)?;
+        for owner in owners {
+            if let Err(e) = state.graph.add_edge(*owner, id) {
+                let _ = state.graph.remove_context(id);
+                return Err(e);
+            }
+        }
+        state.contexts.insert(
+            id,
+            SimSlot {
+                class,
+                object: Arc::new(Mutex::new(object)),
+            },
+        );
+        state.placement.insert(id, server);
+        Ok(id)
+    }
+
+    fn register_class_factory(&self, class: &str, factory: ContextFactory) {
+        self.inner
+            .lock()
+            .factories
+            .insert(class.to_string(), factory);
+    }
+
+    fn add_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        let mut state = self.inner.lock();
+        if let Some(classes) = &state.class_graph {
+            let owner_class = state.graph.class_of(owner)?;
+            let owned_class = state.graph.class_of(owned)?;
+            if !classes.allows(owner_class, owned_class) {
+                return Err(AeonError::OwnershipViolation {
+                    caller: owner,
+                    callee: owned,
+                });
+            }
+        }
+        state.graph.add_edge(owner, owned)
+    }
+
+    fn remove_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
+        self.inner.lock().graph.remove_edge(owner, owned)
+    }
+
+    fn ownership_graph(&self) -> OwnershipGraph {
+        self.inner.lock().graph.clone()
+    }
+
+    fn session(&self) -> Box<dyn Session> {
+        Box::new(self.client())
+    }
+
+    fn migrate_context(&self, context: ContextId, to_server: ServerId) -> Result<u64> {
+        let mut state = self.inner.lock();
+        if !state.online(to_server) {
+            return Err(AeonError::ServerNotFound(to_server));
+        }
+        let slot = state
+            .contexts
+            .get(&context)
+            .ok_or(AeonError::ContextNotFound(context))?;
+        let object = Arc::clone(&slot.object);
+        let class = slot.class.clone();
+        let moved = {
+            let mut object = object.lock();
+            let snapshot = object.snapshot();
+            let bytes = codec::encode(&snapshot).len() as u64;
+            if let Some(factory) = state.factories.get(&class) {
+                *object = factory(&snapshot);
+            }
+            bytes
+        };
+        state.placement.insert(context, to_server);
+        // A migration costs one network round trip of virtual time.
+        let hop = state.hop;
+        state.clock += hop + hop;
+        Ok(moved)
+    }
+
+    fn add_server(&self) -> ServerId {
+        let mut state = self.inner.lock();
+        let id = ServerId::new(state.next_server);
+        state.next_server += 1;
+        state.servers.insert(id, true);
+        id
+    }
+
+    fn crash_server(&self, server: ServerId) -> Result<()> {
+        let mut state = self.inner.lock();
+        match state.servers.get_mut(&server) {
+            Some(online) => *online = false,
+            None => return Err(AeonError::ServerNotFound(server)),
+        }
+        let hosted: Vec<ContextId> = state
+            .placement
+            .iter()
+            .filter(|(_, s)| **s == server)
+            .map(|(c, _)| *c)
+            .collect();
+        for context in hosted {
+            state.contexts.remove(&context);
+        }
+        Ok(())
+    }
+
+    fn servers(&self) -> Vec<ServerId> {
+        self.inner
+            .lock()
+            .servers
+            .iter()
+            .filter(|(_, online)| **online)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    fn placement_of(&self, context: ContextId) -> Result<ServerId> {
+        self.inner
+            .lock()
+            .placement
+            .get(&context)
+            .copied()
+            .ok_or(AeonError::ContextNotFound(context))
+    }
+
+    fn contexts_on(&self, server: ServerId) -> Vec<ContextId> {
+        let state = self.inner.lock();
+        let mut out: Vec<ContextId> = state
+            .placement
+            .iter()
+            .filter(|(_, s)| **s == server)
+            .map(|(c, _)| *c)
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn snapshot_context(&self, root: ContextId) -> Result<Snapshot> {
+        let state = self.inner.lock();
+        let mut members = vec![root];
+        members.extend(state.graph.descendants(root)?);
+        let mut snapshot = Snapshot::new(root);
+        for member in members {
+            let slot = state
+                .contexts
+                .get(&member)
+                .ok_or(AeonError::ContextNotFound(member))?;
+            let captured = slot.object.lock().snapshot();
+            if !captured.is_null() {
+                snapshot.insert(member, slot.class.clone(), captured);
+            }
+        }
+        Ok(snapshot)
+    }
+
+    fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
+        let state = self.inner.lock();
+        for (id, entry) in snapshot.entries() {
+            let slot = state
+                .contexts
+                .get(id)
+                .ok_or(AeonError::ContextNotFound(*id))?;
+            slot.object.lock().restore(&entry.state);
+        }
+        Ok(())
+    }
+
+    fn restore_context(
+        &self,
+        context: ContextId,
+        state_value: &Value,
+        server: ServerId,
+    ) -> Result<()> {
+        let mut state = self.inner.lock();
+        if !state.online(server) {
+            return Err(AeonError::ServerNotFound(server));
+        }
+        let class = state.graph.class_of(context)?.to_string();
+        let factory =
+            state
+                .factories
+                .get(&class)
+                .cloned()
+                .ok_or_else(|| AeonError::MigrationFailed {
+                    context,
+                    reason: format!("no factory registered for class {class}"),
+                })?;
+        let object = factory(state_value);
+        state.contexts.insert(
+            context,
+            SimSlot {
+                class,
+                object: Arc::new(Mutex::new(object)),
+            },
+        );
+        state.placement.insert(context, server);
+        Ok(())
+    }
+
+    fn shutdown(&self) {
+        self.inner.lock().shutdown = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_runtime::KvContext;
+    use aeon_types::args;
+
+    #[test]
+    fn events_execute_inline_and_charge_virtual_time() {
+        let sim = SimDeployment::builder().servers(2).build().unwrap();
+        let item = sim
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        let session = sim.client();
+        assert_eq!(
+            session.call(item, "incr", args!["n", 5]).unwrap(),
+            Value::from(5i64)
+        );
+        assert_eq!(sim.events_completed(), 1);
+        let after_one = sim.virtual_now();
+        assert!(after_one > SimTime::ZERO);
+        session.call(item, "incr", args!["n", 1]).unwrap();
+        assert!(sim.virtual_now() > after_one);
+        assert!(sim.mean_virtual_latency() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn readonly_and_unknown_method_semantics_match_the_runtime() {
+        let sim = SimDeployment::builder().build().unwrap();
+        let item = sim
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        let session = sim.client();
+        assert!(matches!(
+            session.call_readonly(item, "incr", args!["n", 1]),
+            Err(AeonError::ReadOnlyViolation { .. })
+        ));
+        assert!(matches!(
+            session.call(item, "bogus", args![]),
+            Err(AeonError::UnknownMethod { .. })
+        ));
+        assert_eq!(sim.events_failed(), 2);
+    }
+
+    #[test]
+    fn migration_and_placement_are_tracked() {
+        let sim = SimDeployment::builder().servers(3).build().unwrap();
+        sim.register_class_factory(
+            "Item",
+            Arc::new(|state: &Value| {
+                let mut item = KvContext::new("Item");
+                ContextObject::restore(&mut item, state);
+                Box::new(item) as Box<dyn ContextObject>
+            }),
+        );
+        let item = sim
+            .create_context(
+                Box::new(KvContext::new("Item")),
+                Placement::Server(ServerId::new(0)),
+            )
+            .unwrap();
+        let session = sim.client();
+        session.call(item, "set", args!["gold", 7]).unwrap();
+        let moved = sim.migrate_context(item, ServerId::new(2)).unwrap();
+        assert!(moved > 0);
+        assert_eq!(sim.placement_of(item).unwrap(), ServerId::new(2));
+        assert_eq!(
+            session.call_readonly(item, "get", args!["gold"]).unwrap(),
+            Value::from(7i64)
+        );
+    }
+
+    #[test]
+    fn crash_and_restore_round_trip() {
+        let sim = SimDeployment::builder().servers(2).build().unwrap();
+        sim.register_class_factory(
+            "Item",
+            Arc::new(|state: &Value| {
+                let mut item = KvContext::new("Item");
+                ContextObject::restore(&mut item, state);
+                Box::new(item) as Box<dyn ContextObject>
+            }),
+        );
+        let item = sim
+            .create_context(
+                Box::new(KvContext::new("Item")),
+                Placement::Server(ServerId::new(1)),
+            )
+            .unwrap();
+        let session = sim.client();
+        session.call(item, "set", args!["gold", 3]).unwrap();
+        let snapshot = sim.snapshot_context(item).unwrap();
+        sim.crash_server(ServerId::new(1)).unwrap();
+        assert!(session.call_readonly(item, "get", args!["gold"]).is_err());
+        let state = &snapshot.get(item).unwrap().state;
+        sim.restore_context(item, state, ServerId::new(0)).unwrap();
+        assert_eq!(
+            session.call_readonly(item, "get", args!["gold"]).unwrap(),
+            Value::from(3i64)
+        );
+    }
+}

@@ -114,8 +114,11 @@ impl ElasticOutcome {
         // Weight rounds by the number of clients (proportional to request
         // volume).
         let total: f64 = self.rounds.iter().map(|r| r.clients as f64).sum();
-        let violating: f64 =
-            self.rounds.iter().map(|r| r.violations * r.clients as f64).sum();
+        let violating: f64 = self
+            .rounds
+            .iter()
+            .map(|r| r.violations * r.clients as f64)
+            .sum();
         100.0 * violating / total
     }
 
@@ -137,12 +140,20 @@ pub fn run_elastic(config: &ElasticConfig, setup: ElasticSetup) -> ElasticOutcom
     let simulator = Simulator::new();
     let mut rounds = Vec::with_capacity(config.rounds);
     let mut pending_migration_pause = false;
-    for (i, &clients) in config.clients_per_round.iter().enumerate().take(config.rounds) {
+    for (i, &clients) in config
+        .clients_per_round
+        .iter()
+        .enumerate()
+        .take(config.rounds)
+    {
         let start = SimTime::from_micros(i as u64 * config.round.as_micros());
         // Build the round's cluster: rooms spread round-robin over servers.
         // One core per server (the experiment runs on m1.small instances).
         let mut cluster = SimCluster::new(servers, 1)
-            .with_latency(LatencyModel::BaseplusExp { base_micros: 300, mean_tail_micros: 120 })
+            .with_latency(LatencyModel::BaseplusExp {
+                base_micros: 300,
+                mean_tail_micros: 120,
+            })
             .with_seed(1000 + i as u64);
         let rooms: Vec<ContextId> = (0..config.rooms as u64).map(ContextId::new).collect();
         for (r, room) in rooms.iter().enumerate() {
@@ -150,8 +161,11 @@ pub fn run_elastic(config: &ElasticConfig, setup: ElasticSetup) -> ElasticOutcom
         }
         if pending_migration_pause {
             // Rooms rebalanced onto the new servers are briefly unavailable.
-            let moved: Vec<ContextId> =
-                rooms.iter().copied().filter(|r| (r.raw() as usize % servers) >= servers / 2).collect();
+            let moved: Vec<ContextId> = rooms
+                .iter()
+                .copied()
+                .filter(|r| (r.raw() as usize % servers) >= servers / 2)
+                .collect();
             cluster.block_contexts_until(&moved, SimTime::ZERO + config.migration_pause);
             pending_migration_pause = false;
         }
@@ -160,8 +174,7 @@ pub fn run_elastic(config: &ElasticConfig, setup: ElasticSetup) -> ElasticOutcom
         let total = (rate * config.round.as_secs_f64()) as usize;
         let requests: Vec<RequestSpec> = (0..total)
             .map(|k| {
-                let arrival =
-                    SimTime::from_micros((k as f64 / rate * 1e6) as u64);
+                let arrival = SimTime::from_micros((k as f64 / rate * 1e6) as u64);
                 let room = rooms[k % rooms.len()];
                 RequestSpec::new(arrival, vec![room], vec![Step::new(room, config.service)])
             })
@@ -246,7 +259,7 @@ mod tests {
         let clients = &config.clients_per_round;
         let peak = *clients.iter().max().unwrap();
         assert_eq!(clients.len(), config.rounds);
-        assert!(peak >= 120 && peak <= 128);
+        assert!((120..=128).contains(&peak));
         assert!(clients[0] < 20);
         assert!(clients[config.rounds - 1] < 20);
     }

@@ -67,7 +67,14 @@ impl Simulator {
             .steps
             .first()
             .map(|s| cluster.server_of(s.context))
-            .unwrap_or_else(|| cluster.server_of(*request.sequencers.first().unwrap_or(&aeon_types::ContextId::new(0))));
+            .unwrap_or_else(|| {
+                cluster.server_of(
+                    *request
+                        .sequencers
+                        .first()
+                        .unwrap_or(&aeon_types::ContextId::new(0)),
+                )
+            });
         for step in &request.steps {
             let server = cluster.server_of(step.context);
             if server != current_server {
@@ -127,7 +134,12 @@ mod tests {
         SimCluster::new(servers, 1).with_latency(LatencyModel::Zero)
     }
 
-    fn uniform_requests(n: usize, target: ContextId, every_us: u64, cpu_us: u64) -> Vec<RequestSpec> {
+    fn uniform_requests(
+        n: usize,
+        target: ContextId,
+        every_us: u64,
+        cpu_us: u64,
+    ) -> Vec<RequestSpec> {
         (0..n)
             .map(|i| {
                 RequestSpec::new(
@@ -237,6 +249,9 @@ mod tests {
             let metrics = simulator.run(&mut cluster, &requests);
             results.push(metrics.throughput(None));
         }
-        assert!(results.windows(2).all(|w| w[1] > w[0] * 1.5), "throughput scales: {results:?}");
+        assert!(
+            results.windows(2).all(|w| w[1] > w[0] * 1.5),
+            "throughput scales: {results:?}"
+        );
     }
 }

@@ -29,6 +29,7 @@
 //!   per-grain mailbox serialization.
 
 pub mod cluster;
+pub mod deployment;
 pub mod elastic;
 pub mod engine;
 pub mod metrics;
@@ -38,10 +39,13 @@ pub mod resources;
 pub mod system;
 
 pub use cluster::SimCluster;
+pub use deployment::{SimDeployment, SimDeploymentBuilder, SimSession};
 pub use elastic::{ElasticConfig, ElasticOutcome, ElasticSetup};
 pub use engine::Simulator;
 pub use metrics::{Metrics, TimeSeries};
-pub use migration::{migration_impact, EManagerThroughputModel, InstanceType, MigrationImpactConfig};
+pub use migration::{
+    migration_impact, EManagerThroughputModel, InstanceType, MigrationImpactConfig,
+};
 pub use request::{RequestSpec, Step};
 pub use resources::{CpuTimeline, LockTimeline};
 pub use system::SystemKind;

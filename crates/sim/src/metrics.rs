@@ -36,7 +36,11 @@ impl Metrics {
 
     /// Records one completed request.
     pub fn record(&mut self, completed_at: SimTime, latency: SimDuration, readonly: bool) {
-        self.completions.push(Completion { completed_at, latency, readonly });
+        self.completions.push(Completion {
+            completed_at,
+            latency,
+            readonly,
+        });
     }
 
     /// Number of completed requests.
@@ -51,13 +55,19 @@ impl Metrics {
 
     /// Time at which the last request completed.
     pub fn makespan(&self) -> SimTime {
-        self.completions.iter().map(|c| c.completed_at).max().unwrap_or(SimTime::ZERO)
+        self.completions
+            .iter()
+            .map(|c| c.completed_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Overall throughput in requests per second, measured over the
     /// makespan (or over `horizon` when provided and later).
     pub fn throughput(&self, horizon: Option<SimTime>) -> f64 {
-        let end = horizon.unwrap_or_else(|| self.makespan()).max(self.makespan());
+        let end = horizon
+            .unwrap_or_else(|| self.makespan())
+            .max(self.makespan());
         let secs = end.as_secs_f64();
         if secs == 0.0 {
             return 0.0;
@@ -70,7 +80,10 @@ impl Metrics {
         if self.completions.is_empty() {
             return 0.0;
         }
-        self.completions.iter().map(|c| c.latency.as_millis_f64()).sum::<f64>()
+        self.completions
+            .iter()
+            .map(|c| c.latency.as_millis_f64())
+            .sum::<f64>()
             / self.completions.len() as f64
     }
 
@@ -79,11 +92,9 @@ impl Metrics {
         if self.completions.is_empty() {
             return 0.0;
         }
-        let mut latencies: Vec<SimDuration> =
-            self.completions.iter().map(|c| c.latency).collect();
+        let mut latencies: Vec<SimDuration> = self.completions.iter().map(|c| c.latency).collect();
         latencies.sort();
-        let idx =
-            ((latencies.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        let idx = ((latencies.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         latencies[idx].as_millis_f64()
     }
 
@@ -113,7 +124,11 @@ impl Metrics {
             .map(|i| {
                 let t = SimTime::from_micros(i as u64 * bucket.as_micros());
                 let tput = counts[i] as f64 / bucket.as_secs_f64();
-                let lat = if counts[i] == 0 { 0.0 } else { latency_sums[i] / counts[i] as f64 };
+                let lat = if counts[i] == 0 {
+                    0.0
+                } else {
+                    latency_sums[i] / counts[i] as f64
+                };
                 (t, tput, lat)
             })
             .collect();

@@ -63,7 +63,10 @@ impl Default for MigrationImpactConfig {
 /// migration").
 pub fn migration_impact(config: &MigrationImpactConfig) -> TimeSeries {
     let mut cluster = SimCluster::new(config.rooms, 1)
-        .with_latency(LatencyModel::BaseplusExp { base_micros: 300, mean_tail_micros: 100 })
+        .with_latency(LatencyModel::BaseplusExp {
+            base_micros: 300,
+            mean_tail_micros: 100,
+        })
         .with_seed(7);
     let rooms: Vec<ContextId> = (0..config.rooms as u64).map(ContextId::new).collect();
     for (i, room) in rooms.iter().enumerate() {
@@ -72,19 +75,21 @@ pub fn migration_impact(config: &MigrationImpactConfig) -> TimeSeries {
     // Migration outage window per migrated room: the migration itself is an
     // exclusive event that holds the room for the transfer duration
     // (step IV of the protocol).
-    let transfer =
-        SimDuration::from_micros((config.context_bytes as f64 / config.bandwidth as f64 * 1e6) as u64);
-    let migrated: Vec<ContextId> =
-        rooms.iter().copied().take(config.contexts_migrated).collect();
+    let transfer = SimDuration::from_micros(
+        (config.context_bytes as f64 / config.bandwidth as f64 * 1e6) as u64,
+    );
+    let migrated: Vec<ContextId> = rooms
+        .iter()
+        .copied()
+        .take(config.contexts_migrated)
+        .collect();
     // Requests spread uniformly over rooms and time; the migrated rooms'
     // requests issued during the outage are delayed, which is exactly the
     // dip of Figure 8.
     let total = (config.request_rate * config.duration.as_secs_f64()) as usize;
     let mut requests: Vec<RequestSpec> = (0..total)
         .map(|k| {
-            let arrival = SimTime::from_micros(
-                (k as f64 / config.request_rate * 1e6) as u64,
-            );
+            let arrival = SimTime::from_micros((k as f64 / config.request_rate * 1e6) as u64);
             let room = rooms[k % rooms.len()];
             RequestSpec::new(arrival, vec![room], vec![Step::new(room, config.service)])
         })
@@ -149,9 +154,18 @@ impl EManagerThroughputModel {
     /// (≈90/60/40 contexts/s at 1 KB and ≈40/25/20 contexts/s at 1 MB).
     pub fn for_instance(instance: InstanceType) -> Self {
         match instance {
-            InstanceType::Large => Self { protocol_overhead_s: 1.0 / 90.0, bandwidth: 75e6 },
-            InstanceType::Medium => Self { protocol_overhead_s: 1.0 / 60.0, bandwidth: 45e6 },
-            InstanceType::Small => Self { protocol_overhead_s: 1.0 / 40.0, bandwidth: 42e6 },
+            InstanceType::Large => Self {
+                protocol_overhead_s: 1.0 / 90.0,
+                bandwidth: 75e6,
+            },
+            InstanceType::Medium => Self {
+                protocol_overhead_s: 1.0 / 60.0,
+                bandwidth: 45e6,
+            },
+            InstanceType::Small => Self {
+                protocol_overhead_s: 1.0 / 40.0,
+                bandwidth: 42e6,
+            },
         }
     }
 
@@ -176,7 +190,10 @@ mod tests {
             ..MigrationImpactConfig::default()
         };
         let dip = |contexts: usize| {
-            let config = MigrationImpactConfig { contexts_migrated: contexts, ..base.clone() };
+            let config = MigrationImpactConfig {
+                contexts_migrated: contexts,
+                ..base.clone()
+            };
             let series = migration_impact(&config);
             // Steady-state throughput before the migration vs the bucket
             // containing the migration window.
@@ -191,7 +208,10 @@ mod tests {
         };
         let d1 = dip(1);
         let d5 = dip(5);
-        assert!(d5 >= d1, "more simultaneous migrations dip throughput more: {d1} vs {d5}");
+        assert!(
+            d5 >= d1,
+            "more simultaneous migrations dip throughput more: {d1} vs {d5}"
+        );
     }
 
     #[test]
@@ -208,7 +228,10 @@ mod tests {
         let series = migration_impact(&config);
         let before: f64 = series.points[4..9].iter().map(|p| p.1).sum::<f64>() / 5.0;
         let after: f64 = series.points[14..19].iter().map(|p| p.1).sum::<f64>() / 5.0;
-        assert!((after - before).abs() / before < 0.25, "before {before}, after {after}");
+        assert!(
+            (after - before).abs() / before < 0.25,
+            "before {before}, after {after}"
+        );
     }
 
     #[test]

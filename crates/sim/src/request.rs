@@ -18,12 +18,20 @@ pub struct Step {
 impl Step {
     /// Creates a locked step (the common case).
     pub fn new(context: ContextId, cpu: SimDuration) -> Self {
-        Self { context, cpu, locked: true }
+        Self {
+            context,
+            cpu,
+            locked: true,
+        }
     }
 
     /// Creates a step that does not take the per-context lock.
     pub fn unlocked(context: ContextId, cpu: SimDuration) -> Self {
-        Self { context, cpu, locked: false }
+        Self {
+            context,
+            cpu,
+            locked: false,
+        }
     }
 }
 
@@ -48,7 +56,13 @@ pub struct RequestSpec {
 impl RequestSpec {
     /// Creates a request.
     pub fn new(arrival: SimTime, sequencers: Vec<ContextId>, steps: Vec<Step>) -> Self {
-        Self { arrival, sequencers, readonly: false, steps, label: "request" }
+        Self {
+            arrival,
+            sequencers,
+            readonly: false,
+            steps,
+            label: "request",
+        }
     }
 
     /// Marks the request read-only.
@@ -79,7 +93,10 @@ mod tests {
         let r = RequestSpec::new(
             SimTime::from_millis(5),
             vec![c],
-            vec![Step::new(c, SimDuration::from_millis(2)), Step::unlocked(c, SimDuration::from_millis(3))],
+            vec![
+                Step::new(c, SimDuration::from_millis(2)),
+                Step::unlocked(c, SimDuration::from_millis(3)),
+            ],
         )
         .readonly()
         .labelled("payment");

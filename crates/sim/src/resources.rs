@@ -96,7 +96,10 @@ pub struct CpuTimeline {
 impl CpuTimeline {
     /// Creates a CPU with `cores` cores (at least one).
     pub fn new(cores: usize) -> Self {
-        Self { cores: vec![SimTime::ZERO; cores.max(1)], busy: SimDuration::ZERO }
+        Self {
+            cores: vec![SimTime::ZERO; cores.max(1)],
+            busy: SimDuration::ZERO,
+        }
     }
 
     /// Runs a job of length `service` starting at or after `now` on the

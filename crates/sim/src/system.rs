@@ -57,7 +57,10 @@ impl SystemKind {
 
     /// Whether the application may use multiple ownership.
     pub fn multi_ownership(self) -> bool {
-        matches!(self, SystemKind::Aeon | SystemKind::OrleansStrict | SystemKind::OrleansStar)
+        matches!(
+            self,
+            SystemKind::Aeon | SystemKind::OrleansStrict | SystemKind::OrleansStar
+        )
     }
 }
 

@@ -135,13 +135,19 @@ impl CloudStore for InMemoryStore {
             .map
             .lock()
             .get(key)
-            .map(|(version, value)| Record { value: value.clone(), version: *version })
+            .map(|(version, value)| Record {
+                value: value.clone(),
+                version: *version,
+            })
     }
 
     fn put(&self, key: &str, value: Value) -> Result<Version> {
         self.inner.writes.fetch_add(1, Ordering::Relaxed);
         let version = self.next_version();
-        self.inner.map.lock().insert(key.to_string(), (version, value));
+        self.inner
+            .map
+            .lock()
+            .insert(key.to_string(), (version, value));
         Ok(version)
     }
 
@@ -227,16 +233,26 @@ mod tests {
     fn cas_enforces_expected_version() {
         let store = InMemoryStore::new();
         // Create-if-absent.
-        let v1 = store.compare_and_swap("k", None, Value::from(1i64)).unwrap();
+        let v1 = store
+            .compare_and_swap("k", None, Value::from(1i64))
+            .unwrap();
         // A second create-if-absent fails.
-        assert!(store.compare_and_swap("k", None, Value::from(2i64)).is_err());
+        assert!(store
+            .compare_and_swap("k", None, Value::from(2i64))
+            .is_err());
         // Update with correct version succeeds; stale version fails.
-        let v2 = store.compare_and_swap("k", Some(v1), Value::from(3i64)).unwrap();
-        assert!(store.compare_and_swap("k", Some(v1), Value::from(4i64)).is_err());
+        let v2 = store
+            .compare_and_swap("k", Some(v1), Value::from(3i64))
+            .unwrap();
+        assert!(store
+            .compare_and_swap("k", Some(v1), Value::from(4i64))
+            .is_err());
         assert_eq!(store.get("k").unwrap().version, v2);
         assert_eq!(store.get("k").unwrap().value, Value::from(3i64));
         // The error is classified as transient so callers may retry.
-        let err = store.compare_and_swap("k", Some(v1), Value::Null).unwrap_err();
+        let err = store
+            .compare_and_swap("k", Some(v1), Value::Null)
+            .unwrap_err();
         assert!(err.is_transient());
     }
 
@@ -247,7 +263,10 @@ mod tests {
         store.put("mapping/ctx-1", Value::Null).unwrap();
         store.put("migration/ctx-1", Value::Null).unwrap();
         let keys = store.list_prefix("mapping/");
-        assert_eq!(keys, vec!["mapping/ctx-1".to_string(), "mapping/ctx-2".to_string()]);
+        assert_eq!(
+            keys,
+            vec!["mapping/ctx-1".to_string(), "mapping/ctx-2".to_string()]
+        );
         assert_eq!(store.list_prefix("nope/").len(), 0);
     }
 

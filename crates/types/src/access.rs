@@ -73,7 +73,9 @@ mod tests {
     #[test]
     fn read_only_shares_with_read_only() {
         assert!(AccessMode::ReadOnly.compatible_with([]));
-        assert!(AccessMode::ReadOnly.compatible_with([&AccessMode::ReadOnly, &AccessMode::ReadOnly]));
+        assert!(
+            AccessMode::ReadOnly.compatible_with([&AccessMode::ReadOnly, &AccessMode::ReadOnly])
+        );
         assert!(!AccessMode::ReadOnly.compatible_with([&AccessMode::Exclusive]));
     }
 

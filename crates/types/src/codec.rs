@@ -168,8 +168,7 @@ fn decode_one(buf: &mut &[u8]) -> Result<Value> {
                 ensure(buf, klen)?;
                 let kraw = buf[..klen].to_vec();
                 buf.advance(klen);
-                let key =
-                    String::from_utf8(kraw).map_err(|e| AeonError::Codec(e.to_string()))?;
+                let key = String::from_utf8(kraw).map_err(|e| AeonError::Codec(e.to_string()))?;
                 let v = decode_one(buf)?;
                 map.insert(key, v);
             }
@@ -228,11 +227,17 @@ mod tests {
     #[test]
     fn nested_structures_round_trip() {
         let v = Value::map([
-            ("players", Value::from(vec![ContextId::new(1), ContextId::new(2)])),
+            (
+                "players",
+                Value::from(vec![ContextId::new(1), ContextId::new(2)]),
+            ),
             ("gold", Value::from(100i64)),
             (
                 "inventory",
-                Value::List(vec![Value::map([("sword", Value::Bool(true))]), Value::Null]),
+                Value::List(vec![
+                    Value::map([("sword", Value::Bool(true))]),
+                    Value::Null,
+                ]),
             ),
         ]);
         roundtrip(&v);
@@ -266,7 +271,9 @@ mod tests {
             Just(Value::Null),
             any::<bool>().prop_map(Value::Bool),
             any::<i64>().prop_map(Value::Int),
-            any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+            any::<f64>()
+                .prop_filter("finite", |f| f.is_finite())
+                .prop_map(Value::Float),
             "[a-z]{0,16}".prop_map(Value::Str),
             proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
             any::<u64>().prop_map(|r| Value::ContextRef(ContextId::new(r))),

@@ -25,7 +25,10 @@ pub enum AeonError {
     ClassCycleDetected { description: String },
     /// A method call targeted a context that the calling context does not
     /// (transitively) own.
-    OwnershipViolation { caller: ContextId, callee: ContextId },
+    OwnershipViolation {
+        caller: ContextId,
+        callee: ContextId,
+    },
     /// A `readonly` method attempted to modify state or call a non-readonly
     /// method.
     ReadOnlyViolation { context: ContextId, method: String },
@@ -61,16 +64,25 @@ impl fmt::Display for AeonError {
             AeonError::ServerNotFound(s) => write!(f, "server {s} not found"),
             AeonError::EventNotFound(e) => write!(f, "event {e} not found"),
             AeonError::CycleDetected { from, to } => {
-                write!(f, "adding ownership edge {from} -> {to} would create a cycle")
+                write!(
+                    f,
+                    "adding ownership edge {from} -> {to} would create a cycle"
+                )
             }
             AeonError::ClassCycleDetected { description } => {
-                write!(f, "contextclass ownership constraints are cyclic: {description}")
+                write!(
+                    f,
+                    "contextclass ownership constraints are cyclic: {description}"
+                )
             }
             AeonError::OwnershipViolation { caller, callee } => {
                 write!(f, "context {caller} does not own {callee}")
             }
             AeonError::ReadOnlyViolation { context, method } => {
-                write!(f, "readonly method {method} attempted an update in context {context}")
+                write!(
+                    f,
+                    "readonly method {method} attempted an update in context {context}"
+                )
             }
             AeonError::UnknownMethod { class, method } => {
                 write!(f, "contextclass {class} has no method {method}")
@@ -134,7 +146,10 @@ mod tests {
     fn display_is_lowercase_and_informative() {
         let err = AeonError::ContextNotFound(ContextId::new(3));
         assert_eq!(err.to_string(), "context ctx-3 not found");
-        let err = AeonError::CycleDetected { from: ContextId::new(1), to: ContextId::new(2) };
+        let err = AeonError::CycleDetected {
+            from: ContextId::new(1),
+            to: ContextId::new(2),
+        };
         assert!(err.to_string().contains("cycle"));
     }
 

@@ -12,27 +12,37 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Identifier of a context (an instance of a `contextclass`).
 ///
 /// Contexts are the unit of data encapsulation and migration in AEON.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct ContextId(u64);
 
 /// Identifier of an event (an atomic, strictly-serializable client request).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct EventId(u64);
 
 /// Identifier of a (possibly simulated) server / virtual machine hosting
 /// contexts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct ServerId(u32);
 
 /// Identifier of a client issuing events against the application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct ClientId(u64);
 
 /// Sequence number assigned by a dominator context when an event is
 /// activated.  Events that conflict are ordered by `(dominator, SequenceNo)`
 /// which is what makes top-down lock acquisition deadlock free (§4 of the
 /// paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct SequenceNo(u64);
 
 /// The name of a `contextclass` (e.g. `"Room"`, `"Player"`).
@@ -99,7 +109,9 @@ impl IdGenerator {
 
     /// Creates a generator whose first issued id is `start`.
     pub fn starting_at(start: u64) -> Self {
-        Self { next: AtomicU64::new(start) }
+        Self {
+            next: AtomicU64::new(start),
+        }
     }
 
     /// Issues the next raw identifier.

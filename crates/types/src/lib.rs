@@ -26,6 +26,8 @@ pub mod value;
 
 pub use access::AccessMode;
 pub use error::{AeonError, Result};
-pub use ids::{ClassName, ClientId, ContextId, EventId, IdGenerator, MethodName, SequenceNo, ServerId};
+pub use ids::{
+    ClassName, ClientId, ContextId, EventId, IdGenerator, MethodName, SequenceNo, ServerId,
+};
 pub use time::{SimDuration, SimTime};
 pub use value::{Args, Value};

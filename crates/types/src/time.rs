@@ -10,11 +10,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in microseconds since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -172,7 +176,10 @@ mod tests {
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
         // subtraction saturates
-        assert_eq!(SimTime::from_millis(1) - SimTime::from_millis(2), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_millis(2),
+            SimDuration::ZERO
+        );
         let mut acc = SimTime::ZERO;
         acc += SimDuration::from_secs(1);
         assert_eq!(acc, SimTime::from_secs(1));
@@ -180,10 +187,14 @@ mod tests {
 
     #[test]
     fn sum_and_scale() {
-        let total: SimDuration =
-            [SimDuration::from_millis(1), SimDuration::from_millis(2)].into_iter().sum();
+        let total: SimDuration = [SimDuration::from_millis(1), SimDuration::from_millis(2)]
+            .into_iter()
+            .sum();
         assert_eq!(total, SimDuration::from_millis(3));
-        assert_eq!(SimDuration::from_millis(10).mul_f64(0.5), SimDuration::from_millis(5));
+        assert_eq!(
+            SimDuration::from_millis(10).mul_f64(0.5),
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]

@@ -368,7 +368,10 @@ mod tests {
         assert_eq!(Value::from(5i32), Value::Int(5));
         assert_eq!(Value::from(2.5f64), Value::Float(2.5));
         assert_eq!(Value::from("hi"), Value::Str("hi".into()));
-        assert_eq!(Value::from(ContextId::new(3)), Value::ContextRef(ContextId::new(3)));
+        assert_eq!(
+            Value::from(ContextId::new(3)),
+            Value::ContextRef(ContextId::new(3))
+        );
         assert_eq!(Value::from(()), Value::Null);
     }
 
@@ -383,13 +386,19 @@ mod tests {
     #[test]
     fn referenced_contexts_walks_nested_structures() {
         let v = Value::map([
-            ("items", Value::from(vec![ContextId::new(1), ContextId::new(2)])),
+            (
+                "items",
+                Value::from(vec![ContextId::new(1), ContextId::new(2)]),
+            ),
             ("owner", Value::from(ContextId::new(3))),
             ("name", Value::from("castle")),
         ]);
         let mut refs = v.referenced_contexts();
         refs.sort();
-        assert_eq!(refs, vec![ContextId::new(1), ContextId::new(2), ContextId::new(3)]);
+        assert_eq!(
+            refs,
+            vec![ContextId::new(1), ContextId::new(2), ContextId::new(3)]
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! Run with `cargo run --example collections`.
 
 use aeon::prelude::*;
-use aeon_apps::collections::{
-    collections_class_graph, deploy_list_set, deploy_search_tree,
-};
+use aeon_apps::collections::{collections_class_graph, deploy_list_set, deploy_search_tree};
 
 fn main() -> Result<()> {
     let runtime = AeonRuntime::builder()
@@ -22,17 +20,32 @@ fn main() -> Result<()> {
         client.call(list, "insert", args![key])?;
     }
     client.call(list, "remove", args![19i64])?;
-    println!("list contents : {}", client.call_readonly(list, "to_list", args![])?);
-    println!("list length   : {}", client.call_readonly(list, "len", args![])?);
-    println!("contains 7?   : {}", client.call_readonly(list, "contains", args![7i64])?);
+    println!(
+        "list contents : {}",
+        client.call_readonly(list, "to_list", args![])?
+    );
+    println!(
+        "list length   : {}",
+        client.call_readonly(list, "len", args![])?
+    );
+    println!(
+        "contains 7?   : {}",
+        client.call_readonly(list, "contains", args![7i64])?
+    );
 
     // --- binary search tree ----------------------------------------------
     let tree = deploy_search_tree(&runtime)?;
     for key in [50i64, 20, 80, 10, 35, 65, 95] {
         client.call(tree, "insert", args![key])?;
     }
-    println!("tree in order : {}", client.call_readonly(tree, "in_order", args![])?);
-    println!("tree minimum  : {}", client.call_readonly(tree, "min", args![])?);
+    println!(
+        "tree in order : {}",
+        client.call_readonly(tree, "in_order", args![])?
+    );
+    println!(
+        "tree minimum  : {}",
+        client.call_readonly(tree, "min", args![])?
+    );
 
     // Every node is a context in the ownership DAG.
     let graph = runtime.ownership_graph();

@@ -18,7 +18,7 @@ fn main() -> Result<()> {
         "Item",
         Arc::new(|state: &Value| {
             let mut item = KvContext::new("Item");
-            item.restore(state);
+            ContextObject::restore(&mut item, state);
             Box::new(item) as Box<dyn ContextObject>
         }),
     );
@@ -27,7 +27,8 @@ fn main() -> Result<()> {
     let mut rooms = Vec::new();
     let mut items = Vec::new();
     for server in &servers {
-        let room = cluster.create_context(Box::new(KvContext::new("Room")), Some(*server))?;
+        let room =
+            cluster.create_context(Box::new(KvContext::new("Room")), Placement::Server(*server))?;
         for _ in 0..2 {
             let item = cluster.create_owned_context(Box::new(KvContext::new("Item")), &[room])?;
             items.push(item);
@@ -44,8 +45,14 @@ fn main() -> Result<()> {
     let item = items[0];
     println!("item {item} initially on {}", cluster.placement_of(item)?);
     let bytes = cluster.migrate_context(item, *servers.last().expect("servers exist"))?;
-    println!("migrated {bytes} bytes of serialized state to {}", cluster.placement_of(item)?);
-    println!("gold after migration: {}", client.call_readonly(item, "get", args!["gold"])?);
+    println!(
+        "migrated {bytes} bytes of serialized state to {}",
+        cluster.placement_of(item)?
+    );
+    println!(
+        "gold after migration: {}",
+        client.call_readonly(item, "get", args!["gold"])?
+    );
 
     let stats = cluster.network_stats();
     println!(
@@ -53,7 +60,10 @@ fn main() -> Result<()> {
         stats.local_messages(),
         stats.remote_messages()
     );
-    println!("events executed per server: {:?}", cluster.events_executed());
+    println!(
+        "events executed per server: {:?}",
+        cluster.events_executed()
+    );
     cluster.shutdown();
     Ok(())
 }

@@ -17,8 +17,7 @@ fn main() -> Result<()> {
     for wave in 0..4 {
         // A new wave of rooms joins the game.
         for _ in 0..12 {
-            let room =
-                runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto)?;
+            let room = runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto)?;
             client.call(room, "set", args!["wave", wave])?;
             rooms.push(room);
         }
@@ -35,8 +34,11 @@ fn main() -> Result<()> {
         let wave = client.call_readonly(*room, "get", args!["wave"])?;
         assert_eq!(wave, Value::from((i / 12) as i64));
     }
-    println!("final fleet: {} servers, {} migrations", runtime.servers().len(),
-             runtime.stats().migrations());
+    println!(
+        "final fleet: {} servers, {} migrations",
+        runtime.servers().len(),
+        runtime.stats().migrations()
+    );
     runtime.shutdown();
     Ok(())
 }

@@ -8,8 +8,10 @@ use aeon::prelude::*;
 use aeon_apps::game::{deploy_game, game_class_graph};
 
 fn main() -> Result<()> {
-    let runtime =
-        AeonRuntime::builder().servers(4).class_graph(game_class_graph()).build()?;
+    let runtime = AeonRuntime::builder()
+        .servers(4)
+        .class_graph(game_class_graph())
+        .build()?;
     let world = deploy_game(&runtime, 4, 4)?;
     let client = runtime.client();
 

@@ -15,8 +15,9 @@ fn main() -> Result<()> {
     let client = runtime.client();
 
     // Drive load while migrating the context around the cluster.
-    let handles: Vec<_> =
-        (0..300).map(|_| client.submit_event(counter, "incr", args!["n", 1]).unwrap()).collect();
+    let handles: Vec<_> = (0..300)
+        .map(|_| client.submit_event(counter, "incr", args!["n", 1]).unwrap())
+        .collect();
     let servers = runtime.servers();
     for i in 0..6 {
         manager.migrate(counter, servers[i % servers.len()])?;

@@ -1,32 +1,41 @@
-//! Quickstart: define a contextclass, create contexts on a small cluster and
-//! issue strictly-serializable events.
+//! Quickstart: create contexts on a small deployment and issue
+//! strictly-serializable events through the unified `Deployment`/`Session`
+//! API.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use aeon::prelude::*;
 
 fn main() -> Result<()> {
-    // Two logical servers.
+    // Two logical servers.  Any backend works here: `Cluster::builder()`
+    // or `SimDeployment::builder()` deploy the same program distributed or
+    // simulated (see the `unified_deployment` example).
     let runtime = AeonRuntime::builder().servers(2).build()?;
+    let deployment: &dyn Deployment = &runtime;
 
     // A generic key/value contextclass shipped with the runtime.
-    let account = runtime.create_context(Box::new(KvContext::new("Account")), Placement::Auto)?;
+    let account =
+        deployment.create_context(Box::new(KvContext::new("Account")), Placement::Auto)?;
 
-    let client = runtime.client();
+    let session = deployment.session();
     // Exclusive (update) events.
-    client.call(account, "set", args!["owner", "alice"])?;
-    client.call(account, "incr", args!["balance", 100])?;
-    client.call(account, "incr", args!["balance", -30])?;
+    session.call(account, "set", args!["owner", "alice"])?;
+    session.call(account, "incr", args!["balance", 100])?;
+    session.call(account, "incr", args!["balance", -30])?;
     // A read-only event (may run concurrently with other read-only events).
-    let balance = client.call_readonly(account, "get", args!["balance"])?;
+    let balance = session.call_readonly(account, "get", args!["balance"])?;
     println!("alice's balance: {balance}");
     assert_eq!(balance, Value::from(70i64));
 
     // Asynchronous completion handles are also available.
-    let handle = client.submit_event(account, "incr", args!["balance", 5])?;
-    println!("event {} finished with {:?}", handle.event_id(), handle.wait()?);
+    let handle = session.submit_event(account, "incr", args!["balance", 5])?;
+    println!(
+        "event {} finished with {:?}",
+        handle.event_id(),
+        handle.wait()?
+    );
 
     println!("events completed: {}", runtime.stats().events_completed());
-    runtime.shutdown();
+    deployment.shutdown();
     Ok(())
 }

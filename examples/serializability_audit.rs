@@ -35,6 +35,9 @@ fn main() -> Result<()> {
         ),
         Err(violation) => println!("strictly serializable: NO — {violation}"),
     }
-    assert!(report.is_correct(), "the AEON runtime must produce correct executions");
+    assert!(
+        report.is_correct(),
+        "the AEON runtime must produce correct executions"
+    );
     Ok(())
 }

@@ -8,8 +8,10 @@ use aeon::prelude::*;
 use aeon_apps::tpcc::{deploy_tpcc, run_new_order, run_payment, tpcc_class_graph};
 
 fn main() -> Result<()> {
-    let runtime =
-        AeonRuntime::builder().servers(4).class_graph(tpcc_class_graph()).build()?;
+    let runtime = AeonRuntime::builder()
+        .servers(4)
+        .class_graph(tpcc_class_graph())
+        .build()?;
     let world = deploy_tpcc(&runtime, 4, 10)?;
     let client = runtime.client();
 
@@ -17,17 +19,20 @@ fn main() -> Result<()> {
     for i in 0..200 {
         let district = i % world.districts.len();
         let customer = i % 10;
-        run_payment(&runtime, &world, district, customer, 7)?;
+        run_payment(&client, &world, district, customer, 7)?;
         expected += 7;
         if i % 2 == 0 {
-            run_new_order(&runtime, &world, district, customer, i as i64)?;
+            run_new_order(&client, &world, district, customer, i as i64)?;
         }
     }
 
     let w_ytd = client.call_readonly(world.warehouse, "ytd", args![])?;
     let mut d_sum = 0i64;
     for district in &world.districts {
-        d_sum += client.call_readonly(*district, "ytd", args![])?.as_i64().unwrap_or(0);
+        d_sum += client
+            .call_readonly(*district, "ytd", args![])?
+            .as_i64()
+            .unwrap_or(0);
     }
     println!("W_YTD = {w_ytd}, sum of D_YTD = {d_sum}");
     assert_eq!(w_ytd, Value::from(expected));

@@ -1,0 +1,249 @@
+//! Cross-backend parity: one generic workload driver, three deployments.
+//!
+//! Every test in this file takes a `&dyn Deployment` and is executed
+//! against the in-process runtime (`AeonRuntime`), the distributed cluster
+//! (`Cluster`), and the deterministic simulator (`SimDeployment`).  This is
+//! the paper's central promise made executable: a contextclass program is
+//! written once and behaves identically on every execution substrate.
+
+use aeon::prelude::*;
+use aeon_apps::game::{deploy_game, game_class_graph, Player, Room};
+
+/// Registers snapshot factories for the game classes, so crash-recovery
+/// and restore-based operations work on backends that rebuild objects from
+/// serialised state (the cluster).
+fn register_game_factories(deployment: &dyn Deployment) {
+    deployment.register_class_factory(
+        "Room",
+        std::sync::Arc::new(|state: &Value| {
+            let mut room = Room::default();
+            ContextObject::restore(&mut room, state);
+            Box::new(room) as Box<dyn ContextObject>
+        }),
+    );
+    deployment.register_class_factory(
+        "Player",
+        std::sync::Arc::new(|state: &Value| {
+            let mut player = Player::default();
+            ContextObject::restore(&mut player, state);
+            Box::new(player) as Box<dyn ContextObject>
+        }),
+    );
+    deployment.register_class_factory(
+        "Item",
+        std::sync::Arc::new(|state: &Value| {
+            let mut item = KvContext::new("Item");
+            ContextObject::restore(&mut item, state);
+            Box::new(item) as Box<dyn ContextObject>
+        }),
+    );
+}
+
+/// Runs `scenario` against all three backends, labelling failures with the
+/// backend name.
+fn on_every_backend(scenario: impl Fn(&dyn Deployment)) {
+    let runtime = AeonRuntime::builder()
+        .servers(2)
+        .class_graph(game_class_graph())
+        .build()
+        .unwrap();
+    scenario(&runtime);
+    runtime.shutdown();
+
+    let cluster = Cluster::builder()
+        .servers(2)
+        .class_graph(game_class_graph())
+        .build()
+        .unwrap();
+    scenario(&cluster);
+    cluster.shutdown();
+
+    let sim = SimDeployment::builder()
+        .servers(2)
+        .class_graph(game_class_graph())
+        .build()
+        .unwrap();
+    scenario(&sim);
+}
+
+#[test]
+fn game_driver_runs_unchanged_on_every_backend() {
+    on_every_backend(|deployment| {
+        let backend = deployment.backend_name();
+        let world = deploy_game(deployment, 2, 2).unwrap();
+        let session = deployment.session();
+        for players in &world.players {
+            for player in players {
+                assert_eq!(
+                    session.call(*player, "get_gold", args![7]).unwrap(),
+                    Value::Bool(true),
+                    "backend {backend}"
+                );
+            }
+        }
+        for treasure in &world.treasures {
+            assert_eq!(
+                session
+                    .call_readonly(*treasure, "get", args!["gold"])
+                    .unwrap(),
+                Value::from(14i64),
+                "backend {backend}"
+            );
+        }
+        assert_eq!(
+            session
+                .call_readonly(world.building, "count_players", args![])
+                .unwrap(),
+            Value::from(4i64),
+            "backend {backend}"
+        );
+    });
+}
+
+#[test]
+fn unknown_methods_yield_unknown_method_on_every_backend() {
+    on_every_backend(|deployment| {
+        let backend = deployment.backend_name();
+        let world = deploy_game(deployment, 1, 1).unwrap();
+        let session = deployment.session();
+        let err = session
+            .call(world.building, "no_such_method", args![])
+            .unwrap_err();
+        assert!(
+            matches!(&err, AeonError::UnknownMethod { class, method }
+                if class == "Building" && method == "no_such_method"),
+            "backend {backend}: {err}"
+        );
+    });
+}
+
+#[test]
+fn writes_from_readonly_events_are_rejected_on_every_backend() {
+    on_every_backend(|deployment| {
+        let backend = deployment.backend_name();
+        let world = deploy_game(deployment, 1, 1).unwrap();
+        let session = deployment.session();
+        // `update_time_of_day` is an update method; submitting it read-only
+        // must fail uniformly.
+        let err = session
+            .call_readonly(world.rooms[0], "update_time_of_day", args![])
+            .unwrap_err();
+        assert!(
+            matches!(err, AeonError::ReadOnlyViolation { .. }),
+            "backend {backend}"
+        );
+    });
+}
+
+#[test]
+fn snapshot_restore_round_trips_on_every_backend() {
+    on_every_backend(|deployment| {
+        let backend = deployment.backend_name();
+        // Deliberately no factories: snapshot/restore of still-hosted
+        // contexts must work in place on every backend.
+        let world = deploy_game(deployment, 1, 1).unwrap();
+        let session = deployment.session();
+        let room = world.rooms[0];
+        session.call(room, "update_time_of_day", args![]).unwrap();
+        let snapshot = deployment.snapshot_context(room).unwrap();
+        assert!(!snapshot.is_empty(), "backend {backend}");
+        // Mutate past the snapshot, then roll back.
+        session.call(room, "update_time_of_day", args![]).unwrap();
+        session.call(room, "update_time_of_day", args![]).unwrap();
+        deployment.restore_snapshot(&snapshot).unwrap();
+        assert_eq!(
+            session.call(room, "update_time_of_day", args![]).unwrap(),
+            Value::from(2i64),
+            "backend {backend}: restore rolled the room back to time 1"
+        );
+    });
+}
+
+#[test]
+fn migration_preserves_state_on_every_backend() {
+    on_every_backend(|deployment| {
+        let backend = deployment.backend_name();
+        register_game_factories(deployment);
+        let world = deploy_game(deployment, 1, 1).unwrap();
+        let session = deployment.session();
+        let room = world.rooms[0];
+        session.call(room, "update_time_of_day", args![]).unwrap();
+        let from = deployment.placement_of(room).unwrap();
+        let to = deployment
+            .servers()
+            .into_iter()
+            .find(|s| *s != from)
+            .expect("two servers configured");
+        let moved = deployment.migrate_context(room, to).unwrap();
+        assert!(moved > 0, "backend {backend}");
+        assert_eq!(
+            deployment.placement_of(room).unwrap(),
+            to,
+            "backend {backend}"
+        );
+        assert_eq!(
+            session.call(room, "update_time_of_day", args![]).unwrap(),
+            Value::from(2i64),
+            "backend {backend}: state survived the migration"
+        );
+    });
+}
+
+#[test]
+fn colocation_with_contexts_on_crashed_servers_is_rejected_on_every_backend() {
+    on_every_backend(|deployment| {
+        let backend = deployment.backend_name();
+        let spare = deployment.add_server();
+        let doomed = deployment
+            .create_context(Box::new(Room::default()), Placement::Server(spare))
+            .unwrap();
+        deployment.crash_server(spare).unwrap();
+        // Neither explicit placement nor co-location may land new contexts
+        // on the crashed server.
+        let err = deployment
+            .create_context(Box::new(Room::default()), Placement::Server(spare))
+            .unwrap_err();
+        assert!(
+            matches!(err, AeonError::ServerNotFound(_)),
+            "backend {backend}: {err}"
+        );
+        let err = deployment
+            .create_context(Box::new(Room::default()), Placement::WithContext(doomed))
+            .unwrap_err();
+        assert!(
+            matches!(err, AeonError::ServerNotFound(_)),
+            "backend {backend}: {err}"
+        );
+        let err = deployment
+            .create_owned_context(Box::new(Room::default()), &[doomed])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AeonError::ServerNotFound(_) | AeonError::ContextNotFound(_)
+            ),
+            "backend {backend}: {err}"
+        );
+    });
+}
+
+#[test]
+fn elasticity_scale_out_works_on_every_backend() {
+    on_every_backend(|deployment| {
+        let backend = deployment.backend_name();
+        let before = deployment.servers().len();
+        let added = deployment.add_server();
+        let after = deployment.servers();
+        assert_eq!(after.len(), before + 1, "backend {backend}");
+        assert!(after.contains(&added), "backend {backend}");
+        // The new server is immediately usable for placement.
+        let item = deployment
+            .create_context(Box::new(Room::default()), Placement::Server(added))
+            .unwrap();
+        assert_eq!(
+            deployment.placement_of(item).unwrap(),
+            added,
+            "backend {backend}"
+        );
+    });
+}

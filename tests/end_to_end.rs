@@ -38,7 +38,9 @@ fn game_world_under_concurrent_load_with_elasticity() {
     // amount.
     for treasure in &world.treasures {
         assert_eq!(
-            client.call_readonly(*treasure, "get", args!["gold"]).unwrap(),
+            client
+                .call_readonly(*treasure, "get", args!["gold"])
+                .unwrap(),
             Value::from(3 * 5 * 2i64)
         );
     }
@@ -59,20 +61,24 @@ fn tpcc_consistency_survives_checkpoint_restore_and_migration() {
     let client = runtime.client();
 
     for i in 0..60 {
-        run_payment(&runtime, &world, i % 3, i % 5, 5).unwrap();
+        run_payment(&client, &world, i % 3, i % 5, 5).unwrap();
     }
     // Checkpoint the warehouse subtree, keep mutating, then restore.
     manager.checkpoint("after-60", world.warehouse).unwrap();
     for i in 0..30 {
-        run_payment(&runtime, &world, i % 3, i % 5, 5).unwrap();
+        run_payment(&client, &world, i % 3, i % 5, 5).unwrap();
     }
     assert_eq!(
-        client.call_readonly(world.warehouse, "ytd", args![]).unwrap(),
+        client
+            .call_readonly(world.warehouse, "ytd", args![])
+            .unwrap(),
         Value::from(450i64)
     );
     manager.restore_checkpoint("after-60").unwrap();
     assert_eq!(
-        client.call_readonly(world.warehouse, "ytd", args![]).unwrap(),
+        client
+            .call_readonly(world.warehouse, "ytd", args![])
+            .unwrap(),
         Value::from(300i64)
     );
     // Migrate a district and verify the invariant still holds.
@@ -86,7 +92,13 @@ fn tpcc_consistency_survives_checkpoint_restore_and_migration() {
     let d_sum: i64 = world
         .districts
         .iter()
-        .map(|d| client.call_readonly(*d, "ytd", args![]).unwrap().as_i64().unwrap())
+        .map(|d| {
+            client
+                .call_readonly(*d, "ytd", args![])
+                .unwrap()
+                .as_i64()
+                .unwrap()
+        })
         .sum();
     assert_eq!(d_sum, 300);
     runtime.shutdown();
@@ -95,8 +107,12 @@ fn tpcc_consistency_survives_checkpoint_restore_and_migration() {
 #[test]
 fn ownership_network_is_recoverable_from_storage() {
     let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-    let room = runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto).unwrap();
-    let item = runtime.create_owned_context(Box::new(KvContext::new("Item")), &[room]).unwrap();
+    let room = runtime
+        .create_context(Box::new(KvContext::new("Room")), Placement::Auto)
+        .unwrap();
+    let item = runtime
+        .create_owned_context(Box::new(KvContext::new("Item")), &[room])
+        .unwrap();
     let manager = EManager::new(runtime.clone(), InMemoryStore::new());
     manager.persist_ownership().unwrap();
     let graph = OwnershipGraph::from_value(&manager.load_ownership().unwrap()).unwrap();
@@ -118,7 +134,10 @@ fn simulator_reproduces_game_figure_headline() {
     let aeon = throughput(SystemKind::Aeon);
     let eventwave = throughput(SystemKind::EventWave);
     let orleans = throughput(SystemKind::OrleansStrict);
-    assert!(aeon > 2.0 * eventwave, "AEON {aeon} vs EventWave {eventwave}");
+    assert!(
+        aeon > 2.0 * eventwave,
+        "AEON {aeon} vs EventWave {eventwave}"
+    );
     assert!(aeon > orleans, "AEON {aeon} vs Orleans {orleans}");
 }
 
@@ -131,10 +150,15 @@ fn simulator_latency_grows_with_offered_load() {
         duration: SimDuration::from_secs(5),
         ..GameWorkloadConfig::default()
     };
-    let high = GameWorkloadConfig { request_rate: 20_000.0, ..low.clone() };
+    let high = GameWorkloadConfig {
+        request_rate: 20_000.0,
+        ..low.clone()
+    };
     let latency = |config: &GameWorkloadConfig| {
         let mut w = GameWorkload::generate(SystemKind::Aeon, config);
-        Simulator::new().run(&mut w.cluster, &w.requests).mean_latency_ms()
+        Simulator::new()
+            .run(&mut w.cluster, &w.requests)
+            .mean_latency_ms()
     };
     assert!(latency(&high) > 2.0 * latency(&low));
 }

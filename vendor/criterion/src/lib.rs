@@ -1,0 +1,233 @@
+//! A minimal, criterion-compatible benchmark harness for offline builds.
+//!
+//! Supports the subset of the `criterion` 0.5 API this workspace's benches
+//! use: `bench_function`, `benchmark_group`/`bench_with_input`,
+//! `iter`/`iter_batched`, and the `criterion_group!`/`criterion_main!`
+//! macros.  Each benchmark runs for a short, fixed budget and prints the
+//! mean wall-clock time per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How inputs are batched in [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the stub always runs one input per routine call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    /// (total time, iterations) recorded by the last `iter*` call.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        while started.elapsed() < self.budget {
+            std::hint::black_box(routine());
+            iterations += 1;
+        }
+        self.measured = Some((started.elapsed(), iterations.max(1)));
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while total < self.budget {
+            let input = setup();
+            let started = Instant::now();
+            std::hint::black_box(routine(input));
+            total += started.elapsed();
+            iterations += 1;
+        }
+        self.measured = Some((total, iterations.max(1)));
+    }
+}
+
+/// The benchmark harness configuration and runner.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility (the stub has no sampling phase).
+    #[must_use]
+    pub fn sample_size(self, _samples: usize) -> Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        // Keep stub runs short regardless of the configured budget.
+        self.measurement_time = time.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            measured: None,
+        };
+        f(&mut bencher);
+        report(name, bencher.measured);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group on `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement_time,
+            measured: None,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), bencher.measured);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, measured: Option<(Duration, u64)>) {
+    match measured {
+        Some((total, iterations)) => {
+            let per_iter = total.as_nanos() as f64 / iterations as f64;
+            println!("bench {name:<50} {per_iter:>12.0} ns/iter ({iterations} iters)");
+        }
+        None => println!("bench {name:<50} (not measured)"),
+    }
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut criterion = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(10);
+        sample_bench(&mut criterion);
+    }
+
+    criterion_group!(plain, sample_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().measurement_time(Duration::from_millis(5));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        // The macro bodies only need a short run to prove they are wired.
+        plain();
+        configured();
+    }
+}

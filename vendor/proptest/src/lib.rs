@@ -1,0 +1,581 @@
+//! A minimal, proptest-compatible property-testing DSL for offline builds.
+//!
+//! Supports the subset of the `proptest` 1.x API this workspace's tests
+//! use: range and `any::<T>()` strategies, tuples, `Just`, simple
+//! `"[a-z]{lo,hi}"` string patterns, `collection::{vec, btree_map}`, the
+//! `prop_map`/`prop_filter`/`prop_recursive` combinators, `prop_oneof!`,
+//! and the `proptest!` test macro with `ProptestConfig::with_cases`.
+//!
+//! Unlike the real crate there is no shrinking: failures report the
+//! generated inputs via the panic message only.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Everything a test module needs, for glob import.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `predicate` (regenerating, up to a
+    /// bounded number of attempts).
+    fn prop_filter<F>(self, _reason: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + Clone,
+    {
+        Filter {
+            inner: self,
+            predicate,
+        }
+    }
+
+    /// Builds a recursive strategy by applying `recurse` `depth` times to
+    /// the leaf strategy.  The `_desired_size` / `_expected_branch` hints
+    /// of the real API are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strategy = self.boxed();
+        for _ in 0..depth {
+            strategy = recurse(strategy).boxed();
+        }
+        strategy
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Clone,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.predicate)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive generated values");
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternative strategies (built by
+/// [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Full bit pattern: may be NaN/infinite; tests filter as needed.
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+/// The [`any`] strategy.
+pub struct Any<T> {
+    marker: PhantomData<T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Self {
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy generating unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: PhantomData,
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+/// String pattern strategy: supports the `"[lo-hi]{min,max}"` shape (one
+/// character class with a repetition count), which is all this workspace
+/// uses.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (class, reps) = self
+            .split_once('{')
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let class = class
+            .strip_prefix('[')
+            .and_then(|c| c.strip_suffix(']'))
+            .unwrap_or_else(|| panic!("unsupported character class in {self:?}"));
+        let mut chars = class.chars();
+        let (lo, dash, hi) = (chars.next(), chars.next(), chars.next());
+        assert!(
+            dash == Some('-') && chars.next().is_none(),
+            "unsupported character class in {self:?}"
+        );
+        let (lo, hi) = (
+            lo.expect("class lower bound"),
+            hi.expect("class upper bound"),
+        );
+        let reps = reps
+            .strip_suffix('}')
+            .unwrap_or_else(|| panic!("bad repetition in {self:?}"));
+        let (min, max) = reps
+            .split_once(',')
+            .map(|(a, b)| (a.parse().expect("min"), b.parse().expect("max")))
+            .unwrap_or_else(|| {
+                let n: usize = reps.parse().expect("count");
+                (n, n)
+            });
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| rng.gen_range(lo as u32..=hi as u32))
+            .filter_map(char::from_u32)
+            .collect()
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `element` values with a length in `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeMap`s; see [`btree_map`].
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len)
+                .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// Generates `BTreeMap`s with `size`-many `keys`/`values` entries
+    /// (deduplicated by key, like the real crate).
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+}
+
+/// Uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(file!(), line!(), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), &mut rng);
+                    )*
+                    // A zero-argument closure per case so that
+                    // `prop_assume!`'s `return` skips only this case.
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || $body)();
+                }
+            }
+        )*
+    };
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Builds the deterministic RNG for one generated test case.
+#[doc(hidden)]
+pub fn case_rng(file: &str, line: u32, case: u32) -> StdRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for byte in file.bytes() {
+        seed = (seed ^ byte as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    seed = (seed ^ line as u64).wrapping_mul(0x1000_0000_01b3);
+    seed = (seed ^ case as u64).wrapping_mul(0x1000_0000_01b3);
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 1usize..10, b in 0u32..=5, f in 0.0f64..1.0) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b <= 5);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in collection::vec((0u8..3, 0u64..9), 1..20),
+            s in "[a-z]{1,8}",
+            x in any::<u64>().prop_map(|n| n % 7),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|(a, b)| *a < 3 && *b < 9));
+            prop_assert!((1..=8).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(x < 7);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_strategies() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        let strategy = prop_oneof![(0u64..5).prop_map(Tree::Leaf), Just(Tree::Leaf(99)),]
+            .prop_recursive(2, 8, 4, |inner| {
+                collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::case_rng(file!(), line!(), 0);
+        for _ in 0..50 {
+            let tree = Strategy::generate(&strategy, &mut rng);
+            fn leaves_ok(t: &Tree) -> bool {
+                match t {
+                    Tree::Leaf(n) => *n < 5 || *n == 99,
+                    Tree::Node(children) => children.iter().all(leaves_ok),
+                }
+            }
+            assert!(leaves_ok(&tree));
+        }
+    }
+
+    #[test]
+    fn filter_retries_until_predicate_holds() {
+        let strategy = any::<f64>().prop_filter("finite", |f| f.is_finite());
+        let mut rng = crate::case_rng(file!(), line!(), 1);
+        for _ in 0..100 {
+            assert!(Strategy::generate(&strategy, &mut rng).is_finite());
+        }
+    }
+}

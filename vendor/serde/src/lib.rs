@@ -1,0 +1,23 @@
+//! A facade over the marker serde derive macros, for offline builds.
+//!
+//! Only the names this workspace uses are provided: the [`Serialize`] /
+//! [`Deserialize`] marker traits (no methods — there is no runtime
+//! serialisation machinery; snapshots and migration payloads go through
+//! `aeon_types::codec`), the corresponding derive macros, and
+//! [`de::DeserializeOwned`].
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Deserialisation helper traits.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,51 @@
+//! Marker `Serialize`/`Deserialize` derive macros for offline builds.
+//!
+//! The workspace derives the serde traits on many (non-generic) types for
+//! forward compatibility but never serialises through serde at runtime
+//! (snapshots use the self-contained `aeon_types::codec`).  These derives
+//! accept the `#[serde(...)]` attributes and emit empty marker-trait
+//! implementations so that `T: Serialize`/`T: DeserializeOwned` bounds
+//! hold.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns the name of the first `struct`/`enum`/`union` declared in the
+/// derive input.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                for next in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = next {
+                        return Some(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Derives the `serde::Serialize` marker implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the `serde::Deserialize` marker implementation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
