@@ -4,9 +4,13 @@
 //! evaluation (§6); see EXPERIMENTS.md at the workspace root for the mapping
 //! and the recorded outputs.
 
+use aeon_api::Session;
+use aeon_apps::game::{deploy_game, game_class_graph};
+use aeon_apps::tpcc::{deploy_tpcc, run_payment, tpcc_class_graph};
 use aeon_apps::{GameWorkload, GameWorkloadConfig, TpccWorkload, TpccWorkloadConfig};
+use aeon_runtime::AeonRuntime;
 use aeon_sim::{Metrics, Simulator, SystemKind};
-use aeon_types::SimTime;
+use aeon_types::{args, Result, SimTime};
 
 /// Prints a table header row.
 pub fn header(columns: &[&str]) {
@@ -31,6 +35,153 @@ pub fn run_tpcc(system: SystemKind, config: &TpccWorkloadConfig) -> (Metrics, Si
     let mut workload = TpccWorkload::generate(system, config);
     let metrics = Simulator::new().run(&mut workload.cluster, &workload.requests);
     (metrics, SimTime::ZERO + config.duration)
+}
+
+/// The worker-pool size knob of the fig5/fig6 drivers: `--pool-size N` on
+/// the command line or the `AEON_POOL_SIZE` environment variable.  When
+/// set, the drivers append a live measurement on a real `AeonRuntime`
+/// whose sharded executor runs with that many resident workers.
+pub fn pool_size_knob() -> Option<usize> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--pool-size" {
+            return argv.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix("--pool-size=") {
+            return v.parse().ok();
+        }
+    }
+    std::env::var("AEON_POOL_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// The result of a live (non-simulated) run against a real backend.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveReport {
+    /// Resident executor workers used by the run.
+    pub pool_size: usize,
+    /// Events completed.
+    pub events: usize,
+    /// Events per wall-clock second.
+    pub throughput: f64,
+    /// Median event latency in microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile event latency in microseconds.
+    pub p99_micros: u64,
+}
+
+impl LiveReport {
+    /// Renders the report as a figure footnote line.
+    pub fn footnote(&self, label: &str) -> String {
+        format!(
+            "# live {label} (pool={}): {:.2} events/s over {} events, \
+             p50={}us p99={}us",
+            self.pool_size, self.throughput, self.events, self.p50_micros, self.p99_micros
+        )
+    }
+}
+
+fn live_report(runtime: &AeonRuntime, pool_size: usize, events: usize, secs: f64) -> LiveReport {
+    let latency = runtime.stats().latency_summary();
+    LiveReport {
+        pool_size,
+        events,
+        throughput: events as f64 / secs.max(f64::MIN_POSITIVE),
+        p50_micros: latency.p50_micros,
+        p99_micros: latency.p99_micros,
+    }
+}
+
+/// Measures the game workload on a live `AeonRuntime` with a sharded
+/// worker pool of `pool_size` resident workers: `rooms` rooms × 4 players
+/// mine gold concurrently (`events_per_player` each).
+///
+/// # Errors
+///
+/// Propagates deployment and event submission failures.
+pub fn live_game_run(
+    pool_size: usize,
+    rooms: usize,
+    events_per_player: usize,
+) -> Result<LiveReport> {
+    let runtime = AeonRuntime::builder()
+        .servers(rooms.max(1))
+        .worker_threads(pool_size)
+        .class_graph(game_class_graph())
+        .build()?;
+    let players_per_room = 4;
+    let world = deploy_game(&runtime, rooms, players_per_room)?;
+    let session = runtime.client();
+    let started = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..events_per_player {
+        for room in &world.players {
+            for player in room {
+                handles.push(Session::submit_event(
+                    &session,
+                    *player,
+                    "get_gold",
+                    args![1],
+                )?);
+            }
+        }
+    }
+    let events = handles.len();
+    for handle in handles {
+        handle.wait()?;
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let report = live_report(&runtime, pool_size, events, secs);
+    runtime.shutdown();
+    Ok(report)
+}
+
+/// Measures the TPC-C Payment workload on a live `AeonRuntime` with a
+/// sharded worker pool of `pool_size` resident workers: `clients`
+/// client threads each issue `payments_per_client` Payment transactions.
+///
+/// # Errors
+///
+/// Propagates deployment and transaction failures.
+pub fn live_tpcc_run(
+    pool_size: usize,
+    districts: usize,
+    clients: usize,
+    payments_per_client: usize,
+) -> Result<LiveReport> {
+    let runtime = AeonRuntime::builder()
+        .servers(districts.max(1))
+        .worker_threads(pool_size)
+        .class_graph(tpcc_class_graph())
+        .build()?;
+    let world = deploy_tpcc(&runtime, districts, 4)?;
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut joins = Vec::new();
+        for client in 0..clients {
+            let session = runtime.client();
+            let world = &world;
+            joins.push(scope.spawn(move || -> Result<()> {
+                for payment in 0..payments_per_client {
+                    let district = (client + payment) % world.districts.len();
+                    let customer = payment % world.customers[district].len();
+                    run_payment(&session, world, district, customer, 1)?;
+                }
+                Ok(())
+            }));
+        }
+        for join in joins {
+            join.join().expect("client thread does not panic")?;
+        }
+        Ok(())
+    })?;
+    let secs = started.elapsed().as_secs_f64();
+    // A Payment is three events (warehouse, district, customer).
+    let events = clients * payments_per_client * 3;
+    let report = live_report(&runtime, pool_size, events, secs);
+    runtime.shutdown();
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@ use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor};
 use crate::node::{spawn_node, NodeHandle};
 use aeon_net::{Endpoint, Network, NetworkStats};
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, OwnershipGraph};
-use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
+use aeon_runtime::{
+    ContextFactory, ContextObject, ExecutorConfig, ExecutorStats, Placement, Snapshot,
+};
 use aeon_types::{
     AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, Value,
 };
@@ -31,11 +33,18 @@ const EVENT_TIMEOUT: Duration = Duration::from_secs(60);
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Builder for [`Cluster`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ClusterBuilder {
     servers: usize,
     dominator_mode: DominatorMode,
     class_graph: Option<ClassGraph>,
+    executor: ExecutorConfig,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ClusterBuilder {
@@ -43,13 +52,30 @@ impl ClusterBuilder {
     pub fn new() -> Self {
         Self {
             servers: 1,
-            ..Self::default()
+            dominator_mode: DominatorMode::default(),
+            class_graph: None,
+            executor: ExecutorConfig::default(),
         }
     }
 
     /// Sets the number of servers started with the cluster.
     pub fn servers(mut self, servers: usize) -> Self {
         self.servers = servers;
+        self
+    }
+
+    /// Sets the number of resident pool workers each node executes
+    /// blocking messages on (default: the machine's available
+    /// parallelism); the shard count is derived from it.
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.executor.workers = n;
+        self
+    }
+
+    /// Caps the spill workers each node's blocking escape hatch may keep
+    /// alive at once.
+    pub fn max_spill_workers(mut self, n: usize) -> Self {
+        self.executor.max_spill_workers = n;
         self
     }
 
@@ -77,6 +103,11 @@ impl ClusterBuilder {
         if self.servers == 0 {
             return Err(AeonError::Config("at least one server is required".into()));
         }
+        if self.executor.workers == 0 {
+            return Err(AeonError::Config(
+                "at least one pool worker per node is required".into(),
+            ));
+        }
         if let Some(classes) = &self.class_graph {
             classes.check()?;
         }
@@ -86,6 +117,7 @@ impl ClusterBuilder {
         let inner = Arc::new(ClusterInner {
             directory,
             network,
+            executor_config: self.executor,
             nodes: Mutex::new(BTreeMap::new()),
             pending_events: Mutex::new(HashMap::new()),
             pending_control: Mutex::new(HashMap::new()),
@@ -110,6 +142,9 @@ impl ClusterBuilder {
 struct ClusterInner {
     directory: Arc<Directory>,
     network: Network<ClusterMessage>,
+    /// Worker-pool configuration applied to every node (including ones
+    /// added later by scale-out).
+    executor_config: ExecutorConfig,
     nodes: Mutex<BTreeMap<ServerId, NodeHandle>>,
     /// Event completions waiting to be routed back to client handles.
     pending_events: Mutex<HashMap<u64, Sender<Result<Value>>>>,
@@ -133,7 +168,12 @@ impl std::fmt::Debug for ClusterInner {
 impl ClusterInner {
     fn spawn_server(&self) -> ServerId {
         let id = ServerId::new(self.next_server.fetch_add(1, Ordering::Relaxed));
-        let handle = spawn_node(id, Arc::clone(&self.directory), &self.network);
+        let handle = spawn_node(
+            id,
+            Arc::clone(&self.directory),
+            &self.network,
+            self.executor_config.clone(),
+        );
         self.directory.register_server(id);
         self.nodes.lock().insert(id, handle);
         id
@@ -807,6 +847,29 @@ impl Cluster {
             .lock()
             .iter()
             .map(|(id, node)| (*id, node.hosted_contexts()))
+            .collect()
+    }
+
+    /// Per-server count of worker naps spent waiting for a migrated-in
+    /// context to be installed (each nap is one retry of the install-wait
+    /// loop, capped to the remaining grace deadline).
+    pub fn install_wait_retries(&self) -> BTreeMap<ServerId, u64> {
+        self.inner
+            .nodes
+            .lock()
+            .iter()
+            .map(|(id, node)| (*id, node.install_wait_retries()))
+            .collect()
+    }
+
+    /// Per-server counters of the nodes' worker pools (queue depth, spill
+    /// activity, caught panics).
+    pub fn executor_stats(&self) -> BTreeMap<ServerId, ExecutorStats> {
+        self.inner
+            .nodes
+            .lock()
+            .iter()
+            .map(|(id, node)| (*id, node.executor_stats()))
             .collect()
     }
 

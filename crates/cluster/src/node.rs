@@ -3,14 +3,20 @@
 //!
 //! Each node runs a receive loop on its own thread.  Messages that may block
 //! (activating a lock, executing a method, migrating a context) are handed
-//! to fresh worker threads so the receive loop always stays responsive —
-//! the same structure as the event-driven servers of the paper's Mace-based
-//! prototype.
+//! to the node's sharded worker pool so the receive loop always stays
+//! responsive.  The pool is fixed-size (a thread per blocking message does
+//! not scale); tasks are sharded by the context they concern, and the
+//! pool's spill escape hatch keeps the node live when every resident
+//! worker is parked on a remote call or a lock held by a yet-unscheduled
+//! message (see `aeon_runtime::executor`).
 
 use crate::directory::Directory;
 use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor};
 use aeon_net::{Endpoint, Network};
-use aeon_runtime::{ContextLock, ContextObject, Invocation, InvocationHost, SubEvent};
+use aeon_runtime::{
+    ContextLock, ContextObject, ExecutorConfig, ExecutorStats, Invocation, InvocationHost,
+    ShardedExecutor, SubEvent,
+};
 use aeon_types::{
     codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, Value,
 };
@@ -57,6 +63,9 @@ struct CallOutcome {
 /// State shared between a node's receive loop and its worker threads.
 pub(crate) struct NodeShared {
     pub(crate) id: ServerId,
+    /// The node's worker pool: every potentially blocking message is
+    /// executed here, sharded by the context it concerns.
+    executor: ShardedExecutor,
     directory: Arc<Directory>,
     network: Network<ClusterMessage>,
     contexts: RwLock<HashMap<ContextId, Arc<HostedContext>>>,
@@ -77,6 +86,9 @@ pub(crate) struct NodeShared {
     /// buffered and replayed after `Install`.
     installing: Mutex<HashMap<ContextId, Vec<ClusterMessage>>>,
     events_executed: AtomicU64,
+    /// Times a worker slept waiting for a migrated-in context to be
+    /// installed (the wait-for-install retry loop in [`RemoteExecution`]).
+    install_wait_retries: AtomicU64,
     running: AtomicBool,
 }
 
@@ -107,10 +119,23 @@ impl NodeHandle {
         self.shared.contexts.read().len()
     }
 
+    /// Times a worker slept waiting for a migrated-in context.
+    pub(crate) fn install_wait_retries(&self) -> u64 {
+        self.shared.install_wait_retries.load(Ordering::Relaxed)
+    }
+
+    /// Counters of this node's worker pool.
+    pub(crate) fn executor_stats(&self) -> ExecutorStats {
+        self.shared.executor.stats()
+    }
+
     /// Stops the node immediately without draining (models a crash).
     pub(crate) fn crash(&self) {
         self.shared.running.store(false, Ordering::SeqCst);
+        // Wake everything that could keep a pool worker parked (lock
+        // waiters, remote-call waiters) before joining the pool.
         self.shared.poison_all();
+        self.shared.executor.shutdown();
     }
 }
 
@@ -120,6 +145,16 @@ impl NodeShared {
             hosted.lock.poison();
         }
         self.root_lock.poison();
+        // Workers blocked on remote calls would otherwise sit out the full
+        // call timeout; fail their calls immediately.
+        let waiters: Vec<(u64, Sender<CallOutcome>)> = self.pending_calls.lock().drain().collect();
+        for (_, reply) in waiters {
+            let _ = reply.send(CallOutcome {
+                result: Err(AeonError::RuntimeShutdown),
+                participants: Vec::new(),
+                sub_events: Vec::new(),
+            });
+        }
     }
 
     fn send(&self, to: ServerId, message: ClusterMessage) {
@@ -155,6 +190,13 @@ impl NodeShared {
         self.contexts.read().get(&context).cloned()
     }
 
+    /// Hands a potentially blocking message handler to the worker pool,
+    /// sharded by the context the message concerns so same-context
+    /// messages keep FIFO dequeue affinity.
+    fn offload(&self, key: ContextId, work: impl FnOnce() + Send + 'static) {
+        self.executor.submit(key.raw(), work);
+    }
+
     /// Routing decision for messages that name a context this node may no
     /// longer (or not yet) host.  Returns `true` when the message was
     /// consumed (buffered or forwarded).
@@ -181,15 +223,18 @@ impl NodeShared {
     }
 }
 
-/// Spawns a node: registers it on the network and starts its receive loop.
+/// Spawns a node: registers it on the network, starts its worker pool and
+/// its receive loop.
 pub(crate) fn spawn_node(
     id: ServerId,
     directory: Arc<Directory>,
     network: &Network<ClusterMessage>,
+    executor: ExecutorConfig,
 ) -> NodeHandle {
     let endpoint = network.register(id);
     let shared = Arc::new(NodeShared {
         id,
+        executor: ShardedExecutor::new(format!("aeon-node-{id}-pool"), executor),
         directory,
         network: network.clone(),
         contexts: RwLock::new(HashMap::new()),
@@ -201,6 +246,7 @@ pub(crate) fn spawn_node(
         stopped: Mutex::new(HashMap::new()),
         installing: Mutex::new(HashMap::new()),
         events_executed: AtomicU64::new(0),
+        install_wait_retries: AtomicU64::new(0),
         running: AtomicBool::new(true),
     });
     let loop_shared = Arc::clone(&shared);
@@ -250,8 +296,8 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             {
                 return;
             }
-            let shared = Arc::clone(shared);
-            spawn_worker(move || handle_act(&shared, event, sequencer));
+            let worker = Arc::clone(shared);
+            shared.offload(sequencer, move || handle_act(&worker, event, sequencer));
         }
         ClusterMessage::Exec { event, sequencer } => {
             if shared.local(event.target).is_none()
@@ -265,8 +311,9 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             {
                 return;
             }
-            let shared = Arc::clone(shared);
-            spawn_worker(move || handle_exec(&shared, event, sequencer));
+            let worker = Arc::clone(shared);
+            let key = event.target;
+            shared.offload(key, move || handle_exec(&worker, event, sequencer));
         }
         ClusterMessage::Call {
             event,
@@ -297,10 +344,10 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             {
                 return;
             }
-            let shared = Arc::clone(shared);
-            spawn_worker(move || {
+            let worker = Arc::clone(shared);
+            shared.offload(target, move || {
                 handle_call(
-                    &shared, event, mode, client, caller, target, method, args, reply_to, corr,
+                    &worker, event, mode, client, caller, target, method, args, reply_to, corr,
                 )
             });
         }
@@ -332,8 +379,8 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             shared.send(gateway_id(), ClusterMessage::StopAck { corr, context });
         }
         ClusterMessage::Migrate { corr, context, to } => {
-            let shared = Arc::clone(shared);
-            spawn_worker(move || handle_migrate(&shared, corr, context, to));
+            let worker = Arc::clone(shared);
+            shared.offload(context, move || handle_migrate(&worker, corr, context, to));
         }
         ClusterMessage::Install {
             corr,
@@ -342,8 +389,10 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             state,
             from: _,
         } => {
-            let shared = Arc::clone(shared);
-            spawn_worker(move || handle_install(&shared, corr, context, class, state));
+            let worker = Arc::clone(shared);
+            shared.offload(context, move || {
+                handle_install(&worker, corr, context, class, state)
+            });
         }
         ClusterMessage::SnapshotReq { corr, context } => {
             if shared.local(context).is_none()
@@ -351,8 +400,8 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             {
                 return;
             }
-            let shared = Arc::clone(shared);
-            spawn_worker(move || handle_snapshot(&shared, corr, context));
+            let worker = Arc::clone(shared);
+            shared.offload(context, move || handle_snapshot(&worker, corr, context));
         }
         ClusterMessage::RestoreReq {
             corr,
@@ -371,8 +420,10 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             {
                 return;
             }
-            let shared = Arc::clone(shared);
-            spawn_worker(move || handle_restore(&shared, corr, context, state));
+            let worker = Arc::clone(shared);
+            shared.offload(context, move || {
+                handle_restore(&worker, corr, context, state)
+            });
         }
         ClusterMessage::Shutdown => {
             shared.running.store(false, Ordering::SeqCst);
@@ -387,13 +438,6 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
         | ClusterMessage::RestoreAck { .. }
         | ClusterMessage::Done { .. } => {}
     }
-}
-
-fn spawn_worker(work: impl FnOnce() + Send + 'static) {
-    std::thread::Builder::new()
-        .name("aeon-node-worker".into())
-        .spawn(work)
-        .expect("spawning a worker thread succeeds");
 }
 
 /// Sequences the event at the dominator (`ACT`), then forwards it to the
@@ -511,7 +555,7 @@ fn handle_call(
     // A caller equal to the target marks a top-level invocation that was
     // forwarded after a migration; there is no ownership edge to check.
     let caller = if caller == target { None } else { Some(caller) };
-    let result = exec.invoke(caller, target, &method, &args);
+    let result = exec.invoke_caught(caller, target, &method, &args);
     let mut participants = exec.participants.clone();
     participants.insert(shared.id);
     shared.send(
@@ -708,7 +752,16 @@ impl RemoteExecution {
     }
 
     /// Runs the top-level method of the event, then drains `async` calls.
+    /// A panic anywhere in the application code fails the event instead of
+    /// killing the worker (the caller still releases every lock and sends
+    /// the completion).
     fn run(&mut self, event: &EventDescriptor) -> Result<Value> {
+        let exec = &mut *self;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || exec.run_inner(event)))
+            .unwrap_or_else(|payload| Err(AeonError::from_panic(payload)))
+    }
+
+    fn run_inner(&mut self, event: &EventDescriptor) -> Result<Value> {
         let mut result = self.invoke(None, event.target, &event.method, &event.args);
         while let Some((caller, target, method, args)) = self.pending_async.pop_front() {
             let r = self.invoke(Some(caller), target, &method, &args);
@@ -719,6 +772,23 @@ impl RemoteExecution {
             }
         }
         result
+    }
+
+    /// Like [`RemoteExecution::invoke`], but converts an application panic
+    /// into a failed call (used for calls served on behalf of a remote
+    /// event, where the unwind would otherwise leak the worker).
+    fn invoke_caught(
+        &mut self,
+        caller: Option<ContextId>,
+        target: ContextId,
+        method: &str,
+        args: &Args,
+    ) -> Result<Value> {
+        let exec = &mut *self;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            exec.invoke(caller, target, method, args)
+        }))
+        .unwrap_or_else(|payload| Err(AeonError::from_panic(payload)))
     }
 
     fn locate(&self, target: ContextId) -> Result<Option<Arc<HostedContext>>> {
@@ -733,6 +803,9 @@ impl RemoteExecution {
                     return Ok(None);
                 }
             }
+            if !self.node.running.load(Ordering::SeqCst) {
+                return Err(AeonError::RuntimeShutdown);
+            }
             match self.node.directory.placement_of(target) {
                 Ok(server) if server == self.node.id => {
                     // Mapped here but not installed yet (migration in
@@ -740,10 +813,18 @@ impl RemoteExecution {
                     if let Some(hosted) = self.node.local(target) {
                         return Ok(Some(hosted));
                     }
-                    if std::time::Instant::now() >= deadline {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
                         return Err(AeonError::MigrationInProgress(target));
                     }
-                    std::thread::sleep(Duration::from_millis(10));
+                    // Never sleep past the deadline: a full fixed-interval
+                    // nap could overshoot it and stall the worker longer
+                    // than the configured grace period.
+                    let nap = (deadline - now).min(Duration::from_millis(10));
+                    self.node
+                        .install_wait_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(nap);
                 }
                 Ok(_) => return Ok(None),
                 Err(e) => return Err(e),
@@ -815,6 +896,14 @@ impl RemoteExecution {
         let corr = self.node.corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         self.node.pending_calls.lock().insert(corr, tx);
+        // Re-check liveness after registering: a crash/shutdown drains
+        // `pending_calls` to wake blocked workers, and an insert that
+        // races past that drain would otherwise park this worker for the
+        // full call timeout (stalling the pool join).
+        if !self.node.running.load(Ordering::SeqCst) {
+            self.node.pending_calls.lock().remove(&corr);
+            return Err(AeonError::RuntimeShutdown);
+        }
         self.node.send(
             server,
             ClusterMessage::Call {

@@ -1,0 +1,591 @@
+//! The sharded worker-pool executor shared by the execution backends.
+//!
+//! Both the in-process runtime and the cluster nodes used to burn one OS
+//! thread per unit of work (one thread per submitted event, one worker
+//! thread per blocking cluster message), which collapses long before the
+//! "heavy traffic from millions of users" target.  This module replaces
+//! that with a fixed pool of resident workers fed by per-shard FIFO
+//! injection queues:
+//!
+//! * **Sharding** — tasks are submitted with a key (the raw id of the
+//!   target context); the key picks a shard, so work for the same context
+//!   always lands in the same FIFO queue and is dequeued in submission
+//!   order, while independent contexts spread over all shards and run in
+//!   parallel.  Sharding is an ordering/locality affinity, *not* a
+//!   correctness mechanism: strict serializability still comes from the
+//!   per-context activation locks and dominator sequencing.
+//! * **Resident workers** — a fixed number of threads (default: the
+//!   machine's available parallelism) scan the shards starting from a
+//!   per-worker home offset, so under load each worker tends to drain its
+//!   own shards (cache affinity) but no queue is ever starved.
+//! * **Blocking escape hatch** — a task may block mid-execution (an event
+//!   waiting for a context activation, a cluster worker waiting for a
+//!   remote call reply).  A monitor thread watches for the stall signature
+//!   — queued work, zero idle workers, and no completions since the last
+//!   tick — and spawns short-lived *spill* workers that drain the queues
+//!   until they are empty and then exit.  This bounds resident threads
+//!   while guaranteeing progress when every resident worker is parked on a
+//!   dependency that itself needs a worker to resolve (the classic fixed
+//!   pool deadlock).
+//!
+//! Workers run each task under `catch_unwind`, so a panicking task can
+//! never kill a pool thread; panics are counted in [`ExecutorStats`].
+//! Callers that need to observe the panic (e.g. to resolve an event handle
+//! with a proper error) catch it closer to the application code.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A unit of work accepted by the pool.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Configuration of a [`ShardedExecutor`].
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Number of resident worker threads.
+    pub workers: usize,
+    /// Number of injection queues; tasks are routed by `key % shards`.
+    /// `0` means "derive from the pool size" (4 × workers), so the shard
+    /// count tracks the pool unless set explicitly.
+    pub shards: usize,
+    /// Upper bound on concurrently live spill workers (the blocking escape
+    /// hatch).  Setting this too low can reintroduce the fixed-pool
+    /// deadlock under extreme blocking; the default is generous.
+    pub max_spill_workers: usize,
+    /// How often the monitor checks for the stall signature.
+    pub stall_check_interval: Duration,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        Self {
+            workers,
+            shards: 0,
+            max_spill_workers: 256,
+            stall_check_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// A configuration with `workers` resident workers and an
+    /// automatically derived shard count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// A point-in-time snapshot of the pool's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Number of resident workers.
+    pub workers: usize,
+    /// Number of injection shards.
+    pub shards: usize,
+    /// Tasks accepted by [`ShardedExecutor::submit`].
+    pub submitted: u64,
+    /// Tasks that finished executing (including panicked ones).
+    pub completed: u64,
+    /// Tasks currently sitting in the injection queues.
+    pub queued: u64,
+    /// Total spill workers spawned by the blocking escape hatch.
+    pub spill_spawned: u64,
+    /// Spill workers currently alive.
+    pub spill_live: usize,
+    /// Tasks that panicked (caught by the worker; the pool survived).
+    pub panics: u64,
+}
+
+struct ExecutorInner {
+    name: String,
+    config: ExecutorConfig,
+    shards: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks queued across all shards (fast path for workers and monitor).
+    queued: AtomicU64,
+    /// Workers currently parked waiting for work.
+    idle: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    spill_spawned: AtomicU64,
+    spill_live: AtomicUsize,
+    panics: AtomicU64,
+    shutdown: AtomicBool,
+    /// Sleep coordination: submitters notify under this mutex, workers
+    /// re-check `queued` under it before parking, so wakeups are not lost.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Monitor coordination (separate so worker wakeups do not thrash it).
+    monitor_lock: Mutex<()>,
+    monitor_cv: Condvar,
+}
+
+impl ExecutorInner {
+    /// Pops the oldest task of the first non-empty shard, scanning from
+    /// `home` so distinct workers prefer distinct shards.
+    fn next_task(&self, home: usize) -> Option<Task> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = &self.shards[(home + i) % n];
+            let mut queue = shard.lock();
+            if let Some(task) = queue.pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn run_task(&self, task: Task) {
+        if std::panic::catch_unwind(AssertUnwindSafe(task)).is_err() {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        self.completed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn worker_loop(self: &Arc<Self>, home: usize) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.next_task(home) {
+                Some(task) => self.run_task(task),
+                None => {
+                    let mut guard = self.sleep_lock.lock();
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // Re-check under the sleep lock: a submitter that
+                    // enqueued after our scan notifies under this lock.
+                    if self.queued.load(Ordering::SeqCst) > 0 {
+                        continue;
+                    }
+                    self.idle.fetch_add(1, Ordering::SeqCst);
+                    self.sleep_cv
+                        .wait_for(&mut guard, Duration::from_millis(100));
+                    self.idle.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// A spill worker drains the queues and exits as soon as they are
+    /// empty; it never parks.
+    fn spill_loop(self: &Arc<Self>) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.next_task(0) {
+                Some(task) => self.run_task(task),
+                None => break,
+            }
+        }
+        self.spill_live.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Watches for the stall signature (queued work, nobody idle, no
+    /// completions since the previous tick) and spawns spill workers.
+    ///
+    /// Successive spawns with no progress in between back off
+    /// exponentially (1, 2, 4, … stalled ticks, capped), so ordinary
+    /// blocking bursts (e.g. every resident worker inside a
+    /// multi-millisecond remote call) cost a handful of spill threads
+    /// rather than one per tick, while genuine dependency chains still
+    /// get rescued step by step.
+    fn monitor_loop(self: &Arc<Self>) {
+        const MAX_BACKOFF_TICKS: u32 = 32;
+        let mut last_completed = u64::MAX;
+        let mut stalled_ticks = 0u32;
+        let mut spawn_after = 1u32;
+        loop {
+            {
+                let mut guard = self.monitor_lock.lock();
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                self.monitor_cv
+                    .wait_for(&mut guard, self.config.stall_check_interval);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if self.queued.load(Ordering::SeqCst) == 0 {
+                last_completed = u64::MAX;
+                stalled_ticks = 0;
+                spawn_after = 1;
+                continue;
+            }
+            let completed = self.completed.load(Ordering::SeqCst);
+            let stalled = self.idle.load(Ordering::SeqCst) == 0 && completed == last_completed;
+            last_completed = completed;
+            if !stalled {
+                stalled_ticks = 0;
+                spawn_after = 1;
+                continue;
+            }
+            stalled_ticks += 1;
+            if stalled_ticks >= spawn_after
+                && self.spill_live.load(Ordering::SeqCst) < self.config.max_spill_workers
+            {
+                stalled_ticks = 0;
+                spawn_after = spawn_after.saturating_mul(2).min(MAX_BACKOFF_TICKS);
+                self.spill_live.fetch_add(1, Ordering::SeqCst);
+                self.spill_spawned.fetch_add(1, Ordering::Relaxed);
+                let inner = Arc::clone(self);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("{}-spill", self.name))
+                    .spawn(move || inner.spill_loop());
+                if spawned.is_err() {
+                    self.spill_live.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Drops every queued task (their completion channels disconnect,
+    /// resolving any waiting handles as shut down).
+    fn drain_queues(&self) {
+        for shard in &self.shards {
+            let dropped = {
+                let mut queue = shard.lock();
+                std::mem::take(&mut *queue)
+            };
+            self.queued
+                .fetch_sub(dropped.len() as u64, Ordering::SeqCst);
+            drop(dropped);
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecutorInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorInner")
+            .field("name", &self.name)
+            .field("workers", &self.config.workers)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A fixed-size worker pool over sharded FIFO injection queues.
+///
+/// Dropping the executor shuts it down (queued tasks are dropped, resident
+/// workers are joined), so an owner does not leak threads when it goes
+/// away without an explicit shutdown.
+#[derive(Debug)]
+pub struct ShardedExecutor {
+    inner: Arc<ExecutorInner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ShardedExecutor {
+    /// Starts a pool named `name` (thread names derive from it).
+    ///
+    /// A zero `workers` is promoted to one (misconfiguration should be
+    /// rejected by the owning builder with a proper error); a zero
+    /// `shards` derives the shard count from the pool size.
+    pub fn new(name: impl Into<String>, config: ExecutorConfig) -> Self {
+        let name = name.into();
+        let workers = config.workers.max(1);
+        let shards = if config.shards == 0 {
+            workers.saturating_mul(4)
+        } else {
+            config.shards
+        };
+        let inner = Arc::new(ExecutorInner {
+            name: name.clone(),
+            config: ExecutorConfig {
+                workers,
+                shards,
+                ..config
+            },
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicU64::new(0),
+            idle: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            spill_spawned: AtomicU64::new(0),
+            spill_live: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            monitor_lock: Mutex::new(()),
+            monitor_cv: Condvar::new(),
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        for worker in 0..workers {
+            let inner = Arc::clone(&inner);
+            // Spread worker homes across the shard space.
+            let home = worker * shards / workers;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-worker-{worker}"))
+                    .spawn(move || inner.worker_loop(home))
+                    .expect("spawning a pool worker succeeds"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-monitor"))
+                    .spawn(move || inner.monitor_loop())
+                    .expect("spawning the pool monitor succeeds"),
+            );
+        }
+        Self {
+            inner,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Number of resident workers.
+    pub fn worker_count(&self) -> usize {
+        self.inner.config.workers
+    }
+
+    /// Submits a task routed by `key` (same key ⇒ same shard ⇒ FIFO
+    /// dequeue order).  Tasks submitted after shutdown are dropped, which
+    /// resolves any completion channel they carry as disconnected.
+    pub fn submit(&self, key: u64, task: impl FnOnce() + Send + 'static) {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let shard = (key % self.inner.shards.len() as u64) as usize;
+        // Count before pushing so a concurrent pop (which decrements)
+        // can never observe the task ahead of its increment.
+        self.inner.queued.fetch_add(1, Ordering::SeqCst);
+        self.inner.shards[shard].lock().push_back(Box::new(task));
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        // Close the race with a concurrent shutdown(): its drain may have
+        // run between our entry check and the push, in which case nobody
+        // will ever pop this task and its completion channel would leak
+        // (hanging the waiting handle instead of disconnecting it).
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            self.inner.drain_queues();
+            return;
+        }
+        // Notify under the sleep lock so a worker between "scan found
+        // nothing" and "park" re-checks and cannot miss this task.
+        let _guard = self.inner.sleep_lock.lock();
+        self.inner.sleep_cv.notify_one();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            workers: self.inner.config.workers,
+            shards: self.inner.shards.len(),
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::SeqCst),
+            queued: self.inner.queued.load(Ordering::SeqCst),
+            spill_spawned: self.inner.spill_spawned.load(Ordering::Relaxed),
+            spill_live: self.inner.spill_live.load(Ordering::SeqCst),
+            panics: self.inner.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the pool: queued tasks are dropped, resident workers and the
+    /// monitor are joined; live spill workers exit on their own as soon as
+    /// they observe the flag.  Tasks already executing run to completion
+    /// first, so callers that poison blocking primitives should do so
+    /// *before* shutting the pool down.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Drop queued tasks before waking workers so nothing new starts.
+        self.inner.drain_queues();
+        {
+            let _guard = self.inner.sleep_lock.lock();
+            self.inner.sleep_cv.notify_all();
+        }
+        {
+            let _guard = self.inner.monitor_lock.lock();
+            self.inner.monitor_cv.notify_all();
+        }
+        let threads = {
+            let mut threads = self.threads.lock();
+            std::mem::take(&mut *threads)
+        };
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ShardedExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    fn small_pool(workers: usize) -> ShardedExecutor {
+        ShardedExecutor::new("test-pool", ExecutorConfig::with_workers(workers))
+    }
+
+    #[test]
+    fn executes_submitted_tasks() {
+        let pool = small_pool(2);
+        let counter = Arc::new(Counter::new(0));
+        for key in 0..100u64 {
+            let counter = Arc::clone(&counter);
+            pool.submit(key, move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while counter.load(Ordering::SeqCst) < 100 {
+            assert!(Instant::now() < deadline, "tasks did not all run");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.queued, 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn same_key_tasks_dequeue_in_submission_order() {
+        let pool = small_pool(4);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(Counter::new(0));
+        // One slow task on the shard first, then ordered followers: the
+        // followers must be dequeued in submission order.
+        for i in 0..50u64 {
+            let order = Arc::clone(&order);
+            let gate = Arc::clone(&gate);
+            pool.submit(7, move || {
+                while gate.load(Ordering::SeqCst) != i {
+                    std::thread::yield_now();
+                }
+                order.lock().push(i);
+                gate.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while gate.load(Ordering::SeqCst) < 50 {
+            assert!(Instant::now() < deadline, "ordered tasks stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(*order.lock(), (0..50).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn spill_workers_rescue_blocked_pool() {
+        // Pool of 1; the first task blocks until a second task (which
+        // needs the escape hatch to run) unblocks it.
+        let pool = small_pool(1);
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.submit(0, move || {
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("the rescue task must run despite the blocked pool");
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        pool.submit(1, move || {
+            let _ = tx.send(());
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.stats().completed < 2 {
+            assert!(Instant::now() < deadline, "escape hatch never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(pool.stats().spill_spawned >= 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let pool = small_pool(1);
+        pool.submit(0, || panic!("boom"));
+        let done = Arc::new(Counter::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(0, move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        // Wait for *both* tasks to complete (the second may run on a spill
+        // worker while the panic backtrace is still being printed).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.stats().completed < 2 {
+            assert!(Instant::now() < deadline, "worker died after a panic");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.stats().panics, 1);
+        // The pool keeps serving tasks after the panic.
+        let d = Arc::clone(&done);
+        pool.submit(3, move || {
+            d.store(2, Ordering::SeqCst);
+        });
+        while pool.stats().completed < 3 {
+            assert!(Instant::now() < deadline, "pool dead after a panic");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drops_queued_tasks_and_joins() {
+        // One worker and a monitor that never fires during the test, so
+        // the queued follower cannot be rescued by a spill worker: it
+        // must be dropped by shutdown's drain.
+        let pool = ShardedExecutor::new(
+            "test-pool",
+            ExecutorConfig {
+                workers: 1,
+                stall_check_interval: Duration::from_secs(300),
+                ..ExecutorConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.submit(0, move || {
+            let _ = rx.recv_timeout(Duration::from_secs(10));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // Queued behind the blocked worker on the same shard.
+        let ran = Arc::new(Counter::new(0));
+        let r = Arc::clone(&ran);
+        pool.submit(0, move || {
+            r.store(1, Ordering::SeqCst);
+        });
+        assert_eq!(pool.stats().queued, 1);
+        // Shut down from another thread: the drain drops the follower
+        // immediately, the join then waits for the blocked task.
+        let pool = Arc::new(pool);
+        let p = Arc::clone(&pool);
+        let shutdown = std::thread::spawn(move || p.shutdown());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.stats().queued != 0 {
+            assert!(Instant::now() < deadline, "shutdown never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "dropped task ran");
+        drop(tx);
+        shutdown.join().unwrap();
+        // The follower was dropped, not executed; submissions after
+        // shutdown are dropped too.
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.stats().completed, 1);
+        let r = Arc::clone(&ran);
+        pool.submit(0, move || {
+            r.store(2, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.stats().queued, 0);
+    }
+}

@@ -143,7 +143,16 @@ impl EventExecution {
             pending_async: VecDeque::new(),
             sub_events: Vec::new(),
         };
-        let result = exec.execute(request);
+        // A panicking contextclass method must not leave the event's locks
+        // activated forever or kill the pool worker: catch the unwind,
+        // release everything below, and fail the event with a proper
+        // error.  (Partially applied state changes before the panic are
+        // the application's responsibility, as with any aborted unwind.)
+        let result = {
+            let exec = &mut exec;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || exec.execute(request)))
+                .unwrap_or_else(|payload| Err(AeonError::from_panic(payload)))
+        };
         exec.release_all();
         let subs = if result.is_ok() {
             std::mem::take(&mut exec.sub_events)

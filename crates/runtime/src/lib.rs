@@ -52,6 +52,7 @@
 
 pub mod context;
 pub mod event;
+pub mod executor;
 pub mod invocation;
 pub mod locks;
 pub mod method_table;
@@ -61,6 +62,7 @@ pub mod stats;
 
 pub use context::{ContextFactory, ContextObject, KvContext};
 pub use event::{EventHandle, EventOutcome, EventRequest};
+pub use executor::{ExecutorConfig, ExecutorStats, ShardedExecutor};
 pub use invocation::{Invocation, InvocationHost, SubEvent};
 pub use locks::ContextLock;
 pub use method_table::{

@@ -3,6 +3,7 @@
 
 use crate::context::{ContextFactory, ContextObject, ContextSlot};
 use crate::event::{EventHandle, EventOutcome, EventRequest};
+use crate::executor::{ExecutorConfig, ExecutorStats, ShardedExecutor};
 use crate::invocation::EventExecution;
 use crate::locks::ContextLock;
 use crate::snapshot::Snapshot;
@@ -42,6 +43,9 @@ pub struct RuntimeConfig {
     /// Optional contextclass constraint graph; when present, context
     /// creation and ownership changes are validated against it.
     pub class_graph: Option<ClassGraph>,
+    /// Worker-pool configuration for event execution (pool size, shard
+    /// count, blocking escape hatch).
+    pub executor: ExecutorConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -50,6 +54,7 @@ impl Default for RuntimeConfig {
             initial_servers: 1,
             dominator_mode: DominatorMode::default(),
             class_graph: None,
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -80,6 +85,29 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sets the number of resident event-executor workers (default: the
+    /// machine's available parallelism).  The shard count scales with it
+    /// unless set explicitly with [`RuntimeBuilder::executor_shards`].
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.config.executor.workers = n;
+        self
+    }
+
+    /// Sets the number of executor injection shards (events are routed by
+    /// target context id, so same-context events keep FIFO affinity).
+    /// Zero restores the default of four shards per worker.
+    pub fn executor_shards(mut self, n: usize) -> Self {
+        self.config.executor.shards = n;
+        self
+    }
+
+    /// Caps the spill workers the blocking escape hatch may keep alive at
+    /// once.
+    pub fn max_spill_workers(mut self, n: usize) -> Self {
+        self.config.executor.max_spill_workers = n;
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -91,10 +119,17 @@ impl RuntimeBuilder {
         if self.config.initial_servers == 0 {
             return Err(AeonError::Config("at least one server is required".into()));
         }
+        if self.config.executor.workers == 0 {
+            return Err(AeonError::Config(
+                "at least one executor worker is required".into(),
+            ));
+        }
         if let Some(classes) = &self.config.class_graph {
             classes.check()?;
         }
+        let executor = ShardedExecutor::new("aeon-runtime", self.config.executor.clone());
         let inner = Arc::new(RuntimeInner {
+            executor,
             resolver: DominatorResolver::new(self.config.dominator_mode),
             config: self.config,
             graph: RwLock::new(OwnershipGraph::new()),
@@ -128,6 +163,9 @@ pub struct ServerInfo {
 
 /// Shared interior of the runtime.
 pub(crate) struct RuntimeInner {
+    /// The sharded worker pool that executes events (no thread is spawned
+    /// per event; see `crate::executor`).
+    executor: ShardedExecutor,
     pub(crate) config: RuntimeConfig,
     pub(crate) graph: RwLock<OwnershipGraph>,
     pub(crate) resolver: DominatorResolver,
@@ -318,7 +356,11 @@ impl RuntimeInner {
     /// current thread.
     fn run_event(self: &Arc<Self>, request: EventRequest) -> EventOutcome {
         let started = Instant::now();
-        self.events_in_flight.fetch_add(1, Ordering::SeqCst);
+        // Held until the *whole causal chain* (the event plus every
+        // sub-event it dispatched) has finished: drain and elasticity
+        // decisions reading the gauge must not see a transient zero while
+        // the chain is still executing.  The guard is also panic-safe.
+        let _in_flight = InFlightGuard::enter(&self.events_in_flight);
         let (result, sub_events) = EventExecution::run(Arc::clone(self), &request);
         let latency = started.elapsed();
         self.stats
@@ -328,7 +370,6 @@ impl RuntimeInner {
                 info.events_executed += 1;
             }
         }
-        self.events_in_flight.fetch_sub(1, Ordering::SeqCst);
         // Sub-events run after their creator terminates.
         for sub in sub_events {
             let sub_request = EventRequest {
@@ -348,14 +389,34 @@ impl RuntimeInner {
         }
     }
 
+    /// Hands the event to the worker pool, sharded by target context so
+    /// events on the same context keep submission-order affinity.
     fn spawn_event(self: &Arc<Self>, request: EventRequest) -> EventHandle {
         let (tx, handle) = EventHandle::new(request.id);
         let inner = Arc::clone(self);
-        std::thread::spawn(move || {
+        let key = request.target.raw();
+        self.executor.submit(key, move || {
             let outcome = inner.run_event(request);
             let _ = tx.send(outcome);
         });
         handle
+    }
+}
+
+/// RAII increment of the events-in-flight gauge; decrements on drop (after
+/// the sub-event chain, and even if execution panics).
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InFlightGuard<'a> {
+    fn enter(gauge: &'a AtomicU64) -> Self {
+        gauge.fetch_add(1, Ordering::SeqCst);
+        Self(gauge)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -751,19 +812,31 @@ impl AeonRuntime {
         &self.inner.stats
     }
 
-    /// Number of events currently executing.
+    /// Number of events currently executing, counting an event as in
+    /// flight until its whole causal chain (dispatched sub-events
+    /// included) has finished.
     pub fn events_in_flight(&self) -> u64 {
         self.inner.events_in_flight.load(Ordering::SeqCst)
     }
 
-    /// Shuts the runtime down: subsequent submissions fail and events
-    /// blocked on context locks are aborted.
+    /// Counters of the event worker pool (queue depth, spill activity,
+    /// caught panics).
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.inner.executor.stats()
+    }
+
+    /// Shuts the runtime down: subsequent submissions fail, events blocked
+    /// on context locks are aborted, and the worker pool is stopped
+    /// (queued events resolve their handles as disconnected).
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         for slot in self.inner.contexts.read().values() {
             slot.lock.poison();
         }
         self.inner.global_root.poison();
+        // Poisoning first unblocks any executing event, so joining the
+        // pool cannot hang on a lock waiter.
+        self.inner.executor.shutdown();
     }
 }
 

@@ -693,3 +693,55 @@ fn latency_statistics_are_recorded() {
     assert_eq!(runtime.stats().events_completed(), 10);
     runtime.shutdown();
 }
+
+/// Regression: a panicking contextclass method must resolve the client
+/// handle with [`AeonError::Panicked`] (not a disconnect), release the
+/// context's activation lock, and leave the worker pool alive.
+#[test]
+fn panicking_method_fails_the_event_without_killing_the_pool() {
+    struct Bomb;
+    impl ContextObject for Bomb {
+        fn class_name(&self) -> &str {
+            "Bomb"
+        }
+        fn handle(
+            &mut self,
+            method: &str,
+            _args: &Args,
+            _inv: &mut Invocation<'_>,
+        ) -> Result<Value> {
+            match method {
+                "explode" => panic!("kaboom"),
+                _ => Ok(Value::from(7i64)),
+            }
+        }
+    }
+    let runtime = AeonRuntime::builder().worker_threads(1).build().unwrap();
+    let bomb = runtime
+        .create_context(Box::new(Bomb), Placement::Auto)
+        .unwrap();
+    let client = runtime.client();
+    let err = client.call(bomb, "explode", args![]).unwrap_err();
+    assert!(
+        matches!(err, AeonError::Panicked { ref reason } if reason.contains("kaboom")),
+        "expected Panicked, got {err:?}"
+    );
+    // The single pool worker survived and the lock was released.
+    assert_eq!(
+        client.call(bomb, "poke", args![]).unwrap(),
+        Value::from(7i64)
+    );
+    assert_eq!(runtime.events_in_flight(), 0);
+    assert_eq!(runtime.stats().events_failed(), 1);
+    assert_eq!(runtime.executor_stats().panics, 0);
+    runtime.shutdown();
+}
+
+/// The builder rejects a zero-sized worker pool up front.
+#[test]
+fn zero_worker_pool_is_rejected() {
+    assert!(matches!(
+        AeonRuntime::builder().worker_threads(0).build(),
+        Err(AeonError::Config(_))
+    ));
+}

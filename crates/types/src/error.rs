@@ -38,6 +38,11 @@ pub enum AeonError {
     BadArguments { method: String, reason: String },
     /// The application code returned an error.
     Application(String),
+    /// A contextclass method panicked while handling the event.  The
+    /// executor catches the unwind, releases the event's locks, and
+    /// resolves the client handle with this error instead of a
+    /// disconnect.
+    Panicked { reason: String },
     /// The context is currently being migrated and cannot accept the
     /// operation (transient; callers may retry).
     MigrationInProgress(ContextId),
@@ -91,6 +96,9 @@ impl fmt::Display for AeonError {
                 write!(f, "bad arguments for method {method}: {reason}")
             }
             AeonError::Application(msg) => write!(f, "application error: {msg}"),
+            AeonError::Panicked { reason } => {
+                write!(f, "context method panicked: {reason}")
+            }
             AeonError::MigrationInProgress(c) => {
                 write!(f, "context {c} is currently migrating")
             }
@@ -130,6 +138,20 @@ impl AeonError {
     pub fn internal(msg: impl fmt::Display) -> Self {
         AeonError::Internal(msg.to_string())
     }
+
+    /// Converts a caught panic payload (from `std::panic::catch_unwind`)
+    /// into an [`AeonError::Panicked`], extracting the message when the
+    /// payload is a string.
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let reason = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        AeonError::Panicked { reason }
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +187,21 @@ mod tests {
     fn helpers_build_expected_variants() {
         assert!(matches!(AeonError::app("x"), AeonError::Application(_)));
         assert!(matches!(AeonError::internal("x"), AeonError::Internal(_)));
+    }
+
+    #[test]
+    fn panic_payloads_become_panicked_errors() {
+        let err = AeonError::from_panic(Box::new("boom"));
+        assert_eq!(
+            err,
+            AeonError::Panicked {
+                reason: "boom".into()
+            }
+        );
+        let err = AeonError::from_panic(Box::new(String::from("owned boom")));
+        assert!(err.to_string().contains("owned boom"));
+        let err = AeonError::from_panic(Box::new(42usize));
+        assert!(matches!(err, AeonError::Panicked { .. }));
+        assert!(!err.is_transient());
     }
 }
