@@ -8,7 +8,7 @@ use crate::handle::EventHandle;
 use crate::traits::{Deployment, Session};
 use aeon_ownership::OwnershipGraph;
 use aeon_runtime::{AeonClient, AeonRuntime, ContextFactory, ContextObject, Placement, Snapshot};
-use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, Value};
+use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, Value};
 
 impl Session for AeonClient {
     fn client_id(&self) -> ClientId {
@@ -76,6 +76,18 @@ impl Deployment for AeonRuntime {
 
     fn add_server(&self) -> ServerId {
         AeonRuntime::add_server(self)
+    }
+
+    fn remove_server(&self, server: ServerId) -> Result<()> {
+        AeonRuntime::remove_server(self, server)
+    }
+
+    fn server_metrics(&self) -> Vec<ServerMetrics> {
+        AeonRuntime::server_metrics(self)
+    }
+
+    fn context_count(&self) -> usize {
+        AeonRuntime::context_count(self)
     }
 
     fn crash_server(&self, server: ServerId) -> Result<()> {

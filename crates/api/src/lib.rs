@@ -5,8 +5,10 @@
 //! object-safe traits:
 //!
 //! * [`Deployment`] — the control plane: creating contexts, wiring the
-//!   ownership network, registering class factories, managing servers,
-//!   migrating contexts and taking snapshots;
+//!   ownership network, registering class factories, managing servers
+//!   (`add_server`/`remove_server`), observing per-server load
+//!   ([`Deployment::server_metrics`] — the feed elasticity policies run
+//!   on), migrating contexts and taking snapshots;
 //! * [`Session`] — the data plane: submitting strictly-serializable events
 //!   and waiting for their results through a common [`EventHandle`].
 //!
@@ -21,7 +23,11 @@
 //!
 //! Application code written against `&dyn Deployment` (or generically over
 //! `D: Deployment + ?Sized`) is written once and deployed anywhere — the
-//! `aeon-apps` workload drivers are the proof.
+//! `aeon-apps` workload drivers are the proof, and so is the elasticity
+//! manager (`aeon-emanager`), which holds an `Arc<dyn Deployment>` and
+//! scales whichever backend it was handed.  The `aeon` facade's
+//! config-driven `aeon::deploy(DeployConfig)` builds any of the three
+//! backends behind the trait.
 //!
 //! # Examples
 //!
@@ -58,3 +64,4 @@ pub use traits::{Deployment, Session};
 // Re-export the vocabulary types a Deployment consumer needs, so application
 // crates can depend on `aeon-api` alone for the common case.
 pub use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
+pub use aeon_types::ServerMetrics;

@@ -3,7 +3,7 @@
 use crate::handle::EventHandle;
 use aeon_ownership::OwnershipGraph;
 use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
-use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, Value};
+use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, Value};
 
 /// A client session on a deployment: the entry point for submitting
 /// strictly-serializable events.
@@ -154,6 +154,37 @@ pub trait Deployment: Send + Sync {
 
     /// Adds a server to the deployment (scale-out) and returns its id.
     fn add_server(&self) -> ServerId;
+
+    /// Releases a drained server (scale-in).  The server must not host any
+    /// contexts — migrate them away first (the elasticity manager's
+    /// `drain_server` does exactly that).
+    ///
+    /// # Errors
+    ///
+    /// * [`aeon_types::AeonError::ServerNotFound`] for unknown or already
+    ///   offline servers.
+    /// * [`aeon_types::AeonError::Config`] when contexts are still placed on
+    ///   it.
+    fn remove_server(&self, server: ServerId) -> Result<()>;
+
+    /// Current per-server load metrics: the control-plane feed elasticity
+    /// policies run on.  Each backend derives the report from what it can
+    /// observe (hosted contexts, worker-pool queue depth, event latency —
+    /// virtual time on the simulator); the resource utilisations are
+    /// relative-load proxies in `[0, 1]`.
+    fn server_metrics(&self) -> Vec<ServerMetrics>;
+
+    /// Total number of contexts across all online servers.
+    ///
+    /// The default sums [`Deployment::contexts_on`] over
+    /// [`Deployment::servers`]; backends with a cheaper native count
+    /// override it.
+    fn context_count(&self) -> usize {
+        self.servers()
+            .into_iter()
+            .map(|server| self.contexts_on(server).len())
+            .sum()
+    }
 
     /// Simulates a server crash: its contexts become unavailable until
     /// restored elsewhere with [`Deployment::restore_context`].

@@ -1,11 +1,15 @@
 //! Figure 9: maximum eManager migration throughput (contexts/s) for 1 KB and
-//! 1 MB contexts on the three instance classes, plus a measurement of the
-//! real runtime's migration primitive as a sanity check.
+//! 1 MB contexts on the three instance classes, plus a measurement of a real
+//! backend's migration primitive as a sanity check.
+//!
+//! The live measurement runs on any execution substrate: select it with
+//! `--backend runtime|cluster|sim` or `AEON_BACKEND` (default: runtime).
+//! The backend is built through the config-driven `aeon::deploy` entry
+//! point, exactly like the elasticity manager would use it.
 
-use aeon_bench::cell;
-use aeon_runtime::{AeonRuntime, KvContext, Placement};
+use aeon::prelude::*;
+use aeon_bench::{backend_knob, cell};
 use aeon_sim::{EManagerThroughputModel, InstanceType};
-use aeon_types::Value;
 use std::time::Instant;
 
 fn main() {
@@ -23,28 +27,40 @@ fn main() {
             );
         }
     }
-    // Sanity check: in-process migration throughput of the real runtime.
-    let runtime = AeonRuntime::builder().servers(2).build().expect("runtime");
+    // Sanity check: migration throughput of a real backend.
+    let backend = backend_knob().unwrap_or_default();
+    let deployment = aeon::deploy(DeployConfig::new(backend).servers(2)).expect("deployment");
+    // Backends that ship state between servers (the cluster) rebuild the
+    // context through its class factory.
+    deployment.register_class_factory(
+        "Item",
+        std::sync::Arc::new(|state: &Value| {
+            let mut item = KvContext::new("Item");
+            ContextObject::restore(&mut item, state);
+            Box::new(item) as Box<dyn ContextObject>
+        }),
+    );
+    let servers = deployment.servers();
     let contexts: Vec<_> = (0..200)
         .map(|i| {
-            runtime
+            deployment
                 .create_context(
                     Box::new(KvContext::with_entries(
                         "Item",
                         [("payload", Value::from(vec![0u8; 1024]))],
                     )),
-                    Placement::Server(runtime.servers()[i % 2]),
+                    Placement::Server(servers[i % 2]),
                 )
                 .expect("context")
         })
         .collect();
     let start = Instant::now();
     for (i, ctx) in contexts.iter().enumerate() {
-        runtime
-            .migrate_context(*ctx, runtime.servers()[(i + 1) % 2])
+        deployment
+            .migrate_context(*ctx, servers[(i + 1) % 2])
             .expect("migrate");
     }
     let rate = contexts.len() as f64 / start.elapsed().as_secs_f64();
-    println!("in-process-runtime\t1KB\t{}", cell(rate));
-    runtime.shutdown();
+    println!("live-{}\t1KB\t{}", deployment.backend_name(), cell(rate));
+    deployment.shutdown();
 }

@@ -56,6 +56,34 @@ pub fn pool_size_knob() -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
+/// The backend knob of the fig9 driver: `--backend runtime|cluster|sim` on
+/// the command line or the `AEON_BACKEND` environment variable (same
+/// pattern as [`pool_size_knob`]).  The selected backend is built through
+/// the config-driven `aeon::deploy` entry point, so the elasticity bench
+/// exercises every execution substrate.
+///
+/// # Panics
+///
+/// Panics on an unparseable backend name: a figure-generating driver must
+/// not silently fall back to measuring the wrong backend.
+pub fn backend_knob() -> Option<aeon::Backend> {
+    fn parse(value: &str) -> aeon::Backend {
+        value
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid backend knob: {e}"))
+    }
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--backend" {
+            return argv.next().map(|v| parse(&v));
+        }
+        if let Some(v) = arg.strip_prefix("--backend=") {
+            return Some(parse(v));
+        }
+    }
+    std::env::var("AEON_BACKEND").ok().map(|v| parse(&v))
+}
+
 /// The result of a live (non-simulated) run against a real backend.
 #[derive(Debug, Clone, Copy)]
 pub struct LiveReport {

@@ -4,7 +4,7 @@ use crate::cluster::{Cluster, ClusterClient};
 use aeon_api::{Deployment, EventHandle, Session};
 use aeon_ownership::OwnershipGraph;
 use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
-use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, Value};
+use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, Value};
 
 impl Session for ClusterClient {
     fn client_id(&self) -> ClientId {
@@ -72,6 +72,18 @@ impl Deployment for Cluster {
 
     fn add_server(&self) -> ServerId {
         Cluster::add_server(self)
+    }
+
+    fn remove_server(&self, server: ServerId) -> Result<()> {
+        Cluster::remove_server(self, server)
+    }
+
+    fn server_metrics(&self) -> Vec<ServerMetrics> {
+        Cluster::server_metrics(self)
+    }
+
+    fn context_count(&self) -> usize {
+        Cluster::context_count(self)
     }
 
     fn crash_server(&self, server: ServerId) -> Result<()> {

@@ -15,7 +15,8 @@ use aeon_runtime::{
     ContextFactory, ContextObject, ExecutorConfig, ExecutorStats, Placement, Snapshot,
 };
 use aeon_types::{
-    AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, Value,
+    AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, ServerMetrics,
+    Value,
 };
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -318,7 +319,8 @@ fn gateway_loop(inner: Arc<ClusterInner>, endpoint: Endpoint<ClusterMessage>) {
             | ClusterMessage::StopAck { corr, .. }
             | ClusterMessage::InstallAck { corr, .. }
             | ClusterMessage::SnapshotAck { corr, .. }
-            | ClusterMessage::RestoreAck { corr, .. } => {
+            | ClusterMessage::RestoreAck { corr, .. }
+            | ClusterMessage::MetricsAck { corr, .. } => {
                 let entry = inner.pending_control.lock().remove(&corr);
                 if let Some(tx) = entry {
                     let _ = tx.send(message);
@@ -756,6 +758,79 @@ impl Cluster {
     /// Adds a server to the cluster and returns its id (scale-out).
     pub fn add_server(&self) -> ServerId {
         self.inner.spawn_server()
+    }
+
+    /// Releases a drained server (scale-in): the node is taken offline, its
+    /// receive loop and worker pool are stopped and joined, and it is
+    /// removed from the network.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::ServerNotFound`] for unknown or already offline
+    ///   servers.
+    /// * [`AeonError::Config`] when the mapping still places contexts on it
+    ///   — migrate them away first.
+    pub fn remove_server(&self, server: ServerId) -> Result<()> {
+        if !self.inner.directory.is_online(server) {
+            return Err(AeonError::ServerNotFound(server));
+        }
+        // Go offline first so concurrent placements stop choosing this
+        // server, then check it is empty; checking before flipping the flag
+        // would let a racing create_context strand a context on it.
+        self.inner.directory.set_offline(server);
+        let hosted = self.contexts_on(server).len();
+        if hosted > 0 {
+            self.inner.directory.register_server(server);
+            return Err(AeonError::Config(format!(
+                "server {server} still hosts {hosted} contexts"
+            )));
+        }
+        let mut nodes = self.inner.nodes.lock();
+        let Some(mut node) = nodes.remove(&server) else {
+            return Err(AeonError::ServerNotFound(server));
+        };
+        drop(nodes);
+        let _ = self.inner.send(server, ClusterMessage::Shutdown);
+        node.crash();
+        if let Some(thread) = node.thread.take() {
+            let _ = thread.join();
+        }
+        self.inner.network.deregister(server);
+        Ok(())
+    }
+
+    /// Current per-server load metrics, collected with a metrics round trip
+    /// to every online node (the distributed analogue of the paper's
+    /// periodic utilisation reports to the eManager).  Nodes that crash
+    /// between the server listing and the round trip are skipped.
+    pub fn server_metrics(&self) -> Vec<ServerMetrics> {
+        let mut raw = Vec::new();
+        for server in self.servers() {
+            let corr = self.inner.next_corr();
+            if let Ok(ClusterMessage::MetricsAck { metrics, .. }) =
+                self.inner
+                    .control_round_trip(server, corr, ClusterMessage::MetricsReq { corr })
+            {
+                raw.push(metrics);
+            }
+        }
+        let total_contexts: usize = raw.iter().map(|m| m.context_count).sum();
+        raw.into_iter()
+            .map(|m| {
+                let avg_latency_ms = if m.events_executed == 0 {
+                    0.0
+                } else {
+                    m.exec_micros as f64 / m.events_executed as f64 / 1_000.0
+                };
+                ServerMetrics::from_load(
+                    m.server,
+                    m.context_count,
+                    total_contexts,
+                    m.queue_depth as usize,
+                    avg_latency_ms,
+                )
+            })
+            .collect()
     }
 
     /// Simulates a server crash: the node stops processing immediately,

@@ -57,4 +57,4 @@ mod node;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterClient, ClusterEventHandle};
 pub use directory::Directory;
-pub use message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor};
+pub use message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor, NodeMetrics};

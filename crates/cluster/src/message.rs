@@ -41,6 +41,24 @@ pub struct EventDescriptor {
     pub mode: AccessMode,
 }
 
+/// A server node's raw load report, shipped in a
+/// [`ClusterMessage::MetricsAck`].  The gateway normalises it into the
+/// backend-agnostic `aeon_types::ServerMetrics`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeMetrics {
+    /// The reporting node.
+    pub server: ServerId,
+    /// Contexts currently installed on the node (actual state, not the
+    /// mapping).
+    pub context_count: usize,
+    /// Tasks queued on the node's worker pool.
+    pub queue_depth: u64,
+    /// Events whose target executed on this node.
+    pub events_executed: u64,
+    /// Cumulative wall-clock microseconds spent executing those events.
+    pub exec_micros: u64,
+}
+
 /// A message of the cluster protocol.
 pub enum ClusterMessage {
     /// Gateway → server: host a newly created context.
@@ -231,6 +249,19 @@ pub enum ClusterMessage {
         /// Success or the failure.
         result: Result<()>,
     },
+    /// Gateway → server: report your current load (context count, queue
+    /// depth, event counters) for the elasticity control plane.
+    MetricsReq {
+        /// Correlation token echoed in [`ClusterMessage::MetricsAck`].
+        corr: u64,
+    },
+    /// Server → gateway: the node's load report.
+    MetricsAck {
+        /// Correlation token.
+        corr: u64,
+        /// The raw report.
+        metrics: NodeMetrics,
+    },
     /// Gateway → server: stop the receive loop and poison every local lock.
     Shutdown,
 }
@@ -283,6 +314,14 @@ impl fmt::Debug for ClusterMessage {
                 context, result, ..
             } => {
                 write!(f, "SnapshotAck({context}, ok={})", result.is_ok())
+            }
+            ClusterMessage::MetricsReq { corr } => write!(f, "MetricsReq(corr={corr})"),
+            ClusterMessage::MetricsAck { metrics, .. } => {
+                write!(
+                    f,
+                    "MetricsAck({}, contexts={})",
+                    metrics.server, metrics.context_count
+                )
             }
             ClusterMessage::RestoreReq { context, .. } => write!(f, "RestoreReq({context})"),
             ClusterMessage::RestoreAck {

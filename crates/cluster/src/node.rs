@@ -11,7 +11,7 @@
 //! message (see `aeon_runtime::executor`).
 
 use crate::directory::Directory;
-use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor};
+use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor, NodeMetrics};
 use aeon_net::{Endpoint, Network};
 use aeon_runtime::{
     ContextLock, ContextObject, ExecutorConfig, ExecutorStats, Invocation, InvocationHost,
@@ -86,6 +86,9 @@ pub(crate) struct NodeShared {
     /// buffered and replayed after `Install`.
     installing: Mutex<HashMap<ContextId, Vec<ClusterMessage>>>,
     events_executed: AtomicU64,
+    /// Cumulative wall-clock microseconds spent executing events whose
+    /// target lives here (feeds the per-server latency metric).
+    exec_micros: AtomicU64,
     /// Times a worker slept waiting for a migrated-in context to be
     /// installed (the wait-for-install retry loop in [`RemoteExecution`]).
     install_wait_retries: AtomicU64,
@@ -246,6 +249,7 @@ pub(crate) fn spawn_node(
         stopped: Mutex::new(HashMap::new()),
         installing: Mutex::new(HashMap::new()),
         events_executed: AtomicU64::new(0),
+        exec_micros: AtomicU64::new(0),
         install_wait_retries: AtomicU64::new(0),
         running: AtomicBool::new(true),
     });
@@ -425,6 +429,24 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
                 handle_restore(&worker, corr, context, state)
             });
         }
+        ClusterMessage::MetricsReq { corr } => {
+            // Answered inline: the report only reads counters, it cannot
+            // block, so it never competes with event execution for the pool.
+            let stats = shared.executor.stats();
+            shared.send(
+                gateway_id(),
+                ClusterMessage::MetricsAck {
+                    corr,
+                    metrics: NodeMetrics {
+                        server: shared.id,
+                        context_count: shared.contexts.read().len(),
+                        queue_depth: stats.queued,
+                        events_executed: shared.events_executed.load(Ordering::Relaxed),
+                        exec_micros: shared.exec_micros.load(Ordering::Relaxed),
+                    },
+                },
+            );
+        }
         ClusterMessage::Shutdown => {
             shared.running.store(false, Ordering::SeqCst);
             shared.poison_all();
@@ -436,6 +458,7 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
         | ClusterMessage::InstallAck { .. }
         | ClusterMessage::SnapshotAck { .. }
         | ClusterMessage::RestoreAck { .. }
+        | ClusterMessage::MetricsAck { .. }
         | ClusterMessage::Done { .. } => {}
     }
 }
@@ -503,6 +526,7 @@ fn handle_exec(
     event: EventDescriptor,
     sequencer: Option<(ServerId, ContextId)>,
 ) {
+    let started = std::time::Instant::now();
     let mut exec = RemoteExecution::new(Arc::clone(shared), event.id, event.client, event.mode);
     let result = exec.run(&event);
     let RemoteExecution {
@@ -525,6 +549,9 @@ fn handle_exec(
         }
     }
     shared.events_executed.fetch_add(1, Ordering::Relaxed);
+    shared
+        .exec_micros
+        .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
     shared.send(
         gateway_id(),
         ClusterMessage::Done {

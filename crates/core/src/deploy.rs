@@ -1,0 +1,312 @@
+//! Config-driven deployment: one entry point, three execution backends.
+//!
+//! Application code written against `dyn Deployment` does not care which
+//! substrate executes it; [`deploy`] makes the choice a configuration value
+//! instead of a type.  A [`DeployConfig`] names the backend and the knobs
+//! every backend understands (server count, worker pool size, spill cap,
+//! class constraints), and the returned `Box<dyn Deployment>` is whatever
+//! the config selected:
+//!
+//! * [`Backend::Runtime`] — the in-process concurrent runtime
+//!   (`aeon_runtime::AeonRuntime`);
+//! * [`Backend::Cluster`] — the distributed message-passing cluster
+//!   (`aeon_cluster::Cluster`);
+//! * [`Backend::Sim`] — the deterministic virtual-time simulator
+//!   (`aeon_sim::SimDeployment`).
+//!
+//! [`deploy_shared`] returns an `Arc<dyn Deployment>` instead, which is the
+//! shape long-lived services hold (the elasticity manager's
+//! `EManager::new` takes exactly that).
+
+use aeon_api::Deployment;
+use aeon_cluster::Cluster;
+use aeon_ownership::ClassGraph;
+use aeon_runtime::AeonRuntime;
+use aeon_sim::SimDeployment;
+use aeon_types::{AeonError, Result};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Which execution substrate [`deploy`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The in-process concurrent runtime (`AeonRuntime`).
+    #[default]
+    Runtime,
+    /// The distributed message-passing cluster (`Cluster`).
+    Cluster,
+    /// The deterministic virtual-time simulator (`SimDeployment`).
+    Sim,
+}
+
+impl Backend {
+    /// All backends, in the order benchmarks and parity tests iterate them.
+    pub const ALL: [Backend; 3] = [Backend::Runtime, Backend::Cluster, Backend::Sim];
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Runtime => "runtime",
+            Backend::Cluster => "cluster",
+            Backend::Sim => "sim",
+        })
+    }
+}
+
+impl FromStr for Backend {
+    type Err = AeonError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "runtime" | "in-process" => Ok(Backend::Runtime),
+            "cluster" | "distributed" => Ok(Backend::Cluster),
+            "sim" | "simulator" => Ok(Backend::Sim),
+            other => Err(AeonError::Config(format!(
+                "unknown backend {other:?} (expected runtime, cluster, or sim)"
+            ))),
+        }
+    }
+}
+
+/// Configuration consumed by [`deploy`].
+///
+/// The fields are public for struct-literal construction; the builder-style
+/// methods cover the common cases.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// The execution substrate to build.
+    pub backend: Backend,
+    /// Number of (logical or simulated) servers started with the
+    /// deployment.
+    pub servers: usize,
+    /// Resident worker-pool threads per execution engine (the runtime's
+    /// pool, or each cluster node's pool).  `None` keeps the backend
+    /// default (available parallelism).  Ignored by the single-threaded
+    /// simulator.
+    pub worker_threads: Option<usize>,
+    /// Cap on the spill workers of the blocking escape hatch.  `None`
+    /// keeps the backend default.  Ignored by the simulator.
+    pub max_spill_workers: Option<usize>,
+    /// Optional contextclass constraint graph, statically analysed at
+    /// build time on every backend.
+    pub class_graph: Option<ClassGraph>,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        Self {
+            backend: Backend::default(),
+            servers: 1,
+            worker_threads: None,
+            max_spill_workers: None,
+            class_graph: None,
+        }
+    }
+}
+
+impl DeployConfig {
+    /// Starts a config for `backend` with one server and default knobs.
+    pub fn new(backend: Backend) -> Self {
+        Self {
+            backend,
+            ..Self::default()
+        }
+    }
+
+    /// A config for the in-process runtime.
+    pub fn runtime() -> Self {
+        Self::new(Backend::Runtime)
+    }
+
+    /// A config for the distributed cluster.
+    pub fn cluster() -> Self {
+        Self::new(Backend::Cluster)
+    }
+
+    /// A config for the deterministic simulator.
+    pub fn sim() -> Self {
+        Self::new(Backend::Sim)
+    }
+
+    /// Sets the number of servers started with the deployment.
+    #[must_use]
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.servers = servers;
+        self
+    }
+
+    /// Sets the resident worker-pool size (ignored by the simulator).
+    #[must_use]
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads);
+        self
+    }
+
+    /// Caps the spill workers of the blocking escape hatch (ignored by the
+    /// simulator).
+    #[must_use]
+    pub fn max_spill_workers(mut self, max: usize) -> Self {
+        self.max_spill_workers = Some(max);
+        self
+    }
+
+    /// Installs a contextclass constraint graph.
+    #[must_use]
+    pub fn class_graph(mut self, classes: ClassGraph) -> Self {
+        self.class_graph = Some(classes);
+        self
+    }
+}
+
+/// Builds the deployment selected by `config` and returns it behind the
+/// backend-agnostic trait.
+///
+/// # Errors
+///
+/// * [`AeonError::Config`] when `servers` is zero or a knob is invalid.
+/// * [`AeonError::ClassCycleDetected`] when the class graph fails the
+///   static analysis.
+///
+/// # Examples
+///
+/// ```
+/// use aeon::prelude::*;
+/// use aeon::DeployConfig;
+///
+/// # fn main() -> aeon::Result<()> {
+/// let deployment = aeon::deploy(DeployConfig::runtime().servers(2))?;
+/// let counter = deployment.create_context(
+///     Box::new(KvContext::new("Counter")),
+///     Placement::Auto,
+/// )?;
+/// let session = deployment.session();
+/// session.call(counter, "incr", args!["hits", 1])?;
+/// assert_eq!(
+///     session.call_readonly(counter, "get", args!["hits"])?,
+///     Value::from(1i64)
+/// );
+/// deployment.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub fn deploy(config: DeployConfig) -> Result<Box<dyn Deployment>> {
+    match config.backend {
+        Backend::Runtime => {
+            let mut builder = AeonRuntime::builder().servers(config.servers);
+            if let Some(threads) = config.worker_threads {
+                builder = builder.worker_threads(threads);
+            }
+            if let Some(max) = config.max_spill_workers {
+                builder = builder.max_spill_workers(max);
+            }
+            if let Some(classes) = config.class_graph {
+                builder = builder.class_graph(classes);
+            }
+            Ok(Box::new(builder.build()?))
+        }
+        Backend::Cluster => {
+            let mut builder = Cluster::builder().servers(config.servers);
+            if let Some(threads) = config.worker_threads {
+                builder = builder.worker_threads(threads);
+            }
+            if let Some(max) = config.max_spill_workers {
+                builder = builder.max_spill_workers(max);
+            }
+            if let Some(classes) = config.class_graph {
+                builder = builder.class_graph(classes);
+            }
+            Ok(Box::new(builder.build()?))
+        }
+        Backend::Sim => {
+            let mut builder = SimDeployment::builder().servers(config.servers);
+            if let Some(classes) = config.class_graph {
+                builder = builder.class_graph(classes);
+            }
+            Ok(Box::new(builder.build()?))
+        }
+    }
+}
+
+/// Like [`deploy`], but returns the deployment behind an `Arc` — the shape
+/// shared services such as the elasticity manager hold.
+///
+/// # Errors
+///
+/// Same conditions as [`deploy`].
+pub fn deploy_shared(config: DeployConfig) -> Result<Arc<dyn Deployment>> {
+    deploy(config).map(Arc::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeon_runtime::{KvContext, Placement};
+    use aeon_types::{args, Value};
+
+    #[test]
+    fn every_backend_deploys_from_config() {
+        for backend in Backend::ALL {
+            let deployment = deploy(DeployConfig::new(backend).servers(2)).unwrap();
+            assert_eq!(deployment.backend_name(), backend.to_string());
+            assert_eq!(deployment.servers().len(), 2);
+            let ctx = deployment
+                .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+                .unwrap();
+            let session = deployment.session();
+            session.call(ctx, "incr", args!["n", 2]).unwrap();
+            assert_eq!(
+                session.call_readonly(ctx, "get", args!["n"]).unwrap(),
+                Value::from(2i64),
+                "backend {backend}"
+            );
+            // The control-plane metrics surface is present everywhere.
+            let metrics = deployment.server_metrics();
+            assert_eq!(metrics.len(), 2, "backend {backend}");
+            assert_eq!(
+                metrics.iter().map(|m| m.context_count).sum::<usize>(),
+                1,
+                "backend {backend}"
+            );
+            deployment.shutdown();
+        }
+    }
+
+    #[test]
+    fn backend_names_parse_and_display() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.to_string().parse::<Backend>().unwrap(), backend);
+        }
+        assert_eq!("in-process".parse::<Backend>().unwrap(), Backend::Runtime);
+        assert_eq!("distributed".parse::<Backend>().unwrap(), Backend::Cluster);
+        assert_eq!("simulator".parse::<Backend>().unwrap(), Backend::Sim);
+        assert!(matches!(
+            "orleans".parse::<Backend>(),
+            Err(AeonError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn zero_servers_is_rejected_on_every_backend() {
+        for backend in Backend::ALL {
+            assert!(matches!(
+                deploy(DeployConfig::new(backend).servers(0)),
+                Err(AeonError::Config(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn pool_knobs_reach_the_runtime() {
+        let deployment = deploy(
+            DeployConfig::runtime()
+                .servers(1)
+                .worker_threads(2)
+                .max_spill_workers(8),
+        )
+        .unwrap();
+        assert_eq!(deployment.backend_name(), "runtime");
+        deployment.shutdown();
+    }
+}

@@ -14,7 +14,14 @@
 //!    control plane and [`Session`](prelude::Session) for submitting
 //!    events — and run unchanged on the in-process concurrent runtime
 //!    ([`runtime`]), the distributed message-passing cluster ([`cluster`]),
-//!    or the deterministic virtual-time simulator ([`sim`]).
+//!    or the deterministic virtual-time simulator ([`sim`]).  Which one
+//!    executes is itself just configuration: [`deploy`] takes a
+//!    [`DeployConfig`] naming the [`Backend`] plus the knobs every backend
+//!    understands (servers, worker pool, class constraints) and returns a
+//!    `Box<dyn Deployment>`.  The trait also exposes the elasticity
+//!    control plane — `server_metrics()` (per-server load, context count,
+//!    queue depth, latency), `add_server`/`remove_server`, migration and
+//!    snapshots — which is what lets the [`emanager`] drive any backend.
 //! 2. **Declarative contextclasses.**  A contextclass declares its methods
 //!    once in a [`context_class!`](prelude::context_class) method table —
 //!    handlers, `ro` marks and snapshot/restore together — and the runtime
@@ -33,11 +40,10 @@
 //! use aeon::prelude::*;
 //!
 //! # fn main() -> aeon::Result<()> {
-//! // Pick a backend: AeonRuntime here; Cluster::builder() or
-//! // SimDeployment::builder() deploy the same program distributed or
-//! // simulated.
-//! let runtime = AeonRuntime::builder().servers(2).build()?;
-//! let deployment: &dyn Deployment = &runtime;
+//! // Pick a backend by configuration: Backend::Runtime here;
+//! // Backend::Cluster or Backend::Sim deploy the same program distributed
+//! // or simulated.
+//! let deployment = aeon::deploy(DeployConfig::runtime().servers(2))?;
 //!
 //! let counter = deployment.create_context(
 //!     Box::new(KvContext::new("Counter")),
@@ -90,6 +96,8 @@
 //! # }
 //! ```
 
+mod deploy;
+
 pub use aeon_api as api;
 pub use aeon_checker as checker;
 pub use aeon_cluster as cluster;
@@ -102,9 +110,11 @@ pub use aeon_storage as storage;
 pub use aeon_types as types;
 
 pub use aeon_types::{AccessMode, AeonError, Args, ContextId, EventId, Result, ServerId, Value};
+pub use deploy::{deploy, deploy_shared, Backend, DeployConfig};
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::deploy::{deploy, deploy_shared, Backend, DeployConfig};
     pub use aeon_api::{Deployment, EventHandle, Session};
     pub use aeon_checker::{check_strict_serializability, History, HistoryRecorder};
     pub use aeon_cluster::{Cluster, ClusterClient};
@@ -132,7 +142,7 @@ mod tests {
         let ctx = runtime
             .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
             .unwrap();
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let manager = EManager::new(std::sync::Arc::new(runtime.clone()), InMemoryStore::new());
         manager.add_policy(Box::new(ServerContentionPolicy::new(10)));
         assert!(manager.tick(&manager.collect_metrics()).unwrap().is_empty());
         assert_eq!(runtime.dominator_of(ctx).unwrap(), Dominator::Context(ctx));

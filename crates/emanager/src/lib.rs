@@ -12,25 +12,37 @@
 //!   interrupted migration can be completed by a newly elected eManager,
 //! * exposes the snapshot/checkpoint API (§5.3).
 //!
+//! The manager is backend-agnostic: [`EManager::new`] takes an
+//! `Arc<dyn Deployment>` (see `aeon-api`), so the same policies elastically
+//! scale the in-process runtime, the distributed cluster, and the
+//! deterministic simulator.  Metric collection, scale out/in, and the
+//! migration protocol all go through the `Deployment` control-plane surface
+//! (`server_metrics`, `add_server`/`remove_server`, `migrate_context`,
+//! `snapshot_context`).
+//!
 //! # Examples
 //!
 //! ```
+//! use aeon::prelude::*;
+//! use aeon::DeployConfig;
 //! use aeon_emanager::{EManager, ServerContentionPolicy};
-//! use aeon_runtime::{AeonRuntime, KvContext, Placement};
 //! use aeon_storage::InMemoryStore;
 //!
 //! # fn main() -> aeon_types::Result<()> {
-//! let runtime = AeonRuntime::builder().servers(1).build()?;
-//! let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+//! // Any backend works: `DeployConfig::runtime()` / `::cluster()` /
+//! // `::sim()` all hand the manager the same `dyn Deployment`.
+//! let deployment = aeon::deploy_shared(DeployConfig::sim().servers(1))?;
+//! let manager = EManager::new(deployment.clone(), InMemoryStore::new());
 //! manager.add_policy(Box::new(ServerContentionPolicy::new(2)));
 //! for _ in 0..6 {
-//!     runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto)?;
+//!     deployment.create_context(Box::new(KvContext::new("Item")), Placement::Auto)?;
 //! }
 //! // The contention policy notices >2 contexts per server and scales out,
 //! // rebalancing contexts onto the new servers.
 //! let actions = manager.tick(&manager.collect_metrics())?;
 //! assert!(!actions.is_empty());
-//! runtime.shutdown();
+//! assert!(deployment.servers().len() > 1);
+//! deployment.shutdown();
 //! # Ok(())
 //! # }
 //! ```

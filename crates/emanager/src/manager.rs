@@ -3,7 +3,7 @@
 use crate::mapping::ContextMapping;
 use crate::migration::{MigrationRecord, MigrationStep};
 use crate::policy::{ElasticityAction, ElasticityPolicy, ServerMetrics};
-use aeon_runtime::AeonRuntime;
+use aeon_api::{Deployment, Snapshot};
 use aeon_storage::CloudStore;
 use aeon_types::{AeonError, ContextId, Result, ServerId, Value};
 use parking_lot::{Mutex, RwLock};
@@ -12,12 +12,17 @@ use std::sync::Arc;
 /// The elasticity manager: maintains the context mapping, evaluates
 /// elasticity policies, performs migrations, and exposes snapshots.
 ///
+/// The manager is written entirely against the `aeon-api`
+/// [`Deployment`] trait, so the same elasticity policies drive the
+/// in-process runtime, the distributed cluster, and the deterministic
+/// simulator — pass whichever backend `aeon::deploy` built.
+///
 /// The eManager itself is stateless in the sense of the paper: everything it
 /// needs to recover (mapping, ownership network, in-flight migrations) lives
 /// in the cloud storage substrate, so [`EManager::recover`] can finish the
 /// work of a crashed predecessor.
 pub struct EManager {
-    runtime: AeonRuntime,
+    deployment: Arc<dyn Deployment>,
     store: Arc<dyn CloudStore>,
     mapping: ContextMapping,
     policies: RwLock<Vec<Box<dyn ElasticityPolicy>>>,
@@ -31,23 +36,29 @@ pub struct EManager {
 impl std::fmt::Debug for EManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EManager")
+            .field("backend", &self.deployment.backend_name())
             .field("policies", &self.policies.read().len())
             .finish_non_exhaustive()
     }
 }
 
 impl EManager {
-    /// Creates an eManager for `runtime`, persisting into `store`.
-    pub fn new(runtime: AeonRuntime, store: impl CloudStore + 'static) -> Self {
+    /// Creates an eManager for `deployment`, persisting into `store`.
+    pub fn new(deployment: Arc<dyn Deployment>, store: impl CloudStore + 'static) -> Self {
         let store: Arc<dyn CloudStore> = Arc::new(store);
         Self {
-            runtime,
+            deployment,
             mapping: ContextMapping::new(store.clone()),
             store,
             policies: RwLock::new(Vec::new()),
             pinned: Mutex::new(Vec::new()),
             max_servers: Mutex::new(None),
         }
+    }
+
+    /// The deployment this manager drives.
+    pub fn deployment(&self) -> &Arc<dyn Deployment> {
+        &self.deployment
     }
 
     /// Registers an elasticity policy.  Policies are evaluated in
@@ -72,32 +83,11 @@ impl EManager {
         &self.mapping
     }
 
-    /// Collects current metrics from the runtime (context counts and
-    /// latency; CPU/memory are approximated from relative load since the
-    /// logical servers share the host machine).
+    /// Collects the current per-server metrics from the deployment (the
+    /// periodic utilisation reports of §5.2; each backend derives them from
+    /// what it can observe).
     pub fn collect_metrics(&self) -> Vec<ServerMetrics> {
-        let servers = self.runtime.servers();
-        let total_contexts: usize = self.runtime.context_count();
-        let latency = self.runtime.stats().latency_summary();
-        servers
-            .iter()
-            .map(|&server| {
-                let hosted = self.runtime.contexts_on(server).len();
-                let share = if total_contexts == 0 {
-                    0.0
-                } else {
-                    hosted as f64 / total_contexts as f64
-                };
-                ServerMetrics {
-                    server,
-                    cpu: share,
-                    memory: share,
-                    io: share * 0.5,
-                    context_count: hosted,
-                    avg_latency_ms: latency.mean_micros / 1_000.0,
-                }
-            })
-            .collect()
+        self.deployment.server_metrics()
     }
 
     /// Evaluates every registered policy against `metrics` and applies the
@@ -120,10 +110,10 @@ impl EManager {
             match &action {
                 ElasticityAction::ScaleOut { count } => {
                     let limit = self.max_servers.lock().unwrap_or(usize::MAX);
-                    let current = self.runtime.servers().len();
+                    let current = self.deployment.servers().len();
                     let allowed = limit.saturating_sub(current).min(*count);
                     for _ in 0..allowed {
-                        self.runtime.add_server();
+                        self.deployment.add_server();
                     }
                     if allowed > 0 {
                         applied.push(ElasticityAction::ScaleOut { count: allowed });
@@ -134,9 +124,9 @@ impl EManager {
                     applied.push(action);
                 }
                 ElasticityAction::ScaleIn { server } => {
-                    if self.runtime.servers().len() > 1 {
+                    if self.deployment.servers().len() > 1 {
                         self.drain_server(*server)?;
-                        self.runtime.remove_server(*server)?;
+                        self.deployment.remove_server(*server)?;
                         applied.push(action);
                     }
                 }
@@ -152,12 +142,12 @@ impl EManager {
     ///
     /// Propagates migration failures.
     pub fn rebalance_from(&self, from: ServerId) -> Result<()> {
-        let servers = self.runtime.servers();
+        let servers = self.deployment.servers();
         if servers.len() < 2 {
             return Ok(());
         }
-        let hosted = self.runtime.contexts_on(from);
-        let average = self.runtime.context_count().div_ceil(servers.len());
+        let hosted = self.deployment.contexts_on(from);
+        let average = self.deployment.context_count().div_ceil(servers.len());
         let excess = hosted.len().saturating_sub(average.max(1));
         if excess == 0 {
             return Ok(());
@@ -173,7 +163,7 @@ impl EManager {
             let dest = servers
                 .iter()
                 .filter(|s| **s != from)
-                .min_by_key(|s| self.runtime.contexts_on(**s).len())
+                .min_by_key(|s| self.deployment.contexts_on(**s).len())
                 .copied()
                 .ok_or_else(|| AeonError::Config("no destination server".into()))?;
             self.migrate(context, dest)?;
@@ -188,7 +178,7 @@ impl EManager {
     /// Propagates migration failures.
     pub fn drain_server(&self, server: ServerId) -> Result<()> {
         let others: Vec<ServerId> = self
-            .runtime
+            .deployment
             .servers()
             .into_iter()
             .filter(|s| *s != server)
@@ -196,7 +186,7 @@ impl EManager {
         if others.is_empty() {
             return Err(AeonError::Config("cannot drain the last server".into()));
         }
-        for (i, context) in self.runtime.contexts_on(server).into_iter().enumerate() {
+        for (i, context) in self.deployment.contexts_on(server).into_iter().enumerate() {
             self.migrate(context, others[i % others.len()])?;
         }
         Ok(())
@@ -211,7 +201,7 @@ impl EManager {
     ///   unknown ids.
     /// * Storage failures while persisting progress.
     pub fn migrate(&self, context: ContextId, to: ServerId) -> Result<()> {
-        let from = self.runtime.placement_of(context)?;
+        let from = self.deployment.placement_of(context)?;
         if from == to {
             return Ok(());
         }
@@ -223,8 +213,10 @@ impl EManager {
             step: MigrationStep::Prepared,
         };
         record.persist(&self.store)?;
-        // Step II: source stops accepting events targeting the context (in
-        // this runtime, queued events simply wait on the context lock).
+        // Step II: source stops accepting events targeting the context (each
+        // backend realises the stop window its own way: the runtime parks
+        // queued events on the context lock, the cluster buffers and
+        // forwards).
         record.step = MigrationStep::SourceStopped;
         record.persist(&self.store)?;
         // Step III: the mapping now names the destination.
@@ -232,7 +224,7 @@ impl EManager {
         record.step = MigrationStep::MappingUpdated;
         record.persist(&self.store)?;
         // Step IV: the migrate event drains the queue and moves the state.
-        self.runtime.migrate_context(context, to)?;
+        self.deployment.migrate_context(context, to)?;
         record.step = MigrationStep::StateMoved;
         record.persist(&self.store)?;
         // Step V: destination resumes execution; the record is cleared.
@@ -243,7 +235,7 @@ impl EManager {
     }
 
     /// Completes migrations left unfinished by a crashed eManager and
-    /// refreshes the mapping from the runtime's placement.
+    /// refreshes the mapping from the deployment's placement.
     ///
     /// Returns the number of migrations that were completed.
     ///
@@ -257,15 +249,15 @@ impl EManager {
             // idempotent.
             if record.step < MigrationStep::Completed {
                 self.mapping.record(record.context, record.to)?;
-                self.runtime.migrate_context(record.context, record.to)?;
+                self.deployment.migrate_context(record.context, record.to)?;
                 finished += 1;
             }
             MigrationRecord::clear(&self.store, record.context)?;
         }
         // Refresh mapping entries for any context the storage does not know
         // about yet (e.g. contexts created while the old eManager was down).
-        for server in self.runtime.servers() {
-            for context in self.runtime.contexts_on(server) {
+        for server in self.deployment.servers() {
+            for context in self.deployment.contexts_on(server) {
                 self.mapping.record(context, server)?;
             }
         }
@@ -278,7 +270,7 @@ impl EManager {
     ///
     /// Propagates storage failures.
     pub fn persist_ownership(&self) -> Result<()> {
-        let graph = self.runtime.ownership_graph();
+        let graph = self.deployment.ownership_graph();
         self.store
             .put(aeon_storage::keys::OWNERSHIP_KEY, graph.to_value())?;
         Ok(())
@@ -292,7 +284,7 @@ impl EManager {
     ///
     /// Propagates snapshot and storage failures.
     pub fn checkpoint(&self, name: &str, root: ContextId) -> Result<usize> {
-        let snapshot = self.runtime.snapshot_context(root)?;
+        let snapshot = self.deployment.snapshot_context(root)?;
         let key = format!("{}{}", aeon_storage::keys::SNAPSHOT_PREFIX, name);
         self.store.put(&key, snapshot.to_value())?;
         Ok(snapshot.len())
@@ -310,8 +302,8 @@ impl EManager {
             .store
             .get(&key)
             .ok_or_else(|| AeonError::Storage(format!("no checkpoint named {name}")))?;
-        let snapshot = aeon_runtime::Snapshot::from_value(&record.value)?;
-        self.runtime.restore_snapshot(&snapshot)
+        let snapshot = Snapshot::from_value(&record.value)?;
+        self.deployment.restore_snapshot(&snapshot)
     }
 
     /// Access to the persisted ownership network, if any.
@@ -326,101 +318,134 @@ impl EManager {
 mod tests {
     use super::*;
     use crate::policy::{ServerContentionPolicy, SlaPolicy};
-    use aeon_api::Session;
-    use aeon_runtime::{KvContext, Placement};
+    use aeon::prelude::{args, KvContext, Placement};
+    use aeon::{Backend, DeployConfig};
     use aeon_storage::InMemoryStore;
-    use aeon_types::args;
 
-    fn runtime_with_contexts(servers: usize, contexts: usize) -> (AeonRuntime, Vec<ContextId>) {
-        let runtime = AeonRuntime::builder().servers(servers).build().unwrap();
+    /// Builds a deployment through the facade's config-driven entry point;
+    /// the manager only ever sees `dyn Deployment`.
+    fn deploy(backend: Backend, servers: usize) -> Arc<dyn Deployment> {
+        aeon::deploy_shared(DeployConfig::new(backend).servers(servers)).unwrap()
+    }
+
+    fn with_contexts(
+        backend: Backend,
+        servers: usize,
+        contexts: usize,
+    ) -> (Arc<dyn Deployment>, Vec<ContextId>) {
+        let deployment = deploy(backend, servers);
         let ids = (0..contexts)
             .map(|_| {
-                runtime
+                deployment
                     .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
                     .unwrap()
             })
             .collect();
-        (runtime, ids)
+        (deployment, ids)
     }
 
     #[test]
     fn contention_policy_scales_out_and_rebalances() {
-        let (runtime, _) = runtime_with_contexts(1, 6);
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let (deployment, _) = with_contexts(Backend::Runtime, 1, 6);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
         manager.add_policy(Box::new(ServerContentionPolicy::new(2)));
         let actions = manager.tick(&manager.collect_metrics()).unwrap();
         assert!(actions
             .iter()
             .any(|a| matches!(a, ElasticityAction::ScaleOut { .. })));
-        assert!(runtime.servers().len() > 1);
+        assert!(deployment.servers().len() > 1);
         // After a couple of ticks every server is under the limit.
         manager.tick(&manager.collect_metrics()).unwrap();
-        for server in runtime.servers() {
-            assert!(runtime.contexts_on(server).len() <= 3);
+        for server in deployment.servers() {
+            assert!(deployment.contexts_on(server).len() <= 3);
         }
-        runtime.shutdown();
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn the_same_policy_drives_the_simulator_backend() {
+        // The point of the refactor: identical manager code, different
+        // execution substrate.
+        let (deployment, _) = with_contexts(Backend::Sim, 1, 6);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
+        manager.add_policy(Box::new(ServerContentionPolicy::new(2)));
+        manager.tick(&manager.collect_metrics()).unwrap();
+        manager.tick(&manager.collect_metrics()).unwrap();
+        assert!(deployment.servers().len() > 1);
+        for server in deployment.servers() {
+            assert!(deployment.contexts_on(server).len() <= 3);
+        }
+        deployment.shutdown();
     }
 
     #[test]
     fn max_servers_cap_is_respected() {
-        let (runtime, _) = runtime_with_contexts(1, 12);
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let (deployment, _) = with_contexts(Backend::Runtime, 1, 12);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
         manager.add_policy(Box::new(ServerContentionPolicy::new(1)));
         manager.set_max_servers(3);
         manager.tick(&manager.collect_metrics()).unwrap();
         manager.tick(&manager.collect_metrics()).unwrap();
-        assert!(runtime.servers().len() <= 3);
-        runtime.shutdown();
+        assert!(deployment.servers().len() <= 3);
+        deployment.shutdown();
     }
 
     #[test]
     fn migrate_updates_mapping_and_clears_record() {
-        let (runtime, ids) = runtime_with_contexts(2, 2);
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let (deployment, ids) = with_contexts(Backend::Runtime, 2, 2);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
         let ctx = ids[0];
-        let from = runtime.placement_of(ctx).unwrap();
-        let to = runtime.servers().into_iter().find(|s| *s != from).unwrap();
+        let from = deployment.placement_of(ctx).unwrap();
+        let to = deployment
+            .servers()
+            .into_iter()
+            .find(|s| *s != from)
+            .unwrap();
         manager.migrate(ctx, to).unwrap();
-        assert_eq!(runtime.placement_of(ctx).unwrap(), to);
+        assert_eq!(deployment.placement_of(ctx).unwrap(), to);
         assert_eq!(manager.mapping().lookup(ctx).unwrap(), to);
         // Migrating to the current location is a no-op.
         manager.migrate(ctx, to).unwrap();
-        runtime.shutdown();
+        deployment.shutdown();
     }
 
     #[test]
     fn pinned_contexts_are_not_rebalanced() {
-        let (runtime, ids) = runtime_with_contexts(1, 4);
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let (deployment, ids) = with_contexts(Backend::Runtime, 1, 4);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
         for id in &ids {
             manager.pin_context(*id);
         }
-        runtime.add_server();
-        manager.rebalance_from(runtime.servers()[0]).unwrap();
+        deployment.add_server();
+        manager.rebalance_from(deployment.servers()[0]).unwrap();
         // Everything stayed put because every context is pinned.
-        assert_eq!(runtime.contexts_on(runtime.servers()[0]).len(), 4);
-        runtime.shutdown();
+        assert_eq!(deployment.contexts_on(deployment.servers()[0]).len(), 4);
+        deployment.shutdown();
     }
 
     #[test]
     fn drain_and_scale_in() {
-        let (runtime, _) = runtime_with_contexts(2, 4);
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
-        let victim = runtime.servers()[1];
+        let (deployment, _) = with_contexts(Backend::Runtime, 2, 4);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
+        let victim = deployment.servers()[1];
         manager.drain_server(victim).unwrap();
-        assert!(runtime.contexts_on(victim).is_empty());
-        runtime.remove_server(victim).unwrap();
-        assert_eq!(runtime.servers().len(), 1);
-        runtime.shutdown();
+        assert!(deployment.contexts_on(victim).is_empty());
+        deployment.remove_server(victim).unwrap();
+        assert_eq!(deployment.servers().len(), 1);
+        deployment.shutdown();
     }
 
     #[test]
     fn recovery_finishes_interrupted_migrations() {
-        let (runtime, ids) = runtime_with_contexts(2, 1);
+        let (deployment, ids) = with_contexts(Backend::Runtime, 2, 1);
         let store = InMemoryStore::new();
         let ctx = ids[0];
-        let from = runtime.placement_of(ctx).unwrap();
-        let to = runtime.servers().into_iter().find(|s| *s != from).unwrap();
+        let from = deployment.placement_of(ctx).unwrap();
+        let to = deployment
+            .servers()
+            .into_iter()
+            .find(|s| *s != from)
+            .unwrap();
         // Simulate an eManager that crashed after persisting step II.
         {
             let arc_store: Arc<dyn CloudStore> = Arc::new(store.clone());
@@ -433,61 +458,62 @@ mod tests {
             .persist(&arc_store)
             .unwrap();
         }
-        let manager = EManager::new(runtime.clone(), store);
+        let manager = EManager::new(deployment.clone(), store);
         let finished = manager.recover().unwrap();
         assert_eq!(finished, 1);
-        assert_eq!(runtime.placement_of(ctx).unwrap(), to);
+        assert_eq!(deployment.placement_of(ctx).unwrap(), to);
         assert_eq!(manager.mapping().lookup(ctx).unwrap(), to);
-        runtime.shutdown();
+        deployment.shutdown();
     }
 
     #[test]
     fn checkpoint_and_restore_via_storage() {
-        let runtime = AeonRuntime::builder().servers(1).build().unwrap();
-        let room = runtime
+        let deployment = deploy(Backend::Runtime, 1);
+        let room = deployment
             .create_context(Box::new(KvContext::new("Room")), Placement::Auto)
             .unwrap();
-        let client = runtime.client();
-        client.call(room, "set", args!["name", "castle"]).unwrap();
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let session = deployment.session();
+        session.call(room, "set", args!["name", "castle"]).unwrap();
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
         assert_eq!(manager.checkpoint("daily", room).unwrap(), 1);
-        client.call(room, "set", args!["name", "ruins"]).unwrap();
+        session.call(room, "set", args!["name", "ruins"]).unwrap();
         manager.restore_checkpoint("daily").unwrap();
         assert_eq!(
-            client.call_readonly(room, "get", args!["name"]).unwrap(),
+            session.call_readonly(room, "get", args!["name"]).unwrap(),
             aeon_types::Value::from("castle")
         );
         assert!(manager.restore_checkpoint("missing").is_err());
-        runtime.shutdown();
+        deployment.shutdown();
     }
 
     #[test]
     fn ownership_network_is_persisted() {
-        let (runtime, _) = runtime_with_contexts(1, 3);
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let (deployment, _) = with_contexts(Backend::Runtime, 1, 3);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
         manager.persist_ownership().unwrap();
         let value = manager.load_ownership().expect("persisted graph");
         let graph = aeon_ownership::OwnershipGraph::from_value(&value).unwrap();
         assert_eq!(graph.len(), 3);
-        runtime.shutdown();
+        deployment.shutdown();
     }
 
     #[test]
     fn sla_policy_drives_scale_out_via_tick() {
-        let (runtime, _) = runtime_with_contexts(1, 2);
-        let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+        let (deployment, _) = with_contexts(Backend::Runtime, 1, 2);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
         manager.add_policy(Box::new(SlaPolicy::new(10.0).with_step(3)));
         // Fake metrics reporting an SLA violation.
         let metrics = vec![ServerMetrics {
-            server: runtime.servers()[0],
+            server: deployment.servers()[0],
             cpu: 0.9,
             memory: 0.5,
             io: 0.2,
             context_count: 2,
+            queue_depth: 0,
             avg_latency_ms: 50.0,
         }];
         manager.tick(&metrics).unwrap();
-        assert_eq!(runtime.servers().len(), 4);
-        runtime.shutdown();
+        assert_eq!(deployment.servers().len(), 4);
+        deployment.shutdown();
     }
 }

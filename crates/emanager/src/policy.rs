@@ -7,24 +7,11 @@
 //! server), and a latency SLA (used in the §6.2 elasticity experiment).
 
 use aeon_types::ServerId;
-use serde::{Deserialize, Serialize};
 
-/// A periodic utilisation report for one server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
-pub struct ServerMetrics {
-    /// The reporting server.
-    pub server: ServerId,
-    /// CPU utilisation in `[0, 1]`.
-    pub cpu: f64,
-    /// Memory utilisation in `[0, 1]`.
-    pub memory: f64,
-    /// IO utilisation in `[0, 1]`.
-    pub io: f64,
-    /// Number of contexts currently hosted.
-    pub context_count: usize,
-    /// Average latency of recent client requests, in milliseconds.
-    pub avg_latency_ms: f64,
-}
+// The report type itself lives in `aeon-types` so every deployment backend
+// can produce it without depending on this crate; re-exported here because
+// policies are its natural home for consumers.
+pub use aeon_types::ServerMetrics;
 
 /// A decision produced by a policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -246,6 +233,7 @@ mod tests {
             memory: cpu * 0.5,
             io: cpu * 0.3,
             context_count: contexts,
+            queue_depth: 0,
             avg_latency_ms: latency,
         }
     }

@@ -11,7 +11,7 @@ use crate::stats::RuntimeStats;
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
 use aeon_types::{
     codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
-    ServerId, Value,
+    ServerId, ServerMetrics, Value,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
@@ -550,17 +550,31 @@ impl AeonRuntime {
     /// * [`AeonError::ServerNotFound`] for unknown servers.
     /// * [`AeonError::Config`] when contexts are still placed on it.
     pub fn remove_server(&self, server: ServerId) -> Result<()> {
+        // Go offline first so concurrent placements stop choosing this
+        // server, then check it is empty; checking before flipping the flag
+        // would let a racing create_context strand a context on it.
+        {
+            let mut servers = self.inner.servers.write();
+            let info = servers
+                .get_mut(&server)
+                .ok_or(AeonError::ServerNotFound(server))?;
+            // Removing an already offline server is an error on every
+            // backend (the cluster and simulator have no entry left to
+            // stop).
+            if !info.online {
+                return Err(AeonError::ServerNotFound(server));
+            }
+            info.online = false;
+        }
         let hosted = self.contexts_on(server).len();
         if hosted > 0 {
+            if let Some(info) = self.inner.servers.write().get_mut(&server) {
+                info.online = true;
+            }
             return Err(AeonError::Config(format!(
                 "server {server} still hosts {hosted} contexts"
             )));
         }
-        let mut servers = self.inner.servers.write();
-        let info = servers
-            .get_mut(&server)
-            .ok_or(AeonError::ServerNotFound(server))?;
-        info.online = false;
         Ok(())
     }
 
@@ -646,6 +660,36 @@ impl AeonRuntime {
     /// Per-server info (including offline servers).
     pub fn server_info(&self) -> BTreeMap<ServerId, ServerInfo> {
         self.inner.servers.read().clone()
+    }
+
+    /// Current per-server load metrics (the elasticity control-plane feed).
+    ///
+    /// CPU/memory/IO are approximated from relative context load since the
+    /// logical servers share the host machine; the process-wide executor
+    /// queue (one worker pool serves every logical server) is apportioned
+    /// across the servers so the fleet-wide sum stays meaningful, and the
+    /// latency is the runtime-wide mean event latency.
+    pub fn server_metrics(&self) -> Vec<ServerMetrics> {
+        let servers = self.servers();
+        let total_contexts = self.context_count();
+        let latency = self.stats().latency_summary();
+        let queued = self.executor_stats().queued as usize;
+        let fleet = servers.len().max(1);
+        servers
+            .into_iter()
+            .enumerate()
+            .map(|(i, server)| {
+                let hosted = self.contexts_on(server).len();
+                let queue_depth = queued / fleet + usize::from(i < queued % fleet);
+                ServerMetrics::from_load(
+                    server,
+                    hosted,
+                    total_contexts,
+                    queue_depth,
+                    latency.mean_micros / 1_000.0,
+                )
+            })
+            .collect()
     }
 
     /// The server currently hosting `context`.

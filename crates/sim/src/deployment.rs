@@ -22,7 +22,7 @@ use aeon_runtime::{
 };
 use aeon_types::{
     codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
-    ServerId, SimDuration, SimTime, Value,
+    ServerId, ServerMetrics, SimDuration, SimTime, Value,
 };
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -711,6 +711,48 @@ impl Deployment for SimDeployment {
         state.next_server += 1;
         state.servers.insert(id, true);
         id
+    }
+
+    fn remove_server(&self, server: ServerId) -> Result<()> {
+        let mut state = self.inner.lock();
+        if !state.online(server) {
+            return Err(AeonError::ServerNotFound(server));
+        }
+        let hosted = state.placement.values().filter(|s| **s == server).count();
+        if hosted > 0 {
+            return Err(AeonError::Config(format!(
+                "server {server} still hosts {hosted} contexts"
+            )));
+        }
+        state.servers.insert(server, false);
+        Ok(())
+    }
+
+    fn server_metrics(&self) -> Vec<ServerMetrics> {
+        // Virtual-time metrics: the latency signal is the mean virtual
+        // latency charged to events so far, and the queue depth is zero
+        // because the deterministic engine executes events inline.
+        let state = self.inner.lock();
+        let total_contexts = state.contexts.len();
+        let events = state.events_completed + state.events_failed;
+        let avg_latency_ms = if events == 0 {
+            0.0
+        } else {
+            state.total_latency.as_micros() as f64 / events as f64 / 1_000.0
+        };
+        state
+            .servers
+            .iter()
+            .filter(|(_, online)| **online)
+            .map(|(&server, _)| {
+                let hosted = state.placement.values().filter(|s| **s == server).count();
+                ServerMetrics::from_load(server, hosted, total_contexts, 0, avg_latency_ms)
+            })
+            .collect()
+    }
+
+    fn context_count(&self) -> usize {
+        self.inner.lock().contexts.len()
     }
 
     fn crash_server(&self, server: ServerId) -> Result<()> {

@@ -21,6 +21,7 @@ pub mod access;
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod metrics;
 pub mod time;
 pub mod value;
 
@@ -29,5 +30,6 @@ pub use error::{AeonError, Result};
 pub use ids::{
     ClassName, ClientId, ContextId, EventId, IdGenerator, MethodName, SequenceNo, ServerId,
 };
+pub use metrics::ServerMetrics;
 pub use time::{SimDuration, SimTime};
 pub use value::{Args, Value};

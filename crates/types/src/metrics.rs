@@ -1,0 +1,93 @@
+//! Per-server load metrics reported by every deployment backend.
+//!
+//! The elasticity manager (§5.2 of the paper) decides when to scale out/in
+//! and what to migrate from periodic utilisation reports of every server.
+//! [`ServerMetrics`] is that report, shared by all execution backends so
+//! elasticity policies are written once and drive the in-process runtime,
+//! the distributed cluster, and the deterministic simulator alike.
+
+use crate::ids::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// A periodic utilisation report for one server.
+///
+/// The resource utilisations are proxies derived from what each backend can
+/// actually observe (relative context load, executor queue depth, event
+/// latency); on a real cloud deployment they would come from the host OS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServerMetrics {
+    /// The reporting server.
+    pub server: ServerId,
+    /// CPU utilisation in `[0, 1]`.
+    pub cpu: f64,
+    /// Memory utilisation in `[0, 1]`.
+    pub memory: f64,
+    /// IO utilisation in `[0, 1]`.
+    pub io: f64,
+    /// Number of contexts currently hosted.
+    pub context_count: usize,
+    /// Events queued for execution on the server's worker pool (zero on
+    /// backends that execute inline, like the deterministic simulator).
+    pub queue_depth: usize,
+    /// Average latency of recent client requests, in milliseconds.
+    pub avg_latency_ms: f64,
+}
+
+impl ServerMetrics {
+    /// Builds a report from what every backend can observe: the share of
+    /// the fleet's contexts hosted on `server` stands in for resource
+    /// utilisation (`cpu = memory = share`, `io = share / 2`).  All three
+    /// backends derive their reports through this constructor so the proxy
+    /// formula cannot drift between them.
+    pub fn from_load(
+        server: ServerId,
+        context_count: usize,
+        total_contexts: usize,
+        queue_depth: usize,
+        avg_latency_ms: f64,
+    ) -> Self {
+        let share = if total_contexts == 0 {
+            0.0
+        } else {
+            context_count as f64 / total_contexts as f64
+        };
+        Self {
+            server,
+            cpu: share,
+            memory: share,
+            io: share * 0.5,
+            context_count,
+            queue_depth,
+            avg_latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_zeroed() {
+        let m = ServerMetrics::default();
+        assert_eq!(m.context_count, 0);
+        assert_eq!(m.queue_depth, 0);
+        assert_eq!(m.avg_latency_ms, 0.0);
+    }
+
+    #[test]
+    fn from_load_derives_utilisation_from_context_share() {
+        let m = ServerMetrics::from_load(ServerId::new(1), 3, 4, 7, 2.5);
+        assert_eq!(m.cpu, 0.75);
+        assert_eq!(m.memory, 0.75);
+        assert_eq!(m.io, 0.375);
+        assert_eq!(m.context_count, 3);
+        assert_eq!(m.queue_depth, 7);
+        assert_eq!(m.avg_latency_ms, 2.5);
+        // An empty fleet reports zero utilisation, not NaN.
+        assert_eq!(
+            ServerMetrics::from_load(ServerId::new(0), 0, 0, 0, 0.0).cpu,
+            0.0
+        );
+    }
+}

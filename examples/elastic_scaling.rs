@@ -1,44 +1,62 @@
 //! Elasticity: an eManager with a server-contention policy scales the
-//! cluster out as contexts are created, rebalancing them without violating
-//! consistency.
+//! deployment out as contexts are created, rebalancing them without
+//! violating consistency.
 //!
-//! Run with `cargo run --example elastic_scaling`.
+//! The manager only sees `dyn Deployment`, so the backend is a command-line
+//! choice: `cargo run --example elastic_scaling -- [runtime|cluster|sim]`
+//! (default: runtime).
 
 use aeon::prelude::*;
 
 fn main() -> Result<()> {
-    let runtime = AeonRuntime::builder().servers(1).build()?;
-    let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+    let backend: Backend = std::env::args()
+        .nth(1)
+        .map(|arg| arg.parse())
+        .transpose()?
+        .unwrap_or_default();
+    let deployment = aeon::deploy_shared(DeployConfig::new(backend).servers(1))?;
+    // Rebalancing migrations rebuild context state through the class
+    // factory on backends that ship it between servers (the cluster).
+    deployment.register_class_factory(
+        "Room",
+        std::sync::Arc::new(|state: &Value| {
+            let mut room = KvContext::new("Room");
+            ContextObject::restore(&mut room, state);
+            Box::new(room) as Box<dyn ContextObject>
+        }),
+    );
+    let manager = EManager::new(deployment.clone(), InMemoryStore::new());
     manager.add_policy(Box::new(ServerContentionPolicy::new(8)));
     manager.set_max_servers(8);
 
-    let client = runtime.client();
+    let session = deployment.session();
     let mut rooms = Vec::new();
     for wave in 0..4 {
         // A new wave of rooms joins the game.
         for _ in 0..12 {
-            let room = runtime.create_context(Box::new(KvContext::new("Room")), Placement::Auto)?;
-            client.call(room, "set", args!["wave", wave])?;
+            let room =
+                deployment.create_context(Box::new(KvContext::new("Room")), Placement::Auto)?;
+            session.call(room, "set", args!["wave", wave])?;
             rooms.push(room);
         }
         let actions = manager.tick(&manager.collect_metrics())?;
         println!(
             "wave {wave}: {} contexts on {} servers, actions: {actions:?}",
-            runtime.context_count(),
-            runtime.servers().len()
+            deployment.context_count(),
+            deployment.servers().len()
         );
     }
 
     // No state was lost during the rebalancing migrations.
     for (i, room) in rooms.iter().enumerate() {
-        let wave = client.call_readonly(*room, "get", args!["wave"])?;
+        let wave = session.call_readonly(*room, "get", args!["wave"])?;
         assert_eq!(wave, Value::from((i / 12) as i64));
     }
     println!(
-        "final fleet: {} servers, {} migrations",
-        runtime.servers().len(),
-        runtime.stats().migrations()
+        "final fleet ({}): {} servers",
+        deployment.backend_name(),
+        deployment.servers().len()
     );
-    runtime.shutdown();
+    deployment.shutdown();
     Ok(())
 }

@@ -7,33 +7,38 @@
 use aeon::prelude::*;
 
 fn main() -> Result<()> {
-    let runtime = AeonRuntime::builder().servers(3).build()?;
+    let deployment = aeon::deploy_shared(DeployConfig::runtime().servers(3))?;
     let store = InMemoryStore::new();
-    let manager = EManager::new(runtime.clone(), store.clone());
+    let manager = EManager::new(deployment.clone(), store.clone());
 
-    let counter = runtime.create_context(Box::new(KvContext::new("Counter")), Placement::Auto)?;
-    let client = runtime.client();
+    let counter =
+        deployment.create_context(Box::new(KvContext::new("Counter")), Placement::Auto)?;
+    let session = deployment.session();
 
-    // Drive load while migrating the context around the cluster.
+    // Drive load while migrating the context around the deployment.
     let handles: Vec<_> = (0..300)
-        .map(|_| client.submit_event(counter, "incr", args!["n", 1]).unwrap())
+        .map(|_| {
+            session
+                .submit_event(counter, "incr", args!["n", 1])
+                .unwrap()
+        })
         .collect();
-    let servers = runtime.servers();
+    let servers = deployment.servers();
     for i in 0..6 {
         manager.migrate(counter, servers[i % servers.len()])?;
     }
     for handle in handles {
         handle.wait()?;
     }
-    let value = client.call_readonly(counter, "get", args!["n"])?;
+    let value = session.call_readonly(counter, "get", args!["n"])?;
     println!("counter after 300 increments and 6 migrations: {value}");
     assert_eq!(value, Value::from(300i64));
 
     // A replacement eManager recovers from the persisted mapping.
-    let replacement = EManager::new(runtime.clone(), store);
+    let replacement = EManager::new(deployment.clone(), store);
     let finished = replacement.recover()?;
     println!("replacement eManager completed {finished} in-flight migrations");
-    println!("context now lives on {}", runtime.placement_of(counter)?);
-    runtime.shutdown();
+    println!("context now lives on {}", deployment.placement_of(counter)?);
+    deployment.shutdown();
     Ok(())
 }

@@ -7,11 +7,11 @@
 use aeon::prelude::*;
 
 fn main() -> Result<()> {
-    // Two logical servers.  Any backend works here: `Cluster::builder()`
-    // or `SimDeployment::builder()` deploy the same program distributed or
-    // simulated (see the `unified_deployment` example).
-    let runtime = AeonRuntime::builder().servers(2).build()?;
-    let deployment: &dyn Deployment = &runtime;
+    // Two logical servers on the in-process runtime.  The backend is just
+    // configuration: `DeployConfig::cluster()` or `DeployConfig::sim()`
+    // deploy the same program distributed or simulated (see the
+    // `unified_deployment` example).
+    let deployment = aeon::deploy(DeployConfig::runtime().servers(2))?;
 
     // A generic key/value contextclass shipped with the runtime.
     let account =
@@ -35,7 +35,12 @@ fn main() -> Result<()> {
         handle.wait()?
     );
 
-    println!("events completed: {}", runtime.stats().events_completed());
+    println!(
+        "{} contexts deployed on {} servers ({})",
+        deployment.context_count(),
+        deployment.servers().len(),
+        deployment.backend_name()
+    );
     deployment.shutdown();
     Ok(())
 }

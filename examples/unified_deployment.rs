@@ -9,7 +9,9 @@
 //! * the distributed message-passing cluster, and
 //! * the deterministic virtual-time simulator,
 //!
-//! producing identical results on each.
+//! producing identical results on each.  The backends themselves are built
+//! by the config-driven `aeon::deploy` entry point — the program never
+//! names a concrete backend type.
 //!
 //! Run with `cargo run --example unified_deployment`.
 
@@ -37,23 +39,14 @@ fn play(deployment: &dyn Deployment) -> Result<Value> {
 }
 
 fn main() -> Result<()> {
-    let runtime = AeonRuntime::builder()
-        .servers(3)
-        .class_graph(game_class_graph())
-        .build()?;
-    let cluster = Cluster::builder()
-        .servers(3)
-        .class_graph(game_class_graph())
-        .build()?;
-    let sim = SimDeployment::builder()
-        .servers(3)
-        .class_graph(game_class_graph())
-        .build()?;
-
-    let backends: Vec<&dyn Deployment> = vec![&runtime, &cluster, &sim];
     let mut results = Vec::new();
-    for deployment in backends {
-        let total = play(deployment)?;
+    for backend in Backend::ALL {
+        let deployment = aeon::deploy(
+            DeployConfig::new(backend)
+                .servers(3)
+                .class_graph(game_class_graph()),
+        )?;
+        let total = play(deployment.as_ref())?;
         println!(
             "{:>8}: total treasure gold = {total}",
             deployment.backend_name()

@@ -227,6 +227,210 @@ fn colocation_with_contexts_on_crashed_servers_is_rejected_on_every_backend() {
     });
 }
 
+// ---------------------------------------------------------------------------
+// Elasticity parity: the eManager holds an `Arc<dyn Deployment>`, so every
+// elasticity scenario (policy-driven scale-out, drain, pins, crash
+// recovery) must behave identically on all three backends.  The backends
+// are built through the config-driven `aeon::deploy` entry point.
+// ---------------------------------------------------------------------------
+
+/// Runs `scenario` with a shared deployment handle (the shape the
+/// elasticity manager holds) against all three backends.
+fn on_every_backend_shared(scenario: impl Fn(std::sync::Arc<dyn Deployment>)) {
+    for backend in Backend::ALL {
+        let deployment = aeon::deploy_shared(DeployConfig::new(backend).servers(2)).unwrap();
+        scenario(deployment.clone());
+        deployment.shutdown();
+    }
+}
+
+/// Registers the snapshot factory for the plain "Item" KvContext class used
+/// by the elasticity scenarios.
+fn register_item_factory(deployment: &dyn Deployment) {
+    deployment.register_class_factory(
+        "Item",
+        std::sync::Arc::new(|state: &Value| {
+            let mut item = KvContext::new("Item");
+            ContextObject::restore(&mut item, state);
+            Box::new(item) as Box<dyn ContextObject>
+        }),
+    );
+}
+
+/// Creates `n` Item contexts, each tagged with its index.
+fn seed_items(deployment: &dyn Deployment, n: usize) -> Vec<ContextId> {
+    let session = deployment.session();
+    (0..n)
+        .map(|i| {
+            let item = deployment
+                .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+                .unwrap();
+            session.call(item, "set", args!["tag", i as i64]).unwrap();
+            item
+        })
+        .collect()
+}
+
+/// Every item still answers with its tag (no state lost to migrations).
+fn assert_items_intact(deployment: &dyn Deployment, items: &[ContextId], backend: &str) {
+    let session = deployment.session();
+    for (i, item) in items.iter().enumerate() {
+        assert_eq!(
+            session.call_readonly(*item, "get", args!["tag"]).unwrap(),
+            Value::from(i as i64),
+            "backend {backend}: item {i} lost state"
+        );
+    }
+}
+
+#[test]
+fn emanager_scales_out_on_overload_on_every_backend() {
+    on_every_backend_shared(|deployment| {
+        let backend = deployment.backend_name();
+        register_item_factory(deployment.as_ref());
+        let items = seed_items(deployment.as_ref(), 8);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
+        manager.add_policy(Box::new(ServerContentionPolicy::new(2)));
+        let before = deployment.servers().len();
+        let actions = manager.tick(&manager.collect_metrics()).unwrap();
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, ElasticityAction::ScaleOut { .. })),
+            "backend {backend}: {actions:?}"
+        );
+        assert!(deployment.servers().len() > before, "backend {backend}");
+        // A second tick settles every server under the contention limit.
+        manager.tick(&manager.collect_metrics()).unwrap();
+        for server in deployment.servers() {
+            assert!(
+                deployment.contexts_on(server).len() <= 3,
+                "backend {backend}: server {server} still overloaded"
+            );
+        }
+        assert_items_intact(deployment.as_ref(), &items, backend);
+    });
+}
+
+#[test]
+fn emanager_drains_and_releases_a_server_on_every_backend() {
+    on_every_backend_shared(|deployment| {
+        let backend = deployment.backend_name();
+        register_item_factory(deployment.as_ref());
+        let items = seed_items(deployment.as_ref(), 6);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
+        let victim = deployment.servers()[1];
+        manager.drain_server(victim).unwrap();
+        assert!(
+            deployment.contexts_on(victim).is_empty(),
+            "backend {backend}"
+        );
+        deployment.remove_server(victim).unwrap();
+        assert!(!deployment.servers().contains(&victim), "backend {backend}");
+        assert_items_intact(deployment.as_ref(), &items, backend);
+    });
+}
+
+#[test]
+fn emanager_respects_pinned_contexts_on_every_backend() {
+    on_every_backend_shared(|deployment| {
+        let backend = deployment.backend_name();
+        register_item_factory(deployment.as_ref());
+        // Pack everything onto one server, then pin it all.
+        let first = deployment.servers()[0];
+        let items: Vec<ContextId> = (0..4)
+            .map(|_| {
+                deployment
+                    .create_context(Box::new(KvContext::new("Item")), Placement::Server(first))
+                    .unwrap()
+            })
+            .collect();
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
+        for item in &items {
+            manager.pin_context(*item);
+        }
+        manager.rebalance_from(first).unwrap();
+        assert_eq!(
+            deployment.contexts_on(first).len(),
+            4,
+            "backend {backend}: pinned contexts moved"
+        );
+    });
+}
+
+#[test]
+fn emanager_recovers_interrupted_migrations_on_every_backend() {
+    use aeon::emanager::{MigrationRecord, MigrationStep};
+    use aeon::storage::CloudStore;
+
+    on_every_backend_shared(|deployment| {
+        let backend = deployment.backend_name();
+        register_item_factory(deployment.as_ref());
+        let items = seed_items(deployment.as_ref(), 1);
+        let ctx = items[0];
+        let from = deployment.placement_of(ctx).unwrap();
+        let to = deployment
+            .servers()
+            .into_iter()
+            .find(|s| *s != from)
+            .unwrap();
+        let store = InMemoryStore::new();
+        // Simulate a predecessor eManager that crashed after step II.
+        {
+            let arc_store: std::sync::Arc<dyn CloudStore> = std::sync::Arc::new(store.clone());
+            MigrationRecord {
+                context: ctx,
+                from,
+                to,
+                step: MigrationStep::SourceStopped,
+            }
+            .persist(&arc_store)
+            .unwrap();
+        }
+        let replacement = EManager::new(deployment.clone(), store);
+        let finished = replacement.recover().unwrap();
+        assert_eq!(finished, 1, "backend {backend}");
+        assert_eq!(
+            deployment.placement_of(ctx).unwrap(),
+            to,
+            "backend {backend}"
+        );
+        assert_eq!(
+            replacement.mapping().lookup(ctx).unwrap(),
+            to,
+            "backend {backend}"
+        );
+        assert_items_intact(deployment.as_ref(), &items, backend);
+    });
+}
+
+#[test]
+fn server_metrics_reflect_load_on_every_backend() {
+    on_every_backend_shared(|deployment| {
+        let backend = deployment.backend_name();
+        let _items = seed_items(deployment.as_ref(), 5);
+        let metrics = deployment.server_metrics();
+        assert_eq!(
+            metrics.len(),
+            deployment.servers().len(),
+            "backend {backend}"
+        );
+        let total: usize = metrics.iter().map(|m| m.context_count).sum();
+        assert_eq!(total, 5, "backend {backend}");
+        for m in &metrics {
+            assert!(
+                (0.0..=1.0).contains(&m.cpu),
+                "backend {backend}: cpu out of range"
+            );
+            assert_eq!(
+                m.context_count,
+                deployment.contexts_on(m.server).len(),
+                "backend {backend}"
+            );
+        }
+    });
+}
+
 #[test]
 fn elasticity_scale_out_works_on_every_backend() {
     on_every_backend(|deployment| {

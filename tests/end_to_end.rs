@@ -15,7 +15,7 @@ fn game_world_under_concurrent_load_with_elasticity() {
         .class_graph(game_class_graph())
         .build()
         .unwrap();
-    let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+    let manager = EManager::new(std::sync::Arc::new(runtime.clone()), InMemoryStore::new());
     manager.add_policy(Box::new(ServerContentionPolicy::new(8)));
     let world = deploy_game(&runtime, 4, 3).unwrap();
     let client = runtime.client();
@@ -56,7 +56,7 @@ fn tpcc_consistency_survives_checkpoint_restore_and_migration() {
         .class_graph(tpcc_class_graph())
         .build()
         .unwrap();
-    let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+    let manager = EManager::new(std::sync::Arc::new(runtime.clone()), InMemoryStore::new());
     let world = deploy_tpcc(&runtime, 3, 5).unwrap();
     let client = runtime.client();
 
@@ -113,7 +113,7 @@ fn ownership_network_is_recoverable_from_storage() {
     let item = runtime
         .create_owned_context(Box::new(KvContext::new("Item")), &[room])
         .unwrap();
-    let manager = EManager::new(runtime.clone(), InMemoryStore::new());
+    let manager = EManager::new(std::sync::Arc::new(runtime.clone()), InMemoryStore::new());
     manager.persist_ownership().unwrap();
     let graph = OwnershipGraph::from_value(&manager.load_ownership().unwrap()).unwrap();
     assert!(graph.is_ancestor(room, item));
