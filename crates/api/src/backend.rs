@@ -8,7 +8,10 @@ use crate::handle::EventHandle;
 use crate::traits::{Deployment, Session};
 use aeon_ownership::OwnershipGraph;
 use aeon_runtime::{AeonClient, AeonRuntime, ContextFactory, ContextObject, Placement, Snapshot};
-use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, Value};
+use aeon_types::{
+    AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, SharedHistorySink,
+    Value,
+};
 
 impl Session for AeonClient {
     fn client_id(&self) -> ClientId {
@@ -112,6 +115,10 @@ impl Deployment for AeonRuntime {
 
     fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
         AeonRuntime::restore_snapshot(self, snapshot)
+    }
+
+    fn install_history_sink(&self, sink: SharedHistorySink) {
+        AeonRuntime::install_history_sink(self, sink);
     }
 
     fn restore_context(&self, context: ContextId, state: &Value, server: ServerId) -> Result<()> {

@@ -3,7 +3,10 @@
 use crate::handle::EventHandle;
 use aeon_ownership::OwnershipGraph;
 use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
-use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, Value};
+use aeon_types::{
+    AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, SharedHistorySink,
+    Value,
+};
 
 /// A client session on a deployment: the entry point for submitting
 /// strictly-serializable events.
@@ -225,6 +228,17 @@ pub trait Deployment: Send + Sync {
     /// Returns [`aeon_types::AeonError::ContextNotFound`] if a snapshotted
     /// context no longer exists.
     fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()>;
+
+    /// Installs a live history sink: from now on the backend reports every
+    /// event's invocation and response points and every context access
+    /// (see [`aeon_types::HistorySink`] for the timestamping contract) to
+    /// `sink`.  Sessions opened before the installation feed the sink too.
+    ///
+    /// The canonical sink is `aeon_checker::HistoryRecorder`, which turns
+    /// the feed into a `History` that `check_strict_serializability` can
+    /// verify — this is how the chaos suite audits real executions.
+    /// Installing a sink replaces any previous one.
+    fn install_history_sink(&self, sink: SharedHistorySink);
 
     /// Re-hosts a context from externally held state (e.g. a checkpoint)
     /// after its server crashed.  The context keeps its identity and

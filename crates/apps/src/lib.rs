@@ -9,10 +9,12 @@
 //!   multi-ownership (AEON), single-ownership (AEON_SO / EventWave) and
 //!   Orleans variants the paper compares.
 
+pub mod bank;
 pub mod collections;
 pub mod game;
 pub mod tpcc;
 
+pub use bank::{deploy_bank, register_bank_factories, BankWorld, BankWorldConfig};
 pub use collections::{ListSet, SearchTree};
 pub use game::{GameWorkload, GameWorkloadConfig};
 pub use tpcc::{TpccWorkload, TpccWorkloadConfig, TransactionKind};

@@ -179,6 +179,56 @@ pub fn racy_history(config: &GeneratorConfig, race_percent: u32) -> History {
     history
 }
 
+/// Splices a lost-update interleaving into `history`: two fresh events
+/// read-read-write-write `context` with overlapping spans, so each misses
+/// the other's update.  The mutation creates a two-event conflict cycle,
+/// which every serializability check must reject; property tests use it as
+/// the canonical "known-cyclic" history mutation.  Returns the two injected
+/// event ids.
+pub fn inject_lost_update(history: &mut History, context: ContextId) -> (EventId, EventId) {
+    let next_event = history.events().iter().map(|e| e.raw()).max().unwrap_or(0) + 1;
+    let a = EventId::new(next_event);
+    let b = EventId::new(next_event + 1);
+    let mut clock = history
+        .spans
+        .values()
+        .filter_map(|s| s.responded_at)
+        .chain(
+            history
+                .operations
+                .values()
+                .flat_map(|ops| ops.iter().map(|op| op.at)),
+        )
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let invoked_at = clock;
+    for (event, kind) in [
+        (a, OpKind::Read),
+        (b, OpKind::Read),
+        (a, OpKind::Write),
+        (b, OpKind::Write),
+    ] {
+        history.push_operation(Operation {
+            event,
+            context,
+            kind,
+            at: clock,
+        });
+        clock += 1;
+    }
+    for event in [a, b] {
+        history.set_span(
+            event,
+            EventSpan {
+                invoked_at,
+                responded_at: Some(clock),
+            },
+        );
+    }
+    (a, b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +284,18 @@ mod tests {
         let config = GeneratorConfig::default();
         let history = racy_history(&config, 0);
         assert!(check_strict_serializability(&history).is_ok());
+    }
+
+    #[test]
+    fn lost_update_mutation_breaks_any_history() {
+        let mut history = serial_history(&GeneratorConfig::default());
+        assert!(check_strict_serializability(&history).is_ok());
+        let (a, b) = inject_lost_update(&mut history, ContextId::new(1));
+        assert_ne!(a, b);
+        let err = check_serializability(&history).unwrap_err();
+        let members: std::collections::BTreeSet<EventId> =
+            err.cycle.iter().flat_map(|e| [e.from, e.to]).collect();
+        assert!(members.contains(&a) && members.contains(&b));
+        assert!(check_strict_serializability(&history).is_err());
     }
 }

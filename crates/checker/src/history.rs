@@ -17,7 +17,7 @@
 //! one, which keeps the checker sound (it never reports a false violation
 //! due to timestamping).
 
-use aeon_types::{ContextId, EventId};
+use aeon_types::{AccessMode, ContextId, EventId, HistorySink};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -276,6 +276,51 @@ impl HistoryRecorder {
     pub fn reset(&self) {
         self.inner.spans.lock().clear();
         self.inner.operations.lock().clear();
+    }
+}
+
+/// The recorder is the canonical [`HistorySink`]: install a clone on any
+/// `aeon_api::Deployment` (`install_history_sink`) and every backend feeds
+/// it live invoke/respond/access records, ready for
+/// [`crate::check_strict_serializability`].
+///
+/// # Examples
+///
+/// ```
+/// use aeon_api::Deployment;
+/// use aeon_checker::{check_strict_serializability, HistoryRecorder};
+/// use aeon_runtime::{AeonRuntime, KvContext, Placement};
+/// use aeon_types::args;
+/// use std::sync::Arc;
+///
+/// # fn main() -> aeon_types::Result<()> {
+/// let recorder = HistoryRecorder::new();
+/// let runtime = AeonRuntime::builder().build()?;
+/// runtime.install_history_sink(Arc::new(recorder.clone()));
+/// let item = runtime.create_context(Box::new(KvContext::new("Item")), Placement::Auto)?;
+/// let session = Deployment::session(&runtime);
+/// session.call(item, "set", args!["gold", 3])?;
+/// assert!(check_strict_serializability(&recorder.history()).is_ok());
+/// runtime.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+impl HistorySink for HistoryRecorder {
+    fn invoked(&self, event: EventId) {
+        self.begin(event);
+    }
+
+    fn responded(&self, event: EventId) {
+        self.completed(event);
+    }
+
+    fn accessed(&self, event: EventId, context: ContextId, mode: AccessMode) {
+        let kind = if mode.is_read_only() {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        };
+        self.record(event, context, kind);
     }
 }
 

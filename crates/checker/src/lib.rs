@@ -19,8 +19,44 @@
 //!   shared accounts) that exercises multi-ownership, read-only events and
 //!   `async` calls, and checks both a value-level invariant (money is
 //!   conserved) and the order-level property;
-//! * [`generator`] produces synthetic correct and incorrect histories for
-//!   property tests and benchmarks of the checker itself.
+//! * [`generator`] produces synthetic correct and incorrect histories (and
+//!   the [`generator::inject_lost_update`] cyclic mutation) for property
+//!   tests and benchmarks of the checker itself.
+//!
+//! # The live recording surface
+//!
+//! Synthetic histories only test the checker; to test the *system*, the
+//! recorder doubles as the canonical [`aeon_types::HistorySink`]: install a
+//! clone on any `aeon_api::Deployment` via `install_history_sink` and the
+//! backend itself feeds it —
+//!
+//! * the gateway/runtime records `invoked` when an event id is assigned
+//!   (before the event can start) and `responded` once the completion is
+//!   observable, so recorded spans over-approximate the true ones and the
+//!   derived real-time order stays sound;
+//! * each node records `accessed` under the context's object lock, so
+//!   per-context sequences equal the order the context observed;
+//! * deployment-level snapshots are recorded as one event *reading* every
+//!   member, restores as one event *writing* every member — which is what
+//!   lets the checker catch a torn (non-atomic) snapshot as a conflict
+//!   cycle through the snapshot event.
+//!
+//! # The distributed freeze protocol being verified
+//!
+//! The cluster's `snapshot_context`/`restore_snapshot` run a coordinated
+//! subtree freeze (`FreezeReq`/`FreezeAck`/`ThawReq`): the freeze event
+//! first takes the root's dominator sequencer exclusively (quiescing every
+//! in-flight event that could reach shared members), then exclusively
+//! activates the members owner-before-owned across their hosting nodes,
+//! capturing or restoring each at activation while *all* locks stay held,
+//! and finally thaws every contacted node — also on failure, so a node
+//! crash mid-freeze leaves no stranded locks.  The chaos suite
+//! (`tests/chaos_serializability.rs`) drives randomized workloads with
+//! snapshot/crash/restore/migration injected mid-run, feeds the recorded
+//! history to [`check_strict_serializability`], and demonstrates that the
+//! legacy member-at-a-time capture (test-only
+//! `ClusterBuilder::torn_snapshot_for_tests`) is rejected by the same
+//! machinery.
 //!
 //! # Examples
 //!
@@ -48,5 +84,6 @@ pub use checker::{
     check_serializability, check_strict_serializability, EdgeReason, PrecedenceEdge,
     PrecedenceGraph, SerializationOrder, Violation,
 };
+pub use generator::{inject_lost_update, GeneratorConfig};
 pub use history::{EventSpan, History, HistoryRecorder, InvocationToken, OpKind, Operation};
 pub use recording::{RecordingKv, RecordingRegister};

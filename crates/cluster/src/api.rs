@@ -4,7 +4,10 @@ use crate::cluster::{Cluster, ClusterClient};
 use aeon_api::{Deployment, EventHandle, Session};
 use aeon_ownership::OwnershipGraph;
 use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
-use aeon_types::{AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, Value};
+use aeon_types::{
+    AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, SharedHistorySink,
+    Value,
+};
 
 impl Session for ClusterClient {
     fn client_id(&self) -> ClientId {
@@ -108,6 +111,10 @@ impl Deployment for Cluster {
 
     fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
         Cluster::restore_snapshot(self, snapshot)
+    }
+
+    fn install_history_sink(&self, sink: SharedHistorySink) {
+        Cluster::install_history_sink(self, sink);
     }
 
     fn restore_context(&self, context: ContextId, state: &Value, server: ServerId) -> Result<()> {

@@ -7,7 +7,7 @@
 //! migrations (§5.2).  It never touches context state.
 
 use crate::directory::Directory;
-use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor};
+use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor, FreezeMember};
 use crate::node::{spawn_node, NodeHandle};
 use aeon_net::{Endpoint, Network, NetworkStats};
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, OwnershipGraph};
@@ -16,11 +16,11 @@ use aeon_runtime::{
 };
 use aeon_types::{
     AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, ServerMetrics,
-    Value,
+    SharedHistorySink, Value,
 };
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -40,6 +40,7 @@ pub struct ClusterBuilder {
     dominator_mode: DominatorMode,
     class_graph: Option<ClassGraph>,
     executor: ExecutorConfig,
+    torn_snapshot: bool,
 }
 
 impl Default for ClusterBuilder {
@@ -56,6 +57,7 @@ impl ClusterBuilder {
             dominator_mode: DominatorMode::default(),
             class_graph: None,
             executor: ExecutorConfig::default(),
+            torn_snapshot: false,
         }
     }
 
@@ -83,6 +85,17 @@ impl ClusterBuilder {
     /// Sets how dominators are derived from the ownership network.
     pub fn dominator_mode(mut self, mode: DominatorMode) -> Self {
         self.dominator_mode = mode;
+        self
+    }
+
+    /// **Test-only.** Reverts [`Cluster::snapshot_context`] to the legacy
+    /// member-at-a-time capture (each member under its own brief exclusive
+    /// activation, nothing held across members), which is *not*
+    /// crash-consistent under load.  The chaos suite uses this to prove
+    /// the serializability checker catches exactly the torn cuts the
+    /// coordinated freeze prevents; production code must never enable it.
+    pub fn torn_snapshot_for_tests(mut self, torn: bool) -> Self {
+        self.torn_snapshot = torn;
         self
     }
 
@@ -119,6 +132,7 @@ impl ClusterBuilder {
             directory,
             network,
             executor_config: self.executor,
+            torn_snapshot: self.torn_snapshot,
             nodes: Mutex::new(BTreeMap::new()),
             pending_events: Mutex::new(HashMap::new()),
             pending_control: Mutex::new(HashMap::new()),
@@ -146,6 +160,9 @@ struct ClusterInner {
     /// Worker-pool configuration applied to every node (including ones
     /// added later by scale-out).
     executor_config: ExecutorConfig,
+    /// Test-only: member-at-a-time snapshots instead of the coordinated
+    /// freeze (see `ClusterBuilder::torn_snapshot_for_tests`).
+    torn_snapshot: bool,
     nodes: Mutex<BTreeMap<ServerId, NodeHandle>>,
     /// Event completions waiting to be routed back to client handles.
     pending_events: Mutex<HashMap<u64, Sender<Result<Value>>>>,
@@ -213,6 +230,99 @@ impl ClusterInner {
         }
     }
 
+    /// Sends one [`ClusterMessage::FreezeReq`] and awaits its
+    /// acknowledgement.  `frozen` collects every server that may hold
+    /// freeze locks; the server is recorded *before* sending, so even a
+    /// request that times out gets its server thawed by the caller.
+    fn freeze_round_trip(
+        &self,
+        server: ServerId,
+        freeze: EventId,
+        members: Vec<FreezeMember>,
+        capture: bool,
+        frozen: &mut Vec<ServerId>,
+    ) -> Result<Vec<(ContextId, String, Value)>> {
+        if !frozen.contains(&server) {
+            frozen.push(server);
+        }
+        let corr = self.next_corr();
+        let ack = self.control_round_trip(
+            server,
+            corr,
+            ClusterMessage::FreezeReq {
+                corr,
+                freeze,
+                members,
+                capture,
+            },
+        )?;
+        match ack {
+            ClusterMessage::FreezeAck { result, .. } => result,
+            _ => Err(AeonError::internal(
+                "unexpected acknowledgement to a freeze request",
+            )),
+        }
+    }
+
+    /// Freezes `members` in order, batching consecutive same-server
+    /// members into one [`ClusterMessage::FreezeReq`]; the sequential
+    /// round trips preserve the global acquisition order.  Returns the
+    /// captured entries when `capture` is set.
+    fn freeze_runs(
+        &self,
+        freeze: EventId,
+        members: impl Iterator<Item = FreezeMember>,
+        capture: bool,
+        frozen: &mut Vec<ServerId>,
+    ) -> Result<Vec<(ContextId, String, Value)>> {
+        let mut entries = Vec::new();
+        let mut run: Vec<FreezeMember> = Vec::new();
+        let mut run_server: Option<ServerId> = None;
+        for member in members {
+            let server = self.directory.placement_of(member.context)?;
+            if run_server != Some(server) {
+                if let Some(prev) = run_server {
+                    entries.extend(self.freeze_round_trip(
+                        prev,
+                        freeze,
+                        std::mem::take(&mut run),
+                        capture,
+                        frozen,
+                    )?);
+                }
+                run_server = Some(server);
+            }
+            run.push(member);
+        }
+        if let Some(server) = run_server {
+            entries.extend(self.freeze_round_trip(server, freeze, run, capture, frozen)?);
+        }
+        Ok(entries)
+    }
+
+    /// Where the sequencer lock for a freeze of `root`'s subtree lives, if
+    /// a separate sequencer is required: the server hosting `root`'s
+    /// dominator, or the virtual root on the lowest-id online server when
+    /// no concrete dominator exists.  `None` when `root` is its own
+    /// dominator (its lock is the first member frozen anyway).
+    fn freeze_sequencer(&self, root: ContextId) -> Result<Option<(ServerId, ContextId)>> {
+        match self.directory.dominator_of(root)? {
+            Dominator::Context(dom) if dom != root => {
+                Ok(Some((self.directory.placement_of(dom)?, dom)))
+            }
+            Dominator::GlobalRoot => {
+                let server = self
+                    .directory
+                    .online_servers()
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| AeonError::Config("no online servers".into()))?;
+                Ok(Some((server, virtual_root())))
+            }
+            _ => Ok(None),
+        }
+    }
+
     /// Routes an event to the server hosting the dominator of its target
     /// (Algorithm 2, `to execute`).
     fn submit(
@@ -239,6 +349,11 @@ impl ClusterInner {
             args,
             mode,
         };
+        // Recorded before the event is routed, so the invocation timestamp
+        // can never be later than the true submission point.
+        if let Some(sink) = self.directory.history_sink() {
+            sink.invoked(event);
+        }
         let routing = self.route(descriptor);
         if let Err(e) = routing {
             self.pending_events.lock().remove(&corr);
@@ -302,10 +417,16 @@ fn gateway_loop(inner: Arc<ClusterInner>, endpoint: Endpoint<ClusterMessage>) {
         match message {
             ClusterMessage::Done {
                 corr,
+                event,
                 result,
                 sub_events,
-                ..
             } => {
+                // Recorded before the completion is handed to the client,
+                // so anything submitted after the client observes the
+                // result is ordered after this event in real time.
+                if let Some(sink) = inner.directory.history_sink() {
+                    sink.responded(event);
+                }
                 if let Some(tx) = inner.pending_events.lock().remove(&corr) {
                     let _ = tx.send(result);
                 }
@@ -319,7 +440,7 @@ fn gateway_loop(inner: Arc<ClusterInner>, endpoint: Endpoint<ClusterMessage>) {
             | ClusterMessage::StopAck { corr, .. }
             | ClusterMessage::InstallAck { corr, .. }
             | ClusterMessage::SnapshotAck { corr, .. }
-            | ClusterMessage::RestoreAck { corr, .. }
+            | ClusterMessage::FreezeAck { corr, .. }
             | ClusterMessage::MetricsAck { corr, .. } => {
                 let entry = inner.pending_control.lock().remove(&corr);
                 if let Some(tx) = entry {
@@ -477,6 +598,14 @@ impl Cluster {
     /// snapshot during migration or recovery.
     pub fn register_class_factory(&self, class: impl Into<String>, factory: ContextFactory) {
         self.inner.directory.register_factory(class, factory);
+    }
+
+    /// Installs a live history sink: the gateway reports every event's
+    /// invocation/response points and the nodes report every context
+    /// access — including snapshot captures and restore writes — to it.
+    /// Replaces any previous sink.
+    pub fn install_history_sink(&self, sink: SharedHistorySink) {
+        self.inner.directory.set_history_sink(sink);
     }
 
     /// Creates a root context (no owners) and hosts it according to
@@ -662,57 +791,179 @@ impl Cluster {
             },
         )?;
         match ack {
-            ClusterMessage::HostAck { .. } => Ok(()),
+            ClusterMessage::HostAck { .. } => {
+                // A re-host is recorded as a single-write event: everything
+                // the context does afterwards happens-after this install.
+                if let Some(sink) = self.inner.directory.history_sink() {
+                    let event = EventId::new(self.inner.directory.next_raw());
+                    sink.invoked(event);
+                    sink.accessed(event, context, AccessMode::Exclusive);
+                    sink.responded(event);
+                }
+                Ok(())
+            }
             _ => Err(AeonError::ServerNotFound(server)),
         }
     }
 
-    /// Takes a snapshot of `context` and all its descendants.
+    /// Takes a crash-consistent snapshot of `context` and all its
+    /// descendants using the coordinated freeze protocol:
     ///
-    /// Each member context is snapshotted under a brief exclusive
-    /// activation on its hosting server (draining in-flight events), so
-    /// every captured state is event-consistent; unlike the in-process
-    /// runtime the members are not frozen simultaneously, so concurrent
-    /// updates may land between member captures.  Contexts whose snapshot
-    /// is `Null` are skipped (the paper's opt-out convention).
+    /// 1. **Sequence** — a freeze event exclusively activates the
+    ///    dominator's sequencer lock on its hosting node
+    ///    ([`ClusterMessage::FreezeReq`] with the sequencer as sole
+    ///    member), draining every in-flight event that could reach shared
+    ///    state in the subtree.
+    /// 2. **Freeze & capture** — every member is exclusively activated in
+    ///    owner-before-owned order (consecutive same-server members batch
+    ///    into one `FreezeReq`) and its state captured at activation; all
+    ///    locks stay held, so the captures form one logical cut that some
+    ///    serial execution could have produced.
+    /// 3. **Thaw** — every contacted server receives a
+    ///    [`ClusterMessage::ThawReq`] releasing the freeze event's locks —
+    ///    on success *and* on failure, so a mid-freeze crash of one node
+    ///    never strands locks on the others.
+    ///
+    /// Contexts whose snapshot is `Null` are skipped (the paper's opt-out
+    /// convention).
     ///
     /// # Errors
     ///
     /// * [`AeonError::ContextNotFound`] when `context` is unknown.
-    /// * [`AeonError::MigrationFailed`] when a hosting server does not
-    ///   answer.
+    /// * [`AeonError::SnapshotFailed`] when a member is unreachable (e.g.
+    ///   its server crashed mid-freeze); already-frozen members have been
+    ///   thawed.
     pub fn snapshot_context(&self, context: ContextId) -> Result<Snapshot> {
         let graph = self.inner.directory.graph_snapshot();
-        let mut members = vec![context];
-        members.extend(graph.descendants(context)?);
+        let members = graph.subtree_topological(context)?;
+        if self.inner.torn_snapshot {
+            return self.snapshot_member_at_a_time(context, &members);
+        }
+        let entries = self.freeze_subtree(context, &members, true, &[])?;
         let mut snapshot = Snapshot::new(context);
-        for member in members {
-            let server = self.inner.directory.placement_of(member)?;
-            let corr = self.inner.next_corr();
-            let ack = self.inner.control_round_trip(
-                server,
-                corr,
-                ClusterMessage::SnapshotReq {
-                    corr,
-                    context: member,
-                },
-            )?;
-            match ack {
-                ClusterMessage::SnapshotAck { result, .. } => {
-                    let (class, state) = result?;
-                    if !state.is_null() {
-                        snapshot.insert(member, class, state);
-                    }
-                }
-                _ => {
-                    return Err(AeonError::MigrationFailed {
-                        context: member,
-                        reason: "unexpected acknowledgement to a snapshot request".into(),
-                    })
-                }
+        for (id, class, state) in entries {
+            if !state.is_null() {
+                snapshot.insert(id, class, state);
             }
         }
         Ok(snapshot)
+    }
+
+    /// The legacy member-at-a-time capture (each member under its own
+    /// brief exclusive activation, nothing held across members).  Not
+    /// crash-consistent under load; reachable only through
+    /// `ClusterBuilder::torn_snapshot_for_tests`.
+    fn snapshot_member_at_a_time(
+        &self,
+        context: ContextId,
+        members: &[ContextId],
+    ) -> Result<Snapshot> {
+        let event = EventId::new(self.inner.directory.next_raw());
+        let sink = self.inner.directory.history_sink();
+        if let Some(sink) = &sink {
+            sink.invoked(event);
+        }
+        let mut snapshot = Snapshot::new(context);
+        let result = (|| -> Result<()> {
+            for member in members {
+                let server = self.inner.directory.placement_of(*member)?;
+                let corr = self.inner.next_corr();
+                let ack = self.inner.control_round_trip(
+                    server,
+                    corr,
+                    ClusterMessage::SnapshotReq {
+                        corr,
+                        context: *member,
+                        event,
+                    },
+                )?;
+                match ack {
+                    ClusterMessage::SnapshotAck { result, .. } => {
+                        let (class, state) = result?;
+                        if !state.is_null() {
+                            snapshot.insert(*member, class, state);
+                        }
+                    }
+                    _ => {
+                        return Err(AeonError::MigrationFailed {
+                            context: *member,
+                            reason: "unexpected acknowledgement to a snapshot request".into(),
+                        })
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Some(sink) = &sink {
+            sink.responded(event);
+        }
+        result.map(|()| snapshot)
+    }
+
+    /// Establishes a coordinated freeze of `root`'s subtree — sequencer
+    /// first, then every member in the given owner-before-owned order —
+    /// captures the frozen cut when asked, then (second phase, only once
+    /// *every* member is frozen and validated) applies the `apply` states
+    /// under the held locks, and **always** thaws every contacted server
+    /// before returning, so no lock outlives the call even on partial
+    /// failure.  Because nothing is written until the whole freeze is
+    /// established, a member that is missing or unreachable fails the
+    /// operation before any state changed.
+    fn freeze_subtree(
+        &self,
+        root: ContextId,
+        members: &[ContextId],
+        capture: bool,
+        apply: &[(ContextId, Value)],
+    ) -> Result<Vec<(ContextId, String, Value)>> {
+        let freeze = EventId::new(self.inner.directory.next_raw());
+        let sink = self.inner.directory.history_sink();
+        if let Some(sink) = &sink {
+            sink.invoked(freeze);
+        }
+        let mut frozen: Vec<ServerId> = Vec::new();
+        let result = (|| -> Result<Vec<(ContextId, String, Value)>> {
+            if let Some((server, sequencer)) = self.inner.freeze_sequencer(root)? {
+                self.inner.freeze_round_trip(
+                    server,
+                    freeze,
+                    vec![FreezeMember::freeze(sequencer)],
+                    false,
+                    &mut frozen,
+                )?;
+            }
+            let entries = self.inner.freeze_runs(
+                freeze,
+                members.iter().map(|m| FreezeMember::freeze(*m)),
+                capture,
+                &mut frozen,
+            )?;
+            if !apply.is_empty() {
+                // Apply phase: the freeze event already holds every lock
+                // (activation is idempotent per event), so these requests
+                // apply immediately.
+                self.inner.freeze_runs(
+                    freeze,
+                    apply
+                        .iter()
+                        .map(|(context, state)| FreezeMember::restore(*context, state.clone())),
+                    false,
+                    &mut frozen,
+                )?;
+            }
+            Ok(entries)
+        })()
+        .map_err(|e| AeonError::SnapshotFailed {
+            context: root,
+            reason: e.to_string(),
+        });
+        for server in &frozen {
+            let _ = self.inner.send(*server, ClusterMessage::ThawReq { freeze });
+        }
+        if let Some(sink) = &sink {
+            sink.responded(freeze);
+        }
+        result
     }
 
     /// Restores context states from a snapshot previously produced by
@@ -723,36 +974,47 @@ impl Cluster {
     /// that was lost to a crash goes through
     /// [`Cluster::restore_context`] instead, which does need a factory.)
     ///
+    /// The restore runs under the same coordinated subtree freeze as the
+    /// snapshot, in two phases: first every member is frozen and validated
+    /// (nothing is written yet — a missing or unreachable member fails the
+    /// restore with the live state untouched), then the snapshot states
+    /// are applied under the held locks.  Concurrent events therefore
+    /// observe either the pre-restore or the post-restore state of *every*
+    /// member, never a mix.
+    ///
     /// # Errors
     ///
     /// * [`AeonError::ContextNotFound`] if a snapshotted context no longer
     ///   exists.
-    /// * [`AeonError::MigrationFailed`] when a hosting server does not
-    ///   answer.
+    /// * [`AeonError::SnapshotFailed`] when a hosting server does not
+    ///   answer; already-frozen members have been thawed.  If the failure
+    ///   happens during the apply phase itself (a server dying *after* the
+    ///   full freeze was established), the restore may be partially
+    ///   applied — re-run it once the deployment recovered.
     pub fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
-        for (id, entry) in snapshot.entries() {
-            let server = self.inner.directory.placement_of(*id)?;
-            let corr = self.inner.next_corr();
-            let ack = self.inner.control_round_trip(
-                server,
-                corr,
-                ClusterMessage::RestoreReq {
-                    corr,
-                    context: *id,
-                    state: entry.state.clone(),
-                },
-            )?;
-            match ack {
-                ClusterMessage::RestoreAck { result, .. } => result?,
-                _ => {
-                    return Err(AeonError::MigrationFailed {
-                        context: *id,
-                        reason: "unexpected acknowledgement to a restore request".into(),
-                    })
-                }
+        for (id, _) in snapshot.entries() {
+            // Fail with the documented error before freezing anything when
+            // an entry vanished.
+            self.inner.directory.placement_of(*id)?;
+        }
+        let root = snapshot.root();
+        let graph = self.inner.directory.graph_snapshot();
+        let mut members = graph.subtree_topological(root)?;
+        // Entries that left the subtree since the capture (ownership
+        // edits) are frozen after the subtree members and restored with
+        // them.
+        let member_set: BTreeSet<ContextId> = members.iter().copied().collect();
+        for (id, _) in snapshot.entries() {
+            if !member_set.contains(id) {
+                members.push(*id);
             }
         }
-        Ok(())
+        let apply: Vec<(ContextId, Value)> = snapshot
+            .entries()
+            .map(|(id, entry)| (*id, entry.state.clone()))
+            .collect();
+        self.freeze_subtree(root, &members, false, &apply)
+            .map(|_| ())
     }
 
     /// Adds a server to the cluster and returns its id (scale-out).

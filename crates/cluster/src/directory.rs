@@ -11,7 +11,9 @@
 
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
 use aeon_runtime::ContextFactory;
-use aeon_types::{AeonError, ClassName, ContextId, EventId, IdGenerator, Result, ServerId};
+use aeon_types::{
+    AeonError, ClassName, ContextId, EventId, IdGenerator, Result, ServerId, SharedHistorySink,
+};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 
@@ -24,6 +26,10 @@ pub struct Directory {
     class_graph: Option<ClassGraph>,
     factories: RwLock<HashMap<ClassName, ContextFactory>>,
     ids: IdGenerator,
+    /// Optional live history sink, shared by the gateway (event spans) and
+    /// every node (context accesses); in a real deployment each host would
+    /// hold its own handle to the same collector service.
+    history: RwLock<Option<SharedHistorySink>>,
 }
 
 impl std::fmt::Debug for Directory {
@@ -46,7 +52,18 @@ impl Directory {
             class_graph,
             factories: RwLock::new(HashMap::new()),
             ids: IdGenerator::starting_at(1),
+            history: RwLock::new(None),
         }
+    }
+
+    /// Installs the live history sink (replacing any previous one).
+    pub fn set_history_sink(&self, sink: SharedHistorySink) {
+        *self.history.write() = Some(sink);
+    }
+
+    /// The installed history sink, if any.
+    pub fn history_sink(&self) -> Option<SharedHistorySink> {
+        self.history.read().clone()
     }
 
     /// Allocates a fresh event id.

@@ -59,6 +59,35 @@ pub struct NodeMetrics {
     pub exec_micros: u64,
 }
 
+/// One member of a coordinated subtree freeze
+/// ([`ClusterMessage::FreezeReq`]).
+#[derive(Debug, Clone)]
+pub struct FreezeMember {
+    /// The context (or [`virtual_root`]) to freeze.
+    pub context: ContextId,
+    /// When set, state to install through `ContextObject::restore` once the
+    /// member is frozen (the coordinated restore path).
+    pub restore: Option<Value>,
+}
+
+impl FreezeMember {
+    /// A member that is only frozen (and possibly captured).
+    pub fn freeze(context: ContextId) -> Self {
+        Self {
+            context,
+            restore: None,
+        }
+    }
+
+    /// A member whose state is replaced once frozen.
+    pub fn restore(context: ContextId, state: Value) -> Self {
+        Self {
+            context,
+            restore: Some(state),
+        }
+    }
+}
+
 /// A message of the cluster protocol.
 pub enum ClusterMessage {
     /// Gateway → server: host a newly created context.
@@ -210,13 +239,16 @@ pub enum ClusterMessage {
         /// Number of bytes of serialised state moved, or the failure.
         result: Result<u64>,
     },
-    /// Gateway → hosting server: serialise the state of `context` (used by
-    /// the deployment-level snapshot API).
+    /// Gateway → hosting server: serialise the state of `context` under a
+    /// brief exclusive activation of `event` (the legacy member-at-a-time
+    /// capture, kept as the test-only torn-snapshot mode).
     SnapshotReq {
         /// Correlation token.
         corr: u64,
         /// The context to snapshot.
         context: ContextId,
+        /// The snapshot event all member captures are attributed to.
+        event: EventId,
     },
     /// Hosting server → gateway: the serialised state (class name plus the
     /// context's snapshot value), or the failure.
@@ -228,26 +260,37 @@ pub enum ClusterMessage {
         /// Class name and snapshot state.
         result: Result<(String, Value)>,
     },
-    /// Gateway → hosting server: replace the state of a still-hosted
-    /// context with a previously captured snapshot (in place, through
-    /// `ContextObject::restore` — no factory involved).
-    RestoreReq {
-        /// Correlation token.
+    /// Gateway → server: exclusively activate `freeze` on each member in
+    /// order, optionally capturing or replacing its state, and keep every
+    /// lock held until the matching [`ClusterMessage::ThawReq`].  The
+    /// coordinated-freeze leg of the distributed snapshot/restore protocol;
+    /// member order follows the ownership DAG (owners before owned).
+    FreezeReq {
+        /// Correlation token echoed in [`ClusterMessage::FreezeAck`].
         corr: u64,
-        /// The context to restore.
-        context: ContextId,
-        /// The snapshot state to install.
-        state: Value,
+        /// The freeze event holding the member locks.
+        freeze: EventId,
+        /// Members to freeze, in acquisition order.  [`virtual_root`]
+        /// freezes the node's virtual-root sequencer lock.
+        members: Vec<FreezeMember>,
+        /// Capture each member's state into the acknowledgement.
+        capture: bool,
     },
-    /// Hosting server → gateway: the restore finished (or the context is
-    /// not hosted here).
-    RestoreAck {
+    /// Server → gateway: every member of the [`ClusterMessage::FreezeReq`]
+    /// is frozen (locks held) and, when requested, captured.
+    FreezeAck {
         /// Correlation token.
         corr: u64,
-        /// The restored context.
-        context: ContextId,
-        /// Success or the failure.
-        result: Result<()>,
+        /// Captured `(context, class, state)` triples in request order
+        /// (empty without capture), or the failure.  On failure the node
+        /// has already released its own holds.
+        result: Result<Vec<(ContextId, String, Value)>>,
+    },
+    /// Gateway → server: release every lock held by `freeze` (normal end of
+    /// a coordinated snapshot/restore, or cleanup after a partial failure).
+    ThawReq {
+        /// The freeze event to release.
+        freeze: EventId,
     },
     /// Gateway → server: report your current load (context count, queue
     /// depth, event counters) for the elasticity control plane.
@@ -323,12 +366,22 @@ impl fmt::Debug for ClusterMessage {
                     metrics.server, metrics.context_count
                 )
             }
-            ClusterMessage::RestoreReq { context, .. } => write!(f, "RestoreReq({context})"),
-            ClusterMessage::RestoreAck {
-                context, result, ..
+            ClusterMessage::FreezeReq {
+                freeze,
+                members,
+                capture,
+                ..
             } => {
-                write!(f, "RestoreAck({context}, ok={})", result.is_ok())
+                write!(
+                    f,
+                    "FreezeReq(freeze={freeze}, members={}, capture={capture})",
+                    members.len()
+                )
             }
+            ClusterMessage::FreezeAck { corr, result } => {
+                write!(f, "FreezeAck(corr={corr}, ok={})", result.is_ok())
+            }
+            ClusterMessage::ThawReq { freeze } => write!(f, "ThawReq({freeze})"),
             ClusterMessage::Shutdown => write!(f, "Shutdown"),
         }
     }

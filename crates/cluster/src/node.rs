@@ -11,7 +11,9 @@
 //! message (see `aeon_runtime::executor`).
 
 use crate::directory::Directory;
-use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor, NodeMetrics};
+use crate::message::{
+    gateway_id, virtual_root, ClusterMessage, EventDescriptor, FreezeMember, NodeMetrics,
+};
 use aeon_net::{Endpoint, Network};
 use aeon_runtime::{
     ContextLock, ContextObject, ExecutorConfig, ExecutorStats, Invocation, InvocationHost,
@@ -22,7 +24,7 @@ use aeon_types::{
 };
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -85,6 +87,16 @@ pub(crate) struct NodeShared {
     /// Contexts announced by `Prepare` but not yet installed: requests are
     /// buffered and replayed after `Install`.
     installing: Mutex<HashMap<ContextId, Vec<ClusterMessage>>>,
+    /// Coordinated freezes on this node, registered inline when the
+    /// `FreezeReq` arrives (before its handler can even be scheduled) and
+    /// removed when the handler finishes.  The flag flips to `true` when a
+    /// `ThawReq` arrives while the freeze is still being established (the
+    /// gateway gave up, e.g. after a control timeout): the handler then
+    /// releases its own locks at the end, since no further thaw is coming
+    /// for anything it acquired after the early thaw.  One mutex guards
+    /// the whole lifecycle, so the thaw's check and the handler's
+    /// completion cannot interleave into a stranded lock.
+    active_freezes: Mutex<BTreeMap<EventId, bool>>,
     events_executed: AtomicU64,
     /// Cumulative wall-clock microseconds spent executing events whose
     /// target lives here (feeds the per-server latency metric).
@@ -183,6 +195,15 @@ impl NodeShared {
         }
     }
 
+    /// Reports a context access to the installed history sink, if any.
+    /// Callers invoke this while holding the context's object lock so the
+    /// per-context record order equals the observed access order.
+    fn record_access(&self, event: EventId, context: ContextId, mode: AccessMode) {
+        if let Some(sink) = self.directory.history_sink() {
+            sink.accessed(event, context, mode);
+        }
+    }
+
     fn install(&self, context: ContextId, class: String, object: Box<dyn ContextObject>) {
         self.contexts
             .write()
@@ -248,6 +269,7 @@ pub(crate) fn spawn_node(
         forwarding: RwLock::new(HashMap::new()),
         stopped: Mutex::new(HashMap::new()),
         installing: Mutex::new(HashMap::new()),
+        active_freezes: Mutex::new(BTreeMap::new()),
         events_executed: AtomicU64::new(0),
         exec_micros: AtomicU64::new(0),
         install_wait_retries: AtomicU64::new(0),
@@ -398,27 +420,18 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
                 handle_install(&worker, corr, context, class, state)
             });
         }
-        ClusterMessage::SnapshotReq { corr, context } => {
-            if shared.local(context).is_none()
-                && shared.reroute_if_needed(context, ClusterMessage::SnapshotReq { corr, context })
-            {
-                return;
-            }
-            let worker = Arc::clone(shared);
-            shared.offload(context, move || handle_snapshot(&worker, corr, context));
-        }
-        ClusterMessage::RestoreReq {
+        ClusterMessage::SnapshotReq {
             corr,
             context,
-            state,
+            event,
         } => {
             if shared.local(context).is_none()
                 && shared.reroute_if_needed(
                     context,
-                    ClusterMessage::RestoreReq {
+                    ClusterMessage::SnapshotReq {
                         corr,
                         context,
-                        state: state.clone(),
+                        event,
                     },
                 )
             {
@@ -426,8 +439,37 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             }
             let worker = Arc::clone(shared);
             shared.offload(context, move || {
-                handle_restore(&worker, corr, context, state)
+                handle_snapshot(&worker, corr, context, event)
             });
+        }
+        ClusterMessage::FreezeReq {
+            corr,
+            freeze,
+            members,
+            capture,
+        } => {
+            // Registered before the handler is queued, so a ThawReq that
+            // overtakes a not-yet-started freeze still finds it and leaves
+            // the release-your-own-locks marker.
+            shared.active_freezes.lock().insert(freeze, false);
+            let key = members.first().map(|m| m.context).unwrap_or(virtual_root());
+            let worker = Arc::clone(shared);
+            shared.offload(key, move || {
+                handle_freeze(&worker, corr, freeze, members, capture)
+            });
+        }
+        ClusterMessage::ThawReq { freeze } => {
+            // Handled inline: releasing never blocks.  The flag is flipped
+            // BEFORE releasing: locks the handler acquires after this point
+            // are then released by the handler itself (it observes the
+            // flag at the end), and locks acquired before are released by
+            // release_event below — flipping after releasing would leave a
+            // window where the handler completes in between and its
+            // later-acquired locks are never released.
+            if let Some(thawed) = shared.active_freezes.lock().get_mut(&freeze) {
+                *thawed = true;
+            }
+            shared.release_event(freeze);
         }
         ClusterMessage::MetricsReq { corr } => {
             // Answered inline: the report only reads counters, it cannot
@@ -457,7 +499,7 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
         | ClusterMessage::StopAck { .. }
         | ClusterMessage::InstallAck { .. }
         | ClusterMessage::SnapshotAck { .. }
-        | ClusterMessage::RestoreAck { .. }
+        | ClusterMessage::FreezeAck { .. }
         | ClusterMessage::MetricsAck { .. }
         | ClusterMessage::Done { .. } => {}
     }
@@ -596,22 +638,26 @@ fn handle_call(
     );
 }
 
-/// Serves a deployment-level snapshot request: behaves like a brief
+/// Serves a legacy member-at-a-time snapshot request: behaves like a brief
 /// exclusive event on the context (draining in-flight events) and ships the
-/// serialised state back to the gateway.
-fn handle_snapshot(shared: &Arc<NodeShared>, corr: u64, context: ContextId) {
+/// serialised state back to the gateway.  All member captures of one
+/// snapshot share `event`, so an installed history sink sees them as one
+/// logical read set — which is exactly how the chaos suite catches this
+/// mode's torn cuts.
+fn handle_snapshot(shared: &Arc<NodeShared>, corr: u64, context: ContextId, event: EventId) {
     let result = match shared.local(context) {
-        Some(hosted) => {
-            let snapshot_event = EventId::new(shared.directory.next_raw());
-            match hosted.lock.activate(snapshot_event, AccessMode::Exclusive) {
-                Ok(()) => {
-                    let state = hosted.object.lock().snapshot();
-                    hosted.lock.release(snapshot_event);
-                    Ok((hosted.class.clone(), state))
-                }
-                Err(error) => Err(error),
+        Some(hosted) => match hosted.lock.activate(event, AccessMode::Exclusive) {
+            Ok(()) => {
+                let state = {
+                    let object = hosted.object.lock();
+                    shared.record_access(event, context, AccessMode::ReadOnly);
+                    object.snapshot()
+                };
+                hosted.lock.release(event);
+                Ok((hosted.class.clone(), state))
             }
-        }
+            Err(error) => Err(error),
+        },
         None => Err(AeonError::ContextNotFound(context)),
     };
     shared.send(
@@ -624,32 +670,69 @@ fn handle_snapshot(shared: &Arc<NodeShared>, corr: u64, context: ContextId) {
     );
 }
 
-/// Serves a deployment-level in-place restore: behaves like a brief
-/// exclusive event on the context (draining in-flight events) and replaces
-/// its state through `ContextObject::restore` — no factory involved.
-fn handle_restore(shared: &Arc<NodeShared>, corr: u64, context: ContextId, state: Value) {
-    let result = match shared.local(context) {
-        Some(hosted) => {
-            let restore_event = EventId::new(shared.directory.next_raw());
-            match hosted.lock.activate(restore_event, AccessMode::Exclusive) {
-                Ok(()) => {
-                    hosted.object.lock().restore(&state);
-                    hosted.lock.release(restore_event);
-                    Ok(())
-                }
-                Err(error) => Err(error),
+/// Establishes this node's share of a coordinated subtree freeze: every
+/// member is activated exclusively by the freeze event *in request order*
+/// (the gateway sends members owner-before-owned, which makes the global
+/// acquisition order deadlock-free against in-flight events), its state is
+/// captured and/or replaced at the frozen cut, and the locks stay held
+/// until the gateway's [`ClusterMessage::ThawReq`].
+fn handle_freeze(
+    shared: &Arc<NodeShared>,
+    corr: u64,
+    freeze: EventId,
+    members: Vec<FreezeMember>,
+    capture: bool,
+) {
+    let mut entries = Vec::new();
+    let outcome = (|| -> Result<()> {
+        for member in &members {
+            if member.context == virtual_root() {
+                shared.root_lock.activate(freeze, AccessMode::Exclusive)?;
+                shared.record_hold(freeze, member.context);
+                continue;
+            }
+            let hosted = shared
+                .local(member.context)
+                .ok_or(AeonError::ContextNotFound(member.context))?;
+            hosted.lock.activate(freeze, AccessMode::Exclusive)?;
+            shared.record_hold(freeze, member.context);
+            let mut object = hosted.object.lock();
+            if let Some(state) = &member.restore {
+                shared.record_access(freeze, member.context, AccessMode::Exclusive);
+                object.restore(state);
+            }
+            if capture {
+                shared.record_access(freeze, member.context, AccessMode::ReadOnly);
+                entries.push((member.context, hosted.class.clone(), object.snapshot()));
             }
         }
-        None => Err(AeonError::ContextNotFound(context)),
+        Ok(())
+    })();
+    let thawed = shared
+        .active_freezes
+        .lock()
+        .remove(&freeze)
+        .unwrap_or(false);
+    let result = if thawed {
+        // The gateway abandoned this freeze while we were establishing it;
+        // whatever the thaw did not catch is released here.
+        shared.release_event(freeze);
+        Err(AeonError::EventAborted {
+            event: freeze,
+            reason: "freeze thawed before it was established".into(),
+        })
+    } else {
+        match outcome {
+            Ok(()) => Ok(entries),
+            Err(error) => {
+                // A member is missing or the node is shutting down: release
+                // this node's own holds so nothing stays locked, then report.
+                shared.release_event(freeze);
+                Err(error)
+            }
+        }
     };
-    shared.send(
-        gateway_id(),
-        ClusterMessage::RestoreAck {
-            corr,
-            context,
-            result,
-        },
-    );
+    shared.send(gateway_id(), ClusterMessage::FreezeAck { corr, result });
 }
 
 /// Migration step IV on the source server: wait for exclusive access, ship
@@ -685,6 +768,12 @@ fn handle_migrate(shared: &Arc<NodeShared>, corr: u64, context: ContextId, to: S
         (hosted.class.clone(), object.snapshot())
     };
     shared.contexts.write().remove(&context);
+    // The old lock is now orphaned: anyone who cloned the hosted entry
+    // before the removal (an event or a subtree freeze racing with this
+    // migration) must fail fast instead of blocking forever on a lock
+    // whose exclusive holder never releases — or, worse, capturing the
+    // stale pre-migration state.
+    hosted.lock.poison();
     shared.forwarding.write().insert(context, to);
     shared.send(
         to,
@@ -888,6 +977,9 @@ impl RemoteExecution {
                 self.call_stack.push(target);
                 let outcome = {
                     let mut object = hosted.object.lock();
+                    // Recorded under the object lock, so the per-context
+                    // record order equals the observed access order.
+                    self.node.record_access(self.event, target, self.mode);
                     if self.mode.is_read_only() && !object.is_readonly(method) {
                         Err(AeonError::ReadOnlyViolation {
                             context: target,

@@ -280,9 +280,18 @@ impl EManager {
     /// it to cloud storage under `snapshot/<name>` (§5.3).  Returns the
     /// number of contexts captured.
     ///
+    /// Every backend captures the subtree as one frozen cut (the cluster
+    /// runs the dominator-sequenced `FreezeReq`/`FreezeAck`/`ThawReq`
+    /// protocol), so a checkpoint taken under load is crash-consistent: it
+    /// restores to a state some serial execution of the workload could
+    /// have produced, never a torn mix of member states.
+    ///
     /// # Errors
     ///
-    /// Propagates snapshot and storage failures.
+    /// Propagates snapshot and storage failures (including
+    /// [`aeon_types::AeonError::SnapshotFailed`] when a member's server
+    /// crashes mid-freeze — the deployment thaws the surviving members
+    /// before returning, so the checkpoint can simply be retried).
     pub fn checkpoint(&self, name: &str, root: ContextId) -> Result<usize> {
         let snapshot = self.deployment.snapshot_context(root)?;
         let key = format!("{}{}", aeon_storage::keys::SNAPSHOT_PREFIX, name);
@@ -483,6 +492,60 @@ mod tests {
             aeon_types::Value::from("castle")
         );
         assert!(manager.restore_checkpoint("missing").is_err());
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_under_cluster_load_is_a_frozen_cut() {
+        use aeon_apps::bank::{bank_class_graph, deploy_bank, BankWorldConfig};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let deployment = aeon::deploy_shared(
+            aeon::DeployConfig::new(Backend::Cluster)
+                .servers(2)
+                .class_graph(bank_class_graph()),
+        )
+        .unwrap();
+        aeon_apps::bank::register_bank_factories(&*deployment);
+        let config = BankWorldConfig::default();
+        let world = deploy_bank(&*deployment, &config).unwrap();
+        let expected = world.expected_total(&config);
+        let manager = EManager::new(deployment.clone(), InMemoryStore::new());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let session = deployment.session();
+            let world = world.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let accounts = &world.accounts_of[i % world.branches.len()];
+                    let _ = session.call(
+                        world.branches[i % world.branches.len()],
+                        "transfer",
+                        aeon_types::args![accounts[i % accounts.len()], accounts[0], 2i64],
+                    );
+                    i += 1;
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let captured = manager.checkpoint("under-load", world.bank).unwrap();
+        assert!(captured >= world.accounts.len());
+        stop.store(true, Ordering::SeqCst);
+        writer.join().unwrap();
+
+        // The checkpointed cut conserves the total: restoring it mid-history
+        // yields a state a serial execution could have produced.
+        manager.restore_checkpoint("under-load").unwrap();
+        let session = deployment.session();
+        assert_eq!(
+            session
+                .call_readonly(world.bank, "audit", aeon_types::args![])
+                .unwrap(),
+            aeon_types::Value::from(expected)
+        );
         deployment.shutdown();
     }
 

@@ -227,6 +227,11 @@ impl EventExecution {
         self.call_stack.push(target);
         let outcome = {
             let mut object = slot.object.lock();
+            // Recorded under the object lock, so the per-context record
+            // order equals the order the context observed the accesses.
+            if let Some(sink) = self.inner.sink() {
+                sink.accessed(self.event, target, self.mode);
+            }
             if self.mode.is_read_only() && !object.is_readonly(method) {
                 Err(AeonError::ReadOnlyViolation {
                     context: target,

@@ -11,7 +11,7 @@ use crate::stats::RuntimeStats;
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
 use aeon_types::{
     codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
-    ServerId, ServerMetrics, Value,
+    ServerId, ServerMetrics, SharedHistorySink, Value,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
@@ -144,6 +144,7 @@ impl RuntimeBuilder {
             stats: RuntimeStats::default(),
             shutdown: AtomicBool::new(false),
             paused: Mutex::new(Vec::new()),
+            history: RwLock::new(None),
         });
         for _ in 0..inner.config.initial_servers {
             inner.add_server();
@@ -185,6 +186,10 @@ pub(crate) struct RuntimeInner {
     /// targeting them are still accepted but their execution is delayed by
     /// the context lock, which the migration holds exclusively.
     paused: Mutex<Vec<ContextId>>,
+    /// Optional live history sink: when installed, every event's
+    /// invocation/response points and every context access are reported to
+    /// it (see `aeon_types::HistorySink` for the timestamping contract).
+    history: RwLock<Option<SharedHistorySink>>,
 }
 
 impl std::fmt::Debug for RuntimeInner {
@@ -197,6 +202,12 @@ impl std::fmt::Debug for RuntimeInner {
 }
 
 impl RuntimeInner {
+    /// The installed history sink, if any (cloned out so hooks never hold
+    /// the registry lock while recording).
+    pub(crate) fn sink(&self) -> Option<SharedHistorySink> {
+        self.history.read().clone()
+    }
+
     pub(crate) fn context_slot(&self, id: ContextId) -> Result<Arc<ContextSlot>> {
         self.contexts
             .read()
@@ -370,6 +381,11 @@ impl RuntimeInner {
                 info.events_executed += 1;
             }
         }
+        // The event terminated (locks released); its completion becomes
+        // observable no earlier than this point.
+        if let Some(sink) = self.sink() {
+            sink.responded(request.id);
+        }
         // Sub-events run after their creator terminates.
         for sub in sub_events {
             let sub_request = EventRequest {
@@ -380,6 +396,9 @@ impl RuntimeInner {
                 args: sub.args,
                 mode: sub.mode,
             };
+            if let Some(sink) = self.sink() {
+                sink.invoked(sub_request.id);
+            }
             let _ = self.run_event(sub_request);
         }
         EventOutcome {
@@ -448,6 +467,13 @@ impl AeonRuntime {
     /// snapshot (used by migration and crash recovery).
     pub fn register_class_factory(&self, class: impl Into<String>, factory: ContextFactory) {
         self.inner.factories.write().insert(class.into(), factory);
+    }
+
+    /// Installs a live history sink: from now on every event submission,
+    /// completion and context access — including snapshot captures and
+    /// restore writes — is reported to it.  Replaces any previous sink.
+    pub fn install_history_sink(&self, sink: SharedHistorySink) {
+        *self.inner.history.write() = Some(sink);
     }
 
     /// Creates a root context (no owners) and returns its id.
@@ -638,10 +664,21 @@ impl AeonRuntime {
                 reason: format!("no factory registered for class {class}"),
             })?;
         let object = factory(state);
+        // A re-host is recorded as a single-write event: everything the
+        // context does afterwards happens-after this install.
+        let sink = self.inner.sink();
+        let event = EventId::new(self.inner.ids.next_raw());
+        if let Some(sink) = &sink {
+            sink.invoked(event);
+            sink.accessed(event, context, AccessMode::Exclusive);
+        }
         self.inner
             .contexts
             .write()
             .insert(context, ContextSlot::new(context, object));
+        if let Some(sink) = &sink {
+            sink.responded(event);
+        }
         self.inner.placement.write().insert(context, server);
         Ok(())
     }
@@ -778,9 +815,10 @@ impl AeonRuntime {
     }
 
     /// Takes a consistent snapshot of `root` and all its descendants
-    /// (§5.3).  The snapshot is taken under the same sequencing as an
-    /// exclusive event targeting `root`, so it reflects a prefix-consistent
-    /// state of the subtree.
+    /// (§5.3).  The snapshot is sequenced like an exclusive event targeting
+    /// `root` and captures every member while the whole subtree is frozen
+    /// (all member locks held simultaneously), so the result is a state
+    /// some serial execution of the workload could have produced.
     ///
     /// Contexts whose [`ContextObject::snapshot`] returns `Null` are skipped
     /// (the paper's opt-out convention).
@@ -789,7 +827,86 @@ impl AeonRuntime {
     ///
     /// Returns [`AeonError::ContextNotFound`] when `root` is unknown.
     pub fn snapshot_context(&self, root: ContextId) -> Result<Snapshot> {
+        let mut snapshot = Snapshot::new(root);
+        self.with_frozen_subtree(root, AccessMode::ReadOnly, |id, class, object| {
+            let state = object.snapshot();
+            if !state.is_null() {
+                snapshot.insert(id, class.to_string(), state);
+            }
+            Ok(())
+        })?;
+        Ok(snapshot)
+    }
+
+    /// Restores context states from a snapshot previously produced by
+    /// [`AeonRuntime::snapshot_context`].  Contexts must still exist; their
+    /// state is replaced via [`ContextObject::restore`] while the whole
+    /// subtree is frozen (the same dominator-sequenced exclusive freeze a
+    /// snapshot uses), so concurrent events observe either the pre-restore
+    /// or the post-restore state of *every* member, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::ContextNotFound`] if a snapshotted context no
+    /// longer exists.
+    pub fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
+        for (id, _) in snapshot.entries() {
+            // Fail before freezing anything when an entry vanished.
+            self.inner.context_slot(*id)?;
+        }
+        let mut restored: std::collections::BTreeSet<ContextId> = std::collections::BTreeSet::new();
+        self.with_frozen_subtree(snapshot.root(), AccessMode::Exclusive, |id, _, object| {
+            if let Some(entry) = snapshot.get(id) {
+                object.restore(&entry.state);
+                restored.insert(id);
+            }
+            Ok(())
+        })?;
+        // Entries that left the subtree since the capture (ownership edits)
+        // are restored individually under a brief exclusive activation.
+        for (id, entry) in snapshot.entries() {
+            if restored.contains(id) {
+                continue;
+            }
+            let slot = self.inner.context_slot(*id)?;
+            let event = EventId::new(self.inner.ids.next_raw());
+            let sink = self.inner.sink();
+            if let Some(sink) = &sink {
+                sink.invoked(event);
+            }
+            slot.lock.activate(event, AccessMode::Exclusive)?;
+            {
+                let mut object = slot.object.lock();
+                if let Some(sink) = &sink {
+                    sink.accessed(event, *id, AccessMode::Exclusive);
+                }
+                object.restore(&entry.state);
+            }
+            slot.lock.release(event);
+            if let Some(sink) = &sink {
+                sink.responded(event);
+            }
+        }
+        Ok(())
+    }
+
+    /// Freezes the subtree rooted at `root` — sequencing at the dominator
+    /// exactly like an exclusive event targeting `root`, then exclusively
+    /// activating every member in owner-before-owned order and holding all
+    /// the locks — and runs `visit` on each member at the frozen cut.
+    /// Member accesses are reported to the history sink with `recorded_as`
+    /// (reads for snapshot captures, writes for restores).
+    fn with_frozen_subtree(
+        &self,
+        root: ContextId,
+        recorded_as: AccessMode,
+        mut visit: impl FnMut(ContextId, &str, &mut Box<dyn ContextObject>) -> Result<()>,
+    ) -> Result<()> {
         let event = EventId::new(self.inner.ids.next_raw());
+        let sink = self.inner.sink();
+        if let Some(sink) = &sink {
+            sink.invoked(event);
+        }
         let dominator = self.inner.dominator_of(root)?;
         let mut held: Vec<Arc<ContextSlot>> = Vec::new();
         let mut holds_root = false;
@@ -807,22 +924,18 @@ impl AeonRuntime {
             }
             _ => {}
         }
-        let members: Vec<ContextId> = {
-            let graph = self.inner.graph.read();
-            let mut m = vec![root];
-            m.extend(graph.descendants(root)?);
-            m
-        };
-        let mut snapshot = Snapshot::new(root);
+        let members = self.inner.graph.read().subtree_topological(root)?;
         let result = (|| -> Result<()> {
             for id in members {
                 let slot = self.inner.context_slot(id)?;
                 slot.lock.activate(event, AccessMode::Exclusive)?;
                 held.push(slot.clone());
-                let state = slot.object.lock().snapshot();
-                if !state.is_null() {
-                    snapshot.insert(id, slot.class.clone(), state);
+                let mut object = slot.object.lock();
+                if let Some(sink) = &sink {
+                    sink.accessed(event, id, recorded_as);
                 }
+                visit(id, &slot.class, &mut object)?;
+                drop(object);
             }
             Ok(())
         })();
@@ -832,23 +945,10 @@ impl AeonRuntime {
         if holds_root {
             self.inner.global_root.release(event);
         }
-        result.map(|()| snapshot)
-    }
-
-    /// Restores context states from a snapshot previously produced by
-    /// [`AeonRuntime::snapshot_context`].  Contexts must still exist; their
-    /// state is replaced via [`ContextObject::restore`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AeonError::ContextNotFound`] if a snapshotted context no
-    /// longer exists.
-    pub fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
-        for (id, entry) in snapshot.entries() {
-            let slot = self.inner.context_slot(*id)?;
-            slot.object.lock().restore(&entry.state);
+        if let Some(sink) = &sink {
+            sink.responded(event);
         }
-        Ok(())
+        result
     }
 
     /// Runtime-wide statistics.
@@ -952,6 +1052,11 @@ impl AeonClient {
             args,
             mode,
         };
+        // Recorded before the event is enqueued, so the invocation
+        // timestamp can never be later than the true submission point.
+        if let Some(sink) = self.inner.sink() {
+            sink.invoked(request.id);
+        }
         Ok(self.inner.spawn_event(request))
     }
 }

@@ -22,7 +22,7 @@ use aeon_runtime::{
 };
 use aeon_types::{
     codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
-    ServerId, ServerMetrics, SimDuration, SimTime, Value,
+    ServerId, ServerMetrics, SharedHistorySink, SimDuration, SimTime, Value,
 };
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -112,6 +112,7 @@ impl SimDeploymentBuilder {
             events_failed: 0,
             total_latency: SimDuration::ZERO,
             shutdown: false,
+            history: None,
         };
         Ok(SimDeployment {
             inner: Arc::new(Mutex::new(state)),
@@ -148,6 +149,10 @@ struct SimState {
     events_failed: u64,
     total_latency: SimDuration,
     shutdown: bool,
+    /// Optional live history sink.  The engine is single-threaded, so the
+    /// recorded histories are serial by construction — useful to validate
+    /// recording pipelines against a backend that cannot race.
+    history: Option<SharedHistorySink>,
 }
 
 impl SimState {
@@ -227,6 +232,11 @@ impl SimState {
         mode: AccessMode,
     ) -> (EventId, Result<Value>) {
         let event = EventId::new(self.ids.next_raw());
+        // Submission and execution coincide in the inline engine, so this
+        // is the true invocation point.
+        if let Some(sink) = &self.history {
+            sink.invoked(event);
+        }
         let entry_server = self
             .placement
             .get(&target)
@@ -264,6 +274,10 @@ impl SimState {
             self.events_completed += 1;
         } else {
             self.events_failed += 1;
+        }
+        // The event terminated; sub-events (below) run after their creator.
+        if let Some(sink) = &self.history {
+            sink.responded(event);
         }
         if result.is_ok() {
             for sub in sub_events {
@@ -320,6 +334,9 @@ impl SimExecution<'_> {
         self.call_stack.push(target);
         let outcome = {
             let mut object = object.lock();
+            if let Some(sink) = &self.state.history {
+                sink.accessed(self.event, target, self.mode);
+            }
             if self.mode.is_read_only() && !object.is_readonly(method) {
                 Err(AeonError::ReadOnlyViolation {
                     context: target,
@@ -651,6 +668,10 @@ impl Deployment for SimDeployment {
             .insert(class.to_string(), factory);
     }
 
+    fn install_history_sink(&self, sink: SharedHistorySink) {
+        self.inner.lock().history = Some(sink);
+    }
+
     fn add_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
         let mut state = self.inner.lock();
         if let Some(classes) = &state.class_graph {
@@ -806,32 +827,69 @@ impl Deployment for SimDeployment {
 
     fn snapshot_context(&self, root: ContextId) -> Result<Snapshot> {
         let state = self.inner.lock();
-        let mut members = vec![root];
-        members.extend(state.graph.descendants(root)?);
-        let mut snapshot = Snapshot::new(root);
-        for member in members {
-            let slot = state
-                .contexts
-                .get(&member)
-                .ok_or(AeonError::ContextNotFound(member))?;
-            let captured = slot.object.lock().snapshot();
-            if !captured.is_null() {
-                snapshot.insert(member, slot.class.clone(), captured);
-            }
+        // The engine lock makes any capture a frozen cut; the members are
+        // still visited owner-before-owned and recorded as one read set,
+        // matching the other backends' snapshot semantics.
+        let members = state.graph.subtree_topological(root)?;
+        let event = EventId::new(state.ids.next_raw());
+        if let Some(sink) = &state.history {
+            sink.invoked(event);
         }
-        Ok(snapshot)
+        let mut snapshot = Snapshot::new(root);
+        let result = (|| -> Result<()> {
+            for member in members {
+                let slot = state
+                    .contexts
+                    .get(&member)
+                    .ok_or(AeonError::ContextNotFound(member))?;
+                let object = slot.object.lock();
+                if let Some(sink) = &state.history {
+                    sink.accessed(event, member, AccessMode::ReadOnly);
+                }
+                let captured = object.snapshot();
+                if !captured.is_null() {
+                    snapshot.insert(member, slot.class.clone(), captured);
+                }
+            }
+            Ok(())
+        })();
+        if let Some(sink) = &state.history {
+            sink.responded(event);
+        }
+        result.map(|()| snapshot)
     }
 
     fn restore_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
         let state = self.inner.lock();
-        for (id, entry) in snapshot.entries() {
-            let slot = state
-                .contexts
-                .get(id)
-                .ok_or(AeonError::ContextNotFound(*id))?;
-            slot.object.lock().restore(&entry.state);
+        for (id, _) in snapshot.entries() {
+            // Fail before mutating anything when an entry vanished — the
+            // same all-or-nothing contract as the runtime and the cluster.
+            if !state.contexts.contains_key(id) {
+                return Err(AeonError::ContextNotFound(*id));
+            }
         }
-        Ok(())
+        let event = EventId::new(state.ids.next_raw());
+        if let Some(sink) = &state.history {
+            sink.invoked(event);
+        }
+        let result = (|| -> Result<()> {
+            for (id, entry) in snapshot.entries() {
+                let slot = state
+                    .contexts
+                    .get(id)
+                    .ok_or(AeonError::ContextNotFound(*id))?;
+                let mut object = slot.object.lock();
+                if let Some(sink) = &state.history {
+                    sink.accessed(event, *id, AccessMode::Exclusive);
+                }
+                object.restore(&entry.state);
+            }
+            Ok(())
+        })();
+        if let Some(sink) = &state.history {
+            sink.responded(event);
+        }
+        result
     }
 
     fn restore_context(
@@ -855,6 +913,14 @@ impl Deployment for SimDeployment {
                     reason: format!("no factory registered for class {class}"),
                 })?;
         let object = factory(state_value);
+        // A re-host is recorded as a single-write event, like the other
+        // backends.
+        if let Some(sink) = &state.history {
+            let event = EventId::new(state.ids.next_raw());
+            sink.invoked(event);
+            sink.accessed(event, context, AccessMode::Exclusive);
+            sink.responded(event);
+        }
         state.contexts.insert(
             context,
             SimSlot {

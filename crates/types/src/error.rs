@@ -48,6 +48,9 @@ pub enum AeonError {
     MigrationInProgress(ContextId),
     /// A migration step failed.
     MigrationFailed { context: ContextId, reason: String },
+    /// A coordinated snapshot (or snapshot restore) of a context subtree
+    /// failed; any members frozen before the failure have been thawed.
+    SnapshotFailed { context: ContextId, reason: String },
     /// The runtime has been shut down.
     RuntimeShutdown,
     /// A storage operation failed (e.g. compare-and-swap conflict).
@@ -104,6 +107,9 @@ impl fmt::Display for AeonError {
             }
             AeonError::MigrationFailed { context, reason } => {
                 write!(f, "migration of context {context} failed: {reason}")
+            }
+            AeonError::SnapshotFailed { context, reason } => {
+                write!(f, "snapshot rooted at context {context} failed: {reason}")
             }
             AeonError::RuntimeShutdown => write!(f, "the runtime has been shut down"),
             AeonError::Storage(msg) => write!(f, "storage error: {msg}"),

@@ -1,0 +1,54 @@
+//! The live history-recording surface.
+//!
+//! A [`HistorySink`] observes an execution as it happens: every backend
+//! (the in-process runtime, the distributed cluster, and the deterministic
+//! simulator) feeds an installed sink with the three ingredients a
+//! serializability checker needs:
+//!
+//! * **invocation points** — [`HistorySink::invoked`] is called after an
+//!   event id is assigned but *before* the event can start executing, so
+//!   the recorded invocation timestamp is never later than the true one;
+//! * **response points** — [`HistorySink::responded`] is called once the
+//!   event has terminated (all its locks released), no later than the
+//!   moment a client could observe the completion;
+//! * **context accesses** — [`HistorySink::accessed`] is called while the
+//!   access is serialized by the context's activation/object lock, so the
+//!   per-context call order equals the order in which the context actually
+//!   observed the accesses.
+//!
+//! These conventions make recorded event spans *over*-approximate the true
+//! spans, which keeps a checker built on them sound: the derived real-time
+//! precedence is a subset of the true one, so a reported violation is
+//! always a real violation.
+//!
+//! The trait lives in `aeon-types` (rather than next to the recorder in
+//! `aeon-checker`) so the execution backends can depend on it without a
+//! dependency cycle; `aeon_checker::HistoryRecorder` implements it.
+
+use crate::access::AccessMode;
+use crate::ids::{ContextId, EventId};
+use std::sync::Arc;
+
+/// An observer of the live execution history of a deployment.
+///
+/// Implementations must be cheap and non-blocking: the hooks run on the
+/// backends' hot paths (submission, context access, completion), in some
+/// cases while holding a context's object lock.
+pub trait HistorySink: Send + Sync {
+    /// An event was accepted for execution.  Called after the backend
+    /// assigned `event` its id but before the event could start executing.
+    fn invoked(&self, event: EventId);
+
+    /// The event terminated and its completion became observable.  Called
+    /// after the event released its locks and no later than the moment a
+    /// client could see the result.
+    fn responded(&self, event: EventId);
+
+    /// `event` accessed `context` under the context's serialization point.
+    /// Read-only accesses are reads; exclusive accesses are treated as
+    /// writes (an over-approximation that is sound for conflict analysis).
+    fn accessed(&self, event: EventId, context: ContextId, mode: AccessMode);
+}
+
+/// A shareable history sink, as installed on a deployment.
+pub type SharedHistorySink = Arc<dyn HistorySink>;

@@ -20,6 +20,7 @@
 pub mod access;
 pub mod codec;
 pub mod error;
+pub mod history;
 pub mod ids;
 pub mod metrics;
 pub mod time;
@@ -27,6 +28,7 @@ pub mod value;
 
 pub use access::AccessMode;
 pub use error::{AeonError, Result};
+pub use history::{HistorySink, SharedHistorySink};
 pub use ids::{
     ClassName, ClientId, ContextId, EventId, IdGenerator, MethodName, SequenceNo, ServerId,
 };

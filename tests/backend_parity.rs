@@ -451,3 +451,134 @@ fn elasticity_scale_out_works_on_every_backend() {
         );
     });
 }
+
+// ---------------------------------------------------------------------------
+// Coordinated snapshot freeze parity (bank workload).
+// ---------------------------------------------------------------------------
+
+mod snapshot_freeze {
+    use super::*;
+    use aeon_apps::bank::{
+        bank_class_graph, captured_account_total, deploy_bank, register_bank_factories,
+        BankWorldConfig,
+    };
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn on_every_bank_backend(scenario: impl Fn(Arc<dyn Deployment>)) {
+        let runtime = AeonRuntime::builder()
+            .servers(2)
+            .class_graph(bank_class_graph())
+            .build()
+            .unwrap();
+        scenario(Arc::new(runtime.clone()));
+        runtime.shutdown();
+
+        let cluster = Cluster::builder()
+            .servers(2)
+            .class_graph(bank_class_graph())
+            .build()
+            .unwrap();
+        scenario(Arc::new(cluster.clone()));
+        cluster.shutdown();
+
+        let sim = SimDeployment::builder()
+            .servers(2)
+            .class_graph(bank_class_graph())
+            .build()
+            .unwrap();
+        scenario(Arc::new(sim));
+    }
+
+    /// Snapshot under concurrent mutations, mutate some more, restore:
+    /// every account must come back to the value captured at the frozen
+    /// cut — not a torn mix — and the cut itself must conserve the total.
+    #[test]
+    fn snapshot_restore_round_trips_to_the_frozen_cut_on_every_backend() {
+        on_every_bank_backend(|deployment| {
+            let backend = deployment.backend_name();
+            register_bank_factories(&*deployment);
+            let config = BankWorldConfig {
+                branches: 3,
+                accounts_per_branch: 3,
+                shared_pairs: 1,
+                shared_accounts: 1,
+                initial_balance: 100,
+            };
+            let world = deploy_bank(&*deployment, &config).unwrap();
+            let expected = world.expected_total(&config);
+
+            // Concurrent transfer load while the snapshot is taken.
+            let stop = Arc::new(AtomicBool::new(false));
+            let writers: Vec<_> = (0..2)
+                .map(|w| {
+                    let session = deployment.session();
+                    let world = world.clone();
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut i = 0usize;
+                        while !stop.load(Ordering::SeqCst) {
+                            let b = (i + w) % world.branches.len();
+                            let accounts = &world.accounts_of[b];
+                            let from = accounts[i % accounts.len()];
+                            let to = accounts[(i + 1) % accounts.len()];
+                            let _ =
+                                session.call(world.branches[b], "transfer", args![from, to, 1i64]);
+                            i += 1;
+                        }
+                    })
+                })
+                .collect();
+            std::thread::sleep(std::time::Duration::from_millis(40));
+
+            let snapshot = deployment.snapshot_context(world.bank).unwrap();
+            assert_eq!(
+                captured_account_total(&snapshot),
+                expected,
+                "backend {backend}: the frozen cut must conserve the total"
+            );
+
+            stop.store(true, Ordering::SeqCst);
+            for writer in writers {
+                writer.join().unwrap();
+            }
+
+            let cut: BTreeMap<ContextId, i64> = world
+                .accounts
+                .iter()
+                .map(|a| {
+                    let balance = snapshot
+                        .get(*a)
+                        .and_then(|e| e.state.get("balance"))
+                        .and_then(Value::as_i64)
+                        .expect("every account is captured");
+                    (*a, balance)
+                })
+                .collect();
+
+            // Mutations after the snapshot must be wound back by restore.
+            let session = deployment.session();
+            for (b, branch) in world.branches.iter().enumerate() {
+                let accounts = &world.accounts_of[b];
+                session
+                    .call(*branch, "transfer", args![accounts[0], accounts[1], 17i64])
+                    .unwrap();
+            }
+
+            deployment.restore_snapshot(&snapshot).unwrap();
+            for account in &world.accounts {
+                assert_eq!(
+                    session.call_readonly(*account, "read", args![]).unwrap(),
+                    Value::from(cut[account]),
+                    "backend {backend}: account {account} must equal the frozen cut"
+                );
+            }
+            assert_eq!(
+                session.call_readonly(world.bank, "audit", args![]).unwrap(),
+                Value::from(expected),
+                "backend {backend}"
+            );
+        });
+    }
+}
