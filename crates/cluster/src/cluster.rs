@@ -9,7 +9,11 @@
 use crate::directory::Directory;
 use crate::message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor, FreezeMember};
 use crate::node::{spawn_node, NodeHandle};
-use aeon_net::{Endpoint, Network, NetworkStats};
+use crate::wire::message_wire_len;
+use aeon_net::{
+    ChannelTransport, Endpoint, MessageSizer, Network, NetworkStats, TcpTransport,
+    TcpTransportConfig,
+};
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, OwnershipGraph};
 use aeon_runtime::{
     ContextFactory, ContextObject, ExecutorConfig, ExecutorStats, Placement, Snapshot,
@@ -21,6 +25,7 @@ use aeon_types::{
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,6 +38,42 @@ const EVENT_TIMEOUT: Duration = Duration::from_secs(60);
 /// Poll interval of the gateway receive loop.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// How the cluster's servers exchange messages.
+#[derive(Debug, Clone, Default)]
+pub enum ClusterTransport {
+    /// In-process crossbeam channels (the default): every node is a thread
+    /// in this process; messages are moved, never serialised, but byte
+    /// counters still report each message's encoded wire size.
+    #[default]
+    Channel,
+    /// Real TCP sockets over loopback, one listener per node plus the
+    /// gateway, with the nodes still running as threads in this process.
+    /// Every protocol message crosses an actual socket — the parity
+    /// configuration for exercising the wire codec and framing under the
+    /// full test suites.
+    TcpLoopback,
+    /// Gateway-only mode for a cluster whose server nodes run as separate
+    /// OS processes (`aeon-node`): the gateway binds `listen` and connects
+    /// to each node in `peers`.  No in-process nodes are spawned;
+    /// process-local introspection (executor stats, crash injection,
+    /// `add_server`) is unavailable.
+    TcpMesh {
+        /// Address the gateway's transport listens on.
+        listen: SocketAddr,
+        /// Node id → socket address of every external `aeon-node` process.
+        peers: BTreeMap<ServerId, SocketAddr>,
+    },
+}
+
+/// Which of the three transports a running cluster uses (internal,
+/// semantics-bearing subset of [`ClusterTransport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Channel,
+    Loopback,
+    Mesh,
+}
+
 /// Builder for [`Cluster`].
 #[derive(Debug)]
 pub struct ClusterBuilder {
@@ -41,6 +82,7 @@ pub struct ClusterBuilder {
     class_graph: Option<ClassGraph>,
     executor: ExecutorConfig,
     torn_snapshot: bool,
+    transport: ClusterTransport,
 }
 
 impl Default for ClusterBuilder {
@@ -58,7 +100,17 @@ impl ClusterBuilder {
             class_graph: None,
             executor: ExecutorConfig::default(),
             torn_snapshot: false,
+            transport: ClusterTransport::default(),
         }
+    }
+
+    /// Selects how servers exchange messages (default:
+    /// [`ClusterTransport::Channel`]).  With
+    /// [`ClusterTransport::TcpMesh`] the `servers` count is ignored — the
+    /// mesh's peer map defines the server set.
+    pub fn transport(mut self, transport: ClusterTransport) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Sets the number of servers started with the cluster.
@@ -114,7 +166,7 @@ impl ClusterBuilder {
     /// * [`AeonError::ClassCycleDetected`] when the class graph fails the
     ///   static analysis.
     pub fn build(self) -> Result<Cluster> {
-        if self.servers == 0 {
+        if self.servers == 0 && !matches!(self.transport, ClusterTransport::TcpMesh { .. }) {
             return Err(AeonError::Config("at least one server is required".into()));
         }
         if self.executor.workers == 0 {
@@ -126,23 +178,71 @@ impl ClusterBuilder {
             classes.check()?;
         }
         let directory = Arc::new(Directory::new(self.dominator_mode, self.class_graph));
-        let network: Network<ClusterMessage> = Network::new();
+        let (mode, network, mesh_peers): (Mode, Network<ClusterMessage>, Vec<ServerId>) =
+            match &self.transport {
+                ClusterTransport::Channel => {
+                    // Even without sockets, size every message as if it had
+                    // crossed the wire so byte counters are comparable
+                    // between channel and TCP runs.
+                    let sizer: MessageSizer<ClusterMessage> = Arc::new(message_wire_len);
+                    let transport = ChannelTransport::with_sizer(sizer);
+                    (
+                        Mode::Channel,
+                        Network::with_transport(Arc::new(transport)),
+                        Vec::new(),
+                    )
+                }
+                ClusterTransport::TcpLoopback => {
+                    let listen = SocketAddr::from(([127, 0, 0, 1], 0));
+                    let transport = TcpTransport::bind(TcpTransportConfig::new(listen))?;
+                    (
+                        Mode::Loopback,
+                        Network::with_transport(Arc::new(transport)),
+                        Vec::new(),
+                    )
+                }
+                ClusterTransport::TcpMesh { listen, peers } => {
+                    let mut config = TcpTransportConfig::new(*listen);
+                    for (id, addr) in peers {
+                        config = config.peer(*id, *addr);
+                    }
+                    let transport = TcpTransport::bind(config)?;
+                    (
+                        Mode::Mesh,
+                        Network::with_transport(Arc::new(transport)),
+                        peers.keys().copied().collect(),
+                    )
+                }
+            };
+        let shared_stats = network.stats_handle();
         let gateway_endpoint = network.register(gateway_id());
+        let next_server = mesh_peers.iter().map(|s| s.raw() + 1).max().unwrap_or(0);
         let inner = Arc::new(ClusterInner {
             directory,
             network,
+            mode,
+            shared_stats,
+            node_networks: Mutex::new(BTreeMap::new()),
             executor_config: self.executor,
             torn_snapshot: self.torn_snapshot,
             nodes: Mutex::new(BTreeMap::new()),
             pending_events: Mutex::new(HashMap::new()),
             pending_control: Mutex::new(HashMap::new()),
             corr: AtomicU64::new(1),
-            next_server: AtomicU32::new(0),
+            next_server: AtomicU32::new(next_server),
             shutdown: AtomicBool::new(false),
             gateway_thread: Mutex::new(None),
         });
-        for _ in 0..self.servers {
-            inner.spawn_server();
+        if inner.mode == Mode::Mesh {
+            // The server set is the external process mesh; the directory
+            // only needs to know the roster.
+            for server in mesh_peers {
+                inner.directory.register_server(server);
+            }
+        } else {
+            for _ in 0..self.servers {
+                inner.spawn_server();
+            }
         }
         let loop_inner = Arc::clone(&inner);
         let thread = std::thread::Builder::new()
@@ -157,6 +257,15 @@ impl ClusterBuilder {
 struct ClusterInner {
     directory: Arc<Directory>,
     network: Network<ClusterMessage>,
+    /// Which transport family this cluster runs on.
+    mode: Mode,
+    /// Byte/message counters shared by the gateway and (in loopback mode)
+    /// every node network, so `network_stats` aggregates the whole cluster.
+    shared_stats: Arc<NetworkStats>,
+    /// Loopback mode: each node's own `Network` (distinct TCP listener),
+    /// kept for address exchange with later-spawned nodes and for
+    /// transport shutdown.
+    node_networks: Mutex<BTreeMap<ServerId, Network<ClusterMessage>>>,
     /// Worker-pool configuration applied to every node (including ones
     /// added later by scale-out).
     executor_config: ExecutorConfig,
@@ -186,15 +295,51 @@ impl std::fmt::Debug for ClusterInner {
 impl ClusterInner {
     fn spawn_server(&self) -> ServerId {
         let id = ServerId::new(self.next_server.fetch_add(1, Ordering::Relaxed));
+        let network = self.node_network_for(id);
         let handle = spawn_node(
             id,
             Arc::clone(&self.directory),
-            &self.network,
+            &network,
             self.executor_config.clone(),
         );
         self.directory.register_server(id);
         self.nodes.lock().insert(id, handle);
         id
+    }
+
+    /// The network a newly spawned in-process node attaches to: the shared
+    /// channel network, or (loopback mode) a fresh TCP listener whose
+    /// address is exchanged with the gateway and every existing node.
+    fn node_network_for(&self, id: ServerId) -> Network<ClusterMessage> {
+        match self.mode {
+            Mode::Channel => self.network.clone(),
+            Mode::Loopback => {
+                let listen = SocketAddr::from(([127, 0, 0, 1], 0));
+                let transport = TcpTransport::bind(TcpTransportConfig::new(listen))
+                    .expect("binding a loopback node transport succeeds");
+                let network = Network::with_transport_and_stats(
+                    Arc::new(transport),
+                    Arc::clone(&self.shared_stats),
+                );
+                let addr = network
+                    .local_addr()
+                    .expect("a loopback transport has a local address");
+                self.network.add_peer(id, addr);
+                if let Some(gateway_addr) = self.network.local_addr() {
+                    network.add_peer(gateway_id(), gateway_addr);
+                }
+                let mut networks = self.node_networks.lock();
+                for (other, other_network) in networks.iter() {
+                    other_network.add_peer(id, addr);
+                    if let Some(other_addr) = other_network.local_addr() {
+                        network.add_peer(*other, other_addr);
+                    }
+                }
+                networks.insert(id, network.clone());
+                network
+            }
+            Mode::Mesh => unreachable!("mesh clusters never spawn in-process nodes"),
+        }
     }
 
     fn next_corr(&self) -> u64 {
@@ -434,6 +579,12 @@ fn gateway_loop(inner: Arc<ClusterInner>, endpoint: Endpoint<ClusterMessage>) {
                 for sub in sub_events {
                     let _ = inner.submit(None, sub.target, &sub.method, sub.args, sub.mode);
                 }
+            }
+            ClusterMessage::DirReq { corr, from, op } => {
+                // Control-plane RPC from a node process: serve it at the
+                // directory authority and send the answer straight back.
+                let reply = inner.directory.serve_dir_op(op);
+                let _ = inner.send(from, ClusterMessage::DirAck { corr, reply });
             }
             ClusterMessage::HostAck { corr, .. }
             | ClusterMessage::PrepareAck { corr, .. }
@@ -680,6 +831,11 @@ impl Cluster {
             }
         }
         self.inner.directory.set_placement(id, server);
+        // The snapshot travels on the wire (a node in another process
+        // rebuilds from it); the object itself is parked in escrow so a
+        // same-process node can move it in without a factory.
+        let state = object.snapshot();
+        let escrow = self.inner.directory.escrow_put(object);
         let corr = self.inner.next_corr();
         let ack = self.inner.control_round_trip(
             server,
@@ -688,16 +844,24 @@ impl Cluster {
                 corr,
                 context: id,
                 class,
-                object,
+                state,
+                escrow,
             },
         );
-        match ack {
-            Ok(ClusterMessage::HostAck { .. }) => Ok(id),
-            Ok(_) | Err(_) => {
-                let _ = self.inner.directory.remove_context(id);
-                Err(AeonError::ServerNotFound(server))
-            }
+        let outcome = match ack {
+            Ok(ClusterMessage::HostAck { result: Ok(()), .. }) => Ok(id),
+            Ok(ClusterMessage::HostAck {
+                result: Err(err), ..
+            }) => Err(err),
+            Ok(_) | Err(_) => Err(AeonError::ServerNotFound(server)),
+        };
+        // A cross-process node used its factory; drop the unclaimed
+        // escrow entry either way so nothing leaks.
+        let _ = self.inner.directory.escrow_take(escrow);
+        if outcome.is_err() {
+            let _ = self.inner.directory.remove_context(id);
         }
+        outcome
     }
 
     /// Migrates `context` to `to` using the five-step protocol of §5.2 and
@@ -779,6 +943,7 @@ impl Cluster {
                 })?;
         let object = factory(state);
         self.inner.directory.set_placement(context, server);
+        let escrow = self.inner.directory.escrow_put(object);
         let corr = self.inner.next_corr();
         let ack = self.inner.control_round_trip(
             server,
@@ -787,11 +952,13 @@ impl Cluster {
                 corr,
                 context,
                 class,
-                object,
+                state: state.clone(),
+                escrow,
             },
-        )?;
-        match ack {
-            ClusterMessage::HostAck { .. } => {
+        );
+        let _ = self.inner.directory.escrow_take(escrow);
+        match ack? {
+            ClusterMessage::HostAck { result: Ok(()), .. } => {
                 // A re-host is recorded as a single-write event: everything
                 // the context does afterwards happens-after this install.
                 if let Some(sink) = self.inner.directory.history_sink() {
@@ -802,6 +969,9 @@ impl Cluster {
                 }
                 Ok(())
             }
+            ClusterMessage::HostAck {
+                result: Err(err), ..
+            } => Err(err),
             _ => Err(AeonError::ServerNotFound(server)),
         }
     }
@@ -1018,7 +1188,16 @@ impl Cluster {
     }
 
     /// Adds a server to the cluster and returns its id (scale-out).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`ClusterTransport::TcpMesh`] cluster: external node
+    /// processes are launched out of band, not by the gateway.
     pub fn add_server(&self) -> ServerId {
+        assert!(
+            self.inner.mode != Mode::Mesh,
+            "add_server is not available on a TcpMesh cluster; start another aeon-node process"
+        );
         self.inner.spawn_server()
     }
 
@@ -1049,6 +1228,14 @@ impl Cluster {
         }
         let mut nodes = self.inner.nodes.lock();
         let Some(mut node) = nodes.remove(&server) else {
+            drop(nodes);
+            if self.inner.mode == Mode::Mesh {
+                // External process: ask it to exit and forget the peer; the
+                // process joins on its own receive loop.
+                let _ = self.inner.send(server, ClusterMessage::Shutdown);
+                self.inner.network.deregister(server);
+                return Ok(());
+            }
             return Err(AeonError::ServerNotFound(server));
         };
         drop(nodes);
@@ -1058,6 +1245,9 @@ impl Cluster {
             let _ = thread.join();
         }
         self.inner.network.deregister(server);
+        if let Some(network) = self.inner.node_networks.lock().remove(&server) {
+            network.shutdown_transport();
+        }
         Ok(())
     }
 
@@ -1103,6 +1293,11 @@ impl Cluster {
     ///
     /// Returns [`AeonError::ServerNotFound`] for unknown servers.
     pub fn crash_server(&self, server: ServerId) -> Result<()> {
+        if self.inner.mode == Mode::Mesh {
+            return Err(AeonError::Config(
+                "crash injection is not available for external node processes".into(),
+            ));
+        }
         let nodes = self.inner.nodes.lock();
         let node = nodes
             .get(&server)
@@ -1216,6 +1411,13 @@ impl Cluster {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        if self.inner.mode == Mode::Mesh {
+            // The nodes are other OS processes: ask each to exit; their
+            // receive loops stop themselves.
+            for server in self.inner.directory.online_servers() {
+                let _ = self.inner.send(server, ClusterMessage::Shutdown);
+            }
+        }
         let mut nodes = self.inner.nodes.lock();
         for (id, node) in nodes.iter() {
             let _ = self.inner.send(*id, ClusterMessage::Shutdown);
@@ -1230,6 +1432,10 @@ impl Cluster {
         if let Some(thread) = self.inner.gateway_thread.lock().take() {
             let _ = thread.join();
         }
+        for (_, network) in self.inner.node_networks.lock().iter() {
+            network.shutdown_transport();
+        }
+        self.inner.network.shutdown_transport();
     }
 }
 

@@ -3,29 +3,75 @@
 //! In the paper, the ownership network and the context→server mapping are
 //! maintained by the eManager and persisted in a cloud storage system that
 //! every host and client can read (§5.1).  The [`Directory`] plays that
-//! role: it is shared (by `Arc`) between the gateway and every server node,
-//! standing in for "query the eManager / read the mapping from cloud
-//! storage".  Context *state* is never stored here — it lives only on the
-//! server currently hosting the context and moves exclusively through the
-//! migration protocol.
+//! role, in one of two flavours:
+//!
+//! * the **authority** (created by [`Directory::new`]) owns the real
+//!   ownership graph, placement map, and server roster.  When the whole
+//!   cluster runs in one process it is shared (by `Arc`) between the
+//!   gateway and every server node, standing in for "query the eManager /
+//!   read the mapping from cloud storage";
+//! * a **remote** handle (created by [`Directory::remote`]) lives inside an
+//!   `aeon-node` OS process and forwards each control-plane query to the
+//!   authority as a synchronous [`DirReq`]/[`DirAck`](ClusterMessage::DirAck)
+//!   RPC over the network.
+//!
+//! Both flavours expose the same API, so node code is oblivious to which
+//! one it holds.  Context *state* is never stored here — it lives only on
+//! the server currently hosting the context and moves exclusively through
+//! the migration protocol.  Class factories and the history sink are
+//! process-local concerns and stay local on both flavours.
+//!
+//! [`DirReq`]: ClusterMessage::DirReq
 
+use crate::message::{gateway_id, ClusterMessage, DirOp, DirReply};
+use aeon_net::Network;
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
-use aeon_runtime::ContextFactory;
+use aeon_runtime::{ContextFactory, ContextObject};
 use aeon_types::{
     AeonError, ClassName, ContextId, EventId, IdGenerator, Result, ServerId, SharedHistorySink,
 };
-use parking_lot::RwLock;
+use crossbeam::channel::{self, Sender};
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
 
-/// Shared control-plane state of a cluster.
-pub struct Directory {
+/// How long a remote directory handle waits for the authority's answer.
+const DIR_RPC_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Remote handles allocate ids in a namespace disjoint from the
+/// authority's: bit 63 set, node id in bits 40..63, local counter below.
+const REMOTE_ID_BASE: u64 = 1 << 63;
+
+/// The authoritative control-plane state (eManager + cloud storage).
+struct Authority {
     graph: RwLock<OwnershipGraph>,
     placement: RwLock<HashMap<ContextId, ServerId>>,
     servers: RwLock<BTreeMap<ServerId, bool>>,
     resolver: DominatorResolver,
     class_graph: Option<ClassGraph>,
+}
+
+/// A node-process proxy that answers queries by RPC to the authority.
+struct Remote {
+    node: ServerId,
+    network: Network<ClusterMessage>,
+    pending: Mutex<HashMap<u64, Sender<Result<DirReply>>>>,
+}
+
+enum Backend {
+    Authority(Authority),
+    Remote(Remote),
+}
+
+/// Shared control-plane state of a cluster (authority or remote proxy).
+pub struct Directory {
+    backend: Backend,
     factories: RwLock<HashMap<ClassName, ContextFactory>>,
     ids: IdGenerator,
+    /// Objects parked between `create_context` and the node's `Host`
+    /// handler when gateway and node share a process: the token travels on
+    /// the wire, the object is moved through here without serialisation.
+    escrow: Mutex<HashMap<u64, Box<dyn ContextObject>>>,
     /// Optional live history sink, shared by the gateway (event spans) and
     /// every node (context accesses); in a real deployment each host would
     /// hold its own handle to the same collector service.
@@ -34,25 +80,124 @@ pub struct Directory {
 
 impl std::fmt::Debug for Directory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Directory")
-            .field("contexts", &self.graph.read().len())
-            .field("servers", &self.servers.read().len())
-            .finish_non_exhaustive()
+        match &self.backend {
+            Backend::Authority(auth) => f
+                .debug_struct("Directory")
+                .field("contexts", &auth.graph.read().len())
+                .field("servers", &auth.servers.read().len())
+                .finish_non_exhaustive(),
+            Backend::Remote(remote) => f
+                .debug_struct("Directory")
+                .field("remote_of", &remote.node)
+                .finish_non_exhaustive(),
+        }
     }
 }
 
 impl Directory {
-    /// Creates an empty directory.
+    /// Creates an empty directory authority.
     pub fn new(mode: DominatorMode, class_graph: Option<ClassGraph>) -> Self {
         Self {
-            graph: RwLock::new(OwnershipGraph::new()),
-            placement: RwLock::new(HashMap::new()),
-            servers: RwLock::new(BTreeMap::new()),
-            resolver: DominatorResolver::new(mode),
-            class_graph,
+            backend: Backend::Authority(Authority {
+                graph: RwLock::new(OwnershipGraph::new()),
+                placement: RwLock::new(HashMap::new()),
+                servers: RwLock::new(BTreeMap::new()),
+                resolver: DominatorResolver::new(mode),
+                class_graph,
+            }),
             factories: RwLock::new(HashMap::new()),
             ids: IdGenerator::starting_at(1),
+            escrow: Mutex::new(HashMap::new()),
             history: RwLock::new(None),
+        }
+    }
+
+    /// Creates a remote directory handle for node `node`, forwarding
+    /// control-plane queries to the authority over `network`.
+    pub fn remote(node: ServerId, network: Network<ClusterMessage>) -> Self {
+        Self {
+            backend: Backend::Remote(Remote {
+                node,
+                network,
+                pending: Mutex::new(HashMap::new()),
+            }),
+            factories: RwLock::new(HashMap::new()),
+            ids: IdGenerator::starting_at(REMOTE_ID_BASE | (u64::from(node.raw()) << 40)),
+            escrow: Mutex::new(HashMap::new()),
+            history: RwLock::new(None),
+        }
+    }
+
+    fn authority(&self) -> Result<&Authority> {
+        match &self.backend {
+            Backend::Authority(auth) => Ok(auth),
+            Backend::Remote(_) => Err(AeonError::Internal(
+                "operation is only available at the directory authority".into(),
+            )),
+        }
+    }
+
+    /// Sends `op` to the authority and blocks for the matching
+    /// [`ClusterMessage::DirAck`] (delivered via [`Self::complete_dir_reply`]).
+    fn rpc(&self, remote: &Remote, op: DirOp) -> Result<DirReply> {
+        let corr = self.ids.next_raw();
+        let (tx, rx) = channel::bounded(1);
+        remote.pending.lock().insert(corr, tx);
+        let request = ClusterMessage::DirReq {
+            corr,
+            from: remote.node,
+            op,
+        };
+        if let Err(err) = remote.network.send_from(remote.node, gateway_id(), request) {
+            remote.pending.lock().remove(&corr);
+            return Err(err);
+        }
+        match rx.recv_timeout(DIR_RPC_TIMEOUT) {
+            Ok(reply) => reply,
+            Err(_) => {
+                remote.pending.lock().remove(&corr);
+                Err(AeonError::Internal(
+                    "directory rpc to the authority timed out".into(),
+                ))
+            }
+        }
+    }
+
+    /// Routes a [`ClusterMessage::DirAck`] back to the thread blocked in
+    /// [`Self::rpc`].  No-op on the authority (which never issues RPCs).
+    pub(crate) fn complete_dir_reply(&self, corr: u64, reply: Result<DirReply>) {
+        if let Backend::Remote(remote) = &self.backend {
+            if let Some(tx) = remote.pending.lock().remove(&corr) {
+                let _ = tx.send(reply);
+            }
+        }
+    }
+
+    /// Serves one [`DirOp`] at the authority (the gateway loop calls this
+    /// for every [`ClusterMessage::DirReq`] a node sends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of the underlying directory operation.
+    pub(crate) fn serve_dir_op(&self, op: DirOp) -> Result<DirReply> {
+        match op {
+            DirOp::PlacementOf(context) => self.placement_of(context).map(DirReply::Server),
+            DirOp::SetPlacement(context, server) => {
+                self.set_placement(context, server);
+                Ok(DirReply::Unit)
+            }
+            DirOp::MayCall(caller, callee) => Ok(DirReply::Flag(self.may_call(caller, callee))),
+            DirOp::ClassOf(context) => self.class_of(context).map(DirReply::Class),
+            DirOp::ChildrenOf { parent, class } => self
+                .children_of(parent, class.as_deref())
+                .map(DirReply::Contexts),
+            DirOp::AddEdge(owner, owned) => self.add_edge(owner, owned).map(|()| DirReply::Unit),
+            DirOp::RemoveEdge(owner, owned) => {
+                self.remove_edge(owner, owned).map(|()| DirReply::Unit)
+            }
+            DirOp::CreateOwned { owner, class } => {
+                self.create_owned(owner, &class).map(DirReply::Context)
+            }
         }
     }
 
@@ -81,42 +226,74 @@ impl Directory {
         self.ids.next_raw()
     }
 
-    // -- servers ------------------------------------------------------------
+    // -- escrow -------------------------------------------------------------
 
-    /// Registers a server as online.
-    pub fn register_server(&self, server: ServerId) {
-        self.servers.write().insert(server, true);
+    /// Parks an object for same-process hand-off and returns its token.
+    pub(crate) fn escrow_put(&self, object: Box<dyn ContextObject>) -> u64 {
+        let token = self.ids.next_raw();
+        self.escrow.lock().insert(token, object);
+        token
     }
 
-    /// Marks a server offline (crashed or drained).
-    pub fn set_offline(&self, server: ServerId) {
-        if let Some(flag) = self.servers.write().get_mut(&server) {
-            *flag = false;
+    /// Claims a parked object, if the token was escrowed in this process.
+    pub(crate) fn escrow_take(&self, token: u64) -> Option<Box<dyn ContextObject>> {
+        self.escrow.lock().remove(&token)
+    }
+
+    // -- servers ------------------------------------------------------------
+
+    /// Registers a server as online.  No-op on remote handles (the roster
+    /// lives at the authority).
+    pub fn register_server(&self, server: ServerId) {
+        if let Backend::Authority(auth) = &self.backend {
+            auth.servers.write().insert(server, true);
         }
     }
 
-    /// Returns whether a server is known and online.
-    pub fn is_online(&self, server: ServerId) -> bool {
-        self.servers.read().get(&server).copied().unwrap_or(false)
+    /// Marks a server offline (crashed or drained).  No-op on remote
+    /// handles.
+    pub fn set_offline(&self, server: ServerId) {
+        if let Backend::Authority(auth) = &self.backend {
+            if let Some(flag) = auth.servers.write().get_mut(&server) {
+                *flag = false;
+            }
+        }
     }
 
-    /// All online servers, in id order.
+    /// Returns whether a server is known and online (always `false` on
+    /// remote handles).
+    pub fn is_online(&self, server: ServerId) -> bool {
+        match &self.backend {
+            Backend::Authority(auth) => auth.servers.read().get(&server).copied().unwrap_or(false),
+            Backend::Remote(_) => false,
+        }
+    }
+
+    /// All online servers, in id order (empty on remote handles).
     pub fn online_servers(&self) -> Vec<ServerId> {
-        self.servers
-            .read()
-            .iter()
-            .filter(|(_, online)| **online)
-            .map(|(id, _)| *id)
-            .collect()
+        match &self.backend {
+            Backend::Authority(auth) => auth
+                .servers
+                .read()
+                .iter()
+                .filter(|(_, online)| **online)
+                .map(|(id, _)| *id)
+                .collect(),
+            Backend::Remote(_) => Vec::new(),
+        }
     }
 
     /// The online server hosting the fewest contexts.
     ///
     /// # Errors
     ///
-    /// Returns [`AeonError::Config`] when no server is online.
+    /// Returns [`AeonError::Config`] when no server is online (or on a
+    /// remote handle, which does not place contexts).
     pub fn least_loaded_server(&self) -> Result<ServerId> {
-        let placement = self.placement.read();
+        let auth = self
+            .authority()
+            .map_err(|_| AeonError::Config("no online servers".into()))?;
+        let placement = auth.placement.read();
         let mut load: BTreeMap<ServerId, usize> =
             self.online_servers().into_iter().map(|s| (s, 0)).collect();
         for server in placement.values() {
@@ -138,46 +315,75 @@ impl Directory {
     ///
     /// Returns [`AeonError::ContextNotFound`] for unknown contexts.
     pub fn placement_of(&self, context: ContextId) -> Result<ServerId> {
-        self.placement
-            .read()
-            .get(&context)
-            .copied()
-            .ok_or(AeonError::ContextNotFound(context))
+        match &self.backend {
+            Backend::Authority(auth) => auth
+                .placement
+                .read()
+                .get(&context)
+                .copied()
+                .ok_or(AeonError::ContextNotFound(context)),
+            Backend::Remote(remote) => match self.rpc(remote, DirOp::PlacementOf(context))? {
+                DirReply::Server(server) => Ok(server),
+                other => Err(reply_mismatch("PlacementOf", &other)),
+            },
+        }
     }
 
     /// Records (or updates) the placement of a context.
     pub fn set_placement(&self, context: ContextId, server: ServerId) {
-        self.placement.write().insert(context, server);
+        match &self.backend {
+            Backend::Authority(auth) => {
+                auth.placement.write().insert(context, server);
+            }
+            Backend::Remote(remote) => {
+                let _ = self.rpc(remote, DirOp::SetPlacement(context, server));
+            }
+        }
     }
 
-    /// Removes the placement entry of a context.
+    /// Removes the placement entry of a context (authority only; remote
+    /// handles never unhost contexts directly).
     pub fn remove_placement(&self, context: ContextId) {
-        self.placement.write().remove(&context);
+        if let Backend::Authority(auth) = &self.backend {
+            auth.placement.write().remove(&context);
+        }
     }
 
-    /// All contexts currently mapped to `server`, in id order.
+    /// All contexts currently mapped to `server`, in id order (empty on
+    /// remote handles).
     pub fn contexts_on(&self, server: ServerId) -> Vec<ContextId> {
-        let mut out: Vec<ContextId> = self
-            .placement
-            .read()
-            .iter()
-            .filter(|(_, s)| **s == server)
-            .map(|(c, _)| *c)
-            .collect();
-        out.sort();
-        out
+        match &self.backend {
+            Backend::Authority(auth) => {
+                let mut out: Vec<ContextId> = auth
+                    .placement
+                    .read()
+                    .iter()
+                    .filter(|(_, s)| **s == server)
+                    .map(|(c, _)| *c)
+                    .collect();
+                out.sort();
+                out
+            }
+            Backend::Remote(_) => Vec::new(),
+        }
     }
 
-    /// Number of contexts known to the directory.
+    /// Number of contexts known to the directory (0 on remote handles).
     pub fn context_count(&self) -> usize {
-        self.placement.read().len()
+        match &self.backend {
+            Backend::Authority(auth) => auth.placement.read().len(),
+            Backend::Remote(_) => 0,
+        }
     }
 
     // -- ownership network --------------------------------------------------
 
-    /// A snapshot of the ownership graph.
+    /// A snapshot of the ownership graph (empty on remote handles).
     pub fn graph_snapshot(&self) -> OwnershipGraph {
-        self.graph.read().clone()
+        match &self.backend {
+            Backend::Authority(auth) => auth.graph.read().clone(),
+            Backend::Remote(_) => OwnershipGraph::new(),
+        }
     }
 
     /// Declares a new context of class `class`.
@@ -188,14 +394,15 @@ impl Directory {
     ///   declare `class`.
     /// * Propagates graph errors (duplicate id).
     pub fn add_context(&self, id: ContextId, class: &str) -> Result<()> {
-        if let Some(classes) = &self.class_graph {
+        let auth = self.authority()?;
+        if let Some(classes) = &auth.class_graph {
             if !classes.contains(class) {
                 return Err(AeonError::Config(format!(
                     "contextclass {class} is not declared in the class graph"
                 )));
             }
         }
-        self.graph.write().add_context(id, class)
+        auth.graph.write().add_context(id, class)
     }
 
     /// Removes a context from the graph and the placement map.
@@ -204,9 +411,63 @@ impl Directory {
     ///
     /// Returns [`AeonError::ContextNotFound`] when the context is unknown.
     pub fn remove_context(&self, id: ContextId) -> Result<()> {
-        self.graph.write().remove_context(id)?;
-        self.placement.write().remove(&id);
+        let auth = self.authority()?;
+        auth.graph.write().remove_context(id)?;
+        auth.placement.write().remove(&id);
         Ok(())
+    }
+
+    /// Atomically validates class constraints, allocates an id, declares
+    /// the context, and links it under `owner` — the control-plane half of
+    /// creating an owned child.  The caller installs the object and records
+    /// placement afterwards, preserving install-before-placement ordering.
+    ///
+    /// # Errors
+    ///
+    /// * [`AeonError::OwnershipViolation`] when the class constraints
+    ///   forbid `owner`'s class from owning `class` (the callee id in the
+    ///   error is a placeholder — the child was never created).
+    /// * Propagates graph errors; on edge failure the context is removed
+    ///   again so no orphan is left behind.
+    pub fn create_owned(&self, owner: ContextId, class: &str) -> Result<ContextId> {
+        match &self.backend {
+            Backend::Authority(auth) => {
+                if let Some(classes) = &auth.class_graph {
+                    let owner_class = auth.graph.read().class_of(owner)?.to_string();
+                    if !classes.allows(&owner_class, class) {
+                        return Err(AeonError::OwnershipViolation {
+                            caller: owner,
+                            callee: ContextId::new(u64::MAX),
+                        });
+                    }
+                }
+                // Skip ids already taken by manually registered contexts
+                // (e.g. roots added through `add_context` with caller-chosen
+                // ids) rather than failing the allocation.
+                let id = loop {
+                    let candidate = self.next_context_id();
+                    if auth.graph.read().class_of(candidate).is_err() {
+                        break candidate;
+                    }
+                };
+                self.add_context(id, class)?;
+                if let Err(err) = self.add_edge(owner, id) {
+                    let _ = self.remove_context(id);
+                    return Err(err);
+                }
+                Ok(id)
+            }
+            Backend::Remote(remote) => {
+                let op = DirOp::CreateOwned {
+                    owner,
+                    class: class.to_string(),
+                };
+                match self.rpc(remote, op)? {
+                    DirReply::Context(id) => Ok(id),
+                    other => Err(reply_mismatch("CreateOwned", &other)),
+                }
+            }
+        }
     }
 
     /// Adds an ownership edge after validating the class constraints.
@@ -217,18 +478,26 @@ impl Directory {
     ///   the pair.
     /// * [`AeonError::CycleDetected`] when the edge would create a cycle.
     pub fn add_edge(&self, owner: ContextId, owned: ContextId) -> Result<()> {
-        if let Some(classes) = &self.class_graph {
-            let graph = self.graph.read();
-            let owner_class = graph.class_of(owner)?.to_string();
-            let owned_class = graph.class_of(owned)?.to_string();
-            if !classes.allows(&owner_class, &owned_class) {
-                return Err(AeonError::OwnershipViolation {
-                    caller: owner,
-                    callee: owned,
-                });
+        match &self.backend {
+            Backend::Authority(auth) => {
+                if let Some(classes) = &auth.class_graph {
+                    let graph = auth.graph.read();
+                    let owner_class = graph.class_of(owner)?.to_string();
+                    let owned_class = graph.class_of(owned)?.to_string();
+                    if !classes.allows(&owner_class, &owned_class) {
+                        return Err(AeonError::OwnershipViolation {
+                            caller: owner,
+                            callee: owned,
+                        });
+                    }
+                }
+                auth.graph.write().add_edge(owner, owned)
             }
+            Backend::Remote(remote) => match self.rpc(remote, DirOp::AddEdge(owner, owned))? {
+                DirReply::Unit => Ok(()),
+                other => Err(reply_mismatch("AddEdge", &other)),
+            },
         }
-        self.graph.write().add_edge(owner, owned)
     }
 
     /// Removes an ownership edge.
@@ -238,22 +507,36 @@ impl Directory {
     /// Returns [`AeonError::ContextNotFound`] when either endpoint is
     /// unknown.
     pub fn remove_edge(&self, owner: ContextId, owned: ContextId) -> Result<()> {
-        self.graph.write().remove_edge(owner, owned)
+        match &self.backend {
+            Backend::Authority(auth) => auth.graph.write().remove_edge(owner, owned),
+            Backend::Remote(remote) => match self.rpc(remote, DirOp::RemoveEdge(owner, owned))? {
+                DirReply::Unit => Ok(()),
+                other => Err(reply_mismatch("RemoveEdge", &other)),
+            },
+        }
     }
 
-    /// The dominator of `target`.
+    /// The dominator of `target` (authority only — sequencing decisions are
+    /// made at the gateway).
     ///
     /// # Errors
     ///
     /// Returns [`AeonError::ContextNotFound`] for unknown targets.
     pub fn dominator_of(&self, target: ContextId) -> Result<Dominator> {
-        let graph = self.graph.read();
-        self.resolver.dominator(&graph, target)
+        let auth = self.authority()?;
+        let graph = auth.graph.read();
+        auth.resolver.dominator(&graph, target)
     }
 
     /// Whether `caller` may (transitively) call `callee`.
     pub fn may_call(&self, caller: ContextId, callee: ContextId) -> bool {
-        self.graph.read().may_call(caller, callee)
+        match &self.backend {
+            Backend::Authority(auth) => auth.graph.read().may_call(caller, callee),
+            Backend::Remote(remote) => matches!(
+                self.rpc(remote, DirOp::MayCall(caller, callee)),
+                Ok(DirReply::Flag(true))
+            ),
+        }
     }
 
     /// The class of a context.
@@ -262,7 +545,13 @@ impl Directory {
     ///
     /// Returns [`AeonError::ContextNotFound`] for unknown contexts.
     pub fn class_of(&self, context: ContextId) -> Result<String> {
-        Ok(self.graph.read().class_of(context)?.to_string())
+        match &self.backend {
+            Backend::Authority(auth) => Ok(auth.graph.read().class_of(context)?.to_string()),
+            Backend::Remote(remote) => match self.rpc(remote, DirOp::ClassOf(context))? {
+                DirReply::Class(class) => Ok(class),
+                other => Err(reply_mismatch("ClassOf", &other)),
+            },
+        }
     }
 
     /// Direct children of `parent`, optionally filtered by class.
@@ -271,26 +560,45 @@ impl Directory {
     ///
     /// Returns [`AeonError::ContextNotFound`] when `parent` is unknown.
     pub fn children_of(&self, parent: ContextId, class: Option<&str>) -> Result<Vec<ContextId>> {
-        let graph = self.graph.read();
-        let children = graph.children(parent)?;
-        let mut out = Vec::with_capacity(children.len());
-        for &c in children {
-            if class.is_none_or(|cls| graph.class_of(c).map(|k| k == cls).unwrap_or(false)) {
-                out.push(c);
+        match &self.backend {
+            Backend::Authority(auth) => {
+                let graph = auth.graph.read();
+                let children = graph.children(parent)?;
+                let mut out = Vec::with_capacity(children.len());
+                for &c in children {
+                    if class.is_none_or(|cls| graph.class_of(c).map(|k| k == cls).unwrap_or(false))
+                    {
+                        out.push(c);
+                    }
+                }
+                Ok(out)
+            }
+            Backend::Remote(remote) => {
+                let op = DirOp::ChildrenOf {
+                    parent,
+                    class: class.map(str::to_string),
+                };
+                match self.rpc(remote, op)? {
+                    DirReply::Contexts(ids) => Ok(ids),
+                    other => Err(reply_mismatch("ChildrenOf", &other)),
+                }
             }
         }
-        Ok(out)
     }
 
-    /// The class-constraint graph, when one was installed.
+    /// The class-constraint graph, when one was installed (`None` on remote
+    /// handles — constraints are enforced at the authority).
     pub fn class_graph(&self) -> Option<&ClassGraph> {
-        self.class_graph.as_ref()
+        match &self.backend {
+            Backend::Authority(auth) => auth.class_graph.as_ref(),
+            Backend::Remote(_) => None,
+        }
     }
 
     // -- factories ----------------------------------------------------------
 
     /// Registers the factory used to rebuild contexts of `class` from their
-    /// serialised state (migration and recovery).
+    /// serialised state (migration, recovery, and cross-process hosting).
     pub fn register_factory(&self, class: impl Into<String>, factory: ContextFactory) {
         self.factories.write().insert(class.into(), factory);
     }
@@ -299,6 +607,12 @@ impl Directory {
     pub fn factory_for(&self, class: &str) -> Option<ContextFactory> {
         self.factories.read().get(class).cloned()
     }
+}
+
+fn reply_mismatch(op: &str, got: &DirReply) -> AeonError {
+    AeonError::Internal(format!(
+        "directory {op} rpc returned mismatched reply {got:?}"
+    ))
 }
 
 #[cfg(test)]
@@ -406,5 +720,75 @@ mod tests {
             dir.placement_of(cx(1)),
             Err(AeonError::ContextNotFound(_))
         ));
+    }
+
+    #[test]
+    fn escrow_moves_objects_by_token() {
+        let dir = Directory::new(DominatorMode::default(), None);
+        let token = dir.escrow_put(Box::new(KvContext::new("Item")));
+        assert!(dir.escrow_take(token + 1).is_none());
+        let object = dir.escrow_take(token).expect("escrowed object");
+        assert_eq!(object.class_name(), "Item");
+        assert!(dir.escrow_take(token).is_none(), "take is one-shot");
+    }
+
+    #[test]
+    fn create_owned_allocates_links_and_rolls_back() {
+        let mut classes = ClassGraph::new();
+        classes.add_constraint("Room", "Item");
+        let dir = Directory::new(DominatorMode::default(), Some(classes));
+        dir.add_context(cx(1), "Room").unwrap();
+        let child = dir.create_owned(cx(1), "Item").unwrap();
+        assert_eq!(dir.class_of(child).unwrap(), "Item");
+        assert_eq!(dir.children_of(cx(1), Some("Item")).unwrap(), vec![child]);
+        // Constraint violation surfaces before any context is created.
+        let count = dir.graph_snapshot().len();
+        assert!(matches!(
+            dir.create_owned(child, "Room"),
+            Err(AeonError::OwnershipViolation { .. })
+        ));
+        assert_eq!(dir.graph_snapshot().len(), count);
+    }
+
+    #[test]
+    fn serve_dir_op_answers_control_plane_queries() {
+        let dir = Directory::new(DominatorMode::default(), None);
+        dir.add_context(cx(1), "Room").unwrap();
+        dir.register_server(srv(0));
+        assert_eq!(
+            dir.serve_dir_op(DirOp::SetPlacement(cx(1), srv(0)))
+                .unwrap(),
+            DirReply::Unit
+        );
+        assert_eq!(
+            dir.serve_dir_op(DirOp::PlacementOf(cx(1))).unwrap(),
+            DirReply::Server(srv(0))
+        );
+        assert_eq!(
+            dir.serve_dir_op(DirOp::ClassOf(cx(1))).unwrap(),
+            DirReply::Class("Room".into())
+        );
+        let created = dir
+            .serve_dir_op(DirOp::CreateOwned {
+                owner: cx(1),
+                class: "Item".into(),
+            })
+            .unwrap();
+        let DirReply::Context(child) = created else {
+            panic!("expected Context reply, got {created:?}");
+        };
+        assert_eq!(
+            dir.serve_dir_op(DirOp::MayCall(cx(1), child)).unwrap(),
+            DirReply::Flag(true)
+        );
+        assert_eq!(
+            dir.serve_dir_op(DirOp::ChildrenOf {
+                parent: cx(1),
+                class: None
+            })
+            .unwrap(),
+            DirReply::Contexts(vec![child])
+        );
+        assert!(dir.serve_dir_op(DirOp::RemoveEdge(cx(1), child)).is_ok());
     }
 }

@@ -54,7 +54,13 @@ mod cluster;
 mod directory;
 mod message;
 mod node;
+mod remote;
+mod wire;
 
-pub use cluster::{Cluster, ClusterBuilder, ClusterClient, ClusterEventHandle};
+pub use cluster::{Cluster, ClusterBuilder, ClusterClient, ClusterEventHandle, ClusterTransport};
 pub use directory::Directory;
-pub use message::{gateway_id, virtual_root, ClusterMessage, EventDescriptor, NodeMetrics};
+pub use message::{
+    gateway_id, virtual_root, ClusterMessage, DirOp, DirReply, EventDescriptor, FreezeMember,
+    NodeMetrics,
+};
+pub use remote::{run_node, NodeProcessConfig};

@@ -1,13 +1,15 @@
 //! Wire messages exchanged between the gateway and the server nodes.
 //!
-//! The cluster runs on the in-process message-passing substrate of
-//! `aeon-net`; every protocol step of §4 (sequencing at the dominator,
-//! execution at the target, remote method calls, lock release) and §5 (the
-//! five-step migration protocol) is a message here, so the distributed
-//! deployment exercises the same message flow as the paper's prototype —
-//! minus real sockets.
+//! The cluster runs on the pluggable transport substrate of `aeon-net`;
+//! every protocol step of §4 (sequencing at the dominator, execution at the
+//! target, remote method calls, lock release) and §5 (the five-step
+//! migration protocol) is a message here, so the distributed deployment
+//! exercises the same message flow as the paper's prototype.  Every variant
+//! has a byte representation (see `crate::wire`), so the same protocol runs
+//! unchanged over in-process channels and over TCP between real OS
+//! processes.
 
-use aeon_runtime::{ContextObject, SubEvent};
+use aeon_runtime::SubEvent;
 use aeon_types::{AccessMode, Args, ClientId, ContextId, EventId, Result, ServerId, Value};
 use std::fmt;
 
@@ -88,6 +90,63 @@ impl FreezeMember {
     }
 }
 
+/// A control-plane (directory) operation a node asks the gateway to
+/// perform on its behalf, shipped in a [`ClusterMessage::DirReq`].
+///
+/// When gateway and node share one process the node's `Directory` handle
+/// answers these directly; across processes they become a synchronous RPC
+/// to the authority — the paper's "query the eManager / read the mapping
+/// from cloud storage" (§5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirOp {
+    /// Which server hosts this context?
+    PlacementOf(ContextId),
+    /// Record (or update) a context's placement.
+    SetPlacement(ContextId, ServerId),
+    /// May `caller` (transitively) call `callee`?
+    MayCall(ContextId, ContextId),
+    /// The contextclass of a context.
+    ClassOf(ContextId),
+    /// Direct children of `parent`, optionally filtered by class.
+    ChildrenOf {
+        /// The parent context.
+        parent: ContextId,
+        /// Optional class filter.
+        class: Option<String>,
+    },
+    /// Add an ownership edge (class constraints are checked at the
+    /// authority).
+    AddEdge(ContextId, ContextId),
+    /// Remove an ownership edge.
+    RemoveEdge(ContextId, ContextId),
+    /// Atomically validate class constraints, allocate an id, declare the
+    /// context, and add the `owner → child` edge (the control-plane half
+    /// of `create_child`; the caller installs state and placement after).
+    CreateOwned {
+        /// The owning context.
+        owner: ContextId,
+        /// Class of the new child.
+        class: String,
+    },
+}
+
+/// The payload of a successful [`ClusterMessage::DirAck`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirReply {
+    /// Nothing to report.
+    Unit,
+    /// A boolean answer ([`DirOp::MayCall`]).
+    Flag(bool),
+    /// A server id ([`DirOp::PlacementOf`]).
+    Server(ServerId),
+    /// A context id ([`DirOp::CreateOwned`]).
+    Context(ContextId),
+    /// A list of context ids ([`DirOp::ChildrenOf`]).
+    Contexts(Vec<ContextId>),
+    /// A class name ([`DirOp::ClassOf`]).
+    Class(String),
+}
+
 /// A message of the cluster protocol.
 pub enum ClusterMessage {
     /// Gateway → server: host a newly created context.
@@ -98,16 +157,41 @@ pub enum ClusterMessage {
         context: ContextId,
         /// Contextclass name.
         class: String,
-        /// The application object (moved, not serialised — creation happens
-        /// before any state exists worth serialising).
-        object: Box<dyn ContextObject>,
+        /// Snapshot of the object's initial state; a node in another
+        /// process rebuilds the object from it with the class factory.
+        state: Value,
+        /// Escrow token: when gateway and node share a process, the
+        /// original object is parked in the directory's escrow under this
+        /// token and moved (not rebuilt), preserving the zero-serialisation
+        /// channel semantics — and letting factory-less tests keep working.
+        escrow: u64,
     },
-    /// Server → gateway: the context is installed.
+    /// Server → gateway: the context is installed (or hosting failed, e.g.
+    /// no factory is registered for the class on that node's process).
     HostAck {
         /// Correlation token.
         corr: u64,
         /// The hosted context.
         context: ContextId,
+        /// Success, or why the node could not host the context.
+        result: Result<()>,
+    },
+    /// Node → gateway: perform a control-plane operation (placement
+    /// lookup, ownership edit, child creation) at the directory authority.
+    DirReq {
+        /// Correlation token echoed in [`ClusterMessage::DirAck`].
+        corr: u64,
+        /// The requesting node (where the ack is sent).
+        from: ServerId,
+        /// The operation.
+        op: DirOp,
+    },
+    /// Gateway → node: the outcome of a [`ClusterMessage::DirReq`].
+    DirAck {
+        /// Correlation token.
+        corr: u64,
+        /// The operation's reply, or its error.
+        reply: Result<DirReply>,
     },
     /// Gateway → dominator server: sequence the event at `sequencer` before
     /// execution (Algorithm 2's `ACT`).
@@ -315,7 +399,15 @@ impl fmt::Debug for ClusterMessage {
             ClusterMessage::Host { context, class, .. } => {
                 write!(f, "Host({context}, {class})")
             }
-            ClusterMessage::HostAck { context, .. } => write!(f, "HostAck({context})"),
+            ClusterMessage::HostAck {
+                context, result, ..
+            } => {
+                write!(f, "HostAck({context}, ok={})", result.is_ok())
+            }
+            ClusterMessage::DirReq { from, op, .. } => write!(f, "DirReq(from={from}, {op:?})"),
+            ClusterMessage::DirAck { corr, reply } => {
+                write!(f, "DirAck(corr={corr}, ok={})", reply.is_ok())
+            }
             ClusterMessage::Act { event, sequencer } => {
                 write!(f, "Act(event={}, sequencer={sequencer})", event.id)
             }

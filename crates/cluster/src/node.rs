@@ -304,10 +304,34 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
             corr,
             context,
             class,
-            object,
+            state,
+            escrow,
         } => {
-            shared.install(context, class, object);
-            shared.send(gateway_id(), ClusterMessage::HostAck { corr, context });
+            // Same-process hand-off: the original object was parked in the
+            // directory's escrow and is moved in without serialisation.
+            // Across processes the token misses and the object is rebuilt
+            // from its snapshotted state with the class factory.
+            let object = match shared.directory.escrow_take(escrow) {
+                Some(object) => Ok(object),
+                None => match shared.directory.factory_for(&class) {
+                    Some(factory) => Ok(factory(&state)),
+                    None => Err(AeonError::Config(format!(
+                        "no factory registered for contextclass {class} on this node"
+                    ))),
+                },
+            };
+            let result = object.map(|object| shared.install(context, class, object));
+            shared.send(
+                gateway_id(),
+                ClusterMessage::HostAck {
+                    corr,
+                    context,
+                    result,
+                },
+            );
+        }
+        ClusterMessage::DirAck { corr, reply } => {
+            shared.directory.complete_dir_reply(corr, reply);
         }
         ClusterMessage::Act { event, sequencer } => {
             if sequencer != virtual_root()
@@ -495,6 +519,7 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
         }
         // Gateway-only messages are ignored by nodes.
         ClusterMessage::HostAck { .. }
+        | ClusterMessage::DirReq { .. }
         | ClusterMessage::PrepareAck { .. }
         | ClusterMessage::StopAck { .. }
         | ClusterMessage::InstallAck { .. }
@@ -1117,20 +1142,13 @@ impl InvocationHost for RemoteExecution {
         object: Box<dyn ContextObject>,
     ) -> Result<ContextId> {
         let class = object.class_name().to_string();
-        if let Some(classes) = self.node.directory.class_graph() {
-            let owner_class = self.node.directory.class_of(owner)?;
-            if !classes.allows(&owner_class, &class) {
-                return Err(AeonError::OwnershipViolation {
-                    caller: owner,
-                    callee: ContextId::new(u64::MAX),
-                });
-            }
-        }
-        let id = self.node.directory.next_context_id();
-        self.node.directory.add_context(id, &class)?;
-        self.node.directory.add_edge(owner, id)?;
+        // Control-plane half (class validation, id allocation, context and
+        // edge declaration) runs at the directory authority — one RPC when
+        // this node is a separate OS process.
+        let id = self.node.directory.create_owned(owner, &class)?;
         // Locality: the child is hosted next to the (local) context that
-        // created it, exactly like the in-process runtime.
+        // created it, exactly like the in-process runtime; placement is
+        // published only after the state is installed.
         self.node.install(id, class, object);
         self.node.directory.set_placement(id, self.node.id);
         Ok(id)

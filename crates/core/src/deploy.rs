@@ -19,7 +19,7 @@
 //! `EManager::new` takes exactly that).
 
 use aeon_api::Deployment;
-use aeon_cluster::Cluster;
+use aeon_cluster::{Cluster, ClusterTransport};
 use aeon_ownership::ClassGraph;
 use aeon_runtime::AeonRuntime;
 use aeon_sim::SimDeployment;
@@ -92,6 +92,11 @@ pub struct DeployConfig {
     /// Optional contextclass constraint graph, statically analysed at
     /// build time on every backend.
     pub class_graph: Option<ClassGraph>,
+    /// Message transport used by [`Backend::Cluster`]: in-process channels
+    /// (the default), TCP sockets on loopback, or a TCP mesh of external
+    /// `aeon-node` processes.  Ignored by the runtime and the simulator,
+    /// which have no wire.
+    pub transport: ClusterTransport,
 }
 
 impl Default for DeployConfig {
@@ -102,6 +107,7 @@ impl Default for DeployConfig {
             worker_threads: None,
             max_spill_workers: None,
             class_graph: None,
+            transport: ClusterTransport::default(),
         }
     }
 }
@@ -158,6 +164,14 @@ impl DeployConfig {
         self.class_graph = Some(classes);
         self
     }
+
+    /// Selects the cluster message transport (ignored by the runtime and
+    /// the simulator).
+    #[must_use]
+    pub fn transport(mut self, transport: ClusterTransport) -> Self {
+        self.transport = transport;
+        self
+    }
 }
 
 /// Builds the deployment selected by `config` and returns it behind the
@@ -207,7 +221,9 @@ pub fn deploy(config: DeployConfig) -> Result<Box<dyn Deployment>> {
             Ok(Box::new(builder.build()?))
         }
         Backend::Cluster => {
-            let mut builder = Cluster::builder().servers(config.servers);
+            let mut builder = Cluster::builder()
+                .servers(config.servers)
+                .transport(config.transport);
             if let Some(threads) = config.worker_threads {
                 builder = builder.worker_threads(threads);
             }
@@ -295,6 +311,26 @@ mod tests {
                 Err(AeonError::Config(_))
             ));
         }
+    }
+
+    #[test]
+    fn cluster_deploys_over_tcp_loopback() {
+        let deployment = deploy(
+            DeployConfig::cluster()
+                .servers(2)
+                .transport(ClusterTransport::TcpLoopback),
+        )
+        .unwrap();
+        let ctx = deployment
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        let session = deployment.session();
+        session.call(ctx, "incr", args!["n", 3]).unwrap();
+        assert_eq!(
+            session.call_readonly(ctx, "get", args!["n"]).unwrap(),
+            Value::from(3i64)
+        );
+        deployment.shutdown();
     }
 
     #[test]

@@ -117,7 +117,7 @@ pub mod prelude {
     pub use crate::deploy::{deploy, deploy_shared, Backend, DeployConfig};
     pub use aeon_api::{Deployment, EventHandle, Session};
     pub use aeon_checker::{check_strict_serializability, History, HistoryRecorder};
-    pub use aeon_cluster::{Cluster, ClusterClient};
+    pub use aeon_cluster::{Cluster, ClusterClient, ClusterTransport, NodeProcessConfig};
     pub use aeon_emanager::{
         EManager, ElasticityAction, ElasticityPolicy, ResourceUtilizationPolicy,
         ServerContentionPolicy, ServerMetrics, SlaPolicy,

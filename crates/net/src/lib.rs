@@ -1,11 +1,26 @@
 //! Networking substrate of the AEON reproduction.
 //!
 //! The paper's prototype runs on Mace (a C++ networking / event framework).
-//! Here the substrate is an in-process message-passing layer built on
-//! crossbeam channels: each simulated *server* registers an [`Endpoint`]
-//! with the [`Network`] and exchanges typed messages with other servers.
-//! The layer supports fault injection (dropping links) and collects traffic
-//! statistics, which the benchmark harness uses to report message counts.
+//! Here the substrate is a small layered stack:
+//!
+//! * [`Transport`] — how typed messages physically move between servers.
+//!   Two implementations ship with the crate: [`ChannelTransport`] (the
+//!   original in-process crossbeam-channel delivery used by the concurrent
+//!   runtime and all single-process clusters) and [`TcpTransport`]
+//!   (length-prefixed frames over `std::net` sockets with per-peer writer
+//!   threads and reconnect-on-send, used when a cluster runs as N real OS
+//!   processes via the `aeon-node` binary).
+//! * [`Network`] — the façade every component talks to.  It layers fault
+//!   injection (administratively severed links) and [`NetworkStats`]
+//!   (message and byte counters) on top of whichever transport it wraps,
+//!   so the semantics above the wire are identical for channels and
+//!   sockets.
+//! * [`Endpoint`] — a server's attachment point: `send`, blocking /
+//!   timed / non-blocking receive.
+//!
+//! Messages that cross a byte-oriented transport implement [`WireMessage`]
+//! (`aeon-cluster` provides the implementation for its message enum on top
+//! of `aeon_types::codec`).
 //!
 //! Latency is *not* simulated here (the concurrent runtime is about
 //! correctness and real parallelism); the discrete-event simulator in
@@ -13,6 +28,8 @@
 //! this crate.
 //!
 //! # Examples
+//!
+//! In-process network (the default transport):
 //!
 //! ```
 //! use aeon_net::Network;
@@ -27,38 +44,44 @@
 
 pub mod latency;
 pub mod stats;
+pub mod transport;
 
 pub use latency::LatencyModel;
 pub use stats::NetworkStats;
+pub use transport::{
+    ChannelTransport, MessageSizer, SendReceipt, TcpTransport, TcpTransportConfig, Transport,
+    WireMessage,
+};
 
 use aeon_types::{AeonError, Result, ServerId};
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{self, Receiver, TryRecvError};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Shared state of the in-process network.
+/// Shared state of a network: the transport plus the fault-injection and
+/// statistics layers common to every transport.
 #[derive(Debug)]
-struct Shared<M> {
-    /// Delivery channels per registered server.
-    inboxes: RwLock<HashMap<ServerId, Sender<M>>>,
+struct Shared<M: Send + 'static> {
+    transport: Arc<dyn Transport<M>>,
     /// Links administratively taken down (fault injection); messages from
     /// `from` to `to` are silently dropped when `(from, to)` is present.
     severed: RwLock<std::collections::HashSet<(ServerId, ServerId)>>,
-    stats: NetworkStats,
+    stats: Arc<NetworkStats>,
 }
 
-/// An in-process, channel-based network connecting simulated servers.
+/// A network connecting (possibly simulated) servers over a pluggable
+/// [`Transport`].
 ///
-/// Cloning the network is cheap: all clones share the same routing table and
-/// statistics.
+/// Cloning the network is cheap: all clones share the same transport,
+/// fault-injection table, and statistics.
 #[derive(Debug)]
-pub struct Network<M> {
+pub struct Network<M: Send + 'static> {
     shared: Arc<Shared<M>>,
 }
 
-impl<M> Clone for Network<M> {
+impl<M: Send + 'static> Clone for Network<M> {
     fn clone(&self) -> Self {
         Self {
             shared: Arc::clone(&self.shared),
@@ -73,13 +96,30 @@ impl<M: Send + 'static> Default for Network<M> {
 }
 
 impl<M: Send + 'static> Network<M> {
-    /// Creates an empty network with no registered servers.
+    /// Creates an empty in-process network (a [`ChannelTransport`] with no
+    /// registered servers and no byte accounting).
     pub fn new() -> Self {
+        Self::with_transport(Arc::new(ChannelTransport::new()))
+    }
+
+    /// Creates a network over an arbitrary transport with fresh statistics.
+    pub fn with_transport(transport: Arc<dyn Transport<M>>) -> Self {
+        Self::with_transport_and_stats(transport, Arc::new(NetworkStats::default()))
+    }
+
+    /// Creates a network over `transport` that accumulates into an existing
+    /// stats object — lets several per-process networks (e.g. a loopback
+    /// TCP cluster with one transport per node) report as one fabric.
+    pub fn with_transport_and_stats(
+        transport: Arc<dyn Transport<M>>,
+        stats: Arc<NetworkStats>,
+    ) -> Self {
+        transport.bind_stats(Arc::clone(&stats));
         Self {
             shared: Arc::new(Shared {
-                inboxes: RwLock::new(HashMap::new()),
+                transport,
                 severed: RwLock::new(std::collections::HashSet::new()),
-                stats: NetworkStats::default(),
+                stats,
             }),
         }
     }
@@ -87,8 +127,7 @@ impl<M: Send + 'static> Network<M> {
     /// Registers a server and returns its endpoint.  Re-registering an id
     /// replaces the previous inbox (used when a crashed server restarts).
     pub fn register(&self, id: ServerId) -> Endpoint<M> {
-        let (tx, rx) = channel::unbounded();
-        self.shared.inboxes.write().insert(id, tx);
+        let rx = self.shared.transport.register(id);
         Endpoint {
             id,
             network: self.clone(),
@@ -97,16 +136,20 @@ impl<M: Send + 'static> Network<M> {
     }
 
     /// Removes a server from the routing table; subsequent sends to it fail
-    /// with [`AeonError::ServerNotFound`].
+    /// with [`AeonError::ServerNotFound`].  Any severed-link entries that
+    /// mention the server are cleaned up too, so a later re-registration
+    /// (a restarted server) does not inherit stale fault injection.
     pub fn deregister(&self, id: ServerId) {
-        self.shared.inboxes.write().remove(&id);
+        self.shared.transport.deregister(id);
+        self.shared
+            .severed
+            .write()
+            .retain(|(from, to)| *from != id && *to != id);
     }
 
-    /// Returns the ids of all currently registered servers.
+    /// Returns the ids of all currently reachable servers.
     pub fn servers(&self) -> Vec<ServerId> {
-        let mut ids: Vec<ServerId> = self.shared.inboxes.read().keys().copied().collect();
-        ids.sort();
-        ids
+        self.shared.transport.servers()
     }
 
     /// Sends `message` from `from` to `to`.
@@ -121,11 +164,11 @@ impl<M: Send + 'static> Network<M> {
             self.shared.stats.record_dropped();
             return Ok(());
         }
-        let inboxes = self.shared.inboxes.read();
-        let tx = inboxes.get(&to).ok_or(AeonError::ServerNotFound(to))?;
-        tx.send(message)
-            .map_err(|_| AeonError::ServerNotFound(to))?;
-        self.shared.stats.record_sent(from == to);
+        let receipt = self.shared.transport.send(from, to, message)?;
+        self.shared.stats.record_sent(from == to, receipt.bytes);
+        if receipt.delivered_locally {
+            self.shared.stats.record_received(receipt.bytes);
+        }
         Ok(())
     }
 
@@ -144,11 +187,34 @@ impl<M: Send + 'static> Network<M> {
     pub fn stats(&self) -> &NetworkStats {
         &self.shared.stats
     }
+
+    /// A shareable handle to the statistics (see
+    /// [`Network::with_transport_and_stats`]).
+    pub fn stats_handle(&self) -> Arc<NetworkStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Teaches a socket transport about a (new) remote peer; a no-op on
+    /// in-process transports.
+    pub fn add_peer(&self, id: ServerId, addr: SocketAddr) {
+        self.shared.transport.add_peer(id, addr);
+    }
+
+    /// The local socket address the transport listens on, when it has one.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.shared.transport.local_addr()
+    }
+
+    /// Asks the transport's background threads to wind down (no-op for
+    /// in-process transports).
+    pub fn shutdown_transport(&self) {
+        self.shared.transport.shutdown();
+    }
 }
 
 /// A server's attachment point to the [`Network`].
 #[derive(Debug)]
-pub struct Endpoint<M> {
+pub struct Endpoint<M: Send + 'static> {
     id: ServerId,
     network: Network<M>,
     rx: Receiver<M>,
@@ -271,6 +337,27 @@ mod tests {
     }
 
     #[test]
+    fn deregister_clears_stale_severed_links() {
+        // Regression test: a restarted (re-registered) server id must not
+        // inherit fault injection that targeted its previous incarnation.
+        let net: Network<u32> = Network::new();
+        let a = net.register(srv(0));
+        let _b = net.register(srv(1));
+        net.sever_link(srv(0), srv(1));
+        net.sever_link(srv(1), srv(0));
+        net.sever_link(srv(0), srv(2));
+        net.deregister(srv(1));
+        let b = net.register(srv(1));
+        a.send(srv(1), 5).unwrap();
+        assert_eq!(b.recv().unwrap(), 5);
+        b.send(srv(0), 6).unwrap();
+        assert_eq!(a.recv().unwrap(), 6);
+        assert_eq!(net.stats().dropped_messages(), 0);
+        // Links not involving the deregistered id are untouched.
+        assert!(net.shared.severed.read().contains(&(srv(0), srv(2))));
+    }
+
+    #[test]
     fn recv_timeout_returns_none_when_idle() {
         let net: Network<u32> = Network::new();
         let a = net.register(srv(0));
@@ -299,5 +386,129 @@ mod tests {
         }
         assert_eq!(received.len(), 400);
         assert_eq!(net.stats().remote_messages(), 400);
+    }
+
+    #[test]
+    fn channel_sizer_feeds_byte_counters() {
+        let transport: Arc<dyn Transport<Vec<u8>>> =
+            Arc::new(ChannelTransport::with_sizer(Arc::new(|m: &Vec<u8>| {
+                m.len() as u64
+            })));
+        let net = Network::with_transport(transport);
+        let a = net.register(srv(0));
+        let b = net.register(srv(1));
+        a.send(srv(1), vec![0u8; 10]).unwrap();
+        a.send(srv(1), vec![0u8; 32]).unwrap();
+        assert_eq!(b.recv().unwrap().len(), 10);
+        assert_eq!(net.stats().bytes_sent(), 42);
+        assert_eq!(net.stats().bytes_received(), 42);
+    }
+
+    mod tcp {
+        use super::*;
+        use std::net::SocketAddr;
+
+        /// A trivial wire message for transport tests.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        struct Ping(u64, Vec<u8>);
+
+        impl WireMessage for Ping {
+            fn encode_wire(&self) -> Result<Vec<u8>> {
+                let mut out = self.0.to_be_bytes().to_vec();
+                out.extend_from_slice(&self.1);
+                Ok(out)
+            }
+
+            fn decode_wire(bytes: &[u8]) -> Result<Self> {
+                if bytes.len() < 8 {
+                    return Err(AeonError::Codec("short ping".into()));
+                }
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&bytes[..8]);
+                Ok(Ping(u64::from_be_bytes(raw), bytes[8..].to_vec()))
+            }
+        }
+
+        fn loopback() -> SocketAddr {
+            "127.0.0.1:0".parse().unwrap()
+        }
+
+        fn tcp_network() -> Network<Ping> {
+            let transport: Arc<dyn Transport<Ping>> =
+                Arc::new(TcpTransport::bind(TcpTransportConfig::new(loopback())).unwrap());
+            Network::with_transport(transport)
+        }
+
+        #[test]
+        fn frames_cross_a_real_socket() {
+            let net_a = tcp_network();
+            let net_b = tcp_network();
+            net_a.add_peer(srv(1), net_b.local_addr().unwrap());
+            net_b.add_peer(srv(0), net_a.local_addr().unwrap());
+            let a = net_a.register(srv(0));
+            let b = net_b.register(srv(1));
+
+            a.send(srv(1), Ping(7, vec![1, 2, 3])).unwrap();
+            assert_eq!(b.recv().unwrap(), Ping(7, vec![1, 2, 3]));
+            b.send(srv(0), Ping(8, Vec::new())).unwrap();
+            assert_eq!(a.recv().unwrap(), Ping(8, Vec::new()));
+
+            // Exact frame accounting: prefix(4) + from(4) + to(4) + payload.
+            assert_eq!(net_a.stats().bytes_sent(), (12 + 8 + 3) as u64);
+            assert_eq!(net_b.stats().bytes_received(), (12 + 8 + 3) as u64);
+
+            net_a.shutdown_transport();
+            net_b.shutdown_transport();
+        }
+
+        #[test]
+        fn send_before_peer_listens_retries() {
+            // Reserve an address, drop the listener, send (the writer will
+            // retry), then bring the real transport up on that address.
+            let placeholder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = placeholder.local_addr().unwrap();
+            drop(placeholder);
+
+            let net_a = tcp_network();
+            net_a.add_peer(srv(1), addr);
+            let a = net_a.register(srv(0));
+            a.send(srv(1), Ping(1, vec![9])).unwrap();
+
+            let mut config = TcpTransportConfig::new(addr);
+            config.connect_retries = 4;
+            let transport_b: Arc<dyn Transport<Ping>> =
+                Arc::new(TcpTransport::bind(config).unwrap());
+            let net_b = Network::with_transport(transport_b);
+            let b = net_b.register(srv(1));
+            assert_eq!(
+                b.recv_timeout(Duration::from_secs(15)).unwrap(),
+                Some(Ping(1, vec![9]))
+            );
+            net_a.shutdown_transport();
+            net_b.shutdown_transport();
+        }
+
+        #[test]
+        fn self_send_short_circuits_but_counts_bytes() {
+            let net = tcp_network();
+            let a = net.register(srv(0));
+            a.send(srv(0), Ping(3, vec![0; 4])).unwrap();
+            assert_eq!(a.recv().unwrap(), Ping(3, vec![0; 4]));
+            assert_eq!(net.stats().local_messages(), 1);
+            assert_eq!(net.stats().bytes_sent(), (12 + 8 + 4) as u64);
+            assert_eq!(net.stats().bytes_received(), (12 + 8 + 4) as u64);
+            net.shutdown_transport();
+        }
+
+        #[test]
+        fn unknown_peer_is_server_not_found() {
+            let net = tcp_network();
+            let a = net.register(srv(0));
+            assert!(matches!(
+                a.send(srv(9), Ping(0, Vec::new())),
+                Err(AeonError::ServerNotFound(_))
+            ));
+            net.shutdown_transport();
+        }
     }
 }

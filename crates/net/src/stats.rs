@@ -1,31 +1,47 @@
-//! Traffic statistics for the in-process network.
+//! Traffic statistics for the networking substrate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters of messages that crossed the network.
+/// Counters of messages (and bytes) that crossed the network.
 ///
 /// "Local" messages stay on the sending server (same-server delivery);
 /// "remote" messages cross server boundaries.  The distinction matters for
 /// the evaluation: one of the reasons AEON outperforms Orleans in the paper
 /// is that dominator-aware placement keeps most calls local (§6.1.1).
+///
+/// Byte counters make channel-vs-TCP comparisons honest: the TCP transport
+/// records exact on-the-wire frame sizes, while the channel transport
+/// records the *encoded* size each message would have had on the wire
+/// (zero when no message codec is configured, e.g. plain `Network<u32>`
+/// test networks).
 #[derive(Debug, Default)]
 pub struct NetworkStats {
     local: AtomicU64,
     remote: AtomicU64,
     dropped: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
 }
 
 impl NetworkStats {
-    /// Records a delivered message; `local` indicates same-server delivery.
-    pub fn record_sent(&self, local: bool) {
+    /// Records a delivered message; `local` indicates same-server delivery
+    /// and `bytes` the (encoded) size of the message on the wire.
+    pub fn record_sent(&self, local: bool, bytes: u64) {
         if local {
             self.local.fetch_add(1, Ordering::Relaxed);
         } else {
             self.remote.fetch_add(1, Ordering::Relaxed);
         }
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Records a message dropped by fault injection.
+    /// Records `bytes` arriving from the wire (TCP readers) or delivered
+    /// in-process (channel / loopback short-circuit).
+    pub fn record_received(&self, bytes: u64) {
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a message dropped by fault injection (or a torn-down link).
     pub fn record_dropped(&self) {
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
@@ -49,6 +65,16 @@ impl NetworkStats {
     pub fn total_messages(&self) -> u64 {
         self.local_messages() + self.remote_messages() + self.dropped_messages()
     }
+
+    /// Total encoded bytes handed to the transport for delivery.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total encoded bytes received from the transport.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -58,13 +84,24 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let stats = NetworkStats::default();
-        stats.record_sent(true);
-        stats.record_sent(false);
-        stats.record_sent(false);
+        stats.record_sent(true, 10);
+        stats.record_sent(false, 20);
+        stats.record_sent(false, 0);
         stats.record_dropped();
         assert_eq!(stats.local_messages(), 1);
         assert_eq!(stats.remote_messages(), 2);
         assert_eq!(stats.dropped_messages(), 1);
         assert_eq!(stats.total_messages(), 4);
+        assert_eq!(stats.bytes_sent(), 30);
+    }
+
+    #[test]
+    fn byte_counters_track_both_directions() {
+        let stats = NetworkStats::default();
+        stats.record_sent(false, 100);
+        stats.record_received(100);
+        stats.record_received(8);
+        assert_eq!(stats.bytes_sent(), 100);
+        assert_eq!(stats.bytes_received(), 108);
     }
 }

@@ -1,0 +1,399 @@
+//! A real socket transport over `std::net`.
+//!
+//! ## Wire format
+//!
+//! Every message is one length-prefixed frame:
+//!
+//! ```text
+//! [u32 frame_len][u32 from][u32 to][payload = M::encode_wire()]
+//! ```
+//!
+//! `frame_len` counts the bytes *after* the prefix (8 + payload length).
+//! All integers are big-endian.
+//!
+//! ## Threads
+//!
+//! * One **acceptor** thread per transport polls the listener and spawns a
+//!   **reader** thread per inbound connection.  Readers reassemble frames
+//!   from the byte stream, decode the payload, and deliver it to the
+//!   locally registered inbox named by `to` (frames for unknown ids are
+//!   dropped — the peer map may be ahead of local registration during
+//!   elasticity).
+//! * One **writer** thread per remote peer owns the outbound connection.
+//!   [`TcpTransport::send`] enqueues encoded frames on a bounded channel;
+//!   the writer connects lazily with bounded retry (absorbing process
+//!   start-up races), then streams frames.  On connection loss the writer
+//!   retires itself; the next send spawns a fresh writer, giving
+//!   reconnect-on-send semantics with bounded retry per attempt.
+//!
+//! Self-sends (a server messaging an id registered in the same process)
+//! short-circuit into the inbox but still pay for encoding, so byte
+//! counters remain honest.
+
+use super::{SendReceipt, Transport, WireMessage};
+use crate::stats::NetworkStats;
+use aeon_types::{AeonError, Result, ServerId};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Upper bound on a single frame; anything larger indicates a corrupt or
+/// hostile stream and kills the connection.
+const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// How often blocked reader/acceptor threads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Tuning knobs for [`TcpTransport`].
+#[derive(Debug, Clone)]
+pub struct TcpTransportConfig {
+    /// Address to listen on; use port 0 to let the OS pick (loopback
+    /// clusters discover each other via [`Transport::local_addr`]).
+    pub listen: SocketAddr,
+    /// Initial peer map (server id → address).  Peers can also be added
+    /// later with [`Transport::add_peer`].
+    pub peers: HashMap<ServerId, SocketAddr>,
+    /// Connection attempts per writer before it gives up (the *bounded*
+    /// part of reconnect-on-send).
+    pub connect_retries: u32,
+    /// Delay between connection attempts.
+    pub retry_delay: Duration,
+    /// Outbound frames buffered per peer before senders block.
+    pub send_queue: usize,
+}
+
+impl TcpTransportConfig {
+    /// A config listening on `listen` with no peers and default retry
+    /// behaviour (40 attempts × 250 ms ≈ 10 s of patience per writer).
+    pub fn new(listen: SocketAddr) -> Self {
+        Self {
+            listen,
+            peers: HashMap::new(),
+            connect_retries: 40,
+            retry_delay: Duration::from_millis(250),
+            send_queue: 1024,
+        }
+    }
+
+    /// Adds an initial peer.
+    pub fn peer(mut self, id: ServerId, addr: SocketAddr) -> Self {
+        self.peers.insert(id, addr);
+        self
+    }
+}
+
+struct TcpShared<M> {
+    local_addr: SocketAddr,
+    inboxes: RwLock<HashMap<ServerId, Sender<M>>>,
+    peers: RwLock<HashMap<ServerId, SocketAddr>>,
+    /// Outbound frame queues, one writer thread per live entry.
+    writers: Mutex<HashMap<ServerId, Sender<Vec<u8>>>>,
+    stats: RwLock<Option<Arc<NetworkStats>>>,
+    running: AtomicBool,
+    connect_retries: u32,
+    retry_delay: Duration,
+    send_queue: usize,
+}
+
+/// TCP implementation of [`Transport`]; see the module docs for the wire
+/// format and threading model.
+pub struct TcpTransport<M: WireMessage> {
+    shared: Arc<TcpShared<M>>,
+}
+
+impl<M: WireMessage> fmt::Debug for TcpTransport<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("local_addr", &self.shared.local_addr)
+            .field("peers", &self.shared.peers.read().len())
+            .finish()
+    }
+}
+
+impl<M: WireMessage> TcpTransport<M> {
+    /// Binds the listener and starts the acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeonError::Config`] when the listen address cannot be
+    /// bound.
+    pub fn bind(config: TcpTransportConfig) -> Result<Self> {
+        let listener = TcpListener::bind(config.listen)
+            .map_err(|e| AeonError::Config(format!("bind {}: {e}", config.listen)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| AeonError::Config(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| AeonError::Config(format!("set_nonblocking: {e}")))?;
+        let shared = Arc::new(TcpShared {
+            local_addr,
+            inboxes: RwLock::new(HashMap::new()),
+            peers: RwLock::new(config.peers),
+            writers: Mutex::new(HashMap::new()),
+            stats: RwLock::new(None),
+            running: AtomicBool::new(true),
+            connect_retries: config.connect_retries,
+            retry_delay: config.retry_delay,
+            send_queue: config.send_queue,
+        });
+        let accept_shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name(format!("aeon-tcp-accept-{local_addr}"))
+            .spawn(move || accept_loop(accept_shared, listener))
+            .map_err(|e| AeonError::Config(format!("spawn acceptor: {e}")))?;
+        Ok(Self { shared })
+    }
+
+    /// Encodes one message into a full frame (prefix included).
+    fn frame(from: ServerId, to: ServerId, message: &M) -> Result<Vec<u8>> {
+        let payload = message.encode_wire()?;
+        let body_len = payload.len() + 8;
+        let mut frame = Vec::with_capacity(body_len + 4);
+        frame.extend_from_slice(&(body_len as u32).to_be_bytes());
+        frame.extend_from_slice(&from.raw().to_be_bytes());
+        frame.extend_from_slice(&to.raw().to_be_bytes());
+        frame.extend_from_slice(&payload);
+        Ok(frame)
+    }
+
+    /// Hands a frame to the peer's writer, spawning one when missing or
+    /// when the previous writer retired after losing its connection.
+    fn enqueue(&self, to: ServerId, addr: SocketAddr, frame: Vec<u8>) -> Result<()> {
+        let mut frame = frame;
+        for _ in 0..2 {
+            let tx = {
+                let mut writers = self.shared.writers.lock();
+                writers
+                    .entry(to)
+                    .or_insert_with(|| spawn_writer(Arc::clone(&self.shared), to, addr))
+                    .clone()
+            };
+            match tx.send(frame) {
+                Ok(()) => return Ok(()),
+                Err(channel::SendError(f)) => {
+                    // The writer retired (connection lost / gave up);
+                    // drop the dead queue and retry with a fresh writer.
+                    frame = f;
+                    self.shared.writers.lock().remove(&to);
+                }
+            }
+        }
+        Err(AeonError::ServerNotFound(to))
+    }
+}
+
+impl<M: WireMessage> Transport<M> for TcpTransport<M> {
+    fn register(&self, id: ServerId) -> Receiver<M> {
+        let (tx, rx) = channel::unbounded();
+        self.shared.inboxes.write().insert(id, tx);
+        rx
+    }
+
+    fn deregister(&self, id: ServerId) {
+        self.shared.inboxes.write().remove(&id);
+    }
+
+    fn send(&self, from: ServerId, to: ServerId, message: M) -> Result<SendReceipt> {
+        let frame = Self::frame(from, to, &message)?;
+        let bytes = frame.len() as u64;
+        // Self-send (or loopback co-located id): deliver without a socket.
+        if let Some(tx) = self.shared.inboxes.read().get(&to) {
+            tx.send(message)
+                .map_err(|_| AeonError::ServerNotFound(to))?;
+            return Ok(SendReceipt {
+                bytes,
+                delivered_locally: true,
+            });
+        }
+        let addr = self
+            .shared
+            .peers
+            .read()
+            .get(&to)
+            .copied()
+            .ok_or(AeonError::ServerNotFound(to))?;
+        self.enqueue(to, addr, frame)?;
+        Ok(SendReceipt {
+            bytes,
+            delivered_locally: false,
+        })
+    }
+
+    fn servers(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self.shared.inboxes.read().keys().copied().collect();
+        ids.extend(self.shared.peers.read().keys().copied());
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    fn bind_stats(&self, stats: Arc<NetworkStats>) {
+        *self.shared.stats.write() = Some(stats);
+    }
+
+    fn add_peer(&self, id: ServerId, addr: SocketAddr) {
+        self.shared.peers.write().insert(id, addr);
+    }
+
+    fn local_addr(&self) -> Option<SocketAddr> {
+        Some(self.shared.local_addr)
+    }
+
+    fn shutdown(&self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        // Dropping the queues disconnects the writer threads.
+        self.shared.writers.lock().clear();
+    }
+}
+
+fn accept_loop<M: WireMessage>(shared: Arc<TcpShared<M>>, listener: TcpListener) {
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let reader_shared = Arc::clone(&shared);
+                let _ = thread::Builder::new()
+                    .name("aeon-tcp-reader".into())
+                    .spawn(move || read_loop(reader_shared, stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// Reassembles frames from one inbound connection and delivers them.
+fn read_loop<M: WireMessage>(shared: Arc<TcpShared<M>>, stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    while shared.running.load(Ordering::SeqCst) {
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if !drain_frames(&shared, &mut buf) {
+                    return; // corrupt stream
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and delivers every complete frame in `buf`; returns `false` when
+/// the stream is corrupt and the connection should be dropped.
+fn drain_frames<M: WireMessage>(shared: &TcpShared<M>, buf: &mut Vec<u8>) -> bool {
+    loop {
+        if buf.len() < 4 {
+            return true;
+        }
+        let body_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if !(8..=MAX_FRAME).contains(&body_len) {
+            return false;
+        }
+        if buf.len() < 4 + body_len {
+            return true;
+        }
+        let to = ServerId::new(u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]));
+        let payload = &buf[12..4 + body_len];
+        if let Ok(message) = M::decode_wire(payload) {
+            if let Some(stats) = shared.stats.read().as_ref() {
+                stats.record_received((4 + body_len) as u64);
+            }
+            if let Some(tx) = shared.inboxes.read().get(&to) {
+                let _ = tx.send(message);
+            }
+        }
+        buf.drain(..4 + body_len);
+    }
+}
+
+/// Spawns the writer thread for `to` and returns its frame queue.
+fn spawn_writer<M: WireMessage>(
+    shared: Arc<TcpShared<M>>,
+    to: ServerId,
+    addr: SocketAddr,
+) -> Sender<Vec<u8>> {
+    let (tx, rx) = channel::bounded::<Vec<u8>>(shared.send_queue);
+    let _ = thread::Builder::new()
+        .name(format!("aeon-tcp-writer-{to}"))
+        .spawn(move || write_loop(shared, to, addr, rx));
+    tx
+}
+
+fn write_loop<M: WireMessage>(
+    shared: Arc<TcpShared<M>>,
+    to: ServerId,
+    addr: SocketAddr,
+    rx: Receiver<Vec<u8>>,
+) {
+    let stream = connect_with_retry(&shared, addr);
+    let Some(mut stream) = stream else {
+        retire_writer(&shared, to, &rx);
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    while let Ok(frame) = rx.recv() {
+        if !shared.running.load(Ordering::SeqCst) {
+            return;
+        }
+        if stream.write_all(&frame).is_err() {
+            // One bounded reconnect attempt; on failure retire so the next
+            // send spawns a fresh writer.
+            match connect_with_retry(&shared, addr) {
+                Some(s) => {
+                    stream = s;
+                    let _ = stream.set_nodelay(true);
+                    if stream.write_all(&frame).is_err() {
+                        retire_writer(&shared, to, &rx);
+                        return;
+                    }
+                }
+                None => {
+                    retire_writer(&shared, to, &rx);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn connect_with_retry<M: WireMessage>(
+    shared: &Arc<TcpShared<M>>,
+    addr: SocketAddr,
+) -> Option<TcpStream> {
+    for attempt in 0..shared.connect_retries {
+        if !shared.running.load(Ordering::SeqCst) {
+            return None;
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Some(stream),
+            Err(_) if attempt + 1 < shared.connect_retries => thread::sleep(shared.retry_delay),
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+/// Removes this writer's queue from the routing table and counts every
+/// still-buffered frame as dropped.
+fn retire_writer<M: WireMessage>(shared: &TcpShared<M>, to: ServerId, rx: &Receiver<Vec<u8>>) {
+    shared.writers.lock().remove(&to);
+    let stats = shared.stats.read().clone();
+    while rx.try_recv().is_ok() {
+        if let Some(stats) = stats.as_ref() {
+            stats.record_dropped();
+        }
+    }
+}

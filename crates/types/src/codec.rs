@@ -71,6 +71,41 @@ pub fn decode(bytes: &[u8]) -> Result<Value> {
     Ok(value)
 }
 
+/// Computes the exact size in bytes that [`encode`] would produce, without
+/// allocating or encoding.
+///
+/// The channel transport uses this to report honest byte counters for
+/// messages that never actually cross a wire.
+///
+/// # Examples
+///
+/// ```
+/// use aeon_types::{codec, Value};
+/// let v = Value::from(vec![1i64, 2, 3]);
+/// assert_eq!(codec::encoded_len(&v), codec::encode(&v).len());
+/// ```
+pub fn encoded_len(value: &Value) -> usize {
+    1 + body_len(value)
+}
+
+/// Size of one encoded value, excluding the version byte.
+fn body_len(value: &Value) -> usize {
+    match value {
+        Value::Null | Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) | Value::ContextRef(_) => 1 + 8,
+        Value::Str(s) => 1 + 4 + s.len(),
+        Value::Bytes(b) => 1 + 4 + b.len(),
+        Value::List(items) => 1 + 4 + items.iter().map(body_len).sum::<usize>(),
+        Value::Map(map) => {
+            1 + 4
+                + map
+                    .iter()
+                    .map(|(k, v)| 4 + k.len() + body_len(v))
+                    .sum::<usize>()
+        }
+    }
+}
+
 fn encode_into(value: &Value, buf: &mut BytesMut) {
     match value {
         Value::Null => buf.put_u8(tag::NULL),
@@ -266,6 +301,60 @@ mod tests {
         assert!(decode(&bytes).is_err());
     }
 
+    #[test]
+    fn empty_containers_round_trip() {
+        roundtrip(&Value::List(Vec::new()));
+        roundtrip(&Value::Map(BTreeMap::new()));
+        roundtrip(&Value::Str(String::new()));
+        roundtrip(&Value::Bytes(Vec::new()));
+        roundtrip(&Value::map([("empty", Value::List(Vec::new()))]));
+    }
+
+    #[test]
+    fn non_utf8_byte_payloads_round_trip() {
+        // Invalid UTF-8 sequences must survive as Bytes (and must NOT be
+        // decodable as Str).
+        let payload = vec![0xff, 0xfe, 0x80, 0xc0, 0x00, 0xf5];
+        assert!(String::from_utf8(payload.clone()).is_err());
+        roundtrip(&Value::Bytes(payload.clone()));
+
+        // A Str frame whose body is not UTF-8 is rejected, not mangled.
+        let mut forged = encode(&Value::Bytes(payload)).to_vec();
+        forged[1] = tag::STR;
+        assert!(matches!(decode(&forged), Err(AeonError::Codec(_))));
+    }
+
+    #[test]
+    fn deeply_nested_values_round_trip() {
+        let mut v = Value::Int(0);
+        for depth in 0..256 {
+            v = if depth % 2 == 0 {
+                Value::List(vec![v])
+            } else {
+                Value::map([("d", v)])
+            };
+        }
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_edge_cases() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Float(f64::NAN),
+            Value::Str("ünïcode".into()),
+            Value::Bytes(vec![0xff; 17]),
+            Value::ContextRef(ContextId::new(0)),
+            Value::List(Vec::new()),
+            Value::Map(BTreeMap::new()),
+            Value::map([("k", Value::from(vec![Value::Null, Value::Bool(false)]))]),
+        ] {
+            assert_eq!(encoded_len(&v), encode(&v).len(), "value: {v:?}");
+        }
+    }
+
     fn arb_value() -> impl Strategy<Value = Value> {
         let leaf = prop_oneof![
             Just(Value::Null),
@@ -297,6 +386,11 @@ mod tests {
         #[test]
         fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn encoded_len_matches_encode(v in arb_value()) {
+            prop_assert_eq!(encoded_len(&v), encode(&v).len());
         }
     }
 }

@@ -58,6 +58,17 @@ fn on_every_backend(scenario: impl Fn(&dyn Deployment)) {
     scenario(&cluster);
     cluster.shutdown();
 
+    // The same cluster again, but with every message crossing a real TCP
+    // socket on loopback instead of an in-process channel.
+    let tcp = Cluster::builder()
+        .servers(2)
+        .transport(ClusterTransport::TcpLoopback)
+        .class_graph(game_class_graph())
+        .build()
+        .unwrap();
+    scenario(&tcp);
+    tcp.shutdown();
+
     let sim = SimDeployment::builder()
         .servers(2)
         .class_graph(game_class_graph())
@@ -482,6 +493,15 @@ mod snapshot_freeze {
             .unwrap();
         scenario(Arc::new(cluster.clone()));
         cluster.shutdown();
+
+        let tcp = Cluster::builder()
+            .servers(2)
+            .transport(ClusterTransport::TcpLoopback)
+            .class_graph(bank_class_graph())
+            .build()
+            .unwrap();
+        scenario(Arc::new(tcp.clone()));
+        tcp.shutdown();
 
         let sim = SimDeployment::builder()
             .servers(2)
