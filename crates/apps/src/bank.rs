@@ -76,9 +76,9 @@ impl Account {
 
 context_class! {
     Account: "Account" {
-        ro method "read" => Account::read,
-        method "add" => Account::add,
-        method "write" => Account::write,
+        ro method "read" calls [] => Account::read,
+        method "add" calls [] => Account::add,
+        method "write" calls [] => Account::write,
     }
     snapshot = Account::snapshot_state;
     restore = Account::restore_state;
@@ -123,9 +123,9 @@ impl Branch {
 
 context_class! {
     Branch: "Branch" {
-        method "transfer" => Branch::transfer,
-        ro method "total" => Branch::total,
-        ro method "account_ids" => Branch::account_ids,
+        method "transfer" calls ["Account::add"] => Branch::transfer,
+        ro method "total" calls ["Account::read"] => Branch::total,
+        ro method "account_ids" calls [] => Branch::account_ids,
     }
 }
 
@@ -165,8 +165,8 @@ impl Bank {
 
 context_class! {
     Bank: "Bank" {
-        ro method "audit" => Bank::audit,
-        ro method "branch_count" => Bank::branch_count,
+        ro method "audit" calls ["Branch::account_ids", "Account::read"] => Bank::audit,
+        ro method "branch_count" calls [] => Bank::branch_count,
     }
 }
 

@@ -160,11 +160,11 @@ impl ListSet {
 
 context_class! {
     ListSet: "ListSet" {
-        method "insert" => ListSet::insert,
-        method "remove" => ListSet::remove,
-        ro method "contains" => ListSet::contains,
-        ro method "len" => ListSet::len,
-        ro method "to_list" => ListSet::collect_values,
+        method "insert" calls ["ListNode::key", "ListNode::set_next", "ListNode::insert_after"] => ListSet::insert,
+        method "remove" calls ["ListNode::key", "ListNode::next", "ListNode::detach", "ListNode::remove_after"] => ListSet::remove,
+        ro method "contains" calls ["ListNode::find"] => ListSet::contains,
+        ro method "len" calls [] => ListSet::len,
+        ro method "to_list" calls ["ListNode::collect"] => ListSet::collect_values,
     }
     snapshot = ListSet::snapshot_state;
     restore = ListSet::restore_state;
@@ -311,14 +311,14 @@ impl ListNode {
 
 context_class! {
     ListNode: "ListNode" {
-        ro method "key" => ListNode::key,
-        ro method "next" => ListNode::next,
-        method "set_next" => ListNode::set_next,
-        method "detach" => ListNode::detach,
-        method "insert_after" => ListNode::insert_after,
-        method "remove_after" => ListNode::remove_after,
-        ro method "find" => ListNode::find,
-        ro method "collect" => ListNode::collect,
+        ro method "key" calls [] => ListNode::key,
+        ro method "next" calls [] => ListNode::next,
+        method "set_next" calls [] => ListNode::set_next,
+        method "detach" calls [] => ListNode::detach,
+        method "insert_after" calls ["ListNode::key", "ListNode::set_next", "ListNode::insert_after"] => ListNode::insert_after,
+        method "remove_after" calls ["ListNode::key", "ListNode::next", "ListNode::detach", "ListNode::remove_after"] => ListNode::remove_after,
+        ro method "find" calls ["ListNode::find"] => ListNode::find,
+        ro method "collect" calls ["ListNode::collect"] => ListNode::collect,
     }
     snapshot = ListNode::snapshot_state;
     restore = ListNode::restore_state;
@@ -412,11 +412,11 @@ impl SearchTree {
 
 context_class! {
     SearchTree: "SearchTree" {
-        method "insert" => SearchTree::insert,
-        ro method "contains" => SearchTree::contains,
-        ro method "min" => SearchTree::min,
-        ro method "size" => SearchTree::size,
-        ro method "in_order" => SearchTree::in_order,
+        method "insert" calls ["TreeNode::insert"] => SearchTree::insert,
+        ro method "contains" calls ["TreeNode::contains"] => SearchTree::contains,
+        ro method "min" calls ["TreeNode::min"] => SearchTree::min,
+        ro method "size" calls [] => SearchTree::size,
+        ro method "in_order" calls ["TreeNode::in_order"] => SearchTree::in_order,
     }
     snapshot = SearchTree::snapshot_state;
     restore = SearchTree::restore_state;
@@ -528,10 +528,10 @@ impl TreeNode {
 
 context_class! {
     TreeNode: "TreeNode" {
-        method "insert" => TreeNode::insert,
-        ro method "contains" => TreeNode::contains,
-        ro method "min" => TreeNode::min,
-        ro method "in_order" => TreeNode::in_order,
+        method "insert" calls ["TreeNode::insert"] => TreeNode::insert,
+        ro method "contains" calls ["TreeNode::contains"] => TreeNode::contains,
+        ro method "min" calls ["TreeNode::min"] => TreeNode::min,
+        ro method "in_order" calls ["TreeNode::in_order"] => TreeNode::in_order,
     }
     snapshot = TreeNode::snapshot_state;
     restore = TreeNode::restore_state;

@@ -63,8 +63,8 @@ impl Building {
 
 context_class! {
     Building: "Building" {
-        method "update_time_of_day" => Building::update_time_of_day,
-        ro method "count_players" => Building::count_players,
+        method "update_time_of_day" calls ["Room::update_time_of_day"] => Building::update_time_of_day,
+        ro method "count_players" calls ["Room::nr_players"] => Building::count_players,
     }
 }
 
@@ -103,9 +103,9 @@ impl Room {
 
 context_class! {
     Room: "Room" {
-        method "update_time_of_day" => Room::update_time_of_day,
-        ro method "nr_players" => Room::nr_players,
-        ro method "nr_items" => Room::nr_items,
+        method "update_time_of_day" calls [] => Room::update_time_of_day,
+        ro method "nr_players" calls [] => Room::nr_players,
+        ro method "nr_items" calls [] => Room::nr_items,
     }
     snapshot = Room::snapshot_state;
     restore = Room::restore_state;
@@ -173,9 +173,9 @@ impl Player {
 
 context_class! {
     Player: "Player" {
-        method "set_items" => Player::set_items,
-        method "get_gold" => Player::get_gold,
-        ro method "treasure_balance" => Player::treasure_balance,
+        method "set_items" calls [] => Player::set_items,
+        method "get_gold" calls ["Item::get", "Item::incr"] => Player::get_gold,
+        ro method "treasure_balance" calls ["Item::get"] => Player::treasure_balance,
     }
     snapshot = Player::snapshot_state;
     restore = Player::restore_state;

@@ -18,3 +18,37 @@ pub use bank::{deploy_bank, register_bank_factories, BankWorld, BankWorldConfig}
 pub use collections::{ListSet, SearchTree};
 pub use game::{GameWorkload, GameWorkloadConfig};
 pub use tpcc::{TpccWorkload, TpccWorkloadConfig, TransactionKind};
+
+/// Class graph of a plain key/value deployment: the single `Kv` class
+/// ([`aeon_runtime::KvContext`]'s method table) with no ownership
+/// constraints — the smallest graph `aeon-lint` exercises.
+pub fn kv_class_graph() -> aeon_ownership::ClassGraph {
+    use aeon_runtime::ContextClass;
+    let mut classes = aeon_ownership::ClassGraph::new();
+    classes.add_class("Kv");
+    aeon_runtime::KvContext::table().declare_in(&mut classes);
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use aeon_analyzer::analyze;
+
+    #[test]
+    fn every_builtin_class_graph_is_analyzer_clean() {
+        for (name, classes) in [
+            ("game", crate::game::game_class_graph()),
+            ("tpcc", crate::tpcc::tpcc_class_graph()),
+            ("bank", crate::bank::bank_class_graph()),
+            ("kv", crate::kv_class_graph()),
+            ("collections", crate::collections::collections_class_graph()),
+        ] {
+            let report = analyze(&classes);
+            assert!(
+                report.is_clean(),
+                "builtin graph {name} is not clean:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}

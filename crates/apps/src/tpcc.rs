@@ -144,10 +144,10 @@ impl Warehouse {
 
 context_class! {
     Warehouse: "WareHouse" {
-        method "add_ytd" => Warehouse::add_ytd,
-        ro method "ytd" => Warehouse::ytd,
-        method "reserve_stock" => Warehouse::reserve_stock,
-        ro method "stock_level" => Warehouse::stock_level,
+        method "add_ytd" calls [] => Warehouse::add_ytd,
+        ro method "ytd" calls [] => Warehouse::ytd,
+        method "reserve_stock" calls [] => Warehouse::reserve_stock,
+        ro method "stock_level" calls [] => Warehouse::stock_level,
     }
     snapshot = Warehouse::snapshot_state;
     restore = Warehouse::restore_state;
@@ -198,10 +198,10 @@ impl District {
 
 context_class! {
     District: "District" {
-        method "add_ytd" => District::add_ytd,
-        ro method "ytd" => District::ytd,
-        method "next_order_id" => District::next_order_id,
-        ro method "order_count" => District::order_count,
+        method "add_ytd" calls [] => District::add_ytd,
+        ro method "ytd" calls [] => District::ytd,
+        method "next_order_id" calls [] => District::next_order_id,
+        ro method "order_count" calls [] => District::order_count,
     }
     snapshot = District::snapshot_state;
     restore = District::restore_state;
@@ -262,10 +262,10 @@ impl Customer {
 
 context_class! {
     Customer: "Customer" {
-        method "pay" => Customer::pay,
-        method "record_order" => Customer::record_order,
-        ro method "last_order" => Customer::last_order,
-        ro method "balance" => Customer::balance,
+        method "pay" calls [] => Customer::pay,
+        method "record_order" calls [] => Customer::record_order,
+        ro method "last_order" calls [] => Customer::last_order,
+        ro method "balance" calls [] => Customer::balance,
     }
     snapshot = Customer::snapshot_state;
     restore = Customer::restore_state;

@@ -16,7 +16,7 @@ use aeon_net::{
 };
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, OwnershipGraph};
 use aeon_runtime::{
-    ContextFactory, ContextObject, ExecutorConfig, ExecutorStats, Placement, Snapshot,
+    AnalysisMode, ContextFactory, ContextObject, ExecutorConfig, ExecutorStats, Placement, Snapshot,
 };
 use aeon_types::{
     AccessMode, AeonError, Args, ClientId, ContextId, EventId, Result, ServerId, ServerMetrics,
@@ -80,6 +80,7 @@ pub struct ClusterBuilder {
     servers: usize,
     dominator_mode: DominatorMode,
     class_graph: Option<ClassGraph>,
+    analysis: AnalysisMode,
     executor: ExecutorConfig,
     torn_snapshot: bool,
     transport: ClusterTransport,
@@ -98,6 +99,7 @@ impl ClusterBuilder {
             servers: 1,
             dominator_mode: DominatorMode::default(),
             class_graph: None,
+            analysis: AnalysisMode::default(),
             executor: ExecutorConfig::default(),
             torn_snapshot: false,
             transport: ClusterTransport::default(),
@@ -158,13 +160,24 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets how [`ClusterBuilder::build`] treats static-analysis findings on
+    /// the class graph: `Off` skips the pipeline, `Warn` prints diagnostics
+    /// and proceeds, `Enforce` (the default) refuses to build on any
+    /// error-severity diagnostic.
+    pub fn analysis(mut self, mode: AnalysisMode) -> Self {
+        self.analysis = mode;
+        self
+    }
+
     /// Builds and starts the cluster.
     ///
     /// # Errors
     ///
     /// * [`AeonError::Config`] when `servers` is zero.
-    /// * [`AeonError::ClassCycleDetected`] when the class graph fails the
-    ///   static analysis.
+    /// * [`AeonError::ClassCycleDetected`] when the class graph's ownership
+    ///   constraints are cyclic.
+    /// * [`AeonError::AnalysisRejected`] when the static analysis pipeline
+    ///   reports error diagnostics and the mode is [`AnalysisMode::Enforce`].
     pub fn build(self) -> Result<Cluster> {
         if self.servers == 0 && !matches!(self.transport, ClusterTransport::TcpMesh { .. }) {
             return Err(AeonError::Config("at least one server is required".into()));
@@ -176,6 +189,7 @@ impl ClusterBuilder {
         }
         if let Some(classes) = &self.class_graph {
             classes.check()?;
+            aeon_analyzer::enforce(classes, self.analysis)?;
         }
         let directory = Arc::new(Directory::new(self.dominator_mode, self.class_graph));
         let (mode, network, mesh_peers): (Mode, Network<ClusterMessage>, Vec<ServerId>) =

@@ -435,10 +435,7 @@ impl Directory {
                 if let Some(classes) = &auth.class_graph {
                     let owner_class = auth.graph.read().class_of(owner)?.to_string();
                     if !classes.allows(&owner_class, class) {
-                        return Err(AeonError::OwnershipViolation {
-                            caller: owner,
-                            callee: ContextId::new(u64::MAX),
-                        });
+                        return Err(AeonError::ownership(owner, ContextId::new(u64::MAX)));
                     }
                 }
                 // Skip ids already taken by manually registered contexts
@@ -485,10 +482,7 @@ impl Directory {
                     let owner_class = graph.class_of(owner)?.to_string();
                     let owned_class = graph.class_of(owned)?.to_string();
                     if !classes.allows(&owner_class, &owned_class) {
-                        return Err(AeonError::OwnershipViolation {
-                            caller: owner,
-                            callee: owned,
-                        });
+                        return Err(AeonError::ownership(owner, owned));
                     }
                 }
                 auth.graph.write().add_edge(owner, owned)

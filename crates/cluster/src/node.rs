@@ -983,10 +983,7 @@ impl RemoteExecution {
     ) -> Result<Value> {
         if let Some(caller) = caller {
             if !self.node.directory.may_call(caller, target) {
-                return Err(AeonError::OwnershipViolation {
-                    caller,
-                    callee: target,
-                });
+                return Err(AeonError::ownership(caller, target));
             }
         }
         if self.call_stack.contains(&target) {
@@ -1110,10 +1107,7 @@ impl InvocationHost for RemoteExecution {
         args: Args,
     ) -> Result<()> {
         if !self.node.directory.may_call(caller, target) {
-            return Err(AeonError::OwnershipViolation {
-                caller,
-                callee: target,
-            });
+            return Err(AeonError::ownership(caller, target));
         }
         self.pending_async
             .push_back((caller, target, method.to_string(), args));

@@ -96,9 +96,22 @@ fn verr(e: &AeonError) -> Value {
         AeonError::ClassCycleDetected { description } => {
             tagged("ClassCycleDetected", vec![Value::Str(description.clone())])
         }
-        AeonError::OwnershipViolation { caller, callee } => {
-            tagged("OwnershipViolation", vec![vctx(*caller), vctx(*callee)])
-        }
+        AeonError::OwnershipViolation {
+            caller,
+            callee,
+            detail,
+        } => tagged(
+            "OwnershipViolation",
+            vec![
+                vctx(*caller),
+                vctx(*callee),
+                vopt(detail.clone().map(Value::Str)),
+            ],
+        ),
+        AeonError::AnalysisRejected { errors, report } => tagged(
+            "AnalysisRejected",
+            vec![vu64(*errors as u64), Value::Str(report.clone())],
+        ),
         AeonError::ReadOnlyViolation { context, method } => tagged(
             "ReadOnlyViolation",
             vec![vctx(*context), Value::Str(method.clone())],
@@ -544,6 +557,15 @@ fn derr(value: Value) -> Result<AeonError> {
         "OwnershipViolation" => AeonError::OwnershipViolation {
             caller: f.ctx()?,
             callee: f.ctx()?,
+            detail: match f.opt()? {
+                None => None,
+                Some(Value::Str(s)) => Some(s),
+                Some(other) => return Err(bad(format!("expected detail string, got {other:?}"))),
+            },
+        },
+        "AnalysisRejected" => AeonError::AnalysisRejected {
+            errors: f.u64()? as usize,
+            report: f.string()?,
         },
         "ReadOnlyViolation" => AeonError::ReadOnlyViolation {
             context: f.ctx()?,
@@ -956,10 +978,7 @@ mod tests {
             },
             ClusterMessage::DirAck {
                 corr: 3,
-                reply: Err(AeonError::OwnershipViolation {
-                    caller: cx(1),
-                    callee: cx(2),
-                }),
+                reply: Err(AeonError::ownership(cx(1), cx(2))),
             },
             ClusterMessage::Act {
                 event: desc(),
@@ -1109,9 +1128,15 @@ mod tests {
             AeonError::ClassCycleDetected {
                 description: "A -> B -> A".into(),
             },
+            AeonError::ownership(cx(1), cx(2)),
             AeonError::OwnershipViolation {
                 caller: cx(1),
                 callee: cx(2),
+                detail: Some("class Item may not own class Player".into()),
+            },
+            AeonError::AnalysisRejected {
+                errors: 2,
+                report: "AEON002 uncovered call edge\nAEON003 ro unsound".into(),
             },
             AeonError::ReadOnlyViolation {
                 context: cx(1),

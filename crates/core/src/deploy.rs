@@ -21,7 +21,7 @@
 use aeon_api::Deployment;
 use aeon_cluster::{Cluster, ClusterTransport};
 use aeon_ownership::ClassGraph;
-use aeon_runtime::AeonRuntime;
+use aeon_runtime::{AeonRuntime, AnalysisMode};
 use aeon_sim::SimDeployment;
 use aeon_types::{AeonError, Result};
 use std::fmt;
@@ -92,6 +92,10 @@ pub struct DeployConfig {
     /// Optional contextclass constraint graph, statically analysed at
     /// build time on every backend.
     pub class_graph: Option<ClassGraph>,
+    /// How the static analysis pipeline treats the class graph:
+    /// `off | warn | enforce` (default `enforce` — error diagnostics refuse
+    /// the deployment).
+    pub analysis: AnalysisMode,
     /// Message transport used by [`Backend::Cluster`]: in-process channels
     /// (the default), TCP sockets on loopback, or a TCP mesh of external
     /// `aeon-node` processes.  Ignored by the runtime and the simulator,
@@ -107,6 +111,7 @@ impl Default for DeployConfig {
             worker_threads: None,
             max_spill_workers: None,
             class_graph: None,
+            analysis: AnalysisMode::default(),
             transport: ClusterTransport::default(),
         }
     }
@@ -165,6 +170,14 @@ impl DeployConfig {
         self
     }
 
+    /// Sets how the static analysis pipeline treats the class graph
+    /// (`off | warn | enforce`; the default is [`AnalysisMode::Enforce`]).
+    #[must_use]
+    pub fn analysis(mut self, mode: AnalysisMode) -> Self {
+        self.analysis = mode;
+        self
+    }
+
     /// Selects the cluster message transport (ignored by the runtime and
     /// the simulator).
     #[must_use]
@@ -180,8 +193,10 @@ impl DeployConfig {
 /// # Errors
 ///
 /// * [`AeonError::Config`] when `servers` is zero or a knob is invalid.
-/// * [`AeonError::ClassCycleDetected`] when the class graph fails the
-///   static analysis.
+/// * [`AeonError::ClassCycleDetected`] when the class graph's ownership
+///   constraints are cyclic.
+/// * [`AeonError::AnalysisRejected`] when the static analysis pipeline
+///   reports error diagnostics and the mode is [`AnalysisMode::Enforce`].
 ///
 /// # Examples
 ///
@@ -208,7 +223,9 @@ impl DeployConfig {
 pub fn deploy(config: DeployConfig) -> Result<Box<dyn Deployment>> {
     match config.backend {
         Backend::Runtime => {
-            let mut builder = AeonRuntime::builder().servers(config.servers);
+            let mut builder = AeonRuntime::builder()
+                .servers(config.servers)
+                .analysis(config.analysis);
             if let Some(threads) = config.worker_threads {
                 builder = builder.worker_threads(threads);
             }
@@ -223,7 +240,8 @@ pub fn deploy(config: DeployConfig) -> Result<Box<dyn Deployment>> {
         Backend::Cluster => {
             let mut builder = Cluster::builder()
                 .servers(config.servers)
-                .transport(config.transport);
+                .transport(config.transport)
+                .analysis(config.analysis);
             if let Some(threads) = config.worker_threads {
                 builder = builder.worker_threads(threads);
             }
@@ -236,7 +254,9 @@ pub fn deploy(config: DeployConfig) -> Result<Box<dyn Deployment>> {
             Ok(Box::new(builder.build()?))
         }
         Backend::Sim => {
-            let mut builder = SimDeployment::builder().servers(config.servers);
+            let mut builder = SimDeployment::builder()
+                .servers(config.servers)
+                .analysis(config.analysis);
             if let Some(classes) = config.class_graph {
                 builder = builder.class_graph(classes);
             }
@@ -331,6 +351,43 @@ mod tests {
             Value::from(3i64)
         );
         deployment.shutdown();
+    }
+
+    #[test]
+    fn enforce_mode_refuses_unsound_graphs_on_every_backend() {
+        use aeon_ownership::{ClassGraph, MethodRef};
+        use aeon_runtime::AnalysisMode;
+
+        // Account calling back up into Branch is not covered by ownership:
+        // AEON002, an error-severity diagnostic.
+        fn unsound() -> ClassGraph {
+            let mut classes = ClassGraph::new();
+            classes.add_constraint("Branch", "Account");
+            classes.declare_method("Branch", "transfer", false);
+            classes.declare_calls("Account", "evil", [MethodRef::new("Branch", "transfer")]);
+            classes
+        }
+
+        for backend in Backend::ALL {
+            match deploy(DeployConfig::new(backend).class_graph(unsound())) {
+                Err(AeonError::AnalysisRejected { errors, report }) => {
+                    assert!(errors >= 1, "backend {backend}");
+                    assert!(report.contains("AEON002"), "backend {backend}: {report}");
+                }
+                Err(other) => panic!("backend {backend}: unexpected {other:?}"),
+                Ok(_) => panic!("backend {backend}: unsound graph deployed"),
+            }
+            // warn and off modes deploy the same graph.
+            for mode in [AnalysisMode::Warn, AnalysisMode::Off] {
+                let deployment = deploy(
+                    DeployConfig::new(backend)
+                        .class_graph(unsound())
+                        .analysis(mode),
+                )
+                .unwrap();
+                deployment.shutdown();
+            }
+        }
     }
 
     #[test]

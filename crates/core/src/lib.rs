@@ -98,6 +98,7 @@
 
 mod deploy;
 
+pub use aeon_analyzer as analyzer;
 pub use aeon_api as api;
 pub use aeon_checker as checker;
 pub use aeon_cluster as cluster;
@@ -115,6 +116,7 @@ pub use deploy::{deploy, deploy_shared, Backend, DeployConfig};
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::deploy::{deploy, deploy_shared, Backend, DeployConfig};
+    pub use aeon_analyzer::{analyze, AnalysisMode, AnalysisReport, DiagCode};
     pub use aeon_api::{Deployment, EventHandle, Session};
     pub use aeon_checker::{check_strict_serializability, History, HistoryRecorder};
     pub use aeon_cluster::{Cluster, ClusterClient, ClusterTransport, NodeProcessConfig};
@@ -122,7 +124,9 @@ pub mod prelude {
         EManager, ElasticityAction, ElasticityPolicy, ResourceUtilizationPolicy,
         ServerContentionPolicy, ServerMetrics, SlaPolicy,
     };
-    pub use aeon_ownership::{ClassGraph, Dominator, DominatorMode, MethodInfo, OwnershipGraph};
+    pub use aeon_ownership::{
+        ClassGraph, Dominator, DominatorMode, MethodInfo, MethodRef, OwnershipGraph,
+    };
     pub use aeon_runtime::{
         context_class, AeonClient, AeonRuntime, ContextClass, ContextObject, Invocation, KvContext,
         MethodTable, Placement, Snapshot,

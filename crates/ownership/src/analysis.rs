@@ -11,6 +11,43 @@
 use aeon_types::{AeonError, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A reference to one contextclass method, `Class::method`, as used in
+/// declared call summaries.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MethodRef {
+    /// Target contextclass name.
+    pub class: String,
+    /// Target method name.
+    pub method: String,
+}
+
+impl MethodRef {
+    /// Builds a reference from class and method names.
+    pub fn new(class: impl Into<String>, method: impl Into<String>) -> Self {
+        Self {
+            class: class.into(),
+            method: method.into(),
+        }
+    }
+
+    /// Parses the `Class::method` notation used by `context_class!` call
+    /// summaries; `None` when the text is not of that shape.
+    pub fn parse(text: &str) -> Option<Self> {
+        let (class, method) = text.split_once("::")?;
+        if class.is_empty() || method.is_empty() || method.contains("::") {
+            return None;
+        }
+        Some(Self::new(class, method))
+    }
+}
+
+impl fmt::Display for MethodRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.class, self.method)
+    }
+}
 
 /// Metadata of one contextclass method, as declared by the runtime's
 /// method tables.
@@ -27,6 +64,24 @@ pub struct MethodInfo {
     pub name: String,
     /// Whether the method was declared `readonly` (`ro`).
     pub readonly: bool,
+    /// Declared outgoing call summary: the complete set of
+    /// `Class::method` invocations this method may perform on *other*
+    /// contexts.  `None` means the method never declared a summary (it is
+    /// exempt from call-graph analysis); `Some(vec![])` declares "calls
+    /// nothing".
+    #[serde(default)]
+    pub calls: Option<Vec<MethodRef>>,
+}
+
+impl MethodInfo {
+    /// A method entry with no declared call summary.
+    pub fn new(name: impl Into<String>, readonly: bool) -> Self {
+        Self {
+            name: name.into(),
+            readonly,
+            calls: None,
+        }
+    }
 }
 
 /// The contextclass constraint graph.
@@ -103,6 +158,26 @@ impl ClassGraph {
         self.owns.get(owner).is_some_and(|set| set.contains(owned))
     }
 
+    /// Returns whether the constraint `owned ≤ owner` was *explicitly*
+    /// declared with [`ClassGraph::add_constraint`].
+    ///
+    /// Unlike [`ClassGraph::allows`] this does not grant the reflexive case
+    /// for free: the analyzer uses it to distinguish an intentional
+    /// inductive structure (`Node` declared to own `Node`) from accidental
+    /// self-recursion in a call summary.
+    pub fn declares(&self, owner: &str, owned: &str) -> bool {
+        self.owns.get(owner).is_some_and(|set| set.contains(owned))
+    }
+
+    /// The classes `owner` was explicitly declared to own, in name order.
+    pub fn owned_by(&self, owner: &str) -> impl Iterator<Item = &str> {
+        self.owns
+            .get(owner)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
     /// Declares a method of `class` (declaring the class implicitly if
     /// needed).  Re-declaring a method overwrites its metadata.
     pub fn declare_method(
@@ -117,9 +192,46 @@ impl ClassGraph {
         let methods = self.methods.entry(class).or_default();
         match methods.iter_mut().find(|m| m.name == name) {
             Some(existing) => existing.readonly = readonly,
-            None => methods.push(MethodInfo { name, readonly }),
+            None => methods.push(MethodInfo::new(name, readonly)),
         }
         self
+    }
+
+    /// Declares the complete outgoing call summary of `class::method`
+    /// (declaring class and method implicitly if needed).  Re-declaring a
+    /// summary overwrites the previous one; an empty iterator declares
+    /// "calls nothing", which is different from never declaring a summary.
+    pub fn declare_calls(
+        &mut self,
+        class: impl Into<String>,
+        method: impl Into<String>,
+        calls: impl IntoIterator<Item = MethodRef>,
+    ) -> &mut Self {
+        let class = class.into();
+        let method = method.into();
+        self.owns.entry(class.clone()).or_default();
+        let methods = self.methods.entry(class).or_default();
+        let calls = Some(calls.into_iter().collect());
+        match methods.iter_mut().find(|m| m.name == method) {
+            Some(existing) => existing.calls = calls,
+            None => methods.push(MethodInfo {
+                name: method,
+                readonly: false,
+                calls,
+            }),
+        }
+        self
+    }
+
+    /// The declared call summary of `class::method`; `None` when the method
+    /// (or class) is unknown or never declared a summary.
+    pub fn calls_of(&self, class: &str, method: &str) -> Option<&[MethodRef]> {
+        self.methods
+            .get(class)?
+            .iter()
+            .find(|m| m.name == method)?
+            .calls
+            .as_deref()
     }
 
     /// The declared method surface of `class` (empty when the class never
@@ -146,7 +258,22 @@ impl ClassGraph {
     /// Returns [`AeonError::ClassCycleDetected`] describing one offending
     /// cycle when the analysis fails.
     pub fn check(&self) -> Result<()> {
-        // Depth-first search with colouring; reflexive edges are skipped.
+        match self.find_constraint_cycle() {
+            Some(cycle) => Err(AeonError::ClassCycleDetected {
+                description: cycle.join(" -> "),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Finds one non-reflexive cycle in the constraint graph, as the list of
+    /// classes along it (first class repeated at the end); `None` when the
+    /// graph is acyclic.
+    ///
+    /// The traversal is an explicit-stack depth-first search with
+    /// colouring — deep ownership chains (e.g. a 100k-class reflexive list
+    /// generated by tooling) must not overflow the call stack.
+    pub fn find_constraint_cycle(&self) -> Option<Vec<String>> {
         #[derive(Clone, Copy, PartialEq)]
         enum Colour {
             White,
@@ -159,56 +286,59 @@ impl ClassGraph {
             .map(|k| (k.as_str(), Colour::White))
             .collect();
 
-        fn visit<'a>(
-            class: &'a str,
-            owns: &'a BTreeMap<String, BTreeSet<String>>,
-            colour: &mut BTreeMap<&'a str, Colour>,
-            stack: &mut Vec<&'a str>,
-        ) -> Option<Vec<String>> {
-            colour.insert(class, Colour::Grey);
-            stack.push(class);
-            if let Some(children) = owns.get(class) {
-                for child in children {
-                    if child == class {
-                        continue; // reflexive exception
+        for root in self.owns.keys() {
+            if colour[root.as_str()] != Colour::White {
+                continue;
+            }
+            // Each frame is (class, iterator over its owned classes); the
+            // path stack mirrors the grey classes for cycle extraction.
+            let mut frames: Vec<(&str, std::collections::btree_set::Iter<'_, String>)> = Vec::new();
+            let mut path: Vec<&str> = Vec::new();
+            colour.insert(root.as_str(), Colour::Grey);
+            path.push(root.as_str());
+            frames.push((root.as_str(), self.owns[root.as_str()].iter()));
+
+            while !frames.is_empty() {
+                // `Iter::next` returns references borrowed from `self.owns`,
+                // not from the frame, so the frame borrow ends here and the
+                // stack can be pushed/popped below.
+                let (class, next) = {
+                    let frame = frames.last_mut().expect("loop guard");
+                    (frame.0, frame.1.next())
+                };
+                match next {
+                    Some(child) if child.as_str() == class => {
+                        // Reflexive exception: inductive structures.
                     }
-                    match colour.get(child.as_str()).copied().unwrap_or(Colour::White) {
-                        Colour::Grey => {
-                            // Found a cycle: slice the stack from the first
-                            // occurrence of `child`.
-                            let start =
-                                stack.iter().position(|c| *c == child.as_str()).unwrap_or(0);
-                            let mut cycle: Vec<String> =
-                                stack[start..].iter().map(|s| s.to_string()).collect();
-                            cycle.push(child.clone());
-                            return Some(cycle);
-                        }
-                        Colour::White => {
-                            if let Some(cycle) = visit(child, owns, colour, stack) {
+                    Some(child) => {
+                        match colour.get(child.as_str()).copied().unwrap_or(Colour::White) {
+                            Colour::Grey => {
+                                // Found a cycle: slice the path from the
+                                // first occurrence of `child`.
+                                let start =
+                                    path.iter().position(|c| *c == child.as_str()).unwrap_or(0);
+                                let mut cycle: Vec<String> =
+                                    path[start..].iter().map(|s| s.to_string()).collect();
+                                cycle.push(child.clone());
                                 return Some(cycle);
                             }
+                            Colour::White => {
+                                colour.insert(child.as_str(), Colour::Grey);
+                                path.push(child.as_str());
+                                frames.push((child.as_str(), self.owns[child.as_str()].iter()));
+                            }
+                            Colour::Black => {}
                         }
-                        Colour::Black => {}
+                    }
+                    None => {
+                        colour.insert(class, Colour::Black);
+                        path.pop();
+                        frames.pop();
                     }
                 }
             }
-            stack.pop();
-            colour.insert(class, Colour::Black);
-            None
         }
-
-        let classes: Vec<&str> = self.owns.keys().map(String::as_str).collect();
-        for class in classes {
-            if colour[class] == Colour::White {
-                let mut stack = Vec::new();
-                if let Some(cycle) = visit(class, &self.owns, &mut colour, &mut stack) {
-                    return Err(AeonError::ClassCycleDetected {
-                        description: cycle.join(" -> "),
-                    });
-                }
-            }
-        }
-        Ok(())
+        None
     }
 
     /// Validates that a runtime ownership graph respects the class
@@ -218,7 +348,8 @@ impl ClassGraph {
     /// # Errors
     ///
     /// Returns [`AeonError::OwnershipViolation`] naming the first offending
-    /// edge.
+    /// edge — both the context ids and their *classes*, plus the
+    /// `add_constraint` call that would legalise the edge.
     pub fn validate_graph(&self, graph: &crate::OwnershipGraph) -> Result<()> {
         for (owner, owned) in graph.edges() {
             let owner_class = graph.class_of(owner)?;
@@ -227,6 +358,12 @@ impl ClassGraph {
                 return Err(AeonError::OwnershipViolation {
                     caller: owner,
                     callee: owned,
+                    detail: Some(format!(
+                        "class {owner_class} may not own class {owned_class}; \
+                         missing constraint {owned_class} <= {owner_class} \
+                         (declare it with add_constraint(\"{owner_class}\", \
+                         \"{owned_class}\"))"
+                    )),
                 });
             }
         }
@@ -337,6 +474,92 @@ mod tests {
             classes.validate_graph(&graph),
             Err(AeonError::OwnershipViolation { .. })
         ));
+    }
+
+    #[test]
+    fn method_ref_parses_class_method_notation() {
+        let r = MethodRef::parse("Room::nr_players").unwrap();
+        assert_eq!(r.class, "Room");
+        assert_eq!(r.method, "nr_players");
+        assert_eq!(r.to_string(), "Room::nr_players");
+        assert!(MethodRef::parse("Room").is_none());
+        assert!(MethodRef::parse("::m").is_none());
+        assert!(MethodRef::parse("A::").is_none());
+        assert!(MethodRef::parse("A::B::c").is_none());
+    }
+
+    #[test]
+    fn call_summaries_are_recorded_and_survive_redeclaration() {
+        let mut g = ClassGraph::new();
+        g.declare_method("Branch", "transfer", false);
+        assert_eq!(g.calls_of("Branch", "transfer"), None);
+        g.declare_calls(
+            "Branch",
+            "transfer",
+            [
+                MethodRef::new("Account", "add"),
+                MethodRef::new("Account", "add"),
+            ],
+        );
+        let calls = g.calls_of("Branch", "transfer").unwrap();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0], MethodRef::new("Account", "add"));
+        // Re-declaring the method (e.g. a second declare_in) keeps the summary.
+        g.declare_method("Branch", "transfer", false);
+        assert!(g.calls_of("Branch", "transfer").is_some());
+        // An empty summary is "calls nothing", distinct from undeclared.
+        g.declare_calls("Branch", "noop", []);
+        assert_eq!(g.calls_of("Branch", "noop"), Some(&[][..]));
+        assert_eq!(g.calls_of("Branch", "unknown"), None);
+        assert_eq!(g.calls_of("NoSuchClass", "m"), None);
+    }
+
+    #[test]
+    fn declares_does_not_grant_the_reflexive_exception() {
+        let mut g = ClassGraph::new();
+        g.add_constraint("List", "Node");
+        g.add_constraint("Node", "Node");
+        assert!(g.declares("List", "Node"));
+        assert!(g.declares("Node", "Node"));
+        assert!(!g.declares("List", "List"));
+        assert!(g.allows("List", "List"));
+        let owned: Vec<&str> = g.owned_by("List").collect();
+        assert_eq!(owned, vec!["Node"]);
+    }
+
+    #[test]
+    fn deep_ownership_chain_does_not_overflow_the_stack() {
+        // Satellite regression: a 100k-class reflexive chain (each class owns
+        // itself and the next) must be analysed iteratively, not by
+        // recursion depth proportional to the chain.
+        let mut g = ClassGraph::new();
+        const N: usize = 100_000;
+        for i in 0..N {
+            g.add_constraint(format!("C{i}"), format!("C{i}"));
+            g.add_constraint(format!("C{i}"), format!("C{}", i + 1));
+        }
+        g.check().unwrap();
+        // And a cycle closing the whole chain is still detected.
+        g.add_constraint(format!("C{N}"), "C0");
+        let err = g.check().unwrap_err();
+        assert!(matches!(err, AeonError::ClassCycleDetected { .. }));
+    }
+
+    #[test]
+    fn validate_graph_violation_names_the_classes() {
+        let (mut graph, ids) = game_graph();
+        let classes = game_class_graph();
+        graph.add_edge(ids.treasure, ids.player3).unwrap();
+        let err = classes.validate_graph(&graph).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("Item") && text.contains("Player"),
+            "violation names the classes, not just context ids: {text}"
+        );
+        assert!(
+            text.contains("add_constraint"),
+            "violation suggests the missing constraint: {text}"
+        );
     }
 
     #[test]

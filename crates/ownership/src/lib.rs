@@ -45,7 +45,7 @@ pub mod dominator;
 pub mod graph;
 pub mod path;
 
-pub use analysis::{ClassGraph, MethodInfo};
+pub use analysis::{ClassGraph, MethodInfo, MethodRef};
 pub use dominator::{dominator_of, share_set, Dominator, DominatorMode, DominatorResolver};
 pub use graph::OwnershipGraph;
 pub use path::{all_on_paths, find_path};

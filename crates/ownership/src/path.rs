@@ -54,10 +54,7 @@ pub fn find_path(graph: &OwnershipGraph, from: ContextId, to: ContextId) -> Resu
             }
         }
     }
-    Err(AeonError::OwnershipViolation {
-        caller: from,
-        callee: to,
-    })
+    Err(AeonError::ownership(from, to))
 }
 
 /// Returns every context on *some* path from `from` to `to` — the union of

@@ -117,8 +117,10 @@ pub(crate) struct EventExecution {
     held: Vec<Arc<ContextSlot>>,
     /// Whether the event holds the global-root sequencer.
     holds_global_root: bool,
-    /// Contexts currently on the synchronous call stack (re-entrance guard).
-    call_stack: Vec<ContextId>,
+    /// Contexts (and the method executing in each) currently on the
+    /// synchronous call stack (re-entrance guard; the method name feeds the
+    /// debug-build call-summary sanitizer).
+    call_stack: Vec<(ContextId, String)>,
     /// Deferred asynchronous calls.
     pending_async: VecDeque<AsyncCall>,
     /// Events dispatched from within this event.
@@ -208,15 +210,24 @@ impl EventExecution {
         // edges (§3).
         if let Some(caller) = caller {
             if !self.inner.may_call(caller, target) {
-                return Err(AeonError::OwnershipViolation {
-                    caller,
-                    callee: target,
-                });
+                return Err(AeonError::ownership(caller, target));
+            }
+            // Debug-build sanitizer: a synchronous call's caller is the
+            // context on top of the stack (async calls are recorded at
+            // schedule time, and drain with an empty stack).
+            if cfg!(debug_assertions) {
+                if let Some((top, top_method)) = self.call_stack.last() {
+                    if *top == caller {
+                        let top_method = top_method.clone();
+                        self.inner
+                            .record_call_edge(caller, &top_method, target, method);
+                    }
+                }
             }
         }
         // Re-entrance guard: the ownership DAG is acyclic, so a well-formed
         // application never calls back into a context already on the stack.
-        if self.call_stack.contains(&target) {
+        if self.call_stack.iter().any(|(c, _)| *c == target) {
             return Err(AeonError::internal(format!(
                 "re-entrant call into context {target} within event {}",
                 self.event
@@ -224,7 +235,7 @@ impl EventExecution {
         }
         let slot = self.inner.context_slot(target)?;
         self.activate_slot(slot.clone())?;
-        self.call_stack.push(target);
+        self.call_stack.push((target, method.to_string()));
         let outcome = {
             let mut object = slot.object.lock();
             // Recorded under the object lock, so the per-context record
@@ -302,10 +313,18 @@ impl InvocationHost for EventExecution {
         args: Args,
     ) -> Result<()> {
         if !self.inner.may_call(caller, target) {
-            return Err(AeonError::OwnershipViolation {
-                caller,
-                callee: target,
-            });
+            return Err(AeonError::ownership(caller, target));
+        }
+        // Debug-build sanitizer: the edge belongs to the method scheduling
+        // the call, which is the one executing in `caller` right now.
+        if cfg!(debug_assertions) {
+            if let Some((top, top_method)) = self.call_stack.last() {
+                if *top == caller {
+                    let top_method = top_method.clone();
+                    self.inner
+                        .record_call_edge(caller, &top_method, target, method);
+                }
+            }
         }
         self.pending_async.push_back(AsyncCall {
             caller,

@@ -60,6 +60,7 @@ pub mod runtime;
 pub mod snapshot;
 pub mod stats;
 
+pub use aeon_analyzer::AnalysisMode;
 pub use context::{ContextFactory, ContextObject, KvContext};
 pub use event::{EventHandle, EventOutcome, EventRequest};
 pub use executor::{ExecutorConfig, ExecutorStats, ShardedExecutor};

@@ -57,7 +57,7 @@
 
 use crate::context::ContextObject;
 use crate::invocation::Invocation;
-use aeon_ownership::ClassGraph;
+use aeon_ownership::{ClassGraph, MethodRef};
 use aeon_types::{AeonError, Args, Result, Value};
 
 /// The signature of a declarative method handler.
@@ -67,6 +67,9 @@ pub type Handler<T> = fn(&mut T, &Args, &mut Invocation<'_>) -> Result<Value>;
 pub struct MethodEntry<T> {
     name: &'static str,
     readonly: bool,
+    /// Declared outgoing call summary (`"Class::method"` strings); `None`
+    /// when the method never declared one.
+    calls: Option<&'static [&'static str]>,
     handler: Handler<T>,
 }
 
@@ -79,6 +82,13 @@ impl<T> MethodEntry<T> {
     /// Whether the method was declared `readonly`.
     pub fn readonly(&self) -> bool {
         self.readonly
+    }
+
+    /// The declared outgoing call summary (`"Class::method"` strings), or
+    /// `None` when the method never declared one.  An empty slice declares
+    /// "calls nothing".
+    pub fn calls(&self) -> Option<&'static [&'static str]> {
+        self.calls
     }
 }
 
@@ -128,6 +138,18 @@ impl<T> MethodTable<T> {
         classes.add_class(self.class);
         for entry in &self.entries {
             classes.declare_method(self.class, entry.name, entry.readonly);
+            if let Some(calls) = entry.calls {
+                let refs = calls.iter().map(|call| {
+                    MethodRef::parse(call).unwrap_or_else(|| {
+                        panic!(
+                            "method {}::{} declares malformed call {call:?} \
+                             (expected \"Class::method\")",
+                            self.class, entry.name
+                        )
+                    })
+                });
+                classes.declare_calls(self.class, entry.name, refs);
+            }
         }
     }
 }
@@ -153,24 +175,64 @@ impl<T> MethodTableBuilder<T> {
     /// Declares an exclusive (update) method.
     #[must_use]
     pub fn method(self, name: &'static str, handler: Handler<T>) -> Self {
-        self.push(name, false, handler)
+        self.push(name, false, None, handler)
     }
 
     /// Declares a `readonly` (`ro`) method.
     #[must_use]
     pub fn readonly(self, name: &'static str, handler: Handler<T>) -> Self {
-        self.push(name, true, handler)
+        self.push(name, true, None, handler)
     }
 
-    fn push(mut self, name: &'static str, readonly: bool, handler: Handler<T>) -> Self {
+    /// Declares an exclusive (update) method together with its complete
+    /// outgoing call summary (`"Class::method"` strings; an empty slice
+    /// declares "calls nothing").
+    #[must_use]
+    pub fn method_calls(
+        self,
+        name: &'static str,
+        calls: &'static [&'static str],
+        handler: Handler<T>,
+    ) -> Self {
+        self.push(name, false, Some(calls), handler)
+    }
+
+    /// Declares a `readonly` (`ro`) method together with its complete
+    /// outgoing call summary.
+    #[must_use]
+    pub fn readonly_calls(
+        self,
+        name: &'static str,
+        calls: &'static [&'static str],
+        handler: Handler<T>,
+    ) -> Self {
+        self.push(name, true, Some(calls), handler)
+    }
+
+    fn push(
+        mut self,
+        name: &'static str,
+        readonly: bool,
+        calls: Option<&'static [&'static str]>,
+        handler: Handler<T>,
+    ) -> Self {
         debug_assert!(
             self.table.entry(name).is_none(),
             "method {name} declared twice on {}",
             self.table.class
         );
+        debug_assert!(
+            calls
+                .unwrap_or(&[])
+                .iter()
+                .all(|c| MethodRef::parse(c).is_some()),
+            "method {name} on {} declares a malformed call summary",
+            self.table.class
+        );
         self.table.entries.push(MethodEntry {
             name,
             readonly,
+            calls,
             handler,
         });
         self
@@ -246,14 +308,25 @@ impl<T: ContextClass> ContextObject for T {
 ///
 /// ```ignore
 /// context_class! {
-///     Room: "Room" {
-///         method "update_time_of_day" => Room::update_time_of_day,
-///         ro method "nr_players" => Room::nr_players,
+///     Building: "Building" {
+///         method "update_time_of_day" calls ["Room::update_time_of_day"]
+///             => Building::update_time_of_day,
+///         ro method "count_players" calls ["Room::nr_players"]
+///             => Building::count_players,
 ///     }
-///     snapshot = Room::snapshot_state;
-///     restore = Room::restore_state;
+///     snapshot = Building::snapshot_state;
+///     restore = Building::restore_state;
 /// }
 /// ```
+///
+/// The optional `calls [...]` clause declares the method's complete outgoing
+/// call summary (`"Class::method"` literals; `calls []` declares "calls
+/// nothing").  Summaries flow into the [`ClassGraph`] via
+/// [`MethodTable::declare_in`], where `aeon-analyzer`'s pass pipeline checks
+/// them for ownership coverage, readonly soundness, and deadlock freedom; in
+/// debug builds the runtime additionally flags actual invocations not
+/// covered by the declared summary.  Methods without the clause are exempt
+/// from call-graph analysis.
 ///
 /// Handlers are ordinary inherent functions with the [`Handler`] signature.
 /// The macro expands to an implementation of [`ContextClass`] (and thereby
@@ -292,6 +365,20 @@ macro_rules! context_class {
         }
     };
     (@entries $builder:expr, ) => { $builder };
+    (@entries $builder:expr,
+        ro method $name:literal calls [$($call:literal),* $(,)?] => $handler:expr, $($rest:tt)*
+    ) => {
+        $crate::context_class!(
+            @entries $builder.readonly_calls($name, &[$($call),*], $handler), $($rest)*
+        )
+    };
+    (@entries $builder:expr,
+        method $name:literal calls [$($call:literal),* $(,)?] => $handler:expr, $($rest:tt)*
+    ) => {
+        $crate::context_class!(
+            @entries $builder.method_calls($name, &[$($call),*], $handler), $($rest)*
+        )
+    };
     (@entries $builder:expr, ro method $name:literal => $handler:expr, $($rest:tt)*) => {
         $crate::context_class!(@entries $builder.readonly($name, $handler), $($rest)*)
     };
@@ -339,7 +426,8 @@ mod tests {
     context_class! {
         Probe: "Probe" {
             method "hit" => Probe::hit,
-            ro method "peek" => Probe::peek,
+            ro method "peek" calls [] => Probe::peek,
+            method "chain" calls ["Probe::hit", "Other::peek"] => Probe::hit,
         }
         snapshot = Probe::snapshot_state;
         restore = Probe::restore_state;
@@ -352,7 +440,18 @@ mod tests {
         assert!(!table.is_readonly("hit"));
         assert!(table.is_readonly("peek"));
         assert!(!table.is_readonly("missing"));
-        assert_eq!(table.methods().count(), 2);
+        assert_eq!(table.methods().count(), 3);
+    }
+
+    #[test]
+    fn call_summaries_flow_through_the_macro() {
+        let table = Probe::table();
+        assert_eq!(table.entry("hit").unwrap().calls(), None);
+        assert_eq!(table.entry("peek").unwrap().calls(), Some(&[][..]));
+        assert_eq!(
+            table.entry("chain").unwrap().calls(),
+            Some(&["Probe::hit", "Other::peek"][..])
+        );
     }
 
     #[test]
@@ -405,6 +504,18 @@ mod tests {
         assert_eq!(classes.readonly_method("Probe", "peek"), Some(true));
         assert_eq!(classes.readonly_method("Probe", "hit"), Some(false));
         assert_eq!(classes.readonly_method("Probe", "missing"), None);
-        assert_eq!(classes.methods_of("Probe").len(), 2);
+        assert_eq!(classes.methods_of("Probe").len(), 3);
+        // Call summaries land in the graph as parsed MethodRefs.
+        assert_eq!(classes.calls_of("Probe", "hit"), None);
+        assert_eq!(classes.calls_of("Probe", "peek"), Some(&[][..]));
+        assert_eq!(
+            classes.calls_of("Probe", "chain"),
+            Some(
+                &[
+                    MethodRef::new("Probe", "hit"),
+                    MethodRef::new("Other", "peek")
+                ][..]
+            )
+        );
     }
 }

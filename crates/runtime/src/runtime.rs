@@ -8,6 +8,7 @@ use crate::invocation::EventExecution;
 use crate::locks::ContextLock;
 use crate::snapshot::Snapshot;
 use crate::stats::RuntimeStats;
+use aeon_analyzer::AnalysisMode;
 use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
 use aeon_types::{
     codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
@@ -43,6 +44,9 @@ pub struct RuntimeConfig {
     /// Optional contextclass constraint graph; when present, context
     /// creation and ownership changes are validated against it.
     pub class_graph: Option<ClassGraph>,
+    /// How the static analysis pipeline treats the class graph at build
+    /// time (default: [`AnalysisMode::Enforce`]).
+    pub analysis: AnalysisMode,
     /// Worker-pool configuration for event execution (pool size, shard
     /// count, blocking escape hatch).
     pub executor: ExecutorConfig,
@@ -54,6 +58,7 @@ impl Default for RuntimeConfig {
             initial_servers: 1,
             dominator_mode: DominatorMode::default(),
             class_graph: None,
+            analysis: AnalysisMode::default(),
             executor: ExecutorConfig::default(),
         }
     }
@@ -79,9 +84,19 @@ impl RuntimeBuilder {
     }
 
     /// Installs a contextclass constraint graph; the static analysis
-    /// (`ClassGraph::check`) is run by [`RuntimeBuilder::build`].
+    /// pipeline is run by [`RuntimeBuilder::build`] (see
+    /// [`RuntimeBuilder::analysis`]).
     pub fn class_graph(mut self, classes: ClassGraph) -> Self {
         self.config.class_graph = Some(classes);
+        self
+    }
+
+    /// Sets how [`RuntimeBuilder::build`] treats analysis findings on the
+    /// class graph: `Off` skips the pipeline, `Warn` prints diagnostics and
+    /// proceeds, `Enforce` (the default) refuses to build on any
+    /// error-severity diagnostic.
+    pub fn analysis(mut self, mode: AnalysisMode) -> Self {
+        self.config.analysis = mode;
         self
     }
 
@@ -113,8 +128,10 @@ impl RuntimeBuilder {
     /// # Errors
     ///
     /// * [`AeonError::Config`] when `servers` is zero.
-    /// * [`AeonError::ClassCycleDetected`] when the class graph fails the
-    ///   static analysis.
+    /// * [`AeonError::ClassCycleDetected`] when the class graph's
+    ///   ownership constraints are cyclic.
+    /// * [`AeonError::AnalysisRejected`] when the analysis pipeline reports
+    ///   error diagnostics and the mode is [`AnalysisMode::Enforce`].
     pub fn build(self) -> Result<AeonRuntime> {
         if self.config.initial_servers == 0 {
             return Err(AeonError::Config("at least one server is required".into()));
@@ -126,6 +143,7 @@ impl RuntimeBuilder {
         }
         if let Some(classes) = &self.config.class_graph {
             classes.check()?;
+            aeon_analyzer::enforce(classes, self.config.analysis)?;
         }
         let executor = ShardedExecutor::new("aeon-runtime", self.config.executor.clone());
         let inner = Arc::new(RuntimeInner {
@@ -145,6 +163,7 @@ impl RuntimeBuilder {
             shutdown: AtomicBool::new(false),
             paused: Mutex::new(Vec::new()),
             history: RwLock::new(None),
+            summary_violations: Mutex::new(std::collections::BTreeSet::new()),
         });
         for _ in 0..inner.config.initial_servers {
             inner.add_server();
@@ -190,6 +209,10 @@ pub(crate) struct RuntimeInner {
     /// invocation/response points and every context access are reported to
     /// it (see `aeon_types::HistorySink` for the timestamping contract).
     history: RwLock<Option<SharedHistorySink>>,
+    /// Debug-build call-summary sanitizer output: human-readable records of
+    /// actual invoke edges that the statically declared `calls [...]`
+    /// summaries do not cover (deduplicated).
+    summary_violations: Mutex<std::collections::BTreeSet<String>>,
 }
 
 impl std::fmt::Debug for RuntimeInner {
@@ -223,6 +246,41 @@ impl RuntimeInner {
 
     pub(crate) fn may_call(&self, caller: ContextId, callee: ContextId) -> bool {
         self.graph.read().may_call(caller, callee)
+    }
+
+    /// Debug-build backstop of the static analysis: checks one actual
+    /// invoke edge against the caller method's declared `calls [...]`
+    /// summary and records a violation when the summary exists but does
+    /// not cover the edge.  Methods without a summary are unchecked.
+    pub(crate) fn record_call_edge(
+        &self,
+        caller: ContextId,
+        caller_method: &str,
+        target: ContextId,
+        target_method: &str,
+    ) {
+        let Some(classes) = &self.config.class_graph else {
+            return;
+        };
+        let (caller_class, target_class) = {
+            let graph = self.graph.read();
+            match (graph.class_of(caller), graph.class_of(target)) {
+                (Ok(a), Ok(b)) => (a.to_string(), b.to_string()),
+                _ => return,
+            }
+        };
+        let Some(summary) = classes.calls_of(&caller_class, caller_method) else {
+            return;
+        };
+        let covered = summary
+            .iter()
+            .any(|m| m.class == target_class && m.method == target_method);
+        if !covered {
+            self.summary_violations.lock().insert(format!(
+                "{caller_class}::{caller_method} called {target_class}::{target_method}, \
+                 which its declared call summary does not cover"
+            ));
+        }
     }
 
     pub(crate) fn children_of(
@@ -298,10 +356,7 @@ impl RuntimeInner {
             for owner in owners {
                 let owner_class = graph.class_of(*owner)?;
                 if !classes.allows(owner_class, &class) {
-                    return Err(AeonError::OwnershipViolation {
-                        caller: *owner,
-                        callee: ContextId::new(u64::MAX),
-                    });
+                    return Err(AeonError::ownership(*owner, ContextId::new(u64::MAX)));
                 }
             }
         }
@@ -334,10 +389,7 @@ impl RuntimeInner {
             let owner_class = graph.class_of(owner)?;
             let owned_class = graph.class_of(owned)?;
             if !classes.allows(owner_class, owned_class) {
-                return Err(AeonError::OwnershipViolation {
-                    caller: owner,
-                    callee: owned,
-                });
+                return Err(AeonError::ownership(owner, owned));
             }
         }
         self.graph.write().add_edge(owner, owned)
@@ -954,6 +1006,20 @@ impl AeonRuntime {
     /// Runtime-wide statistics.
     pub fn stats(&self) -> &RuntimeStats {
         &self.inner.stats
+    }
+
+    /// Call-summary sanitizer findings: actual invoke edges observed at
+    /// runtime that the statically declared `calls [...]` summaries do not
+    /// cover.  Only populated in debug builds (the recording is compiled
+    /// to a no-op in release); always empty when no class graph is
+    /// installed or no summaries are declared.
+    pub fn call_summary_violations(&self) -> Vec<String> {
+        self.inner
+            .summary_violations
+            .lock()
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Number of events currently executing, counting an event as in

@@ -745,3 +745,90 @@ fn zero_worker_pool_is_rejected() {
         Err(AeonError::Config(_))
     ));
 }
+
+/// The debug-build call-summary sanitizer: invoke edges covered by the
+/// declared `calls [...]` summary record nothing, uncovered edges are
+/// flagged (and deduplicated), and methods without a summary stay
+/// unchecked.
+#[test]
+fn call_summary_sanitizer_flags_undeclared_edges() {
+    use aeon_ownership::MethodRef;
+
+    struct Caller {
+        child: Option<ContextId>,
+    }
+    impl ContextObject for Caller {
+        fn class_name(&self) -> &str {
+            "Caller"
+        }
+        fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+            match method {
+                "adopt" => {
+                    self.child = Some(args.get_context(0)?);
+                    Ok(Value::Null)
+                }
+                // Summary declares Child::incr only; "good" stays inside it,
+                // "bad" also calls Child::set (sync) and Child::keys (async).
+                "good" | "bad" => {
+                    let child = self.child.ok_or_else(|| AeonError::app("no child"))?;
+                    inv.call(child, "incr", args!["n", 1])?;
+                    if method == "bad" {
+                        inv.call(child, "set", args!["mark", 1])?;
+                        inv.call_async(child, "keys", args![])?;
+                    }
+                    Ok(Value::Null)
+                }
+                // No summary declared for "wild": unchecked.
+                "wild" => {
+                    let child = self.child.ok_or_else(|| AeonError::app("no child"))?;
+                    inv.call(child, "set", args!["wild", 1])
+                }
+                _ => Err(AeonError::UnknownMethod {
+                    class: "Caller".into(),
+                    method: method.into(),
+                }),
+            }
+        }
+    }
+
+    let mut classes = ClassGraph::new();
+    classes.add_constraint("Caller", "Child");
+    classes.declare_method("Caller", "adopt", false);
+    classes.declare_calls("Caller", "good", [MethodRef::new("Child", "incr")]);
+    classes.declare_calls("Caller", "bad", [MethodRef::new("Child", "incr")]);
+    classes.declare_method("Caller", "wild", false);
+
+    let runtime = AeonRuntime::builder().class_graph(classes).build().unwrap();
+    let caller = runtime
+        .create_context(Box::new(Caller { child: None }), Placement::Auto)
+        .unwrap();
+    let child = runtime
+        .create_owned_context(Box::new(KvContext::new("Child")), &[caller])
+        .unwrap();
+    let client = runtime.client();
+    client.call(caller, "adopt", args![child]).unwrap();
+
+    client.call(caller, "good", args![]).unwrap();
+    client.call(caller, "wild", args![]).unwrap();
+    assert!(
+        runtime.call_summary_violations().is_empty(),
+        "covered and unchecked calls must not be flagged: {:?}",
+        runtime.call_summary_violations()
+    );
+
+    client.call(caller, "bad", args![]).unwrap();
+    client.call(caller, "bad", args![]).unwrap(); // dedup
+    let violations = runtime.call_summary_violations();
+    if cfg!(debug_assertions) {
+        assert_eq!(violations.len(), 2, "got {violations:?}");
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("Caller::bad") && v.contains("Child::set")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("Caller::bad") && v.contains("Child::keys")));
+    } else {
+        assert!(violations.is_empty(), "release builds record nothing");
+    }
+    runtime.shutdown();
+}

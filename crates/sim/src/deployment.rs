@@ -18,7 +18,8 @@
 use aeon_api::{Deployment, EventHandle, Session};
 use aeon_ownership::{ClassGraph, OwnershipGraph};
 use aeon_runtime::{
-    ContextFactory, ContextObject, Invocation, InvocationHost, Placement, Snapshot, SubEvent,
+    AnalysisMode, ContextFactory, ContextObject, Invocation, InvocationHost, Placement, Snapshot,
+    SubEvent,
 };
 use aeon_types::{
     codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
@@ -33,6 +34,7 @@ use std::sync::Arc;
 pub struct SimDeploymentBuilder {
     servers: usize,
     class_graph: Option<ClassGraph>,
+    analysis: AnalysisMode,
     service: SimDuration,
     hop: SimDuration,
 }
@@ -42,6 +44,7 @@ impl Default for SimDeploymentBuilder {
         Self {
             servers: 1,
             class_graph: None,
+            analysis: AnalysisMode::default(),
             service: SimDuration::from_micros(100),
             hop: SimDuration::from_micros(200),
         }
@@ -64,6 +67,16 @@ impl SimDeploymentBuilder {
         self
     }
 
+    /// Sets how [`SimDeploymentBuilder::build`] treats static-analysis
+    /// findings on the class graph: `Off` skips the pipeline, `Warn` prints
+    /// diagnostics and proceeds, `Enforce` (the default) refuses to build on
+    /// any error-severity diagnostic.
+    #[must_use]
+    pub fn analysis(mut self, mode: AnalysisMode) -> Self {
+        self.analysis = mode;
+        self
+    }
+
     /// Sets the virtual CPU time charged per method execution.
     #[must_use]
     pub fn service_time(mut self, service: SimDuration) -> Self {
@@ -83,14 +96,17 @@ impl SimDeploymentBuilder {
     /// # Errors
     ///
     /// * [`AeonError::Config`] when `servers` is zero.
-    /// * [`AeonError::ClassCycleDetected`] when the class graph fails the
-    ///   static analysis.
+    /// * [`AeonError::ClassCycleDetected`] when the class graph's ownership
+    ///   constraints are cyclic.
+    /// * [`AeonError::AnalysisRejected`] when the static analysis pipeline
+    ///   reports error diagnostics and the mode is [`AnalysisMode::Enforce`].
     pub fn build(self) -> Result<SimDeployment> {
         if self.servers == 0 {
             return Err(AeonError::Config("at least one server is required".into()));
         }
         if let Some(classes) = &self.class_graph {
             classes.check()?;
+            aeon_analyzer::enforce(classes, self.analysis)?;
         }
         let mut servers = BTreeMap::new();
         for raw in 0..self.servers {
@@ -211,10 +227,7 @@ impl SimState {
         if let Some(classes) = &self.class_graph {
             let owner_class = self.graph.class_of(owner)?;
             if !classes.allows(owner_class, owned_class) {
-                return Err(AeonError::OwnershipViolation {
-                    caller: owner,
-                    callee: ContextId::new(u64::MAX),
-                });
+                return Err(AeonError::ownership(owner, ContextId::new(u64::MAX)));
             }
         }
         Ok(())
@@ -313,10 +326,7 @@ impl SimExecution<'_> {
     ) -> Result<Value> {
         if let Some(caller) = caller {
             if !self.state.graph.may_call(caller, target) {
-                return Err(AeonError::OwnershipViolation {
-                    caller,
-                    callee: target,
-                });
+                return Err(AeonError::ownership(caller, target));
             }
         }
         if self.call_stack.contains(&target) {
@@ -383,10 +393,7 @@ impl InvocationHost for SimExecution<'_> {
         args: Args,
     ) -> Result<()> {
         if !self.state.graph.may_call(caller, target) {
-            return Err(AeonError::OwnershipViolation {
-                caller,
-                callee: target,
-            });
+            return Err(AeonError::ownership(caller, target));
         }
         self.pending_async
             .push_back((caller, target, method.to_string(), args));
@@ -441,10 +448,7 @@ impl InvocationHost for SimExecution<'_> {
             let owner_class = self.state.graph.class_of(owner)?;
             let owned_class = self.state.graph.class_of(owned)?;
             if !classes.allows(owner_class, owned_class) {
-                return Err(AeonError::OwnershipViolation {
-                    caller: owner,
-                    callee: owned,
-                });
+                return Err(AeonError::ownership(owner, owned));
             }
         }
         self.state.graph.add_edge(owner, owned)
@@ -678,10 +682,7 @@ impl Deployment for SimDeployment {
             let owner_class = state.graph.class_of(owner)?;
             let owned_class = state.graph.class_of(owned)?;
             if !classes.allows(owner_class, owned_class) {
-                return Err(AeonError::OwnershipViolation {
-                    caller: owner,
-                    callee: owned,
-                });
+                return Err(AeonError::ownership(owner, owned));
             }
         }
         state.graph.add_edge(owner, owned)

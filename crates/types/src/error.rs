@@ -28,6 +28,19 @@ pub enum AeonError {
     OwnershipViolation {
         caller: ContextId,
         callee: ContextId,
+        /// Optional class-level explanation (the offending classes and the
+        /// missing constraint), filled in when the violation is detected by
+        /// the static analysis rather than the runtime hot path.
+        detail: Option<String>,
+    },
+    /// The static analysis pipeline rejected the program: one or more
+    /// error-severity diagnostics (see `aeon-analyzer`) were reported for
+    /// the contextclass graph.
+    AnalysisRejected {
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// Rendered diagnostics, one per line (`AEONnnn ...`).
+        report: String,
     },
     /// A `readonly` method attempted to modify state or call a non-readonly
     /// method.
@@ -83,8 +96,22 @@ impl fmt::Display for AeonError {
                     "contextclass ownership constraints are cyclic: {description}"
                 )
             }
-            AeonError::OwnershipViolation { caller, callee } => {
-                write!(f, "context {caller} does not own {callee}")
+            AeonError::OwnershipViolation {
+                caller,
+                callee,
+                detail,
+            } => {
+                write!(f, "context {caller} does not own {callee}")?;
+                if let Some(detail) = detail {
+                    write!(f, " ({detail})")?;
+                }
+                Ok(())
+            }
+            AeonError::AnalysisRejected { errors, report } => {
+                write!(
+                    f,
+                    "static analysis rejected the contextclass graph with {errors} error(s):\n{report}"
+                )
             }
             AeonError::ReadOnlyViolation { context, method } => {
                 write!(
@@ -145,6 +172,16 @@ impl AeonError {
         AeonError::Internal(msg.to_string())
     }
 
+    /// Creates an [`AeonError::OwnershipViolation`] with no class-level
+    /// detail (the runtime hot path, which only knows the context ids).
+    pub fn ownership(caller: ContextId, callee: ContextId) -> Self {
+        AeonError::OwnershipViolation {
+            caller,
+            callee,
+            detail: None,
+        }
+    }
+
     /// Converts a caught panic payload (from `std::panic::catch_unwind`)
     /// into an [`AeonError::Panicked`], extracting the message when the
     /// payload is a string.
@@ -179,6 +216,30 @@ mod tests {
             to: ContextId::new(2),
         };
         assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn ownership_violation_detail_is_appended_when_present() {
+        let bare = AeonError::ownership(ContextId::new(1), ContextId::new(2));
+        assert_eq!(bare.to_string(), "context ctx-1 does not own ctx-2");
+        let rich = AeonError::OwnershipViolation {
+            caller: ContextId::new(1),
+            callee: ContextId::new(2),
+            detail: Some("class Item may not own class Player".into()),
+        };
+        assert!(rich.to_string().contains("class Item"));
+    }
+
+    #[test]
+    fn analysis_rejected_reports_count_and_diagnostics() {
+        let err = AeonError::AnalysisRejected {
+            errors: 2,
+            report: "AEON002 ...\nAEON003 ...".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("2 error(s)"));
+        assert!(text.contains("AEON003"));
+        assert!(!err.is_transient());
     }
 
     #[test]

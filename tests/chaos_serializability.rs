@@ -142,10 +142,11 @@ fn crash_and_recover(cluster: &Cluster, checkpoint: &Snapshot, pause: &Arc<Atomi
 }
 
 /// One full chaos run; returns the recorded history.
-fn run_chaos(seed: u64, torn: bool) -> History {
+fn run_chaos(seed: u64, torn: bool, transport: ClusterTransport) -> History {
     let cluster = Cluster::builder()
         .servers(3)
         .class_graph(bank_class_graph())
+        .transport(transport)
         .torn_snapshot_for_tests(torn)
         .build()
         .unwrap();
@@ -219,7 +220,7 @@ fn run_chaos(seed: u64, torn: bool) -> History {
 fn chaos_cluster_history_is_strictly_serializable() {
     let seed = chaos_seed();
     for round in 0..2u64 {
-        let history = run_chaos(seed.wrapping_add(round), false);
+        let history = run_chaos(seed.wrapping_add(round), false, ClusterTransport::default());
         assert!(
             history.operation_count() >= 1_000,
             "expected a >=1k-op history, got {} (seed {seed}, round {round})",
@@ -231,11 +232,33 @@ fn chaos_cluster_history_is_strictly_serializable() {
     }
 }
 
+/// The same chaos workload over the real wire path: every inter-server hop
+/// crosses the TCP loopback transport, so the serializability guarantee the
+/// static analyzer certifies at deploy time is exercised end to end on the
+/// transport a production cluster would use.
+#[test]
+fn chaos_cluster_history_is_strictly_serializable_over_tcp_loopback() {
+    let seed = chaos_seed().wrapping_add(0x7c9);
+    let history = run_chaos(seed, false, ClusterTransport::TcpLoopback);
+    assert!(
+        history.operation_count() >= 1_000,
+        "expected a >=1k-op history, got {} (seed {seed})",
+        history.operation_count()
+    );
+    if let Err(violation) = check_strict_serializability(&history) {
+        panic!("tcp-loopback seed {seed}: {violation}");
+    }
+}
+
 #[test]
 fn torn_member_at_a_time_snapshot_is_caught_by_the_checker() {
     let seed = chaos_seed().wrapping_add(0x7021);
     for attempt in 0..3u64 {
-        let history = run_chaos(seed.wrapping_add(attempt), true);
+        let history = run_chaos(
+            seed.wrapping_add(attempt),
+            true,
+            ClusterTransport::default(),
+        );
         if check_strict_serializability(&history).is_err() {
             return;
         }
