@@ -61,8 +61,8 @@ pub mod passes;
 pub mod report;
 
 pub use passes::{
-    analyze, CallCoverage, ConstraintCycles, DeadlockFreedom, Pass, Pipeline, Reachability,
-    ReadonlySoundness,
+    analyze, certified_readonly, transitively_readonly, CallCoverage, ConstraintCycles,
+    DeadlockFreedom, Pass, Pipeline, Reachability, ReadonlySoundness,
 };
 pub use report::{AnalysisReport, DiagCode, Diagnostic, Severity};
 

@@ -453,6 +453,92 @@ impl Pass for Reachability {
     }
 }
 
+/// The set of declared `ro` methods the AEON003 fixpoint proves
+/// **transitively** read-only: every method reachable from them over
+/// resolvable declared call edges is itself declared `ro`.
+///
+/// This is the positive complement of [`ReadonlySoundness`]: that pass
+/// reports `ro` methods that *may* reach a mutating method; this query
+/// returns the `ro` methods for which the same breadth-first fixpoint finds
+/// no such path **and** every edge along the way carries a call summary
+/// (a summary-less callee could call anything, so nothing past it can be
+/// proven).  Methods whose own summary is missing are excluded — with no
+/// summary the method body is unconstrained.
+pub fn transitively_readonly(classes: &ClassGraph) -> BTreeSet<MethodRef> {
+    let mut certified = BTreeSet::new();
+    let class_names: Vec<String> = classes.classes().map(str::to_string).collect();
+    for class in &class_names {
+        for method in classes.methods_of(class) {
+            if !method.readonly || method.calls.is_none() {
+                continue;
+            }
+            let start = MethodRef::new(class.clone(), method.name.clone());
+            let mut queue: VecDeque<MethodRef> = VecDeque::from([start.clone()]);
+            let mut seen: BTreeSet<MethodRef> = BTreeSet::from([start.clone()]);
+            let mut proven = true;
+            'search: while let Some(node) = queue.pop_front() {
+                let Some(calls) = classes.calls_of(&node.class, &node.method) else {
+                    // A reachable callee without a summary defeats the
+                    // proof (its body is unconstrained).  The start method
+                    // itself was already required to carry one.
+                    proven = false;
+                    break;
+                };
+                for call in calls {
+                    if !resolvable(classes, call) {
+                        proven = false;
+                        break 'search;
+                    }
+                    if !seen.insert(call.clone()) {
+                        continue;
+                    }
+                    if classes.readonly_method(&call.class, &call.method) != Some(true) {
+                        // Mutating, or a method on a class with no declared
+                        // surface (unknowable).
+                        proven = false;
+                        break 'search;
+                    }
+                    queue.push_back(call.clone());
+                }
+            }
+            if proven {
+                certified.insert(start);
+            }
+        }
+    }
+    certified
+}
+
+/// The subset of [`transitively_readonly`] methods eligible for the
+/// runtime's **read-only fast path**: `ro` methods whose declared call
+/// summary is empty (`calls []`), i.e. their lock footprint is exactly the
+/// target context.
+///
+/// The fast path skips dominator sequencing, so two concurrently executing
+/// fast-path events share no common sequencer with in-flight exclusive
+/// events.  That is only deadlock-free if a fast-path event never *waits*
+/// for a second context while holding its first: a reader holding `T`
+/// (shared) and waiting for `C` opposite a writer holding `C` (exclusive)
+/// and waiting for `T` is a cycle no dominator breaks, because neither
+/// event was sequenced.  Restricting the fast path to leaf methods (empty
+/// summary ⇒ single-lock footprint, even for same-class calls, which
+/// target *other* instances) makes the hold-and-wait condition impossible,
+/// so skipping the sequencer is safe.  Transitively-ro methods *with*
+/// calls still take the slow path: dominator sequencing under a shared
+/// activation.
+pub fn certified_readonly(classes: &ClassGraph) -> BTreeSet<MethodRef> {
+    let mut certified = BTreeSet::new();
+    let class_names: Vec<String> = classes.classes().map(str::to_string).collect();
+    for class in &class_names {
+        for method in classes.methods_of(class) {
+            if method.readonly && method.calls.as_deref().is_some_and(<[MethodRef]>::is_empty) {
+                certified.insert(MethodRef::new(class.clone(), method.name.clone()));
+            }
+        }
+    }
+    certified
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +715,71 @@ mod tests {
         g.declare_method("Kv", "get", true);
         let report = analyze(&g);
         assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn transitively_readonly_follows_the_aeon003_fixpoint() {
+        let mut g = ClassGraph::new();
+        g.add_constraint("Bank", "Branch");
+        g.add_constraint("Branch", "Account");
+        g.declare_method("Account", "read", true);
+        g.declare_calls("Account", "read", []);
+        g.declare_method("Account", "add", false);
+        g.declare_calls("Account", "add", []);
+        // Transitively ro through a chain of ro summaries.
+        g.declare_method("Branch", "total", true);
+        g.declare_calls("Branch", "total", [MethodRef::new("Account", "read")]);
+        g.declare_method("Bank", "audit", true);
+        g.declare_calls("Bank", "audit", [MethodRef::new("Branch", "total")]);
+        // ro mark but reaches a mutating method: not certified.
+        g.declare_method("Branch", "sneaky", true);
+        g.declare_calls("Branch", "sneaky", [MethodRef::new("Account", "add")]);
+        // ro mark but no summary: unconstrained body, not certified.
+        g.declare_method("Branch", "opaque", true);
+        let ro = transitively_readonly(&g);
+        assert!(ro.contains(&MethodRef::new("Account", "read")));
+        assert!(ro.contains(&MethodRef::new("Branch", "total")));
+        assert!(ro.contains(&MethodRef::new("Bank", "audit")));
+        assert!(!ro.contains(&MethodRef::new("Branch", "sneaky")));
+        assert!(!ro.contains(&MethodRef::new("Branch", "opaque")));
+        assert!(!ro.contains(&MethodRef::new("Account", "add")));
+    }
+
+    #[test]
+    fn transitively_readonly_rejects_summary_gaps() {
+        let mut g = ClassGraph::new();
+        g.add_constraint("Branch", "Account");
+        // Callee is ro but carries no summary of its own: the chain cannot
+        // be proven past it.
+        g.declare_method("Account", "read", true);
+        g.declare_method("Branch", "total", true);
+        g.declare_calls("Branch", "total", [MethodRef::new("Account", "read")]);
+        let ro = transitively_readonly(&g);
+        assert!(!ro.contains(&MethodRef::new("Branch", "total")));
+        assert!(!ro.contains(&MethodRef::new("Account", "read")));
+    }
+
+    #[test]
+    fn certified_readonly_is_the_leaf_subset() {
+        let mut g = ClassGraph::new();
+        g.add_constraint("Branch", "Account");
+        g.declare_method("Account", "read", true);
+        g.declare_calls("Account", "read", []);
+        g.declare_method("Account", "add", false);
+        g.declare_calls("Account", "add", []);
+        g.declare_method("Branch", "total", true);
+        g.declare_calls("Branch", "total", [MethodRef::new("Account", "read")]);
+        let fast = certified_readonly(&g);
+        // Leaf + ro: certified.
+        assert!(fast.contains(&MethodRef::new("Account", "read")));
+        // Leaf but mutating: not certified.
+        assert!(!fast.contains(&MethodRef::new("Account", "add")));
+        // ro (even transitively) but with a lock footprint beyond the
+        // target: slow path.
+        assert!(!fast.contains(&MethodRef::new("Branch", "total")));
+        // Certified methods are always transitively readonly.
+        let ro = transitively_readonly(&g);
+        assert!(fast.iter().all(|m| ro.contains(m)));
     }
 
     #[test]

@@ -64,4 +64,4 @@ pub use traits::{Deployment, Session};
 // Re-export the vocabulary types a Deployment consumer needs, so application
 // crates can depend on `aeon-api` alone for the common case.
 pub use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
-pub use aeon_types::{HistorySink, ServerMetrics, SharedHistorySink};
+pub use aeon_types::{HistorySink, LatencyHistogram, ServerMetrics, SharedHistorySink};

@@ -1,0 +1,1136 @@
+//! `aeon-bench`: the machine-readable hot-path benchmark runner.
+//!
+//! Unlike the `figN` binaries (which regenerate the paper's figures as TSV
+//! tables), this runner measures the live backends and emits versioned JSON
+//! documents — `BENCH_<suite>.json`, schema `aeon-bench/v1` — that CI and
+//! regression tooling can diff across commits.
+//!
+//! Suites:
+//!
+//! * `fig5-game`  — game world gold-mining bursts on the runtime and the
+//!   Channel cluster (the paper's §6.2 workload).
+//! * `fig6-tpcc`  — TPC-C Payment on the runtime and the Channel cluster
+//!   (§6.3).
+//! * `readonly`   — certified read-only burst on the bank world, measured
+//!   with the analyzer-certified fast path disabled (the "before" leg) and
+//!   enabled (the "after" leg), on both backends.  The fast-path event
+//!   counters land in each result's `extra` map.
+//! * `micro`      — submit latency, executor saturation, and wire codec
+//!   encode/decode microbenchmarks.
+//!
+//! Usage:
+//!
+//! ```text
+//! aeon-bench [--only=SUITE[,SUITE]] [--out-dir=DIR] [--smoke]
+//! aeon-bench --validate [FILE...]
+//! ```
+//!
+//! `AEON_BENCH_SMOKE=1` (or `--smoke`) shrinks every suite to CI-smoke
+//! scale.  `--validate` parses the given files (default: every
+//! `BENCH_*.json` in the output directory) and checks them against the
+//! `aeon-bench/v1` schema, exiting non-zero on any violation.
+
+use aeon_api::{Deployment, Session};
+use aeon_apps::bank::{bank_class_graph, deploy_bank, BankWorldConfig};
+use aeon_apps::game::{deploy_game, game_class_graph};
+use aeon_apps::tpcc::{deploy_tpcc, run_payment, tpcc_class_graph};
+use aeon_bench::{live_game_run, live_tpcc_run};
+use aeon_cluster::Cluster;
+use aeon_runtime::{AeonRuntime, KvContext, Placement};
+use aeon_types::{args, codec, Args, ContextId, LatencyHistogram, Result, Value};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Outstanding-handle cap for burst submission: keeps memory bounded while
+/// still saturating the executor.
+const WAVE: usize = 1024;
+
+fn main() {
+    let options = Options::parse(std::env::args().skip(1));
+    let code = if options.validate {
+        validate_main(&options)
+    } else {
+        match run_suites(&options) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("aeon-bench: {e}");
+                1
+            }
+        }
+    };
+    std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+struct Options {
+    only: Option<Vec<String>>,
+    out_dir: String,
+    smoke: bool,
+    validate: bool,
+    files: Vec<String>,
+}
+
+impl Options {
+    fn parse(argv: impl Iterator<Item = String>) -> Self {
+        let mut options = Options {
+            only: None,
+            out_dir: ".".to_string(),
+            smoke: std::env::var("AEON_BENCH_SMOKE").is_ok_and(|v| v == "1"),
+            validate: false,
+            files: Vec::new(),
+        };
+        for arg in argv {
+            if let Some(list) = arg.strip_prefix("--only=") {
+                options.only = Some(list.split(',').map(str::to_string).collect());
+            } else if let Some(dir) = arg.strip_prefix("--out-dir=") {
+                options.out_dir = dir.to_string();
+            } else if arg == "--smoke" {
+                options.smoke = true;
+            } else if arg == "--validate" {
+                options.validate = true;
+            } else if arg.starts_with("--") {
+                eprintln!("aeon-bench: unknown flag {arg}");
+                std::process::exit(2);
+            } else {
+                options.files.push(arg);
+            }
+        }
+        options
+    }
+
+    fn wants(&self, suite: &str) -> bool {
+        match &self.only {
+            None => true,
+            Some(only) => only.iter().any(|s| s == suite),
+        }
+    }
+}
+
+fn fingerprint(smoke: bool) -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    format!(
+        "profile={profile} host_workers={} smoke={smoke}",
+        host_workers()
+    )
+}
+
+/// Available hardware parallelism, clamped to a sane pool size so the
+/// full-scale suites do not oversubscribe small CI hosts.
+fn host_workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .clamp(2, 8)
+}
+
+// ---------------------------------------------------------------------------
+// Result model and JSON emission
+// ---------------------------------------------------------------------------
+
+/// One measured (bench, backend) cell of a suite document.
+struct BenchResult {
+    bench: String,
+    backend: String,
+    config: String,
+    events: u64,
+    ops_per_sec: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+    /// Optional counters (fast-path events, batch hits, ...).
+    extra: Vec<(String, u64)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_document(name: &str, smoke: bool, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"aeon-bench/v1\",");
+    let _ = writeln!(out, "  \"name\": \"{}\",", json_escape(name));
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"fingerprint\": \"{}\",",
+        json_escape(&fingerprint(smoke))
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"bench\": \"{}\",", json_escape(&r.bench));
+        let _ = writeln!(out, "      \"backend\": \"{}\",", json_escape(&r.backend));
+        let _ = writeln!(out, "      \"config\": \"{}\",", json_escape(&r.config));
+        let _ = writeln!(out, "      \"events\": {},", r.events);
+        let ops = if r.ops_per_sec.is_finite() {
+            r.ops_per_sec
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "      \"ops_per_sec\": {ops:.2},");
+        let _ = writeln!(out, "      \"p50_micros\": {},", r.p50_micros);
+        if r.extra.is_empty() {
+            let _ = writeln!(out, "      \"p99_micros\": {}", r.p99_micros);
+        } else {
+            let _ = writeln!(out, "      \"p99_micros\": {},", r.p99_micros);
+            out.push_str("      \"extra\": {");
+            for (j, (key, value)) in r.extra.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {value}", json_escape(key));
+            }
+            out.push_str("}\n");
+        }
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_document(options: &Options, name: &str, results: &[BenchResult]) -> Result<String> {
+    let file = format!("{}/BENCH_{}.json", options.out_dir, name.replace('-', "_"));
+    let doc = render_document(name, options.smoke, results);
+    std::fs::write(&file, doc)
+        .map_err(|e| aeon_types::AeonError::Config(format!("cannot write {file}: {e}")))?;
+    for r in results {
+        println!(
+            "{:<12} {:<22} {:>10} events {:>12.2} ops/s  p50={}us p99={}us  [{}]",
+            name, r.backend, r.events, r.ops_per_sec, r.p50_micros, r.p99_micros, r.config
+        );
+    }
+    println!("wrote {file}");
+    Ok(file)
+}
+
+// ---------------------------------------------------------------------------
+// Generic burst measurement
+// ---------------------------------------------------------------------------
+
+struct LegOutcome {
+    events: u64,
+    ops_per_sec: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+}
+
+/// Runs `burst` against a fresh session on `deployment`, timing it
+/// end-to-end; latency percentiles come from the backend's merged
+/// per-server histograms so the same code measures every backend.
+fn run_leg(
+    deployment: &dyn Deployment,
+    burst: impl FnOnce(&dyn Session) -> Result<usize>,
+) -> Result<LegOutcome> {
+    let session = deployment.session();
+    let started = Instant::now();
+    let events = burst(session.as_ref())?;
+    let secs = started.elapsed().as_secs_f64();
+    let mut latency = LatencyHistogram::new();
+    for metrics in deployment.server_metrics() {
+        latency.merge(&metrics.latency);
+    }
+    Ok(LegOutcome {
+        events: events as u64,
+        ops_per_sec: events as f64 / secs.max(f64::MIN_POSITIVE),
+        p50_micros: latency.p50_micros(),
+        p99_micros: latency.p99_micros(),
+    })
+}
+
+/// Submits `events` events round-robin over `targets` in bounded waves.
+fn burst_events(
+    session: &dyn Session,
+    targets: &[ContextId],
+    events: usize,
+    method: &str,
+    readonly: bool,
+    payload: &dyn Fn() -> Args,
+) -> Result<usize> {
+    let mut handles = Vec::with_capacity(WAVE.min(events));
+    let mut submitted = 0usize;
+    while submitted < events {
+        let wave = WAVE.min(events - submitted);
+        for _ in 0..wave {
+            let target = targets[submitted % targets.len()];
+            let handle = if readonly {
+                session.submit_readonly_event(target, method, payload())?
+            } else {
+                session.submit_event(target, method, payload())?
+            };
+            handles.push(handle);
+            submitted += 1;
+        }
+        for handle in handles.drain(..) {
+            handle.wait()?;
+        }
+    }
+    Ok(submitted)
+}
+
+// ---------------------------------------------------------------------------
+// Suite: fig5-game
+// ---------------------------------------------------------------------------
+
+fn suite_fig5_game(options: &Options) -> Result<Vec<BenchResult>> {
+    let (pool, rooms, events_per_player) = if options.smoke {
+        (2, 2, 5)
+    } else {
+        (host_workers(), 8, 100)
+    };
+    let mut results = Vec::new();
+
+    let report = live_game_run(pool, rooms, events_per_player)?;
+    results.push(BenchResult {
+        bench: "fig5-game".into(),
+        backend: "runtime".into(),
+        config: format!("pool={pool} rooms={rooms} events_per_player={events_per_player}"),
+        events: report.events as u64,
+        ops_per_sec: report.throughput,
+        p50_micros: report.p50_micros,
+        p99_micros: report.p99_micros,
+        extra: Vec::new(),
+    });
+
+    let servers = rooms.clamp(2, 4);
+    let cluster = Cluster::builder()
+        .servers(servers)
+        .worker_threads(pool)
+        .class_graph(game_class_graph())
+        .build()?;
+    let world = deploy_game(&cluster, rooms, 4)?;
+    let players: Vec<ContextId> = world.players.iter().flatten().copied().collect();
+    let total = players.len() * events_per_player;
+    let leg = run_leg(&cluster, |session| {
+        burst_events(session, &players, total, "get_gold", false, &|| args![1])
+    })?;
+    cluster.shutdown();
+    results.push(BenchResult {
+        bench: "fig5-game".into(),
+        backend: "cluster-channel".into(),
+        config: format!(
+            "servers={servers} pool={pool} rooms={rooms} events_per_player={events_per_player}"
+        ),
+        events: leg.events,
+        ops_per_sec: leg.ops_per_sec,
+        p50_micros: leg.p50_micros,
+        p99_micros: leg.p99_micros,
+        extra: Vec::new(),
+    });
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------------
+// Suite: fig6-tpcc
+// ---------------------------------------------------------------------------
+
+fn suite_fig6_tpcc(options: &Options) -> Result<Vec<BenchResult>> {
+    let (pool, districts, clients, payments) = if options.smoke {
+        (2, 2, 2, 10)
+    } else {
+        (host_workers(), 4, host_workers(), 100)
+    };
+    let mut results = Vec::new();
+
+    let report = live_tpcc_run(pool, districts, clients, payments)?;
+    results.push(BenchResult {
+        bench: "fig6-tpcc".into(),
+        backend: "runtime".into(),
+        config: format!("pool={pool} districts={districts} clients={clients} payments={payments}"),
+        events: report.events as u64,
+        ops_per_sec: report.throughput,
+        p50_micros: report.p50_micros,
+        p99_micros: report.p99_micros,
+        extra: Vec::new(),
+    });
+
+    let servers = districts.max(2);
+    let cluster = Cluster::builder()
+        .servers(servers)
+        .worker_threads(pool)
+        .class_graph(tpcc_class_graph())
+        .build()?;
+    let world = deploy_tpcc(&cluster, districts, 4)?;
+    let started = Instant::now();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut joins = Vec::new();
+        for client in 0..clients {
+            let session = Deployment::session(&cluster);
+            let world = &world;
+            joins.push(scope.spawn(move || -> Result<()> {
+                for payment in 0..payments {
+                    let district = (client + payment) % world.districts.len();
+                    let customer = payment % world.customers[district].len();
+                    run_payment(session.as_ref(), world, district, customer, 1)?;
+                }
+                Ok(())
+            }));
+        }
+        for join in joins {
+            join.join().expect("tpcc client thread does not panic")?;
+        }
+        Ok(())
+    })?;
+    let secs = started.elapsed().as_secs_f64();
+    // A Payment is three events (warehouse, district, customer).
+    let events = (clients * payments * 3) as u64;
+    let mut latency = LatencyHistogram::new();
+    for metrics in cluster.server_metrics() {
+        latency.merge(&metrics.latency);
+    }
+    cluster.shutdown();
+    results.push(BenchResult {
+        bench: "fig6-tpcc".into(),
+        backend: "cluster-channel".into(),
+        config: format!("servers={servers} pool={pool} districts={districts} clients={clients} payments={payments}"),
+        events,
+        ops_per_sec: events as f64 / secs.max(f64::MIN_POSITIVE),
+        p50_micros: latency.p50_micros(),
+        p99_micros: latency.p99_micros(),
+        extra: Vec::new(),
+    });
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------------
+// Suite: readonly (fast-path A/B)
+// ---------------------------------------------------------------------------
+
+fn suite_readonly(options: &Options) -> Result<Vec<BenchResult>> {
+    let (pool, runtime_events, cluster_events) = if options.smoke {
+        (2, 2_000, 400)
+    } else {
+        (host_workers(), 120_000, 60_000)
+    };
+    let config = BankWorldConfig::default();
+    let mut results = Vec::new();
+
+    // `Account::read` is declared `ro` with a `calls []` summary, so the
+    // analyzer certifies it; the off-leg is the "before" measurement.
+    for fast_path in [false, true] {
+        let runtime = AeonRuntime::builder()
+            .servers(4)
+            .worker_threads(pool)
+            .class_graph(bank_class_graph())
+            .readonly_fast_path(fast_path)
+            .build()?;
+        let world = deploy_bank(&runtime, &config)?;
+        // Untimed warmup: populates caches and spins the worker pool up so
+        // the timed burst measures steady state.
+        burst_events(
+            Deployment::session(&runtime).as_ref(),
+            &world.accounts,
+            runtime_events / 10,
+            "read",
+            true,
+            &|| args![],
+        )?;
+        let leg = run_leg(&runtime, |session| {
+            burst_events(
+                session,
+                &world.accounts,
+                runtime_events,
+                "read",
+                true,
+                &|| args![],
+            )
+        })?;
+        let stats = runtime.executor_stats();
+        runtime.shutdown();
+        results.push(BenchResult {
+            bench: "readonly".into(),
+            backend: if fast_path {
+                "runtime+fastpath"
+            } else {
+                "runtime"
+            }
+            .into(),
+            config: format!(
+                "pool={pool} accounts={} events={runtime_events}",
+                world.accounts.len()
+            ),
+            events: leg.events,
+            ops_per_sec: leg.ops_per_sec,
+            p50_micros: leg.p50_micros,
+            p99_micros: leg.p99_micros,
+            extra: vec![
+                ("fast_path_events".into(), stats.fast_path),
+                ("batched".into(), stats.batched),
+            ],
+        });
+    }
+
+    for fast_path in [false, true] {
+        let cluster = Cluster::builder()
+            .servers(4)
+            .worker_threads(pool)
+            .class_graph(bank_class_graph())
+            .readonly_fast_path(fast_path)
+            .build()?;
+        let world = deploy_bank(&cluster, &config)?;
+        burst_events(
+            Deployment::session(&cluster).as_ref(),
+            &world.accounts,
+            cluster_events / 10,
+            "read",
+            true,
+            &|| args![],
+        )?;
+        let leg = run_leg(&cluster, |session| {
+            burst_events(
+                session,
+                &world.accounts,
+                cluster_events,
+                "read",
+                true,
+                &|| args![],
+            )
+        })?;
+        let fast_path_events = cluster.fast_path_events();
+        cluster.shutdown();
+        results.push(BenchResult {
+            bench: "readonly".into(),
+            backend: if fast_path {
+                "cluster-channel+fastpath"
+            } else {
+                "cluster-channel"
+            }
+            .into(),
+            config: format!(
+                "servers=4 pool={pool} accounts={} events={cluster_events}",
+                world.accounts.len()
+            ),
+            events: leg.events,
+            ops_per_sec: leg.ops_per_sec,
+            p50_micros: leg.p50_micros,
+            p99_micros: leg.p99_micros,
+            extra: vec![("fast_path_events".into(), fast_path_events)],
+        });
+    }
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------------
+// Suite: micro
+// ---------------------------------------------------------------------------
+
+fn suite_micro(options: &Options) -> Result<Vec<BenchResult>> {
+    let (pool, submit_events, sat_per_thread, codec_ops) = if options.smoke {
+        (2, 500, 200, 50_000)
+    } else {
+        (host_workers(), 20_000, 5_000, 2_000_000)
+    };
+    let mut results = Vec::new();
+
+    // Submit latency: sequential submit+wait on one context measures the
+    // full event round trip with no queueing noise.
+    {
+        let runtime = AeonRuntime::builder()
+            .servers(2)
+            .worker_threads(pool)
+            .build()?;
+        let kv = runtime.create_context(Box::new(KvContext::new("Kv")), Placement::Auto)?;
+        let session = runtime.client();
+        let mut latency = LatencyHistogram::new();
+        let started = Instant::now();
+        for _ in 0..submit_events {
+            let at = Instant::now();
+            Session::submit_event(&session, kv, "incr", args!["hits", 1])?.wait()?;
+            latency.record(at.elapsed().as_micros() as u64);
+        }
+        let secs = started.elapsed().as_secs_f64();
+        runtime.shutdown();
+        results.push(BenchResult {
+            bench: "submit-latency".into(),
+            backend: "runtime".into(),
+            config: format!("pool={pool} sequential events={submit_events}"),
+            events: submit_events as u64,
+            ops_per_sec: submit_events as f64 / secs.max(f64::MIN_POSITIVE),
+            p50_micros: latency.p50_micros(),
+            p99_micros: latency.p99_micros(),
+            extra: Vec::new(),
+        });
+    }
+
+    // Executor saturation: every worker floods its own contexts.
+    {
+        let threads = pool;
+        let runtime = AeonRuntime::builder()
+            .servers(2)
+            .worker_threads(pool)
+            .build()?;
+        let contexts: Vec<ContextId> = (0..threads * 2)
+            .map(|_| runtime.create_context(Box::new(KvContext::new("Kv")), Placement::Auto))
+            .collect::<Result<_>>()?;
+        let started = Instant::now();
+        std::thread::scope(|scope| -> Result<()> {
+            let mut joins = Vec::new();
+            for thread in 0..threads {
+                let session = runtime.client();
+                let contexts = &contexts;
+                joins.push(scope.spawn(move || -> Result<()> {
+                    let mine: Vec<ContextId> = contexts
+                        .iter()
+                        .copied()
+                        .skip(thread)
+                        .step_by(threads)
+                        .collect();
+                    burst_events(&session, &mine, sat_per_thread, "incr", false, &|| {
+                        args!["hits", 1]
+                    })?;
+                    Ok(())
+                }));
+            }
+            for join in joins {
+                join.join().expect("saturation thread does not panic")?;
+            }
+            Ok(())
+        })?;
+        let secs = started.elapsed().as_secs_f64();
+        let events = (threads * sat_per_thread) as u64;
+        let latency = runtime.stats().latency_summary();
+        let stats = runtime.executor_stats();
+        runtime.shutdown();
+        results.push(BenchResult {
+            bench: "executor-saturation".into(),
+            backend: "runtime".into(),
+            config: format!(
+                "pool={pool} threads={threads} contexts={} events={events}",
+                contexts.len()
+            ),
+            events,
+            ops_per_sec: events as f64 / secs.max(f64::MIN_POSITIVE),
+            p50_micros: latency.p50_micros,
+            p99_micros: latency.p99_micros,
+            extra: vec![("batched".into(), stats.batched)],
+        });
+    }
+
+    // Wire codec: encode/decode per-1024-op batches of a representative
+    // protocol payload (the public `aeon_types::codec` is the cluster's
+    // wire format).
+    {
+        let payload = Value::map([
+            ("method", Value::from("transfer")),
+            ("amount", Value::from(1234i64)),
+            (
+                "trace",
+                Value::List((0..8).map(|i| Value::from(format!("hop-{i}"))).collect()),
+            ),
+        ]);
+        let encoded = codec::encode(&payload);
+        for (name, decode) in [("wire-encode", false), ("wire-decode", true)] {
+            let mut latency = LatencyHistogram::new();
+            let mut done = 0usize;
+            let started = Instant::now();
+            while done < codec_ops {
+                let batch = 1024.min(codec_ops - done);
+                let at = Instant::now();
+                for _ in 0..batch {
+                    if decode {
+                        std::hint::black_box(codec::decode(std::hint::black_box(&encoded))?);
+                    } else {
+                        std::hint::black_box(codec::encode(std::hint::black_box(&payload)));
+                    }
+                }
+                latency.record(at.elapsed().as_micros() as u64);
+                done += batch;
+            }
+            let secs = started.elapsed().as_secs_f64();
+            results.push(BenchResult {
+                bench: name.into(),
+                backend: "types-codec".into(),
+                config: format!("payload_bytes={} batch=1024 ops={codec_ops}", encoded.len()),
+                events: codec_ops as u64,
+                ops_per_sec: codec_ops as f64 / secs.max(f64::MIN_POSITIVE),
+                p50_micros: latency.p50_micros(),
+                p99_micros: latency.p99_micros(),
+                extra: Vec::new(),
+            });
+        }
+    }
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+fn run_suites(options: &Options) -> Result<()> {
+    type Suite = (&'static str, fn(&Options) -> Result<Vec<BenchResult>>);
+    let suites: [Suite; 4] = [
+        ("fig5-game", suite_fig5_game),
+        ("fig6-tpcc", suite_fig6_tpcc),
+        ("readonly", suite_readonly),
+        ("micro", suite_micro),
+    ];
+    let mut ran = 0;
+    for (name, run) in suites {
+        if !options.wants(name) {
+            continue;
+        }
+        let results = run(options)?;
+        write_document(options, name, &results)?;
+        ran += 1;
+    }
+    if ran == 0 {
+        return Err(aeon_types::AeonError::Config(format!(
+            "no suite matched --only={}",
+            options.only.as_deref().unwrap_or_default().join(",")
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// --validate: a minimal JSON parser plus the aeon-bench/v1 schema check
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (hand-rolled: the build environment has no JSON
+/// dependency, and the vendored serde is a marker-trait stub).
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> std::result::Result<Json, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> std::result::Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> std::result::Result<(), String> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> std::result::Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> std::result::Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> std::result::Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> std::result::Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> std::result::Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let escape = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                byte => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let len = match byte {
+                        0xf0..=0xf7 => 4,
+                        0xe0..=0xef => 3,
+                        0xc0..=0xdf => 2,
+                        _ => 1,
+                    };
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| "truncated UTF-8".to_string())?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> std::result::Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+/// Checks one parsed document against the `aeon-bench/v1` schema.
+fn validate_schema(doc: &Json) -> std::result::Result<usize, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != "aeon-bench/v1" {
+        return Err(format!(
+            "unknown schema {schema:?} (expected \"aeon-bench/v1\")"
+        ));
+    }
+    doc.get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"name\"")?;
+    match doc.get("smoke") {
+        Some(Json::Bool(_)) => {}
+        _ => return Err("missing bool field \"smoke\"".to_string()),
+    }
+    doc.get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"fingerprint\"")?;
+    let results = match doc.get("results") {
+        Some(Json::Arr(items)) if !items.is_empty() => items,
+        Some(Json::Arr(_)) => return Err("\"results\" must not be empty".to_string()),
+        _ => return Err("missing array field \"results\"".to_string()),
+    };
+    for (i, result) in results.iter().enumerate() {
+        for key in ["bench", "backend", "config"] {
+            result
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("results[{i}]: missing string field {key:?}"))?;
+        }
+        for key in ["events", "ops_per_sec", "p50_micros", "p99_micros"] {
+            let value = result
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("results[{i}]: missing number field {key:?}"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!(
+                    "results[{i}]: field {key:?} must be a finite non-negative number"
+                ));
+            }
+        }
+        match result.get("extra") {
+            None => {}
+            Some(Json::Obj(fields)) => {
+                for (key, value) in fields {
+                    if value.as_num().is_none() {
+                        return Err(format!("results[{i}]: extra[{key:?}] must be a number"));
+                    }
+                }
+            }
+            Some(_) => return Err(format!("results[{i}]: \"extra\" must be an object")),
+        }
+    }
+    Ok(results.len())
+}
+
+fn validate_main(options: &Options) -> i32 {
+    let files = if options.files.is_empty() {
+        match std::fs::read_dir(&options.out_dir) {
+            Ok(entries) => {
+                let mut files: Vec<String> = entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path().to_string_lossy().into_owned())
+                    .filter(|p| {
+                        let name = p.rsplit('/').next().unwrap_or(p);
+                        name.starts_with("BENCH_") && name.ends_with(".json")
+                    })
+                    .collect();
+                files.sort();
+                files
+            }
+            Err(e) => {
+                eprintln!("aeon-bench: cannot read {}: {e}", options.out_dir);
+                return 1;
+            }
+        }
+    } else {
+        options.files.clone()
+    };
+    if files.is_empty() {
+        eprintln!(
+            "aeon-bench: no BENCH_*.json files found in {}",
+            options.out_dir
+        );
+        return 1;
+    }
+    let mut failures = 0;
+    for file in &files {
+        let outcome = std::fs::read_to_string(file)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Parser::parse(&text))
+            .and_then(|doc| validate_schema(&doc));
+        match outcome {
+            Ok(results) => println!("{file}: ok ({results} results)"),
+            Err(e) => {
+                eprintln!("{file}: INVALID: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_results() -> Vec<BenchResult> {
+        vec![
+            BenchResult {
+                bench: "readonly".into(),
+                backend: "runtime+fastpath".into(),
+                config: "pool=8 accounts=16 events=60000".into(),
+                events: 60_000,
+                ops_per_sec: 123_456.78,
+                p50_micros: 12,
+                p99_micros: 340,
+                extra: vec![("fast_path_events".into(), 60_000)],
+            },
+            BenchResult {
+                bench: "readonly".into(),
+                backend: "runtime".into(),
+                config: "pool=8 accounts=16 events=60000".into(),
+                events: 60_000,
+                ops_per_sec: 98_765.43,
+                p50_micros: 25,
+                p99_micros: 900,
+                extra: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn emitted_documents_round_trip_and_validate() {
+        let doc = render_document("readonly", false, &sample_results());
+        let parsed = Parser::parse(&doc).expect("emitted JSON parses");
+        assert_eq!(validate_schema(&parsed), Ok(2));
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("aeon-bench/v1")
+        );
+        let results = match parsed.get("results") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("unexpected results shape: {other:?}"),
+        };
+        assert_eq!(
+            results[0]
+                .get("extra")
+                .and_then(|e| e.get("fast_path_events"))
+                .and_then(Json::as_num),
+            Some(60_000.0)
+        );
+        assert_eq!(results[1].get("extra"), None);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let parsed = Parser::parse(
+            r#"{"a": [1, -2.5, 1e3], "b": {"c": "x\"\nA"}, "d": [true, false, null]}"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            parsed.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Num(1000.0)
+            ]))
+        );
+        assert_eq!(
+            parsed
+                .get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(Json::as_str),
+            Some("x\"\nA")
+        );
+    }
+
+    #[test]
+    fn schema_rejects_malformed_documents() {
+        for (doc, why) in [
+            (r#"{"schema": "other/v1"}"#, "wrong schema"),
+            (
+                r#"{"schema": "aeon-bench/v1", "name": "x", "smoke": false, "fingerprint": "f", "results": []}"#,
+                "empty results",
+            ),
+            (
+                r#"{"schema": "aeon-bench/v1", "name": "x", "smoke": false, "fingerprint": "f",
+                   "results": [{"bench": "b", "backend": "r", "config": "c", "events": 1,
+                                "ops_per_sec": 1.0, "p50_micros": 1}]}"#,
+                "missing p99",
+            ),
+        ] {
+            let parsed = Parser::parse(doc).expect("parses");
+            assert!(validate_schema(&parsed).is_err(), "accepted: {why}");
+        }
+    }
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

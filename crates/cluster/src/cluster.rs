@@ -24,7 +24,7 @@ use aeon_types::{
 };
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -84,6 +84,7 @@ pub struct ClusterBuilder {
     executor: ExecutorConfig,
     torn_snapshot: bool,
     transport: ClusterTransport,
+    readonly_fast_path: bool,
 }
 
 impl Default for ClusterBuilder {
@@ -103,6 +104,7 @@ impl ClusterBuilder {
             executor: ExecutorConfig::default(),
             torn_snapshot: false,
             transport: ClusterTransport::default(),
+            readonly_fast_path: true,
         }
     }
 
@@ -133,6 +135,23 @@ impl ClusterBuilder {
     /// alive at once.
     pub fn max_spill_workers(mut self, n: usize) -> Self {
         self.executor.max_spill_workers = n;
+        self
+    }
+
+    /// Caps how many queued same-context messages one node-executor dequeue
+    /// may drain as a batch (`1` disables batching; clamped to at least 1).
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.executor.batch_max = n.max(1);
+        self
+    }
+
+    /// Enables or disables the analyzer-certified read-only fast path at
+    /// the gateway (default: enabled).  Certified events (`ro` with an
+    /// empty `calls []` summary) are routed straight to their target's
+    /// server as pre-sequenced executions, skipping the dominator
+    /// activation round trip.
+    pub fn readonly_fast_path(mut self, enabled: bool) -> Self {
+        self.readonly_fast_path = enabled;
         self
     }
 
@@ -191,6 +210,16 @@ impl ClusterBuilder {
             classes.check()?;
             aeon_analyzer::enforce(classes, self.analysis)?;
         }
+        // Fixed at build time: the `ro` methods whose declared call summary
+        // the analyzer certifies as empty (the fast-path admission set).
+        let mut certified: HashMap<String, HashSet<String>> = HashMap::new();
+        if self.readonly_fast_path {
+            if let Some(classes) = &self.class_graph {
+                for m in aeon_analyzer::certified_readonly(classes) {
+                    certified.entry(m.class).or_default().insert(m.method);
+                }
+            }
+        }
         let directory = Arc::new(Directory::new(self.dominator_mode, self.class_graph));
         let (mode, network, mesh_peers): (Mode, Network<ClusterMessage>, Vec<ServerId>) =
             match &self.transport {
@@ -238,6 +267,8 @@ impl ClusterBuilder {
             shared_stats,
             node_networks: Mutex::new(BTreeMap::new()),
             executor_config: self.executor,
+            certified,
+            fast_path: AtomicU64::new(0),
             torn_snapshot: self.torn_snapshot,
             nodes: Mutex::new(BTreeMap::new()),
             pending_events: Mutex::new(HashMap::new()),
@@ -283,6 +314,13 @@ struct ClusterInner {
     /// Worker-pool configuration applied to every node (including ones
     /// added later by scale-out).
     executor_config: ExecutorConfig,
+    /// Methods admitted to the read-only fast path, keyed by class name:
+    /// `ro` methods whose declared call summary the analyzer certified as
+    /// empty.  Empty when no class graph is installed or the fast path is
+    /// disabled.
+    certified: HashMap<String, HashSet<String>>,
+    /// Events the gateway routed as pre-sequenced read-only executions.
+    fast_path: AtomicU64,
     /// Test-only: member-at-a-time snapshots instead of the coordinated
     /// freeze (see `ClusterBuilder::torn_snapshot_for_tests`).
     torn_snapshot: bool,
@@ -521,8 +559,39 @@ impl ClusterInner {
         Ok(ClusterEventHandle { event, rx })
     }
 
+    /// Whether the event targets a method the analyzer certified for the
+    /// read-only fast path (`ro` with an empty `calls []` summary).
+    fn is_certified_readonly(&self, event: &EventDescriptor) -> bool {
+        if self.certified.is_empty() {
+            return false;
+        }
+        match self.directory.class_of(event.target) {
+            Ok(class) => self
+                .certified
+                .get(&class)
+                .is_some_and(|methods| methods.contains(&event.method)),
+            Err(_) => false,
+        }
+    }
+
     fn route(&self, event: EventDescriptor) -> Result<()> {
         let target_server = self.directory.placement_of(event.target)?;
+        // Certified read-only fast path: the event's lock footprint is
+        // provably the single target context, so no dominator sequencing
+        // is needed — route it straight to the target's server as a
+        // pre-sequenced execution, skipping the Act round trip.  The node
+        // still takes the target's activation in shared mode, so the read
+        // serializes against writers exactly as before.
+        if event.mode.is_read_only() && self.is_certified_readonly(&event) {
+            self.fast_path.fetch_add(1, Ordering::Relaxed);
+            return self.send(
+                target_server,
+                ClusterMessage::Exec {
+                    event,
+                    sequencer: None,
+                },
+            );
+        }
         match self.directory.dominator_of(event.target)? {
             Dominator::Context(dom) if dom != event.target => {
                 let dom_server = self.directory.placement_of(dom)?;
@@ -1288,12 +1357,13 @@ impl Cluster {
                 } else {
                     m.exec_micros as f64 / m.events_executed as f64 / 1_000.0
                 };
-                ServerMetrics::from_load(
+                ServerMetrics::from_load_with_latency(
                     m.server,
                     m.context_count,
                     total_contexts,
                     m.queue_depth as usize,
                     avg_latency_ms,
+                    m.latency,
                 )
             })
             .collect()
@@ -1417,6 +1487,13 @@ impl Cluster {
             .iter()
             .map(|(id, node)| (*id, node.executor_stats()))
             .collect()
+    }
+
+    /// Number of events the gateway routed on the certified read-only fast
+    /// path (straight to the target's server, no dominator activation
+    /// round trip); see [`ClusterBuilder::readonly_fast_path`].
+    pub fn fast_path_events(&self) -> u64 {
+        self.inner.fast_path.load(Ordering::Relaxed)
     }
 
     /// Shuts the cluster down: nodes stop accepting messages, blocked events

@@ -59,6 +59,8 @@ pub struct NodeMetrics {
     pub events_executed: u64,
     /// Cumulative wall-clock microseconds spent executing those events.
     pub exec_micros: u64,
+    /// Distribution of per-event execution times on this node.
+    pub latency: aeon_types::LatencyHistogram,
 }
 
 /// One member of a coordinated subtree freeze
@@ -386,8 +388,10 @@ pub enum ClusterMessage {
     MetricsAck {
         /// Correlation token.
         corr: u64,
-        /// The raw report.
-        metrics: NodeMetrics,
+        /// The raw report (boxed: the variant is far larger than the
+        /// hot-path event messages, and the report is a rare control
+        /// message).
+        metrics: Box<NodeMetrics>,
     },
     /// Gateway → server: stop the receive loop and poison every local lock.
     Shutdown,

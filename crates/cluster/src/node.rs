@@ -101,6 +101,9 @@ pub(crate) struct NodeShared {
     /// Cumulative wall-clock microseconds spent executing events whose
     /// target lives here (feeds the per-server latency metric).
     exec_micros: AtomicU64,
+    /// Distribution of per-event execution times (feeds the p50/p99
+    /// columns of the per-server metric report).
+    exec_latency: Mutex<aeon_types::LatencyHistogram>,
     /// Times a worker slept waiting for a migrated-in context to be
     /// installed (the wait-for-install retry loop in [`RemoteExecution`]).
     install_wait_retries: AtomicU64,
@@ -272,6 +275,7 @@ pub(crate) fn spawn_node(
         active_freezes: Mutex::new(BTreeMap::new()),
         events_executed: AtomicU64::new(0),
         exec_micros: AtomicU64::new(0),
+        exec_latency: Mutex::new(aeon_types::LatencyHistogram::new()),
         install_wait_retries: AtomicU64::new(0),
         running: AtomicBool::new(true),
     });
@@ -503,13 +507,14 @@ fn dispatch(shared: &Arc<NodeShared>, message: ClusterMessage) {
                 gateway_id(),
                 ClusterMessage::MetricsAck {
                     corr,
-                    metrics: NodeMetrics {
+                    metrics: Box::new(NodeMetrics {
                         server: shared.id,
                         context_count: shared.contexts.read().len(),
                         queue_depth: stats.queued,
                         events_executed: shared.events_executed.load(Ordering::Relaxed),
                         exec_micros: shared.exec_micros.load(Ordering::Relaxed),
-                    },
+                        latency: *shared.exec_latency.lock(),
+                    }),
                 },
             );
         }
@@ -616,9 +621,11 @@ fn handle_exec(
         }
     }
     shared.events_executed.fetch_add(1, Ordering::Relaxed);
+    let elapsed_micros = started.elapsed().as_micros() as u64;
     shared
         .exec_micros
-        .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        .fetch_add(elapsed_micros, Ordering::Relaxed);
+    shared.exec_latency.lock().record(elapsed_micros);
     shared.send(
         gateway_id(),
         ClusterMessage::Done {

@@ -182,6 +182,26 @@ fn vmetrics(m: &NodeMetrics) -> Value {
         vu64(m.queue_depth),
         vu64(m.events_executed),
         vu64(m.exec_micros),
+        vhist(&m.latency),
+    ])
+}
+
+/// Histograms ship sparsely: summary scalars plus `(bucket, count)` pairs
+/// for the non-empty buckets only, so an idle node's report stays small.
+fn vhist(h: &aeon_types::LatencyHistogram) -> Value {
+    let buckets: Vec<Value> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(i, n)| Value::List(vec![vu64(i as u64), vu64(*n)]))
+        .collect();
+    Value::List(vec![
+        vu64(h.count),
+        vu64(h.total_micros),
+        vu64(h.min_micros),
+        vu64(h.max_micros),
+        Value::List(buckets),
     ])
 }
 
@@ -660,9 +680,38 @@ fn dmetrics(value: Value) -> Result<NodeMetrics> {
         queue_depth: f.u64()?,
         events_executed: f.u64()?,
         exec_micros: f.u64()?,
+        latency: dhist(f.next()?)?,
     };
     f.done()?;
     Ok(metrics)
+}
+
+fn dhist(value: Value) -> Result<aeon_types::LatencyHistogram> {
+    let mut f = Fields::of(value)?;
+    let mut hist = aeon_types::LatencyHistogram {
+        count: f.u64()?,
+        total_micros: f.u64()?,
+        min_micros: f.u64()?,
+        max_micros: f.u64()?,
+        ..Default::default()
+    };
+    match f.next()? {
+        Value::List(pairs) => {
+            for pair in pairs {
+                let mut p = Fields::of(pair)?;
+                let bucket = p.u64()? as usize;
+                let n = p.u64()?;
+                p.done()?;
+                if bucket >= hist.buckets.len() {
+                    return Err(bad(format!("latency bucket {bucket} out of range")));
+                }
+                hist.buckets[bucket] = n;
+            }
+        }
+        other => return Err(bad(format!("expected bucket list, got {other:?}"))),
+    }
+    f.done()?;
+    Ok(hist)
 }
 
 fn ddirop(value: Value) -> Result<DirOp> {
@@ -872,7 +921,7 @@ fn from_value(value: Value) -> Result<ClusterMessage> {
         "MetricsReq" => ClusterMessage::MetricsReq { corr: f.u64()? },
         "MetricsAck" => ClusterMessage::MetricsAck {
             corr: f.u64()?,
-            metrics: dmetrics(f.next()?)?,
+            metrics: Box::new(dmetrics(f.next()?)?),
         },
         "Shutdown" => ClusterMessage::Shutdown,
         other => return Err(bad(format!("unknown message tag {other}"))),
@@ -1100,13 +1149,19 @@ mod tests {
             ClusterMessage::MetricsReq { corr: 18 },
             ClusterMessage::MetricsAck {
                 corr: 18,
-                metrics: NodeMetrics {
+                metrics: Box::new(NodeMetrics {
                     server: srv(1),
                     context_count: 3,
                     queue_depth: 2,
                     events_executed: 40,
                     exec_micros: 12345,
-                },
+                    latency: {
+                        let mut h = aeon_types::LatencyHistogram::new();
+                        h.record(120);
+                        h.record(90_000);
+                        h
+                    },
+                }),
             },
             ClusterMessage::Shutdown,
         ];

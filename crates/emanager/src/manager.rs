@@ -574,6 +574,7 @@ mod tests {
             context_count: 2,
             queue_depth: 0,
             avg_latency_ms: 50.0,
+            latency: aeon_types::LatencyHistogram::new(),
         }];
         manager.tick(&metrics).unwrap();
         assert_eq!(deployment.servers().len(), 4);

@@ -235,6 +235,7 @@ mod tests {
             context_count: contexts,
             queue_depth: 0,
             avg_latency_ms: latency,
+            latency: aeon_types::LatencyHistogram::new(),
         }
     }
 

@@ -1,10 +1,12 @@
 //! Context objects: the user-visible unit of state and behaviour.
 
+use crate::event::{EventOutcome, EventRequest};
 use crate::invocation::Invocation;
 use crate::locks::ContextLock;
 use aeon_types::{Args, ContextId, Result, Value};
+use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -165,6 +167,18 @@ impl crate::method_table::ContextClass for KvContext {
     }
 }
 
+/// Pending certified read-only fast-path events of one context, drained in
+/// batches under a single shared activation (see
+/// `RuntimeInner::drain_fast_queue`).
+#[derive(Default)]
+pub(crate) struct FastQueue {
+    /// Events waiting for the next drain, with their completion senders.
+    pub(crate) queue: VecDeque<(EventRequest, Sender<EventOutcome>)>,
+    /// Whether a drain task for this slot is queued or running on the
+    /// executor.  At most one drain at a time preserves submission order.
+    pub(crate) draining: bool,
+}
+
 /// Runtime bookkeeping for a hosted context.
 pub(crate) struct ContextSlot {
     pub(crate) id: ContextId,
@@ -174,6 +188,8 @@ pub(crate) struct ContextSlot {
     /// The application object.  Accessed only by events holding the
     /// protocol lock on this context.
     pub(crate) object: Mutex<Box<dyn ContextObject>>,
+    /// Certified read-only events queued for the fast path.
+    pub(crate) fast: Mutex<FastQueue>,
 }
 
 impl ContextSlot {
@@ -184,6 +200,7 @@ impl ContextSlot {
             class,
             lock: ContextLock::new(id),
             object: Mutex::new(object),
+            fast: Mutex::new(FastQueue::default()),
         })
     }
 }

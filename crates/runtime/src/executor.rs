@@ -58,6 +58,12 @@ pub struct ExecutorConfig {
     pub max_spill_workers: usize,
     /// How often the monitor checks for the stall signature.
     pub stall_check_interval: Duration,
+    /// Maximum number of same-key tasks a worker drains from a shard in
+    /// one dequeue (per-activation event batching).  The extra tasks run
+    /// back-to-back on the same worker, so a hot context amortises one
+    /// wakeup/scan over up to `batch_max` events while per-key FIFO order
+    /// is preserved.  `1` disables batching.
+    pub batch_max: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -70,6 +76,7 @@ impl Default for ExecutorConfig {
             shards: 0,
             max_spill_workers: 256,
             stall_check_interval: Duration::from_millis(1),
+            batch_max: 8,
         }
     }
 }
@@ -104,12 +111,22 @@ pub struct ExecutorStats {
     pub spill_live: usize,
     /// Tasks that panicked (caught by the worker; the pool survived).
     pub panics: u64,
+    /// Tasks that ran as a later member of a same-key batch (the first
+    /// task of every dequeue is not counted, so this is the number of
+    /// shard scans and worker wakeups saved by batching).
+    pub batched: u64,
+    /// Events served by the certified read-only fast path (recorded by the
+    /// owning backend via [`ShardedExecutor::note_fast_path`]; the pool
+    /// itself never increments it).
+    pub fast_path: u64,
 }
 
 struct ExecutorInner {
     name: String,
     config: ExecutorConfig,
-    shards: Vec<Mutex<VecDeque<Task>>>,
+    /// Each queued task keeps its routing key so a dequeue can extract the
+    /// other tasks of the same key (context) from the shard in one go.
+    shards: Vec<Mutex<VecDeque<(u64, Task)>>>,
     /// Tasks queued across all shards (fast path for workers and monitor).
     queued: AtomicU64,
     /// Workers currently parked waiting for work.
@@ -119,6 +136,8 @@ struct ExecutorInner {
     spill_spawned: AtomicU64,
     spill_live: AtomicUsize,
     panics: AtomicU64,
+    batched: AtomicU64,
+    fast_path: AtomicU64,
     shutdown: AtomicBool,
     /// Sleep coordination: submitters notify under this mutex, workers
     /// re-check `queued` under it before parking, so wakeups are not lost.
@@ -131,16 +150,37 @@ struct ExecutorInner {
 
 impl ExecutorInner {
     /// Pops the oldest task of the first non-empty shard, scanning from
-    /// `home` so distinct workers prefer distinct shards.
-    fn next_task(&self, home: usize) -> Option<Task> {
+    /// `home` so distinct workers prefer distinct shards, and drains up to
+    /// `batch_max - 1` queued tasks with the same key behind it (in their
+    /// submission order, leaving other keys' relative order untouched).
+    /// Per-key FIFO is preserved: the batch is exactly the key's queued
+    /// prefix in this shard, executed back-to-back by one worker.
+    fn next_batch(&self, home: usize) -> Option<Vec<Task>> {
         let n = self.shards.len();
+        let max = self.config.batch_max.max(1);
         for i in 0..n {
             let shard = &self.shards[(home + i) % n];
             let mut queue = shard.lock();
-            if let Some(task) = queue.pop_front() {
-                self.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(task);
+            let Some((key, task)) = queue.pop_front() else {
+                continue;
+            };
+            let mut batch = vec![task];
+            let mut index = 0;
+            while batch.len() < max && index < queue.len() {
+                if queue[index].0 == key {
+                    let (_, follower) = queue.remove(index).expect("index is in range");
+                    batch.push(follower);
+                } else {
+                    index += 1;
+                }
             }
+            drop(queue);
+            self.queued.fetch_sub(batch.len() as u64, Ordering::SeqCst);
+            if batch.len() > 1 {
+                self.batched
+                    .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+            }
+            return Some(batch);
         }
         None
     }
@@ -154,8 +194,12 @@ impl ExecutorInner {
 
     fn worker_loop(self: &Arc<Self>, home: usize) {
         while !self.shutdown.load(Ordering::SeqCst) {
-            match self.next_task(home) {
-                Some(task) => self.run_task(task),
+            match self.next_batch(home) {
+                Some(batch) => {
+                    for task in batch {
+                        self.run_task(task);
+                    }
+                }
                 None => {
                     let mut guard = self.sleep_lock.lock();
                     if self.shutdown.load(Ordering::SeqCst) {
@@ -179,8 +223,12 @@ impl ExecutorInner {
     /// empty; it never parks.
     fn spill_loop(self: &Arc<Self>) {
         while !self.shutdown.load(Ordering::SeqCst) {
-            match self.next_task(0) {
-                Some(task) => self.run_task(task),
+            match self.next_batch(0) {
+                Some(batch) => {
+                    for task in batch {
+                        self.run_task(task);
+                    }
+                }
                 None => break,
             }
         }
@@ -311,6 +359,8 @@ impl ShardedExecutor {
             spill_spawned: AtomicU64::new(0),
             spill_live: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+            fast_path: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
@@ -360,7 +410,9 @@ impl ShardedExecutor {
         // Count before pushing so a concurrent pop (which decrements)
         // can never observe the task ahead of its increment.
         self.inner.queued.fetch_add(1, Ordering::SeqCst);
-        self.inner.shards[shard].lock().push_back(Box::new(task));
+        self.inner.shards[shard]
+            .lock()
+            .push_back((key, Box::new(task)));
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         // Close the race with a concurrent shutdown(): its drain may have
         // run between our entry check and the push, in which case nobody
@@ -387,7 +439,17 @@ impl ShardedExecutor {
             spill_spawned: self.inner.spill_spawned.load(Ordering::Relaxed),
             spill_live: self.inner.spill_live.load(Ordering::SeqCst),
             panics: self.inner.panics.load(Ordering::Relaxed),
+            batched: self.inner.batched.load(Ordering::Relaxed),
+            fast_path: self.inner.fast_path.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one event served by the certified read-only fast path.  The
+    /// pool only carries the counter (so fast-path observability travels
+    /// with the rest of the executor stats); the owning backend decides
+    /// what qualifies.
+    pub fn note_fast_path(&self) {
+        self.inner.fast_path.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Stops the pool: queued tasks are dropped, resident workers and the
@@ -536,6 +598,77 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(done.load(Ordering::SeqCst), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn same_key_tasks_batch_under_one_dequeue() {
+        // One worker, monitor effectively off: block the worker on shard 0,
+        // queue interleaved tasks of two keys that share shard 1, then
+        // release.  The worker must drain each key's run as one batch (all
+        // key-1 tasks before any key-5 task despite interleaved submission)
+        // and count the saved dequeues.
+        let pool = ShardedExecutor::new(
+            "test-pool",
+            ExecutorConfig {
+                workers: 1,
+                stall_check_interval: Duration::from_secs(300),
+                ..ExecutorConfig::default()
+            },
+        );
+        assert_eq!(pool.stats().shards, 4);
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.submit(0, move || {
+            let _ = rx.recv_timeout(Duration::from_secs(10));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for key in [1u64, 5, 1, 5, 1] {
+            let order = Arc::clone(&order);
+            pool.submit(key, move || order.lock().push(key));
+        }
+        tx.send(()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.stats().completed < 6 {
+            assert!(Instant::now() < deadline, "batched tasks stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(*order.lock(), vec![1, 1, 1, 5, 5]);
+        // Two follower tasks rode the key-1 batch, one the key-5 batch.
+        assert_eq!(pool.stats().batched, 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn batch_max_one_disables_batching() {
+        let pool = ShardedExecutor::new(
+            "test-pool",
+            ExecutorConfig {
+                workers: 1,
+                batch_max: 1,
+                stall_check_interval: Duration::from_secs(300),
+                ..ExecutorConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.submit(0, move || {
+            let _ = rx.recv_timeout(Duration::from_secs(10));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let counter = Arc::new(Counter::new(0));
+        for _ in 0..5 {
+            let counter = Arc::clone(&counter);
+            pool.submit(1, move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        tx.send(()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.stats().completed < 6 {
+            assert!(Instant::now() < deadline, "tasks stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.stats().batched, 0);
         pool.shutdown();
     }
 

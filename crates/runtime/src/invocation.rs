@@ -374,6 +374,118 @@ impl InvocationHost for EventExecution {
     }
 }
 
+/// Host for the analyzer-certified read-only fast path.
+///
+/// A certified method is declared `ro` with an empty `calls []` summary, so
+/// its event was admitted without dominator sequencing and its lock
+/// footprint must stay at the single target context: acquiring any further
+/// lock here would be an *unsequenced* acquisition, and two fast-path
+/// readers expanding their footprints in opposite orders around a writer
+/// could deadlock.  An attempted call therefore means the declared summary
+/// lied, and it surfaces as a hard error instead of a lock acquisition.
+///
+/// Read-only sub-event dispatch remains available: sub-events start as
+/// fresh, fully sequenced events after their creator terminates, so they
+/// never grow this event's footprint.
+pub(crate) struct FastPathExecution<'a> {
+    pub(crate) inner: &'a RuntimeInner,
+    pub(crate) event: EventId,
+    pub(crate) client: Option<ClientId>,
+    pub(crate) sub_events: Vec<SubEvent>,
+}
+
+impl FastPathExecution<'_> {
+    fn summary_lie(caller: ContextId, target: ContextId, method: &str) -> AeonError {
+        AeonError::internal(format!(
+            "read-only fast path: context {caller} attempted a call to {target}::{method}, \
+             but its method was certified on an empty `calls []` summary"
+        ))
+    }
+}
+
+impl InvocationHost for FastPathExecution<'_> {
+    fn event_id(&self) -> EventId {
+        self.event
+    }
+
+    fn client(&self) -> Option<ClientId> {
+        self.client
+    }
+
+    fn mode(&self) -> AccessMode {
+        AccessMode::ReadOnly
+    }
+
+    fn call(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        _args: Args,
+    ) -> Result<Value> {
+        Err(Self::summary_lie(caller, target, method))
+    }
+
+    fn call_async(
+        &mut self,
+        caller: ContextId,
+        target: ContextId,
+        method: &str,
+        _args: Args,
+    ) -> Result<()> {
+        Err(Self::summary_lie(caller, target, method))
+    }
+
+    fn dispatch_event(
+        &mut self,
+        target: ContextId,
+        method: &str,
+        args: Args,
+        mode: AccessMode,
+    ) -> Result<()> {
+        self.inner.stats.record_sub_event();
+        self.sub_events.push(SubEvent {
+            target,
+            method: method.to_string(),
+            args,
+            mode,
+        });
+        Ok(())
+    }
+
+    // The graph mutators below are unreachable: `Invocation` rejects them in
+    // read-only mode before delegating.  Kept as hard errors, not panics, so
+    // a future host consumer cannot turn them into state changes.
+    fn create_child(
+        &mut self,
+        owner: ContextId,
+        _object: Box<dyn ContextObject>,
+    ) -> Result<ContextId> {
+        Err(AeonError::ReadOnlyViolation {
+            context: owner,
+            method: "create_child".into(),
+        })
+    }
+
+    fn add_ownership(&mut self, owner: ContextId, _owned: ContextId) -> Result<()> {
+        Err(AeonError::ReadOnlyViolation {
+            context: owner,
+            method: "add_ownership".into(),
+        })
+    }
+
+    fn remove_ownership(&mut self, owner: ContextId, _owned: ContextId) -> Result<()> {
+        Err(AeonError::ReadOnlyViolation {
+            context: owner,
+            method: "remove_ownership".into(),
+        })
+    }
+
+    fn children(&self, parent: ContextId, class: Option<&str>) -> Result<Vec<ContextId>> {
+        self.inner.children_of(parent, class)
+    }
+}
+
 /// The capability handed to [`ContextObject::handle`]: everything a context
 /// method may do with the rest of the system while an event executes in it.
 pub struct Invocation<'a> {

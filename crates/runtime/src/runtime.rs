@@ -4,7 +4,7 @@
 use crate::context::{ContextFactory, ContextObject, ContextSlot};
 use crate::event::{EventHandle, EventOutcome, EventRequest};
 use crate::executor::{ExecutorConfig, ExecutorStats, ShardedExecutor};
-use crate::invocation::EventExecution;
+use crate::invocation::{EventExecution, FastPathExecution, Invocation};
 use crate::locks::ContextLock;
 use crate::snapshot::Snapshot;
 use crate::stats::RuntimeStats;
@@ -14,11 +14,12 @@ use aeon_types::{
     codec, AccessMode, AeonError, Args, ClientId, ContextId, EventId, IdGenerator, Result,
     ServerId, ServerMetrics, SharedHistorySink, Value,
 };
+use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Placement policy for newly created contexts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +51,12 @@ pub struct RuntimeConfig {
     /// Worker-pool configuration for event execution (pool size, shard
     /// count, blocking escape hatch).
     pub executor: ExecutorConfig,
+    /// Whether analyzer-certified read-only events (declared `ro` with an
+    /// empty `calls []` summary) take the fast path: no dominator
+    /// sequencing, a shared activation of the target alone, and batched
+    /// execution under one lock acquisition.  Requires a class graph to
+    /// have any effect.
+    pub readonly_fast_path: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -60,6 +67,7 @@ impl Default for RuntimeConfig {
             class_graph: None,
             analysis: AnalysisMode::default(),
             executor: ExecutorConfig::default(),
+            readonly_fast_path: true,
         }
     }
 }
@@ -123,6 +131,25 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Caps how many queued same-context events one executor dequeue — and,
+    /// on the read-only fast path, one activation/lock acquisition — may
+    /// drain as a batch.  `1` disables batching; values are clamped to at
+    /// least 1.
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.config.executor.batch_max = n.max(1);
+        self
+    }
+
+    /// Enables or disables the analyzer-certified read-only fast path
+    /// (default: enabled).  Certified events skip dominator sequencing and
+    /// execute under a shared activation of the target alone; disable to
+    /// force every event through the fully sequenced slow path (e.g. for
+    /// A/B benchmarking).
+    pub fn readonly_fast_path(mut self, enabled: bool) -> Self {
+        self.config.readonly_fast_path = enabled;
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -145,9 +172,20 @@ impl RuntimeBuilder {
             classes.check()?;
             aeon_analyzer::enforce(classes, self.config.analysis)?;
         }
+        // The fast-path admission set is fixed at build time: `ro` methods
+        // whose declared call summary the analyzer certifies as empty.
+        let mut certified: HashMap<String, HashSet<String>> = HashMap::new();
+        if self.config.readonly_fast_path {
+            if let Some(classes) = &self.config.class_graph {
+                for m in aeon_analyzer::certified_readonly(classes) {
+                    certified.entry(m.class).or_default().insert(m.method);
+                }
+            }
+        }
         let executor = ShardedExecutor::new("aeon-runtime", self.config.executor.clone());
         let inner = Arc::new(RuntimeInner {
             executor,
+            certified,
             resolver: DominatorResolver::new(self.config.dominator_mode),
             config: self.config,
             graph: RwLock::new(OwnershipGraph::new()),
@@ -186,6 +224,11 @@ pub(crate) struct RuntimeInner {
     /// The sharded worker pool that executes events (no thread is spawned
     /// per event; see `crate::executor`).
     executor: ShardedExecutor,
+    /// Methods admitted to the read-only fast path, keyed by class name:
+    /// `ro` methods whose declared call summary the analyzer certified as
+    /// empty (see [`aeon_analyzer::certified_readonly`]).  Empty when no
+    /// class graph is installed or the fast path is disabled.
+    certified: HashMap<String, HashSet<String>>,
     pub(crate) config: RuntimeConfig,
     pub(crate) graph: RwLock<OwnershipGraph>,
     pub(crate) resolver: DominatorResolver,
@@ -471,6 +514,179 @@ impl RuntimeInner {
             let _ = tx.send(outcome);
         });
         handle
+    }
+
+    /// Whether `method` of `class` is admitted to the read-only fast path.
+    pub(crate) fn is_certified_readonly(&self, class: &str, method: &str) -> bool {
+        self.certified
+            .get(class)
+            .is_some_and(|methods| methods.contains(method))
+    }
+
+    /// Enqueues a certified read-only event on its target's fast queue and
+    /// schedules a drain task unless one is already queued or running.
+    fn spawn_fast_event(
+        self: &Arc<Self>,
+        slot: Arc<ContextSlot>,
+        request: EventRequest,
+    ) -> EventHandle {
+        let (tx, handle) = EventHandle::new(request.id);
+        let spawn_drain = {
+            let mut fast = slot.fast.lock();
+            fast.queue.push_back((request, tx));
+            !std::mem::replace(&mut fast.draining, true)
+        };
+        if spawn_drain {
+            let inner = Arc::clone(self);
+            let drain_slot = Arc::clone(&slot);
+            self.executor
+                .submit(slot.id.raw(), move || inner.drain_fast_queue(&drain_slot));
+        }
+        // A shutdown racing the enqueue may already have swept the fast
+        // queues (and the executor drops post-shutdown submissions), so
+        // sweep again: the handle must not hang on a stranded sender.
+        if self.is_shutdown() {
+            Self::fail_fast_queue(&slot);
+        }
+        handle
+    }
+
+    /// Runs batches of certified read-only events for one context until its
+    /// fast queue is empty.
+    fn drain_fast_queue(self: &Arc<Self>, slot: &Arc<ContextSlot>) {
+        let batch_max = self.config.executor.batch_max.max(1);
+        loop {
+            if self.is_shutdown() {
+                Self::fail_fast_queue(slot);
+                return;
+            }
+            let batch: Vec<(EventRequest, Sender<EventOutcome>)> = {
+                let mut fast = slot.fast.lock();
+                if fast.queue.is_empty() {
+                    fast.draining = false;
+                    return;
+                }
+                let n = fast.queue.len().min(batch_max);
+                fast.queue.drain(..n).collect()
+            };
+            self.run_fast_batch(slot, batch);
+        }
+    }
+
+    /// Drops every queued fast-path sender so the pending handles resolve
+    /// as disconnected ([`AeonError::RuntimeShutdown`]), matching what the
+    /// executor's shutdown drain does to queued slow-path events.
+    fn fail_fast_queue(slot: &ContextSlot) {
+        let mut fast = slot.fast.lock();
+        fast.draining = false;
+        fast.queue.clear();
+    }
+
+    /// Executes one batch of certified read-only events on `slot` under a
+    /// single shared activation and a single object-lock acquisition.
+    ///
+    /// Skipping dominator sequencing is sound because every event in the
+    /// batch was certified to touch only this context (empty `calls []`
+    /// summary): a single-lock footprint cannot participate in a
+    /// hold-and-wait cycle.  Sharing the lead event's activation across the
+    /// batch is indistinguishable from activating each event separately —
+    /// read-only events never conflict with one another.
+    fn run_fast_batch(
+        self: &Arc<Self>,
+        slot: &Arc<ContextSlot>,
+        batch: Vec<(EventRequest, Sender<EventOutcome>)>,
+    ) {
+        let _in_flight = InFlightGuard::enter(&self.events_in_flight);
+        let lead = batch[0].0.id;
+        if let Err(e) = slot.lock.activate(lead, AccessMode::ReadOnly) {
+            for (request, tx) in batch {
+                self.stats.record_event(false, true, Duration::ZERO);
+                if let Some(sink) = self.sink() {
+                    sink.responded(request.id);
+                }
+                let _ = tx.send(EventOutcome {
+                    event: request.id,
+                    result: Err(e.clone()),
+                    latency: Duration::ZERO,
+                });
+            }
+            return;
+        }
+        let mut done = Vec::with_capacity(batch.len());
+        {
+            let mut object = slot.object.lock();
+            for (request, tx) in batch {
+                let started = Instant::now();
+                // Recorded under the object lock, matching the slow path's
+                // per-context access-ordering contract.
+                if let Some(sink) = self.sink() {
+                    sink.accessed(request.id, request.target, AccessMode::ReadOnly);
+                }
+                let mut host = FastPathExecution {
+                    inner: self.as_ref(),
+                    event: request.id,
+                    client: request.client,
+                    sub_events: Vec::new(),
+                };
+                let result = if !object.is_readonly(&request.method) {
+                    Err(AeonError::ReadOnlyViolation {
+                        context: request.target,
+                        method: request.method.clone(),
+                    })
+                } else {
+                    let object = &mut *object;
+                    let host_ref = &mut host;
+                    let req = &request;
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        let mut invocation = Invocation::new(host_ref, req.target);
+                        object.handle(&req.method, &req.args, &mut invocation)
+                    }))
+                    .unwrap_or_else(|payload| Err(AeonError::from_panic(payload)))
+                };
+                self.stats.record_method_call(false);
+                let subs = if result.is_ok() {
+                    host.sub_events
+                } else {
+                    Vec::new()
+                };
+                done.push((request, tx, result, started.elapsed(), subs));
+            }
+        }
+        slot.lock.release(lead);
+        // Per-event completion bookkeeping mirrors `run_event`: stats and
+        // the response point after release, then the sub-events, then the
+        // handle resolution.
+        for (request, tx, result, latency, subs) in done {
+            self.stats.record_event(result.is_ok(), true, latency);
+            self.executor.note_fast_path();
+            if let Some(server) = self.placement.read().get(&request.target) {
+                if let Some(info) = self.servers.write().get_mut(server) {
+                    info.events_executed += 1;
+                }
+            }
+            if let Some(sink) = self.sink() {
+                sink.responded(request.id);
+            }
+            for sub in subs {
+                let sub_request = EventRequest {
+                    id: EventId::new(self.ids.next_raw()),
+                    client: request.client,
+                    target: sub.target,
+                    method: sub.method,
+                    args: sub.args,
+                    mode: sub.mode,
+                };
+                if let Some(sink) = self.sink() {
+                    sink.invoked(sub_request.id);
+                }
+                let _ = self.run_event(sub_request);
+            }
+            let _ = tx.send(EventOutcome {
+                event: request.id,
+                result,
+                latency,
+            });
+        }
     }
 }
 
@@ -762,6 +978,7 @@ impl AeonRuntime {
         let servers = self.servers();
         let total_contexts = self.context_count();
         let latency = self.stats().latency_summary();
+        let histogram = self.stats().latency_histogram();
         let queued = self.executor_stats().queued as usize;
         let fleet = servers.len().max(1);
         servers
@@ -770,12 +987,13 @@ impl AeonRuntime {
             .map(|(i, server)| {
                 let hosted = self.contexts_on(server).len();
                 let queue_depth = queued / fleet + usize::from(i < queued % fleet);
-                ServerMetrics::from_load(
+                ServerMetrics::from_load_with_latency(
                     server,
                     hosted,
                     total_contexts,
                     queue_depth,
                     latency.mean_micros / 1_000.0,
+                    histogram,
                 )
             })
             .collect()
@@ -1047,6 +1265,12 @@ impl AeonRuntime {
         // Poisoning first unblocks any executing event, so joining the
         // pool cannot hang on a lock waiter.
         self.inner.executor.shutdown();
+        // Fast-path queues hold their completion senders outside the
+        // executor; sweep them so pending certified events resolve as
+        // disconnected too.
+        for slot in self.inner.contexts.read().values() {
+            RuntimeInner::fail_fast_queue(slot);
+        }
     }
 }
 
@@ -1075,6 +1299,12 @@ impl AeonClient {
 
     /// Submits a read-only event (the paper's `ro` methods); read-only
     /// events of the same context may execute concurrently.
+    ///
+    /// When the class graph certifies the method for the fast path (`ro`
+    /// with an empty `calls []` summary), the event skips dominator
+    /// sequencing and executes under a shared activation of the target
+    /// alone, batched with other certified events on the same context; see
+    /// [`RuntimeBuilder::readonly_fast_path`].
     ///
     /// # Errors
     ///
@@ -1107,9 +1337,7 @@ impl AeonClient {
         if self.inner.is_shutdown() {
             return Err(AeonError::RuntimeShutdown);
         }
-        if !self.inner.contexts.read().contains_key(&target) {
-            return Err(AeonError::ContextNotFound(target));
-        }
+        let slot = self.inner.context_slot(target)?;
         let request = EventRequest {
             id: EventId::new(self.inner.ids.next_raw()),
             client: Some(self.id),
@@ -1122,6 +1350,9 @@ impl AeonClient {
         // timestamp can never be later than the true submission point.
         if let Some(sink) = self.inner.sink() {
             sink.invoked(request.id);
+        }
+        if mode.is_read_only() && self.inner.is_certified_readonly(&slot.class, method) {
+            return Ok(self.inner.spawn_fast_event(slot, request));
         }
         Ok(self.inner.spawn_event(request))
     }

@@ -1,6 +1,13 @@
 //! Runtime statistics: event throughput, latency, message and migration
 //! counters.
+//!
+//! Latency samples accumulate into the shared
+//! [`aeon_types::LatencyHistogram`], the same fixed-bucket histogram every
+//! backend reports through [`aeon_types::ServerMetrics`], so the runtime's
+//! internal summary and its external metric reports can never disagree on
+//! bucketing.
 
+use aeon_types::LatencyHistogram;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -22,73 +29,18 @@ pub struct LatencySummary {
     pub p99_micros: u64,
 }
 
-/// A fixed-bucket log-scale histogram of latencies, cheap to update from
-/// many threads (guarded by a mutex only on record).
-#[derive(Debug)]
-struct LatencyHistogram {
-    count: u64,
-    total_micros: u64,
-    min_micros: u64,
-    max_micros: u64,
-    /// bucket i counts samples in [2^i, 2^(i+1)) microseconds, i in 0..40.
-    buckets: [u64; 40],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            count: 0,
-            total_micros: 0,
-            min_micros: 0,
-            max_micros: 0,
-            buckets: [0; 40],
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn record(&mut self, micros: u64) {
-        self.count += 1;
-        self.total_micros += micros;
-        if self.count == 1 {
-            self.min_micros = micros;
-            self.max_micros = micros;
+fn summarize(h: &LatencyHistogram) -> LatencySummary {
+    LatencySummary {
+        count: h.count,
+        mean_micros: if h.count == 0 {
+            0.0
         } else {
-            self.min_micros = self.min_micros.min(micros);
-            self.max_micros = self.max_micros.max(micros);
-        }
-        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(39);
-        self.buckets[bucket] += 1;
-    }
-
-    fn percentile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64) * q).ceil() as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= rank {
-                return 1u64 << (i + 1); // upper edge of bucket
-            }
-        }
-        self.max_micros
-    }
-
-    fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count,
-            mean_micros: if self.count == 0 {
-                0.0
-            } else {
-                self.total_micros as f64 / self.count as f64
-            },
-            min_micros: self.min_micros,
-            max_micros: self.max_micros,
-            p50_micros: self.percentile(0.50),
-            p99_micros: self.percentile(0.99),
-        }
+            h.total_micros as f64 / h.count as f64
+        },
+        min_micros: h.min_micros,
+        max_micros: h.max_micros,
+        p50_micros: h.p50_micros(),
+        p99_micros: h.p99_micros(),
     }
 }
 
@@ -182,7 +134,12 @@ impl RuntimeStats {
 
     /// Latency summary over all completed events.
     pub fn latency_summary(&self) -> LatencySummary {
-        self.latency.lock().summary()
+        summarize(&self.latency.lock())
+    }
+
+    /// A copy of the full latency histogram (for metric reports).
+    pub fn latency_histogram(&self) -> LatencyHistogram {
+        *self.latency.lock()
     }
 }
 
@@ -223,6 +180,7 @@ mod tests {
         assert!(s.mean_micros > 1_000.0 && s.mean_micros < 100_000.0);
         assert!(s.p50_micros >= 1_000);
         assert!(s.p99_micros >= s.p50_micros);
+        assert_eq!(stats.latency_histogram().count, 5);
     }
 
     #[test]

@@ -832,3 +832,163 @@ fn call_summary_sanitizer_flags_undeclared_edges() {
     }
     runtime.shutdown();
 }
+
+/// A class graph that certifies `Counter::get` for the read-only fast path
+/// (`ro` with an empty `calls []` summary) while leaving `keys` readonly
+/// but summary-less (uncertified).
+fn counter_classes() -> ClassGraph {
+    let mut classes = ClassGraph::new();
+    classes.declare_method("Counter", "get", true);
+    classes.declare_calls("Counter", "get", []);
+    classes.declare_method("Counter", "keys", true);
+    classes.declare_method("Counter", "incr", false);
+    classes
+}
+
+#[test]
+fn certified_readonly_events_take_the_fast_path() {
+    let runtime = AeonRuntime::builder()
+        .class_graph(counter_classes())
+        .build()
+        .unwrap();
+    let counter = runtime
+        .create_context(Box::new(KvContext::new("Counter")), Placement::Auto)
+        .unwrap();
+    let client = runtime.client();
+    client.call(counter, "incr", args!["hits", 5]).unwrap();
+
+    // Certified: `get` is `ro` with an empty summary.
+    assert_eq!(
+        client.call_readonly(counter, "get", args!["hits"]).unwrap(),
+        Value::from(5i64)
+    );
+    assert_eq!(runtime.executor_stats().fast_path, 1);
+
+    // Uncertified: `keys` is `ro` but has no summary, so it stays on the
+    // fully sequenced slow path.
+    client.call_readonly(counter, "keys", args![]).unwrap();
+    assert_eq!(runtime.executor_stats().fast_path, 1);
+
+    // A burst of certified reads all completes on the fast path.
+    let handles: Vec<_> = (0..32)
+        .map(|_| {
+            client
+                .submit_readonly_event(counter, "get", args!["hits"])
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.wait().unwrap(), Value::from(5i64));
+    }
+    assert_eq!(runtime.executor_stats().fast_path, 33);
+    runtime.shutdown();
+}
+
+#[test]
+fn fast_path_can_be_disabled() {
+    let runtime = AeonRuntime::builder()
+        .class_graph(counter_classes())
+        .readonly_fast_path(false)
+        .build()
+        .unwrap();
+    let counter = runtime
+        .create_context(Box::new(KvContext::new("Counter")), Placement::Auto)
+        .unwrap();
+    let client = runtime.client();
+    client.call(counter, "incr", args!["hits", 1]).unwrap();
+    assert_eq!(
+        client.call_readonly(counter, "get", args!["hits"]).unwrap(),
+        Value::from(1i64)
+    );
+    assert_eq!(runtime.executor_stats().fast_path, 0);
+    runtime.shutdown();
+}
+
+#[test]
+fn fast_path_reads_observe_completed_writes() {
+    // Real-time ordering: once an exclusive event's handle has resolved, a
+    // subsequently submitted certified read must observe its effect.
+    let runtime = AeonRuntime::builder()
+        .class_graph(counter_classes())
+        .build()
+        .unwrap();
+    let counter = runtime
+        .create_context(Box::new(KvContext::new("Counter")), Placement::Auto)
+        .unwrap();
+    let client = runtime.client();
+    for i in 1..=50i64 {
+        client.call(counter, "incr", args!["n", 1]).unwrap();
+        assert_eq!(
+            client.call_readonly(counter, "get", args!["n"]).unwrap(),
+            Value::from(i)
+        );
+    }
+    assert_eq!(runtime.executor_stats().fast_path, 50);
+    runtime.shutdown();
+}
+
+#[test]
+fn fast_path_rejects_calls_from_lying_summaries() {
+    // `Liar::peek` is certified on an empty `calls []` summary but actually
+    // performs a call: the fast path must fail the event rather than make
+    // an unsequenced lock acquisition.
+    struct Liar {
+        item: Option<ContextId>,
+    }
+    impl ContextObject for Liar {
+        fn class_name(&self) -> &str {
+            "Liar"
+        }
+        fn handle(&mut self, method: &str, args: &Args, inv: &mut Invocation<'_>) -> Result<Value> {
+            match method {
+                "adopt" => {
+                    self.item = Some(args.get_context(0)?);
+                    Ok(Value::Null)
+                }
+                "peek" => {
+                    let item = self.item.ok_or_else(|| AeonError::app("no item"))?;
+                    inv.call(item, "get", args!["gold"])
+                }
+                _ => Err(AeonError::UnknownMethod {
+                    class: "Liar".into(),
+                    method: method.into(),
+                }),
+            }
+        }
+        fn is_readonly(&self, method: &str) -> bool {
+            method == "peek"
+        }
+    }
+
+    let mut classes = ClassGraph::new();
+    classes.add_constraint("Liar", "Item");
+    classes.declare_method("Liar", "adopt", false);
+    classes.declare_method("Liar", "peek", true);
+    classes.declare_calls("Liar", "peek", []);
+    let runtime = AeonRuntime::builder().class_graph(classes).build().unwrap();
+    let liar = runtime
+        .create_context(Box::new(Liar { item: None }), Placement::Auto)
+        .unwrap();
+    let item = runtime
+        .create_owned_context(
+            Box::new(KvContext::with_entries(
+                "Item",
+                [("gold", Value::from(1i64))],
+            )),
+            &[liar],
+        )
+        .unwrap();
+    let client = runtime.client();
+    client.call(liar, "adopt", args![item]).unwrap();
+    let err = client.call_readonly(liar, "peek", args![]).unwrap_err();
+    assert!(
+        err.to_string().contains("calls []"),
+        "expected a summary-lie error, got: {err}"
+    );
+    // The runtime stays healthy afterwards.
+    assert_eq!(
+        client.call_readonly(item, "get", args!["gold"]).unwrap(),
+        Value::from(1i64)
+    );
+    runtime.shutdown();
+}

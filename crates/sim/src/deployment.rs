@@ -127,6 +127,7 @@ impl SimDeploymentBuilder {
             events_completed: 0,
             events_failed: 0,
             total_latency: SimDuration::ZERO,
+            latency: aeon_types::LatencyHistogram::new(),
             shutdown: false,
             history: None,
         };
@@ -164,6 +165,9 @@ struct SimState {
     events_completed: u64,
     events_failed: u64,
     total_latency: SimDuration,
+    /// Distribution of per-event virtual latencies (same buckets as the
+    /// live backends, so metric reports are comparable across engines).
+    latency: aeon_types::LatencyHistogram,
     shutdown: bool,
     /// Optional live history sink.  The engine is single-threaded, so the
     /// recorded histories are serial by construction — useful to validate
@@ -283,6 +287,7 @@ impl SimState {
         let latency = self.hop + cost + self.hop;
         self.clock += latency;
         self.total_latency += latency;
+        self.latency.record(latency.as_micros());
         if result.is_ok() {
             self.events_completed += 1;
         } else {
@@ -768,7 +773,14 @@ impl Deployment for SimDeployment {
             .filter(|(_, online)| **online)
             .map(|(&server, _)| {
                 let hosted = state.placement.values().filter(|s| **s == server).count();
-                ServerMetrics::from_load(server, hosted, total_contexts, 0, avg_latency_ms)
+                ServerMetrics::from_load_with_latency(
+                    server,
+                    hosted,
+                    total_contexts,
+                    0,
+                    avg_latency_ms,
+                    state.latency,
+                )
             })
             .collect()
     }

@@ -32,6 +32,6 @@ pub use history::{HistorySink, SharedHistorySink};
 pub use ids::{
     ClassName, ClientId, ContextId, EventId, IdGenerator, MethodName, SequenceNo, ServerId,
 };
-pub use metrics::ServerMetrics;
+pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use time::{SimDuration, SimTime};
 pub use value::{Args, Value};

@@ -602,3 +602,128 @@ mod snapshot_freeze {
         });
     }
 }
+
+/// The analyzer-certified read-only fast path: certified methods
+/// (`Account::read`, `ro` with a `calls []` summary) take the fast path on
+/// both live backends, uncertified read-only methods (`Branch::total`
+/// declares `calls ["Account::read"]`) fall back to the sequenced slow
+/// path, and both paths return identical values.
+mod readonly_fast_path {
+    use super::*;
+    use aeon_apps::bank::{bank_class_graph, deploy_bank, BankWorldConfig};
+
+    #[test]
+    fn certified_reads_take_the_fast_path_on_every_live_backend() {
+        let config = BankWorldConfig::default();
+        let expected_read = Value::from(config.initial_balance);
+
+        // In-process runtime: the counter lives on the sharded executor.
+        let runtime = AeonRuntime::builder()
+            .servers(2)
+            .class_graph(bank_class_graph())
+            .build()
+            .unwrap();
+        let world = deploy_bank(&runtime, &config).unwrap();
+        let session = Deployment::session(&runtime);
+        let before = runtime.executor_stats().fast_path;
+        for account in &world.accounts {
+            assert_eq!(
+                session.call_readonly(*account, "read", args![]).unwrap(),
+                expected_read
+            );
+        }
+        assert_eq!(
+            runtime.executor_stats().fast_path,
+            before + world.accounts.len() as u64,
+            "every certified read is served by the fast path"
+        );
+        // Uncertified read-only methods stay on the sequenced slow path.
+        let total = session
+            .call_readonly(world.branches[0], "total", args![])
+            .unwrap();
+        assert_eq!(
+            runtime.executor_stats().fast_path,
+            before + world.accounts.len() as u64,
+            "an uncertified `ro` method must not take the fast path"
+        );
+        runtime.shutdown();
+
+        // Distributed cluster, both transports: the gateway routes
+        // certified reads as pre-sequenced Exec messages.
+        for transport in [ClusterTransport::Channel, ClusterTransport::TcpLoopback] {
+            let label = format!("{transport:?}");
+            let cluster = Cluster::builder()
+                .servers(2)
+                .transport(transport)
+                .class_graph(bank_class_graph())
+                .build()
+                .unwrap();
+            let world = deploy_bank(&cluster, &config).unwrap();
+            let session = Deployment::session(&cluster);
+            let before = cluster.fast_path_events();
+            for account in &world.accounts {
+                assert_eq!(
+                    session.call_readonly(*account, "read", args![]).unwrap(),
+                    expected_read,
+                    "transport {label}"
+                );
+            }
+            assert_eq!(
+                cluster.fast_path_events(),
+                before + world.accounts.len() as u64,
+                "transport {label}: every certified read is routed fast"
+            );
+            assert_eq!(
+                session
+                    .call_readonly(world.branches[0], "total", args![])
+                    .unwrap(),
+                total,
+                "transport {label}: slow-path totals agree with the runtime"
+            );
+            assert_eq!(
+                cluster.fast_path_events(),
+                before + world.accounts.len() as u64,
+                "transport {label}: uncertified `ro` stays sequenced"
+            );
+            cluster.shutdown();
+        }
+    }
+
+    #[test]
+    fn disabling_the_fast_path_preserves_results() {
+        let config = BankWorldConfig::default();
+        let runtime = AeonRuntime::builder()
+            .servers(2)
+            .class_graph(bank_class_graph())
+            .readonly_fast_path(false)
+            .build()
+            .unwrap();
+        let world = deploy_bank(&runtime, &config).unwrap();
+        let session = Deployment::session(&runtime);
+        for account in &world.accounts {
+            assert_eq!(
+                session.call_readonly(*account, "read", args![]).unwrap(),
+                Value::from(config.initial_balance)
+            );
+        }
+        assert_eq!(runtime.executor_stats().fast_path, 0);
+        runtime.shutdown();
+
+        let cluster = Cluster::builder()
+            .servers(2)
+            .class_graph(bank_class_graph())
+            .readonly_fast_path(false)
+            .build()
+            .unwrap();
+        let world = deploy_bank(&cluster, &config).unwrap();
+        let session = Deployment::session(&cluster);
+        for account in &world.accounts {
+            assert_eq!(
+                session.call_readonly(*account, "read", args![]).unwrap(),
+                Value::from(config.initial_balance)
+            );
+        }
+        assert_eq!(cluster.fast_path_events(), 0);
+        cluster.shutdown();
+    }
+}

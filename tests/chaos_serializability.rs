@@ -338,6 +338,132 @@ fn crashed_member_mid_freeze_fails_cleanly_and_thaws_survivors() {
     cluster.shutdown();
 }
 
+/// Drives transfers + certified read-only bursts while the main thread
+/// takes coordinated snapshots, and returns the recorded history plus the
+/// number of completed fast-path-eligible reads.
+///
+/// The certified fast path (`Account::read` is `ro` with a `calls []`
+/// summary) skips dominator sequencing, so a burst of fast reads racing a
+/// snapshot freeze is the adversarial case for the certification argument:
+/// frozen cuts must still conserve the total balance and the full history
+/// must stay strictly serializable.
+fn fast_path_mid_snapshot_scenario(deployment: &dyn Deployment, seed: u64) -> (History, usize) {
+    let recorder = HistoryRecorder::new();
+    deployment.install_history_sink(Arc::new(recorder.clone()));
+    let config = chaos_config();
+    let world = deploy_bank(deployment, &config).unwrap();
+    let expected = world.expected_total(&config);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reads = thread::scope(|scope| {
+        // Writers keep the accounts hot with conflicting transfers.
+        let mut writers = Vec::new();
+        for c in 0..2u64 {
+            let session = deployment.session();
+            let world = world.clone();
+            let stop = Arc::clone(&stop);
+            writers.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (c + 1));
+                while !stop.load(Ordering::SeqCst) {
+                    let b = rng.gen_range(0..world.branches.len());
+                    let accounts = &world.accounts_of[b];
+                    let from = accounts[rng.gen_range(0..accounts.len())];
+                    let to = accounts[rng.gen_range(0..accounts.len())];
+                    let _ = session
+                        .submit_event(world.branches[b], "transfer", args![from, to, 1i64])
+                        .and_then(|h| h.wait());
+                }
+            }));
+        }
+        // Readers hammer the certified read-only fast path.
+        let mut readers = Vec::new();
+        for c in 0..2u64 {
+            let session = deployment.session();
+            let world = world.clone();
+            let stop = Arc::clone(&stop);
+            readers.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ ((c + 1) << 16));
+                let mut reads = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let account = world.accounts[rng.gen_range(0..world.accounts.len())];
+                    if session
+                        .submit_readonly_event(account, "read", args![])
+                        .and_then(|h| h.wait())
+                        .is_ok()
+                    {
+                        reads += 1;
+                    }
+                }
+                reads
+            }));
+        }
+        // Coordinated snapshots mid-burst: every successful frozen cut must
+        // conserve the total balance despite the unsequenced fast reads.
+        let mut cuts = 0;
+        while cuts < 6 {
+            if let Ok(snapshot) = deployment.snapshot_context(world.bank) {
+                assert_eq!(
+                    captured_account_total(&snapshot),
+                    expected,
+                    "frozen cut torn under fast-path reads (seed {seed})"
+                );
+                cuts += 1;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::SeqCst);
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        readers.into_iter().map(|r| r.join().unwrap()).sum()
+    });
+    (recorder.history(), reads)
+}
+
+#[test]
+fn readonly_fast_path_burst_mid_snapshot_stays_strictly_serializable() {
+    let seed = chaos_seed().wrapping_add(0x4e0);
+
+    // Cluster leg (Channel transport): fast reads route as pre-sequenced
+    // Exec messages straight to the target's server.
+    let cluster = Cluster::builder()
+        .servers(3)
+        .class_graph(bank_class_graph())
+        .build()
+        .unwrap();
+    register_bank_factories(&cluster);
+    let (history, reads) = fast_path_mid_snapshot_scenario(&cluster, seed);
+    assert!(
+        cluster.fast_path_events() >= reads as u64,
+        "every certified read takes the fast path ({} events, {reads} reads)",
+        cluster.fast_path_events()
+    );
+    cluster.shutdown();
+    assert!(history.operation_count() > 200);
+    if let Err(violation) = check_strict_serializability(&history) {
+        panic!("cluster fast-path burst, seed {seed}: {violation}");
+    }
+
+    // Runtime leg: fast reads run under a shared object lock without
+    // dominator sequencing or exclusive activation.
+    let runtime = AeonRuntime::builder()
+        .servers(2)
+        .class_graph(bank_class_graph())
+        .build()
+        .unwrap();
+    let (history, reads) = fast_path_mid_snapshot_scenario(&runtime, seed ^ 0xa5);
+    assert!(
+        runtime.executor_stats().fast_path >= reads as u64,
+        "every certified read takes the fast path ({} events, {reads} reads)",
+        runtime.executor_stats().fast_path
+    );
+    runtime.shutdown();
+    assert!(history.operation_count() > 200);
+    if let Err(violation) = check_strict_serializability(&history) {
+        panic!("runtime fast-path burst, seed {seed}: {violation}");
+    }
+}
+
 /// Backend sanity for the recording surface itself: the deterministic
 /// simulator records serial histories by construction, and the recorder's
 /// adapter sees snapshot captures as reads and restores as writes.

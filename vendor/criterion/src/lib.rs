@@ -43,23 +43,102 @@ impl BenchmarkId {
     }
 }
 
+/// Per-iteration timing statistics recorded by the last `iter*` call.
+///
+/// Every iteration is bracketed by its own pair of monotonic
+/// [`Instant`] reads, so the reported time never includes the harness's
+/// budget bookkeeping or (for [`Bencher::iter_batched`]) the setup
+/// closure, and the per-iteration spread is measurable.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Number of timed iterations.
+    pub iterations: u64,
+    /// Sum of the per-iteration times.
+    pub total: Duration,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Unbiased sample variance of the per-iteration times, in ns².
+    pub variance_ns2: f64,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest iteration, in nanoseconds.
+    pub max_ns: f64,
+}
+
+impl Measurement {
+    /// Sample standard deviation of the per-iteration times, in ns.
+    pub fn stddev_ns(&self) -> f64 {
+        self.variance_ns2.sqrt()
+    }
+}
+
+/// Streaming mean/variance/extremes over per-iteration times (Welford's
+/// algorithm), so unbounded iteration counts need no sample buffer.
+#[derive(Debug, Default)]
+struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    total: Duration,
+}
+
+impl Welford {
+    fn record(&mut self, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as f64;
+        self.n += 1;
+        let delta = ns - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (ns - self.mean);
+        if self.n == 1 {
+            self.min = ns;
+            self.max = ns;
+        } else {
+            self.min = self.min.min(ns);
+            self.max = self.max.max(ns);
+        }
+        self.total += elapsed;
+    }
+
+    fn finish(self) -> Measurement {
+        Measurement {
+            iterations: self.n.max(1),
+            total: self.total,
+            mean_ns: self.mean,
+            variance_ns2: if self.n > 1 {
+                self.m2 / (self.n - 1) as f64
+            } else {
+                0.0
+            },
+            min_ns: self.min,
+            max_ns: self.max,
+        }
+    }
+}
+
 /// Drives the measured routine.
 pub struct Bencher {
     budget: Duration,
-    /// (total time, iterations) recorded by the last `iter*` call.
-    measured: Option<(Duration, u64)>,
+    /// Statistics recorded by the last `iter*` call.
+    measured: Option<Measurement>,
 }
 
 impl Bencher {
     /// Times `routine` repeatedly until the measurement budget is spent.
+    /// Each iteration is timed with its own monotonic [`Instant`] pair.
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
-        let started = Instant::now();
-        let mut iterations = 0u64;
-        while started.elapsed() < self.budget {
+        let mut stats = Welford::default();
+        let run_started = Instant::now();
+        loop {
+            let started = Instant::now();
             std::hint::black_box(routine());
-            iterations += 1;
+            stats.record(started.elapsed());
+            if run_started.elapsed() >= self.budget {
+                break;
+            }
         }
-        self.measured = Some((started.elapsed(), iterations.max(1)));
+        self.measured = Some(stats.finish());
     }
 
     /// Times `routine` on inputs produced by `setup`; setup time is
@@ -70,16 +149,19 @@ impl Bencher {
         mut routine: impl FnMut(I) -> R,
         _size: BatchSize,
     ) {
-        let mut total = Duration::ZERO;
-        let mut iterations = 0u64;
-        while total < self.budget {
+        let mut stats = Welford::default();
+        while stats.total < self.budget {
             let input = setup();
             let started = Instant::now();
             std::hint::black_box(routine(input));
-            total += started.elapsed();
-            iterations += 1;
+            stats.record(started.elapsed());
         }
-        self.measured = Some((total, iterations.max(1)));
+        self.measured = Some(stats.finish());
+    }
+
+    /// Statistics of the last `iter*` call, if any.
+    pub fn measurement(&self) -> Option<Measurement> {
+        self.measured
     }
 }
 
@@ -158,11 +240,17 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn report(name: &str, measured: Option<(Duration, u64)>) {
+fn report(name: &str, measured: Option<Measurement>) {
     match measured {
-        Some((total, iterations)) => {
-            let per_iter = total.as_nanos() as f64 / iterations as f64;
-            println!("bench {name:<50} {per_iter:>12.0} ns/iter ({iterations} iters)");
+        Some(m) => {
+            println!(
+                "bench {name:<50} {mean:>12.0} ns/iter (±{sd:.0} ns, min {min:.0}, max {max:.0}, {n} iters)",
+                mean = m.mean_ns,
+                sd = m.stddev_ns(),
+                min = m.min_ns,
+                max = m.max_ns,
+                n = m.iterations,
+            );
         }
         None => println!("bench {name:<50} (not measured)"),
     }
@@ -229,5 +317,20 @@ mod tests {
         // The macro bodies only need a short run to prove they are wired.
         plain();
         configured();
+    }
+
+    #[test]
+    fn measurements_report_per_iteration_spread() {
+        let mut bencher = Bencher {
+            budget: Duration::from_millis(2),
+            measured: None,
+        };
+        bencher.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        let m = bencher.measurement().expect("iter records a measurement");
+        assert!(m.iterations >= 1);
+        assert!(m.total > Duration::ZERO);
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+        assert!(m.variance_ns2 >= 0.0);
+        assert!(m.stddev_ns() >= 0.0);
     }
 }
