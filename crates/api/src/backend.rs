@@ -7,7 +7,9 @@
 use crate::handle::EventHandle;
 use crate::traits::{Deployment, Session};
 use aeon_ownership::OwnershipGraph;
-use aeon_runtime::{AeonClient, AeonRuntime, ContextFactory, ContextObject, Placement, Snapshot};
+use aeon_runtime::{
+    AeonClient, AeonRuntime, ContextFactory, ContextObject, ExecutorStats, Placement, Snapshot,
+};
 use aeon_types::{
     AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, SharedHistorySink,
     Value,
@@ -91,6 +93,10 @@ impl Deployment for AeonRuntime {
 
     fn context_count(&self) -> usize {
         AeonRuntime::context_count(self)
+    }
+
+    fn executor_stats(&self) -> Option<ExecutorStats> {
+        Some(AeonRuntime::executor_stats(self))
     }
 
     fn crash_server(&self, server: ServerId) -> Result<()> {

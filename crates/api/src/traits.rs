@@ -2,10 +2,10 @@
 
 use crate::handle::EventHandle;
 use aeon_ownership::OwnershipGraph;
-use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
+use aeon_runtime::{ContextFactory, ContextObject, ExecutorStats, Placement, Snapshot};
 use aeon_types::{
-    AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, SharedHistorySink,
-    Value,
+    AccessMode, Args, ClientId, ContextId, NetworkStatsSnapshot, Result, ServerId, ServerMetrics,
+    SharedHistorySink, Value,
 };
 
 /// A client session on a deployment: the entry point for submitting
@@ -187,6 +187,23 @@ pub trait Deployment: Send + Sync {
             .into_iter()
             .map(|server| self.contexts_on(server).len())
             .sum()
+    }
+
+    /// Aggregate event-executor counters (submissions, completions,
+    /// batching, fast-path hits, spill activity), when the backend runs a
+    /// worker pool.  `None` on backends without one (the deterministic
+    /// simulator executes inline); the cluster reports the sum over its
+    /// nodes.  Feeds the `aeond` metrics exposition.
+    fn executor_stats(&self) -> Option<ExecutorStats> {
+        None
+    }
+
+    /// A snapshot of the backend's transport traffic counters, when it has
+    /// a networking substrate.  `None` on backends without one (the
+    /// in-process runtime and the simulator move no bytes).  Feeds the
+    /// `aeond` metrics exposition.
+    fn network_stats(&self) -> Option<NetworkStatsSnapshot> {
+        None
     }
 
     /// Simulates a server crash: its contexts become unavailable until

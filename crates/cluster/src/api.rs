@@ -3,10 +3,10 @@
 use crate::cluster::{Cluster, ClusterClient};
 use aeon_api::{Deployment, EventHandle, Session};
 use aeon_ownership::OwnershipGraph;
-use aeon_runtime::{ContextFactory, ContextObject, Placement, Snapshot};
+use aeon_runtime::{ContextFactory, ContextObject, ExecutorStats, Placement, Snapshot};
 use aeon_types::{
-    AccessMode, Args, ClientId, ContextId, Result, ServerId, ServerMetrics, SharedHistorySink,
-    Value,
+    AccessMode, Args, ClientId, ContextId, NetworkStatsSnapshot, Result, ServerId, ServerMetrics,
+    SharedHistorySink, Value,
 };
 
 impl Session for ClusterClient {
@@ -87,6 +87,31 @@ impl Deployment for Cluster {
 
     fn context_count(&self) -> usize {
         Cluster::context_count(self)
+    }
+
+    fn executor_stats(&self) -> Option<ExecutorStats> {
+        // Sum the per-node pools into one fleet-wide view; the gateway's
+        // certified read-only fast path doesn't run through any node pool,
+        // so its counter is folded in here.
+        let mut total = ExecutorStats::default();
+        for stats in Cluster::executor_stats(self).into_values() {
+            total.workers += stats.workers;
+            total.shards += stats.shards;
+            total.submitted += stats.submitted;
+            total.completed += stats.completed;
+            total.queued += stats.queued;
+            total.spill_spawned += stats.spill_spawned;
+            total.spill_live += stats.spill_live;
+            total.panics += stats.panics;
+            total.batched += stats.batched;
+            total.fast_path += stats.fast_path;
+        }
+        total.fast_path += Cluster::fast_path_events(self);
+        Some(total)
+    }
+
+    fn network_stats(&self) -> Option<NetworkStatsSnapshot> {
+        Some(Cluster::network_stats(self).snapshot())
     }
 
     fn crash_server(&self, server: ServerId) -> Result<()> {

@@ -141,6 +141,7 @@ fn verr(e: &AeonError) -> Value {
             "EventAborted",
             vec![vevt(*event), Value::Str(reason.clone())],
         ),
+        AeonError::SendQueueFull { peer } => tagged("SendQueueFull", vec![vsrv(*peer)]),
         AeonError::Codec(msg) => tagged("Codec", vec![Value::Str(msg.clone())]),
         AeonError::Config(msg) => tagged("Config", vec![Value::Str(msg.clone())]),
         AeonError::Internal(msg) => tagged("Internal", vec![Value::Str(msg.clone())]),
@@ -618,6 +619,7 @@ fn derr(value: Value) -> Result<AeonError> {
             event: f.evt()?,
             reason: f.string()?,
         },
+        "SendQueueFull" => AeonError::SendQueueFull { peer: f.srv()? },
         "Codec" => AeonError::Codec(f.string()?),
         "Config" => AeonError::Config(f.string()?),
         "Internal" => AeonError::Internal(f.string()?),
@@ -1224,6 +1226,7 @@ mod tests {
                 event: evt(3),
                 reason: "crash".into(),
             },
+            AeonError::SendQueueFull { peer: srv(4) },
             AeonError::Codec("short".into()),
             AeonError::Config("bad".into()),
             AeonError::Internal("bug".into()),

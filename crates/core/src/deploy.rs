@@ -89,6 +89,12 @@ pub struct DeployConfig {
     /// Cap on the spill workers of the blocking escape hatch.  `None`
     /// keeps the backend default.  Ignored by the simulator.
     pub max_spill_workers: Option<usize>,
+    /// Cap on same-context batching per worker dequeue.  `None` keeps the
+    /// backend default.  Ignored by the simulator.
+    pub batch_max: Option<usize>,
+    /// Whether certified read-only events take the lock-free fast path.
+    /// `None` keeps the backend default.  Ignored by the simulator.
+    pub readonly_fast_path: Option<bool>,
     /// Optional contextclass constraint graph, statically analysed at
     /// build time on every backend.
     pub class_graph: Option<ClassGraph>,
@@ -110,6 +116,8 @@ impl Default for DeployConfig {
             servers: 1,
             worker_threads: None,
             max_spill_workers: None,
+            batch_max: None,
+            readonly_fast_path: None,
             class_graph: None,
             analysis: AnalysisMode::default(),
             transport: ClusterTransport::default(),
@@ -160,6 +168,22 @@ impl DeployConfig {
     #[must_use]
     pub fn max_spill_workers(mut self, max: usize) -> Self {
         self.max_spill_workers = Some(max);
+        self
+    }
+
+    /// Caps same-context batching per worker dequeue (ignored by the
+    /// simulator).
+    #[must_use]
+    pub fn batch_max(mut self, max: usize) -> Self {
+        self.batch_max = Some(max);
+        self
+    }
+
+    /// Enables or disables the certified read-only fast path (ignored by
+    /// the simulator).
+    #[must_use]
+    pub fn readonly_fast_path(mut self, enabled: bool) -> Self {
+        self.readonly_fast_path = Some(enabled);
         self
     }
 
@@ -232,6 +256,12 @@ pub fn deploy(config: DeployConfig) -> Result<Box<dyn Deployment>> {
             if let Some(max) = config.max_spill_workers {
                 builder = builder.max_spill_workers(max);
             }
+            if let Some(max) = config.batch_max {
+                builder = builder.batch_max(max);
+            }
+            if let Some(enabled) = config.readonly_fast_path {
+                builder = builder.readonly_fast_path(enabled);
+            }
             if let Some(classes) = config.class_graph {
                 builder = builder.class_graph(classes);
             }
@@ -247,6 +277,12 @@ pub fn deploy(config: DeployConfig) -> Result<Box<dyn Deployment>> {
             }
             if let Some(max) = config.max_spill_workers {
                 builder = builder.max_spill_workers(max);
+            }
+            if let Some(max) = config.batch_max {
+                builder = builder.batch_max(max);
+            }
+            if let Some(enabled) = config.readonly_fast_path {
+                builder = builder.readonly_fast_path(enabled);
             }
             if let Some(classes) = config.class_graph {
                 builder = builder.class_graph(classes);
@@ -396,10 +432,52 @@ mod tests {
             DeployConfig::runtime()
                 .servers(1)
                 .worker_threads(2)
-                .max_spill_workers(8),
+                .max_spill_workers(8)
+                .batch_max(16)
+                .readonly_fast_path(false),
         )
         .unwrap();
         assert_eq!(deployment.backend_name(), "runtime");
+        let stats = deployment.executor_stats().expect("runtime has a pool");
+        assert_eq!(stats.workers, 2);
+        // The runtime has no wire, so no transport counters.
+        assert!(deployment.network_stats().is_none());
         deployment.shutdown();
+    }
+
+    #[test]
+    fn stats_surfaces_match_each_backend() {
+        // Runtime: pool yes, wire no.  Cluster: both.  Sim: neither.
+        let runtime = deploy(DeployConfig::runtime()).unwrap();
+        assert!(runtime.executor_stats().is_some());
+        assert!(runtime.network_stats().is_none());
+        runtime.shutdown();
+
+        let cluster = deploy(DeployConfig::cluster().servers(2)).unwrap();
+        let session = cluster.session();
+        let ctx = cluster
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        session.call(ctx, "incr", args!["n", 1]).unwrap();
+        let stats = cluster.executor_stats().expect("cluster nodes have pools");
+        assert!(stats.workers > 0);
+        assert!(stats.submitted > 0);
+        // The ack is sent from inside the pool task, so `completed` may
+        // trail the client's return by an instant.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while cluster.executor_stats().unwrap().completed == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "node pool never recorded the completion"
+            );
+            std::thread::yield_now();
+        }
+        assert!(cluster.network_stats().is_some());
+        cluster.shutdown();
+
+        let sim = deploy(DeployConfig::sim()).unwrap();
+        assert!(sim.executor_stats().is_none());
+        assert!(sim.network_stats().is_none());
+        sim.shutdown();
     }
 }

@@ -96,6 +96,7 @@
 //! # }
 //! ```
 
+pub mod config;
 mod deploy;
 
 pub use aeon_analyzer as analyzer;
@@ -111,6 +112,7 @@ pub use aeon_storage as storage;
 pub use aeon_types as types;
 
 pub use aeon_types::{AccessMode, AeonError, Args, ContextId, EventId, Result, ServerId, Value};
+pub use config::{AdminConfig, ServiceConfig, WorkloadConfig};
 pub use deploy::{deploy, deploy_shared, Backend, DeployConfig};
 
 /// The most commonly used items, for glob import.

@@ -88,12 +88,14 @@ impl ElasticityPolicy for ResourceUtilizationPolicy {
                 .iter()
                 .all(|m| Self::max_utilisation(m) < self.lower)
         {
-            // Release the least loaded server.
-            if let Some(least) = metrics.iter().min_by(|a, b| {
-                Self::max_utilisation(a)
-                    .partial_cmp(&Self::max_utilisation(b))
-                    .unwrap()
-            }) {
+            // Release the least loaded server.  `total_cmp`, not
+            // `partial_cmp().unwrap()`: a backend reporting a NaN
+            // utilisation (e.g. a latency average over zero samples
+            // upstream) must not panic the eManager tick thread.
+            if let Some(least) = metrics
+                .iter()
+                .min_by(|a, b| Self::max_utilisation(a).total_cmp(&Self::max_utilisation(b)))
+            {
                 actions.push(ElasticityAction::ScaleIn {
                     server: least.server,
                 });
@@ -199,10 +201,12 @@ impl ElasticityPolicy for SlaPolicy {
         let mut actions = Vec::new();
         if worst > self.target_ms {
             actions.push(ElasticityAction::ScaleOut { count: self.step });
-            // Rebalance away from the slowest server.
+            // Rebalance away from the slowest server.  `total_cmp` keeps a
+            // NaN latency report (division by a zero sample count upstream)
+            // from panicking the eManager tick thread.
             if let Some(slowest) = metrics
                 .iter()
-                .max_by(|a, b| a.avg_latency_ms.partial_cmp(&b.avg_latency_ms).unwrap())
+                .max_by(|a, b| a.avg_latency_ms.total_cmp(&b.avg_latency_ms))
             {
                 actions.push(ElasticityAction::Rebalance {
                     from: slowest.server,
@@ -303,6 +307,39 @@ mod tests {
             .evaluate(&[m(0, 0.5, 5, 8.0), m(1, 0.5, 5, 7.0)])
             .is_empty());
         assert_eq!(p.target_ms(), 10.0);
+    }
+
+    #[test]
+    fn sla_policy_survives_nan_latency_reports() {
+        // Regression test: comparing with `partial_cmp().unwrap()` used to
+        // panic the eManager tick when any server reported a NaN average
+        // latency (a 0/0 division upstream on an idle server).  The policy
+        // must still act on the servers with real reports.
+        let p = SlaPolicy::new(10.0).with_step(1);
+        let actions = p.evaluate(&[m(0, 0.5, 5, f64::NAN), m(1, 0.5, 5, 22.0)]);
+        assert!(actions.contains(&ElasticityAction::ScaleOut { count: 1 }));
+        // With total_cmp, NaN sorts above every number; the rebalance
+        // target is deterministic, not a panic.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ElasticityAction::Rebalance { .. })));
+        // All-NaN reports: no violation detected (NaN > target is false),
+        // and still no panic.
+        assert!(p.evaluate(&[m(0, 0.5, 5, f64::NAN)]).is_empty());
+    }
+
+    #[test]
+    fn resource_policy_survives_nan_utilisation_reports() {
+        // Same regression for the scale-in arm's min_by comparator.  One
+        // server reports NaN CPU while the fleet is idle; with total_cmp
+        // NaN sorts above every real utilisation, so the idle check fails
+        // closed (NaN < lower is false) and nothing is released — but
+        // nothing panics either.
+        let p = ResourceUtilizationPolicy::new(0.2, 0.8, 0.05);
+        assert!(p
+            .evaluate(&[m(0, f64::NAN, 2, 1.0), m(1, 0.1, 2, 1.0)])
+            .is_empty());
+        assert!(p.evaluate(&[m(0, f64::NAN, 2, 1.0)]).is_empty());
     }
 
     #[test]

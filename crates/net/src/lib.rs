@@ -501,6 +501,36 @@ mod tests {
         }
 
         #[test]
+        fn full_send_queue_is_reported_not_silent() {
+            // Regression test: a full bounded send queue used to block the
+            // caller (and, once the writer retired, drop frames with no
+            // trace).  Point the peer at a refusing port so the writer sits
+            // in connect-with-retry without draining its queue, then
+            // overflow a 1-slot queue.
+            let placeholder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let dead_addr = placeholder.local_addr().unwrap();
+            drop(placeholder);
+
+            let mut config = TcpTransportConfig::new(loopback());
+            config.send_queue = 1;
+            config.connect_retries = 1000;
+            config.retry_delay = Duration::from_millis(50);
+            let transport: Arc<dyn Transport<Ping>> = Arc::new(TcpTransport::bind(config).unwrap());
+            let net = Network::with_transport(transport);
+            net.add_peer(srv(1), dead_addr);
+            let a = net.register(srv(0));
+
+            // First frame occupies the only queue slot (the writer cannot
+            // drain it while the connection is refused).
+            a.send(srv(1), Ping(1, Vec::new())).unwrap();
+            let err = a.send(srv(1), Ping(2, Vec::new())).unwrap_err();
+            assert_eq!(err, AeonError::SendQueueFull { peer: srv(1) });
+            assert!(err.is_transient(), "queue-full is retryable backpressure");
+            assert_eq!(net.stats().frames_dropped(), 1);
+            net.shutdown_transport();
+        }
+
+        #[test]
         fn unknown_peer_is_server_not_found() {
             let net = tcp_network();
             let a = net.register(srv(0));

@@ -1,5 +1,6 @@
 //! Traffic statistics for the networking substrate.
 
+use aeon_types::NetworkStatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters of messages (and bytes) that crossed the network.
@@ -19,6 +20,7 @@ pub struct NetworkStats {
     local: AtomicU64,
     remote: AtomicU64,
     dropped: AtomicU64,
+    frames_dropped: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
 }
@@ -46,6 +48,16 @@ impl NetworkStats {
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an encoded frame the transport itself failed to deliver:
+    /// bounded send-queue overflow, or frames stranded in a retiring
+    /// writer's queue.  Distinct from [`record_dropped`](Self::record_dropped),
+    /// which counts *injected* drops (faults, severed links) — a nonzero
+    /// frame-drop counter on a healthy deployment signals backpressure or
+    /// connection churn, not chaos testing.
+    pub fn record_frame_dropped(&self) {
+        self.frames_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Messages delivered on the sending server.
     pub fn local_messages(&self) -> u64 {
         self.local.load(Ordering::Relaxed)
@@ -61,6 +73,12 @@ impl NetworkStats {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Encoded frames dropped by the transport itself (queue overflow,
+    /// writer retirement).
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped.load(Ordering::Relaxed)
+    }
+
     /// Total messages offered to the network (delivered + dropped).
     pub fn total_messages(&self) -> u64 {
         self.local_messages() + self.remote_messages() + self.dropped_messages()
@@ -74,6 +92,20 @@ impl NetworkStats {
     /// Total encoded bytes received from the transport.
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every counter, as the plain value type that
+    /// crosses API boundaries (`Deployment::network_stats`, the `aeond`
+    /// metrics exposition).
+    pub fn snapshot(&self) -> NetworkStatsSnapshot {
+        NetworkStatsSnapshot {
+            local_messages: self.local_messages(),
+            remote_messages: self.remote_messages(),
+            dropped_messages: self.dropped_messages(),
+            frames_dropped: self.frames_dropped(),
+            bytes_sent: self.bytes_sent(),
+            bytes_received: self.bytes_received(),
+        }
     }
 }
 
@@ -93,6 +125,19 @@ mod tests {
         assert_eq!(stats.dropped_messages(), 1);
         assert_eq!(stats.total_messages(), 4);
         assert_eq!(stats.bytes_sent(), 30);
+    }
+
+    #[test]
+    fn frame_drops_are_counted_separately_from_injected_drops() {
+        let stats = NetworkStats::default();
+        stats.record_dropped();
+        stats.record_frame_dropped();
+        stats.record_frame_dropped();
+        assert_eq!(stats.dropped_messages(), 1);
+        assert_eq!(stats.frames_dropped(), 2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.dropped_messages, 1);
+        assert_eq!(snap.frames_dropped, 2);
     }
 
     #[test]

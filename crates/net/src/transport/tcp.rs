@@ -102,6 +102,14 @@ struct TcpShared<M> {
     send_queue: usize,
 }
 
+impl<M> TcpShared<M> {
+    fn record_frame_dropped(&self) {
+        if let Some(stats) = self.stats.read().as_ref() {
+            stats.record_frame_dropped();
+        }
+    }
+}
+
 /// TCP implementation of [`Transport`]; see the module docs for the wire
 /// format and threading model.
 pub struct TcpTransport<M: WireMessage> {
@@ -166,6 +174,12 @@ impl<M: WireMessage> TcpTransport<M> {
 
     /// Hands a frame to the peer's writer, spawning one when missing or
     /// when the previous writer retired after losing its connection.
+    ///
+    /// A full send queue is *not* silent: the frame is counted in
+    /// `frames_dropped` and the caller gets [`AeonError::SendQueueFull`],
+    /// a transient error distinguishable from a dead peer
+    /// ([`AeonError::ServerNotFound`]) so callers can retry or shed load
+    /// instead of misdiagnosing backpressure as peer loss.
     fn enqueue(&self, to: ServerId, addr: SocketAddr, frame: Vec<u8>) -> Result<()> {
         let mut frame = frame;
         for _ in 0..2 {
@@ -176,9 +190,13 @@ impl<M: WireMessage> TcpTransport<M> {
                     .or_insert_with(|| spawn_writer(Arc::clone(&self.shared), to, addr))
                     .clone()
             };
-            match tx.send(frame) {
+            match tx.try_send(frame) {
                 Ok(()) => return Ok(()),
-                Err(channel::SendError(f)) => {
+                Err(channel::TrySendError::Full(_)) => {
+                    self.shared.record_frame_dropped();
+                    return Err(AeonError::SendQueueFull { peer: to });
+                }
+                Err(channel::TrySendError::Disconnected(f)) => {
                     // The writer retired (connection lost / gave up);
                     // drop the dead queue and retry with a fresh writer.
                     frame = f;
@@ -186,6 +204,7 @@ impl<M: WireMessage> TcpTransport<M> {
                 }
             }
         }
+        self.shared.record_frame_dropped();
         Err(AeonError::ServerNotFound(to))
     }
 }
@@ -356,11 +375,13 @@ fn write_loop<M: WireMessage>(
                     stream = s;
                     let _ = stream.set_nodelay(true);
                     if stream.write_all(&frame).is_err() {
+                        shared.record_frame_dropped();
                         retire_writer(&shared, to, &rx);
                         return;
                     }
                 }
                 None => {
+                    shared.record_frame_dropped();
                     retire_writer(&shared, to, &rx);
                     return;
                 }
@@ -387,13 +408,15 @@ fn connect_with_retry<M: WireMessage>(
 }
 
 /// Removes this writer's queue from the routing table and counts every
-/// still-buffered frame as dropped.
+/// still-buffered frame as dropped (both as a lost message and as a
+/// transport-level frame drop).
 fn retire_writer<M: WireMessage>(shared: &TcpShared<M>, to: ServerId, rx: &Receiver<Vec<u8>>) {
     shared.writers.lock().remove(&to);
     let stats = shared.stats.read().clone();
     while rx.try_recv().is_ok() {
         if let Some(stats) = stats.as_ref() {
             stats.record_dropped();
+            stats.record_frame_dropped();
         }
     }
 }

@@ -428,6 +428,25 @@ impl ShardedExecutor {
         self.inner.sleep_cv.notify_one();
     }
 
+    /// Queued (not yet dequeued) task counts grouped by routing key.
+    ///
+    /// Control-plane only: this locks each shard in turn and walks its
+    /// queue, so metrics reporters can attribute depth to the entity the
+    /// key identifies (the runtime keys by context id, letting
+    /// `server_metrics` report the *real* backlog behind each server
+    /// instead of an even split).  The result is a snapshot — tasks may be
+    /// dequeued while later shards are scanned.
+    pub fn queued_by_key(&self) -> std::collections::HashMap<u64, u64> {
+        let mut counts = std::collections::HashMap::new();
+        for shard in &self.inner.shards {
+            let queue = shard.lock();
+            for (key, _) in queue.iter() {
+                *counts.entry(*key).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
     /// Current counters.
     pub fn stats(&self) -> ExecutorStats {
         ExecutorStats {

@@ -970,23 +970,43 @@ impl AeonRuntime {
     /// Current per-server load metrics (the elasticity control-plane feed).
     ///
     /// CPU/memory/IO are approximated from relative context load since the
-    /// logical servers share the host machine; the process-wide executor
-    /// queue (one worker pool serves every logical server) is apportioned
-    /// across the servers so the fleet-wide sum stays meaningful, and the
-    /// latency is the runtime-wide mean event latency.
+    /// logical servers share the host machine; the latency is the
+    /// runtime-wide mean event latency.  Queue depth is *per server*: the
+    /// process-wide worker pool keys every queued task by its target
+    /// context, so each task is attributed to the server hosting that
+    /// context.  (An even split was used here once — it made every server
+    /// look equally loaded and hid exactly the hotspots the elasticity
+    /// policies exist to find.)  Tasks whose context has no placement yet
+    /// (racing a create/migrate) are spread round-robin so the fleet-wide
+    /// sum stays meaningful.
     pub fn server_metrics(&self) -> Vec<ServerMetrics> {
         let servers = self.servers();
         let total_contexts = self.context_count();
         let latency = self.stats().latency_summary();
         let histogram = self.stats().latency_histogram();
-        let queued = self.executor_stats().queued as usize;
+        let mut depth: BTreeMap<ServerId, usize> = servers.iter().map(|s| (*s, 0usize)).collect();
+        let mut unplaced = 0usize;
+        {
+            let placement = self.inner.placement.read();
+            for (key, count) in self.inner.executor.queued_by_key() {
+                match placement
+                    .get(&ContextId::new(key))
+                    .and_then(|server| depth.get_mut(server))
+                {
+                    Some(d) => *d += count as usize,
+                    None => unplaced += count as usize,
+                }
+            }
+        }
         let fleet = servers.len().max(1);
         servers
             .into_iter()
             .enumerate()
             .map(|(i, server)| {
                 let hosted = self.contexts_on(server).len();
-                let queue_depth = queued / fleet + usize::from(i < queued % fleet);
+                let queue_depth = depth.get(&server).copied().unwrap_or(0)
+                    + unplaced / fleet
+                    + usize::from(i < unplaced % fleet);
                 ServerMetrics::from_load_with_latency(
                     server,
                     hosted,

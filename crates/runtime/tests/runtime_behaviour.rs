@@ -992,3 +992,100 @@ fn fast_path_rejects_calls_from_lying_summaries() {
     );
     runtime.shutdown();
 }
+
+#[test]
+fn server_metrics_attribute_queue_depth_to_the_hosting_server() {
+    // Regression test: queue depth used to be the pool-wide count split
+    // evenly across servers, which made a hotspot on one server look like
+    // uniform fleet load.  Pin a context per server, wedge the single
+    // worker on one of them, pile events onto it, and check the backlog
+    // lands on the hosting server only.
+    use std::sync::mpsc;
+
+    struct Gate {
+        started: mpsc::Sender<()>,
+        release: std::sync::Mutex<mpsc::Receiver<()>>,
+    }
+    impl ContextObject for Gate {
+        fn class_name(&self) -> &str {
+            "Item"
+        }
+        fn handle(
+            &mut self,
+            method: &str,
+            _args: &Args,
+            _inv: &mut Invocation<'_>,
+        ) -> Result<Value> {
+            match method {
+                "wedge" => {
+                    let _ = self.started.send(());
+                    let _ = self.release.lock().unwrap().recv();
+                    Ok(Value::Null)
+                }
+                "noop" => Ok(Value::Null),
+                _ => Err(AeonError::app("unknown")),
+            }
+        }
+    }
+
+    let runtime = AeonRuntime::builder()
+        .servers(2)
+        .worker_threads(1)
+        .max_spill_workers(0)
+        .build()
+        .unwrap();
+    let servers = runtime.servers();
+    let (started_tx, started_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let busy = runtime
+        .create_context(
+            Box::new(Gate {
+                started: started_tx,
+                release: std::sync::Mutex::new(release_rx),
+            }),
+            Placement::Server(servers[0]),
+        )
+        .unwrap();
+    let _idle = runtime
+        .create_context(
+            Box::new(KvContext::new("Item")),
+            Placement::Server(servers[1]),
+        )
+        .unwrap();
+
+    let client = runtime.client();
+    let wedged = client.submit_event(busy, "wedge", args![]).unwrap();
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("the wedge event reaches the worker");
+    // The only worker is now blocked inside `busy`; these stay queued.
+    let backlog: Vec<_> = (0..3)
+        .map(|_| client.submit_event(busy, "noop", args![]).unwrap())
+        .collect();
+
+    let metrics = runtime.server_metrics();
+    let depth_of = |s| {
+        metrics
+            .iter()
+            .find(|m| m.server == s)
+            .expect("metrics for every server")
+            .queue_depth
+    };
+    assert_eq!(
+        depth_of(servers[0]),
+        3,
+        "backlog sits behind the wedged server"
+    );
+    assert_eq!(
+        depth_of(servers[1]),
+        0,
+        "the idle server reports no backlog"
+    );
+
+    release_tx.send(()).unwrap();
+    wedged.wait().unwrap();
+    for h in backlog {
+        h.wait().unwrap();
+    }
+    runtime.shutdown();
+}

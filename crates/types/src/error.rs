@@ -70,6 +70,11 @@ pub enum AeonError {
     Storage(String),
     /// The event was aborted (e.g. the hosting server was removed).
     EventAborted { event: EventId, reason: String },
+    /// The transport's bounded outbound queue for `peer` is at capacity:
+    /// the message was NOT sent (transient backpressure; callers may
+    /// retry, shed load, or escalate — the frame is counted in the
+    /// transport's `frames_dropped` statistic).
+    SendQueueFull { peer: ServerId },
     /// Codec (encode/decode) failure for snapshots or migration payloads.
     Codec(String),
     /// Configuration error (invalid parameters to a builder).
@@ -143,6 +148,9 @@ impl fmt::Display for AeonError {
             AeonError::EventAborted { event, reason } => {
                 write!(f, "event {event} aborted: {reason}")
             }
+            AeonError::SendQueueFull { peer } => {
+                write!(f, "outbound send queue for server {peer} is full")
+            }
             AeonError::Codec(msg) => write!(f, "codec error: {msg}"),
             AeonError::Config(msg) => write!(f, "configuration error: {msg}"),
             AeonError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -158,7 +166,9 @@ impl AeonError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            AeonError::MigrationInProgress(_) | AeonError::Storage(_)
+            AeonError::MigrationInProgress(_)
+                | AeonError::Storage(_)
+                | AeonError::SendQueueFull { .. }
         )
     }
 

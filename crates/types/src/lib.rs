@@ -23,6 +23,7 @@ pub mod error;
 pub mod history;
 pub mod ids;
 pub mod metrics;
+pub mod promtext;
 pub mod time;
 pub mod value;
 
@@ -32,6 +33,6 @@ pub use history::{HistorySink, SharedHistorySink};
 pub use ids::{
     ClassName, ClientId, ContextId, EventId, IdGenerator, MethodName, SequenceNo, ServerId,
 };
-pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use metrics::{LatencyHistogram, NetworkStatsSnapshot, ServerMetrics};
 pub use time::{SimDuration, SimTime};
 pub use value::{Args, Value};

@@ -131,6 +131,29 @@ impl LatencyHistogram {
     }
 }
 
+/// A point-in-time copy of a transport's traffic counters.
+///
+/// The live counters (`aeon_net::NetworkStats`) are atomics owned by the
+/// networking substrate; this plain value type is what crosses API
+/// boundaries — notably `Deployment::network_stats` and the `aeond`
+/// Prometheus exposition — without dragging a dependency on the net crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetworkStatsSnapshot {
+    /// Messages delivered on the sending server.
+    pub local_messages: u64,
+    /// Messages delivered across servers.
+    pub remote_messages: u64,
+    /// Messages dropped by fault injection or severed links.
+    pub dropped_messages: u64,
+    /// Encoded frames dropped by the transport itself (bounded send queue
+    /// overflow, writer retirement mid-reconnect).
+    pub frames_dropped: u64,
+    /// Total encoded bytes handed to the transport for delivery.
+    pub bytes_sent: u64,
+    /// Total encoded bytes received from the transport.
+    pub bytes_received: u64,
+}
+
 /// A periodic utilisation report for one server.
 ///
 /// The resource utilisations are proxies derived from what each backend can

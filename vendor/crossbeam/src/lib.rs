@@ -10,6 +10,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// The receiver was dropped.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -75,6 +84,25 @@ pub mod channel {
             match &self.inner {
                 AnySender::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
                 AnySender::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Sends a message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TrySendError::Full`] when a bounded channel is at
+        /// capacity and [`TrySendError::Disconnected`] when the receiver
+        /// was dropped.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                AnySender::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                AnySender::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
             }
         }
     }
@@ -171,6 +199,22 @@ pub mod channel {
             tx2.send(7).unwrap();
             drop(rx2);
             assert_eq!(tx2.send(8), Err(SendError(8)));
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnect() {
+            let (tx, rx) = bounded::<i32>(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            drop(rx);
+            assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+            // Unbounded channels are never full.
+            let (tx, rx) = unbounded::<i32>();
+            tx.try_send(4).unwrap();
+            assert_eq!(rx.recv(), Ok(4));
+            drop(rx);
+            assert_eq!(tx.try_send(5), Err(TrySendError::Disconnected(5)));
         }
 
         #[test]
