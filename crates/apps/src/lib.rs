@@ -12,11 +12,17 @@
 pub mod bank;
 pub mod collections;
 pub mod game;
+pub mod social;
 pub mod tpcc;
 
 pub use bank::{deploy_bank, register_bank_factories, BankWorld, BankWorldConfig};
 pub use collections::{ListSet, SearchTree};
 pub use game::{GameWorkload, GameWorkloadConfig};
+pub use social::{
+    deploy_social, deploy_social_plan, generate_plan, register_social_factories, run_social_stream,
+    social_class_graph, SocialConfig, SocialOp, SocialPlan, SocialStreamReport, SocialWorld,
+    ZipfSampler,
+};
 pub use tpcc::{TpccWorkload, TpccWorkloadConfig, TransactionKind};
 
 /// Class graph of a plain key/value deployment: the single `Kv` class
@@ -40,6 +46,7 @@ mod tests {
             ("game", crate::game::game_class_graph()),
             ("tpcc", crate::tpcc::tpcc_class_graph()),
             ("bank", crate::bank::bank_class_graph()),
+            ("social", crate::social::social_class_graph()),
             ("kv", crate::kv_class_graph()),
             ("collections", crate::collections::collections_class_graph()),
         ] {

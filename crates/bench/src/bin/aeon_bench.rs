@@ -15,6 +15,9 @@
 //!   with the analyzer-certified fast path disabled (the "before" leg) and
 //!   enabled (the "after" leg), on both backends.  The fast-path event
 //!   counters land in each result's `extra` map.
+//! * `fig7-social` — Zipfian social-graph workload (hot celebrity
+//!   dominators under skewed load) on the runtime, the Channel cluster,
+//!   and the contention-mode virtual-time simulator.
 //! * `micro`      — submit latency, executor saturation, and wire codec
 //!   encode/decode microbenchmarks.
 //!
@@ -33,8 +36,10 @@
 use aeon_api::{Deployment, Session};
 use aeon_apps::bank::{bank_class_graph, deploy_bank, BankWorldConfig};
 use aeon_apps::game::{deploy_game, game_class_graph};
+use aeon_apps::social::{deploy_social, generate_plan, social_class_graph, SocialConfig, SocialOp};
 use aeon_apps::tpcc::{deploy_tpcc, run_payment, tpcc_class_graph};
-use aeon_bench::{live_game_run, live_tpcc_run};
+use aeon_apps::SocialWorld;
+use aeon_bench::{live_game_run, live_tpcc_run, sim_social_run, SimRunConfig};
 use aeon_cluster::Cluster;
 use aeon_runtime::{AeonRuntime, KvContext, Placement};
 use aeon_types::{args, codec, Args, ContextId, LatencyHistogram, Result, Value};
@@ -534,6 +539,132 @@ fn suite_readonly(options: &Options) -> Result<Vec<BenchResult>> {
 }
 
 // ---------------------------------------------------------------------------
+// Suite: fig7-social
+// ---------------------------------------------------------------------------
+
+/// Submits a pre-generated Zipfian social stream in bounded waves, the
+/// social-graph analogue of [`burst_events`].
+fn burst_social(session: &dyn Session, world: &SocialWorld, ops: &[SocialOp]) -> Result<usize> {
+    let mut handles = Vec::with_capacity(WAVE.min(ops.len()));
+    for chunk in ops.chunks(WAVE) {
+        for op in chunk {
+            let handle = match *op {
+                SocialOp::Post { user, payload } => {
+                    session.submit_event(world.users[user as usize], "post", args![payload])?
+                }
+                SocialOp::Timeline { user } => session.submit_readonly_event(
+                    world.users[user as usize],
+                    "timeline",
+                    args![],
+                )?,
+                SocialOp::FeedLen { user } => {
+                    session.submit_readonly_event(world.feeds[user as usize], "len", args![])?
+                }
+            };
+            handles.push(handle);
+        }
+        for handle in handles.drain(..) {
+            handle.wait()?;
+        }
+    }
+    Ok(ops.len())
+}
+
+fn suite_fig7_social(options: &Options) -> Result<Vec<BenchResult>> {
+    let (pool, social, events) = if options.smoke {
+        (
+            2,
+            SocialConfig {
+                regions: 2,
+                users: 32,
+                ..SocialConfig::default()
+            },
+            400,
+        )
+    } else {
+        (
+            host_workers(),
+            SocialConfig {
+                regions: 4,
+                users: 500,
+                follows_per_user: 5,
+                ..SocialConfig::default()
+            },
+            10_000,
+        )
+    };
+    let contexts = social.total_contexts() as u64;
+    let knobs = format!(
+        "regions={} users={} zipf_s={} events={events}",
+        social.regions, social.users, social.zipf_s
+    );
+    let mut results = Vec::new();
+
+    let servers = social.regions.clamp(2, 4);
+    let runtime = AeonRuntime::builder()
+        .servers(servers)
+        .worker_threads(pool)
+        .class_graph(social_class_graph())
+        .build()?;
+    let world = deploy_social(&runtime, &social)?;
+    let ops = generate_plan(&social).request_stream(events, social.seed);
+    let leg = run_leg(&runtime, |session| burst_social(session, &world, &ops))?;
+    runtime.shutdown();
+    results.push(BenchResult {
+        bench: "fig7-social".into(),
+        backend: "runtime".into(),
+        config: format!("servers={servers} pool={pool} {knobs}"),
+        events: leg.events,
+        ops_per_sec: leg.ops_per_sec,
+        p50_micros: leg.p50_micros,
+        p99_micros: leg.p99_micros,
+        extra: vec![("contexts".into(), contexts)],
+    });
+
+    let cluster = Cluster::builder()
+        .servers(servers)
+        .worker_threads(pool)
+        .class_graph(social_class_graph())
+        .build()?;
+    let world = deploy_social(&cluster, &social)?;
+    let leg = run_leg(&cluster, |session| burst_social(session, &world, &ops))?;
+    cluster.shutdown();
+    results.push(BenchResult {
+        bench: "fig7-social".into(),
+        backend: "cluster-channel".into(),
+        config: format!("servers={servers} pool={pool} {knobs}"),
+        events: leg.events,
+        ops_per_sec: leg.ops_per_sec,
+        p50_micros: leg.p50_micros,
+        p99_micros: leg.p99_micros,
+        extra: vec![("contexts".into(), contexts)],
+    });
+
+    // Virtual-time leg: same graph and stream on the contention-mode
+    // simulator; ops/s here are events per *virtual* second.
+    let sim_config = SimRunConfig {
+        servers,
+        cores: pool,
+        ..SimRunConfig::default()
+    };
+    let report = sim_social_run(&sim_config, &social, events)?;
+    results.push(BenchResult {
+        bench: "fig7-social".into(),
+        backend: "sim-timeline".into(),
+        config: format!("servers={servers} cores={pool} {knobs}"),
+        events: report.events,
+        ops_per_sec: report.virtual_ops_per_sec,
+        p50_micros: report.mean_latency_micros,
+        p99_micros: report.mean_latency_micros,
+        extra: vec![
+            ("contexts".into(), contexts),
+            ("virtual_micros".into(), report.virtual_micros),
+        ],
+    });
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------------
 // Suite: micro
 // ---------------------------------------------------------------------------
 
@@ -681,10 +812,11 @@ fn suite_micro(options: &Options) -> Result<Vec<BenchResult>> {
 
 fn run_suites(options: &Options) -> Result<()> {
     type Suite = (&'static str, fn(&Options) -> Result<Vec<BenchResult>>);
-    let suites: [Suite; 4] = [
+    let suites: [Suite; 5] = [
         ("fig5-game", suite_fig5_game),
         ("fig6-tpcc", suite_fig6_tpcc),
         ("readonly", suite_readonly),
+        ("fig7-social", suite_fig7_social),
         ("micro", suite_micro),
     ];
     let mut ran = 0;

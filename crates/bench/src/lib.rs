@@ -6,11 +6,15 @@
 
 use aeon_api::Session;
 use aeon_apps::game::{deploy_game, game_class_graph};
+use aeon_apps::social::social_class_graph;
 use aeon_apps::tpcc::{deploy_tpcc, run_payment, tpcc_class_graph};
-use aeon_apps::{GameWorkload, GameWorkloadConfig, TpccWorkload, TpccWorkloadConfig};
+use aeon_apps::{
+    deploy_social, generate_plan, run_social_stream, GameWorkload, GameWorkloadConfig,
+    SocialConfig, TpccWorkload, TpccWorkloadConfig,
+};
 use aeon_runtime::AeonRuntime;
-use aeon_sim::{Metrics, Simulator, SystemKind};
-use aeon_types::{args, Result, SimTime};
+use aeon_sim::{Metrics, SimDeployment, Simulator, SystemKind};
+use aeon_types::{args, Result, SimDuration, SimTime};
 
 /// Prints a table header row.
 pub fn header(columns: &[&str]) {
@@ -212,6 +216,137 @@ pub fn live_tpcc_run(
     Ok(report)
 }
 
+/// Outcome of a virtual-time run on the contention-mode
+/// [`SimDeployment`]: real contextclass code executed inline, latency and
+/// throughput accounted against the simulator's lock/CPU timelines.
+#[derive(Debug, Clone, Copy)]
+pub struct SimReport {
+    /// Events completed.
+    pub events: u64,
+    /// Events per *virtual* second (events / makespan).
+    pub virtual_ops_per_sec: f64,
+    /// Mean virtual event latency in microseconds.
+    pub mean_latency_micros: u64,
+    /// Virtual makespan of the measured stream in microseconds.
+    pub virtual_micros: u64,
+}
+
+/// Shared knobs of the virtual-time drivers below.
+#[derive(Debug, Clone, Copy)]
+pub struct SimRunConfig {
+    /// Simulated servers.
+    pub servers: usize,
+    /// Cores per simulated server.
+    pub cores: usize,
+    /// Per-event CPU service demand.
+    pub service: SimDuration,
+    /// One network hop (client↔server and server↔server).
+    pub hop: SimDuration,
+    /// Open-loop inter-arrival gap of the request stream.
+    pub arrival_interval: SimDuration,
+}
+
+impl Default for SimRunConfig {
+    fn default() -> Self {
+        SimRunConfig {
+            servers: 4,
+            cores: 2,
+            service: SimDuration::from_micros(100),
+            hop: SimDuration::from_micros(50),
+            arrival_interval: SimDuration::from_micros(25),
+        }
+    }
+}
+
+impl SimRunConfig {
+    fn build(&self, classes: aeon_ownership::ClassGraph) -> Result<SimDeployment> {
+        SimDeployment::builder()
+            .servers(self.servers)
+            .contention(self.cores)
+            .service_time(self.service)
+            .network_hop(self.hop)
+            .arrival_interval(self.arrival_interval)
+            .class_graph(classes)
+            .build()
+    }
+
+    fn report(&self, sim: &SimDeployment) -> SimReport {
+        SimReport {
+            events: sim.events_completed(),
+            virtual_ops_per_sec: sim.virtual_throughput(),
+            mean_latency_micros: sim.mean_virtual_latency().as_micros(),
+            virtual_micros: sim.virtual_now().as_micros(),
+        }
+    }
+}
+
+/// Runs the fig5 game driver under virtual time: the same
+/// [`deploy_game`]/`get_gold` loop as [`live_game_run`], but on the
+/// contention-mode simulator, so server/core counts can be swept without
+/// real hardware.
+///
+/// # Errors
+///
+/// Propagates deployment and event failures.
+pub fn sim_game_run(
+    config: &SimRunConfig,
+    rooms: usize,
+    events_per_player: usize,
+) -> Result<SimReport> {
+    let sim = config.build(game_class_graph())?;
+    let world = deploy_game(&sim, rooms, 4)?;
+    let session = sim.client();
+    sim.reset_virtual_time();
+    for _ in 0..events_per_player {
+        for room in &world.players {
+            for player in room {
+                session.call(*player, "get_gold", args![1])?;
+            }
+        }
+    }
+    Ok(config.report(&sim))
+}
+
+/// Runs the fig6 TPC-C Payment driver under virtual time.
+///
+/// # Errors
+///
+/// Propagates deployment and transaction failures.
+pub fn sim_tpcc_run(config: &SimRunConfig, districts: usize, payments: usize) -> Result<SimReport> {
+    let sim = config.build(tpcc_class_graph())?;
+    let world = deploy_tpcc(&sim, districts, 4)?;
+    let session = sim.client();
+    sim.reset_virtual_time();
+    for payment in 0..payments {
+        let district = payment % world.districts.len();
+        let customer = payment % world.customers[district].len();
+        run_payment(&session, &world, district, customer, 1)?;
+    }
+    Ok(config.report(&sim))
+}
+
+/// Runs the Zipfian social driver under virtual time: deploys the seeded
+/// social graph, then replays a deterministic skewed request stream and
+/// accounts it against the simulated sequencer/CPU timelines (the fig7
+/// hot-dominator shape).
+///
+/// # Errors
+///
+/// Propagates deployment and event failures.
+pub fn sim_social_run(
+    config: &SimRunConfig,
+    social: &SocialConfig,
+    events: usize,
+) -> Result<SimReport> {
+    let sim = config.build(social_class_graph())?;
+    let world = deploy_social(&sim, social)?;
+    let session = sim.client();
+    sim.reset_virtual_time();
+    let ops = generate_plan(social).request_stream(events, social.seed ^ 0xf167);
+    run_social_stream(&session, &world, &ops)?;
+    Ok(config.report(&sim))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +363,66 @@ mod tests {
         assert!(metrics.count() > 0);
         assert!(metrics.throughput(Some(horizon)) > 0.0);
         assert_eq!(cell(1.234), "1.23");
+    }
+
+    #[test]
+    fn virtual_time_drivers_account_real_executions() {
+        let config = SimRunConfig {
+            servers: 2,
+            cores: 2,
+            ..SimRunConfig::default()
+        };
+        let game = sim_game_run(&config, 2, 4).unwrap();
+        assert_eq!(game.events, 2 * 4 * 4);
+        assert!(game.virtual_micros > 0);
+        assert!(game.virtual_ops_per_sec > 0.0);
+
+        let tpcc = sim_tpcc_run(&config, 2, 8).unwrap();
+        assert_eq!(tpcc.events, 8 * 3);
+        assert!(tpcc.mean_latency_micros > 0);
+
+        let social = SocialConfig {
+            regions: 2,
+            users: 16,
+            ..SocialConfig::default()
+        };
+        let report = sim_social_run(&config, &social, 64).unwrap();
+        assert_eq!(report.events, 64);
+        assert!(report.virtual_ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn skew_concentrates_virtual_time_on_hot_dominators() {
+        // The same stream size under heavier Zipf skew funnels more events
+        // through the celebrity dominators, so the virtual makespan and
+        // mean latency cannot improve relative to the uniform stream.
+        let config = SimRunConfig {
+            servers: 4,
+            cores: 1,
+            arrival_interval: SimDuration::ZERO,
+            ..SimRunConfig::default()
+        };
+        let base = SocialConfig {
+            regions: 2,
+            users: 32,
+            ..SocialConfig::default()
+        };
+        let uniform = SocialConfig {
+            zipf_s: 0.0,
+            ..base.clone()
+        };
+        let skewed = SocialConfig {
+            zipf_s: 1.4,
+            ..base
+        };
+        let flat = sim_social_run(&config, &uniform, 256).unwrap();
+        let hot = sim_social_run(&config, &skewed, 256).unwrap();
+        assert_eq!(flat.events, hot.events);
+        assert!(
+            hot.virtual_micros >= flat.virtual_micros,
+            "skewed makespan {} < uniform makespan {}",
+            hot.virtual_micros,
+            flat.virtual_micros
+        );
     }
 }

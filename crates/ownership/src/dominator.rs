@@ -68,30 +68,35 @@ pub fn share_set(graph: &OwnershipGraph, target: ContextId) -> Result<BTreeSet<C
     if desc_c.is_empty() {
         return Ok(share);
     }
-    let desc_c_or_self: BTreeSet<ContextId> = desc_c
-        .iter()
-        .copied()
-        .chain(std::iter::once(target))
-        .collect();
-    for other in graph.contexts() {
-        if other == target {
-            continue;
+    // Both clauses only ever select contexts that can *reach* a descendant
+    // of `target`, so instead of scanning every context in the network and
+    // intersecting descendant sets (quadratic in the graph), walk upwards
+    // from `desc(target)` once and classify what the walk visits:
+    //
+    // * first clause — `desc(G,C) ∩ children(G,C') ≠ ∅` — is exactly the
+    //   direct parents of the descendants;
+    // * second clause — `desc(G,C') ∩ desc(G,C) ≠ ∅` with `C'` incomparable
+    //   to `C` — is exactly the strict ancestors of the descendants, minus
+    //   `desc(G,C) ∪ {C}` and minus the ancestors of `C`.
+    for d in &desc_c {
+        for parent in graph.parents(*d).expect("descendants are known contexts") {
+            if *parent != target {
+                share.insert(*parent);
+            }
         }
-        // First clause: some descendant of `target` is a *direct child* of
-        // `other` — `other` can reach shared state in one hop.
-        let children = graph.children(other).expect("iterating known contexts");
-        let direct_share = children.iter().any(|c| desc_c.contains(c));
-        if direct_share {
-            share.insert(other);
-            continue;
+    }
+    let anc_target = graph.ancestors(target)?;
+    let mut queue: std::collections::VecDeque<ContextId> = desc_c.iter().copied().collect();
+    let mut seen: BTreeSet<ContextId> = desc_c.iter().copied().collect();
+    while let Some(cur) = queue.pop_front() {
+        for parent in graph.parents(cur).expect("walking known contexts") {
+            if seen.insert(*parent) {
+                queue.push_back(*parent);
+            }
         }
-        // Second clause: overlapping descendant sets between incomparable
-        // contexts.
-        if desc_c_or_self.contains(&other) || graph.is_ancestor(other, target) {
-            continue;
-        }
-        let desc_other = graph.descendants(other).expect("iterating known contexts");
-        if desc_other.iter().any(|d| desc_c.contains(d)) {
+    }
+    for other in seen {
+        if other != target && !desc_c.contains(&other) && !anc_target.contains(&other) {
             share.insert(other);
         }
     }
@@ -153,15 +158,14 @@ pub fn dominator_of(
     let mut set: BTreeSet<ContextId> = BTreeSet::from([target]);
     set.extend(share_set(graph, target)?);
     if let DominatorMode::Closure = mode {
-        loop {
-            let mut grew = false;
-            for member in set.clone() {
-                for extra in share_set(graph, member)? {
-                    grew |= set.insert(extra);
+        // Worklist fix-point: a member's share set never changes while the
+        // graph is fixed, so each member needs expanding exactly once.
+        let mut pending: Vec<ContextId> = set.iter().copied().collect();
+        while let Some(member) = pending.pop() {
+            for extra in share_set(graph, member)? {
+                if set.insert(extra) {
+                    pending.push(extra);
                 }
-            }
-            if !grew {
-                break;
             }
         }
     }
@@ -400,6 +404,53 @@ mod tests {
             }
             g
         })
+    }
+
+    /// The §3 share-set formula exactly as written: scan every context and
+    /// intersect descendant sets.  Kept as the executable specification the
+    /// optimised single-walk implementation is checked against.
+    fn share_set_reference(graph: &OwnershipGraph, target: ContextId) -> BTreeSet<ContextId> {
+        let desc_c = graph.descendants(target).unwrap();
+        let mut share = BTreeSet::new();
+        if desc_c.is_empty() {
+            return share;
+        }
+        let desc_c_or_self: BTreeSet<ContextId> = desc_c
+            .iter()
+            .copied()
+            .chain(std::iter::once(target))
+            .collect();
+        for other in graph.contexts() {
+            if other == target {
+                continue;
+            }
+            let children = graph.children(other).unwrap();
+            if children.iter().any(|c| desc_c.contains(c)) {
+                share.insert(other);
+                continue;
+            }
+            if desc_c_or_self.contains(&other) || graph.is_ancestor(other, target) {
+                continue;
+            }
+            let desc_other = graph.descendants(other).unwrap();
+            if desc_other.iter().any(|d| desc_c.contains(d)) {
+                share.insert(other);
+            }
+        }
+        share
+    }
+
+    proptest! {
+        /// The optimised upward-walk share set matches the quadratic §3
+        /// formula on every random multi-ownership DAG.
+        #[test]
+        fn share_set_matches_paper_formula(g in arb_dag(), target in 0u64..12) {
+            let target = ctx(target);
+            prop_assert_eq!(
+                share_set(&g, target).unwrap(),
+                share_set_reference(&g, target)
+            );
+        }
     }
 
     proptest! {

@@ -15,8 +15,9 @@
 //! in-process runtime: same applications, same API, three execution
 //! substrates.
 
+use crate::resources::{CpuTimeline, LockTimeline};
 use aeon_api::{Deployment, EventHandle, Session};
-use aeon_ownership::{ClassGraph, OwnershipGraph};
+use aeon_ownership::{ClassGraph, Dominator, DominatorMode, DominatorResolver, OwnershipGraph};
 use aeon_runtime::{
     AnalysisMode, ContextFactory, ContextObject, Invocation, InvocationHost, Placement, Snapshot,
     SubEvent,
@@ -37,6 +38,8 @@ pub struct SimDeploymentBuilder {
     analysis: AnalysisMode,
     service: SimDuration,
     hop: SimDuration,
+    contention_cores: Option<usize>,
+    arrival_interval: Option<SimDuration>,
 }
 
 impl Default for SimDeploymentBuilder {
@@ -47,6 +50,8 @@ impl Default for SimDeploymentBuilder {
             analysis: AnalysisMode::default(),
             service: SimDuration::from_micros(100),
             hop: SimDuration::from_micros(200),
+            contention_cores: None,
+            arrival_interval: None,
         }
     }
 }
@@ -91,6 +96,30 @@ impl SimDeploymentBuilder {
         self
     }
 
+    /// Enables the contention timeline: instead of charging every event the
+    /// serial `hop + cost + hop`, virtual time flows through the same
+    /// [`LockTimeline`]/[`CpuTimeline`] resources as [`crate::Simulator`].
+    /// Each event is sequenced at its target's dominator (shared for
+    /// read-only events), every context it touches takes its per-context
+    /// lock, and CPU service queues on `cores` FIFO cores per server — so
+    /// offered load beyond capacity shows up as queueing latency and
+    /// throughput saturation, with the *real* contextclass code executing.
+    #[must_use]
+    pub fn contention(mut self, cores: usize) -> Self {
+        self.contention_cores = Some(cores.max(1));
+        self
+    }
+
+    /// Sets the open-loop inter-arrival gap between submitted events in
+    /// contention mode (default: the service time, i.e. offered load equal
+    /// to one core's capacity).  Ignored without
+    /// [`SimDeploymentBuilder::contention`].
+    #[must_use]
+    pub fn arrival_interval(mut self, interval: SimDuration) -> Self {
+        self.arrival_interval = Some(interval);
+        self
+    }
+
     /// Builds the deployment.
     ///
     /// # Errors
@@ -130,11 +159,37 @@ impl SimDeploymentBuilder {
             latency: aeon_types::LatencyHistogram::new(),
             shutdown: false,
             history: None,
+            timeline: self.contention_cores.map(|cores| Timeline {
+                cores,
+                interval: self.arrival_interval.unwrap_or(self.service),
+                next_arrival: SimTime::ZERO,
+                locks: HashMap::new(),
+                global_lock: LockTimeline::new(),
+                cpus: HashMap::new(),
+                resolver: DominatorResolver::new(DominatorMode::Closure),
+            }),
         };
         Ok(SimDeployment {
             inner: Arc::new(Mutex::new(state)),
         })
     }
+}
+
+/// The contended-resource state of the timeline mode: one sequencer/object
+/// lock per context, one FIFO multi-core CPU per server, and an open-loop
+/// arrival cursor.  Events still execute inline (real state, serial
+/// histories); only their virtual-time accounting runs through these
+/// resources, mirroring [`crate::Simulator::run`].
+struct Timeline {
+    cores: usize,
+    interval: SimDuration,
+    next_arrival: SimTime,
+    locks: HashMap<ContextId, LockTimeline>,
+    /// Sequencer of events whose dominator is the unnamed global root
+    /// (footnote 1, §3): the paper's per-application global sequencer.
+    global_lock: LockTimeline,
+    cpus: HashMap<ServerId, CpuTimeline>,
+    resolver: DominatorResolver,
 }
 
 /// A context object behind its own lock, so handlers can borrow the engine
@@ -173,6 +228,8 @@ struct SimState {
     /// recorded histories are serial by construction — useful to validate
     /// recording pipelines against a backend that cannot race.
     history: Option<SharedHistorySink>,
+    /// Contention timeline (None: legacy serial accounting).
+    timeline: Option<Timeline>,
 }
 
 impl SimState {
@@ -237,6 +294,100 @@ impl SimState {
         Ok(())
     }
 
+    /// Drops stale dominator cache entries after an ownership-graph
+    /// mutation (new context, new or removed edge).
+    fn invalidate_dominators(&mut self) {
+        if let Some(timeline) = &mut self.timeline {
+            timeline.resolver = DominatorResolver::new(timeline.resolver.mode());
+        }
+    }
+
+    /// Charges one event's virtual time through the contended resources:
+    /// client hop, sequencer acquisition at the target's dominator
+    /// (shared for read-only events), then per touched context a server
+    /// hop when crossing servers, the per-context lock, and FIFO CPU
+    /// service — the same timeline as [`crate::Simulator::run`], driven by
+    /// the trace of the *real* execution.  Returns the event latency.
+    fn charge_timeline(
+        &mut self,
+        target: ContextId,
+        mode: AccessMode,
+        entry_server: ServerId,
+        trace: &[(ContextId, ServerId)],
+    ) -> SimDuration {
+        let hop = self.hop;
+        let service = self.service;
+        let readonly = mode.is_read_only();
+        let timeline = self.timeline.as_mut().expect("timeline mode enabled");
+        let arrival = timeline.next_arrival;
+        timeline.next_arrival = arrival + timeline.interval;
+        let mut now = arrival + hop;
+        // Dominator sequencing; an unresolvable dominator (e.g. the target
+        // vanished mid-run) falls back to the target's own lock.
+        let sequencer = match timeline.resolver.dominator(&self.graph, target) {
+            Ok(Dominator::Context(context)) => Some(context),
+            Ok(Dominator::GlobalRoot) => None,
+            Err(_) => Some(target),
+        };
+        now = {
+            let lock = match sequencer {
+                Some(context) => timeline.locks.entry(context).or_default(),
+                None => &mut timeline.global_lock,
+            };
+            if readonly {
+                lock.next_shared_start(now)
+            } else {
+                lock.next_exclusive_start(now)
+            }
+        };
+        let mut current_server = trace.first().map_or(entry_server, |(_, server)| *server);
+        for &(context, server) in trace {
+            if server != current_server {
+                now += hop;
+                current_server = server;
+            }
+            let start = {
+                let lock = timeline.locks.entry(context).or_default();
+                if readonly {
+                    lock.next_shared_start(now)
+                } else {
+                    lock.next_exclusive_start(now)
+                }
+            };
+            let cores = timeline.cores;
+            let end = timeline
+                .cpus
+                .entry(server)
+                .or_insert_with(|| CpuTimeline::new(cores))
+                .run(start, service);
+            let lock = timeline.locks.entry(context).or_default();
+            if readonly {
+                lock.hold_shared_until(end);
+            } else {
+                lock.hold_exclusive_until(end);
+            }
+            now = end;
+        }
+        // The sequencer was held for the whole execution.
+        {
+            let lock = match sequencer {
+                Some(context) => timeline.locks.entry(context).or_default(),
+                None => &mut timeline.global_lock,
+            };
+            if readonly {
+                lock.hold_shared_until(now);
+            } else {
+                lock.hold_exclusive_until(now);
+            }
+        }
+        now += hop;
+        // The clock tracks the makespan: event completions overlap.
+        if now > self.clock {
+            self.clock = now;
+        }
+        now - arrival
+    }
+
     /// Runs one event (plus its deferred `async` calls) and charges its
     /// virtual time; sub-events dispatched from within it run afterwards,
     /// exactly like on the other backends.
@@ -269,6 +420,7 @@ impl SimState {
             sub_events: Vec::new(),
             current_server: entry_server,
             cost: SimDuration::ZERO,
+            trace: Vec::new(),
         };
         let mut result = execution.invoke(None, target, method, args);
         while let Some((caller, async_target, async_method, async_args)) =
@@ -283,9 +435,15 @@ impl SimState {
         }
         let sub_events = std::mem::take(&mut execution.sub_events);
         let cost = execution.cost;
-        // Client -> entry server and reply hops bracket the execution.
-        let latency = self.hop + cost + self.hop;
-        self.clock += latency;
+        let trace = std::mem::take(&mut execution.trace);
+        let latency = if self.timeline.is_some() {
+            self.charge_timeline(target, mode, entry_server, &trace)
+        } else {
+            // Client -> entry server and reply hops bracket the execution.
+            let latency = self.hop + cost + self.hop;
+            self.clock += latency;
+            latency
+        };
         self.total_latency += latency;
         self.latency.record(latency.as_micros());
         if result.is_ok() {
@@ -319,6 +477,9 @@ struct SimExecution<'a> {
     sub_events: Vec<SubEvent>,
     current_server: ServerId,
     cost: SimDuration,
+    /// Contexts entered, in order, with their hosting servers — the step
+    /// list the contention timeline replays.
+    trace: Vec<(ContextId, ServerId)>,
 }
 
 impl SimExecution<'_> {
@@ -346,6 +507,7 @@ impl SimExecution<'_> {
             self.current_server = server;
         }
         self.cost += self.state.service;
+        self.trace.push((target, server));
         self.call_stack.push(target);
         let outcome = {
             let mut object = object.lock();
@@ -445,6 +607,7 @@ impl InvocationHost for SimExecution<'_> {
             },
         );
         self.state.placement.insert(id, server);
+        self.state.invalidate_dominators();
         Ok(id)
     }
 
@@ -456,11 +619,15 @@ impl InvocationHost for SimExecution<'_> {
                 return Err(AeonError::ownership(owner, owned));
             }
         }
-        self.state.graph.add_edge(owner, owned)
+        self.state.graph.add_edge(owner, owned)?;
+        self.state.invalidate_dominators();
+        Ok(())
     }
 
     fn remove_ownership(&mut self, owner: ContextId, owned: ContextId) -> Result<()> {
-        self.state.graph.remove_edge(owner, owned)
+        self.state.graph.remove_edge(owner, owned)?;
+        self.state.invalidate_dominators();
+        Ok(())
     }
 
     fn children(&self, parent: ContextId, class: Option<&str>) -> Result<Vec<ContextId>> {
@@ -562,6 +729,43 @@ impl SimDeployment {
                 .unwrap_or(0),
         )
     }
+
+    /// Whether the contention timeline is enabled.
+    pub fn contention_enabled(&self) -> bool {
+        self.inner.lock().timeline.is_some()
+    }
+
+    /// Virtual throughput: completed events over the virtual makespan
+    /// ([`SimDeployment::virtual_now`]), in events per virtual second.
+    pub fn virtual_throughput(&self) -> f64 {
+        let state = self.inner.lock();
+        let horizon = state.clock.as_secs_f64();
+        if horizon == 0.0 {
+            return 0.0;
+        }
+        state.events_completed as f64 / horizon
+    }
+
+    /// Rewinds virtual time to zero: clears the clock, event counters,
+    /// latency accounting, and (in contention mode) every lock and CPU
+    /// timeline plus the arrival cursor.  Drivers call this between the
+    /// deployment phase and the measured stream so setup traffic does not
+    /// contend with the workload.  Context state and history sinks are
+    /// untouched.
+    pub fn reset_virtual_time(&self) {
+        let mut state = self.inner.lock();
+        state.clock = SimTime::ZERO;
+        state.events_completed = 0;
+        state.events_failed = 0;
+        state.total_latency = SimDuration::ZERO;
+        state.latency = aeon_types::LatencyHistogram::new();
+        if let Some(timeline) = &mut state.timeline {
+            timeline.next_arrival = SimTime::ZERO;
+            timeline.locks.clear();
+            timeline.global_lock = LockTimeline::new();
+            timeline.cpus.clear();
+        }
+    }
 }
 
 /// A client session on a [`SimDeployment`]; events execute inline at
@@ -632,6 +836,7 @@ impl Deployment for SimDeployment {
             },
         );
         state.placement.insert(id, server);
+        state.invalidate_dominators();
         Ok(id)
     }
 
@@ -667,6 +872,7 @@ impl Deployment for SimDeployment {
             },
         );
         state.placement.insert(id, server);
+        state.invalidate_dominators();
         Ok(id)
     }
 
@@ -690,11 +896,16 @@ impl Deployment for SimDeployment {
                 return Err(AeonError::ownership(owner, owned));
             }
         }
-        state.graph.add_edge(owner, owned)
+        state.graph.add_edge(owner, owned)?;
+        state.invalidate_dominators();
+        Ok(())
     }
 
     fn remove_ownership(&self, owner: ContextId, owned: ContextId) -> Result<()> {
-        self.inner.lock().graph.remove_edge(owner, owned)
+        let mut state = self.inner.lock();
+        state.graph.remove_edge(owner, owned)?;
+        state.invalidate_dominators();
+        Ok(())
     }
 
     fn ownership_graph(&self) -> OwnershipGraph {
@@ -726,8 +937,18 @@ impl Deployment for SimDeployment {
             bytes
         };
         state.placement.insert(context, to_server);
-        // A migration costs one network round trip of virtual time.
+        // A migration costs one network round trip of virtual time; in
+        // contention mode the context is additionally unavailable for that
+        // round trip, so in-flight load queues behind the move.
         let hop = state.hop;
+        let blocked_until = state.clock + hop + hop;
+        if let Some(timeline) = &mut state.timeline {
+            timeline
+                .locks
+                .entry(context)
+                .or_default()
+                .block_until(blocked_until);
+        }
         state.clock += hop + hop;
         Ok(moved)
     }
@@ -1018,6 +1239,132 @@ mod tests {
         assert_eq!(
             session.call_readonly(item, "get", args!["gold"]).unwrap(),
             Value::from(7i64)
+        );
+    }
+
+    #[test]
+    fn contention_mode_saturates_a_single_sequencer() {
+        // All events arrive at t=0 against one context on a one-core
+        // server: the k-th event queues behind k predecessors, exactly the
+        // fig5b saturation shape — but executing real contextclass code.
+        let service = SimDuration::from_micros(100);
+        let sim = SimDeployment::builder()
+            .servers(1)
+            .contention(1)
+            .arrival_interval(SimDuration::ZERO)
+            .service_time(service)
+            .network_hop(SimDuration::ZERO)
+            .build()
+            .unwrap();
+        let item = sim
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        let session = sim.client();
+        let events = 10u64;
+        for _ in 0..events {
+            session.call(item, "incr", args!["n", 1]).unwrap();
+        }
+        assert_eq!(sim.events_completed(), events);
+        // Makespan: a serialized FIFO chain of `events` service times.
+        let micros = |n: u64| SimTime::from_micros(service.as_micros() * n);
+        assert_eq!(sim.virtual_now(), micros(events));
+        // Mean latency of the chain: (1 + 2 + ... + 10)/10 = 5.5 services.
+        assert_eq!(
+            sim.mean_virtual_latency().as_micros(),
+            service.as_micros() * (events + 1) / 2
+        );
+        assert!((sim.virtual_throughput() - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn readonly_events_overlap_on_shared_locks_and_spare_cores() {
+        let service = SimDuration::from_micros(100);
+        let build = |readonly: bool| {
+            let sim = SimDeployment::builder()
+                .servers(1)
+                .contention(4)
+                .arrival_interval(SimDuration::ZERO)
+                .service_time(service)
+                .network_hop(SimDuration::ZERO)
+                .build()
+                .unwrap();
+            let item = sim
+                .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+                .unwrap();
+            let session = sim.client();
+            for _ in 0..4 {
+                if readonly {
+                    session.call_readonly(item, "get", args!["n"]).unwrap();
+                } else {
+                    session.call(item, "incr", args!["n", 1]).unwrap();
+                }
+            }
+            sim.virtual_now()
+        };
+        // Four concurrent reads share the sequencer and spread over the
+        // four cores; four writes serialize on the exclusive lock.
+        assert_eq!(build(true), SimTime::ZERO + service);
+        assert_eq!(build(false), SimTime::from_micros(service.as_micros() * 4));
+    }
+
+    #[test]
+    fn contention_mode_scales_out_across_servers() {
+        let service = SimDuration::from_micros(100);
+        let makespan = |servers: usize| {
+            let sim = SimDeployment::builder()
+                .servers(servers)
+                .contention(1)
+                .arrival_interval(SimDuration::ZERO)
+                .service_time(service)
+                .network_hop(SimDuration::ZERO)
+                .build()
+                .unwrap();
+            let contexts: Vec<ContextId> = (0..2)
+                .map(|_| {
+                    sim.create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+                        .unwrap()
+                })
+                .collect();
+            let session = sim.client();
+            for i in 0..20 {
+                session
+                    .call(contexts[i % contexts.len()], "incr", args!["n", 1])
+                    .unwrap();
+            }
+            sim.virtual_now()
+        };
+        // Independent sequencers on independent servers run in parallel:
+        // doubling the servers halves the makespan (the fig5a shape).
+        assert_eq!(makespan(2), SimTime::from_micros(service.as_micros() * 10));
+        assert_eq!(makespan(1), SimTime::from_micros(service.as_micros() * 20));
+    }
+
+    #[test]
+    fn reset_virtual_time_clears_the_timeline_between_phases() {
+        let sim = SimDeployment::builder()
+            .servers(1)
+            .contention(1)
+            .arrival_interval(SimDuration::ZERO)
+            .network_hop(SimDuration::ZERO)
+            .build()
+            .unwrap();
+        let item = sim
+            .create_context(Box::new(KvContext::new("Item")), Placement::Auto)
+            .unwrap();
+        let session = sim.client();
+        for _ in 0..5 {
+            session.call(item, "incr", args!["n", 1]).unwrap();
+        }
+        assert!(sim.contention_enabled());
+        assert!(sim.virtual_now() > SimTime::ZERO);
+        sim.reset_virtual_time();
+        assert_eq!(sim.virtual_now(), SimTime::ZERO);
+        assert_eq!(sim.events_completed(), 0);
+        // State survives the reset; only virtual time rewinds.
+        session.call(item, "incr", args!["n", 1]).unwrap();
+        assert_eq!(
+            session.call_readonly(item, "get", args!["n"]).unwrap(),
+            Value::from(6i64)
         );
     }
 

@@ -727,3 +727,88 @@ mod readonly_fast_path {
         cluster.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Social workload parity
+// ---------------------------------------------------------------------------
+
+/// Runs `scenario` against all four backends with the *social* class
+/// graph (the game-graph helper above hardcodes its own classes).
+fn on_every_social_backend(scenario: impl Fn(&dyn Deployment)) {
+    use aeon_apps::social::social_class_graph;
+
+    let runtime = AeonRuntime::builder()
+        .servers(2)
+        .class_graph(social_class_graph())
+        .build()
+        .unwrap();
+    scenario(&runtime);
+    runtime.shutdown();
+
+    let cluster = Cluster::builder()
+        .servers(2)
+        .class_graph(social_class_graph())
+        .build()
+        .unwrap();
+    scenario(&cluster);
+    cluster.shutdown();
+
+    let tcp = Cluster::builder()
+        .servers(2)
+        .transport(ClusterTransport::TcpLoopback)
+        .class_graph(social_class_graph())
+        .build()
+        .unwrap();
+    scenario(&tcp);
+    tcp.shutdown();
+
+    let sim = SimDeployment::builder()
+        .servers(2)
+        .contention(2)
+        .class_graph(social_class_graph())
+        .build()
+        .unwrap();
+    scenario(&sim);
+}
+
+#[test]
+fn social_driver_reaches_identical_state_on_every_backend() {
+    use aeon_apps::social::{
+        deploy_social, generate_plan, register_social_factories, run_social_stream, SocialConfig,
+    };
+    use std::cell::RefCell;
+
+    let config = SocialConfig {
+        regions: 2,
+        users: 16,
+        chain_depth: 4,
+        follows_per_user: 3,
+        zipf_s: 1.2,
+        feed_capacity: 6,
+        seed: 0xfeed_50c1,
+    };
+    let ops = generate_plan(&config).request_stream(200, config.seed);
+    let reference: RefCell<Option<Vec<i64>>> = RefCell::new(None);
+
+    on_every_social_backend(|deployment| {
+        let backend = deployment.backend_name();
+        register_social_factories(deployment);
+        let world = deploy_social(deployment, &config).unwrap();
+        let session = deployment.session();
+        let report = run_social_stream(session.as_ref(), &world, &ops).unwrap();
+        assert_eq!(
+            (report.posts + report.reads) as usize,
+            ops.len(),
+            "backend {backend}"
+        );
+        let digest = world.digest(session.as_ref()).unwrap();
+        let mut slot = reference.borrow_mut();
+        match slot.as_ref() {
+            None => *slot = Some(digest),
+            Some(expected) => assert_eq!(
+                expected, &digest,
+                "backend {backend} diverged from the reference final state"
+            ),
+        }
+    });
+}

@@ -464,6 +464,121 @@ fn readonly_fast_path_burst_mid_snapshot_stays_strictly_serializable() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Hot-dominator migration under Zipfian load (the social workload)
+// ---------------------------------------------------------------------------
+
+/// Zipf-skewed social traffic hammers the celebrity users while the driver
+/// live-migrates their dominators (regions, celebrities, celebrity feeds)
+/// between servers.  Migration moves exactly the contexts whose sequencers
+/// order most of the traffic, so any window where a sequencer's event
+/// stream escapes its lock shows up as a precedence cycle.
+fn run_social_migration_chaos(deployment: &dyn Deployment, seed: u64) -> History {
+    use aeon_apps::social::{deploy_social, generate_plan, register_social_factories, SocialOp};
+
+    register_social_factories(deployment);
+    let recorder = HistoryRecorder::new();
+    deployment.install_history_sink(Arc::new(recorder.clone()));
+    let config = aeon_apps::SocialConfig {
+        regions: 2,
+        users: 24,
+        chain_depth: 6,
+        follows_per_user: 3,
+        zipf_s: 1.3,
+        feed_capacity: 8,
+        seed,
+    };
+    let world = deploy_social(deployment, &config).unwrap();
+    let plan = generate_plan(&config);
+    let ops_per_client = 120usize;
+
+    thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for c in 0..CLIENTS {
+            let session = deployment.session();
+            let ops = plan.request_stream(ops_per_client, seed ^ ((c as u64 + 1) << 16));
+            let world = &world;
+            clients.push(scope.spawn(move || {
+                let mut applied = 0usize;
+                for op in &ops {
+                    // Events racing a migration may fail transiently; the
+                    // serializability of what *did* execute is the claim.
+                    let outcome = match *op {
+                        SocialOp::Post { user, payload } => {
+                            session.call(world.users[user as usize], "post", args![payload])
+                        }
+                        SocialOp::Timeline { user } => {
+                            session.call_readonly(world.users[user as usize], "timeline", args![])
+                        }
+                        SocialOp::FeedLen { user } => {
+                            session.call_readonly(world.feeds[user as usize], "len", args![])
+                        }
+                    };
+                    applied += usize::from(outcome.is_ok());
+                }
+                applied
+            }));
+        }
+
+        // The chaos driver: keep migrating hot dominators while clients run.
+        let hot = world.hot_dominators(4);
+        let servers = deployment.servers();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut migrations = 0usize;
+        while clients.iter().any(|c| !c.is_finished()) {
+            thread::sleep(Duration::from_millis(5));
+            let target = hot[rng.gen_range(0..hot.len())];
+            let to = servers[rng.gen_range(0..servers.len())];
+            migrations += usize::from(deployment.migrate_context(target, to).is_ok());
+        }
+
+        let applied: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert!(
+            applied >= CLIENTS * ops_per_client / 2,
+            "too few events survived migration chaos: {applied}"
+        );
+        assert!(migrations > 0, "the driver never migrated a hot dominator");
+    });
+    recorder.history()
+}
+
+#[test]
+fn social_hot_dominator_migration_is_strictly_serializable() {
+    let seed = chaos_seed();
+
+    let runtime = AeonRuntime::builder()
+        .servers(3)
+        .class_graph(aeon_apps::social::social_class_graph())
+        .build()
+        .unwrap();
+    let history = run_social_migration_chaos(&runtime, seed);
+    runtime.shutdown();
+    assert!(
+        history.operation_count() >= 500,
+        "expected a >=500-op history, got {} (seed {seed})",
+        history.operation_count()
+    );
+    if let Err(violation) = check_strict_serializability(&history) {
+        panic!("runtime social migration chaos, seed {seed}: {violation}");
+    }
+
+    let cluster = Cluster::builder()
+        .servers(3)
+        .class_graph(aeon_apps::social::social_class_graph())
+        .build()
+        .unwrap();
+    let history = run_social_migration_chaos(&cluster, seed ^ 0x50c1a1);
+    cluster.shutdown();
+    assert!(
+        history.operation_count() >= 500,
+        "expected a >=500-op history, got {} (seed {seed})",
+        history.operation_count()
+    );
+    if let Err(violation) = check_strict_serializability(&history) {
+        panic!("cluster social migration chaos, seed {seed}: {violation}");
+    }
+}
+
 /// Backend sanity for the recording surface itself: the deterministic
 /// simulator records serial histories by construction, and the recorder's
 /// adapter sees snapshot captures as reads and restores as writes.
